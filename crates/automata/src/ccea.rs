@@ -1,0 +1,219 @@
+//! Chain Complex Event Automata (Section 2), the model of Grez & Riveros
+//! (ICDT 2020) that PCEA strictly generalizes.
+//!
+//! A CCEA run is a subsequence of the stream following a *chain* of
+//! transitions: each transition checks a unary predicate on the current
+//! tuple and a binary predicate against the *previous* tuple of the run.
+//! The first tuple is admitted by a partial initial function
+//! `I : Q ⇀ U × (2^Ω ∖ {∅})`.
+//!
+//! Every CCEA embeds into a PCEA whose transitions have at most one
+//! source ([`Ccea::to_pcea`]); Proposition 3.4 (reproduced in the
+//! integration tests) shows the inclusion is strict.
+
+use crate::pcea::{Pcea, PceaBuilder, StateId};
+use crate::predicate::{EqPredicate, UnaryPredicate};
+use crate::valuation::LabelSet;
+
+/// A CCEA transition `(p, U, B, L, q)`.
+#[derive(Clone, Debug)]
+pub struct CceaTransition {
+    /// Source state `p`.
+    pub source: StateId,
+    /// Unary predicate on the current tuple.
+    pub unary: UnaryPredicate,
+    /// Binary predicate between the run's previous tuple and the current
+    /// one.
+    pub binary: EqPredicate,
+    /// Non-empty label set marking the current position.
+    pub labels: LabelSet,
+    /// Target state `q`.
+    pub target: StateId,
+}
+
+/// A chain complex event automaton `(Q, U, B, Ω, ∆, I, F)`.
+#[derive(Clone, Debug, Default)]
+pub struct Ccea {
+    num_states: usize,
+    num_labels: usize,
+    /// `initial[q]` is `I(q)` when defined.
+    initial: Vec<Option<(UnaryPredicate, LabelSet)>>,
+    transitions: Vec<CceaTransition>,
+    finals: Vec<StateId>,
+}
+
+impl Ccea {
+    /// An automaton with `num_states` states over `num_labels` labels.
+    pub fn new(num_states: usize, num_labels: usize) -> Self {
+        Ccea {
+            num_states,
+            num_labels,
+            initial: vec![None; num_states],
+            transitions: Vec::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Size of the label alphabet.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Define `I(q) = (U, L)`.
+    pub fn set_initial(&mut self, q: StateId, unary: UnaryPredicate, labels: LabelSet) {
+        assert!(q.index() < self.num_states, "state out of range");
+        assert!(!labels.is_empty(), "initial label set must be non-empty");
+        self.initial[q.index()] = Some((unary, labels));
+    }
+
+    /// Add a transition `(p, U, B, L, q)`.
+    pub fn add_transition(
+        &mut self,
+        source: StateId,
+        unary: UnaryPredicate,
+        binary: EqPredicate,
+        labels: LabelSet,
+        target: StateId,
+    ) {
+        assert!(
+            source.index() < self.num_states && target.index() < self.num_states,
+            "state out of range"
+        );
+        assert!(!labels.is_empty(), "transition label set must be non-empty");
+        self.transitions.push(CceaTransition {
+            source,
+            unary,
+            binary,
+            labels,
+            target,
+        });
+    }
+
+    /// Mark a state final.
+    pub fn mark_final(&mut self, q: StateId) {
+        assert!(q.index() < self.num_states, "state out of range");
+        if !self.finals.contains(&q) {
+            self.finals.push(q);
+        }
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[CceaTransition] {
+        &self.transitions
+    }
+
+    /// `I(q)`, when defined.
+    pub fn initial(&self, q: StateId) -> Option<&(UnaryPredicate, LabelSet)> {
+        self.initial[q.index()].as_ref()
+    }
+
+    /// The final states.
+    pub fn finals(&self) -> &[StateId] {
+        &self.finals
+    }
+
+    /// Embed into a PCEA: every transition keeps a single source and the
+    /// initial function becomes `∅`-source transitions. The embedding
+    /// preserves `⟦·⟧_n(S)` for every stream (tested against the
+    /// reference semantics).
+    pub fn to_pcea(&self) -> Pcea {
+        let mut b = PceaBuilder::new(self.num_labels);
+        let states: Vec<StateId> = b.add_states(self.num_states);
+        for (q, init) in self.initial.iter().enumerate() {
+            if let Some((u, l)) = init {
+                b.add_initial_transition(u.clone(), *l, states[q]);
+            }
+        }
+        for t in &self.transitions {
+            b.add_transition(
+                vec![(states[t.source.index()], t.binary.clone())],
+                t.unary.clone(),
+                t.labels,
+                states[t.target.index()],
+            );
+        }
+        for f in &self.finals {
+            b.mark_final(states[f.index()]);
+        }
+        b.build()
+    }
+}
+
+/// The paper's example CCEA `C0` (Example 2.1): subsequences
+/// `T(a), S(a,b), R(a,b)` with label `●`.
+pub fn paper_c0(
+    r: cer_common::RelationId,
+    s: cer_common::RelationId,
+    t: cer_common::RelationId,
+) -> Ccea {
+    use crate::valuation::Label;
+    let dot = LabelSet::singleton(Label(0));
+    let mut c = Ccea::new(3, 1);
+    let (q0, q1, q2) = (StateId(0), StateId(1), StateId(2));
+    c.set_initial(q0, UnaryPredicate::Relation(t), dot);
+    c.add_transition(
+        q0,
+        UnaryPredicate::Relation(s),
+        EqPredicate::on_positions(t, [0usize], s, [0usize]),
+        dot,
+        q1,
+    );
+    c.add_transition(
+        q1,
+        UnaryPredicate::Relation(r),
+        EqPredicate::on_positions(s, [0usize, 1], r, [0usize, 1]),
+        dot,
+        q2,
+    );
+    c.mark_final(q2);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_common::Schema;
+
+    #[test]
+    fn c0_structure() {
+        let (_, r, s, t) = Schema::sigma0();
+        let c = paper_c0(r, s, t);
+        assert_eq!(c.num_states(), 3);
+        assert_eq!(c.transitions().len(), 2);
+        assert!(c.initial(StateId(0)).is_some());
+        assert!(c.initial(StateId(1)).is_none());
+        assert_eq!(c.finals(), &[StateId(2)]);
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let (_, r, s, t) = Schema::sigma0();
+        let p = paper_c0(r, s, t).to_pcea();
+        assert_eq!(p.num_states(), 3);
+        // 1 initial + 2 chain transitions.
+        assert_eq!(p.transitions().len(), 3);
+        assert!(p
+            .transitions()
+            .iter()
+            .all(|tr| tr.sources.len() <= 1), "CCEA image has ≤1 source per transition");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn initial_labels_must_be_non_empty() {
+        let mut c = Ccea::new(1, 1);
+        c.set_initial(StateId(0), UnaryPredicate::True, LabelSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn final_bounds_checked() {
+        let mut c = Ccea::new(1, 1);
+        c.mark_final(StateId(1));
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic finite automata, the target of the subset constructions
+//! for NFA (§2) and PFA (Proposition 3.2).
+//!
+//! The DFA is represented with a dense transition table over the alphabet
+//! actually used, plus a generic [`Dfa::determinize`] driver shared by
+//! [`Nfa::to_dfa`](crate::nfa::Nfa::to_dfa) and
+//! [`Pfa::to_dfa`](crate::pfa::Pfa::to_dfa): both constructions explore
+//! only the *reachable* subsets, which is what makes the determinization
+//! experiment (E4) measurable.
+
+use cer_common::hash::FxHashMap;
+
+/// A deterministic finite automaton over `u32` symbols.
+///
+/// The transition function is partial (missing entries are a sink
+/// rejection), matching the paper's definition of DFA as a partial
+/// function `∆ : Q × Σ → Q` with `|I| = 1`.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    num_states: usize,
+    start: usize,
+    /// `transitions[q]` maps a symbol to the successor state.
+    transitions: Vec<FxHashMap<u32, usize>>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Generic subset-construction driver.
+    ///
+    /// `start` is the initial subset (sorted, deduplicated), `alphabet`
+    /// the symbols to explore, `step(set, a)` the image of a subset under
+    /// a symbol (must return a sorted, deduplicated vector) and
+    /// `is_final` decides acceptance of a subset. Only subsets reachable
+    /// from `start` become DFA states.
+    pub fn determinize(
+        start: Vec<usize>,
+        alphabet: &[u32],
+        mut step: impl FnMut(&[usize], u32) -> Vec<usize>,
+        mut is_final: impl FnMut(&[usize]) -> bool,
+    ) -> Dfa {
+        let mut index: FxHashMap<Vec<usize>, usize> = FxHashMap::default();
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut transitions: Vec<FxHashMap<u32, usize>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        let intern = |set: Vec<usize>,
+                          subsets: &mut Vec<Vec<usize>>,
+                          transitions: &mut Vec<FxHashMap<u32, usize>>,
+                          accepting: &mut Vec<bool>,
+                          index: &mut FxHashMap<Vec<usize>, usize>|
+         -> usize {
+            if let Some(&id) = index.get(&set) {
+                return id;
+            }
+            let id = subsets.len();
+            index.insert(set.clone(), id);
+            subsets.push(set);
+            transitions.push(FxHashMap::default());
+            accepting.push(false);
+            id
+        };
+
+        let start_id = intern(
+            start,
+            &mut subsets,
+            &mut transitions,
+            &mut accepting,
+            &mut index,
+        );
+        let mut work = vec![start_id];
+        while let Some(id) = work.pop() {
+            accepting[id] = is_final(&subsets[id]);
+            for &a in alphabet {
+                let next = step(&subsets[id], a);
+                let next_id = intern(
+                    next,
+                    &mut subsets,
+                    &mut transitions,
+                    &mut accepting,
+                    &mut index,
+                );
+                if next_id == transitions.len() - 1 && transitions[next_id].is_empty() {
+                    // Freshly interned: enqueue for exploration.
+                    work.push(next_id);
+                }
+                transitions[id].insert(a, next_id);
+            }
+        }
+        // `is_final` may not have been applied to states popped last.
+        for (id, set) in subsets.iter().enumerate() {
+            accepting[id] = is_final(set);
+        }
+        Dfa {
+            num_states: subsets.len(),
+            start: start_id,
+            transitions,
+            accepting,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: usize) -> bool {
+        self.accepting[q]
+    }
+
+    /// Apply the (partial) transition function.
+    pub fn step(&self, q: usize, a: u32) -> Option<usize> {
+        self.transitions[q].get(&a).copied()
+    }
+
+    /// Whether the automaton accepts `s`.
+    pub fn accepts(&self, s: &[u32]) -> bool {
+        let mut q = self.start;
+        for &a in s {
+            match self.step(q, a) {
+                Some(p) => q = p,
+                None => return false,
+            }
+        }
+        self.accepting[q]
+    }
+
+    /// Moore's partition-refinement minimization.
+    ///
+    /// Not needed by the paper's results, but lets experiment E4 report
+    /// both the reachable-subset size and the canonical minimal size of
+    /// the determinized PFA.
+    pub fn minimize(&self) -> Dfa {
+        let alphabet: Vec<u32> = {
+            let mut syms: Vec<u32> = self
+                .transitions
+                .iter()
+                .flat_map(|m| m.keys().copied())
+                .collect();
+            syms.sort_unstable();
+            syms.dedup();
+            syms
+        };
+        // Completion: treat missing transitions as a virtual sink (class
+        // usize::MAX in signatures below).
+        let mut class: Vec<usize> = self
+            .accepting
+            .iter()
+            .map(|&acc| usize::from(acc))
+            .collect();
+        loop {
+            let mut sig_index: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
+            let mut next_class = vec![0usize; self.num_states];
+            for q in 0..self.num_states {
+                let sig: Vec<usize> = alphabet
+                    .iter()
+                    .map(|&a| self.step(q, a).map_or(usize::MAX, |p| class[p]))
+                    .collect();
+                let n = sig_index.len();
+                let id = *sig_index.entry((class[q], sig)).or_insert(n);
+                next_class[q] = id;
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        let num_classes = class.iter().max().map_or(0, |m| m + 1);
+        let mut transitions = vec![FxHashMap::default(); num_classes];
+        let mut accepting = vec![false; num_classes];
+        for q in 0..self.num_states {
+            accepting[class[q]] = self.accepting[q];
+            for (&a, &p) in &self.transitions[q] {
+                transitions[class[q]].insert(a, class[p]);
+            }
+        }
+        Dfa {
+            num_states: num_classes,
+            start: class[self.start],
+            transitions,
+            accepting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+
+    fn parity_nfa() -> Nfa {
+        // Even number of 1s.
+        let mut n = Nfa::new(2);
+        n.add_initial(0);
+        n.add_final(0);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 1);
+        n.add_transition(1, 1, 0);
+        n
+    }
+
+    #[test]
+    fn dfa_accepts_parity() {
+        let d = parity_nfa().to_dfa();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[1, 1]));
+        assert!(d.accepts(&[1, 0, 1]));
+        assert!(!d.accepts(&[1]));
+        assert!(!d.accepts(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn minimization_shrinks_and_preserves() {
+        // Build a redundant NFA for "contains a 1" with duplicate states.
+        let mut n = Nfa::new(4);
+        n.add_initial(0);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(0, 1, 2);
+        for q in [1usize, 2] {
+            n.add_transition(q, 0, q);
+            n.add_transition(q, 1, 3);
+            n.add_transition(3, 0, q);
+            n.add_final(q);
+        }
+        n.add_final(3);
+        n.add_transition(3, 1, 3);
+        let d = n.to_dfa();
+        let m = d.minimize();
+        assert!(m.num_states() <= d.num_states());
+        assert_eq!(m.num_states(), 2, "canonical 'contains a 1' DFA");
+        for len in 0..=5usize {
+            for bits in 0..(1u32 << len) {
+                let s: Vec<u32> = (0..len).map(|i| (bits >> i) & 1).collect();
+                assert_eq!(d.accepts(&s), m.accepts(&s), "disagree on {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_transition_rejects() {
+        // A DFA accepting exactly "0": symbol 1 from start is undefined.
+        let d = Dfa {
+            num_states: 2,
+            start: 0,
+            transitions: vec![
+                [(0u32, 1usize)].into_iter().collect(),
+                FxHashMap::default(),
+            ],
+            accepting: vec![false, true],
+        };
+        assert!(d.accepts(&[0]));
+        assert!(!d.accepts(&[1]));
+        assert!(!d.accepts(&[0, 0]));
+    }
+}

@@ -1,0 +1,38 @@
+//! # cer-automata — automata models for complex event recognition
+//!
+//! Implements every automaton model of *Complex event recognition meets
+//! hierarchical conjunctive queries* (Pinto & Riveros, PODS 2024):
+//!
+//! * [`nfa`] / [`dfa`] — classical finite automata plus the subset
+//!   construction (§2 "Strings and NFA");
+//! * [`pfa`] — Parallelized Finite Automata with run *trees* and their
+//!   determinization to DFAs of at most `2^n` states (§3, Proposition 3.2);
+//! * [`predicate`] — the predicate classes `Ulin` (linear-time unary
+//!   predicates) and `Beq` (equality predicates given by partial key
+//!   functions ⃗B, ⃖B) (§2 "Predicates");
+//! * [`ccea`] — Chain Complex Event Automata (§2), the model of Grez &
+//!   Riveros (ICDT 2020) that PCEA strictly generalizes;
+//! * [`pcea`] — Parallelized Complex Event Automata (§3), the paper's
+//!   automaton model: transitions fire from *sets* of source states,
+//!   merging parallel runs;
+//! * [`valuation`] — outputs `ν : Ω → 2^N` and their product `⊕`;
+//! * [`reference`] — exponential-time reference semantics (`⟦P⟧n(S)` by
+//!   explicit run-tree enumeration) used as the correctness oracle for the
+//!   streaming engine, plus an unambiguity checker.
+
+pub mod ccea;
+pub mod dfa;
+pub mod nfa;
+pub mod pcea;
+pub mod pfa;
+pub mod predicate;
+pub mod reference;
+pub mod valuation;
+
+pub use ccea::Ccea;
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use pcea::{Pcea, PceaBuilder, StateId, Transition};
+pub use pfa::Pfa;
+pub use predicate::{AtomPattern, EqPredicate, Key, KeyExtractor, UnaryPredicate};
+pub use valuation::{Label, LabelSet, Valuation};

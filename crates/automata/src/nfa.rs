@@ -1,0 +1,192 @@
+//! Classical non-deterministic finite automata (Section 2 "Strings and
+//! NFA").
+//!
+//! The paper uses NFAs as the yardstick for [`Pfa`](crate::pfa::Pfa):
+//! every NFA is a PFA whose run trees are lines, and Proposition 3.2 shows
+//! PFAs recognize exactly the regular languages. States are dense `usize`
+//! indices and alphabet symbols are `u32`, which is all the constructions
+//! need; callers keep their own symbol names.
+
+use cer_common::hash::FxHashSet;
+
+/// A non-deterministic finite automaton `(Q, Σ, ∆, I, F)`.
+#[derive(Clone, Debug, Default)]
+pub struct Nfa {
+    num_states: usize,
+    transitions: Vec<(usize, u32, usize)>,
+    initial: Vec<usize>,
+    finals: Vec<usize>,
+}
+
+impl Nfa {
+    /// An empty automaton with `num_states` states and no transitions.
+    pub fn new(num_states: usize) -> Self {
+        Nfa {
+            num_states,
+            ..Self::default()
+        }
+    }
+
+    /// Number of states `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Add a fresh state, returning its index.
+    pub fn add_state(&mut self) -> usize {
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    /// Add a transition `(p, a, q) ∈ ∆`.
+    pub fn add_transition(&mut self, p: usize, a: u32, q: usize) {
+        assert!(p < self.num_states && q < self.num_states, "state out of range");
+        self.transitions.push((p, a, q));
+    }
+
+    /// Mark a state initial.
+    pub fn add_initial(&mut self, q: usize) {
+        assert!(q < self.num_states, "state out of range");
+        if !self.initial.contains(&q) {
+            self.initial.push(q);
+        }
+    }
+
+    /// Mark a state final.
+    pub fn add_final(&mut self, q: usize) {
+        assert!(q < self.num_states, "state out of range");
+        if !self.finals.contains(&q) {
+            self.finals.push(q);
+        }
+    }
+
+    /// The initial states `I`.
+    pub fn initial(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// The final states `F`.
+    pub fn finals(&self) -> &[usize] {
+        &self.finals
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[(usize, u32, usize)] {
+        &self.transitions
+    }
+
+    /// Whether the automaton accepts the string `s` (subset simulation:
+    /// `O(|s| · |∆|)`).
+    pub fn accepts(&self, s: &[u32]) -> bool {
+        let mut current: FxHashSet<usize> = self.initial.iter().copied().collect();
+        for &a in s {
+            if current.is_empty() {
+                return false;
+            }
+            let mut next = FxHashSet::default();
+            for &(p, b, q) in &self.transitions {
+                if b == a && current.contains(&p) {
+                    next.insert(q);
+                }
+            }
+            current = next;
+        }
+        self.finals.iter().any(|f| current.contains(f))
+    }
+
+    /// Determinize via the subset construction (reachable part only).
+    pub fn to_dfa(&self) -> crate::dfa::Dfa {
+        let alphabet: Vec<u32> = {
+            let mut syms: Vec<u32> = self.transitions.iter().map(|&(_, a, _)| a).collect();
+            syms.sort_unstable();
+            syms.dedup();
+            syms
+        };
+        let start: Vec<usize> = {
+            let mut i = self.initial.clone();
+            i.sort_unstable();
+            i.dedup();
+            i
+        };
+        crate::dfa::Dfa::determinize(start, &alphabet, |set, a| {
+            let mut next: Vec<usize> = self
+                .transitions
+                .iter()
+                .filter(|&&(p, b, _)| b == a && set.binary_search(&p).is_ok())
+                .map(|&(_, _, q)| q)
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            next
+        }, |set| self.finals.iter().any(|f| set.binary_search(f).is_ok()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA for strings over {0,1} whose second-to-last symbol is 1.
+    fn second_to_last_one() -> Nfa {
+        let mut n = Nfa::new(3);
+        n.add_initial(0);
+        n.add_final(2);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 0, 2);
+        n.add_transition(1, 1, 2);
+        n
+    }
+
+    #[test]
+    fn accepts_matches_language() {
+        let n = second_to_last_one();
+        assert!(n.accepts(&[1, 0]));
+        assert!(n.accepts(&[0, 1, 1]));
+        assert!(!n.accepts(&[0, 0]));
+        assert!(!n.accepts(&[1]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        let n = second_to_last_one();
+        let d = n.to_dfa();
+        // Exhaustively compare on all strings up to length 6.
+        for len in 0..=6usize {
+            for bits in 0..(1u32 << len) {
+                let s: Vec<u32> = (0..len).map(|i| (bits >> i) & 1).collect();
+                assert_eq!(n.accepts(&s), d.accepts(&s), "disagree on {s:?}");
+            }
+        }
+        // Classic bound: this NFA needs 2^2 = 4 DFA states.
+        assert_eq!(d.num_states(), 4);
+    }
+
+    #[test]
+    fn no_initial_state_rejects_everything() {
+        let mut n = Nfa::new(1);
+        n.add_final(0);
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn empty_string_accepted_iff_initial_final_overlap() {
+        let mut n = Nfa::new(2);
+        n.add_initial(0);
+        n.add_final(0);
+        assert!(n.accepts(&[]));
+        let mut m = Nfa::new(2);
+        m.add_initial(0);
+        m.add_final(1);
+        assert!(!m.accepts(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn transition_bounds_checked() {
+        let mut n = Nfa::new(1);
+        n.add_transition(0, 0, 1);
+    }
+}

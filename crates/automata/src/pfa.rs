@@ -1,0 +1,382 @@
+//! Parallelized Finite Automata (Section 3).
+//!
+//! A PFA transition `(P, a, q) ∈ ∆ ⊆ 2^Q × Σ × Q` fires from a *set* of
+//! source states: a run is a tree whose leaves (all at depth `n`) carry
+//! initial states and where a node's children carry exactly the states of
+//! some transition's source set. PFAs are the paper's vehicle for
+//! introducing *parallelization* before lifting it to CER automata
+//! ([`Pcea`](crate::pcea::Pcea)).
+//!
+//! [`Pfa::accepts`] runs the forward subset simulation from the proof of
+//! Proposition 3.2 (`δ(P, a) = {q | ∃P′ ⊆ P. (P′, a, q) ∈ ∆}`), and
+//! [`Pfa::to_dfa`] materializes that construction — at most `2^n` states.
+//! [`Pfa::run_trees`] enumerates explicit run trees for small inputs,
+//! serving as the oracle that the subset semantics is faithful.
+
+use cer_common::hash::FxHashSet;
+use std::fmt;
+
+/// A PFA transition `(P, a, q)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PfaTransition {
+    /// Source-state set `P` (sorted, possibly empty).
+    pub sources: Box<[usize]>,
+    /// Input symbol.
+    pub symbol: u32,
+    /// Target state.
+    pub target: usize,
+}
+
+/// A parallelized finite automaton `(Q, Σ, ∆, I, F)`.
+#[derive(Clone, Debug, Default)]
+pub struct Pfa {
+    num_states: usize,
+    transitions: Vec<PfaTransition>,
+    initial: Vec<usize>,
+    finals: Vec<usize>,
+}
+
+/// An explicit PFA run tree: the state at this node plus one subtree per
+/// child (children carry pairwise-distinct states).
+#[derive(Clone, PartialEq, Eq)]
+pub struct RunTree {
+    /// State labeling the node.
+    pub state: usize,
+    /// Child subtrees (empty at leaves).
+    pub children: Vec<RunTree>,
+}
+
+impl fmt::Debug for RunTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.children.is_empty() {
+            write!(f, "{}", self.state)
+        } else {
+            write!(f, "{}{:?}", self.state, self.children)
+        }
+    }
+}
+
+impl Pfa {
+    /// An automaton with `num_states` states and nothing else.
+    pub fn new(num_states: usize) -> Self {
+        Pfa {
+            num_states,
+            ..Self::default()
+        }
+    }
+
+    /// Number of states `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The size `|P| = |Q| + Σ (|P| + 1)` of the paper.
+    pub fn size(&self) -> usize {
+        self.num_states
+            + self
+                .transitions
+                .iter()
+                .map(|t| t.sources.len() + 1)
+                .sum::<usize>()
+    }
+
+    /// Add a transition `(P, a, q)`; `sources` is sorted and deduplicated.
+    ///
+    /// `sources` must be non-empty: in a PFA every leaf of a run tree sits
+    /// at depth `n`, so a node produced by an `∅`-source transition (a
+    /// childless inner node) can never occur in a valid run. Runs *start*
+    /// at initial states instead. (PCEA differs: there `∅`-source
+    /// transitions play the role of the initial function, because PCEA
+    /// leaves may sit at any depth.)
+    pub fn add_transition(&mut self, sources: impl Into<Vec<usize>>, symbol: u32, target: usize) {
+        let mut sources = sources.into();
+        sources.sort_unstable();
+        sources.dedup();
+        assert!(!sources.is_empty(), "PFA transitions need non-empty sources");
+        assert!(
+            target < self.num_states && sources.iter().all(|&p| p < self.num_states),
+            "state out of range"
+        );
+        self.transitions.push(PfaTransition {
+            sources: sources.into(),
+            symbol,
+            target,
+        });
+    }
+
+    /// Mark a state initial.
+    pub fn add_initial(&mut self, q: usize) {
+        assert!(q < self.num_states, "state out of range");
+        if !self.initial.contains(&q) {
+            self.initial.push(q);
+        }
+    }
+
+    /// Mark a state final.
+    pub fn add_final(&mut self, q: usize) {
+        assert!(q < self.num_states, "state out of range");
+        if !self.finals.contains(&q) {
+            self.finals.push(q);
+        }
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[PfaTransition] {
+        &self.transitions
+    }
+
+    /// Embed an NFA: a PFA whose source sets are singletons (plus
+    /// `∅`-source transitions replacing the initial function is *not*
+    /// needed here — PFA keeps explicit initial states).
+    pub fn from_nfa(nfa: &crate::nfa::Nfa) -> Pfa {
+        let mut p = Pfa::new(nfa.num_states());
+        for &q in nfa.initial() {
+            p.add_initial(q);
+        }
+        for &q in nfa.finals() {
+            p.add_final(q);
+        }
+        for &(a, s, b) in nfa.transitions() {
+            p.add_transition(vec![a], s, b);
+        }
+        p
+    }
+
+    /// Forward subset simulation (proof of Proposition 3.2): start from
+    /// `I`, apply `δ(P, a) = {q | ∃P′ ⊆ P. (P′, a, q) ∈ ∆}`, accept iff
+    /// the final subset intersects `F`.
+    pub fn accepts(&self, s: &[u32]) -> bool {
+        let mut current: FxHashSet<usize> = self.initial.iter().copied().collect();
+        for &a in s {
+            let next: FxHashSet<usize> = self
+                .transitions
+                .iter()
+                .filter(|t| t.symbol == a && t.sources.iter().all(|p| current.contains(p)))
+                .map(|t| t.target)
+                .collect();
+            current = next;
+        }
+        self.finals.iter().any(|f| current.contains(f))
+    }
+
+    /// Materialize the Proposition 3.2 subset construction (reachable
+    /// part). The result has at most `2^|Q|` states.
+    pub fn to_dfa(&self) -> crate::dfa::Dfa {
+        let alphabet: Vec<u32> = {
+            let mut syms: Vec<u32> = self.transitions.iter().map(|t| t.symbol).collect();
+            syms.sort_unstable();
+            syms.dedup();
+            syms
+        };
+        let start: Vec<usize> = {
+            let mut i = self.initial.clone();
+            i.sort_unstable();
+            i.dedup();
+            i
+        };
+        crate::dfa::Dfa::determinize(
+            start,
+            &alphabet,
+            |set, a| {
+                let mut next: Vec<usize> = self
+                    .transitions
+                    .iter()
+                    .filter(|t| {
+                        t.symbol == a && t.sources.iter().all(|p| set.binary_search(p).is_ok())
+                    })
+                    .map(|t| t.target)
+                    .collect();
+                next.sort_unstable();
+                next.dedup();
+                next
+            },
+            |set| self.finals.iter().any(|f| set.binary_search(f).is_ok()),
+        )
+    }
+
+    /// Enumerate all *accepting* run trees over `s` (exponential; oracle
+    /// for tests). Each returned tree is rooted at a final state, has all
+    /// leaves at depth `|s|` labeled with initial states, and each inner
+    /// node at depth `d` consumes symbol `s[|s| - 1 - d]`.
+    pub fn run_trees(&self, s: &[u32]) -> Vec<RunTree> {
+        self.finals
+            .iter()
+            .flat_map(|&f| self.trees_at(f, s))
+            .collect()
+    }
+
+    /// All run subtrees rooted at `state` consuming the whole of `s`
+    /// (leaves at depth `|s|` from this root).
+    fn trees_at(&self, state: usize, s: &[u32]) -> Vec<RunTree> {
+        if s.is_empty() {
+            return if self.initial.contains(&state) {
+                vec![RunTree {
+                    state,
+                    children: Vec::new(),
+                }]
+            } else {
+                Vec::new()
+            };
+        }
+        let (prefix, last) = s.split_at(s.len() - 1);
+        let a = last[0];
+        let mut out = Vec::new();
+        for t in &self.transitions {
+            if t.target != state || t.symbol != a {
+                continue;
+            }
+            // One subtree per source state, each consuming the prefix.
+            let choices: Vec<Vec<RunTree>> = t
+                .sources
+                .iter()
+                .map(|&p| self.trees_at(p, prefix))
+                .collect();
+            if choices.iter().any(Vec::is_empty) {
+                continue;
+            }
+            // Cross product of child choices.
+            let mut combos: Vec<Vec<RunTree>> = vec![Vec::new()];
+            for c in &choices {
+                combos = combos
+                    .into_iter()
+                    .flat_map(|base| {
+                        c.iter().map(move |tree| {
+                            let mut b = base.clone();
+                            b.push(tree.clone());
+                            b
+                        })
+                    })
+                    .collect();
+            }
+            out.extend(combos.into_iter().map(|children| RunTree { state, children }));
+        }
+        out
+    }
+
+    /// The paper's example `P0` (Figure 1, left) over `Σ = {T, S, R}`
+    /// encoded as symbols `T=0, S=1, R=2`: strings containing a `T` and an
+    /// `S` (in any order) before an `R`.
+    pub fn paper_p0() -> Pfa {
+        let (t, s, r) = (0u32, 1, 2);
+        let mut p = Pfa::new(5);
+        // States p0..p4 as in Figure 1.
+        p.add_initial(0);
+        p.add_initial(2);
+        p.add_final(4);
+        for a in [t, s, r] {
+            p.add_transition(vec![0], a, 0); // p0 --Σ--> p0
+            p.add_transition(vec![1], a, 1); // p1 --Σ--> p1
+            p.add_transition(vec![2], a, 2); // p2 --Σ--> p2
+            p.add_transition(vec![3], a, 3); // p3 --Σ--> p3
+            p.add_transition(vec![4], a, 4); // p4 --Σ--> p4
+        }
+        p.add_transition(vec![0], t, 1); // upper branch reads T
+        p.add_transition(vec![2], s, 3); // lower branch reads S
+        p.add_transition(vec![1, 3], r, 4); // parallel join on R
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u32 = 0;
+    const S: u32 = 1;
+    const R: u32 = 2;
+
+    #[test]
+    fn paper_p0_language() {
+        let p = Pfa::paper_p0();
+        // T and S (any order) before an R.
+        assert!(p.accepts(&[T, S, R]));
+        assert!(p.accepts(&[S, T, R]));
+        assert!(p.accepts(&[S, S, T, R, S]));
+        assert!(!p.accepts(&[T, R]));
+        assert!(!p.accepts(&[S, R]));
+        assert!(!p.accepts(&[R, T, S]));
+        assert!(!p.accepts(&[]));
+    }
+
+    #[test]
+    fn subset_semantics_agrees_with_run_trees() {
+        let p = Pfa::paper_p0();
+        for len in 0..=5usize {
+            let count = 3usize.pow(len as u32);
+            for mut code in 0..count {
+                let mut s = Vec::with_capacity(len);
+                for _ in 0..len {
+                    s.push((code % 3) as u32);
+                    code /= 3;
+                }
+                let by_trees = !p.run_trees(&s).is_empty();
+                assert_eq!(p.accepts(&s), by_trees, "disagree on {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_tree_shape_matches_figure_1() {
+        let p = Pfa::paper_p0();
+        let trees = p.run_trees(&[T, S, R]);
+        assert!(!trees.is_empty());
+        // Every accepting tree is rooted at p4 with two parallel branches.
+        for tree in &trees {
+            assert_eq!(tree.state, 4);
+            assert_eq!(tree.children.len(), 2);
+            let states: Vec<usize> = tree.children.iter().map(|c| c.state).collect();
+            assert!(states.contains(&1) && states.contains(&3));
+        }
+    }
+
+    #[test]
+    fn determinization_bounded_and_equivalent() {
+        let p = Pfa::paper_p0();
+        let d = p.to_dfa();
+        assert!(d.num_states() <= 1 << p.num_states());
+        for len in 0..=6usize {
+            let count = 3usize.pow(len as u32);
+            for mut code in 0..count {
+                let mut s = Vec::with_capacity(len);
+                for _ in 0..len {
+                    s.push((code % 3) as u32);
+                    code /= 3;
+                }
+                assert_eq!(p.accepts(&s), d.accepts(&s), "disagree on {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nfa_embedding_preserves_language() {
+        let mut n = crate::nfa::Nfa::new(2);
+        n.add_initial(0);
+        n.add_final(1);
+        n.add_transition(0, 7, 1);
+        n.add_transition(1, 7, 1);
+        let p = Pfa::from_nfa(&n);
+        assert!(p.accepts(&[7]));
+        assert!(p.accepts(&[7, 7, 7]));
+        assert!(!p.accepts(&[]));
+        assert!(!p.accepts(&[8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sources")]
+    fn empty_source_transitions_rejected() {
+        // ∅-source transitions would make the subset simulation diverge
+        // from run-tree semantics (their target node would be a childless
+        // "inner" node), so construction rejects them.
+        let mut p = Pfa::new(2);
+        p.add_transition(Vec::<usize>::new(), 9, 1);
+    }
+
+    #[test]
+    fn size_measure() {
+        let mut p = Pfa::new(3);
+        p.add_transition(vec![0, 1], 0, 2);
+        p.add_transition(vec![2], 1, 0);
+        // |Q| + (|P1| + 1) + (|P2| + 1) = 3 + 3 + 2.
+        assert_eq!(p.size(), 8);
+    }
+}

@@ -1,0 +1,556 @@
+//! Predicate classes `Ulin` and `Beq` (Section 2 "Predicates").
+//!
+//! The paper parameterizes its automata by a class of *unary* predicates
+//! (local filters on a single tuple) and a class of *binary* predicates
+//! (join conditions between two tuples). The algorithmic results need:
+//!
+//! * `Ulin` — unary predicates decidable in time linear in `|t|`;
+//! * `Beq` — *equality predicates*: binary predicates `B` given by two
+//!   partial functions `⃗B` (applied to the earlier tuple) and `⃖B` (applied
+//!   to the later tuple) such that `(t1, t2) ∈ B` iff both are defined and
+//!   `⃗B(t1) = ⃖B(t2)`, each computable in linear time.
+//!
+//! We take the paper's *semantic* presentation literally: an
+//! [`EqPredicate`] is a pair of [`KeyExtractor`]s. The extracted
+//! [`Key`] is exactly what Algorithm 1 hashes on in its look-up table `H`,
+//! so the representation *is* the index key of the streaming engine.
+
+use cer_common::hash::FxHashMap;
+use cer_common::{RelationId, Tuple, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A join key: the value vector produced by a [`KeyExtractor`].
+///
+/// Two tuples satisfy an equality predicate iff their extracted keys are
+/// both defined and equal as value sequences.
+pub type Key = Box<[Value]>;
+
+/// A within-tuple consistency group: all `positions` must carry equal
+/// values, and when `constant` is set, that shared value must equal it.
+///
+/// Groups implement the "repeated variable" and "constant argument" checks
+/// of atom patterns, and the per-side equivalence-class checks of the
+/// derived atoms `t_A` from Lemma B.3/B.4 (self-join compilation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PosGroup {
+    /// Tuple positions that must all hold the same value (non-empty).
+    pub positions: Box<[usize]>,
+    /// Optional constant the shared value must equal.
+    pub constant: Option<Value>,
+}
+
+impl PosGroup {
+    /// Whether the group's constraints hold on `t`.
+    pub fn holds(&self, t: &Tuple) -> bool {
+        let Some(&first) = self.positions.first() else {
+            return true;
+        };
+        if first >= t.arity() {
+            return false;
+        }
+        let v = t.get(first);
+        if let Some(c) = &self.constant {
+            if v != c {
+                return false;
+            }
+        }
+        self.positions[1..]
+            .iter()
+            .all(|&p| p < t.arity() && t.get(p) == v)
+    }
+}
+
+/// The per-relation piece of a [`KeyExtractor`]: consistency checks plus
+/// the positions to project (in the extractor's canonical key order).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ExtractorEntry {
+    /// Within-tuple equality/constant groups that must hold for the key to
+    /// be defined.
+    pub checks: Box<[PosGroup]>,
+    /// Positions projected into the key, in canonical order.
+    pub key: Box<[usize]>,
+}
+
+/// A partial function `Tuples[σ] ⇀ Key` — one side (`⃗B` or `⃖B`) of an
+/// equality predicate in `Beq`.
+///
+/// The function is defined on a tuple `t` iff `t`'s relation has an entry
+/// and the entry's consistency checks hold; the key is then the projection
+/// of the entry's positions. Both lookup and projection are linear in
+/// `|t|`, as `Beq` requires.
+#[derive(Clone, Debug, Default)]
+pub struct KeyExtractor {
+    entries: FxHashMap<RelationId, ExtractorEntry>,
+}
+
+impl KeyExtractor {
+    /// An extractor with no entries (defined nowhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An extractor defined only on `relation`, projecting `positions`.
+    pub fn projection(relation: RelationId, positions: impl Into<Box<[usize]>>) -> Self {
+        let mut e = Self::new();
+        e.insert(
+            relation,
+            ExtractorEntry {
+                checks: Box::new([]),
+                key: positions.into(),
+            },
+        );
+        e
+    }
+
+    /// Add (or replace) the entry for one relation.
+    pub fn insert(&mut self, relation: RelationId, entry: ExtractorEntry) {
+        self.entries.insert(relation, entry);
+    }
+
+    /// Number of relations the extractor is defined on.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the extractor is defined nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Apply the partial function: `Some(key)` when defined on `t`.
+    pub fn extract(&self, t: &Tuple) -> Option<Key> {
+        let entry = self.entries.get(&t.relation())?;
+        if !entry.checks.iter().all(|g| g.holds(t)) {
+            return None;
+        }
+        if entry.key.iter().any(|&p| p >= t.arity()) {
+            return None;
+        }
+        Some(entry.key.iter().map(|&p| t.get(p).clone()).collect())
+    }
+}
+
+/// An equality predicate `B ∈ Beq`, as a pair of partial key functions.
+///
+/// `(t1, t2) ∈ B` iff `⃗B(t1)` and `⃖B(t2)` are both defined and equal,
+/// where `t1` is the *earlier* tuple (stored run) and `t2` the *current*
+/// tuple. The empty-key predicate (both sides project nothing) is the
+/// always-true join, used for variable pairs with no shared attributes.
+#[derive(Clone, Debug, Default)]
+pub struct EqPredicate {
+    /// `⃗B`, applied to the earlier tuple.
+    pub left: KeyExtractor,
+    /// `⃖B`, applied to the current tuple.
+    pub right: KeyExtractor,
+}
+
+impl EqPredicate {
+    /// Build from the two key functions.
+    pub fn new(left: KeyExtractor, right: KeyExtractor) -> Self {
+        EqPredicate { left, right }
+    }
+
+    /// The paper's example `(Tx, Sxy)`-style predicate: project `lpos` of
+    /// `lrel` on the left and `rpos` of `rrel` on the right.
+    pub fn on_positions(
+        lrel: RelationId,
+        lpos: impl Into<Box<[usize]>>,
+        rrel: RelationId,
+        rpos: impl Into<Box<[usize]>>,
+    ) -> Self {
+        EqPredicate {
+            left: KeyExtractor::projection(lrel, lpos),
+            right: KeyExtractor::projection(rrel, rpos),
+        }
+    }
+
+    /// Decide `(t1, t2) ∈ B`.
+    pub fn satisfied(&self, earlier: &Tuple, current: &Tuple) -> bool {
+        match (self.left.extract(earlier), self.right.extract(current)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A term of an atom pattern: a variable (identified by an arbitrary
+/// per-pattern index) or a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatTerm {
+    /// Variable occurrence; equal indices must carry equal values.
+    Var(u32),
+    /// Constant that the tuple must match exactly.
+    Const(Value),
+}
+
+/// A relational atom pattern `R(x, y, 2, x)`: the unary predicate
+/// `U_{R(x̄)} = {R(ā) | ∃h. h(R(x̄)) = R(ā)}` of the Theorem 4.1
+/// construction.
+///
+/// A tuple matches iff it has the pattern's relation, positions sharing a
+/// variable hold equal values, and constant positions hold the constants —
+/// exactly "`t` is homomorphic to the atom", checked in linear time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomPattern {
+    /// The relation the pattern constrains.
+    pub relation: RelationId,
+    /// One term per attribute position.
+    pub terms: Box<[PatTerm]>,
+}
+
+impl AtomPattern {
+    /// Build a pattern with all-distinct variables (relation test only).
+    pub fn any_vars(relation: RelationId, arity: usize) -> Self {
+        AtomPattern {
+            relation,
+            terms: (0..arity as u32).map(PatTerm::Var).collect(),
+        }
+    }
+
+    /// Whether `t` is homomorphic to the pattern.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        if t.relation() != self.relation || t.arity() != self.terms.len() {
+            return false;
+        }
+        // First occurrence position of each variable index.
+        for (i, term) in self.terms.iter().enumerate() {
+            match term {
+                PatTerm::Const(c) => {
+                    if t.get(i) != c {
+                        return false;
+                    }
+                }
+                PatTerm::Var(v) => {
+                    // Compare against the first position holding the same var.
+                    let first = self
+                        .terms
+                        .iter()
+                        .position(|u| matches!(u, PatTerm::Var(w) if w == v))
+                        .expect("variable occurs at least at position i");
+                    if first < i && t.get(first) != t.get(i) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Comparison operators for the [`UnaryPredicate::Cmp`] filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two values (total order on `Value`).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+        }
+    }
+}
+
+/// A unary predicate `U ∈ Ulin`: decidable in time linear in `|t|`.
+///
+/// The closed variants cover everything the paper's constructions need
+/// (relation tests, atom homomorphism tests, constant filters); `Custom`
+/// opens the class to arbitrary user filters, as `Ulin` itself is open.
+#[derive(Clone)]
+pub enum UnaryPredicate {
+    /// Every tuple (`Tuples[σ]` itself).
+    True,
+    /// Tuples of one relation, e.g. the paper's `T`, `S`, `R`.
+    Relation(RelationId),
+    /// Tuples of any of the listed relations (the paper's `?xy`).
+    OneOf(Box<[RelationId]>),
+    /// Homomorphism test against an atom pattern (`U_{R(x̄)}`).
+    Atom(AtomPattern),
+    /// Within-tuple consistency groups (the derived-atom test `U_A` of
+    /// Lemma B.3), restricted to one relation.
+    Groups {
+        /// Relation the tuple must have.
+        relation: RelationId,
+        /// Required arity.
+        arity: usize,
+        /// Equality/constant classes that must hold.
+        groups: Box<[PosGroup]>,
+    },
+    /// Compare the value at a position against a constant.
+    Cmp {
+        /// Position compared.
+        pos: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: Value,
+    },
+    /// Conjunction of predicates.
+    And(Box<[UnaryPredicate]>),
+    /// An arbitrary user filter (must run in linear time to stay in
+    /// `Ulin`; not enforced).
+    Custom(Arc<dyn Fn(&Tuple) -> bool + Send + Sync>),
+}
+
+impl UnaryPredicate {
+    /// Decide `t ∈ U`.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        match self {
+            UnaryPredicate::True => true,
+            UnaryPredicate::Relation(r) => t.relation() == *r,
+            UnaryPredicate::OneOf(rs) => rs.contains(&t.relation()),
+            UnaryPredicate::Atom(p) => p.matches(t),
+            UnaryPredicate::Groups {
+                relation,
+                arity,
+                groups,
+            } => {
+                t.relation() == *relation
+                    && t.arity() == *arity
+                    && groups.iter().all(|g| g.holds(t))
+            }
+            UnaryPredicate::Cmp { pos, op, value } => {
+                *pos < t.arity() && op.eval(t.get(*pos), value)
+            }
+            UnaryPredicate::And(ps) => ps.iter().all(|p| p.matches(t)),
+            UnaryPredicate::Custom(f) => f(t),
+        }
+    }
+
+    /// Conjunction helper that flattens nested `And`s.
+    pub fn and(self, other: UnaryPredicate) -> UnaryPredicate {
+        match (self, other) {
+            (UnaryPredicate::True, p) | (p, UnaryPredicate::True) => p,
+            (UnaryPredicate::And(a), UnaryPredicate::And(b)) => {
+                UnaryPredicate::And(a.iter().cloned().chain(b.iter().cloned()).collect())
+            }
+            (UnaryPredicate::And(a), p) => {
+                UnaryPredicate::And(a.iter().cloned().chain([p]).collect())
+            }
+            (p, UnaryPredicate::And(b)) => {
+                UnaryPredicate::And([p].into_iter().chain(b.iter().cloned()).collect())
+            }
+            (p, q) => UnaryPredicate::And(Box::new([p, q])),
+        }
+    }
+}
+
+impl fmt::Debug for UnaryPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryPredicate::True => write!(f, "⊤"),
+            UnaryPredicate::Relation(r) => write!(f, "{r:?}"),
+            UnaryPredicate::OneOf(rs) => write!(f, "one-of{rs:?}"),
+            UnaryPredicate::Atom(p) => write!(f, "atom({:?}, {:?})", p.relation, p.terms),
+            UnaryPredicate::Groups {
+                relation, groups, ..
+            } => write!(f, "groups({relation:?}, {groups:?})"),
+            UnaryPredicate::Cmp { pos, op, value } => write!(f, "t[{pos}] {op:?} {value:?}"),
+            UnaryPredicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+            UnaryPredicate::Custom(_) => write!(f, "custom(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_common::tuple::tup;
+    use cer_common::Schema;
+
+    #[test]
+    fn relation_predicate_filters() {
+        let (_, r, s, t) = Schema::sigma0();
+        let u = UnaryPredicate::Relation(t);
+        assert!(u.matches(&tup(t, [2i64])));
+        assert!(!u.matches(&tup(s, [2i64, 11])));
+        let any = UnaryPredicate::OneOf(Box::new([r, s]));
+        assert!(any.matches(&tup(r, [1i64, 2])));
+        assert!(any.matches(&tup(s, [1i64, 2])));
+        assert!(!any.matches(&tup(t, [1i64])));
+    }
+
+    #[test]
+    fn atom_pattern_repeated_vars_and_constants() {
+        let (_, r, _, _) = Schema::sigma0();
+        // Pattern R(x, x): both positions equal.
+        let p = AtomPattern {
+            relation: r,
+            terms: Box::new([PatTerm::Var(0), PatTerm::Var(0)]),
+        };
+        assert!(p.matches(&tup(r, [5i64, 5])));
+        assert!(!p.matches(&tup(r, [5i64, 6])));
+        // Pattern R(2, y): constant in first position.
+        let q = AtomPattern {
+            relation: r,
+            terms: Box::new([PatTerm::Const(Value::Int(2)), PatTerm::Var(0)]),
+        };
+        assert!(q.matches(&tup(r, [2i64, 9])));
+        assert!(!q.matches(&tup(r, [3i64, 9])));
+    }
+
+    #[test]
+    fn atom_pattern_rejects_wrong_relation_or_arity() {
+        let (_, r, s, _) = Schema::sigma0();
+        let p = AtomPattern::any_vars(r, 2);
+        assert!(p.matches(&tup(r, [1i64, 2])));
+        assert!(!p.matches(&tup(s, [1i64, 2])));
+        let short = AtomPattern::any_vars(r, 1);
+        assert!(!short.matches(&tup(r, [1i64, 2])));
+    }
+
+    #[test]
+    fn eq_predicate_paper_example_tx_sxy() {
+        // (Tx, Sxy): ⃗B(T(a)) = a, ⃖B(S(a,b)) = a.
+        let (_, _, s, t) = Schema::sigma0();
+        let b = EqPredicate::on_positions(t, [0usize], s, [0usize]);
+        assert!(b.satisfied(&tup(t, [2i64]), &tup(s, [2i64, 11])));
+        assert!(!b.satisfied(&tup(t, [1i64]), &tup(s, [2i64, 11])));
+        // Undefined on the wrong relations.
+        assert!(!b.satisfied(&tup(s, [2i64, 11]), &tup(t, [2i64])));
+    }
+
+    #[test]
+    fn eq_predicate_multi_position_key() {
+        let (_, r, s, _) = Schema::sigma0();
+        let b = EqPredicate::on_positions(s, [0usize, 1], r, [0usize, 1]);
+        assert!(b.satisfied(&tup(s, [2i64, 11]), &tup(r, [2i64, 11])));
+        assert!(!b.satisfied(&tup(s, [2i64, 11]), &tup(r, [2i64, 12])));
+    }
+
+    #[test]
+    fn empty_key_predicate_is_always_true_on_domain() {
+        let (_, r, s, _) = Schema::sigma0();
+        let b = EqPredicate::new(
+            KeyExtractor::projection(s, Vec::new()),
+            KeyExtractor::projection(r, Vec::new()),
+        );
+        assert!(b.satisfied(&tup(s, [1i64, 2]), &tup(r, [9i64, 9])));
+        // Still partial: undefined outside the entry relations.
+        assert!(!b.satisfied(&tup(r, [1i64, 2]), &tup(r, [9i64, 9])));
+    }
+
+    #[test]
+    fn extractor_checks_gate_definedness() {
+        let (_, r, _, _) = Schema::sigma0();
+        let mut ex = KeyExtractor::new();
+        ex.insert(
+            r,
+            ExtractorEntry {
+                checks: Box::new([PosGroup {
+                    positions: Box::new([0, 1]),
+                    constant: None,
+                }]),
+                key: Box::new([0]),
+            },
+        );
+        assert_eq!(ex.extract(&tup(r, [4i64, 4])), Some(Box::from([Value::Int(4)])));
+        assert_eq!(ex.extract(&tup(r, [4i64, 5])), None);
+    }
+
+    #[test]
+    fn pos_group_constant() {
+        let (_, r, _, _) = Schema::sigma0();
+        let g = PosGroup {
+            positions: Box::new([1]),
+            constant: Some(Value::Int(7)),
+        };
+        assert!(g.holds(&tup(r, [0i64, 7])));
+        assert!(!g.holds(&tup(r, [7i64, 0])));
+    }
+
+    #[test]
+    fn cmp_predicate() {
+        let (_, r, _, _) = Schema::sigma0();
+        let u = UnaryPredicate::Cmp {
+            pos: 1,
+            op: CmpOp::Gt,
+            value: Value::Int(10),
+        };
+        assert!(u.matches(&tup(r, [0i64, 11])));
+        assert!(!u.matches(&tup(r, [0i64, 10])));
+    }
+
+    #[test]
+    fn and_flattens_and_custom_runs() {
+        let (_, r, _, _) = Schema::sigma0();
+        let u = UnaryPredicate::Relation(r)
+            .and(UnaryPredicate::Cmp {
+                pos: 0,
+                op: CmpOp::Ge,
+                value: Value::Int(0),
+            })
+            .and(UnaryPredicate::Custom(Arc::new(|t: &Tuple| {
+                t.arity() == 2
+            })));
+        assert!(u.matches(&tup(r, [1i64, 2])));
+        if let UnaryPredicate::And(ps) = &u {
+            assert_eq!(ps.len(), 3, "nested ands flattened");
+        } else {
+            panic!("expected And");
+        }
+    }
+
+    #[test]
+    fn true_is_identity_for_and() {
+        let (_, r, _, _) = Schema::sigma0();
+        let u = UnaryPredicate::True.and(UnaryPredicate::Relation(r));
+        assert!(matches!(u, UnaryPredicate::Relation(_)));
+    }
+
+    #[test]
+    fn groups_predicate_checks_relation_arity_groups() {
+        let (_, r, s, _) = Schema::sigma0();
+        let u = UnaryPredicate::Groups {
+            relation: r,
+            arity: 2,
+            groups: Box::new([PosGroup {
+                positions: Box::new([0, 1]),
+                constant: None,
+            }]),
+        };
+        assert!(u.matches(&tup(r, [3i64, 3])));
+        assert!(!u.matches(&tup(r, [3i64, 4])));
+        assert!(!u.matches(&tup(s, [3i64, 3])));
+    }
+
+    #[test]
+    fn out_of_range_positions_are_undefined_not_panics() {
+        let (_, _, _, t) = Schema::sigma0();
+        let ex = KeyExtractor::projection(t, [3usize]);
+        assert_eq!(ex.extract(&tup(t, [1i64])), None);
+        let u = UnaryPredicate::Cmp {
+            pos: 5,
+            op: CmpOp::Eq,
+            value: Value::Int(0),
+        };
+        assert!(!u.matches(&tup(t, [1i64])));
+    }
+}

@@ -1,0 +1,483 @@
+//! Reference (oracle) semantics for PCEA: explicit run-tree enumeration.
+//!
+//! `⟦P⟧_n(S)` is defined in Section 3 as the set of valuations of
+//! accepting run trees at position `n`. This module materializes that
+//! definition by exhaustive enumeration — exponential in general, which is
+//! exactly why the paper develops the streaming algorithm of Section 5.
+//! The streaming engine (`cer-core`) and the baselines are all tested
+//! against this oracle on randomized streams.
+//!
+//! The module also checks the *unambiguity* conditions of Section 3 on a
+//! concrete stream prefix: (1) every accepting run is simple (no position
+//! marked twice with overlapping labels by different nodes), and (2) no
+//! two distinct accepting runs share a valuation. Unambiguity is defined
+//! over *all* streams; checking it on sampled streams gives a sound
+//! refutation procedure and a practical validation for compiled HCQs.
+
+use crate::pcea::{Pcea, StateId};
+use crate::valuation::{LabelSet, Valuation};
+use cer_common::hash::FxHashMap;
+use cer_common::Tuple;
+use std::rc::Rc;
+
+/// A node of an explicit PCEA run tree: configuration `(q, i, L)` plus
+/// children (each at a strictly smaller position).
+#[derive(Debug, PartialEq, Eq)]
+pub struct RunNode {
+    /// State `q` of the configuration.
+    pub state: StateId,
+    /// Stream position `i` read at this node.
+    pub pos: u64,
+    /// Labels `L` marking position `i`.
+    pub labels: LabelSet,
+    /// Child subtrees, sorted by state for canonical comparison.
+    pub children: Vec<Rc<RunNode>>,
+}
+
+impl RunNode {
+    /// The valuation `ν_τ` of the subtree rooted here.
+    pub fn valuation(&self, num_labels: usize) -> Valuation {
+        let mut v = Valuation::empty(num_labels);
+        self.collect(&mut v);
+        v
+    }
+
+    fn collect(&self, v: &mut Valuation) {
+        v.insert(self.labels, self.pos);
+        for c in &self.children {
+            c.collect(v);
+        }
+    }
+
+    /// Whether the run is *simple*: any two different nodes with the same
+    /// position carry disjoint label sets.
+    pub fn is_simple(&self) -> bool {
+        let mut seen: FxHashMap<u64, u64> = FxHashMap::default();
+        self.simple_walk(&mut seen)
+    }
+
+    fn simple_walk(&self, seen: &mut FxHashMap<u64, u64>) -> bool {
+        let mask = seen.entry(self.pos).or_insert(0);
+        if *mask & self.labels.0 != 0 {
+            return false;
+        }
+        *mask |= self.labels.0;
+        self.children.iter().all(|c| c.simple_walk(seen))
+    }
+
+    /// Number of nodes (counting shared subtrees once per path).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// Exhaustive run-tree evaluation of a PCEA over a finite stream prefix.
+///
+/// Construction enumerates, for every position `i` and state `q`, all run
+/// subtrees rooted at `(q, i, ·)`; subtrees are shared via `Rc`, but the
+/// number of distinct trees can still be exponential — this is a test
+/// oracle, not an engine.
+pub struct ReferenceEval<'a> {
+    pcea: &'a Pcea,
+    tuples: &'a [Tuple],
+    /// `memo[i][q]`: run subtrees rooted at state `q` reading position `i`.
+    memo: Vec<Vec<Vec<Rc<RunNode>>>>,
+}
+
+impl<'a> ReferenceEval<'a> {
+    /// Evaluate `pcea` over the given stream prefix.
+    ///
+    /// Panics if more than `MAX_TREES_PER_CELL` subtrees accumulate for a
+    /// single `(state, position)` pair — a guard against accidentally
+    /// running the oracle on a stream too dense for exhaustive semantics.
+    pub fn new(pcea: &'a Pcea, tuples: &'a [Tuple]) -> Self {
+        let mut eval = ReferenceEval {
+            pcea,
+            tuples,
+            memo: Vec::with_capacity(tuples.len()),
+        };
+        for i in 0..tuples.len() {
+            eval.fill_position(i);
+        }
+        eval
+    }
+
+    /// Guard on the per-cell tree count.
+    pub const MAX_TREES_PER_CELL: usize = 200_000;
+
+    fn fill_position(&mut self, i: usize) {
+        let t = &self.tuples[i];
+        let mut row: Vec<Vec<Rc<RunNode>>> = vec![Vec::new(); self.pcea.num_states()];
+        for tr in self.pcea.transitions() {
+            if !tr.unary.matches(t) {
+                continue;
+            }
+            // Candidate subtrees per source state: any earlier position
+            // whose root joins with the current tuple under B(p).
+            let mut cands: Vec<Vec<Rc<RunNode>>> = Vec::with_capacity(tr.sources.len());
+            let mut feasible = true;
+            for (p, b) in tr.sources.iter().zip(tr.binary.iter()) {
+                let mut c = Vec::new();
+                for j in 0..i {
+                    if b.satisfied(&self.tuples[j], t) {
+                        c.extend(self.memo[j][p.index()].iter().cloned());
+                    }
+                }
+                if c.is_empty() {
+                    feasible = false;
+                    break;
+                }
+                cands.push(c);
+            }
+            if !feasible {
+                continue;
+            }
+            // Cross product of per-source choices.
+            let mut combos: Vec<Vec<Rc<RunNode>>> = vec![Vec::new()];
+            for c in &cands {
+                let mut next = Vec::with_capacity(combos.len() * c.len());
+                for base in &combos {
+                    for tree in c {
+                        let mut b = base.clone();
+                        b.push(Rc::clone(tree));
+                        next.push(b);
+                    }
+                }
+                combos = next;
+            }
+            for mut children in combos {
+                children.sort_by_key(|c| c.state);
+                row[tr.target.index()].push(Rc::new(RunNode {
+                    state: tr.target,
+                    pos: i as u64,
+                    labels: tr.labels,
+                    children,
+                }));
+                assert!(
+                    row[tr.target.index()].len() <= Self::MAX_TREES_PER_CELL,
+                    "reference oracle exploded; use a sparser stream"
+                );
+            }
+        }
+        self.memo.push(row);
+    }
+
+    /// All accepting runs at position `n` (runs whose root reads `t_n`
+    /// and lands in a final state), duplicates (identical trees produced
+    /// by duplicate transitions) removed.
+    pub fn accepting_runs_at(&self, n: usize) -> Vec<Rc<RunNode>> {
+        let mut out: Vec<Rc<RunNode>> = Vec::new();
+        if n >= self.memo.len() {
+            return out;
+        }
+        for q in self.pcea.finals() {
+            for tree in &self.memo[n][q.index()] {
+                if !out.iter().any(|o| **o == **tree) {
+                    out.push(Rc::clone(tree));
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's output set `⟦P⟧_n(S)`: valuations of accepting runs at
+    /// `n`, as a duplicate-free sorted vector.
+    pub fn outputs_at(&self, n: usize) -> Vec<Valuation> {
+        let mut vs: Vec<Valuation> = self
+            .accepting_runs_at(n)
+            .iter()
+            .map(|r| r.valuation(self.pcea.num_labels()))
+            .collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// `⟦P⟧^w_n(S)`: outputs at `n` whose span fits the window
+    /// (`n − min(ν) ≤ w`).
+    pub fn windowed_outputs_at(&self, n: usize, w: u64) -> Vec<Valuation> {
+        self.outputs_at(n)
+            .into_iter()
+            .filter(|v| {
+                v.min_pos()
+                    .is_none_or(|m| (n as u64).saturating_sub(m) <= w)
+            })
+            .collect()
+    }
+
+    /// Outputs at every position, windowed: the ground truth for the
+    /// streaming evaluation problem `EvalPCEA[σ]`.
+    pub fn all_windowed_outputs(&self, w: u64) -> Vec<(usize, Vec<Valuation>)> {
+        (0..self.tuples.len())
+            .map(|n| (n, self.windowed_outputs_at(n, w)))
+            .collect()
+    }
+
+    /// Check the unambiguity conditions on this stream prefix:
+    /// every accepting run simple, and runs ↦ valuations injective.
+    ///
+    /// Returns `Err` with a human-readable reason on violation.
+    pub fn check_unambiguous(&self) -> Result<(), String> {
+        for n in 0..self.tuples.len() {
+            let runs = self.accepting_runs_at(n);
+            for r in &runs {
+                if !r.is_simple() {
+                    return Err(format!("non-simple accepting run at position {n}"));
+                }
+            }
+            let mut vals: Vec<Valuation> = runs
+                .iter()
+                .map(|r| r.valuation(self.pcea.num_labels()))
+                .collect();
+            let total = vals.len();
+            vals.sort();
+            vals.dedup();
+            if vals.len() != total {
+                return Err(format!(
+                    "two distinct accepting runs at position {n} share a valuation"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stream-fuzzing unambiguity refutation (towards the paper's second
+/// future-work item, a disambiguation procedure).
+///
+/// Unambiguity quantifies over *all* streams; this samples `num_streams`
+/// random streams of `len` tuples over `schema` with a small value
+/// domain (dense joins maximize run collisions) and checks the
+/// conditions on each. `Err` is a definite refutation with a witness
+/// description; `Ok` is evidence, not proof.
+pub fn fuzz_unambiguous(
+    pcea: &Pcea,
+    schema: &cer_common::Schema,
+    len: usize,
+    num_streams: usize,
+    seed: u64,
+) -> Result<(), String> {
+    // A small deterministic xorshift so cer-automata needs no rand dep.
+    let mut state = seed | 1;
+    let mut next = |bound: u64| -> u64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % bound.max(1)
+    };
+    let relations: Vec<_> = schema.relations().collect();
+    if relations.is_empty() {
+        return Ok(());
+    }
+    for round in 0..num_streams {
+        let stream: Vec<Tuple> = (0..len)
+            .map(|_| {
+                let rel = relations[next(relations.len() as u64) as usize];
+                let values = (0..schema.arity(rel))
+                    .map(|_| cer_common::Value::Int(next(3) as i64))
+                    .collect();
+                Tuple::new(rel, values)
+            })
+            .collect();
+        ReferenceEval::new(pcea, &stream)
+            .check_unambiguous()
+            .map_err(|e| format!("stream #{round}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccea::paper_c0;
+    use crate::pcea::paper_p0;
+    use crate::valuation::Label;
+    use cer_common::gen::sigma0_prefix;
+    use cer_common::Schema;
+
+    fn val(pairs: &[(u32, &[u64])]) -> Valuation {
+        let mut v = Valuation::empty(1);
+        for (l, ps) in pairs {
+            for &p in *ps {
+                v.insert(LabelSet::singleton(Label(*l)), p);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn example_3_3_two_run_trees_at_position_5() {
+        // Running P0 over S0 yields exactly ντ0 = {●↦{1,3,5}} and
+        // ντ1 = {●↦{0,1,5}} at position 5.
+        let (_, r, s, t) = Schema::sigma0();
+        let p = paper_p0(r, s, t);
+        let stream = sigma0_prefix(r, s, t);
+        let eval = ReferenceEval::new(&p, &stream);
+        let got = eval.outputs_at(5);
+        let want = {
+            let mut w = vec![val(&[(0, &[1, 3, 5])]), val(&[(0, &[0, 1, 5])])];
+            w.sort();
+            w
+        };
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ccea_c0_single_output_on_s0() {
+        // Example 2.1: C0 over S0 accepts T(2),S(2,11),R(2,11) = {1,3,5}
+        // at position 5 (plus the variant using the S at position 0).
+        let (_, r, s, t) = Schema::sigma0();
+        let p = paper_c0(r, s, t).to_pcea();
+        let stream = sigma0_prefix(r, s, t);
+        let eval = ReferenceEval::new(&p, &stream);
+        let got = eval.outputs_at(5);
+        // Two runs: T(2)@1 then S(2,11)@3 then R(2,11)@5, and the chain
+        // cannot use S@0 because T@1 comes after it in CCEA order.
+        assert_eq!(got, vec![val(&[(0, &[1, 3, 5])])]);
+        // No outputs at other positions.
+        for n in [0usize, 1, 2, 3, 4, 6, 7] {
+            assert!(eval.outputs_at(n).is_empty(), "unexpected output at {n}");
+        }
+    }
+
+    #[test]
+    fn pcea_strictly_more_expressive_on_s0() {
+        // The PCEA P0 sees the S(2,11) at position 0 *before* T(2)@1 —
+        // the CCEA C0 cannot (Proposition 3.4's intuition).
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let pcea_out = ReferenceEval::new(&paper_p0(r, s, t), &stream).outputs_at(5);
+        let ccea_out =
+            ReferenceEval::new(&paper_c0(r, s, t).to_pcea(), &stream).outputs_at(5);
+        assert_eq!(pcea_out.len(), 2);
+        assert_eq!(ccea_out.len(), 1);
+        assert!(pcea_out.contains(&ccea_out[0]));
+    }
+
+    #[test]
+    fn window_filters_by_span() {
+        let (_, r, s, t) = Schema::sigma0();
+        let p = paper_p0(r, s, t);
+        let stream = sigma0_prefix(r, s, t);
+        let eval = ReferenceEval::new(&p, &stream);
+        // At n=5 the two outputs have min 1 and 0: spans 4 and 5.
+        assert_eq!(eval.windowed_outputs_at(5, 5).len(), 2);
+        assert_eq!(eval.windowed_outputs_at(5, 4).len(), 1);
+        assert_eq!(eval.windowed_outputs_at(5, 3).len(), 0);
+    }
+
+    #[test]
+    fn paper_p0_is_unambiguous_on_s0() {
+        let (_, r, s, t) = Schema::sigma0();
+        let p = paper_p0(r, s, t);
+        let stream = sigma0_prefix(r, s, t);
+        ReferenceEval::new(&p, &stream).check_unambiguous().unwrap();
+    }
+
+    #[test]
+    fn ambiguous_automaton_detected() {
+        // Two duplicate initial transitions into *different* states, both
+        // final: same valuation witnessed by two distinct runs.
+        use crate::pcea::PceaBuilder;
+        use crate::predicate::UnaryPredicate;
+        let (_, _, _, t) = Schema::sigma0();
+        let dot = LabelSet::singleton(Label(0));
+        let mut b = PceaBuilder::new(1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.add_initial_transition(UnaryPredicate::Relation(t), dot, q0);
+        b.add_initial_transition(UnaryPredicate::Relation(t), dot, q1);
+        b.mark_final(q0);
+        b.mark_final(q1);
+        let p = b.build();
+        let stream = vec![cer_common::tuple::tup(t, [1i64])];
+        let err = ReferenceEval::new(&p, &stream)
+            .check_unambiguous()
+            .unwrap_err();
+        assert!(err.contains("share a valuation"), "{err}");
+    }
+
+    #[test]
+    fn non_simple_run_detected() {
+        // A two-source transition whose branches can mark the same
+        // position with the same label.
+        use crate::pcea::PceaBuilder;
+        use crate::predicate::{EqPredicate, KeyExtractor, UnaryPredicate};
+        let (_, _r, s, t) = Schema::sigma0();
+        let dot = LabelSet::singleton(Label(0));
+        let mut b = PceaBuilder::new(1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.add_initial_transition(UnaryPredicate::Relation(t), dot, q0);
+        b.add_initial_transition(UnaryPredicate::Relation(t), dot, q1);
+        let any_t = |other: cer_common::RelationId| {
+            EqPredicate::new(
+                KeyExtractor::projection(t, Vec::new()),
+                KeyExtractor::projection(other, Vec::new()),
+            )
+        };
+        b.add_transition(
+            vec![(q0, any_t(s)), (q1, any_t(s))],
+            UnaryPredicate::Relation(s),
+            dot,
+            q2,
+        );
+        b.mark_final(q2);
+        let p = b.build();
+        // One T then one S: both branches must reuse position 0.
+        let stream = vec![
+            cer_common::tuple::tup(t, [1i64]),
+            cer_common::tuple::tup(s, [1i64, 2]),
+        ];
+        let err = ReferenceEval::new(&p, &stream)
+            .check_unambiguous()
+            .unwrap_err();
+        assert!(err.contains("non-simple"), "{err}");
+    }
+
+    #[test]
+    fn run_node_count_and_valuation() {
+        let (_, r, s, t) = Schema::sigma0();
+        let p = paper_p0(r, s, t);
+        let stream = sigma0_prefix(r, s, t);
+        let eval = ReferenceEval::new(&p, &stream);
+        let runs = eval.accepting_runs_at(5);
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            assert_eq!(run.node_count(), 3);
+            assert_eq!(run.valuation(1).weight(), 3);
+            assert!(run.is_simple());
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use crate::pcea::{paper_p0, PceaBuilder};
+    use crate::predicate::UnaryPredicate;
+    use crate::valuation::Label;
+    use cer_common::Schema;
+
+    #[test]
+    fn fuzz_accepts_unambiguous_p0() {
+        let (schema, r, s, t) = Schema::sigma0();
+        fuzz_unambiguous(&paper_p0(r, s, t), &schema, 8, 20, 42).unwrap();
+    }
+
+    #[test]
+    fn fuzz_refutes_ambiguous_automaton() {
+        let (schema, _, _, t) = Schema::sigma0();
+        let dot = LabelSet::singleton(Label(0));
+        let mut b = PceaBuilder::new(1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.add_initial_transition(UnaryPredicate::Relation(t), dot, q0);
+        b.add_initial_transition(UnaryPredicate::Relation(t), dot, q1);
+        b.mark_final(q0);
+        b.mark_final(q1);
+        let err = fuzz_unambiguous(&b.build(), &schema, 6, 50, 7).unwrap_err();
+        assert!(err.contains("share a valuation"), "{err}");
+    }
+}

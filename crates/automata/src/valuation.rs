@@ -1,0 +1,400 @@
+//! Valuations `ν : Ω → 2^N` — the outputs of CCEA/PCEA runs — and label
+//! sets, with the product operation `⊕` of Section 5.
+//!
+//! The label alphabet Ω is finite and fixed per automaton; we represent a
+//! subset of Ω as a 64-bit [`LabelSet`], which caps |Ω| at 64. Compiled
+//! conjunctive queries use one label per atom occurrence, so this supports
+//! queries with up to 64 atoms — far beyond anything evaluable.
+
+use std::fmt;
+
+/// A single output label `ℓ ∈ Ω`, identified by its index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Index into per-label storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// Maximum number of labels supported by [`LabelSet`].
+pub const MAX_LABELS: usize = 64;
+
+/// A non-empty-or-empty subset of Ω as a 64-bit bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LabelSet(pub u64);
+
+impl LabelSet {
+    /// The empty label set (not allowed on transitions, useful as identity).
+    pub const EMPTY: LabelSet = LabelSet(0);
+
+    /// Singleton label set.
+    #[inline]
+    pub fn singleton(l: Label) -> Self {
+        assert!((l.index()) < MAX_LABELS, "label index out of range");
+        LabelSet(1u64 << l.0)
+    }
+
+    /// Build from an iterator of labels.
+    pub fn from_labels(labels: impl IntoIterator<Item = Label>) -> Self {
+        labels
+            .into_iter()
+            .fold(LabelSet::EMPTY, |s, l| s.with(l))
+    }
+
+    /// This set plus one label.
+    #[inline]
+    pub fn with(self, l: Label) -> Self {
+        assert!((l.index()) < MAX_LABELS, "label index out of range");
+        LabelSet(self.0 | (1u64 << l.0))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, l: Label) -> bool {
+        l.index() < MAX_LABELS && self.0 & (1u64 << l.0) != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: LabelSet) -> Self {
+        LabelSet(self.0 | other.0)
+    }
+
+    /// Whether the two sets share a label.
+    #[inline]
+    pub fn intersects(self, other: LabelSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of labels in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over member labels in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = Label> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(Label(i))
+            }
+        })
+    }
+}
+
+impl fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, l) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A valuation `ν : Ω → 2^N`: for each label, a sorted set of stream
+/// positions.
+///
+/// Valuations are the outputs of CER queries: `ν(ℓ)` is the set of
+/// positions annotated with label `ℓ` by an accepting run. The paper's
+/// product `ν ⊕ ν′` is pointwise union; it is *simple* when the operands
+/// are pointwise disjoint (Section 5), which is what unambiguous automata
+/// guarantee and what the enumeration structure relies on.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Valuation {
+    /// `sets[ℓ]` is the sorted list of positions in `ν(ℓ)`.
+    sets: Vec<Vec<u64>>,
+}
+
+impl Valuation {
+    /// The empty valuation over `num_labels` labels.
+    pub fn empty(num_labels: usize) -> Self {
+        Valuation {
+            sets: vec![Vec::new(); num_labels],
+        }
+    }
+
+    /// The paper's `ν_{L,i}`: position `i` under every label in `L`,
+    /// empty elsewhere.
+    pub fn singleton(num_labels: usize, labels: LabelSet, pos: u64) -> Self {
+        let mut v = Valuation::empty(num_labels);
+        for l in labels.iter() {
+            v.sets[l.index()].push(pos);
+        }
+        v
+    }
+
+    /// Number of labels in the underlying Ω.
+    pub fn num_labels(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The positions assigned to a label.
+    pub fn get(&self, l: Label) -> &[u64] {
+        &self.sets[l.index()]
+    }
+
+    /// Whether every `ν(ℓ)` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Total number of (label, position) pairs: the output size `|ν|`.
+    pub fn weight(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// `min(ν)`: the smallest position mentioned, if any.
+    pub fn min_pos(&self) -> Option<u64> {
+        self.sets.iter().filter_map(|s| s.first()).min().copied()
+    }
+
+    /// The largest position mentioned, if any.
+    pub fn max_pos(&self) -> Option<u64> {
+        self.sets.iter().filter_map(|s| s.last()).max().copied()
+    }
+
+    /// Add position `pos` under every label of `labels`, in place.
+    ///
+    /// Keeps each per-label list sorted; positions already present are not
+    /// duplicated (2^N is a set).
+    pub fn insert(&mut self, labels: LabelSet, pos: u64) {
+        for l in labels.iter() {
+            let set = &mut self.sets[l.index()];
+            match set.binary_search(&pos) {
+                Ok(_) => {}
+                Err(k) => set.insert(k, pos),
+            }
+        }
+    }
+
+    /// Remove position `pos` from every label of `labels`, in place.
+    ///
+    /// The inverse of [`Valuation::insert`] for simple products; used by
+    /// the engine's backtracking enumerator.
+    pub fn remove(&mut self, labels: LabelSet, pos: u64) {
+        for l in labels.iter() {
+            let set = &mut self.sets[l.index()];
+            if let Ok(k) = set.binary_search(&pos) {
+                set.remove(k);
+            }
+        }
+    }
+
+    /// The product `ν ⊕ ν′` (pointwise union).
+    pub fn product(&self, other: &Valuation) -> Valuation {
+        assert_eq!(
+            self.sets.len(),
+            other.sets.len(),
+            "valuations over different label alphabets"
+        );
+        let mut out = self.clone();
+        out.product_assign(other);
+        out
+    }
+
+    /// In-place product `ν ⊕= ν′`.
+    pub fn product_assign(&mut self, other: &Valuation) {
+        for (dst, src) in self.sets.iter_mut().zip(&other.sets) {
+            if src.is_empty() {
+                continue;
+            }
+            if dst.is_empty() {
+                dst.extend_from_slice(src);
+                continue;
+            }
+            let merged = merge_sorted_dedup(dst, src);
+            *dst = merged;
+        }
+    }
+
+    /// Whether `self ⊕ other` is *simple*: pointwise disjoint supports.
+    pub fn simple_with(&self, other: &Valuation) -> bool {
+        self.sets
+            .iter()
+            .zip(&other.sets)
+            .all(|(a, b)| sorted_disjoint(a, b))
+    }
+
+    /// Iterate `(label, position)` pairs in label order.
+    pub fn entries(&self) -> impl Iterator<Item = (Label, u64)> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(l, s)| s.iter().map(move |&p| (Label(l as u32), p)))
+    }
+}
+
+impl fmt::Debug for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (l, s) in self.sets.iter().enumerate() {
+            if s.is_empty() {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "ℓ{l}↦{s:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn merge_sorted_dedup(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn sorted_disjoint(a: &[u64], b: &[u64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labelset_basic_ops() {
+        let s = LabelSet::from_labels([Label(0), Label(3)]);
+        assert!(s.contains(Label(0)));
+        assert!(s.contains(Label(3)));
+        assert!(!s.contains(Label(1)));
+        assert_eq!(s.len(), 2);
+        let t = LabelSet::singleton(Label(3));
+        assert!(s.intersects(t));
+        assert_eq!(s.union(t), s);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Label(0), Label(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label index out of range")]
+    fn labelset_rejects_large_labels() {
+        let _ = LabelSet::singleton(Label(64));
+    }
+
+    #[test]
+    fn singleton_valuation_matches_nu_l_i() {
+        let v = Valuation::singleton(3, LabelSet::from_labels([Label(0), Label(2)]), 7);
+        assert_eq!(v.get(Label(0)), &[7]);
+        assert_eq!(v.get(Label(1)), &[] as &[u64]);
+        assert_eq!(v.get(Label(2)), &[7]);
+        assert_eq!(v.min_pos(), Some(7));
+        assert_eq!(v.max_pos(), Some(7));
+        assert_eq!(v.weight(), 2);
+    }
+
+    #[test]
+    fn product_is_pointwise_union() {
+        let a = Valuation::singleton(2, LabelSet::singleton(Label(0)), 1);
+        let b = Valuation::singleton(2, LabelSet::singleton(Label(0)), 5);
+        let c = Valuation::singleton(2, LabelSet::singleton(Label(1)), 3);
+        let ab = a.product(&b);
+        assert_eq!(ab.get(Label(0)), &[1, 5]);
+        let abc = ab.product(&c);
+        assert_eq!(abc.get(Label(1)), &[3]);
+        assert_eq!(abc.min_pos(), Some(1));
+        assert_eq!(abc.max_pos(), Some(5));
+    }
+
+    #[test]
+    fn product_is_commutative_and_associative() {
+        let a = Valuation::singleton(2, LabelSet::singleton(Label(0)), 1);
+        let b = Valuation::singleton(2, LabelSet::singleton(Label(1)), 2);
+        let c = Valuation::singleton(2, LabelSet::from_labels([Label(0), Label(1)]), 9);
+        assert_eq!(a.product(&b), b.product(&a));
+        assert_eq!(a.product(&b).product(&c), a.product(&b.product(&c)));
+    }
+
+    #[test]
+    fn simplicity_detects_overlap() {
+        let a = Valuation::singleton(1, LabelSet::singleton(Label(0)), 4);
+        let b = Valuation::singleton(1, LabelSet::singleton(Label(0)), 4);
+        let c = Valuation::singleton(1, LabelSet::singleton(Label(0)), 5);
+        assert!(!a.simple_with(&b));
+        assert!(a.simple_with(&c));
+    }
+
+    #[test]
+    fn insert_keeps_sorted_no_dupes() {
+        let mut v = Valuation::empty(1);
+        v.insert(LabelSet::singleton(Label(0)), 9);
+        v.insert(LabelSet::singleton(Label(0)), 3);
+        v.insert(LabelSet::singleton(Label(0)), 9);
+        assert_eq!(v.get(Label(0)), &[3, 9]);
+    }
+
+    #[test]
+    fn min_of_product_is_min_of_mins() {
+        // The window-filtering identity the engine relies on (§5).
+        let a = Valuation::singleton(2, LabelSet::singleton(Label(0)), 10);
+        let b = Valuation::singleton(2, LabelSet::singleton(Label(1)), 4);
+        assert_eq!(
+            a.product(&b).min_pos(),
+            std::cmp::min(a.min_pos(), b.min_pos())
+        );
+    }
+
+    #[test]
+    fn entries_iterates_label_order() {
+        let mut v = Valuation::empty(2);
+        v.insert(LabelSet::singleton(Label(1)), 2);
+        v.insert(LabelSet::singleton(Label(0)), 8);
+        let es: Vec<_> = v.entries().collect();
+        assert_eq!(es, vec![(Label(0), 8), (Label(1), 2)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cer-baselines — comparison evaluators
+//!
+//! Three baseline evaluators against which the paper's streaming engine
+//! (`cer-core`) is measured and differentially tested:
+//!
+//! * [`naive_runs`] — explicit run maintenance for arbitrary PCEA
+//!   (no factorization; update time grows with stored matches);
+//! * [`recompute`] — per-tuple re-evaluation of the conjunctive query
+//!   over a window buffer (the classic pre-automaton CER approach);
+//! * [`ccea_stream`] — a chain-specialized streaming evaluator in the
+//!   style of Grez & Riveros (ICDT 2020), the paper's reference \[16\].
+
+pub mod ccea_stream;
+pub mod naive_runs;
+pub mod recompute;
+
+pub use ccea_stream::CceaStreamEvaluator;
+pub use naive_runs::NaiveRunsEvaluator;
+pub use recompute::RecomputeEvaluator;

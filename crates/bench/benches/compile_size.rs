@@ -1,0 +1,42 @@
+//! E3 — compilation time and size (Theorem 4.1).
+//!
+//! Compiling a self-join-free star HCQ is fast and quadratic in size;
+//! the self-join construction grows exponentially with the per-relation
+//! atom multiplicity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cer_bench::{self_join_query_text, star_query_text};
+use cer_common::Schema;
+use cer_cq::compile::compile_hcq;
+use cer_cq::parser::parse_query;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_compile_star");
+    for k in [2usize, 8, 32] {
+        let text = star_query_text(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &text, |b, text| {
+            b.iter(|| {
+                let mut schema = Schema::new();
+                let q = parse_query(&mut schema, text).unwrap();
+                compile_hcq(&schema, &q).unwrap().pcea.size()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3_compile_self_join");
+    for m in [2usize, 4, 6] {
+        let text = self_join_query_text(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &text, |b, text| {
+            b.iter(|| {
+                let mut schema = Schema::new();
+                let q = parse_query(&mut schema, text).unwrap();
+                compile_hcq(&schema, &q).unwrap().pcea.size()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

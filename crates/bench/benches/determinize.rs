@@ -1,0 +1,23 @@
+//! E4 — PFA determinization (Proposition 3.2).
+//!
+//! The subset construction for the parallel-branch PFA family explores
+//! ~`2^n` reachable subsets: time (and states) grow exponentially in the
+//! number of branches, within the `2^|Q|` bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cer_bench::parallel_branch_pfa;
+
+fn bench_determinize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_determinize");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let p = parallel_branch_pfa(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p.to_dfa().num_states());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_determinize);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E2 — enumeration delay vs result count (Theorem 5.2).
+//!
+//! Enumerating `m` outputs from one position should take time linear in
+//! `m` (output-linear delay): the per-output cost stays flat as `m`
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cer_common::tuple::tup;
+use cer_common::Schema;
+use cer_core::StreamingEvaluator;
+use cer_cq::compile::compile_hcq;
+use cer_cq::parser::parse_query;
+
+fn primed_engine(m: usize) -> StreamingEvaluator {
+    let mut schema = Schema::new();
+    let q = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let pcea = compile_hcq(&schema, &q).unwrap().pcea;
+    let r = schema.relation("R").unwrap();
+    let s = schema.relation("S").unwrap();
+    let t = schema.relation("T").unwrap();
+    let mut engine = StreamingEvaluator::new(pcea, 1 << 20);
+    for _ in 0..m {
+        engine.push(&tup(s, [0i64, 7]));
+    }
+    engine.push(&tup(t, [0i64]));
+    engine.push(&tup(r, [0i64, 7]));
+    engine
+}
+
+fn bench_enumeration_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_enumeration_delay");
+    for m in [1usize, 16, 256, 4096] {
+        let engine = primed_engine(m);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut count = 0usize;
+                engine.for_each_output(|_| count += 1);
+                assert_eq!(count, m);
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration_delay);
+criterion_main!(benches);

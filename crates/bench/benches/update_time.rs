@@ -1,0 +1,33 @@
+//! E1 — update time vs window size (Theorem 5.1).
+//!
+//! The per-tuple update cost of the streaming engine should grow at most
+//! logarithmically in the window size `w`: the only `w`-dependent work is
+//! the leftist-heap meld (Proposition 5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cer_bench::star_workload;
+use cer_core::StreamingEvaluator;
+
+fn bench_update_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_update_time");
+    group.sample_size(10);
+    let events = 30_000usize;
+    for exp in [8u32, 12, 16, 20] {
+        let w = 1u64 << exp;
+        let wl = star_workload(3, events, 4, 4, 11);
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let mut engine = StreamingEvaluator::new(wl.pcea.clone(), w);
+                for t in &wl.stream {
+                    engine.push(t);
+                }
+                engine.stats().extends
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_time);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 — update time vs accumulated outputs (Theorem 5.1).
+//!
+//! "The update time does not depend on the number of outputs seen so
+//! far": pushing one more tuple into an engine that has already produced
+//! millions of outputs costs the same as into a fresh one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cer_bench::sigma0_workload;
+use cer_core::StreamingEvaluator;
+
+fn bench_update_vs_outputs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_update_vs_outputs");
+    group.sample_size(20);
+    for primed in [0usize, 10_000, 50_000] {
+        let wl = sigma0_workload(primed + 2_000, 2, 2, 33);
+        let mut engine = StreamingEvaluator::new(wl.pcea.clone(), 512);
+        for t in &wl.stream[..primed] {
+            engine.push(t);
+        }
+        let tail = &wl.stream[primed..];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(primed),
+            &primed,
+            |b, _| {
+                // Measure pushing the 2k-tuple tail into a clone of the
+                // primed engine (update phase only).
+                b.iter(|| {
+                    let mut e = engine.clone();
+                    for t in tail {
+                        e.push(t);
+                    }
+                    e.stats().extends
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_vs_outputs);
+criterion_main!(benches);

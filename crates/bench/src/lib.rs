@@ -1,0 +1,207 @@
+//! # cer-bench — benchmark harness
+//!
+//! Shared workload builders for the criterion benches and the `tables`
+//! binary. Each experiment of `DESIGN.md`'s per-experiment index (E1–E7)
+//! has a criterion bench (statistical timing) and a row-printer in
+//! `src/bin/tables.rs` (the tables recorded in `EXPERIMENTS.md`).
+
+use cer_automata::ccea::Ccea;
+use cer_automata::pcea::{Pcea, StateId};
+use cer_automata::pfa::Pfa;
+use cer_automata::predicate::{EqPredicate, UnaryPredicate};
+use cer_automata::valuation::{Label, LabelSet};
+use cer_common::gen::{ChainGen, Sigma0Gen, StarGen};
+use cer_common::{Schema, Stream, Tuple};
+use cer_cq::compile::compile_hcq;
+use cer_cq::parser::parse_query;
+use cer_cq::query::ConjunctiveQuery;
+
+/// The text of the star HCQ `Q(x, y1..yk) ← A0(x), A1(x,y1), …, Ak(x,yk)`.
+pub fn star_query_text(k: usize) -> String {
+    let body: Vec<String> = std::iter::once("A0(x)".to_string())
+        .chain((1..=k).map(|i| format!("A{i}(x, y{i})")))
+        .collect();
+    let head: Vec<String> = std::iter::once("x".to_string())
+        .chain((1..=k).map(|i| format!("y{i}")))
+        .collect();
+    format!("Q({}) <- {}", head.join(", "), body.join(", "))
+}
+
+/// The text of the self-join query `Q(x) ← T(x), …, T(x)` (m copies).
+pub fn self_join_query_text(m: usize) -> String {
+    format!("Q(x) <- {}", vec!["T(x)"; m].join(", "))
+}
+
+/// A compiled star query plus its stream generator and schema.
+pub struct StarWorkload {
+    /// The schema (relations `A0..Ak`).
+    pub schema: Schema,
+    /// The parsed query.
+    pub query: ConjunctiveQuery,
+    /// The compiled automaton.
+    pub pcea: Pcea,
+    /// Pre-generated stream.
+    pub stream: Vec<Tuple>,
+}
+
+/// Build the star workload: query of `k` satellites, `n` tuples with the
+/// given key domains (smaller = more matches).
+pub fn star_workload(k: usize, n: usize, x_domain: i64, y_domain: i64, seed: u64) -> StarWorkload {
+    let mut schema = Schema::new();
+    let mut gen = StarGen::build(&mut schema, k, seed)
+        .expect("fresh schema")
+        .with_domains(x_domain, y_domain);
+    let query = parse_query(&mut schema, &star_query_text(k)).expect("valid star query");
+    let pcea = compile_hcq(&schema, &query).expect("star queries are HCQ").pcea;
+    let stream: Vec<Tuple> = (0..n).map(|_| gen.next_tuple().expect("infinite")).collect();
+    StarWorkload {
+        schema,
+        query,
+        pcea,
+        stream,
+    }
+}
+
+/// The σ0 workload for `Q0(x,y) ← T(x), S(x,y), R(x,y)`.
+pub struct Sigma0Workload {
+    /// The schema (R, S, T).
+    pub schema: Schema,
+    /// The parsed query.
+    pub query: ConjunctiveQuery,
+    /// The compiled automaton.
+    pub pcea: Pcea,
+    /// Pre-generated stream.
+    pub stream: Vec<Tuple>,
+}
+
+/// Build the σ0 workload with the given domains.
+pub fn sigma0_workload(n: usize, x_domain: i64, y_domain: i64, seed: u64) -> Sigma0Workload {
+    let mut schema = Schema::new();
+    let query = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)")
+        .expect("valid query");
+    let pcea = compile_hcq(&schema, &query).expect("Q0 is HCQ").pcea;
+    let r = schema.relation("R").expect("R");
+    let s = schema.relation("S").expect("S");
+    let t = schema.relation("T").expect("T");
+    let mut gen = Sigma0Gen::new(r, s, t, seed).with_domains(x_domain, y_domain);
+    let stream: Vec<Tuple> = (0..n).map(|_| gen.next_tuple().expect("infinite")).collect();
+    Sigma0Workload {
+        schema,
+        query,
+        pcea,
+        stream,
+    }
+}
+
+/// A chain CCEA workload: `B0(a,b) ; B1(b,c) ; … ; B_{k-1}(·,·)` joined
+/// end-to-start, plus a matching stream.
+pub struct ChainWorkload {
+    /// The schema (B0..B_{k-1}).
+    pub schema: Schema,
+    /// The chain automaton.
+    pub ccea: Ccea,
+    /// Its PCEA embedding.
+    pub pcea: Pcea,
+    /// Pre-generated stream.
+    pub stream: Vec<Tuple>,
+}
+
+/// Build the chain workload with `k` steps and the given key domain.
+pub fn chain_workload(k: usize, n: usize, domain: i64, seed: u64) -> ChainWorkload {
+    assert!(k >= 2, "a chain needs at least two steps");
+    let mut schema = Schema::new();
+    let mut gen = ChainGen::build(&mut schema, k, seed)
+        .expect("fresh schema")
+        .with_domain(domain);
+    let rels = gen.relations.clone();
+    let mut ccea = Ccea::new(k, k);
+    ccea.set_initial(
+        StateId(0),
+        UnaryPredicate::Relation(rels[0]),
+        LabelSet::singleton(Label(0)),
+    );
+    for step in 1..k {
+        ccea.add_transition(
+            StateId(step as u32 - 1),
+            UnaryPredicate::Relation(rels[step]),
+            EqPredicate::on_positions(rels[step - 1], [1usize], rels[step], [0usize]),
+            LabelSet::singleton(Label(step as u32)),
+            StateId(step as u32),
+        );
+    }
+    ccea.mark_final(StateId(k as u32 - 1));
+    let pcea = ccea.to_pcea();
+    let stream: Vec<Tuple> = (0..n).map(|_| gen.next_tuple().expect("infinite")).collect();
+    ChainWorkload {
+        schema,
+        ccea,
+        pcea,
+        stream,
+    }
+}
+
+/// The parallel-branch PFA family for experiment E4: `n` branches that
+/// must each see their own symbol (in any order) before the joining
+/// symbol `n` — the subset construction must track each branch
+/// independently, giving ~`2^n` reachable subsets.
+pub fn parallel_branch_pfa(n: usize) -> Pfa {
+    // States: 2 per branch (waiting, done) + 1 joined.
+    let mut p = Pfa::new(2 * n + 1);
+    let joined = 2 * n;
+    let join_sym = n as u32;
+    for b in 0..n {
+        let (wait, done) = (2 * b, 2 * b + 1);
+        p.add_initial(wait);
+        for a in 0..=n as u32 {
+            p.add_transition(vec![wait], a, wait);
+            p.add_transition(vec![done], a, done);
+        }
+        p.add_transition(vec![wait], b as u32, done);
+    }
+    let all_done: Vec<usize> = (0..n).map(|b| 2 * b + 1).collect();
+    p.add_transition(all_done, join_sym, joined);
+    p.add_final(joined);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_workload_builds_and_matches() {
+        let w = star_workload(3, 200, 2, 2, 1);
+        let mut engine = cer_core::StreamingEvaluator::new(w.pcea, 32);
+        let total: usize = w.stream.iter().map(|t| engine.push_count(t)).sum();
+        assert!(total > 0, "dense star workload must produce matches");
+    }
+
+    #[test]
+    fn sigma0_workload_matches_q0() {
+        let w = sigma0_workload(300, 3, 3, 2);
+        let mut engine = cer_core::StreamingEvaluator::new(w.pcea, 32);
+        let total: usize = w.stream.iter().map(|t| engine.push_count(t)).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn chain_workload_agrees_between_engines() {
+        let w = chain_workload(3, 150, 3, 3);
+        let mut spec = cer_baselines::CceaStreamEvaluator::new(w.ccea, 16);
+        let mut gen = cer_core::StreamingEvaluator::new(w.pcea, 16);
+        for t in &w.stream {
+            assert_eq!(spec.push_count(t), gen.push_count(t));
+        }
+    }
+
+    #[test]
+    fn parallel_branch_pfa_language() {
+        let p = parallel_branch_pfa(3);
+        // Needs 0, 1, 2 (any order) then 3.
+        assert!(p.accepts(&[0, 1, 2, 3]));
+        assert!(p.accepts(&[2, 0, 1, 3]));
+        assert!(!p.accepts(&[0, 1, 3]));
+        let d = p.to_dfa();
+        assert!(d.num_states() >= 1 << 3, "subset growth is exponential");
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types shared across the workspace's data-model layer.
+
+use std::fmt;
+
+/// Errors raised while building schemas or tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommonError {
+    /// A relation name was registered twice with conflicting arities.
+    DuplicateRelation { name: String },
+    /// A tuple was built with the wrong number of values for its relation.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A relation name was referenced but never registered in the schema.
+    UnknownRelation { name: String },
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::DuplicateRelation { name } => {
+                write!(f, "relation {name:?} is already declared in the schema")
+            }
+            CommonError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tuple for relation {relation:?} has {got} values but arity is {expected}"
+            ),
+            CommonError::UnknownRelation { name } => {
+                write!(f, "relation {name:?} is not declared in the schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+/// Convenience alias used across the data-model layer.
+pub type Result<T> = std::result::Result<T, CommonError>;

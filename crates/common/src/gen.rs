@@ -1,0 +1,375 @@
+//! Synthetic workload generators.
+//!
+//! The paper is a pure-algorithms paper evaluated on abstract streams; this
+//! module provides the concrete stream families used throughout the
+//! examples, integration tests and benchmark harness:
+//!
+//! * [`sigma0_prefix`] — the exact 8-tuple prefix `S0` from Section 2;
+//! * [`Sigma0Gen`] — an unbounded extension of `S0` with controllable join
+//!   selectivity, for the Q0 workload (experiments E1/E5/E6);
+//! * [`StarGen`] — streams for star HCQs `Q(x,y1..yk) ← A0(x), Ai(x,yi)`,
+//!   the canonical hierarchical family (experiment E3);
+//! * [`ChainGen`] — streams for chain (sequencing) queries matched by CCEA
+//!   (experiment E7);
+//! * [`StockGen`] / [`SensorGen`] — the domain-flavoured workloads that the
+//!   paper's introduction motivates (stock correlation, sensor fusion),
+//!   used by the runnable examples.
+//!
+//! All generators implement [`Stream`](crate::stream::Stream) and are
+//! deterministic given a seed, so experiments are reproducible.
+
+use crate::schema::{RelationId, Schema};
+use crate::stream::Stream;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's running example stream `S0` (positions 0..=7):
+/// `S(2,11) T(2) R(1,10) S(2,11) T(1) R(2,11) S(4,13) T(1)`.
+pub fn sigma0_prefix(r: RelationId, s: RelationId, t: RelationId) -> Vec<Tuple> {
+    let i = |x: i64| Value::Int(x);
+    vec![
+        Tuple::new(s, vec![i(2), i(11)]),
+        Tuple::new(t, vec![i(2)]),
+        Tuple::new(r, vec![i(1), i(10)]),
+        Tuple::new(s, vec![i(2), i(11)]),
+        Tuple::new(t, vec![i(1)]),
+        Tuple::new(r, vec![i(2), i(11)]),
+        Tuple::new(s, vec![i(4), i(13)]),
+        Tuple::new(t, vec![i(1)]),
+    ]
+}
+
+/// Unbounded random stream over the σ0 schema for the query
+/// `Q0(x,y) ← T(x), S(x,y), R(x,y)`.
+///
+/// Each emitted tuple draws `x` from `0..x_domain` and `y` from
+/// `0..y_domain`; smaller domains mean more joins (higher selectivity).
+#[derive(Clone, Debug)]
+pub struct Sigma0Gen {
+    r: RelationId,
+    s: RelationId,
+    t: RelationId,
+    /// Domain size for the `x` attribute.
+    pub x_domain: i64,
+    /// Domain size for the `y` attribute.
+    pub y_domain: i64,
+    rng: SmallRng,
+}
+
+impl Sigma0Gen {
+    /// Create a generator over the given σ0 relation ids.
+    pub fn new(r: RelationId, s: RelationId, t: RelationId, seed: u64) -> Self {
+        Sigma0Gen {
+            r,
+            s,
+            t,
+            x_domain: 16,
+            y_domain: 16,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Set domain sizes (selectivity knobs).
+    pub fn with_domains(mut self, x_domain: i64, y_domain: i64) -> Self {
+        assert!(x_domain > 0 && y_domain > 0, "domains must be non-empty");
+        self.x_domain = x_domain;
+        self.y_domain = y_domain;
+        self
+    }
+}
+
+impl Stream for Sigma0Gen {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let x = Value::Int(self.rng.gen_range(0..self.x_domain));
+        let y = Value::Int(self.rng.gen_range(0..self.y_domain));
+        let t = match self.rng.gen_range(0..3u8) {
+            0 => Tuple::new(self.t, vec![x]),
+            1 => Tuple::new(self.s, vec![x, y]),
+            _ => Tuple::new(self.r, vec![x, y]),
+        };
+        Some(t)
+    }
+}
+
+/// Stream generator for star queries
+/// `Q(x, y1, …, yk) ← A0(x), A1(x,y1), …, Ak(x,yk)`.
+///
+/// Star queries are the canonical hierarchical family: every satellite
+/// variable `yi` occurs in exactly one atom and the centre `x` in all.
+#[derive(Clone, Debug)]
+pub struct StarGen {
+    /// `A0` (the unary centre relation) followed by the k satellites.
+    pub relations: Vec<RelationId>,
+    /// Domain for the shared centre attribute `x`.
+    pub x_domain: i64,
+    /// Domain for satellite attributes `yi`.
+    pub y_domain: i64,
+    rng: SmallRng,
+}
+
+impl StarGen {
+    /// Build the star schema `A0/1, A1/2, …, Ak/2` and its generator.
+    pub fn build(schema: &mut Schema, k: usize, seed: u64) -> crate::Result<Self> {
+        let mut relations = Vec::with_capacity(k + 1);
+        relations.push(schema.add_relation("A0", 1)?);
+        for i in 1..=k {
+            relations.push(schema.add_relation(&format!("A{i}"), 2)?);
+        }
+        Ok(StarGen {
+            relations,
+            x_domain: 16,
+            y_domain: 16,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Set domain sizes (selectivity knobs).
+    pub fn with_domains(mut self, x_domain: i64, y_domain: i64) -> Self {
+        assert!(x_domain > 0 && y_domain > 0, "domains must be non-empty");
+        self.x_domain = x_domain;
+        self.y_domain = y_domain;
+        self
+    }
+}
+
+impl Stream for StarGen {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let which = self.rng.gen_range(0..self.relations.len());
+        let x = Value::Int(self.rng.gen_range(0..self.x_domain));
+        let t = if which == 0 {
+            Tuple::new(self.relations[0], vec![x])
+        } else {
+            let y = Value::Int(self.rng.gen_range(0..self.y_domain));
+            Tuple::new(self.relations[which], vec![x, y])
+        };
+        Some(t)
+    }
+}
+
+/// Stream generator for chain (sequencing) workloads matched by CCEA:
+/// relations `B0(x), B1(x,x'), …` emitted uniformly with shared key domain.
+#[derive(Clone, Debug)]
+pub struct ChainGen {
+    /// The chain relations `B0/2, …, B_{k-1}/2`.
+    pub relations: Vec<RelationId>,
+    /// Shared key domain.
+    pub domain: i64,
+    rng: SmallRng,
+}
+
+impl ChainGen {
+    /// Build the chain schema `B0/2 … B_{k-1}/2` and its generator.
+    pub fn build(schema: &mut Schema, k: usize, seed: u64) -> crate::Result<Self> {
+        let mut relations = Vec::with_capacity(k);
+        for i in 0..k {
+            relations.push(schema.add_relation(&format!("B{i}"), 2)?);
+        }
+        Ok(ChainGen {
+            relations,
+            domain: 16,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Set the key domain (selectivity knob).
+    pub fn with_domain(mut self, domain: i64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        self.domain = domain;
+        self
+    }
+}
+
+impl Stream for ChainGen {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let which = self.rng.gen_range(0..self.relations.len());
+        let a = Value::Int(self.rng.gen_range(0..self.domain));
+        let b = Value::Int(self.rng.gen_range(0..self.domain));
+        Some(Tuple::new(self.relations[which], vec![a, b]))
+    }
+}
+
+/// Stock-market workload: `BUY(ticker, price)`, `SELL(ticker, price)`,
+/// `ALERT(ticker)` events over a set of tickers with a random-walk price.
+///
+/// The motivating query is the HCQ
+/// `Spike(x,p,q) ← ALERT(x), BUY(x,p), SELL(x,q)`:
+/// "an alerted ticker with both a buy and a sell in the window".
+#[derive(Clone, Debug)]
+pub struct StockGen {
+    /// Relation ids `(BUY, SELL, ALERT)`.
+    pub buy: RelationId,
+    /// SELL relation id.
+    pub sell: RelationId,
+    /// ALERT relation id.
+    pub alert: RelationId,
+    tickers: Vec<&'static str>,
+    prices: Vec<f64>,
+    /// Probability (per mille) of an ALERT event.
+    pub alert_per_mille: u32,
+    rng: SmallRng,
+}
+
+/// Ticker universe for [`StockGen`].
+pub const TICKERS: [&str; 8] = ["AAPL", "MSFT", "GOOG", "AMZN", "TSLA", "META", "NVDA", "INTC"];
+
+impl StockGen {
+    /// Build the stock schema `BUY/2, SELL/2, ALERT/1` and its generator.
+    pub fn build(schema: &mut Schema, seed: u64) -> crate::Result<Self> {
+        Ok(StockGen {
+            buy: schema.add_relation("BUY", 2)?,
+            sell: schema.add_relation("SELL", 2)?,
+            alert: schema.add_relation("ALERT", 1)?,
+            tickers: TICKERS.to_vec(),
+            prices: vec![100.0; TICKERS.len()],
+            alert_per_mille: 50,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl Stream for StockGen {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let i = self.rng.gen_range(0..self.tickers.len());
+        let ticker = Value::from(self.tickers[i]);
+        // Random-walk price, clamped away from zero.
+        self.prices[i] = (self.prices[i] + self.rng.gen_range(-1.0..1.0)).max(1.0);
+        let price = Value::fixed(self.prices[i]);
+        let roll = self.rng.gen_range(0..1000u32);
+        let t = if roll < self.alert_per_mille {
+            Tuple::new(self.alert, vec![ticker])
+        } else if roll % 2 == 0 {
+            Tuple::new(self.buy, vec![ticker, price])
+        } else {
+            Tuple::new(self.sell, vec![ticker, price])
+        };
+        Some(t)
+    }
+}
+
+/// Sensor-network workload: `TEMP(node, c)`, `SMOKE(node, ppm)`,
+/// `ALARM(node)` for the fire-detection HCQ
+/// `Fire(n,c,p) ← ALARM(n), TEMP(n,c), SMOKE(n,p)`.
+#[derive(Clone, Debug)]
+pub struct SensorGen {
+    /// TEMP relation id.
+    pub temp: RelationId,
+    /// SMOKE relation id.
+    pub smoke: RelationId,
+    /// ALARM relation id.
+    pub alarm: RelationId,
+    /// Number of sensor nodes.
+    pub nodes: i64,
+    /// Probability (per mille) of an ALARM event.
+    pub alarm_per_mille: u32,
+    rng: SmallRng,
+}
+
+impl SensorGen {
+    /// Build the sensor schema `TEMP/2, SMOKE/2, ALARM/1` and its generator.
+    pub fn build(schema: &mut Schema, nodes: i64, seed: u64) -> crate::Result<Self> {
+        assert!(nodes > 0, "need at least one sensor node");
+        Ok(SensorGen {
+            temp: schema.add_relation("TEMP", 2)?,
+            smoke: schema.add_relation("SMOKE", 2)?,
+            alarm: schema.add_relation("ALARM", 1)?,
+            nodes,
+            alarm_per_mille: 20,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl Stream for SensorGen {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let node = Value::Int(self.rng.gen_range(0..self.nodes));
+        let roll = self.rng.gen_range(0..1000u32);
+        let t = if roll < self.alarm_per_mille {
+            Tuple::new(self.alarm, vec![node])
+        } else if roll % 2 == 0 {
+            let c = Value::Int(self.rng.gen_range(15..90));
+            Tuple::new(self.temp, vec![node, c])
+        } else {
+            let ppm = Value::Int(self.rng.gen_range(0..500));
+            Tuple::new(self.smoke, vec![node, ppm])
+        };
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamExt;
+
+    #[test]
+    fn sigma0_prefix_matches_paper() {
+        let (schema, r, s, t) = Schema::sigma0();
+        let pre = sigma0_prefix(r, s, t);
+        assert_eq!(pre.len(), 8);
+        assert_eq!(pre[1].display(&schema).to_string(), "T(2)");
+        assert_eq!(pre[5].display(&schema).to_string(), "R(2, 11)");
+        assert_eq!(pre[3], pre[0], "S(2,11) repeats at positions 0 and 3");
+    }
+
+    #[test]
+    fn sigma0_gen_is_deterministic() {
+        let (_, r, s, t) = Schema::sigma0();
+        let a = Sigma0Gen::new(r, s, t, 7).take_tuples(100);
+        let b = Sigma0Gen::new(r, s, t, 7).take_tuples(100);
+        assert_eq!(a, b);
+        let c = Sigma0Gen::new(r, s, t, 8).take_tuples(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn star_gen_emits_all_relations() {
+        let mut schema = Schema::new();
+        let mut g = StarGen::build(&mut schema, 3, 1).unwrap();
+        let ts = g.take_tuples(500);
+        for rel in &g.relations {
+            assert!(
+                ts.iter().any(|t| t.relation() == *rel),
+                "relation {rel:?} never emitted"
+            );
+        }
+        // A0 tuples are unary, satellites binary.
+        for t in &ts {
+            let expected = if t.relation() == g.relations[0] { 1 } else { 2 };
+            assert_eq!(t.arity(), expected);
+        }
+    }
+
+    #[test]
+    fn chain_gen_respects_domain() {
+        let mut schema = Schema::new();
+        let mut g = ChainGen::build(&mut schema, 2, 3).unwrap().with_domain(4);
+        for t in g.take_tuples(200) {
+            for v in t.values() {
+                let x = v.as_int().unwrap();
+                assert!((0..4).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn stock_gen_produces_alerts_and_trades() {
+        let mut schema = Schema::new();
+        let mut g = StockGen::build(&mut schema, 11).unwrap();
+        let ts = g.take_tuples(2000);
+        assert!(ts.iter().any(|t| t.relation() == g.alert));
+        assert!(ts.iter().any(|t| t.relation() == g.buy));
+        assert!(ts.iter().any(|t| t.relation() == g.sell));
+    }
+
+    #[test]
+    fn sensor_gen_values_in_range() {
+        let mut schema = Schema::new();
+        let mut g = SensorGen::build(&mut schema, 5, 13).unwrap();
+        for t in g.take_tuples(500) {
+            let node = t.get(0).as_int().unwrap();
+            assert!((0..5).contains(&node));
+        }
+    }
+}

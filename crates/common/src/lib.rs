@@ -1,0 +1,41 @@
+//! # cer-common — data model for complex event recognition
+//!
+//! This crate provides the substrate shared by every other crate in the
+//! workspace: the set of data values `D`, relational schemas, tuples, and
+//! (unbounded) streams of tuples, exactly as defined in Section 2 of
+//! *Complex event recognition meets hierarchical conjunctive queries*
+//! (Pinto & Riveros, PODS 2024).
+//!
+//! It also ships the synthetic workload generators used by the examples,
+//! tests and benchmark harness (`gen` module): the paper evaluates a pure
+//! algorithm, so streams are synthesized with controllable selectivity and
+//! skew rather than replayed from proprietary traces.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use cer_common::{Schema, Tuple, Value};
+//!
+//! // The running-example schema σ0 of the paper: R/2, S/2, T/1.
+//! let mut schema = Schema::new();
+//! let r = schema.add_relation("R", 2).unwrap();
+//! let t = schema.add_relation("T", 1).unwrap();
+//! let tup = Tuple::new(r, vec![Value::Int(2), Value::Int(11)]);
+//! assert_eq!(schema.arity(r), 2);
+//! assert_eq!(tup.arity(), 2);
+//! assert_ne!(r, t);
+//! ```
+
+pub mod error;
+pub mod gen;
+pub mod hash;
+pub mod schema;
+pub mod stream;
+pub mod tuple;
+pub mod value;
+
+pub use error::{CommonError, Result};
+pub use schema::{RelationId, Schema};
+pub use stream::{SliceStream, Stream, StreamExt, VecStream};
+pub use tuple::Tuple;
+pub use value::Value;

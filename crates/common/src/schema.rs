@@ -1,0 +1,185 @@
+//! Relational schemas: the pair `(T, arity)` of the paper.
+//!
+//! Relation names are interned to dense integer ids (`RelationId`) so that
+//! the hot path of the streaming engine never hashes strings: a tuple
+//! carries its `RelationId`, and predicates compare ids.
+
+use crate::error::{CommonError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for a relation name in a [`Schema`].
+///
+/// Ids are assigned in registration order starting at 0, which lets
+/// automata index per-relation tables by `RelationId` directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// A relational schema `σ = (T, arity)`.
+///
+/// ```
+/// use cer_common::Schema;
+/// let mut sigma = Schema::new();
+/// let r = sigma.add_relation("R", 2).unwrap();
+/// assert_eq!(sigma.arity(r), 2);
+/// assert_eq!(sigma.name(r), "R");
+/// assert_eq!(sigma.relation("R"), Some(r));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    names: Vec<Box<str>>,
+    arities: Vec<usize>,
+    by_name: HashMap<Box<str>, RelationId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a relation name with its arity, returning its id.
+    ///
+    /// Registering the same name with the same arity is idempotent;
+    /// conflicting arities are an error.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelationId> {
+        if let Some(&id) = self.by_name.get(name) {
+            if self.arities[id.index()] == arity {
+                return Ok(id);
+            }
+            return Err(CommonError::DuplicateRelation {
+                name: name.to_string(),
+            });
+        }
+        let id = RelationId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.arities.push(arity);
+        self.by_name.insert(name.into(), id);
+        Ok(id)
+    }
+
+    /// Look up a relation id by name.
+    pub fn relation(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a relation id by name, erroring when absent.
+    pub fn require(&self, name: &str) -> Result<RelationId> {
+        self.relation(name).ok_or_else(|| CommonError::UnknownRelation {
+            name: name.to_string(),
+        })
+    }
+
+    /// The arity of a relation.
+    #[inline]
+    pub fn arity(&self, id: RelationId) -> usize {
+        self.arities[id.index()]
+    }
+
+    /// The human-readable name of a relation.
+    #[inline]
+    pub fn name(&self, id: RelationId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all relation ids in registration order.
+    pub fn relations(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.names.len() as u32).map(RelationId)
+    }
+
+    /// Build the paper's running-example schema σ0 with `R/2, S/2, T/1`.
+    ///
+    /// Returned ids are in the order `(R, S, T)`.
+    pub fn sigma0() -> (Schema, RelationId, RelationId, RelationId) {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2).expect("fresh schema");
+        let t_s = s.add_relation("S", 2).expect("fresh schema");
+        let t = s.add_relation("T", 1).expect("fresh schema");
+        (s, r, t_s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_dense_ids() {
+        let mut s = Schema::new();
+        let a = s.add_relation("A", 1).unwrap();
+        let b = s.add_relation("B", 3).unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity(b), 3);
+        assert_eq!(s.name(a), "A");
+    }
+
+    #[test]
+    fn idempotent_reregistration() {
+        let mut s = Schema::new();
+        let a1 = s.add_relation("A", 2).unwrap();
+        let a2 = s.add_relation("A", 2).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_arity_is_an_error() {
+        let mut s = Schema::new();
+        s.add_relation("A", 2).unwrap();
+        let err = s.add_relation("A", 3).unwrap_err();
+        assert!(matches!(err, CommonError::DuplicateRelation { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_lookup() {
+        let s = Schema::new();
+        assert_eq!(s.relation("Z"), None);
+        assert!(s.require("Z").is_err());
+    }
+
+    #[test]
+    fn sigma0_matches_paper() {
+        let (s, r, ss, t) = Schema::sigma0();
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.arity(ss), 2);
+        assert_eq!(s.arity(t), 1);
+        assert_eq!(s.name(r), "R");
+        assert_eq!(s.name(ss), "S");
+        assert_eq!(s.name(t), "T");
+    }
+
+    #[test]
+    fn relations_iterates_in_order() {
+        let mut s = Schema::new();
+        s.add_relation("A", 1).unwrap();
+        s.add_relation("B", 1).unwrap();
+        let ids: Vec<_> = s.relations().collect();
+        assert_eq!(ids, vec![RelationId(0), RelationId(1)]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Streams: unbounded sequences of tuples, consumed via `yield[S]`.
+//!
+//! The paper models a stream `S = t0 t1 t2 …` as an infinite sequence and
+//! assumes a method `yield[S]` whose i-th call retrieves `t_i`. The
+//! [`Stream`] trait is exactly that interface; finite test streams simply
+//! stop yielding.
+
+use crate::tuple::Tuple;
+
+/// An (possibly unbounded) source of tuples.
+///
+/// `next_tuple` plays the role of the paper's `yield[S]`: the i-th call
+/// returns `t_i`. Finite streams return `None` once exhausted; the
+/// evaluation loop then terminates.
+pub trait Stream {
+    /// Retrieve the next tuple, or `None` if the stream is exhausted.
+    fn next_tuple(&mut self) -> Option<Tuple>;
+}
+
+/// Blanket adapter so any `Iterator<Item = Tuple>` is a [`Stream`].
+impl<I: Iterator<Item = Tuple>> Stream for I {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        self.next()
+    }
+}
+
+/// A finite in-memory stream backed by a `Vec<Tuple>`.
+#[derive(Clone, Debug)]
+pub struct VecStream {
+    tuples: Vec<Tuple>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// Wrap a vector of tuples as a stream.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        VecStream { tuples, pos: 0 }
+    }
+
+    /// Number of tuples remaining.
+    pub fn remaining(&self) -> usize {
+        self.tuples.len() - self.pos
+    }
+
+    /// The full backing slice (including already-consumed tuples).
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.tuples
+    }
+}
+
+impl Stream for VecStream {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = self.tuples.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(t)
+    }
+}
+
+/// A borrowed finite stream over a slice of tuples.
+#[derive(Clone, Debug)]
+pub struct SliceStream<'a> {
+    tuples: &'a [Tuple],
+    pos: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Wrap a slice of tuples as a stream.
+    pub fn new(tuples: &'a [Tuple]) -> Self {
+        SliceStream { tuples, pos: 0 }
+    }
+}
+
+impl Stream for SliceStream<'_> {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = self.tuples.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(t)
+    }
+}
+
+/// Extension helpers over any [`Stream`].
+pub trait StreamExt: Stream + Sized {
+    /// Collect up to `n` tuples into a vector (fewer if exhausted).
+    fn take_tuples(&mut self, n: usize) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next_tuple() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl<S: Stream> StreamExt for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::tup;
+
+    #[test]
+    fn vec_stream_yields_in_order() {
+        let (_, r, _, _) = Schema::sigma0();
+        let ts = vec![tup(r, [1i64, 2]), tup(r, [3i64, 4])];
+        let mut s = VecStream::new(ts.clone());
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_tuple(), Some(ts[0].clone()));
+        assert_eq!(s.next_tuple(), Some(ts[1].clone()));
+        assert_eq!(s.next_tuple(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_stream_does_not_consume_backing() {
+        let (_, r, _, _) = Schema::sigma0();
+        let ts = vec![tup(r, [1i64, 2])];
+        let mut s = SliceStream::new(&ts);
+        assert!(s.next_tuple().is_some());
+        assert!(s.next_tuple().is_none());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn iterators_are_streams() {
+        let (_, r, _, _) = Schema::sigma0();
+        let ts = vec![tup(r, [1i64, 2]), tup(r, [3i64, 4]), tup(r, [5i64, 6])];
+        let mut it = ts.clone().into_iter();
+        let got = it.take_tuples(10);
+        assert_eq!(got, ts);
+    }
+
+    #[test]
+    fn take_tuples_respects_limit() {
+        let (_, r, _, _) = Schema::sigma0();
+        let ts: Vec<_> = (0..10).map(|i| tup(r, [i as i64, i as i64])).collect();
+        let mut s = VecStream::new(ts);
+        assert_eq!(s.take_tuples(3).len(), 3);
+        assert_eq!(s.remaining(), 7);
+    }
+}

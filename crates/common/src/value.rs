@@ -1,0 +1,168 @@
+//! Data values: the set `D` of the paper.
+//!
+//! The paper fixes an abstract domain `D` of data values and measures the
+//! size of a tuple as the sum of the sizes of its values. We instantiate `D`
+//! with a small algebraic type covering the domains that CER systems
+//! actually stream (integers, symbols/strings, booleans, fixed-point
+//! prices). Equality joins (`Beq`) need `Eq + Hash`, so floating point is
+//! represented as a total-ordered fixed-point wrapper.
+
+use std::fmt;
+
+/// A single data value from the domain `D`.
+///
+/// `Value` is `Eq + Ord + Hash` so that it can serve directly as (part of)
+/// an equality-join key in the streaming engine's look-up table `H`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A 64-bit integer (the paper's examples use `D = N`).
+    Int(i64),
+    /// An interned or owned symbolic value (e.g. a stock ticker).
+    Str(Box<str>),
+    /// A boolean flag.
+    Bool(bool),
+    /// A fixed-point decimal with 4 fractional digits (e.g. a price).
+    ///
+    /// Stored as `round(x * 10_000)`, which keeps `Eq`/`Hash` total and
+    /// well-defined — a requirement for equality predicates in `Beq`.
+    Fixed(i64),
+}
+
+impl Value {
+    /// Construct a fixed-point value from a float, rounding to 4 decimals.
+    pub fn fixed(x: f64) -> Self {
+        Value::Fixed((x * 10_000.0).round() as i64)
+    }
+
+    /// Convert a fixed-point value back to a float (lossy for the others).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Fixed(i) => Some(*i as f64 / 10_000.0),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The size `|a|` of the value under the paper's size measure.
+    ///
+    /// The RAM model charges linear time in the size of a tuple for unary
+    /// predicates and key extraction; scalar values have unit size and
+    /// strings are charged one unit per 8 bytes (one machine word).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Bool(_) | Value::Fixed(_) => 1,
+            Value::Str(s) => 1 + s.len() / 8,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Fixed(i) => write!(f, "{}", *i as f64 / 10_000.0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.into())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s.into_boxed_str())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_roundtrip_and_equality() {
+        let a = Value::from(42);
+        let b = Value::Int(42);
+        assert_eq!(a, b);
+        assert_eq!(a.as_int(), Some(42));
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn fixed_point_is_total_and_stable() {
+        let a = Value::fixed(10.5);
+        let b = Value::fixed(10.5);
+        let c = Value::fixed(10.5001);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_f64(), Some(10.5));
+        assert!(a < c);
+    }
+
+    #[test]
+    fn sizes_follow_word_measure() {
+        assert_eq!(Value::Int(7).size(), 1);
+        assert_eq!(Value::Bool(true).size(), 1);
+        assert_eq!(Value::from("AAPL").size(), 1);
+        let long = "x".repeat(64);
+        assert_eq!(Value::from(long).size(), 9);
+    }
+
+    #[test]
+    fn distinct_variants_never_equal() {
+        assert_ne!(Value::Int(1), Value::Fixed(1));
+        assert_ne!(Value::Int(0), Value::Bool(false));
+        assert_ne!(Value::from("1"), Value::Int(1));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::from("a").to_string(), "\"a\"");
+        assert_eq!(Value::fixed(2.25).to_string(), "2.25");
+    }
+}

@@ -1,0 +1,416 @@
+//! The enumeration data structure `DS_w` (Section 5).
+//!
+//! `DS_w` represents bags of valuations compactly: each node carries a
+//! pair `(L, i)` (labels marking position `i`), a *product* list `prod`
+//! (the bag `⟦n⟧_prod = {{ν_{L,i}}} ⊕ ⨁_{n′∈prod} ⟦n′⟧`), and two *union*
+//! links `uleft`/`uright` (`⟦n⟧ = ⟦n⟧_prod ∪ ⟦uleft⟧ ∪ ⟦uright⟧`). The
+//! per-node value `max-start(n) = max{min(ν) | ν ∈ ⟦n⟧_prod}` supports
+//! sliding-window pruning: the bag `⟦n⟧^w_i` is non-empty iff
+//! `i − max-start(n) ≤ w`, and the heap condition (‡)
+//! (`max-start(n) ≥ max-start(uleft/uright(n))`) makes the check
+//! hereditary.
+//!
+//! Nodes live in an arena and are never mutated (full persistence, as
+//! Proposition 5.3 requires): [`EnumStructure::union`] is a persistent
+//! *leftist max-heap meld* on `max-start`, copying `O(log n)` nodes per
+//! call — the same bound as the paper's direction-bit balanced tree, with
+//! a heap invariant that is easier to verify. Melding also drops subtrees
+//! that have slid out of the window (the paper's
+//! `|max-start(n1) − i(n2)| > w ⇒ union(n1,n2) = n2` case), which bounds
+//! live union-tree sizes by `O(k·w)`.
+
+use cer_automata::valuation::LabelSet;
+
+/// Index of a node in the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+/// The bottom node `⊥` (empty bag).
+pub const BOTTOM: NodeId = NodeId(u32::MAX);
+
+impl NodeId {
+    /// Whether this is `⊥`.
+    #[inline]
+    pub fn is_bottom(self) -> bool {
+        self == BOTTOM
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An immutable `DS_w` node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Labels `L(n)` marking position `i(n)`.
+    pub labels: LabelSet,
+    /// Stream position `i(n)`.
+    pub pos: u64,
+    /// `max{min(ν) | ν ∈ ⟦n⟧_prod}`.
+    pub max_start: u64,
+    /// Leftist rank (s-value) of the union tree rooted here.
+    pub rank: u32,
+    /// Product children.
+    pub prod: Box<[NodeId]>,
+    /// Left union link.
+    pub uleft: NodeId,
+    /// Right union link.
+    pub uright: NodeId,
+}
+
+/// The arena of `DS_w` nodes.
+#[derive(Clone, Debug, Default)]
+pub struct EnumStructure {
+    nodes: Vec<Node>,
+}
+
+impl EnumStructure {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes ever allocated (until compaction).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// `max-start` with `⊥ ↦ 0` (never in any window).
+    #[inline]
+    pub fn max_start(&self, id: NodeId) -> u64 {
+        if id.is_bottom() {
+            0
+        } else {
+            self.nodes[id.index()].max_start
+        }
+    }
+
+    #[inline]
+    fn rank(&self, id: NodeId) -> u32 {
+        if id.is_bottom() {
+            0
+        } else {
+            self.nodes[id.index()].rank
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        assert!(self.nodes.len() < u32::MAX as usize, "arena full");
+        self.nodes.push(node);
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// The paper's `extend(L, i, N)`: a fresh node `n_e` with
+    /// `⟦n_e⟧ = {{ν_{L,i}}} ⊕ ⨁_{n∈N} ⟦n⟧` and
+    /// `max-start(n_e) = min(i, min_N max-start)`. Runs in `O(|N|)`.
+    ///
+    /// Requires `pos(n) < i` for every `n ∈ N` (runs only gather strictly
+    /// earlier runs).
+    pub fn extend(&mut self, labels: LabelSet, pos: u64, prod: &[NodeId]) -> NodeId {
+        debug_assert!(
+            prod.iter().all(|&n| self.node(n).pos < pos),
+            "extend gathers strictly earlier nodes"
+        );
+        let max_start = prod
+            .iter()
+            .map(|&n| self.max_start(n))
+            .min()
+            .map_or(pos, |m| m.min(pos));
+        self.push(Node {
+            labels,
+            pos,
+            max_start,
+            rank: 1,
+            prod: prod.into(),
+            uleft: BOTTOM,
+            uright: BOTTOM,
+        })
+    }
+
+    /// The paper's `union(n1, n2)`: a node `n_u` with
+    /// `⟦n_u⟧^w_i = ⟦n1⟧^w_i ∪ ⟦n2⟧^w_i`, fully persistent.
+    ///
+    /// Implemented as a leftist max-heap meld on `max-start`; subtrees
+    /// whose `max-start` has fallen below `window_lo` (i.e. `< i − w`)
+    /// are dropped, so only live nodes are retained. `O(log(k·w))` copies
+    /// per call.
+    pub fn union(&mut self, n1: NodeId, n2: NodeId, window_lo: u64) -> NodeId {
+        self.meld(n1, n2, window_lo)
+    }
+
+    fn meld(&mut self, a: NodeId, b: NodeId, lo: u64) -> NodeId {
+        // Expired subtrees are empty under every future window: by (‡)
+        // all their descendants are expired too.
+        let a = if !a.is_bottom() && self.max_start(a) < lo {
+            BOTTOM
+        } else {
+            a
+        };
+        let b = if !b.is_bottom() && self.max_start(b) < lo {
+            BOTTOM
+        } else {
+            b
+        };
+        if a.is_bottom() {
+            return b;
+        }
+        if b.is_bottom() {
+            return a;
+        }
+        // Root = larger max-start (condition ‡).
+        let (top, other) = if self.max_start(a) >= self.max_start(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let new_right = self.meld(self.nodes[top.index()].uright, other, lo);
+        let old_left = self.nodes[top.index()].uleft;
+        // Leftist property: rank(left) ≥ rank(right).
+        let (uleft, uright) = if self.rank(old_left) >= self.rank(new_right) {
+            (old_left, new_right)
+        } else {
+            (new_right, old_left)
+        };
+        let t = &self.nodes[top.index()];
+        let node = Node {
+            labels: t.labels,
+            pos: t.pos,
+            max_start: t.max_start,
+            rank: self.rank(uright) + 1,
+            prod: t.prod.clone(),
+            uleft,
+            uright,
+        };
+        self.push(node)
+    }
+
+    /// Check the structural invariants below `root`: heap condition (‡),
+    /// leftist ranks, product children strictly earlier and live relative
+    /// to their parent's `max-start`. Test support.
+    pub fn check_invariants(&self, root: NodeId) -> Result<(), String> {
+        if root.is_bottom() {
+            return Ok(());
+        }
+        let n = self.node(root);
+        for &u in [n.uleft, n.uright].iter() {
+            if u.is_bottom() {
+                continue;
+            }
+            if self.max_start(u) > n.max_start {
+                return Err(format!(
+                    "heap violation: child max-start {} > parent {}",
+                    self.max_start(u),
+                    n.max_start
+                ));
+            }
+            self.check_invariants(u)?;
+        }
+        if self.rank(n.uleft) < self.rank(n.uright) {
+            return Err("leftist violation: rank(left) < rank(right)".into());
+        }
+        if n.rank != self.rank(n.uright) + 1 {
+            return Err(format!(
+                "rank bookkeeping: {} != {} + 1",
+                n.rank,
+                self.rank(n.uright)
+            ));
+        }
+        for &c in n.prod.iter() {
+            if self.node(c).pos >= n.pos {
+                return Err("product child not strictly earlier".into());
+            }
+            if self.max_start(c) < n.max_start {
+                return Err("product child max-start below parent's".into());
+            }
+            self.check_invariants(c)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the arena keeping only nodes reachable from `roots` whose
+    /// `max-start ≥ window_lo`, remapping ids in place in `roots`.
+    ///
+    /// Union links to expired subtrees become `⊥` (their bags are empty
+    /// in every window at or after the current position); leftist ranks
+    /// are recomputed. Product children of a live node are always live
+    /// (`max-start(parent) ≤ max-start(child)`), so products never dangle.
+    pub fn compact(&mut self, roots: &mut [&mut NodeId], window_lo: u64) {
+        let mut fresh = EnumStructure::new();
+        let mut remap: cer_common::hash::FxHashMap<NodeId, NodeId> =
+            cer_common::hash::FxHashMap::default();
+        for r in roots.iter_mut() {
+            **r = self.copy_live(**r, window_lo, &mut fresh, &mut remap);
+        }
+        *self = fresh;
+    }
+
+    fn copy_live(
+        &self,
+        id: NodeId,
+        lo: u64,
+        fresh: &mut EnumStructure,
+        remap: &mut cer_common::hash::FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if id.is_bottom() || self.max_start(id) < lo {
+            return BOTTOM;
+        }
+        if let Some(&new) = remap.get(&id) {
+            return new;
+        }
+        let n = self.node(id).clone();
+        let prod: Box<[NodeId]> = n
+            .prod
+            .iter()
+            .map(|&c| self.copy_live(c, lo, fresh, remap))
+            .collect();
+        debug_assert!(prod.iter().all(|c| !c.is_bottom()), "live product child");
+        let mut uleft = self.copy_live(n.uleft, lo, fresh, remap);
+        let mut uright = self.copy_live(n.uright, lo, fresh, remap);
+        if fresh.rank(uleft) < fresh.rank(uright) {
+            std::mem::swap(&mut uleft, &mut uright);
+        }
+        let new = fresh.push(Node {
+            labels: n.labels,
+            pos: n.pos,
+            max_start: n.max_start,
+            rank: fresh.rank(uright) + 1,
+            prod,
+            uleft,
+            uright,
+        });
+        remap.insert(id, new);
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_automata::valuation::{Label, LabelSet};
+
+    fn l(i: u32) -> LabelSet {
+        LabelSet::singleton(Label(i))
+    }
+
+    #[test]
+    fn extend_computes_max_start() {
+        let mut ds = EnumStructure::new();
+        let a = ds.extend(l(0), 3, &[]);
+        assert_eq!(ds.max_start(a), 3);
+        let b = ds.extend(l(1), 7, &[a]);
+        // min(7, max_start(a)) = 3.
+        assert_eq!(ds.max_start(b), 3);
+        let c = ds.extend(l(1), 9, &[]);
+        let d = ds.extend(l(2), 10, &[b, c]);
+        assert_eq!(ds.max_start(d), 3);
+        ds.check_invariants(d).unwrap();
+    }
+
+    #[test]
+    fn union_keeps_heap_and_leftist_invariants() {
+        let mut ds = EnumStructure::new();
+        let mut root = BOTTOM;
+        for i in 0..50u64 {
+            let n = ds.extend(l(0), i, &[]);
+            root = ds.union(root, n, 0);
+            ds.check_invariants(root).unwrap();
+        }
+        // Root must carry the largest max-start.
+        assert_eq!(ds.max_start(root), 49);
+    }
+
+    #[test]
+    fn union_is_persistent() {
+        let mut ds = EnumStructure::new();
+        let a = ds.extend(l(0), 1, &[]);
+        let b = ds.extend(l(0), 2, &[]);
+        let u1 = ds.union(a, b, 0);
+        let snapshot_a = ds.node(a).clone();
+        let c = ds.extend(l(0), 3, &[]);
+        let _u2 = ds.union(u1, c, 0);
+        // The original node is untouched by later unions.
+        let now_a = ds.node(a);
+        assert_eq!(now_a.pos, snapshot_a.pos);
+        assert_eq!(now_a.uleft, snapshot_a.uleft);
+        assert_eq!(now_a.uright, snapshot_a.uright);
+    }
+
+    #[test]
+    fn union_drops_expired_subtrees() {
+        let mut ds = EnumStructure::new();
+        let old = ds.extend(l(0), 1, &[]);
+        let new = ds.extend(l(0), 100, &[]);
+        // Window low bound 50: the old node's bag is empty forever.
+        let u = ds.union(old, new, 50);
+        assert_eq!(u, new, "expired side dropped without copying");
+    }
+
+    #[test]
+    fn meld_of_two_heaps() {
+        let mut ds = EnumStructure::new();
+        let mut h1 = BOTTOM;
+        let mut h2 = BOTTOM;
+        for i in 0..10u64 {
+            let n = ds.extend(l(0), 2 * i, &[]);
+            h1 = ds.union(h1, n, 0);
+            let m = ds.extend(l(0), 2 * i + 1, &[]);
+            h2 = ds.union(h2, m, 0);
+        }
+        let h = ds.union(h1, h2, 0);
+        ds.check_invariants(h).unwrap();
+        assert_eq!(ds.max_start(h), 19);
+    }
+
+    #[test]
+    fn compact_preserves_live_and_drops_dead() {
+        let mut ds = EnumStructure::new();
+        let mut root = BOTTOM;
+        for i in 0..100u64 {
+            let n = ds.extend(l(0), i, &[]);
+            root = ds.union(root, n, 0);
+        }
+        let before = ds.len();
+        let mut r = root;
+        ds.compact(&mut [&mut r], 90);
+        assert!(ds.len() < before / 2, "dead nodes reclaimed");
+        ds.check_invariants(r).unwrap();
+        assert_eq!(ds.max_start(r), 99);
+    }
+
+    #[test]
+    fn compact_remaps_shared_subtrees_once() {
+        let mut ds = EnumStructure::new();
+        let shared = ds.extend(l(0), 5, &[]);
+        let a = ds.extend(l(1), 6, &[shared]);
+        let b = ds.extend(l(1), 7, &[shared]);
+        let mut ra = a;
+        let mut rb = b;
+        ds.compact(&mut [&mut ra, &mut rb], 0);
+        assert_eq!(ds.len(), 3, "shared child copied once");
+        assert_eq!(ds.node(ra).prod[0], ds.node(rb).prod[0]);
+    }
+
+    #[test]
+    fn bottom_handling() {
+        let mut ds = EnumStructure::new();
+        assert_eq!(ds.union(BOTTOM, BOTTOM, 0), BOTTOM);
+        let a = ds.extend(l(0), 1, &[]);
+        assert_eq!(ds.union(BOTTOM, a, 0), a);
+        assert_eq!(ds.union(a, BOTTOM, 0), a);
+        assert_eq!(ds.max_start(BOTTOM), 0);
+        ds.check_invariants(BOTTOM).unwrap();
+    }
+}

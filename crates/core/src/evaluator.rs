@@ -1,0 +1,497 @@
+//! The streaming evaluation algorithm (Section 5, Algorithm 1 /
+//! Theorem 5.1).
+//!
+//! Evaluates an unambiguous PCEA with equality predicates over a stream
+//! under a sliding window of size `w`, with
+//! `O(|P|·|t| + |P|·log|P| + |P|·log w)` update time and output-linear
+//! delay enumeration:
+//!
+//! * **FireTransitions** — for every transition `(P, U, B, L, q)`, if the
+//!   current tuple satisfies `U` and every source slot `p ∈ P` has a
+//!   stored run whose join key `⃗B_p` matches the tuple's `⃖B_p`, the
+//!   gathered runs are `extend`ed into a fresh `DS_w` node at `q`.
+//! * **UpdateIndices** — every node created this position is indexed in
+//!   the look-up table `H` under `(transition, slot, ⃗B_p(t))`, melding
+//!   with previous entries via the persistent `union`.
+//! * **Enumerate** — nodes that reached a final state this position hold
+//!   exactly the *new* outputs `⟦P⟧^w_i(S)`, enumerated with
+//!   output-linear delay (Theorem 5.2).
+//!
+//! Windowing never scans old state: expired subtrees are dropped lazily
+//! during `union` and enumeration (heap condition (‡)), and a periodic
+//! copying collector ([`StreamingEvaluator::set_gc_every`]) keeps memory
+//! proportional to the live window on unbounded streams.
+
+use crate::ds::{EnumStructure, NodeId};
+use crate::enumerate;
+use std::collections::VecDeque;
+use cer_automata::pcea::Pcea;
+use cer_automata::predicate::Key;
+use cer_automata::valuation::Valuation;
+use cer_common::hash::FxHashMap;
+use cer_common::Tuple;
+
+/// Look-up table key: `(transition index, source slot, join key)`.
+type HKey = (u32, u32, Key);
+
+/// How the sliding window expires old positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// The paper's count window: positions older than `i − w` expire.
+    Count(u64),
+    /// A time window: the tuple attribute at `ts_pos` is a
+    /// non-decreasing integer timestamp, and positions whose timestamp
+    /// falls below `now − duration` expire. The `DS_w` machinery is
+    /// window-agnostic (it only needs a monotone expiry bound), so
+    /// Theorem 5.1's guarantees carry over with `w` read as the maximum
+    /// number of in-window positions.
+    Time {
+        /// Window length in timestamp units.
+        duration: i64,
+        /// Tuple position holding the integer timestamp.
+        ts_pos: usize,
+    },
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Positions processed so far.
+    pub positions: u64,
+    /// Nodes currently allocated in the arena.
+    pub arena_nodes: usize,
+    /// Entries in the look-up table `H`.
+    pub index_entries: usize,
+    /// `extend` calls performed.
+    pub extends: u64,
+    /// `union` calls performed.
+    pub unions: u64,
+    /// Garbage collections run.
+    pub collections: u64,
+}
+
+/// The streaming evaluator of Theorem 5.1.
+///
+/// ```
+/// use cer_automata::pcea::paper_p0;
+/// use cer_common::gen::sigma0_prefix;
+/// use cer_common::Schema;
+/// use cer_core::evaluator::StreamingEvaluator;
+///
+/// let (_, r, s, t) = Schema::sigma0();
+/// let mut engine = StreamingEvaluator::new(paper_p0(r, s, t), 100);
+/// let mut total = 0;
+/// for tuple in sigma0_prefix(r, s, t) {
+///     total += engine.push_count(&tuple);
+/// }
+/// assert_eq!(total, 2); // ντ0 and ντ1 of Example 3.3
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingEvaluator {
+    pcea: Pcea,
+    window: WindowPolicy,
+    ds: EnumStructure,
+    h: FxHashMap<HKey, NodeId>,
+    /// `N_p` per state, rebuilt each position.
+    n_state: Vec<Vec<NodeId>>,
+    /// Scratch for gathered source nodes.
+    gather: Vec<NodeId>,
+    /// Next position to read (the paper's `i + 1`).
+    next_pos: u64,
+    /// Expiry bound computed for the current position.
+    current_lo: u64,
+    /// Time windows: in-window `(position, timestamp)` ring.
+    ring: VecDeque<(u64, i64)>,
+    last_ts: i64,
+    gc_every: u64,
+    stats: EngineStats,
+}
+
+impl StreamingEvaluator {
+    /// Create an evaluator for `pcea` under window size `w`.
+    ///
+    /// The algorithm's guarantees (no duplicate outputs, output-linear
+    /// delay) require `pcea` to be unambiguous with equality predicates,
+    /// as in Theorem 5.1; this is not checked here (see
+    /// `ReferenceEval::check_unambiguous`).
+    pub fn new(pcea: Pcea, w: u64) -> Self {
+        Self::with_window(pcea, WindowPolicy::Count(w))
+    }
+
+    /// Create an evaluator with a time window: positions whose timestamp
+    /// (the integer at `ts_pos` of every tuple) is older than
+    /// `now − duration` expire. Timestamps must be non-decreasing;
+    /// out-of-order timestamps are clamped up to the latest seen.
+    pub fn new_timed(pcea: Pcea, duration: i64, ts_pos: usize) -> Self {
+        assert!(duration >= 0, "window duration must be non-negative");
+        Self::with_window(pcea, WindowPolicy::Time { duration, ts_pos })
+    }
+
+    /// Create an evaluator with an explicit window policy.
+    pub fn with_window(pcea: Pcea, window: WindowPolicy) -> Self {
+        let n_states = pcea.num_states();
+        StreamingEvaluator {
+            pcea,
+            window,
+            ds: EnumStructure::new(),
+            h: FxHashMap::default(),
+            n_state: vec![Vec::new(); n_states],
+            gather: Vec::new(),
+            next_pos: 0,
+            current_lo: 0,
+            ring: VecDeque::new(),
+            last_ts: i64::MIN,
+            gc_every: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Run the copying collector every `every` positions (0 = automatic:
+    /// every `max(w, 1024)` positions).
+    pub fn set_gc_every(&mut self, every: u64) -> &mut Self {
+        self.gc_every = every;
+        self
+    }
+
+    /// The automaton being evaluated.
+    pub fn pcea(&self) -> &Pcea {
+        &self.pcea
+    }
+
+    /// The window policy.
+    pub fn window(&self) -> &WindowPolicy {
+        &self.window
+    }
+
+    /// The position the *next* tuple will occupy.
+    pub fn next_position(&self) -> u64 {
+        self.next_pos
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            arena_nodes: self.ds.len(),
+            index_entries: self.h.len(),
+            ..self.stats
+        }
+    }
+
+    /// Update phase of Algorithm 1 for one tuple. Returns the position it
+    /// occupied. Call an output method afterwards — or use the combined
+    /// [`push_for_each`](Self::push_for_each) /
+    /// [`push_collect`](Self::push_collect) / [`push_count`](Self::push_count).
+    pub fn push(&mut self, t: &Tuple) -> u64 {
+        let i = self.next_pos;
+        self.next_pos += 1;
+        self.stats.positions += 1;
+        let lo = match &self.window {
+            WindowPolicy::Count(w) => i.saturating_sub(*w),
+            WindowPolicy::Time { duration, ts_pos } => {
+                let ts = t
+                    .values()
+                    .get(*ts_pos)
+                    .and_then(cer_common::Value::as_int)
+                    .unwrap_or_else(|| {
+                        panic!("time window: tuple lacks an integer timestamp at {ts_pos}")
+                    })
+                    .max(self.last_ts);
+                self.last_ts = ts;
+                self.ring.push_back((i, ts));
+                while self
+                    .ring
+                    .front()
+                    .is_some_and(|&(_, old)| old < ts.saturating_sub(*duration))
+                {
+                    self.ring.pop_front();
+                }
+                self.ring.front().map_or(i, |&(p, _)| p)
+            }
+        };
+        self.current_lo = lo;
+
+        // Reset.
+        for n in &mut self.n_state {
+            n.clear();
+        }
+
+        // FireTransitions: gather matching stored runs per transition.
+        for (e_idx, tr) in self.pcea.transitions().iter().enumerate() {
+            if !tr.unary.matches(t) {
+                continue;
+            }
+            self.gather.clear();
+            let mut all_present = true;
+            for (slot, b) in tr.binary.iter().enumerate() {
+                let Some(key) = b.right.extract(t) else {
+                    all_present = false;
+                    break;
+                };
+                match self.h.get(&(e_idx as u32, slot as u32, key)) {
+                    Some(&node) if self.ds.max_start(node) >= lo => self.gather.push(node),
+                    _ => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if !all_present {
+                continue;
+            }
+            let node = self.ds.extend(tr.labels, i, &self.gather);
+            self.stats.extends += 1;
+            self.n_state[tr.target.index()].push(node);
+        }
+
+        // UpdateIndices: make this position's runs visible to future
+        // tuples under their left join keys.
+        for (e_idx, tr) in self.pcea.transitions().iter().enumerate() {
+            for (slot, (p, b)) in tr.sources.iter().zip(tr.binary.iter()).enumerate() {
+                if self.n_state[p.index()].is_empty() {
+                    continue;
+                }
+                let Some(key) = b.left.extract(t) else {
+                    continue;
+                };
+                let hkey = (e_idx as u32, slot as u32, key);
+                for k in 0..self.n_state[p.index()].len() {
+                    let node = self.n_state[p.index()][k];
+                    let merged = match self.h.get(&hkey) {
+                        Some(&prev) => {
+                            self.stats.unions += 1;
+                            self.ds.union(prev, node, lo)
+                        }
+                        None => node,
+                    };
+                    self.h.insert(hkey.clone(), merged);
+                }
+            }
+        }
+
+        let gc_every = if self.gc_every == 0 {
+            match self.window {
+                WindowPolicy::Count(w) => w.max(1024),
+                WindowPolicy::Time { .. } => 1024,
+            }
+        } else {
+            self.gc_every
+        };
+        if i > 0 && i.is_multiple_of(gc_every) {
+            self.collect_garbage(lo);
+        }
+        i
+    }
+
+    /// Enumerate this position's new outputs (`⟦P⟧^w_i(S)`), calling `f`
+    /// once per valuation. Must follow [`push`](Self::push) for the same
+    /// position.
+    pub fn for_each_output<F: FnMut(&Valuation)>(&self, mut f: F) {
+        for q in self.pcea.finals() {
+            for &n in &self.n_state[q.index()] {
+                enumerate::for_each_valuation_from(
+                    &self.ds,
+                    n,
+                    self.current_lo,
+                    self.pcea.num_labels(),
+                    &mut f,
+                );
+            }
+        }
+    }
+
+    /// Push a tuple and collect the new outputs.
+    pub fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
+        self.push(t);
+        let mut out = Vec::new();
+        self.for_each_output(|v| out.push(v.clone()));
+        out
+    }
+
+    /// Push a tuple and count the new outputs without materializing them.
+    pub fn push_count(&mut self, t: &Tuple) -> usize {
+        self.push(t);
+        let mut n = 0usize;
+        for q in self.pcea.finals() {
+            for &node in &self.n_state[q.index()] {
+                enumerate::for_each_valuation_from(&self.ds, node, self.current_lo, 0, |_| {
+                    n += 1;
+                });
+            }
+        }
+        n
+    }
+
+    /// Push a tuple, calling `f` for each new output.
+    pub fn push_for_each<F: FnMut(&Valuation)>(&mut self, t: &Tuple, f: F) {
+        self.push(t);
+        self.for_each_output(f);
+    }
+
+    /// Copying garbage collection: keep only nodes reachable from live
+    /// `H` entries (and the current position's pending nodes), dropping
+    /// expired subtrees. Fully transparent to outputs.
+    fn collect_garbage(&mut self, lo: u64) {
+        self.stats.collections += 1;
+        // Drop dead index entries first.
+        let ds = &self.ds;
+        self.h.retain(|_, node| ds.max_start(*node) >= lo);
+        let mut roots: Vec<&mut NodeId> = self
+            .h
+            .values_mut()
+            .chain(self.n_state.iter_mut().flatten())
+            .collect();
+        self.ds.compact(&mut roots, lo);
+    }
+}
+
+/// Convenience driver: evaluate a PCEA over a finite stream, returning
+/// `(position, outputs)` for every position with at least one output.
+pub fn run_to_end(
+    pcea: Pcea,
+    w: u64,
+    stream: &[Tuple],
+) -> Vec<(u64, Vec<Valuation>)> {
+    let mut engine = StreamingEvaluator::new(pcea, w);
+    let mut out = Vec::new();
+    for t in stream {
+        let vs = engine.push_collect(t);
+        if !vs.is_empty() {
+            out.push((engine.next_position() - 1, vs));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_automata::ccea::paper_c0;
+    use cer_automata::pcea::paper_p0;
+    use cer_automata::reference::ReferenceEval;
+    use cer_common::gen::sigma0_prefix;
+    use cer_common::Schema;
+
+    /// Differential harness: engine output == reference oracle at every
+    /// position and for several window sizes.
+    fn check_against_reference(pcea: &Pcea, stream: &[Tuple], windows: &[u64]) {
+        let reference = ReferenceEval::new(pcea, stream);
+        for &w in windows {
+            let mut engine = StreamingEvaluator::new(pcea.clone(), w);
+            for (n, t) in stream.iter().enumerate() {
+                let mut got = engine.push_collect(t);
+                got.sort();
+                got.dedup();
+                let want = reference.windowed_outputs_at(n, w);
+                assert_eq!(got, want, "w={w}, position {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_3_3_on_the_engine() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        check_against_reference(&paper_p0(r, s, t), &stream, &[0, 2, 4, 5, 100]);
+    }
+
+    #[test]
+    fn ccea_embedding_on_the_engine() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        check_against_reference(&paper_c0(r, s, t).to_pcea(), &stream, &[1, 3, 100]);
+    }
+
+    #[test]
+    fn outputs_fire_exactly_at_completion() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let mut engine = StreamingEvaluator::new(paper_p0(r, s, t), 100);
+        let counts: Vec<usize> = stream.iter().map(|t| engine.push_count(t)).collect();
+        assert_eq!(counts, vec![0, 0, 0, 0, 0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn window_cuts_long_spans() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        // Span of ντ0 is 4, of ντ1 is 5.
+        for (w, expect) in [(5u64, 2usize), (4, 1), (3, 0)] {
+            let mut engine = StreamingEvaluator::new(paper_p0(r, s, t), w);
+            let total: usize = stream.iter().map(|t| engine.push_count(t)).sum();
+            assert_eq!(total, expect, "w={w}");
+        }
+    }
+
+    #[test]
+    fn long_stream_with_gc_matches_no_gc() {
+        use cer_common::gen::Sigma0Gen;
+        use cer_common::Stream;
+        let (_, r, s, t) = Schema::sigma0();
+        let mut gen = Sigma0Gen::new(r, s, t, 42).with_domains(4, 4);
+        let stream: Vec<Tuple> = (0..400).map(|_| gen.next_tuple().unwrap()).collect();
+        let pcea = paper_p0(r, s, t);
+        let w = 16;
+
+        let mut eager = StreamingEvaluator::new(pcea.clone(), w);
+        eager.set_gc_every(7);
+        let mut lazy = StreamingEvaluator::new(pcea, w);
+        lazy.set_gc_every(1_000_000);
+        for tu in &stream {
+            let mut a = eager.push_collect(tu);
+            let mut b = lazy.push_collect(tu);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        assert!(eager.stats().collections > 0);
+        assert!(eager.stats().arena_nodes < lazy.stats().arena_nodes);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_gc() {
+        use cer_common::gen::Sigma0Gen;
+        use cer_common::Stream;
+        let (_, r, s, t) = Schema::sigma0();
+        let mut gen = Sigma0Gen::new(r, s, t, 7).with_domains(8, 8);
+        let pcea = paper_p0(r, s, t);
+        let w = 32;
+        let mut engine = StreamingEvaluator::new(pcea, w);
+        engine.set_gc_every(w);
+        let mut peak = 0usize;
+        for _ in 0..2000 {
+            let tu = gen.next_tuple().unwrap();
+            engine.push(&tu);
+            peak = peak.max(engine.stats().arena_nodes);
+        }
+        // Live state is O(|∆| · w); allow a generous constant.
+        assert!(
+            peak < 64 * (w as usize) * 3,
+            "arena peaked at {peak} nodes"
+        );
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let mut engine = StreamingEvaluator::new(paper_p0(r, s, t), 100);
+        for tu in &stream {
+            engine.push(tu);
+        }
+        let st = engine.stats();
+        assert_eq!(st.positions, 8);
+        // 6 initial fires (the S and T tuples) + 1 join fire (R(2,11)).
+        assert_eq!(st.extends, 7);
+        assert!(st.index_entries > 0);
+    }
+
+    #[test]
+    fn run_to_end_reports_positions() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let results = run_to_end(paper_p0(r, s, t), 100, &stream);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, 5);
+        assert_eq!(results[0].1.len(), 2);
+    }
+}

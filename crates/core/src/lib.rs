@@ -1,0 +1,21 @@
+//! # cer-core — the streaming evaluation engine (Section 5)
+//!
+//! Implements Theorem 5.1: streaming evaluation of unambiguous PCEA with
+//! equality predicates under a sliding window, with
+//! `O(|P|·|t| + |P|·log|P| + |P|·log w)` update time and output-linear
+//! delay enumeration.
+//!
+//! * [`ds`] — the persistent enumeration structure `DS_w`: product/union
+//!   nodes, `max-start`, heap condition (‡), leftist-meld `union`
+//!   (Proposition 5.3) and a copying collector;
+//! * [`enumerate`] — output-linear-delay enumeration of `⟦n⟧^w_i`
+//!   (Theorem 5.2);
+//! * [`evaluator`] — Algorithm 1 (`FireTransitions` / `UpdateIndices` /
+//!   enumeration phase) behind the [`StreamingEvaluator`] API.
+
+pub mod ds;
+pub mod enumerate;
+pub mod evaluator;
+
+pub use ds::{EnumStructure, NodeId, BOTTOM};
+pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};

@@ -1,0 +1,188 @@
+//! Bags with identity (Section 4 "Bags").
+//!
+//! The paper represents a bag as a surjective function `B : I → U` from a
+//! finite identifier set onto the underlying set, so that each occurrence
+//! of an element keeps its own identity. We use the canonical identifier
+//! set `I = {0, …, n−1}` (positions in a vector), which the paper itself
+//! adopts for stream prefixes: `I(D_n[S])` *is* the set of stream
+//! positions. Bag equality is multiplicity equality, insensitive to the
+//! identifier renaming.
+
+use cer_common::hash::FxHashMap;
+use std::hash::Hash;
+
+/// A bag `B : I → U` with `I = {0, …, len−1}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bag<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for Bag<T> {
+    fn default() -> Self {
+        Bag { items: Vec::new() }
+    }
+}
+
+impl<T> Bag<T> {
+    /// The empty bag.
+    pub fn new() -> Self {
+        Bag { items: Vec::new() }
+    }
+
+    /// Build from the standard notation `{{a0, …, a_{n−1}}}`.
+    pub fn from_items(items: impl IntoIterator<Item = T>) -> Self {
+        Bag {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// `B(i)`: the element with identifier `i`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.items[i]
+    }
+
+    /// `|I(B)|`: number of identifiers.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether this is the empty bag `∅`.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The identifier set `I(B) = {0, …, n−1}`.
+    pub fn ids(&self) -> impl Iterator<Item = usize> {
+        0..self.items.len()
+    }
+
+    /// Iterate `(identifier, element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.items.iter().enumerate()
+    }
+
+    /// Append an element, returning its fresh identifier.
+    pub fn push(&mut self, item: T) -> usize {
+        self.items.push(item);
+        self.items.len() - 1
+    }
+
+    /// The elements in identifier order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: Eq + Hash> Bag<T> {
+    /// `a ∈ B`: membership in the underlying set.
+    pub fn contains(&self, a: &T) -> bool {
+        self.items.contains(a)
+    }
+
+    /// `mult_B(a)`: multiplicity of an element.
+    pub fn multiplicity(&self, a: &T) -> usize {
+        self.items.iter().filter(|x| *x == a).count()
+    }
+
+    /// The underlying set `U(B)` (insertion order, deduplicated).
+    pub fn underlying_set(&self) -> Vec<&T> {
+        let mut seen: FxHashMap<&T, ()> = FxHashMap::default();
+        let mut out = Vec::new();
+        for x in &self.items {
+            if seen.insert(x, ()).is_none() {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Bag containment `self ⊆ other`: every multiplicity bounded.
+    pub fn sub_bag(&self, other: &Bag<T>) -> bool {
+        let mut counts: FxHashMap<&T, isize> = FxHashMap::default();
+        for x in &other.items {
+            *counts.entry(x).or_insert(0) += 1;
+        }
+        for x in &self.items {
+            let c = counts.entry(x).or_insert(0);
+            *c -= 1;
+            if *c < 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bag equality up to identifier renaming: `self ⊆ other ∧ other ⊆
+    /// self`. (Derived `==` is stricter: same identifier assignment.)
+    pub fn bag_eq(&self, other: &Bag<T>) -> bool {
+        self.items.len() == other.items.len() && self.sub_bag(other)
+    }
+}
+
+impl<T> FromIterator<T> for Bag<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Bag::from_items(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_representation() {
+        // The paper's B0 = {0 ↦ a, 1 ↦ a, 2 ↦ b}.
+        let b = Bag::from_items(["a", "a", "b"]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0), &"a");
+        assert_eq!(b.get(1), &"a");
+        assert_eq!(b.get(2), &"b");
+        assert_eq!(b.underlying_set(), vec![&"a", &"b"]);
+    }
+
+    #[test]
+    fn multiplicity_and_membership() {
+        let b = Bag::from_items([1, 1, 2]);
+        assert_eq!(b.multiplicity(&1), 2);
+        assert_eq!(b.multiplicity(&2), 1);
+        assert_eq!(b.multiplicity(&3), 0);
+        assert!(b.contains(&2));
+        assert!(!b.contains(&3));
+    }
+
+    #[test]
+    fn containment_is_multiplicity_bounded() {
+        let small = Bag::from_items([1, 2]);
+        let big = Bag::from_items([2, 1, 1]);
+        assert!(small.sub_bag(&big));
+        assert!(!big.sub_bag(&small));
+        let twice = Bag::from_items([2, 2]);
+        assert!(!twice.sub_bag(&big));
+    }
+
+    #[test]
+    fn bag_equality_ignores_identifier_order() {
+        let a = Bag::from_items([1, 2, 2]);
+        let b = Bag::from_items([2, 1, 2]);
+        assert!(a.bag_eq(&b));
+        assert_ne!(a, b, "derived Eq keeps identifier assignment");
+        let c = Bag::from_items([1, 2]);
+        assert!(!a.bag_eq(&c));
+    }
+
+    #[test]
+    fn empty_bag() {
+        let e: Bag<u32> = Bag::new();
+        assert!(e.is_empty());
+        assert!(e.sub_bag(&Bag::from_items([1])));
+        assert!(e.bag_eq(&Bag::new()));
+    }
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut b = Bag::new();
+        assert_eq!(b.push("x"), 0);
+        assert_eq!(b.push("x"), 1);
+        assert_eq!(b.ids().collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,484 @@
+//! The HCQ→PCEA compiler (Theorem 4.1).
+//!
+//! For a hierarchical conjunctive query `Q`, builds an unambiguous PCEA
+//! `P_Q` with `⟦P_Q⟧_n(S)` equal to the new-at-`n` t-homomorphisms of `Q`
+//! into `D_n[S]` — using one output label per atom identifier.
+//!
+//! * **No self-joins** (this module): states are the nodes of the compact
+//!   q-tree; the automaton is of *quadratic* size in `|Q|`.
+//! * **Self-joins** ([`selfjoin`](crate::selfjoin)): variable states are
+//!   annotated with the self-join set that completed them; worst-case
+//!   exponential, as the paper proves unavoidable for the model.
+//! * **Disconnected queries**: compiled against the virtually-rooted
+//!   q-tree; the virtual root variable `x∗` contributes empty join keys
+//!   (the paper's "remove `x∗` from the predicates").
+//!
+//! Non-hierarchical input is rejected with a diagnosis that distinguishes
+//! acyclic queries (provably inexpressible, Theorem 4.2) from cyclic
+//! ones.
+
+use crate::hierarchy::is_hierarchical;
+use crate::jointree::is_acyclic;
+use crate::query::{Atom, ConjunctiveQuery, Term, VarId};
+use crate::qtree::{NodeLabel, QTree};
+use cer_automata::pcea::{Pcea, PceaBuilder, StateId};
+use cer_automata::predicate::{
+    AtomPattern, EqPredicate, ExtractorEntry, KeyExtractor, PatTerm, UnaryPredicate,
+};
+use cer_automata::valuation::{Label, LabelSet, MAX_LABELS};
+use cer_common::hash::FxHashMap;
+use cer_common::Schema;
+use std::fmt;
+
+/// Why a query cannot be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The query has projection (is not full); Theorem 4.1 covers full
+    /// CQs.
+    NotFull,
+    /// The query is not hierarchical. When it is acyclic, Theorem 4.2
+    /// shows *no* PCEA expresses it; when cyclic, the question is moot
+    /// (PCEA only reach acyclic CQs).
+    NotHierarchical {
+        /// Whether the query is at least acyclic.
+        acyclic: bool,
+    },
+    /// More atoms than output labels (the engine packs `Ω` in 64 bits).
+    TooManyAtoms {
+        /// Number of atoms in the query.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// The compiled automaton would exceed the transition budget (the
+    /// self-join construction is exponential; Theorem 4.1's bound is
+    /// tight for the model).
+    AutomatonTooLarge {
+        /// Transitions the construction would emit (lower bound).
+        transitions: usize,
+        /// Budget.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotFull => write!(f, "query is not full (has projection)"),
+            CompileError::NotHierarchical { acyclic: true } => write!(
+                f,
+                "query is acyclic but not hierarchical: no PCEA expresses it (Theorem 4.2)"
+            ),
+            CompileError::NotHierarchical { acyclic: false } => {
+                write!(f, "query is cyclic: PCEA only express hierarchical CQs")
+            }
+            CompileError::TooManyAtoms { got, max } => {
+                write!(f, "query has {got} atoms; at most {max} supported")
+            }
+            CompileError::AutomatonTooLarge { transitions, max } => write!(
+                f,
+                "compiled automaton needs ≥{transitions} transitions (budget {max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled query: the PCEA plus introspection data.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// The automaton; label `i` marks the position matched by atom `i`.
+    pub pcea: Pcea,
+    /// Human-readable state names (aligned with state indices).
+    pub state_names: Vec<String>,
+    /// Whether the exponential self-join construction was used.
+    pub used_self_join_construction: bool,
+}
+
+/// Compile a hierarchical conjunctive query to an unambiguous PCEA
+/// (Theorem 4.1). Dispatches to the self-join construction when needed.
+///
+/// ```
+/// use cer_common::Schema;
+/// use cer_cq::{compile::compile_hcq, parser::parse_query};
+///
+/// let mut schema = Schema::new();
+/// let q = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+/// let compiled = compile_hcq(&schema, &q).unwrap();
+/// assert_eq!(compiled.pcea.num_labels(), 3); // one label per atom
+/// ```
+pub fn compile_hcq(
+    schema: &Schema,
+    q: &ConjunctiveQuery,
+) -> Result<CompiledQuery, CompileError> {
+    if !q.is_full() {
+        return Err(CompileError::NotFull);
+    }
+    if !is_hierarchical(q) {
+        return Err(CompileError::NotHierarchical {
+            acyclic: is_acyclic(q),
+        });
+    }
+    if q.num_atoms() > MAX_LABELS {
+        return Err(CompileError::TooManyAtoms {
+            got: q.num_atoms(),
+            max: MAX_LABELS,
+        });
+    }
+    if q.has_self_joins() {
+        crate::selfjoin::compile_selfjoin(schema, q)
+    } else {
+        compile_no_selfjoin(schema, q)
+    }
+}
+
+/// The quadratic construction for self-join-free HCQs.
+fn compile_no_selfjoin(
+    schema: &Schema,
+    q: &ConjunctiveQuery,
+) -> Result<CompiledQuery, CompileError> {
+    let tree = QTree::build_rooted(q)
+        .expect("hierarchical queries always have a (rooted) q-tree")
+        .compact();
+
+    let mut builder = PceaBuilder::new(q.num_atoms());
+    let mut state_of: FxHashMap<usize, StateId> = FxHashMap::default();
+    let mut state_names: Vec<String> = Vec::new();
+    for (idx, node) in tree.iter() {
+        let s = builder.add_state();
+        state_of.insert(idx, s);
+        state_names.push(match node.label {
+            NodeLabel::Var(v) => q.var_name(v).to_string(),
+            NodeLabel::Atom(i) => format!("{}#{i}", schema.name(q.atom(i).relation)),
+            NodeLabel::VirtualRoot => "x*".to_string(),
+        });
+    }
+
+    // Initial transitions: (∅, U_{Ri(x̄i)}, ∅, {i}, i).
+    for i in 0..q.num_atoms() {
+        builder.add_initial_transition(
+            atom_unary(q.atom(i)),
+            LabelSet::singleton(Label(i as u32)),
+            state_of[&tree.leaf_of_atom(i)],
+        );
+    }
+
+    // Gathering transitions: (C_{x,i}, U_{Ri(x̄i)}, B_{x,i}, {i}, x) for
+    // every atom i and every inner node x on its root path.
+    for i in 0..q.num_atoms() {
+        let leaf = tree.leaf_of_atom(i);
+        let path = tree.path_from_root(leaf);
+        let inner = &path[..path.len() - 1];
+        for (depth, &x) in inner.iter().enumerate() {
+            let mut sources: Vec<(StateId, EqPredicate)> = Vec::new();
+            for &v in &inner[depth..] {
+                let next_on_path = path[inner.iter().position(|&n| n == v).expect("on path") + 1];
+                for &c in &tree.node(v).children {
+                    if c == next_on_path || c == leaf {
+                        continue;
+                    }
+                    let pred = match tree.node(c).label {
+                        NodeLabel::Atom(j) => leaf_predicate(q, j, i),
+                        NodeLabel::Var(_) => var_predicate(q, &tree, c, i),
+                        NodeLabel::VirtualRoot => unreachable!("root is never a child"),
+                    };
+                    sources.push((state_of[&c], pred));
+                }
+            }
+            builder.add_transition(
+                sources,
+                atom_unary(q.atom(i)),
+                LabelSet::singleton(Label(i as u32)),
+                state_of[&x],
+            );
+        }
+    }
+
+    builder.mark_final(state_of[&tree.root()]);
+    Ok(CompiledQuery {
+        pcea: builder.build(),
+        state_names,
+        used_self_join_construction: false,
+    })
+}
+
+/// `U_{R(x̄)}`: the homomorphism test for one atom, as an
+/// [`AtomPattern`].
+pub(crate) fn atom_unary(atom: &Atom) -> UnaryPredicate {
+    let terms: Vec<PatTerm> = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => PatTerm::Var(v.0),
+            Term::Const(c) => PatTerm::Const(c.clone()),
+        })
+        .collect();
+    UnaryPredicate::Atom(AtomPattern {
+        relation: atom.relation,
+        terms: terms.into(),
+    })
+}
+
+/// Sorted shared variables of two atoms.
+pub(crate) fn shared_vars(a: &Atom, b: &Atom) -> Vec<VarId> {
+    let mut out: Vec<VarId> = a
+        .variables()
+        .into_iter()
+        .filter(|v| b.contains_var(*v))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Key positions of `vars` (sorted order) in an atom, by first
+/// occurrence.
+pub(crate) fn key_positions(atom: &Atom, vars: &[VarId]) -> Box<[usize]> {
+    vars.iter()
+        .map(|&v| atom.position_of(v).expect("shared variable occurs"))
+        .collect()
+}
+
+/// `B_{Rj(x̄j), Ri(x̄i)}`: equality on the shared variables of two atoms.
+fn leaf_predicate(q: &ConjunctiveQuery, j: usize, i: usize) -> EqPredicate {
+    let (aj, ai) = (q.atom(j), q.atom(i));
+    let shared = shared_vars(aj, ai);
+    EqPredicate::new(
+        KeyExtractor::projection(aj.relation, key_positions(aj, &shared)),
+        KeyExtractor::projection(ai.relation, key_positions(ai, &shared)),
+    )
+}
+
+/// `B_{y, Ri(x̄i)} = ⋃_{j ∈ desc(y)} B_{Rj(x̄j), Ri(x̄i)}`: the stored run
+/// at variable state `y` was completed by a tuple of *some* atom below
+/// `y`; all of them share the same variables with atom `i` (hierarchy),
+/// so one extractor entry per descendant relation suffices.
+fn var_predicate(q: &ConjunctiveQuery, tree: &QTree, y_node: usize, i: usize) -> EqPredicate {
+    let ai = q.atom(i);
+    let below = tree.atoms_below(y_node);
+    let shared = shared_vars(q.atom(below[0]), ai);
+    debug_assert!(
+        below
+            .iter()
+            .all(|&j| shared_vars(q.atom(j), ai) == shared),
+        "hierarchy guarantees a uniform shared-variable set below a q-tree node"
+    );
+    let mut left = KeyExtractor::new();
+    for &j in &below {
+        let aj = q.atom(j);
+        left.insert(
+            aj.relation,
+            ExtractorEntry {
+                checks: Box::new([]),
+                key: key_positions(aj, &shared),
+            },
+        );
+    }
+    EqPredicate::new(
+        left,
+        KeyExtractor::projection(ai.relation, key_positions(ai, &shared)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom;
+    use crate::parser::parse_query;
+    use cer_automata::reference::ReferenceEval;
+    use cer_common::gen::sigma0_prefix;
+    use cer_common::tuple::tup;
+    use cer_common::Tuple;
+
+    fn compile(text: &str) -> (Schema, ConjunctiveQuery, CompiledQuery) {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, text).unwrap();
+        let c = compile_hcq(&schema, &q).unwrap();
+        (schema, q, c)
+    }
+
+    /// Differential check: compiled PCEA reference semantics vs the
+    /// t-homomorphism oracle, at every position of the stream.
+    fn check_equivalence(q: &ConjunctiveQuery, c: &CompiledQuery, stream: &[Tuple]) {
+        let eval = ReferenceEval::new(&c.pcea, stream);
+        for n in 0..stream.len() {
+            let got = eval.outputs_at(n);
+            let want = hom::new_outputs_at(q, stream, n);
+            assert_eq!(got, want, "outputs disagree at position {n}");
+        }
+        eval.check_unambiguous().unwrap();
+    }
+
+    #[test]
+    fn q0_compiles_to_figure_2_shape() {
+        let (_, _, c) = compile("Q0(x, y) <- T(x), S(x, y), R(x, y)");
+        // States: leaves {0,1,2} + variables {x, y}.
+        assert_eq!(c.pcea.num_states(), 5);
+        // 3 initial + (T: 1 var) + (S: 2 vars) + (R: 2 vars) = 8.
+        assert_eq!(c.pcea.transitions().len(), 8);
+        assert!(!c.used_self_join_construction);
+        assert_eq!(c.pcea.finals().count(), 1);
+    }
+
+    #[test]
+    fn q0_equivalent_to_oracle_on_s0() {
+        let (schema, q, c) = compile("Q0(x, y) <- T(x), S(x, y), R(x, y)");
+        let r = schema.relation("R").unwrap();
+        let s = schema.relation("S").unwrap();
+        let t = schema.relation("T").unwrap();
+        check_equivalence(&q, &c, &sigma0_prefix(r, s, t));
+    }
+
+    #[test]
+    fn q0_outputs_both_matches_at_5() {
+        let (schema, _, c) = compile("Q0(x, y) <- T(x), S(x, y), R(x, y)");
+        let r = schema.relation("R").unwrap();
+        let s = schema.relation("S").unwrap();
+        let t = schema.relation("T").unwrap();
+        let stream = sigma0_prefix(r, s, t);
+        let eval = ReferenceEval::new(&c.pcea, &stream);
+        // {T↦1, S↦3, R↦5} and {T↦1, S↦0, R↦5}.
+        assert_eq!(eval.outputs_at(5).len(), 2);
+    }
+
+    #[test]
+    fn star_query_equivalence() {
+        let (schema, q, c) =
+            compile("Q(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)");
+        let a0 = schema.relation("A0").unwrap();
+        let a1 = schema.relation("A1").unwrap();
+        let a2 = schema.relation("A2").unwrap();
+        let stream = vec![
+            tup(a1, [1i64, 7]),
+            tup(a0, [1i64]),
+            tup(a2, [1i64, 9]),
+            tup(a1, [1i64, 8]),
+            tup(a2, [2i64, 9]),
+            tup(a0, [2i64]),
+            tup(a1, [2i64, 7]),
+            tup(a2, [2i64, 7]),
+        ];
+        check_equivalence(&q, &c, &stream);
+    }
+
+    #[test]
+    fn deep_hierarchy_q1_equivalence() {
+        // Figure 3's Q1 (no self-joins, depth-2 tree with satellites).
+        let (schema, q, c) =
+            compile("Q(x, y, z, v, w) <- R(x, y, z), S(x, y, v), T(x, w), U(x, y)");
+        let r = schema.relation("R").unwrap();
+        let s = schema.relation("S").unwrap();
+        let t = schema.relation("T").unwrap();
+        let u = schema.relation("U").unwrap();
+        let stream = vec![
+            tup(u, [1i64, 2]),
+            tup(r, [1i64, 2, 3]),
+            tup(t, [1i64, 5]),
+            tup(s, [1i64, 2, 4]),
+            tup(r, [1i64, 9, 3]),
+            tup(s, [1i64, 2, 6]),
+            tup(t, [2i64, 5]),
+        ];
+        check_equivalence(&q, &c, &stream);
+    }
+
+    #[test]
+    fn constants_compile_and_filter() {
+        let (schema, q, c) = compile("Q(y) <- S(2, y), N(y)");
+        let s = schema.relation("S").unwrap();
+        let n = schema.relation("N").unwrap();
+        let stream = vec![
+            tup(s, [2i64, 11]),
+            tup(s, [3i64, 11]),
+            tup(n, [11i64]),
+            tup(n, [12i64]),
+        ];
+        check_equivalence(&q, &c, &stream);
+        let eval = ReferenceEval::new(&c.pcea, &stream);
+        assert_eq!(eval.outputs_at(2).len(), 1, "only S(2,11) joins N(11)");
+    }
+
+    #[test]
+    fn disconnected_query_equivalence() {
+        let (schema, q, c) = compile("Q(x, y) <- T(x), U(y)");
+        let t = schema.relation("T").unwrap();
+        let u = schema.relation("U").unwrap();
+        let stream = vec![tup(t, [1i64]), tup(u, [5i64]), tup(t, [2i64]), tup(u, [6i64])];
+        check_equivalence(&q, &c, &stream);
+        let eval = ReferenceEval::new(&c.pcea, &stream);
+        // At position 3 (U(6)): joins with T(1) and T(2): two outputs.
+        assert_eq!(eval.outputs_at(3).len(), 2);
+    }
+
+    #[test]
+    fn single_atom_query() {
+        let (schema, q, c) = compile("Q(x, y) <- S(x, y)");
+        let s = schema.relation("S").unwrap();
+        let stream = vec![tup(s, [1i64, 2]), tup(s, [1i64, 2])];
+        check_equivalence(&q, &c, &stream);
+        let eval = ReferenceEval::new(&c.pcea, &stream);
+        assert_eq!(eval.outputs_at(0).len(), 1);
+        assert_eq!(eval.outputs_at(1).len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_atom_equivalence() {
+        let (schema, q, c) = compile("Q(x) <- S(x, x), T(x)");
+        let s = schema.relation("S").unwrap();
+        let t = schema.relation("T").unwrap();
+        let stream = vec![
+            tup(s, [4i64, 4]),
+            tup(s, [4i64, 5]),
+            tup(t, [4i64]),
+            tup(t, [5i64]),
+        ];
+        check_equivalence(&q, &c, &stream);
+    }
+
+    #[test]
+    fn rejects_projection() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- S(x, y)").unwrap();
+        assert_eq!(compile_hcq(&schema, &q).unwrap_err(), CompileError::NotFull);
+    }
+
+    #[test]
+    fn rejects_non_hierarchical_with_diagnosis() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x, y) <- R(x), S(x, y), T(y)").unwrap();
+        assert_eq!(
+            compile_hcq(&schema, &q).unwrap_err(),
+            CompileError::NotHierarchical { acyclic: true }
+        );
+        let mut schema2 = Schema::new();
+        let tri = parse_query(&mut schema2, "Q(x, y, z) <- R(x, y), S(y, z), T(z, x)").unwrap();
+        assert_eq!(
+            compile_hcq(&schema2, &tri).unwrap_err(),
+            CompileError::NotHierarchical { acyclic: false }
+        );
+    }
+
+    #[test]
+    fn quadratic_size_bound_no_self_joins() {
+        // Star queries: |P| should grow ~quadratically (k atoms × depth-1
+        // tree) — concretely, size ≤ c·|Q|² for the family.
+        for k in 1..=8usize {
+            let body: Vec<String> = std::iter::once("A0(x)".to_string())
+                .chain((1..=k).map(|i| format!("A{i}(x, y{i})")))
+                .collect();
+            let head: Vec<String> = std::iter::once("x".to_string())
+                .chain((1..=k).map(|i| format!("y{i}")))
+                .collect();
+            let text = format!("Q({}) <- {}", head.join(", "), body.join(", "));
+            let mut schema = Schema::new();
+            let q = parse_query(&mut schema, &text).unwrap();
+            let c = compile_hcq(&schema, &q).unwrap();
+            let m = q.num_atoms();
+            assert!(
+                c.pcea.size() <= 4 * m * m + 8,
+                "size {} exceeds quadratic bound for k={k}",
+                c.pcea.size()
+            );
+        }
+    }
+}

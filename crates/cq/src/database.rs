@@ -1,0 +1,143 @@
+//! Relational databases with duplicates: bags of tuples (Section 4).
+//!
+//! A database `D` is a bag of `Tuples[σ]`; the paper's stream-to-database
+//! bridge `D_n[S] = {{t_0, …, t_n}}` makes stream positions the tuple
+//! identifiers, which is what lets CQ outputs (t-homomorphisms) be read as
+//! CER valuations.
+
+use crate::bag::Bag;
+use cer_common::hash::FxHashMap;
+use cer_common::{RelationId, Tuple};
+
+/// A relational database with duplicates over a schema.
+///
+/// Identifiers are dense indices; when built from a stream prefix they
+/// coincide with stream positions.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tuples: Bag<Tuple>,
+    /// `by_relation[r]` lists the identifiers of `r`-tuples, ascending.
+    by_relation: FxHashMap<RelationId, Vec<usize>>,
+}
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `D_n[S]`: the first `n+1` tuples of a stream, with
+    /// stream positions as identifiers. Pass the whole prefix
+    /// `&stream[..=n]`.
+    pub fn from_prefix(prefix: &[Tuple]) -> Self {
+        let mut db = Database::new();
+        for t in prefix {
+            db.insert(t.clone());
+        }
+        db
+    }
+
+    /// Insert a tuple, returning its identifier.
+    pub fn insert(&mut self, t: Tuple) -> usize {
+        let rel = t.relation();
+        let id = self.tuples.push(t);
+        self.by_relation.entry(rel).or_default().push(id);
+        id
+    }
+
+    /// Number of tuples (identifiers).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple with identifier `i`.
+    pub fn get(&self, i: usize) -> &Tuple {
+        self.tuples.get(i)
+    }
+
+    /// The underlying bag.
+    pub fn bag(&self) -> &Bag<Tuple> {
+        &self.tuples
+    }
+
+    /// Identifiers of the sub-bag `R^D` (ascending).
+    pub fn relation_ids(&self, r: RelationId) -> &[usize] {
+        self.by_relation.get(&r).map_or(&[], Vec::as_slice)
+    }
+
+    /// The sub-bag `R^D` as a bag of tuples.
+    pub fn relation_bag(&self, r: RelationId) -> Bag<Tuple> {
+        self.relation_ids(r)
+            .iter()
+            .map(|&i| self.get(i).clone())
+            .collect()
+    }
+
+    /// `mult_D(t)`.
+    pub fn multiplicity(&self, t: &Tuple) -> usize {
+        self.relation_ids(t.relation())
+            .iter()
+            .filter(|&&i| self.get(i) == t)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_common::gen::sigma0_prefix;
+    use cer_common::tuple::tup;
+    use cer_common::Schema;
+
+    #[test]
+    fn d0_from_paper() {
+        // D0 = D5[S0] = {{S(2,11), T(2), R(1,10), S(2,11), T(1), R(2,11)}}.
+        let (_, r, s, t) = Schema::sigma0();
+        let prefix = sigma0_prefix(r, s, t);
+        let d0 = Database::from_prefix(&prefix[..=5]);
+        assert_eq!(d0.len(), 6);
+        // T^{D0} = {{T(2), T(1)}}, S^{D0} = {{S(2,11), S(2,11)}}.
+        assert_eq!(d0.relation_ids(t), &[1, 4]);
+        assert_eq!(d0.relation_ids(s), &[0, 3]);
+        assert_eq!(d0.multiplicity(&tup(s, [2i64, 11])), 2);
+        assert_eq!(d0.multiplicity(&tup(t, [2i64])), 1);
+        assert_eq!(d0.multiplicity(&tup(r, [9i64, 9])), 0);
+    }
+
+    #[test]
+    fn identifiers_are_stream_positions() {
+        let (_, r, s, t) = Schema::sigma0();
+        let prefix = sigma0_prefix(r, s, t);
+        let db = Database::from_prefix(&prefix);
+        for (i, tuple) in prefix.iter().enumerate() {
+            assert_eq!(db.get(i), tuple);
+        }
+    }
+
+    #[test]
+    fn relation_bag_projects_sub_bag() {
+        let (_, r, s, t) = Schema::sigma0();
+        let prefix = sigma0_prefix(r, s, t);
+        let db = Database::from_prefix(&prefix[..=5]);
+        let sb = db.relation_bag(s);
+        assert_eq!(sb.len(), 2);
+        assert!(sb.bag_eq(&crate::bag::Bag::from_items(vec![
+            tup(s, [2i64, 11]),
+            tup(s, [2i64, 11]),
+        ])));
+        let _ = (r, t);
+    }
+
+    #[test]
+    fn empty_relation_has_no_ids() {
+        let (_, r, _, _) = Schema::sigma0();
+        let db = Database::new();
+        assert!(db.is_empty());
+        assert!(db.relation_ids(r).is_empty());
+    }
+}

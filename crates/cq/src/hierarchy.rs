@@ -1,0 +1,146 @@
+//! The hierarchy test for conjunctive queries (Section 4).
+//!
+//! `Q` is hierarchical iff it is full and for every pair of variables
+//! `x, y`, the atom sets `atoms(x)` and `atoms(y)` are nested or
+//! disjoint. HCQ is exactly the class of full CQs with constant-update,
+//! constant-delay dynamic evaluation (Berkholz–Keppeler–Schweikardt),
+//! and — by Theorems 4.1/4.2 — exactly the acyclic CQs expressible as
+//! PCEA.
+
+use crate::query::{ConjunctiveQuery, VarId};
+
+/// Why a query fails to be hierarchical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyViolation {
+    /// The query is not full (a body variable is missing from the head).
+    NotFull,
+    /// A crossing pair: `atoms(x)` and `atoms(y)` overlap without
+    /// nesting.
+    CrossingPair {
+        /// First variable.
+        x: VarId,
+        /// Second variable.
+        y: VarId,
+    },
+}
+
+/// Check the hierarchy property, reporting the first violation.
+pub fn check_hierarchical(q: &ConjunctiveQuery) -> Result<(), HierarchyViolation> {
+    if !q.is_full() {
+        return Err(HierarchyViolation::NotFull);
+    }
+    let atom_sets: Vec<Vec<usize>> = q.variables().map(|v| q.atoms_containing(v)).collect();
+    for (i, ax) in atom_sets.iter().enumerate() {
+        for (j, ay) in atom_sets.iter().enumerate().skip(i + 1) {
+            if !nested_or_disjoint(ax, ay) {
+                return Err(HierarchyViolation::CrossingPair {
+                    x: VarId(i as u32),
+                    y: VarId(j as u32),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether the query is a hierarchical conjunctive query.
+pub fn is_hierarchical(q: &ConjunctiveQuery) -> bool {
+    check_hierarchical(q).is_ok()
+}
+
+/// Sorted-set nesting-or-disjointness test.
+fn nested_or_disjoint(a: &[usize], b: &[usize]) -> bool {
+    let inter = intersection_size(a, b);
+    inter == 0 || inter == a.len() || inter == b.len()
+}
+
+fn intersection_size(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cer_common::Schema;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        let mut schema = Schema::new();
+        parse_query(&mut schema, text).unwrap()
+    }
+
+    #[test]
+    fn paper_q0_is_hierarchical() {
+        assert!(is_hierarchical(&q("Q0(x, y) <- T(x), S(x, y), R(x, y)")));
+    }
+
+    #[test]
+    fn paper_q1_is_not_hierarchical() {
+        // Q1(x,y) ← T(x), R(x,y), S(2,y), T(x): atoms(x) = {0,1,3},
+        // atoms(y) = {1,2} — overlapping, not nested.
+        let query = q("Q1(x, y) <- T(x), R(x, y), S(2, y), T(x)");
+        let err = check_hierarchical(&query).unwrap_err();
+        assert!(matches!(err, HierarchyViolation::CrossingPair { .. }));
+    }
+
+    #[test]
+    fn non_full_is_rejected() {
+        let query = q("Q(x) <- T(x), S(x, y)");
+        assert_eq!(
+            check_hierarchical(&query),
+            Err(HierarchyViolation::NotFull)
+        );
+    }
+
+    #[test]
+    fn star_queries_are_hierarchical() {
+        assert!(is_hierarchical(&q(
+            "Q(x, y1, y2, y3) <- A0(x), A1(x, y1), A2(x, y2), A3(x, y3)"
+        )));
+    }
+
+    #[test]
+    fn matrix_query_is_not_hierarchical() {
+        // The canonical non-hierarchical query R(x), S(x,y), T(y).
+        assert!(!is_hierarchical(&q("Q(x, y) <- R(x), S(x, y), T(y)")));
+    }
+
+    #[test]
+    fn big_hierarchical_query_from_figure_3() {
+        // Q1(x,y,z,v,w) ← R(x,y,z), S(x,y,v), T(x,w), U(x,y).
+        assert!(is_hierarchical(&q(
+            "Q(x, y, z, v, w) <- R(x, y, z), S(x, y, v), T(x, w), U(x, y)"
+        )));
+    }
+
+    #[test]
+    fn self_join_query_from_figure_3() {
+        // Q2(x,y,z,v) ← R(x,y,z), R(x,y,v), U(x,y).
+        assert!(is_hierarchical(&q(
+            "Q(x, y, z, v) <- R(x, y, z), R(x, y, v), U(x, y)"
+        )));
+    }
+
+    #[test]
+    fn disconnected_hierarchical() {
+        assert!(is_hierarchical(&q("Q(x, y) <- T(x), U(y)")));
+    }
+
+    #[test]
+    fn single_atom_is_hierarchical() {
+        assert!(is_hierarchical(&q("Q(x, y) <- S(x, y)")));
+        assert!(is_hierarchical(&q("Q() <- PING()")));
+    }
+}

@@ -1,0 +1,391 @@
+//! Homomorphisms, t-homomorphisms and CQ bag semantics (Section 4).
+//!
+//! The paper refines the classic Chaudhuri–Vardi bag semantics with
+//! *tuple-homomorphisms*: functions `η : I(Q) → I(D)` from atom
+//! identifiers to tuple identifiers witnessed by an ordinary homomorphism
+//! `h_η`. Outputs are then in one-to-one correspondence with
+//! t-homomorphisms, which is exactly what lets a CQ output be read as a
+//! CER valuation (`ν(i) = {η(i)}` with `Ω = I(Q)`).
+//!
+//! This module enumerates both notions by backtracking (the test oracle
+//! against which the HCQ→PCEA compiler and the streaming engine are
+//! verified) and cross-checks the t-homomorphism semantics against the
+//! multiplicity formula of Chaudhuri & Vardi (Appendix B).
+
+use crate::database::Database;
+use crate::query::{ConjunctiveQuery, Term, VarId};
+use cer_automata::valuation::{Label, LabelSet, Valuation};
+use cer_common::hash::FxHashMap;
+use cer_common::{Tuple, Value};
+
+/// A homomorphism restricted to the query's variables.
+pub type Assignment = FxHashMap<VarId, Value>;
+
+/// A t-homomorphism `η : I(Q) → I(D)`: `eta[i]` is the tuple identifier
+/// the atom with identifier `i` maps to.
+pub type THom = Vec<usize>;
+
+/// Enumerate all t-homomorphisms from `q` to `db` by backtracking over
+/// atoms, most-constrained-first by relation population.
+pub fn t_homomorphisms(q: &ConjunctiveQuery, db: &Database) -> Vec<THom> {
+    // Order atoms: ascending candidate count, to fail fast.
+    let mut order: Vec<usize> = (0..q.num_atoms()).collect();
+    order.sort_by_key(|&i| db.relation_ids(q.atom(i).relation).len());
+    let mut out = Vec::new();
+    let mut eta = vec![usize::MAX; q.num_atoms()];
+    let mut assignment: Vec<Option<Value>> = vec![None; q.num_vars()];
+    search(q, db, &order, 0, &mut eta, &mut assignment, &mut out);
+    out
+}
+
+fn search(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    depth: usize,
+    eta: &mut THom,
+    assignment: &mut Vec<Option<Value>>,
+    out: &mut Vec<THom>,
+) {
+    if depth == order.len() {
+        out.push(eta.clone());
+        return;
+    }
+    let atom_id = order[depth];
+    let atom = q.atom(atom_id);
+    for &tid in db.relation_ids(atom.relation) {
+        let tuple = db.get(tid);
+        // Try to unify the atom with the tuple under the current partial
+        // assignment, recording which variables we newly bound.
+        let mut bound: Vec<VarId> = Vec::new();
+        if unify(atom, tuple, assignment, &mut bound) {
+            eta[atom_id] = tid;
+            search(q, db, order, depth + 1, eta, assignment, out);
+            eta[atom_id] = usize::MAX;
+        }
+        for v in bound {
+            assignment[v.index()] = None;
+        }
+    }
+}
+
+fn unify(
+    atom: &crate::query::Atom,
+    tuple: &Tuple,
+    assignment: &mut [Option<Value>],
+    bound: &mut Vec<VarId>,
+) -> bool {
+    if atom.args.len() != tuple.arity() {
+        return false;
+    }
+    for (k, term) in atom.args.iter().enumerate() {
+        let actual = tuple.get(k);
+        match term {
+            Term::Const(c) => {
+                if actual != c {
+                    return false;
+                }
+            }
+            Term::Var(v) => match &assignment[v.index()] {
+                Some(val) => {
+                    if val != actual {
+                        return false;
+                    }
+                }
+                None => {
+                    assignment[v.index()] = Some(actual.clone());
+                    bound.push(*v);
+                }
+            },
+        }
+    }
+    true
+}
+
+/// The homomorphism `h_η` associated with a t-homomorphism, restricted to
+/// variables.
+pub fn assignment_of(q: &ConjunctiveQuery, db: &Database, eta: &[usize]) -> Assignment {
+    let mut h = Assignment::default();
+    for (i, &tid) in eta.iter().enumerate() {
+        let atom = q.atom(i);
+        let tuple = db.get(tid);
+        for (k, term) in atom.args.iter().enumerate() {
+            if let Term::Var(v) = term {
+                h.entry(*v).or_insert_with(|| tuple.get(k).clone());
+            }
+        }
+    }
+    h
+}
+
+/// Enumerate `Hom(Q, D)`: distinct homomorphisms (as variable
+/// assignments).
+pub fn homomorphisms(q: &ConjunctiveQuery, db: &Database) -> Vec<Assignment> {
+    let mut out: Vec<Assignment> = Vec::new();
+    for eta in t_homomorphisms(q, db) {
+        let h = assignment_of(q, db, &eta);
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+/// `mult_{Q,D}(h)`: the Chaudhuri–Vardi multiplicity of a homomorphism —
+/// the product over atoms of the multiplicity of the atom's image.
+pub fn cv_multiplicity(q: &ConjunctiveQuery, db: &Database, h: &Assignment) -> usize {
+    let mut m = 1usize;
+    for atom in q.atoms() {
+        let image: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => h[v].clone(),
+            })
+            .collect();
+        let tuple = Tuple::new(atom.relation, image);
+        m *= db.multiplicity(&tuple);
+    }
+    m
+}
+
+/// `⌈⌈Q⌋⌋(D)` as a map from head-value rows to multiplicities, computed
+/// via the Chaudhuri–Vardi formula. Used to cross-check the
+/// t-homomorphism semantics (Appendix B equivalence).
+pub fn cv_bag_semantics(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> FxHashMap<Vec<Value>, usize> {
+    let mut out: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    for h in homomorphisms(q, db) {
+        let row: Vec<Value> = q.head().iter().map(|v| h[v].clone()).collect();
+        *out.entry(row).or_insert(0) += cv_multiplicity(q, db, &h);
+    }
+    out
+}
+
+/// `⟦Q⟧(D)` as a map from head rows to multiplicities, computed by
+/// counting t-homomorphisms (the paper's semantics).
+pub fn thom_bag_semantics(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> FxHashMap<Vec<Value>, usize> {
+    let mut out: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    for eta in t_homomorphisms(q, db) {
+        let h = assignment_of(q, db, &eta);
+        let row: Vec<Value> = q.head().iter().map(|v| h[v].clone()).collect();
+        *out.entry(row).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Interpret a t-homomorphism as the valuation `η̂` with `Ω = I(Q)`:
+/// `η̂(i) = {η(i)}`.
+pub fn thom_to_valuation(q: &ConjunctiveQuery, eta: &[usize]) -> Valuation {
+    let mut v = Valuation::empty(q.num_atoms());
+    for (i, &tid) in eta.iter().enumerate() {
+        v.insert(LabelSet::singleton(Label(i as u32)), tid as u64);
+    }
+    v
+}
+
+/// The CQ-over-streams semantics `⟦Q⟧_n(S)`: all t-homomorphisms into
+/// `D_n[S]`, as valuations (duplicate-free, sorted).
+pub fn outputs_upto(q: &ConjunctiveQuery, prefix: &[Tuple]) -> Vec<Valuation> {
+    let db = Database::from_prefix(prefix);
+    let mut vs: Vec<Valuation> = t_homomorphisms(q, &db)
+        .iter()
+        .map(|eta| thom_to_valuation(q, eta))
+        .collect();
+    vs.sort();
+    vs.dedup();
+    vs
+}
+
+/// The *new* outputs at position `n`: t-homomorphisms into `D_n[S]` whose
+/// latest tuple is exactly `t_n`.
+///
+/// The PCEA side fires an accepting run when its root reads position `n`,
+/// i.e. when the match *completes* at `n`; this is the matching notion on
+/// the CQ side, and `⟦Q⟧_n(S) = ⋃_{m ≤ n} new_outputs_at(m)`.
+pub fn new_outputs_at(q: &ConjunctiveQuery, prefix: &[Tuple], n: usize) -> Vec<Valuation> {
+    let db = Database::from_prefix(&prefix[..=n]);
+    let mut vs: Vec<Valuation> = t_homomorphisms(q, &db)
+        .iter()
+        .filter(|eta| eta.contains(&n))
+        .map(|eta| thom_to_valuation(q, eta))
+        .collect();
+    vs.sort();
+    vs.dedup();
+    vs
+}
+
+/// Windowed new outputs at `n`: span `n − min(ν) ≤ w`.
+pub fn windowed_new_outputs_at(
+    q: &ConjunctiveQuery,
+    prefix: &[Tuple],
+    n: usize,
+    w: u64,
+) -> Vec<Valuation> {
+    new_outputs_at(q, prefix, n)
+        .into_iter()
+        .filter(|v| {
+            v.min_pos()
+                .is_none_or(|m| (n as u64).saturating_sub(m) <= w)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cer_common::gen::sigma0_prefix;
+    use cer_common::Schema;
+
+    fn setup() -> (Schema, ConjunctiveQuery, Vec<Tuple>) {
+        let (mut schema, r, s, t) = {
+            let (schema, r, s, t) = Schema::sigma0();
+            (schema, r, s, t)
+        };
+        let q = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+        (schema, q, sigma0_prefix(r, s, t))
+    }
+
+    #[test]
+    fn paper_t_homomorphisms_eta0_eta1() {
+        // η0 = {0↦1, 1↦3, 2↦5} and η1 = {0↦1, 1↦0, 2↦5} from Q0 to D0.
+        let (_, q, prefix) = setup();
+        let db = Database::from_prefix(&prefix[..=5]);
+        let mut etas = t_homomorphisms(&q, &db);
+        etas.sort();
+        assert_eq!(etas, vec![vec![1, 0, 5], vec![1, 3, 5]]);
+    }
+
+    #[test]
+    fn hom_vs_thom_multiplicities_agree() {
+        // Appendix B: ⟦Q⟧(D) = ⌈⌈Q⌋⌋(D).
+        let (_, q, prefix) = setup();
+        for n in 0..prefix.len() {
+            let db = Database::from_prefix(&prefix[..=n]);
+            assert_eq!(
+                thom_bag_semantics(&q, &db),
+                cv_bag_semantics(&q, &db),
+                "disagree at prefix length {}",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn self_join_multiplicities() {
+        // Q(x) ← T(x), T(x) over a database with T(1) twice: 4 t-homs
+        // (2 choices per atom), CV multiplicity 2·2 = 4.
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- T(x), T(x)").unwrap();
+        let t = schema.relation("T").unwrap();
+        let db = Database::from_prefix(&[
+            cer_common::tuple::tup(t, [1i64]),
+            cer_common::tuple::tup(t, [1i64]),
+        ]);
+        assert_eq!(t_homomorphisms(&q, &db).len(), 4);
+        let cv = cv_bag_semantics(&q, &db);
+        assert_eq!(cv.get(&vec![Value::Int(1)]), Some(&4));
+        assert_eq!(thom_bag_semantics(&q, &db), cv);
+    }
+
+    #[test]
+    fn new_outputs_partition_accumulated_outputs() {
+        let (_, q, prefix) = setup();
+        let mut accumulated: Vec<Valuation> = Vec::new();
+        for n in 0..prefix.len() {
+            accumulated.extend(new_outputs_at(&q, &prefix, n));
+        }
+        accumulated.sort();
+        accumulated.dedup();
+        assert_eq!(accumulated, outputs_upto(&q, &prefix));
+    }
+
+    #[test]
+    fn new_outputs_fire_at_completion_position() {
+        let (_, q, prefix) = setup();
+        // On S0, Q0 completes at position 5 (R(2,11)) with two matches.
+        for n in 0..prefix.len() {
+            let got = new_outputs_at(&q, &prefix, n).len();
+            let want = if n == 5 { 2 } else { 0 };
+            assert_eq!(got, want, "at position {n}");
+        }
+    }
+
+    #[test]
+    fn windowed_outputs_filter_span() {
+        let (_, q, prefix) = setup();
+        assert_eq!(windowed_new_outputs_at(&q, &prefix, 5, 5).len(), 2);
+        assert_eq!(windowed_new_outputs_at(&q, &prefix, 5, 4).len(), 1);
+        assert_eq!(windowed_new_outputs_at(&q, &prefix, 5, 2).len(), 0);
+    }
+
+    #[test]
+    fn constants_restrict_matches() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(y) <- S(2, y)").unwrap();
+        let s = schema.relation("S").unwrap();
+        let db = Database::from_prefix(&[
+            cer_common::tuple::tup(s, [2i64, 11]),
+            cer_common::tuple::tup(s, [3i64, 11]),
+        ]);
+        let etas = t_homomorphisms(&q, &db);
+        assert_eq!(etas, vec![vec![0]]);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- S(x, x)").unwrap();
+        let s = schema.relation("S").unwrap();
+        let db = Database::from_prefix(&[
+            cer_common::tuple::tup(s, [4i64, 4]),
+            cer_common::tuple::tup(s, [4i64, 5]),
+        ]);
+        assert_eq!(t_homomorphisms(&q, &db), vec![vec![0]]);
+    }
+
+    #[test]
+    fn valuation_translation_uses_atom_ids_as_labels() {
+        let (_, q, prefix) = setup();
+        let db = Database::from_prefix(&prefix[..=5]);
+        let eta = vec![1usize, 3, 5];
+        assert!(t_homomorphisms(&q, &db).contains(&eta));
+        let v = thom_to_valuation(&q, &eta);
+        assert_eq!(v.get(Label(0)), &[1]);
+        assert_eq!(v.get(Label(1)), &[3]);
+        assert_eq!(v.get(Label(2)), &[5]);
+    }
+
+    #[test]
+    fn projection_queries_aggregate_multiplicities() {
+        // Non-full query Q(x) ← S(x, y): two y-values for x=1 give the
+        // head row (1) multiplicity 2 under both semantics.
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- S(x, y)").unwrap();
+        let s = schema.relation("S").unwrap();
+        let db = Database::from_prefix(&[
+            cer_common::tuple::tup(s, [1i64, 10]),
+            cer_common::tuple::tup(s, [1i64, 11]),
+            cer_common::tuple::tup(s, [2i64, 10]),
+        ]);
+        let bag = thom_bag_semantics(&q, &db);
+        assert_eq!(bag.get(&vec![Value::Int(1)]), Some(&2));
+        assert_eq!(bag.get(&vec![Value::Int(2)]), Some(&1));
+        assert_eq!(bag, cv_bag_semantics(&q, &db));
+    }
+
+    #[test]
+    fn empty_database_has_no_homs() {
+        let (_, q, _) = setup();
+        let db = Database::new();
+        assert!(t_homomorphisms(&q, &db).is_empty());
+        assert!(homomorphisms(&q, &db).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # cer-cq — conjunctive queries under bag semantics, and the HCQ→PCEA
+//! compiler
+//!
+//! Implements Section 4 of *Complex event recognition meets hierarchical
+//! conjunctive queries* (Pinto & Riveros, PODS 2024):
+//!
+//! * [`bag`] — bags with identity (elements keep their own identifiers);
+//! * [`database`] — relational databases with duplicates; the
+//!   stream-prefix bridge `D_n[S]`;
+//! * [`query`] / [`parser`] — CQ syntax, a text parser and a builder;
+//! * [`hom`] — homomorphisms, t-homomorphisms, the paper's bag semantics
+//!   and its equivalence with Chaudhuri–Vardi multiplicities (App. B);
+//! * [`hierarchy`] — the hierarchy test;
+//! * [`qtree`] — q-trees and compact q-trees (Figures 2–4);
+//! * [`jointree`] — GYO acyclicity and join trees (Theorem 4.2 context);
+//! * [`compile`] / [`selfjoin`] — the HCQ→PCEA compiler of Theorem 4.1:
+//!   quadratic without self-joins, exponential with them.
+
+pub mod bag;
+pub mod compile;
+pub mod database;
+pub mod hierarchy;
+pub mod hom;
+pub mod jointree;
+pub mod parser;
+pub mod qtree;
+pub mod query;
+pub mod selfjoin;
+
+pub use bag::Bag;
+pub use compile::{compile_hcq, CompileError, CompiledQuery};
+pub use database::Database;
+pub use hierarchy::is_hierarchical;
+pub use jointree::is_acyclic;
+pub use parser::{parse_query, QueryBuilder};
+pub use qtree::QTree;
+pub use query::{Atom, ConjunctiveQuery, QueryError, Term, VarId};

@@ -1,0 +1,426 @@
+//! A small text parser for conjunctive queries, plus a programmatic
+//! builder.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := NAME '(' vars? ')' '<-' atom (',' atom)*
+//! atom   := NAME '(' terms? ')'
+//! term   := IDENT | INTEGER | '"' chars '"'
+//! ```
+//!
+//! Lower-case identifiers are variables; integers and quoted strings are
+//! constants. Relations are registered in (or validated against) the
+//! given [`Schema`] as a side effect, with arity inferred from first use.
+
+use crate::query::{Atom, ConjunctiveQuery, QueryError, Term, VarId};
+use cer_common::{RelationId, Schema, Value};
+
+/// Parse a conjunctive query, registering relations in `schema`.
+///
+/// ```
+/// use cer_common::Schema;
+/// use cer_cq::parser::parse_query;
+///
+/// let mut schema = Schema::new();
+/// let q = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+/// assert_eq!(q.num_atoms(), 3);
+/// assert!(q.is_full());
+/// ```
+pub fn parse_query(schema: &mut Schema, text: &str) -> Result<ConjunctiveQuery, QueryError> {
+    Parser::new(text).query(schema)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: format!("{} (at byte {})", message.into(), self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.text[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), QueryError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {token:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        if rest
+            .chars()
+            .next()
+            .is_none_or(|c| c.is_ascii_digit() || !(c == '_' || c.is_alphanumeric()))
+        {
+            return None;
+        }
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if c == '_' || c.is_alphanumeric() {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let s = &rest[..end];
+        self.pos += end;
+        Some(s)
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let negative = rest.starts_with('-');
+        let digits_start = usize::from(negative);
+        let len = rest[digits_start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .count();
+        if len == 0 {
+            return None;
+        }
+        let end = digits_start + len;
+        let v: i64 = rest[..end].parse().ok()?;
+        self.pos += end;
+        Some(v)
+    }
+
+    fn quoted(&mut self) -> Result<Option<String>, QueryError> {
+        self.skip_ws();
+        if !self.text[self.pos..].starts_with('"') {
+            return Ok(None);
+        }
+        let start = self.pos + 1;
+        match self.text[start..].find('"') {
+            Some(end) => {
+                let s = self.text[start..start + end].to_string();
+                self.pos = start + end + 1;
+                Ok(Some(s))
+            }
+            None => Err(self.error("unterminated string literal")),
+        }
+    }
+
+    fn query(&mut self, schema: &mut Schema) -> Result<ConjunctiveQuery, QueryError> {
+        let name = self
+            .ident()
+            .ok_or_else(|| self.error("expected query name"))?
+            .to_string();
+        self.expect("(")?;
+        let mut vars = Vars::default();
+        let mut head = Vec::new();
+        if !self.eat(")") {
+            loop {
+                let v = self
+                    .ident()
+                    .ok_or_else(|| self.error("expected head variable"))?;
+                head.push(vars.intern(v));
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        self.expect("<-")?;
+        let mut atoms = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos == self.text.len() {
+                break;
+            }
+            atoms.push(self.atom(schema, &mut vars)?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.text.len() {
+            return Err(self.error("trailing input"));
+        }
+        ConjunctiveQuery::new(schema, name, head, atoms, vars.names)
+    }
+
+    fn atom(&mut self, schema: &mut Schema, vars: &mut Vars) -> Result<Atom, QueryError> {
+        let rel_name = self
+            .ident()
+            .ok_or_else(|| self.error("expected relation name"))?
+            .to_string();
+        self.expect("(")?;
+        let mut args = Vec::new();
+        if !self.eat(")") {
+            loop {
+                args.push(self.term(vars)?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        let relation = register(schema, &rel_name, args.len())?;
+        Ok(Atom {
+            relation,
+            args: args.into(),
+        })
+    }
+
+    fn term(&mut self, vars: &mut Vars) -> Result<Term, QueryError> {
+        if let Some(s) = self.quoted()? {
+            return Ok(Term::Const(Value::from(s)));
+        }
+        if let Some(i) = self.integer() {
+            return Ok(Term::Const(Value::Int(i)));
+        }
+        match self.ident() {
+            Some(v) => Ok(Term::Var(vars.intern(v))),
+            None => Err(self.error("expected a term")),
+        }
+    }
+}
+
+fn register(schema: &mut Schema, name: &str, arity: usize) -> Result<RelationId, QueryError> {
+    schema.add_relation(name, arity).map_err(|_| {
+        let expected = schema
+            .relation(name)
+            .map(|r| schema.arity(r))
+            .unwrap_or(arity);
+        QueryError::ArityMismatch {
+            relation: name.to_string(),
+            expected,
+            got: arity,
+        }
+    })
+}
+
+#[derive(Default)]
+struct Vars {
+    names: Vec<String>,
+}
+
+impl Vars {
+    fn intern(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return VarId(i as u32);
+        }
+        self.names.push(name.to_string());
+        VarId(self.names.len() as u32 - 1)
+    }
+}
+
+/// A programmatic alternative to the text parser.
+///
+/// ```
+/// use cer_common::Schema;
+/// use cer_cq::parser::QueryBuilder;
+///
+/// let mut schema = Schema::new();
+/// let q = QueryBuilder::new("Spike")
+///     .atom("ALERT", |a| a.var("x"))
+///     .atom("BUY", |a| a.var("x").var("p"))
+///     .head(["x", "p"])
+///     .build(&mut schema)
+///     .unwrap();
+/// assert_eq!(q.num_atoms(), 2);
+/// ```
+pub struct QueryBuilder {
+    name: String,
+    head: Vec<String>,
+    atoms: Vec<(String, Vec<BuilderTerm>)>,
+}
+
+enum BuilderTerm {
+    Var(String),
+    Const(Value),
+}
+
+/// Argument-list builder passed to [`QueryBuilder::atom`].
+#[derive(Default)]
+pub struct AtomArgs {
+    terms: Vec<BuilderTerm>,
+}
+
+impl AtomArgs {
+    /// Append a variable argument.
+    pub fn var(mut self, name: &str) -> Self {
+        self.terms.push(BuilderTerm::Var(name.to_string()));
+        self
+    }
+
+    /// Append a constant argument.
+    pub fn constant(mut self, v: impl Into<Value>) -> Self {
+        self.terms.push(BuilderTerm::Const(v.into()));
+        self
+    }
+}
+
+impl QueryBuilder {
+    /// Start a query with the given head name.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            name: name.into(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+        }
+    }
+
+    /// Add an atom with arguments built by `f`.
+    pub fn atom(mut self, relation: &str, f: impl FnOnce(AtomArgs) -> AtomArgs) -> Self {
+        let args = f(AtomArgs::default());
+        self.atoms.push((relation.to_string(), args.terms));
+        self
+    }
+
+    /// Set the head variables. When never called, the head defaults to
+    /// all body variables in first-occurrence order (a full query).
+    pub fn head<S: Into<String>>(mut self, vars: impl IntoIterator<Item = S>) -> Self {
+        self.head = vars.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Finish, registering relations in `schema`.
+    pub fn build(self, schema: &mut Schema) -> Result<ConjunctiveQuery, QueryError> {
+        let mut vars = Vars::default();
+        let mut atoms = Vec::new();
+        for (rel_name, terms) in &self.atoms {
+            let relation = register(schema, rel_name, terms.len())?;
+            let args: Vec<Term> = terms
+                .iter()
+                .map(|t| match t {
+                    BuilderTerm::Var(v) => Term::Var(vars.intern(v)),
+                    BuilderTerm::Const(c) => Term::Const(c.clone()),
+                })
+                .collect();
+            atoms.push(Atom {
+                relation,
+                args: args.into(),
+            });
+        }
+        let head: Vec<VarId> = if self.head.is_empty() {
+            (0..vars.names.len() as u32).map(VarId).collect()
+        } else {
+            self.head.iter().map(|v| vars.intern(v)).collect()
+        };
+        ConjunctiveQuery::new(schema, self.name, head, atoms, vars.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q0() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+        assert_eq!(q.name(), "Q0");
+        assert_eq!(q.head().len(), 2);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(schema.arity(schema.relation("S").unwrap()), 2);
+    }
+
+    #[test]
+    fn parses_constants() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, r#"Q(y) <- S(2, y), N(-7), W("AAPL")"#).unwrap();
+        assert!(matches!(
+            q.atom(0).args[0],
+            Term::Const(Value::Int(2))
+        ));
+        assert!(matches!(
+            q.atom(1).args[0],
+            Term::Const(Value::Int(-7))
+        ));
+        assert_eq!(q.atom(2).args[0], Term::Const(Value::from("AAPL")));
+    }
+
+    #[test]
+    fn rejects_arity_conflicts_across_atoms() {
+        let mut schema = Schema::new();
+        let err = parse_query(&mut schema, "Q(x) <- T(x), T(x, x)").unwrap_err();
+        assert!(matches!(err, QueryError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn validates_against_preexisting_schema() {
+        let mut schema = Schema::new();
+        schema.add_relation("T", 2).unwrap();
+        let err = parse_query(&mut schema, "Q(x) <- T(x)").unwrap_err();
+        assert!(matches!(err, QueryError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut schema = Schema::new();
+        assert!(parse_query(&mut schema, "").is_err());
+        assert!(parse_query(&mut schema, "Q(x)").is_err());
+        assert!(parse_query(&mut schema, "Q(x) <- T(x) extra").is_err());
+        assert!(parse_query(&mut schema, r#"Q(x) <- T("oops)"#).is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let mut s1 = Schema::new();
+        let mut s2 = Schema::new();
+        let a = parse_query(&mut s1, "Q(x,y)<-T(x),S(x,y)").unwrap();
+        let b = parse_query(&mut s2, "Q( x , y )  <-  T( x ) , S( x , y )").unwrap();
+        assert_eq!(a.num_atoms(), b.num_atoms());
+        assert_eq!(a.head().len(), b.head().len());
+    }
+
+    #[test]
+    fn builder_defaults_to_full_head() {
+        let mut schema = Schema::new();
+        let q = QueryBuilder::new("Q")
+            .atom("T", |a| a.var("x"))
+            .atom("S", |a| a.var("x").var("y"))
+            .build(&mut schema)
+            .unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.head().len(), 2);
+    }
+
+    #[test]
+    fn builder_constants() {
+        let mut schema = Schema::new();
+        let q = QueryBuilder::new("Q")
+            .atom("S", |a| a.constant(2).var("y"))
+            .head(["y"])
+            .build(&mut schema)
+            .unwrap();
+        assert!(matches!(q.atom(0).args[0], Term::Const(Value::Int(2))));
+    }
+
+    #[test]
+    fn nullary_atoms_parse() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q() <- PING()").unwrap();
+        assert_eq!(q.num_atoms(), 1);
+        assert_eq!(q.atom(0).args.len(), 0);
+    }
+}

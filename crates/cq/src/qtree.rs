@@ -1,0 +1,572 @@
+//! q-trees and compact q-trees (Theorem 4.1's backbone, after
+//! Berkholz–Keppeler–Schweikardt).
+//!
+//! A q-tree for a connected HCQ `Q` is a labeled tree with one inner node
+//! per variable and one leaf per atom *identifier*, such that the inner
+//! nodes on the path from the root to leaf `i` are exactly the variables
+//! of atom `i`. A q-tree exists iff `Q` is hierarchical and connected
+//! (Theorem B.1); [`QTree::build`] is therefore also a constructive
+//! hierarchy test.
+//!
+//! Disconnected HCQs are handled as in the paper's "general case": a
+//! virtual root variable `x∗` conceptually added to every atom
+//! ([`QTree::build_rooted`]), later erased from all predicates by the
+//! compiler (it contributes no join keys).
+//!
+//! The *compact* q-tree ([`QTree::compact`]) splices out inner variable
+//! nodes with a single child; the compiled PCEA's states are exactly the
+//! compact tree's nodes, which is what makes the no-self-join automaton
+//! quadratic.
+
+use crate::query::{ConjunctiveQuery, VarId};
+use cer_common::hash::{FxHashMap, FxHashSet};
+use std::fmt;
+
+/// Label of a q-tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeLabel {
+    /// An inner node carrying a query variable.
+    Var(VarId),
+    /// A leaf carrying an atom identifier.
+    Atom(usize),
+    /// The virtual root `x∗` used for disconnected queries.
+    VirtualRoot,
+}
+
+/// A q-tree node.
+#[derive(Clone, Debug)]
+pub struct QNode {
+    /// The node's label.
+    pub label: NodeLabel,
+    /// Parent index (`None` at the root).
+    pub parent: Option<usize>,
+    /// Children indices.
+    pub children: Vec<usize>,
+}
+
+/// Errors raised while building a q-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QTreeError {
+    /// No q-tree exists: the query is not hierarchical (or the atom group
+    /// passed to the builder is not connected).
+    NotHierarchical,
+    /// The query must be connected for [`QTree::build`]; use
+    /// [`QTree::build_rooted`].
+    Disconnected,
+}
+
+impl fmt::Display for QTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QTreeError::NotHierarchical => write!(f, "query has no q-tree (not hierarchical)"),
+            QTreeError::Disconnected => write!(f, "query is disconnected; use build_rooted"),
+        }
+    }
+}
+
+impl std::error::Error for QTreeError {}
+
+/// A (possibly compact, possibly virtually-rooted) q-tree.
+#[derive(Clone, Debug)]
+pub struct QTree {
+    nodes: Vec<QNode>,
+    root: usize,
+    /// `leaf_of_atom[i]` is the node index of atom `i`'s leaf.
+    leaf_of_atom: Vec<usize>,
+}
+
+impl QTree {
+    /// Build the canonical q-tree of a connected HCQ.
+    ///
+    /// Fails with [`QTreeError::Disconnected`] on disconnected input and
+    /// [`QTreeError::NotHierarchical`] when no q-tree exists.
+    pub fn build(q: &ConjunctiveQuery) -> Result<QTree, QTreeError> {
+        if !q.is_connected() {
+            return Err(QTreeError::Disconnected);
+        }
+        let mut tree = QTree {
+            nodes: Vec::new(),
+            root: 0,
+            leaf_of_atom: vec![usize::MAX; q.num_atoms()],
+        };
+        let all: Vec<usize> = (0..q.num_atoms()).collect();
+        let root = tree.grow(q, &all, &FxHashSet::default(), None)?;
+        tree.root = root;
+        Ok(tree)
+    }
+
+    /// Build a q-tree for an arbitrary (possibly disconnected) HCQ: a
+    /// single component yields its plain q-tree; multiple components hang
+    /// from a [`NodeLabel::VirtualRoot`] node (the fresh variable `x∗` of
+    /// the paper's general case).
+    pub fn build_rooted(q: &ConjunctiveQuery) -> Result<QTree, QTreeError> {
+        let components = q.connected_components();
+        if components.len() == 1 {
+            return Self::build(q);
+        }
+        let mut tree = QTree {
+            nodes: Vec::new(),
+            root: 0,
+            leaf_of_atom: vec![usize::MAX; q.num_atoms()],
+        };
+        let root = tree.push(NodeLabel::VirtualRoot, None);
+        for comp in &components {
+            let child = tree.grow(q, comp, &FxHashSet::default(), Some(root))?;
+            tree.nodes[root].children.push(child);
+        }
+        tree.root = root;
+        Ok(tree)
+    }
+
+    fn push(&mut self, label: NodeLabel, parent: Option<usize>) -> usize {
+        self.nodes.push(QNode {
+            label,
+            parent,
+            children: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Grow the subtree for a variable-connected atom group whose common
+    /// handled prefix is `handled`. Returns the subtree root (not yet
+    /// registered in the parent's child list).
+    fn grow(
+        &mut self,
+        q: &ConjunctiveQuery,
+        group: &[usize],
+        handled: &FxHashSet<VarId>,
+        parent: Option<usize>,
+    ) -> Result<usize, QTreeError> {
+        // V_all: variables occurring in every atom of the group, fresh.
+        let mut v_all: Vec<VarId> = q
+            .atom(group[0])
+            .variables()
+            .into_iter()
+            .filter(|v| !handled.contains(v))
+            .filter(|v| group[1..].iter().all(|&i| q.atom(i).contains_var(*v)))
+            .collect();
+        v_all.sort();
+        if v_all.is_empty() {
+            // Only a single fully-handled atom can terminate here.
+            return match group {
+                &[atom] => {
+                    let leaf = self.push(NodeLabel::Atom(atom), parent);
+                    self.leaf_of_atom[atom] = leaf;
+                    Ok(leaf)
+                }
+                _ => Err(QTreeError::NotHierarchical),
+            };
+        }
+        // Chain the common variables into a path v1 → … → vk. The caller
+        // links `v1` into `parent`'s child list; inner path links are made
+        // here.
+        let mut top = usize::MAX;
+        let mut last = parent;
+        for &v in &v_all {
+            let node = self.push(NodeLabel::Var(v), last);
+            if top == usize::MAX {
+                top = node;
+            } else {
+                let prev = last.expect("previous path node");
+                self.nodes[prev].children.push(node);
+            }
+            last = Some(node);
+        }
+        let vk = last.expect("non-empty path");
+        let mut handled2 = handled.clone();
+        handled2.extend(v_all.iter().copied());
+        // Atoms fully covered by the path become leaves under vk; the
+        // rest split into components connected via the remaining vars.
+        let mut remaining: Vec<usize> = Vec::new();
+        for &i in group {
+            let fresh: Vec<VarId> = q
+                .atom(i)
+                .variables()
+                .into_iter()
+                .filter(|v| !handled2.contains(v))
+                .collect();
+            if fresh.is_empty() {
+                let leaf = self.push(NodeLabel::Atom(i), Some(vk));
+                self.nodes[vk].children.push(leaf);
+                self.leaf_of_atom[i] = leaf;
+            } else {
+                remaining.push(i);
+            }
+        }
+        for comp in components_among(q, &remaining, &handled2) {
+            let child = self.grow(q, &comp, &handled2, Some(vk))?;
+            self.nodes[vk].children.push(child);
+        }
+        Ok(top)
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &QNode {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes (never the case after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate `(index, node)` pairs, skipping nodes spliced out by
+    /// [`QTree::compact`].
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &QNode)> {
+        let live = self.live_set();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| live.contains(i))
+    }
+
+    fn live_set(&self) -> FxHashSet<usize> {
+        let mut live = FxHashSet::default();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            live.insert(n);
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+        live
+    }
+
+    /// Leaf node index for atom `i`.
+    pub fn leaf_of_atom(&self, i: usize) -> usize {
+        self.leaf_of_atom[i]
+    }
+
+    /// Whether node `n` is a leaf (atom) node.
+    pub fn is_leaf(&self, n: usize) -> bool {
+        matches!(self.nodes[n].label, NodeLabel::Atom(_))
+    }
+
+    /// Node indices on the path from the root to `n`, inclusive.
+    pub fn path_from_root(&self, n: usize) -> Vec<usize> {
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Atom identifiers at or below node `n`, ascending.
+    pub fn atoms_below(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            match self.nodes[m].label {
+                NodeLabel::Atom(i) => out.push(i),
+                _ => stack.extend(self.nodes[m].children.iter().copied()),
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The inner node carrying variable `v`, if present.
+    pub fn var_node(&self, v: VarId) -> Option<usize> {
+        let live = self.live_set();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| live.contains(i))
+            .find(|(_, n)| n.label == NodeLabel::Var(v))
+            .map(|(i, _)| i)
+    }
+
+    /// The compact q-tree: splice out inner variable nodes with a single
+    /// child. When the single child is itself an inner node the child is
+    /// absorbed (the parent keeps its label, as in Figure 4's `τc_Q2`);
+    /// when it is a leaf the variable node is removed and the leaf takes
+    /// its place.
+    pub fn compact(&self) -> QTree {
+        let mut t = self.clone();
+        loop {
+            let live = t.live_set();
+            let candidate = live.iter().copied().find(|&n| {
+                matches!(t.nodes[n].label, NodeLabel::Var(_)) && t.nodes[n].children.len() == 1
+            });
+            let Some(n) = candidate else { break };
+            let child = t.nodes[n].children[0];
+            if t.is_leaf(child) {
+                // Remove the variable node; the leaf takes its place.
+                match t.nodes[n].parent {
+                    Some(p) => {
+                        let slot = t.nodes[p]
+                            .children
+                            .iter()
+                            .position(|&c| c == n)
+                            .expect("child link");
+                        t.nodes[p].children[slot] = child;
+                        t.nodes[child].parent = Some(p);
+                    }
+                    None => {
+                        t.nodes[child].parent = None;
+                        t.root = child;
+                    }
+                }
+            } else {
+                // Absorb the child: n inherits the grandchildren.
+                let grandchildren = std::mem::take(&mut t.nodes[child].children);
+                for &g in &grandchildren {
+                    t.nodes[g].parent = Some(n);
+                }
+                t.nodes[n].children = grandchildren;
+            }
+        }
+        t
+    }
+
+    /// Validate the *full* q-tree conditions against `q`: a unique inner
+    /// node per variable, a unique leaf per atom identifier, and the path
+    /// to each leaf carrying exactly the atom's variables.
+    pub fn validate_full(&self, q: &ConjunctiveQuery) -> Result<(), String> {
+        let mut var_nodes: FxHashMap<VarId, usize> = FxHashMap::default();
+        let mut atom_leaves: FxHashMap<usize, usize> = FxHashMap::default();
+        for (i, n) in self.iter() {
+            match n.label {
+                NodeLabel::Var(v) => {
+                    if var_nodes.insert(v, i).is_some() {
+                        return Err(format!("variable {v:?} labels two inner nodes"));
+                    }
+                    if n.children.is_empty() {
+                        return Err(format!("variable node {v:?} is a leaf"));
+                    }
+                }
+                NodeLabel::Atom(a) => {
+                    if atom_leaves.insert(a, i).is_some() {
+                        return Err(format!("atom {a} labels two leaves"));
+                    }
+                    if !n.children.is_empty() {
+                        return Err(format!("atom node {a} is not a leaf"));
+                    }
+                }
+                NodeLabel::VirtualRoot => {}
+            }
+        }
+        for v in q.variables() {
+            if !q.atoms_containing(v).is_empty() && !var_nodes.contains_key(&v) {
+                return Err(format!("variable {v:?} missing from the tree"));
+            }
+        }
+        for a in 0..q.num_atoms() {
+            let Some(&leaf) = atom_leaves.get(&a) else {
+                return Err(format!("atom {a} missing from the tree"));
+            };
+            let mut path_vars: Vec<VarId> = self
+                .path_from_root(leaf)
+                .iter()
+                .filter_map(|&n| match self.nodes[n].label {
+                    NodeLabel::Var(v) => Some(v),
+                    _ => None,
+                })
+                .collect();
+            path_vars.sort();
+            let mut atom_vars = q.atom(a).variables();
+            atom_vars.sort();
+            if path_vars != atom_vars {
+                return Err(format!(
+                    "path to atom {a} carries {path_vars:?}, expected {atom_vars:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Partition `atoms` into groups connected via variables outside
+/// `handled`.
+fn components_among(
+    q: &ConjunctiveQuery,
+    atoms: &[usize],
+    handled: &FxHashSet<VarId>,
+) -> Vec<Vec<usize>> {
+    let mut parent: FxHashMap<usize, usize> = atoms.iter().map(|&i| (i, i)).collect();
+    fn find(parent: &mut FxHashMap<usize, usize>, i: usize) -> usize {
+        let p = parent[&i];
+        if p == i {
+            return i;
+        }
+        let root = find(parent, p);
+        parent.insert(i, root);
+        root
+    }
+    for v in q.variables() {
+        if handled.contains(&v) {
+            continue;
+        }
+        let members: Vec<usize> = atoms
+            .iter()
+            .copied()
+            .filter(|&i| q.atom(i).contains_var(v))
+            .collect();
+        for w in members.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent.insert(a, b);
+            }
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for &i in atoms {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cer_common::Schema;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        let mut schema = Schema::new();
+        parse_query(&mut schema, text).unwrap()
+    }
+
+    #[test]
+    fn q0_tree_matches_figure_2() {
+        // Root x with children {leaf T, y}; y with children {leaf S, leaf R}.
+        let query = q("Q0(x, y) <- T(x), S(x, y), R(x, y)");
+        let tree = QTree::build(&query).unwrap();
+        tree.validate_full(&query).unwrap();
+        let root = tree.root();
+        assert_eq!(tree.node(root).label, NodeLabel::Var(VarId(0)));
+        assert_eq!(tree.node(root).children.len(), 2);
+        // Leaf of T(x) hangs directly from x.
+        assert_eq!(tree.node(tree.leaf_of_atom(0)).parent, Some(root));
+        // Leaves of S and R hang from y.
+        let y = tree.var_node(VarId(1)).unwrap();
+        assert_eq!(tree.node(tree.leaf_of_atom(1)).parent, Some(y));
+        assert_eq!(tree.node(tree.leaf_of_atom(2)).parent, Some(y));
+        assert_eq!(tree.node(y).parent, Some(root));
+    }
+
+    #[test]
+    fn q1_tree_matches_figure_3() {
+        // Q1(x,y,z,v,w) ← R(x,y,z), S(x,y,v), T(x,w), U(x,y).
+        let query = q("Q(x, y, z, v, w) <- R(x, y, z), S(x, y, v), T(x, w), U(x, y)");
+        let tree = QTree::build(&query).unwrap();
+        tree.validate_full(&query).unwrap();
+        // 5 variables + 4 atoms = 9 nodes.
+        assert_eq!(tree.iter().count(), 9);
+        // Figure 4 compact: x → {y → {U, R, S}, T}: 6 live nodes.
+        let compact = tree.compact();
+        assert_eq!(compact.iter().count(), 6);
+        let root = compact.root();
+        assert_eq!(compact.node(root).label, NodeLabel::Var(VarId(0)));
+        let y = compact.var_node(VarId(1)).unwrap();
+        assert_eq!(compact.node(y).children.len(), 3);
+        // T's leaf (atom 2) hangs from x; z, v, w are gone.
+        assert_eq!(compact.node(compact.leaf_of_atom(2)).parent, Some(root));
+        assert!(compact.var_node(VarId(2)).is_none());
+        assert!(compact.var_node(VarId(3)).is_none());
+        assert!(compact.var_node(VarId(4)).is_none());
+    }
+
+    #[test]
+    fn q2_selfjoin_tree_matches_figure_3_and_4() {
+        // Q2(x,y,z,v) ← R(x,y,z), R(x,y,v), U(x,y).
+        let query = q("Q(x, y, z, v) <- R(x, y, z), R(x, y, v), U(x, y)");
+        let tree = QTree::build(&query).unwrap();
+        tree.validate_full(&query).unwrap();
+        let compact = tree.compact();
+        // Figure 4: a single variable root with three leaves.
+        assert_eq!(compact.iter().count(), 4);
+        let root = compact.root();
+        assert!(matches!(compact.node(root).label, NodeLabel::Var(_)));
+        assert_eq!(compact.node(root).children.len(), 3);
+        for a in 0..3 {
+            assert_eq!(compact.node(compact.leaf_of_atom(a)).parent, Some(root));
+        }
+    }
+
+    #[test]
+    fn non_hierarchical_has_no_tree() {
+        let query = q("Q(x, y) <- R(x), S(x, y), T(y)");
+        assert_eq!(QTree::build(&query).unwrap_err(), QTreeError::NotHierarchical);
+        // Result PartialEq via derive on QTreeError only; compare variant.
+    }
+
+    #[test]
+    fn disconnected_needs_virtual_root() {
+        let query = q("Q(x, y) <- T(x), U(y)");
+        assert_eq!(QTree::build(&query).unwrap_err(), QTreeError::Disconnected);
+        let tree = QTree::build_rooted(&query).unwrap();
+        assert_eq!(tree.node(tree.root()).label, NodeLabel::VirtualRoot);
+        assert_eq!(tree.node(tree.root()).children.len(), 2);
+    }
+
+    #[test]
+    fn single_atom_tree_compacts_to_leaf() {
+        let query = q("Q(x) <- T(x)");
+        let tree = QTree::build(&query).unwrap();
+        tree.validate_full(&query).unwrap();
+        let compact = tree.compact();
+        assert!(compact.is_leaf(compact.root()));
+    }
+
+    #[test]
+    fn atoms_below_and_paths() {
+        let query = q("Q0(x, y) <- T(x), S(x, y), R(x, y)");
+        let tree = QTree::build(&query).unwrap();
+        assert_eq!(tree.atoms_below(tree.root()), vec![0, 1, 2]);
+        let y = tree.var_node(VarId(1)).unwrap();
+        assert_eq!(tree.atoms_below(y), vec![1, 2]);
+        let leaf_r = tree.leaf_of_atom(2);
+        let path = tree.path_from_root(leaf_r);
+        assert_eq!(path.len(), 3); // x, y, leaf
+        assert_eq!(path[0], tree.root());
+    }
+
+    #[test]
+    fn star_query_tree_shape() {
+        let query = q("Q(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)");
+        let tree = QTree::build(&query).unwrap();
+        tree.validate_full(&query).unwrap();
+        let compact = tree.compact();
+        // Compact: x → {A0, y1 → A1?...}: y1 has single child A1 → leaf
+        // splices up: x → {A0, A1, A2}? No: y1's removal replaces it by
+        // the leaf under x.
+        let root = compact.root();
+        assert_eq!(compact.node(root).children.len(), 3);
+        assert!(compact.var_node(VarId(1)).is_none());
+        assert!(compact.var_node(VarId(2)).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_foreign_tree() {
+        let q0 = q("Q0(x, y) <- T(x), S(x, y), R(x, y)");
+        let other = q("Q(x, y) <- T(x), S(x, y)");
+        let tree = QTree::build(&other).unwrap();
+        assert!(tree.validate_full(&q0).is_err());
+    }
+
+    #[test]
+    fn repeated_atom_gets_two_leaves() {
+        let query = q("Q(x) <- T(x), T(x)");
+        let tree = QTree::build(&query).unwrap();
+        tree.validate_full(&query).unwrap();
+        assert_ne!(tree.leaf_of_atom(0), tree.leaf_of_atom(1));
+    }
+}

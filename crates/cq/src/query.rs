@@ -1,0 +1,424 @@
+//! Conjunctive-query syntax (Section 4).
+//!
+//! A CQ `Q(x̄) ← R0(x̄0), …, R_{m−1}(x̄_{m−1})` is a head variable list
+//! plus a *bag* of atoms: the paper treats `Q` itself as a bag, with atom
+//! positions as identifiers, so that self-joins (repeated atoms) keep
+//! their identity. Atom identifiers double as the output labels `Ω = I(Q)`
+//! of the compiled PCEA.
+
+use cer_common::{RelationId, Schema, Value};
+use std::fmt;
+
+/// A query variable, interned per query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An argument of an atom: a variable or a data-value constant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A query variable.
+    Var(VarId),
+    /// A constant from `D`.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// An atom `R(x̄)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: RelationId,
+    /// The argument terms.
+    pub args: Box<[Term]>,
+}
+
+impl Atom {
+    /// Distinct variables of the atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for t in self.args.iter() {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// First position at which `v` occurs, if any.
+    pub fn position_of(&self, v: VarId) -> Option<usize> {
+        self.args.iter().position(|t| t.as_var() == Some(v))
+    }
+
+    /// Whether `v` occurs in the atom.
+    pub fn contains_var(&self, v: VarId) -> bool {
+        self.position_of(v).is_some()
+    }
+}
+
+/// Errors raised while building or validating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An atom's argument count disagrees with the schema arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// A head variable does not occur in the body.
+    UnboundHeadVariable {
+        /// Variable name.
+        variable: String,
+    },
+    /// The query body is empty.
+    EmptyBody,
+    /// Parse error with a message.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "atom {relation} has {got} arguments but arity {expected}"
+            ),
+            QueryError::UnboundHeadVariable { variable } => {
+                write!(f, "head variable {variable} does not occur in the body")
+            }
+            QueryError::EmptyBody => write!(f, "query body is empty"),
+            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A conjunctive query: head variables plus a bag of atoms.
+///
+/// Use [`parse_query`](crate::parser::parse_query) or
+/// [`QueryBuilder`](crate::parser::QueryBuilder) to construct one.
+#[derive(Clone, Debug)]
+pub struct ConjunctiveQuery {
+    name: String,
+    head: Vec<VarId>,
+    atoms: Vec<Atom>,
+    var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Construct directly; validates arity against the schema and that
+    /// the body is non-empty.
+    pub fn new(
+        schema: &Schema,
+        name: impl Into<String>,
+        head: Vec<VarId>,
+        atoms: Vec<Atom>,
+        var_names: Vec<String>,
+    ) -> Result<Self, QueryError> {
+        if atoms.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        for a in &atoms {
+            let expected = schema.arity(a.relation);
+            if a.args.len() != expected {
+                return Err(QueryError::ArityMismatch {
+                    relation: schema.name(a.relation).to_string(),
+                    expected,
+                    got: a.args.len(),
+                });
+            }
+        }
+        let q = ConjunctiveQuery {
+            name: name.into(),
+            head,
+            atoms,
+            var_names,
+        };
+        for &h in &q.head {
+            if !q.atoms.iter().any(|a| a.contains_var(h)) {
+                return Err(QueryError::UnboundHeadVariable {
+                    variable: q.var_name(h).to_string(),
+                });
+            }
+        }
+        Ok(q)
+    }
+
+    /// The query name (head relation symbol).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Head variables `x̄`.
+    pub fn head(&self) -> &[VarId] {
+        &self.head
+    }
+
+    /// The atoms, identifier order (`I(Q)` = indices).
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The atom with identifier `i`.
+    pub fn atom(&self, i: usize) -> &Atom {
+        &self.atoms[i]
+    }
+
+    /// Number of atom occurrences `|I(Q)|`.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of interned variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// All variables, in intern order.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> {
+        (0..self.var_names.len() as u32).map(VarId)
+    }
+
+    /// Human-readable variable name.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// `atoms(x)`: identifiers of atoms containing `x` (ascending). As a
+    /// sub-bag of `Q` this is determined by the identifier set.
+    pub fn atoms_containing(&self, v: VarId) -> Vec<usize> {
+        (0..self.atoms.len())
+            .filter(|&i| self.atoms[i].contains_var(v))
+            .collect()
+    }
+
+    /// Whether the query is *full*: every body variable occurs in the
+    /// head.
+    pub fn is_full(&self) -> bool {
+        self.variables()
+            .filter(|v| self.atoms.iter().any(|a| a.contains_var(*v)))
+            .all(|v| self.head.contains(&v))
+    }
+
+    /// Whether two atoms share a relation name (self-join).
+    pub fn has_self_joins(&self) -> bool {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if self.atoms[i + 1..].iter().any(|b| b.relation == a.relation) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Connected components of the body under shared variables, each a
+    /// sorted list of atom identifiers. Atoms without variables form
+    /// singleton components.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for v in self.variables() {
+            let members = self.atoms_containing(v);
+            for w in members.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut root_index: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            match root_index[r] {
+                Some(g) => groups[g].push(i),
+                None => {
+                    root_index[r] = Some(groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        groups
+    }
+
+    /// Whether the body is connected (single component).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() == 1
+    }
+
+    /// Render the query with schema relation names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayQuery { q: self, schema }
+    }
+}
+
+struct DisplayQuery<'a> {
+    q: &'a ConjunctiveQuery,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayQuery<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.q.name)?;
+        for (i, v) in self.q.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.q.var_name(*v))?;
+        }
+        write!(f, ") <- ")?;
+        for (i, a) in self.q.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", self.schema.name(a.relation))?;
+            for (k, t) in a.args.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                match t {
+                    Term::Var(v) => write!(f, "{}", self.q.var_name(*v))?,
+                    Term::Const(c) => write!(f, "{c}")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn q0() -> (Schema, ConjunctiveQuery) {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+        (schema, q)
+    }
+
+    #[test]
+    fn q0_structure() {
+        let (schema, q) = q0();
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.num_vars(), 2);
+        assert!(q.is_full());
+        assert!(!q.has_self_joins());
+        assert!(q.is_connected());
+        assert_eq!(
+            q.display(&schema).to_string(),
+            "Q0(x, y) <- T(x), S(x, y), R(x, y)"
+        );
+    }
+
+    #[test]
+    fn atoms_containing_matches_paper() {
+        let (_, q) = q0();
+        let x = VarId(0);
+        let y = VarId(1);
+        assert_eq!(q.atoms_containing(x), vec![0, 1, 2]);
+        assert_eq!(q.atoms_containing(y), vec![1, 2]);
+    }
+
+    #[test]
+    fn q1_has_self_joins_and_constants() {
+        // Q1(x,y) ← T(x), R(x,y), S(2,y), T(x): bag of atoms with a
+        // repeated T(x).
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q1(x, y) <- T(x), R(x, y), S(2, y), T(x)").unwrap();
+        assert_eq!(q.num_atoms(), 4);
+        assert!(q.has_self_joins());
+        assert_eq!(q.atom(0), q.atom(3), "repeated atom keeps both ids");
+        assert!(matches!(q.atom(2).args[0], Term::Const(Value::Int(2))));
+    }
+
+    #[test]
+    fn non_full_detected() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- S(x, y)").unwrap();
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x, y) <- T(x), U(y)").unwrap();
+        assert!(!q.is_connected());
+        assert_eq!(q.connected_components(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn constant_only_atom_is_singleton_component() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- T(x), U(5)").unwrap();
+        assert_eq!(q.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let mut schema = Schema::new();
+        let err = parse_query(&mut schema, "Q(z) <- T(x)").unwrap_err();
+        assert!(matches!(err, QueryError::UnboundHeadVariable { .. }));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let mut schema = Schema::new();
+        let err = parse_query(&mut schema, "Q() <- ").unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::EmptyBody | QueryError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn variable_helpers() {
+        let (_, q) = q0();
+        assert_eq!(q.var_name(VarId(0)), "x");
+        assert_eq!(q.atom(1).variables(), vec![VarId(0), VarId(1)]);
+        assert_eq!(q.atom(1).position_of(VarId(1)), Some(1));
+        assert_eq!(q.atom(0).position_of(VarId(1)), None);
+    }
+}

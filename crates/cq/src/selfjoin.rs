@@ -1,0 +1,652 @@
+//! The self-join HCQ→PCEA construction (Theorem 4.1, exponential case).
+//!
+//! With self-joins, a single tuple can simultaneously witness several
+//! atom occurrences. The construction annotates each variable state with
+//! the *self-join set* `A` (a non-empty set of same-relation atom ids)
+//! whose tuple completed it, and fires transitions labeled with all of
+//! `A` at once. Join conditions come from the *derived atoms* of Lemmas
+//! B.3/B.4: equivalence classes of argument positions under the
+//! transitive closure of shared-variable coincidence.
+//!
+//! The blow-up is inherent: when every atom carries the same relation
+//! symbol, the final transition must annotate with an arbitrary subset of
+//! atoms. The construction therefore guards against pathological inputs
+//! with a transition budget ([`MAX_TRANSITIONS`]).
+
+use crate::compile::{atom_unary, CompileError, CompiledQuery};
+use crate::query::{ConjunctiveQuery, Term, VarId};
+use crate::qtree::{NodeLabel, QTree};
+use cer_automata::pcea::{PceaBuilder, StateId};
+use cer_automata::predicate::{
+    EqPredicate, ExtractorEntry, KeyExtractor, PosGroup, UnaryPredicate,
+};
+use cer_automata::valuation::{Label, LabelSet};
+use cer_common::hash::FxHashMap;
+use cer_common::{Schema, Value};
+
+/// Transition budget for the exponential construction.
+pub const MAX_TRANSITIONS: usize = 100_000;
+
+/// A self-join set: a sorted, non-empty set of same-relation atom ids.
+pub type SelfJoinSet = Vec<usize>;
+
+/// Enumerate `SJ_Q`: all non-empty same-relation atom-id sets.
+pub fn self_join_sets(q: &ConjunctiveQuery) -> Vec<SelfJoinSet> {
+    let mut by_rel: FxHashMap<cer_common::RelationId, Vec<usize>> = FxHashMap::default();
+    for i in 0..q.num_atoms() {
+        by_rel.entry(q.atom(i).relation).or_default().push(i);
+    }
+    let mut out: Vec<SelfJoinSet> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = by_rel.into_values().collect();
+    groups.sort();
+    for group in groups {
+        let k = group.len();
+        for mask in 1u32..(1 << k) {
+            let set: Vec<usize> = (0..k)
+                .filter(|&b| mask & (1 << b) != 0)
+                .map(|b| group[b])
+                .collect();
+            out.push(set);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Position equivalence classes of the derived atoms (Lemmas B.3/B.4).
+///
+/// The universe is `[0, n_left + n_right)`: left-atom positions first,
+/// then right-atom positions shifted by `n_left` (use `n_right = 0` for
+/// the single-side derived atom `t_A`). Positions sharing a *term* across
+/// any pair of atoms on their respective sides are merged; constant terms
+/// pin their class.
+pub struct PositionClasses {
+    /// Class id per universe position.
+    class_of: Vec<usize>,
+    /// Pinned constant per class, if any.
+    constants: Vec<Option<Value>>,
+    /// Whether a class accumulated two distinct constants.
+    unsat: bool,
+    n_left: usize,
+}
+
+impl PositionClasses {
+    /// Build joint classes for atom-id sets `left` and `right` of `q`
+    /// (`right` may be empty for the unary case). All atoms of one side
+    /// must share a relation (callers pass self-join sets).
+    pub fn build(q: &ConjunctiveQuery, left: &[usize], right: &[usize]) -> Self {
+        let n_left = q.atom(left[0]).args.len();
+        let n_right = right.first().map_or(0, |&i| q.atom(i).args.len());
+        let n = n_left + n_right;
+        let mut uf: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut Vec<usize>, i: usize) -> usize {
+            if uf[i] != i {
+                let r = find(uf, uf[i]);
+                uf[i] = r;
+            }
+            uf[i]
+        }
+        // Merge positions carrying the same variable anywhere.
+        let mut var_positions: FxHashMap<VarId, Vec<usize>> = FxHashMap::default();
+        let mut constants_at: Vec<Vec<Value>> = vec![Vec::new(); n];
+        let record = |atom: &crate::query::Atom,
+                          offset: usize,
+                          var_positions: &mut FxHashMap<VarId, Vec<usize>>,
+                          constants_at: &mut Vec<Vec<Value>>| {
+            for (k, t) in atom.args.iter().enumerate() {
+                match t {
+                    Term::Var(v) => var_positions.entry(*v).or_default().push(offset + k),
+                    Term::Const(c) => constants_at[offset + k].push(c.clone()),
+                }
+            }
+        };
+        for &i in left {
+            record(q.atom(i), 0, &mut var_positions, &mut constants_at);
+        }
+        for &i in right {
+            record(q.atom(i), n_left, &mut var_positions, &mut constants_at);
+        }
+        for positions in var_positions.values() {
+            for w in positions.windows(2) {
+                let (a, b) = (find(&mut uf, w[0]), find(&mut uf, w[1]));
+                if a != b {
+                    uf[a] = b;
+                }
+            }
+        }
+        // Dense class ids in position order.
+        let mut class_index: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut class_of = vec![0usize; n];
+        for (p, slot) in class_of.iter_mut().enumerate() {
+            let r = find(&mut uf, p);
+            let next = class_index.len();
+            *slot = *class_index.entry(r).or_insert(next);
+        }
+        let num_classes = class_index.len();
+        let mut constants: Vec<Option<Value>> = vec![None; num_classes];
+        let mut unsat = false;
+        for p in 0..n {
+            for c in &constants_at[p] {
+                match &constants[class_of[p]] {
+                    None => constants[class_of[p]] = Some(c.clone()),
+                    Some(prev) if prev != c => unsat = true,
+                    Some(_) => {}
+                }
+            }
+        }
+        PositionClasses {
+            class_of,
+            constants,
+            unsat,
+            n_left,
+        }
+    }
+
+    /// Whether the derived atom is unsatisfiable (conflicting constants).
+    pub fn unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// The consistency groups for one side (`left = true` for positions
+    /// `< n_left`): per class, the side's member positions, with the
+    /// class constant. Classes needing no check (single member, no
+    /// constant) are omitted.
+    pub fn side_groups(&self, left: bool) -> Vec<PosGroup> {
+        let num_classes = self.constants.len();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+        for (p, &cls) in self.class_of.iter().enumerate() {
+            let on_left = p < self.n_left;
+            if on_left == left {
+                let local = if left { p } else { p - self.n_left };
+                members[cls].push(local);
+            }
+        }
+        members
+            .into_iter()
+            .enumerate()
+            .filter(|(cls, m)| {
+                !m.is_empty() && (m.len() >= 2 || self.constants[*cls].is_some())
+            })
+            .map(|(cls, m)| PosGroup {
+                positions: m.into(),
+                constant: self.constants[cls].clone(),
+            })
+            .collect()
+    }
+
+    /// Key positions for the equality predicate: one representative
+    /// position per *shared*, non-constant class (has members on both
+    /// sides). Returns `(left_positions, right_positions)` in a canonical
+    /// shared-class order.
+    pub fn shared_key_positions(&self) -> (Box<[usize]>, Box<[usize]>) {
+        let num_classes = self.constants.len();
+        let mut left_rep: Vec<Option<usize>> = vec![None; num_classes];
+        let mut right_rep: Vec<Option<usize>> = vec![None; num_classes];
+        for (p, &cls) in self.class_of.iter().enumerate() {
+            if p < self.n_left {
+                left_rep[cls].get_or_insert(p);
+            } else {
+                right_rep[cls].get_or_insert(p - self.n_left);
+            }
+        }
+        let mut lk = Vec::new();
+        let mut rk = Vec::new();
+        for cls in 0..num_classes {
+            if self.constants[cls].is_some() {
+                continue;
+            }
+            if let (Some(l), Some(r)) = (left_rep[cls], right_rep[cls]) {
+                lk.push(l);
+                rk.push(r);
+            }
+        }
+        (lk.into(), rk.into())
+    }
+}
+
+/// `U_A`: the unary predicate of the derived atom `t_A` (Lemma B.3).
+/// `None` when unsatisfiable.
+pub fn derived_unary(q: &ConjunctiveQuery, a: &[usize]) -> Option<UnaryPredicate> {
+    let classes = PositionClasses::build(q, a, &[]);
+    if classes.unsat() {
+        return None;
+    }
+    let atom = q.atom(a[0]);
+    Some(UnaryPredicate::Groups {
+        relation: atom.relation,
+        arity: atom.args.len(),
+        groups: classes.side_groups(true).into(),
+    })
+}
+
+/// `B_{A1,A2}`: the equality predicate of the derived atom pair (Lemma
+/// B.4); the left side is the earlier tuple (matched `A1`). `None` when
+/// unsatisfiable.
+pub fn derived_binary(q: &ConjunctiveQuery, a1: &[usize], a2: &[usize]) -> Option<EqPredicate> {
+    let classes = PositionClasses::build(q, a1, a2);
+    if classes.unsat() {
+        return None;
+    }
+    let (lk, rk) = classes.shared_key_positions();
+    let mut left = KeyExtractor::new();
+    left.insert(
+        q.atom(a1[0]).relation,
+        ExtractorEntry {
+            checks: classes.side_groups(true).into(),
+            key: lk,
+        },
+    );
+    let mut right = KeyExtractor::new();
+    right.insert(
+        q.atom(a2[0]).relation,
+        ExtractorEntry {
+            checks: classes.side_groups(false).into(),
+            key: rk,
+        },
+    );
+    Some(EqPredicate::new(left, right))
+}
+
+/// State key in the self-join automaton: an atom leaf or a variable node
+/// annotated with a self-join set.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum SjState {
+    Atom(usize),
+    /// `(tree node index, index into the SJ_Q list)`.
+    VarSj(usize, usize),
+}
+
+/// The exponential construction for HCQs with self-joins.
+pub(crate) fn compile_selfjoin(
+    schema: &Schema,
+    q: &ConjunctiveQuery,
+) -> Result<CompiledQuery, CompileError> {
+    let tree = QTree::build_rooted(q)
+        .expect("hierarchical queries always have a (rooted) q-tree")
+        .compact();
+    let sj = self_join_sets(q);
+    // Satisfiable self-join sets with their derived unary predicates.
+    let sat: Vec<(usize, UnaryPredicate)> = sj
+        .iter()
+        .enumerate()
+        .filter_map(|(k, a)| derived_unary(q, a).map(|u| (k, u)))
+        .collect();
+
+    // Variables of each SJ set intersection, as tree nodes.
+    let vars_of = |a: &SelfJoinSet| -> Vec<VarId> {
+        q.atom(a[0])
+            .variables()
+            .into_iter()
+            .filter(|v| a[1..].iter().all(|&i| q.atom(i).contains_var(*v)))
+            .collect()
+    };
+
+    let mut builder = PceaBuilder::new(q.num_atoms());
+    let mut state_of: FxHashMap<SjState, StateId> = FxHashMap::default();
+    let mut state_names: Vec<String> = Vec::new();
+    let intern = |key: SjState,
+                      name: String,
+                      builder: &mut PceaBuilder,
+                      state_of: &mut FxHashMap<SjState, StateId>,
+                      state_names: &mut Vec<String>|
+     -> StateId {
+        *state_of.entry(key).or_insert_with(|| {
+            state_names.push(name);
+            builder.add_state()
+        })
+    };
+
+    // Atom states + initial transitions.
+    for i in 0..q.num_atoms() {
+        let s = intern(
+            SjState::Atom(i),
+            format!("{}#{i}", schema.name(q.atom(i).relation)),
+            &mut builder,
+            &mut state_of,
+            &mut state_names,
+        );
+        builder.add_initial_transition(
+            atom_unary(q.atom(i)),
+            LabelSet::singleton(Label(i as u32)),
+            s,
+        );
+    }
+
+    // Variable states (x, A): x an inner tree node whose variable lies in
+    // every atom of A (the virtual root lies in all conceptually).
+    let inner_nodes: Vec<usize> = tree
+        .iter()
+        .filter(|(_, n)| !matches!(n.label, NodeLabel::Atom(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let node_covers = |node: usize, a: &SelfJoinSet| -> bool {
+        match tree.node(node).label {
+            NodeLabel::VirtualRoot => true,
+            NodeLabel::Var(v) => vars_of(a).contains(&v),
+            NodeLabel::Atom(_) => false,
+        }
+    };
+    for &(k, _) in &sat {
+        for &x in &inner_nodes {
+            if node_covers(x, &sj[k]) {
+                let name = match tree.node(x).label {
+                    NodeLabel::Var(v) => format!("({}, {:?})", q.var_name(v), sj[k]),
+                    _ => format!("(x*, {:?})", sj[k]),
+                };
+                intern(
+                    SjState::VarSj(x, k),
+                    name,
+                    &mut builder,
+                    &mut state_of,
+                    &mut state_names,
+                );
+            }
+        }
+    }
+
+    // Gathering transitions.
+    let mut emitted = 0usize;
+    for &(k, ref unary) in &sat {
+        let a = &sj[k];
+        let labels = LabelSet::from_labels(a.iter().map(|&i| Label(i as u32)));
+        for &x in &inner_nodes {
+            if !node_covers(x, a) {
+                continue;
+            }
+            // Relevant inner nodes: descendants of x (inclusive) whose
+            // variable occurs in some atom of A (virtual root counts).
+            let in_union = |node: usize| -> bool {
+                match tree.node(node).label {
+                    NodeLabel::VirtualRoot => true,
+                    NodeLabel::Var(v) => a.iter().any(|&i| q.atom(i).contains_var(v)),
+                    NodeLabel::Atom(_) => false,
+                }
+            };
+            let mut relevant: Vec<usize> = Vec::new();
+            let mut stack = vec![x];
+            while let Some(n) = stack.pop() {
+                if !tree.is_leaf(n) && in_union(n) {
+                    relevant.push(n);
+                    stack.extend(tree.node(n).children.iter().copied());
+                }
+            }
+            // C_{x,A}: children of relevant nodes that are neither
+            // relevant themselves, nor leaves of A.
+            let mut c_atoms: Vec<usize> = Vec::new(); // atom ids
+            let mut c_vars: Vec<usize> = Vec::new(); // tree nodes
+            for &v in &relevant {
+                for &c in &tree.node(v).children {
+                    match tree.node(c).label {
+                        NodeLabel::Atom(i)
+                            if !a.contains(&i) => {
+                                c_atoms.push(i);
+                            }
+                        NodeLabel::Var(_) if !in_union(c) => c_vars.push(c),
+                        _ => {}
+                    }
+                }
+            }
+            // Fixed atom sources with their pair predicates; infeasible
+            // (unsat) sources kill the whole (x, A) family.
+            let mut atom_sources: Vec<(StateId, EqPredicate)> = Vec::new();
+            let mut feasible = true;
+            for &j in &c_atoms {
+                match derived_binary(q, &[j], a) {
+                    Some(p) => atom_sources.push((state_of[&SjState::Atom(j)], p)),
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            // Per-variable choices: (y, A′) states with a satisfiable
+            // pair predicate B_{A′,A}.
+            let mut var_choices: Vec<Vec<(StateId, EqPredicate)>> = Vec::new();
+            for &y in &c_vars {
+                let mut choices = Vec::new();
+                for &(k2, _) in &sat {
+                    if !node_covers(y, &sj[k2]) {
+                        continue;
+                    }
+                    if let Some(p) = derived_binary(q, &sj[k2], a) {
+                        choices.push((state_of[&SjState::VarSj(y, k2)], p));
+                    }
+                }
+                var_choices.push(choices);
+            }
+            if var_choices.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let combos: usize = var_choices.iter().map(Vec::len).product();
+            emitted += combos;
+            if emitted > MAX_TRANSITIONS {
+                return Err(CompileError::AutomatonTooLarge {
+                    transitions: emitted,
+                    max: MAX_TRANSITIONS,
+                });
+            }
+            let target = state_of[&SjState::VarSj(x, k)];
+            // Enumerate the encodings C ∈ C̄_{x,A} (cross product).
+            let mut assignments: Vec<Vec<(StateId, EqPredicate)>> = vec![Vec::new()];
+            for choices in &var_choices {
+                let mut next = Vec::with_capacity(assignments.len() * choices.len());
+                for base in &assignments {
+                    for ch in choices {
+                        let mut b = base.clone();
+                        b.push(ch.clone());
+                        next.push(b);
+                    }
+                }
+                assignments = next;
+            }
+            for var_sources in assignments {
+                let mut sources = atom_sources.clone();
+                sources.extend(var_sources);
+                builder.add_transition(sources, unary.clone(), labels, target);
+            }
+        }
+    }
+
+    // Finals: (root, A) for every satisfiable A. A single-leaf tree
+    // (one-atom query) has its atom state final instead — but one-atom
+    // queries have no self-joins, so the root here is always inner.
+    let root = tree.root();
+    for &(k, _) in &sat {
+        if node_covers(root, &sj[k]) {
+            builder.mark_final(state_of[&SjState::VarSj(root, k)]);
+        }
+    }
+
+    Ok(CompiledQuery {
+        pcea: builder.build(),
+        state_names,
+        used_self_join_construction: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_hcq;
+    use crate::hom;
+    use crate::parser::parse_query;
+    use cer_automata::reference::ReferenceEval;
+    use cer_common::tuple::tup;
+    use cer_common::Tuple;
+
+    fn compile(text: &str) -> (Schema, ConjunctiveQuery, CompiledQuery) {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, text).unwrap();
+        let c = compile_hcq(&schema, &q).unwrap();
+        (schema, q, c)
+    }
+
+    fn check_equivalence(q: &ConjunctiveQuery, c: &CompiledQuery, stream: &[Tuple]) {
+        let eval = ReferenceEval::new(&c.pcea, stream);
+        for n in 0..stream.len() {
+            let got = eval.outputs_at(n);
+            let want = hom::new_outputs_at(q, stream, n);
+            assert_eq!(got, want, "outputs disagree at position {n}");
+        }
+        eval.check_unambiguous().unwrap();
+    }
+
+    #[test]
+    fn self_join_sets_enumeration() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x, y) <- R(x, y), R(x, y), U(x)").unwrap();
+        let sj = self_join_sets(&q);
+        assert_eq!(sj, vec![vec![0], vec![0, 1], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn derived_atom_classes_merge_shared_vars() {
+        // R(x,y,z), R(x,y,v): joint classes merge positions 0 and 1
+        // across sides; z and v stay separate.
+        let mut schema = Schema::new();
+        let q =
+            parse_query(&mut schema, "Q(x, y, z, v) <- R(x, y, z), R(x, y, v)").unwrap();
+        let b = derived_binary(&q, &[0], &[1]).unwrap();
+        let r = schema.relation("R").unwrap();
+        assert!(b.satisfied(&tup(r, [1i64, 2, 3]), &tup(r, [1i64, 2, 4])));
+        assert!(!b.satisfied(&tup(r, [1i64, 2, 3]), &tup(r, [1i64, 9, 4])));
+    }
+
+    #[test]
+    fn derived_unary_checks_within_tuple_classes() {
+        // A = both atoms at once: z and v both map to position 2, so a
+        // single tuple witnesses both atoms unconditionally; x/y classes
+        // hold per position.
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x, y) <- R(x, y, x), R(x, y, x)").unwrap();
+        let u = derived_unary(&q, &[0, 1]).unwrap();
+        let r = schema.relation("R").unwrap();
+        assert!(u.matches(&tup(r, [5i64, 2, 5])));
+        assert!(!u.matches(&tup(r, [5i64, 2, 6])));
+    }
+
+    #[test]
+    fn conflicting_constants_unsat() {
+        let mut schema = Schema::new();
+        let q = parse_query(&mut schema, "Q(x) <- T(2, x), T(3, x)").unwrap();
+        assert!(derived_unary(&q, &[0, 1]).is_none());
+        assert!(derived_unary(&q, &[0]).is_some());
+    }
+
+    #[test]
+    fn double_atom_query_equivalence() {
+        // Q(x) ← T(x), T(x): both same-tuple and distinct-tuple matches.
+        let (schema, q, c) = compile("Q(x) <- T(x), T(x)");
+        assert!(c.used_self_join_construction);
+        let t = schema.relation("T").unwrap();
+        let stream = vec![
+            tup(t, [1i64]),
+            tup(t, [1i64]),
+            tup(t, [2i64]),
+            tup(t, [1i64]),
+        ];
+        check_equivalence(&q, &c, &stream);
+        // At position 1: the pair (0,1)+(1,1)? — new t-homs using pos 1:
+        // {0↦0,1↦1}, {0↦1,1↦0}, {0↦1,1↦1}: 3 outputs.
+        let eval = ReferenceEval::new(&c.pcea, &stream);
+        assert_eq!(eval.outputs_at(1).len(), 3);
+        assert_eq!(eval.outputs_at(0).len(), 1);
+    }
+
+    #[test]
+    fn figure_3_q2_equivalence() {
+        // Q2(x,y,z,v) ← R(x,y,z), R(x,y,v), U(x,y).
+        let (schema, q, c) = compile("Q(x, y, z, v) <- R(x, y, z), R(x, y, v), U(x, y)");
+        let r = schema.relation("R").unwrap();
+        let u = schema.relation("U").unwrap();
+        let stream = vec![
+            tup(r, [1i64, 2, 3]),
+            tup(u, [1i64, 2]),
+            tup(r, [1i64, 2, 4]),
+            tup(r, [1i64, 5, 4]),
+            tup(u, [1i64, 5]),
+            tup(r, [1i64, 2, 3]),
+        ];
+        check_equivalence(&q, &c, &stream);
+    }
+
+    #[test]
+    fn self_join_with_satellite_variable_states() {
+        // Deeper tree: T(x) above, two S-copies below — exercises
+        // variable states (y, A′) as transition sources.
+        let (schema, q, c) = compile("Q(x, y) <- T(x), S(x, y), S(x, y)");
+        let t = schema.relation("T").unwrap();
+        let s = schema.relation("S").unwrap();
+        let stream = vec![
+            tup(s, [1i64, 7]),
+            tup(t, [1i64]),
+            tup(s, [1i64, 7]),
+            tup(t, [2i64]),
+            tup(s, [2i64, 9]),
+        ];
+        check_equivalence(&q, &c, &stream);
+    }
+
+    #[test]
+    fn paper_q1_style_constants_in_self_join() {
+        // Hierarchical variant with constants and a repeated atom:
+        // Q(x) ← T(x), T(x), W(2, x).
+        let (schema, q, c) = compile("Q(x) <- T(x), T(x), W(2, x)");
+        let t = schema.relation("T").unwrap();
+        let w = schema.relation("W").unwrap();
+        let stream = vec![
+            tup(t, [5i64]),
+            tup(w, [2i64, 5]),
+            tup(t, [5i64]),
+            tup(w, [3i64, 5]),
+        ];
+        check_equivalence(&q, &c, &stream);
+    }
+
+    #[test]
+    fn triple_self_join_equivalence() {
+        let (schema, q, c) = compile("Q(x) <- T(x), T(x), T(x)");
+        let t = schema.relation("T").unwrap();
+        let stream = vec![tup(t, [1i64]), tup(t, [1i64]), tup(t, [1i64])];
+        check_equivalence(&q, &c, &stream);
+        // New t-homs at position 2: all η over {0,1,2}³ using 2 at least
+        // once: 27 − 8 = 19.
+        let eval = ReferenceEval::new(&c.pcea, &stream);
+        assert_eq!(eval.outputs_at(2).len(), 19);
+    }
+
+    #[test]
+    fn exponential_size_growth() {
+        // m identical atoms: the construction must annotate with subsets,
+        // so size grows exponentially in m (Theorem 4.1's lower bound for
+        // the model).
+        let mut sizes = Vec::new();
+        for m in 1..=5usize {
+            let atoms = vec!["T(x)"; m].join(", ");
+            let text = format!("Q(x) <- {atoms}");
+            let mut schema = Schema::new();
+            let q = parse_query(&mut schema, &text).unwrap();
+            let c = compile_hcq(&schema, &q).unwrap();
+            sizes.push(c.pcea.size());
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[1] > w[0]),
+            "sizes must grow: {sizes:?}"
+        );
+        // Ratio test: at least geometric growth by ×1.5 at the tail.
+        let tail = sizes[4] as f64 / sizes[3] as f64;
+        assert!(tail > 1.5, "expected exponential growth, got {sizes:?}");
+    }
+
+    #[test]
+    fn disconnected_self_join() {
+        let (schema, q, c) = compile("Q(x, y) <- T(x), T(x), U(y)");
+        let t = schema.relation("T").unwrap();
+        let u = schema.relation("U").unwrap();
+        let stream = vec![tup(t, [1i64]), tup(u, [9i64]), tup(t, [1i64])];
+        check_equivalence(&q, &c, &stream);
+    }
+}

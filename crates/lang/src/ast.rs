@@ -1,0 +1,230 @@
+//! Abstract syntax of the PCEA pattern language.
+//!
+//! The paper's closing section asks for "a query language that
+//! characterizes the expressive power of PCEA"; this crate supplies a
+//! concrete candidate built from the model's native operations:
+//!
+//! ```text
+//! pattern := pattern '|' pattern          disjunction
+//!          | pattern ';' pattern          (soft) sequencing
+//!          | pattern '&&' pattern         conjunction / parallelization
+//!          | atom '+'                     iteration (atoms only)
+//!          | atom
+//! atom    := NAME '(' term,* ')' filter*
+//! term    := variable | '_' | constant
+//! filter  := '[' position cmp constant ']'
+//! ```
+//!
+//! Variables correlate tuples by equality (`Beq`); `_` matches anything
+//! without binding; filters are `Ulin` value comparisons. Each atom
+//! occurrence carries one output label (its index in the pattern).
+
+use cer_automata::predicate::CmpOp;
+use cer_common::{RelationId, Value};
+use std::fmt;
+
+/// A pattern variable, interned per pattern.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PVar(pub u32);
+
+impl PVar {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An argument of a pattern atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PTerm {
+    /// A correlating variable.
+    Var(PVar),
+    /// A wildcard: matches any value, binds nothing (per-instance data
+    /// in iterations).
+    Wildcard,
+    /// A constant the tuple must carry.
+    Const(Value),
+}
+
+/// A value filter `[position cmp constant]` on an atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    /// Tuple position tested.
+    pub pos: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand constant.
+    pub value: Value,
+}
+
+/// A pattern atom: one event to match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternAtom {
+    /// Relation of the tuple.
+    pub relation: RelationId,
+    /// Argument terms.
+    pub args: Box<[PTerm]>,
+    /// Value filters.
+    pub filters: Vec<Filter>,
+}
+
+impl PatternAtom {
+    /// Distinct variables, first-occurrence order.
+    pub fn variables(&self) -> Vec<PVar> {
+        let mut out = Vec::new();
+        for t in self.args.iter() {
+            if let PTerm::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// First position of a variable.
+    pub fn position_of(&self, v: PVar) -> Option<usize> {
+        self.args
+            .iter()
+            .position(|t| matches!(t, PTerm::Var(u) if *u == v))
+    }
+}
+
+/// A pattern expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// A single event.
+    Atom(PatternAtom),
+    /// `P ; Q`: Q's completion gathers P's (soft sequencing — P completes
+    /// before Q completes).
+    Seq(Box<Pattern>, Box<Pattern>),
+    /// `P && Q && …`: all operands, in any interleaving; whichever
+    /// completes last gathers the others.
+    Conj(Vec<Pattern>),
+    /// `P | Q | …`: any one operand.
+    Disj(Vec<Pattern>),
+    /// `a+`: one or more instances of an atom, correlated on its named
+    /// variables, ordered by position (skip-till-any-match).
+    Iter(Box<Pattern>),
+}
+
+impl Pattern {
+    /// Atoms in label order (pre-order traversal).
+    pub fn atoms(&self) -> Vec<&PatternAtom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a PatternAtom>) {
+        match self {
+            Pattern::Atom(a) => out.push(a),
+            Pattern::Seq(p, q) => {
+                p.collect_atoms(out);
+                q.collect_atoms(out);
+            }
+            Pattern::Conj(ps) | Pattern::Disj(ps) => {
+                for p in ps {
+                    p.collect_atoms(out);
+                }
+            }
+            Pattern::Iter(p) => p.collect_atoms(out),
+        }
+    }
+
+    /// All variables of the pattern.
+    pub fn variables(&self) -> Vec<PVar> {
+        let mut out: Vec<PVar> = Vec::new();
+        for a in self.atoms() {
+            for v in a.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A parsed pattern plus its variable names and atom spellings.
+#[derive(Clone, Debug)]
+pub struct PatternExpr {
+    /// The expression tree.
+    pub pattern: Pattern,
+    /// `PVar` index → source name.
+    pub var_names: Vec<String>,
+    /// Human-readable atom spellings, label order.
+    pub atom_names: Vec<String>,
+}
+
+impl PatternExpr {
+    /// The source name of a variable.
+    pub fn var_name(&self, v: PVar) -> &str {
+        &self.var_names[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_common::Schema;
+
+    #[test]
+    fn atoms_in_preorder() {
+        let (_, r, s, t) = Schema::sigma0();
+        let a = |rel| PatternAtom {
+            relation: rel,
+            args: Box::new([]),
+            filters: Vec::new(),
+        };
+        let p = Pattern::Seq(
+            Box::new(Pattern::Conj(vec![
+                Pattern::Atom(a(t)),
+                Pattern::Atom(a(s)),
+            ])),
+            Box::new(Pattern::Atom(a(r))),
+        );
+        let atoms = p.atoms();
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(atoms[0].relation, t);
+        assert_eq!(atoms[1].relation, s);
+        assert_eq!(atoms[2].relation, r);
+    }
+
+    #[test]
+    fn variable_collection_dedupes() {
+        let (_, _, s, t) = Schema::sigma0();
+        let p = Pattern::Conj(vec![
+            Pattern::Atom(PatternAtom {
+                relation: t,
+                args: Box::new([PTerm::Var(PVar(0))]),
+                filters: Vec::new(),
+            }),
+            Pattern::Atom(PatternAtom {
+                relation: s,
+                args: Box::new([PTerm::Var(PVar(0)), PTerm::Var(PVar(1))]),
+                filters: Vec::new(),
+            }),
+        ]);
+        assert_eq!(p.variables(), vec![PVar(0), PVar(1)]);
+    }
+
+    #[test]
+    fn wildcards_bind_nothing() {
+        let (_, _, s, _) = Schema::sigma0();
+        let a = PatternAtom {
+            relation: s,
+            args: Box::new([PTerm::Var(PVar(3)), PTerm::Wildcard]),
+            filters: Vec::new(),
+        };
+        assert_eq!(a.variables(), vec![PVar(3)]);
+        assert_eq!(a.position_of(PVar(3)), Some(0));
+    }
+}

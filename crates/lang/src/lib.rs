@@ -1,0 +1,32 @@
+//! # cer-lang — a pattern language for PCEA
+//!
+//! The paper's future-work list opens with "defining a query language
+//! that characterizes the expressive power of PCEA will be interesting".
+//! This crate is a concrete proposal built from the model's native
+//! operations:
+//!
+//! ```text
+//! T(x) && S(x, y) ; R(x, y)           Figure 1's P0, as text
+//! ALERT(x) ; BUY(x, _)+ [1 > 100]     an alert, then pricey buys
+//! (A(x) | B(x)) ; C(x)                branch, then join
+//! ```
+//!
+//! Operators: `;` soft sequencing (left completes before right
+//! completes), `&&` conjunction (any interleaving — parallelization),
+//! `|` disjunction, postfix `+` iteration of an atom
+//! (skip-till-any-match, correlated on named variables), `_` wildcards,
+//! constants and `[pos op const]` value filters.
+//!
+//! Compilation ([`compile_pattern`]) produces an *unambiguous* PCEA with
+//! one output label per atom occurrence; the *anchoring discipline*
+//! (joins flow through completing tuples) is checked and violations are
+//! rejected, mirroring Theorem 4.2's hierarchy boundary at the language
+//! level.
+
+pub mod ast;
+pub mod compile;
+pub mod parser;
+
+pub use ast::{Filter, PTerm, PVar, Pattern, PatternAtom, PatternExpr};
+pub use compile::{compile_pattern, pattern_to_pcea, CompiledPattern};
+pub use parser::{parse_pattern, LangError};

@@ -1,0 +1,460 @@
+//! Text syntax for the pattern language.
+//!
+//! ```text
+//! T(x) && S(x, y) ; R(x, y)          the paper's P0
+//! ALERT(x) ; BUY(x, _)+ [1 > 100]    an alert followed by pricey buys
+//! A(x) | B(x) ; C(x)                 (A | B) before C  — '|' binds loosest
+//! ```
+//!
+//! Precedence (loosest → tightest): `|`, `;`, `&&`, postfix `+`.
+//! Relations are registered in (or validated against) the schema, with
+//! arity inferred from first use; lower-case identifiers are variables,
+//! `_` is a wildcard, integers and quoted strings are constants.
+
+use crate::ast::{Filter, PTerm, PVar, Pattern, PatternAtom, PatternExpr};
+use cer_automata::predicate::CmpOp;
+use cer_common::{Schema, Value};
+use std::fmt;
+
+/// Pattern parse/compile error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Syntax error with byte offset context.
+    Parse {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An atom disagrees with the schema arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Given argument count.
+        got: usize,
+    },
+    /// Iteration body must be a single atom.
+    IterationBody,
+    /// A correlation cannot be checked by equality on last tuples: the
+    /// variable does not appear in the completing atoms it must flow
+    /// through (the language-level analogue of non-hierarchy).
+    UnanchoredCorrelation {
+        /// The offending variable's name.
+        variable: String,
+    },
+    /// Two completions of one anchor disagree on where a join variable
+    /// sits in tuples of the same relation.
+    AmbiguousAnchor {
+        /// The relation with conflicting layouts.
+        relation: String,
+    },
+    /// More than 64 atoms (labels are a 64-bit set).
+    TooManyAtoms {
+        /// Atom count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse { message } => write!(f, "parse error: {message}"),
+            LangError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(f, "{relation} has arity {expected}, got {got} arguments"),
+            LangError::IterationBody => {
+                write!(f, "'+' applies to single atoms only")
+            }
+            LangError::UnanchoredCorrelation { variable } => write!(
+                f,
+                "variable {variable} correlates events whose completing atoms \
+                 do not carry it (unanchored correlation)"
+            ),
+            LangError::AmbiguousAnchor { relation } => write!(
+                f,
+                "anchor mixes {relation}-completions with conflicting variable layouts"
+            ),
+            LangError::TooManyAtoms { got } => {
+                write!(f, "pattern has {got} atoms; at most 64 supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parse a pattern, registering relations in `schema`.
+///
+/// ```
+/// use cer_common::Schema;
+/// use cer_lang::parse_pattern;
+///
+/// let mut schema = Schema::new();
+/// let p = parse_pattern(&mut schema, "T(x) && S(x, y) ; R(x, y)").unwrap();
+/// assert_eq!(p.pattern.atoms().len(), 3);
+/// ```
+pub fn parse_pattern(schema: &mut Schema, text: &str) -> Result<PatternExpr, LangError> {
+    let mut p = Parser {
+        text,
+        pos: 0,
+        vars: Vec::new(),
+        atom_names: Vec::new(),
+    };
+    let pattern = p.disj(schema)?;
+    p.skip_ws();
+    if p.pos != text.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(PatternExpr {
+        pattern,
+        var_names: p.vars,
+        atom_names: p.atom_names,
+    })
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+    vars: Vec<String>,
+    atom_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            message: format!("{} (at byte {})", message.into(), self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.text[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        self.text[self.pos..].starts_with(token)
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        if rest
+            .chars()
+            .next()
+            .is_none_or(|c| c.is_ascii_digit() || !(c == '_' || c.is_alphanumeric()))
+        {
+            return None;
+        }
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if c == '_' || c.is_alphanumeric() {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let s = &rest[..end];
+        self.pos += end;
+        Some(s)
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let neg = rest.starts_with('-');
+        let start = usize::from(neg);
+        let len = rest[start..].chars().take_while(char::is_ascii_digit).count();
+        if len == 0 {
+            return None;
+        }
+        let end = start + len;
+        let v: i64 = rest[..end].parse().ok()?;
+        self.pos += end;
+        Some(v)
+    }
+
+    fn constant(&mut self) -> Result<Option<Value>, LangError> {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with('"') {
+            let start = self.pos + 1;
+            return match self.text[start..].find('"') {
+                Some(end) => {
+                    let s = self.text[start..start + end].to_string();
+                    self.pos = start + end + 1;
+                    Ok(Some(Value::from(s)))
+                }
+                None => Err(self.error("unterminated string")),
+            };
+        }
+        Ok(self.integer().map(Value::Int))
+    }
+
+    fn intern(&mut self, name: &str) -> PVar {
+        if let Some(i) = self.vars.iter().position(|n| n == name) {
+            return PVar(i as u32);
+        }
+        self.vars.push(name.to_string());
+        PVar(self.vars.len() as u32 - 1)
+    }
+
+    fn disj(&mut self, schema: &mut Schema) -> Result<Pattern, LangError> {
+        let mut parts = vec![self.seq(schema)?];
+        while self.peek("|") && !self.peek("||") {
+            self.eat("|");
+            parts.push(self.seq(schema)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Pattern::Disj(parts)
+        })
+    }
+
+    fn seq(&mut self, schema: &mut Schema) -> Result<Pattern, LangError> {
+        let mut left = self.conj(schema)?;
+        while self.eat(";") {
+            let right = self.conj(schema)?;
+            left = Pattern::Seq(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conj(&mut self, schema: &mut Schema) -> Result<Pattern, LangError> {
+        let mut parts = vec![self.postfix(schema)?];
+        while self.eat("&&") {
+            parts.push(self.postfix(schema)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Pattern::Conj(parts)
+        })
+    }
+
+    fn postfix(&mut self, schema: &mut Schema) -> Result<Pattern, LangError> {
+        let p = self.prim(schema)?;
+        if self.eat("+") {
+            let Pattern::Atom(mut atom) = p else {
+                return Err(LangError::IterationBody);
+            };
+            // Filters may trail the '+': `BUY(x, _)+ [1 > 100]`.
+            self.filters_into(&mut atom)?;
+            return Ok(Pattern::Iter(Box::new(Pattern::Atom(atom))));
+        }
+        Ok(p)
+    }
+
+    /// Parse trailing `[pos op const]` filters into an atom.
+    fn filters_into(&mut self, atom: &mut PatternAtom) -> Result<(), LangError> {
+        while self.eat("[") {
+            let pos = self
+                .integer()
+                .ok_or_else(|| self.error("expected a position index"))? as usize;
+            let op = self.cmp_op()?;
+            let value = self
+                .constant()?
+                .ok_or_else(|| self.error("expected a constant"))?;
+            if !self.eat("]") {
+                return Err(self.error("expected ']'"));
+            }
+            atom.filters.push(Filter { pos, op, value });
+        }
+        Ok(())
+    }
+
+    fn prim(&mut self, schema: &mut Schema) -> Result<Pattern, LangError> {
+        if self.eat("(") {
+            let p = self.disj(schema)?;
+            if !self.eat(")") {
+                return Err(self.error("expected ')'"));
+            }
+            // Postfix '+' also applies to parenthesized atoms.
+            if self.eat("+") {
+                return if matches!(p, Pattern::Atom(_)) {
+                    Ok(Pattern::Iter(Box::new(p)))
+                } else {
+                    Err(LangError::IterationBody)
+                };
+            }
+            return Ok(p);
+        }
+        self.atom(schema).map(Pattern::Atom)
+    }
+
+    fn atom(&mut self, schema: &mut Schema) -> Result<PatternAtom, LangError> {
+        let start = self.pos;
+        let name = self
+            .ident()
+            .ok_or_else(|| self.error("expected a relation name"))?
+            .to_string();
+        if !self.eat("(") {
+            return Err(self.error("expected '('"));
+        }
+        let mut args: Vec<PTerm> = Vec::new();
+        if !self.eat(")") {
+            loop {
+                let term = if let Some(c) = self.constant()? {
+                    PTerm::Const(c)
+                } else {
+                    match self.ident() {
+                        Some("_") => PTerm::Wildcard,
+                        Some(v) => PTerm::Var(self.intern(v)),
+                        None => return Err(self.error("expected a term")),
+                    }
+                };
+                args.push(term);
+                if self.eat(")") {
+                    break;
+                }
+                if !self.eat(",") {
+                    return Err(self.error("expected ',' or ')'"));
+                }
+            }
+        }
+        let relation = schema.add_relation(&name, args.len()).map_err(|_| {
+            let expected = schema
+                .relation(&name)
+                .map(|r| schema.arity(r))
+                .unwrap_or(args.len());
+            LangError::ArityMismatch {
+                relation: name.clone(),
+                expected,
+                got: args.len(),
+            }
+        })?;
+        let mut atom = PatternAtom {
+            relation,
+            args: args.into(),
+            filters: Vec::new(),
+        };
+        // Filters: zero or more '[pos op const]'.
+        self.filters_into(&mut atom)?;
+        self.atom_names
+            .push(self.text[start..self.pos].trim().to_string());
+        Ok(atom)
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, LangError> {
+        for (tok, op) in [
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(self.error("expected a comparison operator"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_p0_pattern() {
+        let mut schema = Schema::new();
+        let p = parse_pattern(&mut schema, "T(x) && S(x, y) ; R(x, y)").unwrap();
+        // ';' binds looser than '&&': Seq(Conj(T, S), R).
+        match &p.pattern {
+            Pattern::Seq(l, r) => {
+                assert!(matches!(**l, Pattern::Conj(_)));
+                assert!(matches!(**r, Pattern::Atom(_)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        assert_eq!(p.atom_names, vec!["T(x)", "S(x, y)", "R(x, y)"]);
+    }
+
+    #[test]
+    fn precedence_disj_loosest() {
+        let mut schema = Schema::new();
+        let p = parse_pattern(&mut schema, "A(x) | B(x) ; C(x)").unwrap();
+        match &p.pattern {
+            Pattern::Disj(parts) => {
+                assert!(matches!(parts[0], Pattern::Atom(_)));
+                assert!(matches!(parts[1], Pattern::Seq(_, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override() {
+        let mut schema = Schema::new();
+        let p = parse_pattern(&mut schema, "(A(x) | B(x)) ; C(x)").unwrap();
+        assert!(matches!(p.pattern, Pattern::Seq(_, _)));
+    }
+
+    #[test]
+    fn iteration_wildcards_filters() {
+        let mut schema = Schema::new();
+        let p = parse_pattern(&mut schema, "BUY(x, _)+ [1 > 100]").unwrap();
+        match &p.pattern {
+            Pattern::Iter(body) => match &**body {
+                Pattern::Atom(a) => {
+                    assert!(matches!(a.args[1], PTerm::Wildcard));
+                    assert_eq!(a.filters.len(), 1);
+                    assert_eq!(a.filters[0].pos, 1);
+                }
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iteration_of_composites_rejected() {
+        let mut schema = Schema::new();
+        assert_eq!(
+            parse_pattern(&mut schema, "(A(x) ; B(x))+").unwrap_err(),
+            LangError::IterationBody
+        );
+    }
+
+    #[test]
+    fn constants_and_strings() {
+        let mut schema = Schema::new();
+        let p = parse_pattern(&mut schema, r#"S(2, y) ; W("AAPL")"#).unwrap();
+        let atoms = p.pattern.atoms();
+        assert!(matches!(atoms[0].args[0], PTerm::Const(Value::Int(2))));
+        assert_eq!(atoms[1].args[0], PTerm::Const(Value::from("AAPL")));
+    }
+
+    #[test]
+    fn arity_conflicts_rejected() {
+        let mut schema = Schema::new();
+        schema.add_relation("T", 2).unwrap();
+        assert!(matches!(
+            parse_pattern(&mut schema, "T(x)").unwrap_err(),
+            LangError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut schema = Schema::new();
+        assert!(parse_pattern(&mut schema, "").is_err());
+        assert!(parse_pattern(&mut schema, "A(x) ;").is_err());
+        assert!(parse_pattern(&mut schema, "A(x) extra").is_err());
+        assert!(parse_pattern(&mut schema, "A(x)[0 5]").is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Every worked example and figure of the paper, executed:
+//!
+//! * Example 2.1 — the CCEA `C0` over `S0`;
+//! * Example 3.1 / Figure 1 (left) — the PFA `P0` and its language;
+//! * Example 3.3 / Figure 1 (right) — the PCEA `P0` and its two run
+//!   trees at position 5;
+//! * Figure 2 — the q-tree of `Q0` and the compiled `P_{Q0}`;
+//! * Figures 3–4 — q-trees and compact q-trees of `Q1` and the self-join
+//!   query `Q2`;
+//! * Proposition 3.2 — determinizing the PFA `P0`.
+//!
+//! Run with: `cargo run --example paper_examples`
+
+use pcea::automata::ccea::paper_c0;
+use pcea::automata::pcea::paper_p0;
+use pcea::automata::pfa::Pfa;
+use pcea::cq::qtree::QTree;
+use pcea::prelude::*;
+
+fn main() {
+    let (schema, r, s, t) = Schema::sigma0();
+    let stream = sigma0_prefix(r, s, t);
+    println!("stream S0 :");
+    for (i, tu) in stream.iter().enumerate() {
+        print!(" {}@{i}", tu.display(&schema));
+    }
+    println!("\n");
+
+    // ---- Example 2.1: the CCEA C0.
+    println!("Example 2.1 — CCEA C0 over S0");
+    let c0 = paper_c0(r, s, t).to_pcea();
+    let eval = ReferenceEval::new(&c0, &stream);
+    for n in 0..stream.len() {
+        for v in eval.outputs_at(n) {
+            println!("  accepting at {n}: {v:?}");
+        }
+    }
+    println!();
+
+    // ---- Example 3.1 / Figure 1 left: the PFA P0.
+    println!("Example 3.1 — PFA P0 (T and S in any order before R)");
+    let pfa = Pfa::paper_p0();
+    for word in [
+        vec![0u32, 1, 2], // T S R — accept
+        vec![1, 0, 2],    // S T R — accept
+        vec![0, 2],       // T R   — reject
+    ] {
+        println!("  accepts {word:?} = {}", pfa.accepts(&word));
+    }
+    println!();
+
+    // ---- Example 3.3 / Figure 1 right: the PCEA P0.
+    println!("Example 3.3 — PCEA P0 over S0 at position 5");
+    let p0 = paper_p0(r, s, t);
+    let eval = ReferenceEval::new(&p0, &stream);
+    for run in eval.accepting_runs_at(5) {
+        println!(
+            "  run tree with valuation {:?} ({} nodes)",
+            run.valuation(1),
+            run.node_count()
+        );
+    }
+    eval.check_unambiguous().expect("P0 is unambiguous");
+    println!("  (P0 verified unambiguous on S0)\n");
+
+    // ---- Figure 2: q-tree of Q0 and the compiled automaton.
+    println!("Figure 2 — q-tree and compiled PCEA for Q0");
+    let mut qschema = Schema::new();
+    let q0 = parse_query(&mut qschema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let tree = QTree::build(&q0).unwrap();
+    tree.validate_full(&q0).unwrap();
+    println!("  q-tree has {} nodes (x above y; leaves T,S,R)", tree.len());
+    let compiled = compile_hcq(&qschema, &q0).unwrap();
+    println!(
+        "  compiled: states {:?}",
+        compiled.state_names
+    );
+
+    // ---- Figures 3–4: q-trees of Q1 and the self-join Q2.
+    println!("\nFigures 3-4 — q-trees / compact q-trees");
+    let mut s1 = Schema::new();
+    let q1 = parse_query(
+        &mut s1,
+        "Q1(x, y, z, v, w) <- R(x, y, z), S(x, y, v), T(x, w), U(x, y)",
+    )
+    .unwrap();
+    let t1 = QTree::build(&q1).unwrap();
+    println!(
+        "  Q1: full q-tree {} nodes, compact {} nodes",
+        t1.len(),
+        t1.compact().iter().count()
+    );
+    let mut s2 = Schema::new();
+    let q2 = parse_query(&mut s2, "Q2(x, y, z, v) <- R(x, y, z), R(x, y, v), U(x, y)").unwrap();
+    let t2 = QTree::build(&q2).unwrap();
+    println!(
+        "  Q2 (self-join): full q-tree {} nodes, compact {} nodes",
+        t2.len(),
+        t2.compact().iter().count()
+    );
+    let c2 = compile_hcq(&s2, &q2).unwrap();
+    println!(
+        "  Q2 compiled with the self-join construction: {} states, {} transitions",
+        c2.pcea.num_states(),
+        c2.pcea.transitions().len()
+    );
+
+    // ---- Proposition 3.2: determinization.
+    println!("\nProposition 3.2 — determinizing the PFA P0");
+    let dfa = pfa.to_dfa();
+    println!(
+        "  PFA with {} states -> DFA with {} states (bound 2^{} = {})",
+        pfa.num_states(),
+        dfa.num_states(),
+        pfa.num_states(),
+        1u64 << pfa.num_states()
+    );
+}

@@ -1,0 +1,88 @@
+//! Query playground: type a conjunctive query, get a diagnosis and (when
+//! hierarchical) the compiled automaton.
+//!
+//! ```text
+//! cargo run --example query_playground -- "Q(x, y) <- T(x), S(x, y), R(x, y)"
+//! cargo run --example query_playground -- "Q(x, y) <- R(x), S(x, y), T(y)"
+//! cargo run --example query_playground -- "Q(x) <- T(x), T(x)"
+//! ```
+
+use pcea::cq::hierarchy::{check_hierarchical, HierarchyViolation};
+use pcea::cq::jointree::gyo_join_tree;
+use pcea::cq::qtree::QTree;
+use pcea::prelude::*;
+
+fn main() {
+    let text = std::env::args().nth(1).unwrap_or_else(|| {
+        println!("no query given; using the paper's Q0\n");
+        "Q0(x, y) <- T(x), S(x, y), R(x, y)".to_string()
+    });
+
+    let mut schema = Schema::new();
+    let query = match parse_query(&mut schema, &text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("query        : {}", query.display(&schema));
+    println!("atoms        : {}", query.num_atoms());
+    println!("variables    : {}", query.num_vars());
+    println!("full         : {}", query.is_full());
+    println!("connected    : {}", query.is_connected());
+    println!("self-joins   : {}", query.has_self_joins());
+
+    // Acyclicity (GYO).
+    match gyo_join_tree(&query) {
+        Some(jt) => {
+            jt.validate(&query).expect("GYO produces valid join trees");
+            println!("acyclic      : yes ({} distinct atoms in join tree)", jt.atoms.len());
+        }
+        None => println!("acyclic      : no"),
+    }
+
+    // Hierarchy.
+    match check_hierarchical(&query) {
+        Ok(()) => println!("hierarchical : yes"),
+        Err(HierarchyViolation::NotFull) => println!("hierarchical : no (not full)"),
+        Err(HierarchyViolation::CrossingPair { x, y }) => println!(
+            "hierarchical : no (atoms({}) and atoms({}) cross)",
+            query.var_name(x),
+            query.var_name(y)
+        ),
+    }
+
+    // q-tree, when it exists.
+    if let Ok(tree) = QTree::build_rooted(&query) {
+        let compact = tree.compact();
+        println!(
+            "q-tree       : {} nodes ({} after compaction)",
+            tree.iter().count(),
+            compact.iter().count()
+        );
+    }
+
+    // Compile.
+    match compile_hcq(&schema, &query) {
+        Ok(c) => {
+            println!(
+                "compiled     : {} states, {} transitions, size {} ({})",
+                c.pcea.num_states(),
+                c.pcea.transitions().len(),
+                c.pcea.size(),
+                if c.used_self_join_construction {
+                    "self-join construction"
+                } else {
+                    "quadratic construction"
+                }
+            );
+            println!("states       : {:?}", c.state_names);
+            println!(
+                "finals       : {:?}",
+                c.pcea.finals().collect::<Vec<_>>()
+            );
+        }
+        Err(e) => println!("compiled     : refused — {e}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! # pcea — Parallelized Complex Event Automata
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch Rust
+//! implementation of *Complex event recognition meets hierarchical
+//! conjunctive queries* (Pinto & Riveros, PODS 2024).
+//!
+//! * [`common`] — values, schemas, tuples, streams, workload generators;
+//! * [`automata`] — NFA/DFA/PFA, predicates, CCEA and PCEA;
+//! * [`cq`] — conjunctive queries, hierarchy tests, q-trees and the
+//!   HCQ→PCEA compiler (Theorem 4.1);
+//! * [`lang`] — a CER pattern language (`;`, `&&`, `|`, `+`, filters)
+//!   compiled to PCEA — the paper's first future-work item;
+//! * [`engine`] — the streaming evaluator with logarithmic update time and
+//!   output-linear-delay enumeration (Theorem 5.1);
+//! * [`baselines`] — naive and CCEA-specialized evaluators for comparison.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcea::prelude::*;
+//!
+//! // Parse the paper's hierarchical query Q0 and compile it to a PCEA.
+//! let mut schema = Schema::new();
+//! let query = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+//! let compiled = compile_hcq(&schema, &query).unwrap();
+//!
+//! // Evaluate it over the paper's example stream S0 under a sliding window.
+//! let r = schema.relation("R").unwrap();
+//! let s = schema.relation("S").unwrap();
+//! let t = schema.relation("T").unwrap();
+//! let mut engine = StreamingEvaluator::new(compiled.pcea, 100);
+//! let mut n_outputs = 0;
+//! for tuple in sigma0_prefix(r, s, t) {
+//!     n_outputs += engine.push_count(&tuple);
+//! }
+//! assert_eq!(n_outputs, 2); // the two matches of Q0 on S0's first 8 tuples
+//! ```
+
+pub use cer_automata as automata;
+pub use cer_baselines as baselines;
+pub use cer_common as common;
+pub use cer_core as engine;
+pub use cer_cq as cq;
+pub use cer_lang as lang;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use cer_automata::pcea::{Pcea, PceaBuilder, StateId};
+    pub use cer_automata::predicate::{CmpOp, EqPredicate, KeyExtractor, UnaryPredicate};
+    pub use cer_automata::reference::ReferenceEval;
+    pub use cer_automata::valuation::{Label, LabelSet, Valuation};
+    pub use cer_common::gen::{
+        sigma0_prefix, ChainGen, SensorGen, Sigma0Gen, StarGen, StockGen,
+    };
+    pub use cer_common::{Schema, SliceStream, Stream, StreamExt, Tuple, Value, VecStream};
+    pub use cer_core::evaluator::{run_to_end, StreamingEvaluator};
+    pub use cer_cq::compile::{compile_hcq, CompileError, CompiledQuery};
+    pub use cer_cq::parser::{parse_query, QueryBuilder};
+    pub use cer_cq::query::ConjunctiveQuery;
+    pub use cer_lang::{compile_pattern, parse_pattern, pattern_to_pcea, CompiledPattern};
+}

@@ -1,0 +1,137 @@
+//! Property tests on the finite-automata layer: random PFA/NFA vs their
+//! determinizations (Proposition 3.2), minimization, and the run-tree
+//! semantics.
+
+use pcea::automata::{Dfa, Nfa, Pfa};
+use proptest::prelude::*;
+
+/// A random PFA over alphabet {0,1,2} with ≤ 5 states.
+fn pfa_strategy() -> impl Strategy<Value = Pfa> {
+    let transitions = proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..5, 1..3), // sources (non-empty)
+            0u32..3,                                    // symbol
+            0usize..5,                                  // target
+        ),
+        0..12,
+    );
+    let initials = proptest::collection::vec(0usize..5, 0..3);
+    let finals = proptest::collection::vec(0usize..5, 1..3);
+    (transitions, initials, finals).prop_map(|(ts, is, fs)| {
+        let mut p = Pfa::new(5);
+        for (srcs, a, q) in ts {
+            p.add_transition(srcs, a, q);
+        }
+        for i in is {
+            p.add_initial(i);
+        }
+        for f in fs {
+            p.add_final(f);
+        }
+        p
+    })
+}
+
+fn nfa_strategy() -> impl Strategy<Value = Nfa> {
+    let transitions =
+        proptest::collection::vec((0usize..4, 0u32..2, 0usize..4), 0..10);
+    let initials = proptest::collection::vec(0usize..4, 1..3);
+    let finals = proptest::collection::vec(0usize..4, 1..3);
+    (transitions, initials, finals).prop_map(|(ts, is, fs)| {
+        let mut n = Nfa::new(4);
+        for (p, a, q) in ts {
+            n.add_transition(p, a, q);
+        }
+        for i in is {
+            n.add_initial(i);
+        }
+        for f in fs {
+            n.add_final(f);
+        }
+        n
+    })
+}
+
+fn words(alphabet: u32, max_len: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for a in 0..alphabet {
+                let mut v = w.clone();
+                v.push(a);
+                out.push(v.clone());
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Prop 3.2: subset simulation ≡ determinized DFA ≡ explicit run
+    /// trees, and the 2^n bound holds.
+    #[test]
+    fn pfa_determinization_equivalent(p in pfa_strategy()) {
+        let d = p.to_dfa();
+        prop_assert!(d.num_states() <= 1usize << p.num_states());
+        for w in words(3, 4) {
+            let by_sim = p.accepts(&w);
+            prop_assert_eq!(by_sim, d.accepts(&w), "word {:?}", &w);
+            let by_trees = !p.run_trees(&w).is_empty();
+            prop_assert_eq!(by_sim, by_trees, "trees on {:?}", &w);
+        }
+    }
+
+    /// NFA determinization + minimization preserve the language, and
+    /// minimization never grows the automaton.
+    #[test]
+    fn nfa_determinize_minimize(n in nfa_strategy()) {
+        let d = n.to_dfa();
+        let m = d.minimize();
+        prop_assert!(m.num_states() <= d.num_states());
+        for w in words(2, 6) {
+            prop_assert_eq!(n.accepts(&w), d.accepts(&w), "dfa on {:?}", &w);
+            prop_assert_eq!(d.accepts(&w), m.accepts(&w), "min on {:?}", &w);
+        }
+    }
+
+    /// Minimization is idempotent (a canonical form).
+    #[test]
+    fn minimization_idempotent(n in nfa_strategy()) {
+        let m = n.to_dfa().minimize();
+        let mm = m.minimize();
+        prop_assert_eq!(m.num_states(), mm.num_states());
+    }
+
+    /// NFA→PFA embedding preserves the language.
+    #[test]
+    fn nfa_embeds_into_pfa(n in nfa_strategy()) {
+        let p = Pfa::from_nfa(&n);
+        for w in words(2, 5) {
+            prop_assert_eq!(n.accepts(&w), p.accepts(&w), "word {:?}", &w);
+        }
+    }
+}
+
+/// Deterministic regression: the paper's P0 determinizes to ≤ 2^5 states
+/// and minimizes to the canonical automaton of "T and S before an R".
+#[test]
+fn p0_determinization_canonical() {
+    let p = Pfa::paper_p0();
+    let d = p.to_dfa();
+    let m = d.minimize();
+    assert!(d.num_states() <= 32);
+    // Canonical: track {seen T?, seen S?} then accept-sink: 5 states.
+    assert_eq!(m.num_states(), 5);
+    let _ = Dfa::determinize(
+        vec![0],
+        &[0],
+        |_, _| vec![0],
+        |_| true,
+    );
+}

@@ -1,0 +1,175 @@
+//! Randomized differential testing: for a catalog of hierarchical
+//! queries (with and without self-joins, constants, disconnection) and
+//! random streams,
+//!
+//! ```text
+//! streaming engine  ==  reference PCEA semantics  ==  t-hom oracle
+//! ```
+//!
+//! at every position and for every window size, plus unambiguity of
+//! every compiled automaton on every sampled stream.
+
+use pcea::prelude::*;
+use proptest::prelude::*;
+
+/// The query catalog: all hierarchical, shapes chosen to exercise every
+/// compiler path (star, deep tree, satellites, self-joins at the root
+/// and under variables, constants, repeated variables, disconnection).
+const CATALOG: &[&str] = &[
+    "Q(x, y) <- T(x), S(x, y), R(x, y)",
+    "Q(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)",
+    "Q(x, y, z, v, w) <- R(x, y, z), S(x, y, v), T(x, w), U(x, y)",
+    "Q(x) <- T(x), T(x)",
+    "Q(x, y, z, v) <- R(x, y, z), R(x, y, v), U(x, y)",
+    "Q(x, y) <- T(x), S(x, y), S(x, y)",
+    "Q(y) <- S(2, y), N(y)",
+    "Q(x) <- S(x, x), T(x)",
+    "Q(x, y) <- T(x), U(y)",
+    "Q(x, y, z) <- R(x, y), S(y, z)",
+];
+
+/// Generate a random stream over the query's schema with small value
+/// domains (dense joins stress every code path; the reference oracle
+/// caps the length).
+fn stream_strategy(schema: &Schema, max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    let rels: Vec<(pcea::common::RelationId, usize)> = schema
+        .relations()
+        .map(|r| (r, schema.arity(r)))
+        .collect();
+    let tuple = (0..rels.len(), proptest::collection::vec(0i64..4, 0..8)).prop_map(
+        move |(ri, vals)| {
+            let (rel, arity) = rels[ri];
+            let values: Vec<Value> = (0..arity)
+                .map(|k| Value::Int(*vals.get(k).unwrap_or(&1)))
+                .collect();
+            Tuple::new(rel, values)
+        },
+    );
+    proptest::collection::vec(tuple, 0..max_len)
+}
+
+fn check_one(text: &str, stream: &[Tuple], windows: &[u64]) {
+    let mut schema = Schema::new();
+    let query = parse_query(&mut schema, text).unwrap();
+    let compiled = compile_hcq(&schema, &query).unwrap();
+
+    // Reference PCEA semantics + unambiguity.
+    let reference = ReferenceEval::new(&compiled.pcea, stream);
+    reference
+        .check_unambiguous()
+        .unwrap_or_else(|e| panic!("{text} compiled ambiguously: {e}"));
+
+    for n in 0..stream.len() {
+        // Reference == t-hom oracle (Theorem 4.1).
+        assert_eq!(
+            reference.outputs_at(n),
+            pcea::cq::hom::new_outputs_at(&query, stream, n),
+            "{text}: reference vs t-hom at position {n}"
+        );
+    }
+
+    // Engine == reference, windowed (Theorem 5.1).
+    for &w in windows {
+        let mut engine = StreamingEvaluator::new(compiled.pcea.clone(), w);
+        engine.set_gc_every(3); // stress the collector too
+        for (n, tu) in stream.iter().enumerate() {
+            let mut got = engine.push_collect(tu);
+            got.sort();
+            assert_eq!(
+                got,
+                reference.windowed_outputs_at(n, w),
+                "{text}: engine vs reference at position {n}, w={w}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engine_matches_oracles_on_random_streams(
+        qi in 0..CATALOG.len(),
+        seed in any::<u64>(),
+    ) {
+        let text = CATALOG[qi];
+        let mut schema = Schema::new();
+        let query = parse_query(&mut schema, text).unwrap();
+        // Self-join queries explode the oracle faster: shorter streams.
+        let max_len = if query.has_self_joins() { 10 } else { 14 };
+        let mut runner = proptest::test_runner::TestRunner::new_with_rng(
+            ProptestConfig::default(),
+            proptest::test_runner::TestRng::from_seed(
+                proptest::test_runner::RngAlgorithm::ChaCha,
+                &{
+                    let mut b = [0u8; 32];
+                    b[..8].copy_from_slice(&seed.to_le_bytes());
+                    b
+                },
+            ),
+        );
+        use proptest::strategy::ValueTree;
+        let stream = stream_strategy(&schema, max_len)
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        check_one(text, &stream, &[0, 2, 5, 1_000]);
+    }
+}
+
+/// Deterministic sweep: every catalog query on a fixed dense stream with
+/// every window size from 0 to the stream length.
+#[test]
+fn catalog_exhaustive_windows_on_fixed_stream() {
+    for text in CATALOG {
+        let mut schema = Schema::new();
+        let query = parse_query(&mut schema, text).unwrap();
+        let rels: Vec<_> = schema.relations().collect();
+        let n = if query.has_self_joins() { 8 } else { 12 };
+        let stream: Vec<Tuple> = (0..n)
+            .map(|i| {
+                let rel = rels[i % rels.len()];
+                let arity = schema.arity(rel);
+                Tuple::new(
+                    rel,
+                    (0..arity).map(|k| Value::Int(((i + k) % 2) as i64)).collect(),
+                )
+            })
+            .collect();
+        let windows: Vec<u64> = (0..=stream.len() as u64).collect();
+        check_one(text, &stream, &windows);
+    }
+}
+
+// The Chaudhuri–Vardi equivalence (Appendix B) on random databases.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn thom_semantics_equals_cv_semantics(
+        qi in 0..CATALOG.len(),
+        raw in proptest::collection::vec((0usize..8, 0i64..3, 0i64..3, 0i64..3), 0..10),
+    ) {
+        let text = CATALOG[qi];
+        let mut schema = Schema::new();
+        let query = parse_query(&mut schema, text).unwrap();
+        let rels: Vec<_> = schema.relations().collect();
+        let mut db = pcea::cq::Database::new();
+        for (ri, a, b, c) in raw {
+            let rel = rels[ri % rels.len()];
+            let arity = schema.arity(rel);
+            let vals = [a, b, c];
+            db.insert(Tuple::new(
+                rel,
+                (0..arity).map(|k| Value::Int(vals[k.min(2)])).collect(),
+            ));
+        }
+        prop_assert_eq!(
+            pcea::cq::hom::thom_bag_semantics(&query, &db),
+            pcea::cq::hom::cv_bag_semantics(&query, &db)
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Model-based property tests for the enumeration structure `DS_w`.
+//!
+//! A shadow model tracks, for every node built by a random program of
+//! `extend`/`union` operations, the exact bag of valuations it
+//! represents. The real structure must then agree with the model under
+//! every window, keep its heap/leftist invariants, stay persistent
+//! (old roots never change meaning), and survive compaction.
+
+use pcea::engine::ds::{EnumStructure, NodeId, BOTTOM};
+use pcea::engine::enumerate::collect_valuations;
+use pcea::prelude::*;
+use proptest::prelude::*;
+
+/// One step of the random construction program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Extend with labels ⊆ {0,1}, gathering up to 2 previous roots.
+    Extend { labels: u8, picks: Vec<usize> },
+    /// Union two previous roots (re-rooted at the melded node).
+    Union { a: usize, b: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..4, proptest::collection::vec(any::<usize>(), 0..3))
+            .prop_map(|(labels, picks)| Op::Extend { labels, picks }),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Union { a, b }),
+    ]
+}
+
+/// The shadow model: every root's bag of valuations, window-unfiltered.
+struct Model {
+    bags: Vec<Vec<Valuation>>,
+    /// Position each root was created at (roots are immutable).
+    created: Vec<u64>,
+}
+
+/// Run a construction program under the structure's contract (the same
+/// one unambiguous PCEA guarantee): union operands are consumed linearly
+/// (each root melds at most once, as in Algorithm 1), and products only
+/// gather roots with pairwise-disjoint position supports — Theorem 5.2's
+/// *simplicity* requirement, without which enumeration of overlapping
+/// products is undefined.
+fn run_program(ops: &[Op]) -> (EnumStructure, Vec<NodeId>, Model) {
+    let num_labels = 2usize;
+    let mut ds = EnumStructure::new();
+    let mut roots: Vec<NodeId> = Vec::new();
+    let mut consumed: Vec<bool> = Vec::new();
+    // Position support of each root's bag (for the simplicity rule).
+    let mut supports: Vec<std::collections::BTreeSet<u64>> = Vec::new();
+    let mut model = Model {
+        bags: Vec::new(),
+        created: Vec::new(),
+    };
+    let mut pos = 0u64;
+    for op in ops {
+        match op {
+            Op::Extend { labels, picks } => {
+                pos += 1;
+                let ls = LabelSet(u64::from(*labels) & 0b11);
+                let ls = if ls.is_empty() {
+                    LabelSet::singleton(Label(0))
+                } else {
+                    ls
+                };
+                // Gather existing roots with pairwise-disjoint supports
+                // (strictly earlier by construction since positions
+                // increase).
+                let mut chosen: Vec<usize> = Vec::new();
+                let mut support: std::collections::BTreeSet<u64> =
+                    std::iter::once(pos).collect();
+                for &p in picks {
+                    if roots.is_empty() {
+                        break;
+                    }
+                    let k = p % roots.len();
+                    if !chosen.contains(&k) && supports[k].is_disjoint(&support) {
+                        support.extend(supports[k].iter().copied());
+                        chosen.push(k);
+                    }
+                }
+                chosen.sort_unstable();
+                let prod: Vec<NodeId> = chosen.iter().map(|&k| roots[k]).collect();
+                let node = ds.extend(ls, pos, &prod);
+                roots.push(node);
+                consumed.push(false);
+                supports.push(support);
+                // Model: cross product of chosen bags ⊕ ν_{L,pos}.
+                let mut bag = vec![Valuation::singleton(num_labels, ls, pos)];
+                for &k in &chosen {
+                    let mut next = Vec::new();
+                    for base in &bag {
+                        for v in &model.bags[k] {
+                            next.push(base.product(v));
+                        }
+                    }
+                    bag = next;
+                }
+                model.bags.push(bag);
+                model.created.push(pos);
+            }
+            Op::Union { a, b } => {
+                let free: Vec<usize> =
+                    (0..roots.len()).filter(|&k| !consumed[k]).collect();
+                if free.len() < 2 {
+                    continue;
+                }
+                let ka = free[a % free.len()];
+                let kb = free[b % free.len()];
+                if ka == kb {
+                    continue;
+                }
+                let node = ds.union(roots[ka], roots[kb], 0);
+                consumed[ka] = true;
+                consumed[kb] = true;
+                roots.push(node);
+                consumed.push(false);
+                let merged: std::collections::BTreeSet<u64> =
+                    supports[ka].union(&supports[kb]).copied().collect();
+                supports.push(merged);
+                let mut bag = model.bags[ka].clone();
+                bag.extend(model.bags[kb].iter().cloned());
+                model.bags.push(bag);
+                model.created.push(pos);
+            }
+        }
+    }
+    (ds, roots, model)
+}
+
+fn windowed(bag: &[Valuation], i: u64, w: u64) -> Vec<Valuation> {
+    let mut out: Vec<Valuation> = bag
+        .iter()
+        .filter(|v| v.min_pos().is_none_or(|m| i.saturating_sub(w) <= m))
+        .cloned()
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ds_agrees_with_model_under_all_windows(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let (ds, roots, model) = run_program(&ops);
+        let horizon = ops.len() as u64 + 1;
+        for (k, &root) in roots.iter().enumerate() {
+            ds.check_invariants(root).unwrap();
+            for w in [0u64, 1, 2, 5, horizon] {
+                let mut got = collect_valuations(&ds, root, horizon, w, 2);
+                got.sort();
+                let want = windowed(&model.bags[k], horizon, w);
+                prop_assert_eq!(&got, &want, "root {} window {}", k, w);
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_old_roots_unchanged(
+        ops in proptest::collection::vec(op_strategy(), 2..20),
+        extra in proptest::collection::vec(op_strategy(), 1..8),
+    ) {
+        let (mut ds, mut roots, model) = run_program(&ops);
+        let horizon = (ops.len() + extra.len()) as u64 + 2;
+        // Snapshot the meaning of every existing root.
+        let before: Vec<Vec<Valuation>> = roots
+            .iter()
+            .map(|&r| {
+                let mut v = collect_valuations(&ds, r, horizon, horizon, 2);
+                v.sort();
+                v
+            })
+            .collect();
+        // Apply more operations on top. Fresh extends may reference any
+        // old root as a product child; melds take one old root and one
+        // fresh singleton (the Algorithm 1 pattern), so no heap cells
+        // alias.
+        let mut pos = ops.len() as u64 + 1;
+        for op in &extra {
+            if roots.is_empty() {
+                break;
+            }
+            match op {
+                Op::Extend { labels, picks } => {
+                    pos += 1;
+                    let ls = LabelSet((u64::from(*labels) & 0b11).max(1));
+                    let mut prod: Vec<NodeId> = Vec::new();
+                    for &p in picks {
+                        let n = roots[p % roots.len()];
+                        if !n.is_bottom() && !prod.contains(&n) {
+                            prod.push(n);
+                        }
+                    }
+                    let n = ds.extend(ls, pos, &prod);
+                    roots.push(n);
+                }
+                Op::Union { a, b } => {
+                    pos += 1;
+                    let ka = a % roots.len();
+                    let fresh = ds.extend(
+                        LabelSet::singleton(Label((b % 2) as u32)),
+                        pos,
+                        &[],
+                    );
+                    let n = ds.union(roots[ka], fresh, 0);
+                    roots.push(n);
+                }
+            }
+        }
+        // Old roots still mean exactly what they meant.
+        for (k, want) in before.iter().enumerate() {
+            let mut got = collect_valuations(&ds, roots[k], horizon, horizon, 2);
+            got.sort();
+            prop_assert_eq!(&got, want, "root {} changed meaning", k);
+        }
+        let _ = model;
+    }
+
+    #[test]
+    fn compaction_is_transparent(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        w in 0u64..8,
+    ) {
+        let (mut ds, mut roots, _model) = run_program(&ops);
+        let horizon = ops.len() as u64 + 1;
+        let lo = horizon.saturating_sub(w);
+        let before: Vec<Vec<Valuation>> = roots
+            .iter()
+            .map(|&r| {
+                let mut v = collect_valuations(&ds, r, horizon, w, 2);
+                v.sort();
+                v
+            })
+            .collect();
+        {
+            let mut refs: Vec<&mut NodeId> = roots.iter_mut().collect();
+            ds.compact(&mut refs, lo);
+        }
+        for (k, want) in before.iter().enumerate() {
+            ds.check_invariants(roots[k]).unwrap();
+            let mut got = collect_valuations(&ds, roots[k], horizon, w, 2);
+            got.sort();
+            prop_assert_eq!(&got, want, "root {} after compaction", k);
+        }
+        prop_assert!(ds.union(BOTTOM, BOTTOM, lo).is_bottom());
+    }
+}

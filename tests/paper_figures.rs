@@ -1,0 +1,158 @@
+//! F1–F4: every figure and worked example of the paper, asserted
+//! end-to-end across crates (automata + cq + engine).
+
+use pcea::automata::ccea::paper_c0;
+use pcea::automata::pcea::paper_p0;
+use pcea::automata::pfa::Pfa;
+use pcea::cq::qtree::{NodeLabel, QTree};
+use pcea::cq::VarId;
+use pcea::prelude::*;
+
+fn val(num_labels: usize, pairs: &[(u32, &[u64])]) -> Valuation {
+    let mut v = Valuation::empty(num_labels);
+    for (l, ps) in pairs {
+        for &p in *ps {
+            v.insert(LabelSet::singleton(Label(*l)), p);
+        }
+    }
+    v
+}
+
+/// F1 (left): the PFA `P0` of Figure 1 accepts exactly the strings with
+/// a `T` and an `S` (any order) before an `R`.
+#[test]
+fn f1_pfa_p0_language() {
+    let p = Pfa::paper_p0();
+    let (t, s, r) = (0u32, 1, 2);
+    // Exhaustive over strings of length ≤ 5.
+    for len in 0..=5usize {
+        let count = 3usize.pow(len as u32);
+        for mut code in 0..count {
+            let mut word = Vec::with_capacity(len);
+            for _ in 0..len {
+                word.push((code % 3) as u32);
+                code /= 3;
+            }
+            let expected = (0..len).any(|k| {
+                word[k] == r
+                    && word[..k].contains(&t)
+                    && word[..k].contains(&s)
+            });
+            assert_eq!(p.accepts(&word), expected, "word {word:?}");
+        }
+    }
+}
+
+/// F1 (right) + Example 3.3: the PCEA `P0` over `S0` produces exactly
+/// ντ0 = {●↦{1,3,5}} and ντ1 = {●↦{0,1,5}} at position 5 — on both the
+/// reference semantics and the streaming engine.
+#[test]
+fn f1_pcea_p0_outputs() {
+    let (_, r, s, t) = Schema::sigma0();
+    let stream = sigma0_prefix(r, s, t);
+    let want = {
+        let mut w = vec![
+            val(1, &[(0, &[1, 3, 5])]),
+            val(1, &[(0, &[0, 1, 5])]),
+        ];
+        w.sort();
+        w
+    };
+    // Reference semantics.
+    let pcea = paper_p0(r, s, t);
+    let eval = ReferenceEval::new(&pcea, &stream);
+    assert_eq!(eval.outputs_at(5), want);
+    // Streaming engine.
+    let results = run_to_end(paper_p0(r, s, t), 100, &stream);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].0, 5);
+    let mut got = results[0].1.clone();
+    got.sort();
+    assert_eq!(got, want);
+}
+
+/// Example 2.1: the CCEA `C0` sees only the order-respecting match.
+#[test]
+fn example_2_1_ccea_c0() {
+    let (_, r, s, t) = Schema::sigma0();
+    let stream = sigma0_prefix(r, s, t);
+    let results = run_to_end(paper_c0(r, s, t).to_pcea(), 100, &stream);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].1, vec![val(1, &[(0, &[1, 3, 5])])]);
+}
+
+/// F2: the q-tree of Q0 and the equivalence of the compiled automaton
+/// with the query on S0.
+#[test]
+fn f2_qtree_and_compilation_of_q0() {
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let tree = QTree::build(&q0).unwrap();
+    tree.validate_full(&q0).unwrap();
+    // Root x; T leaf under x; y under x; S, R leaves under y.
+    let root = tree.root();
+    assert_eq!(tree.node(root).label, NodeLabel::Var(VarId(0)));
+    let y = tree.var_node(VarId(1)).unwrap();
+    assert_eq!(tree.node(tree.leaf_of_atom(0)).parent, Some(root));
+    assert_eq!(tree.node(tree.leaf_of_atom(1)).parent, Some(y));
+    assert_eq!(tree.node(tree.leaf_of_atom(2)).parent, Some(y));
+
+    // Compiled automaton ≡ Q0 on S0 (engine vs t-homomorphism oracle).
+    let compiled = compile_hcq(&schema, &q0).unwrap();
+    let r = schema.relation("R").unwrap();
+    let s = schema.relation("S").unwrap();
+    let t = schema.relation("T").unwrap();
+    let stream = sigma0_prefix(r, s, t);
+    let mut engine = StreamingEvaluator::new(compiled.pcea, 1000);
+    for (n, tu) in stream.iter().enumerate() {
+        let mut got = engine.push_collect(tu);
+        got.sort();
+        assert_eq!(got, pcea::cq::hom::new_outputs_at(&q0, &stream, n));
+    }
+}
+
+/// F3/F4: q-trees and compact q-trees of Q1 and the self-join Q2 match
+/// the figures' node counts and shapes.
+#[test]
+fn f3_f4_qtrees_of_q1_and_q2() {
+    let mut s1 = Schema::new();
+    let q1 = parse_query(
+        &mut s1,
+        "Q1(x, y, z, v, w) <- R(x, y, z), S(x, y, v), T(x, w), U(x, y)",
+    )
+    .unwrap();
+    let t1 = QTree::build(&q1).unwrap();
+    t1.validate_full(&q1).unwrap();
+    assert_eq!(t1.iter().count(), 9, "5 vars + 4 atoms");
+    let c1 = t1.compact();
+    assert_eq!(c1.iter().count(), 6, "Figure 4: x, y + 4 leaves");
+
+    let mut s2 = Schema::new();
+    let q2 = parse_query(&mut s2, "Q2(x, y, z, v) <- R(x, y, z), R(x, y, v), U(x, y)").unwrap();
+    let t2 = QTree::build(&q2).unwrap();
+    t2.validate_full(&q2).unwrap();
+    assert_eq!(t2.iter().count(), 7, "4 vars + 3 atoms");
+    let c2 = t2.compact();
+    assert_eq!(c2.iter().count(), 4, "Figure 4: one var + 3 leaves");
+    assert_eq!(c2.node(c2.root()).children.len(), 3);
+}
+
+/// Proposition 3.2 on the paper's own PFA: determinization stays within
+/// the `2^n` bound and preserves the language.
+#[test]
+fn prop_3_2_on_p0() {
+    let p = Pfa::paper_p0();
+    let d = p.to_dfa();
+    assert!(d.num_states() <= 1 << p.num_states());
+    for len in 0..=6usize {
+        let count = 3usize.pow(len as u32);
+        for mut code in 0..count {
+            let mut word = Vec::with_capacity(len);
+            for _ in 0..len {
+                word.push((code % 3) as u32);
+                code /= 3;
+            }
+            assert_eq!(p.accepts(&word), d.accepts(&word));
+        }
+    }
+}
