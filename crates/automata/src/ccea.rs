@@ -197,10 +197,10 @@ mod tests {
         assert_eq!(p.num_states(), 3);
         // 1 initial + 2 chain transitions.
         assert_eq!(p.transitions().len(), 3);
-        assert!(p
-            .transitions()
-            .iter()
-            .all(|tr| tr.sources.len() <= 1), "CCEA image has ≤1 source per transition");
+        assert!(
+            p.transitions().iter().all(|tr| tr.sources.len() <= 1),
+            "CCEA image has ≤1 source per transition"
+        );
     }
 
     #[test]

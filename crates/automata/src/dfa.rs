@@ -44,10 +44,10 @@ impl Dfa {
         let mut accepting: Vec<bool> = Vec::new();
 
         let intern = |set: Vec<usize>,
-                          subsets: &mut Vec<Vec<usize>>,
-                          transitions: &mut Vec<FxHashMap<u32, usize>>,
-                          accepting: &mut Vec<bool>,
-                          index: &mut FxHashMap<Vec<usize>, usize>|
+                      subsets: &mut Vec<Vec<usize>>,
+                      transitions: &mut Vec<FxHashMap<u32, usize>>,
+                      accepting: &mut Vec<bool>,
+                      index: &mut FxHashMap<Vec<usize>, usize>|
          -> usize {
             if let Some(&id) = index.get(&set) {
                 return id;
@@ -148,11 +148,7 @@ impl Dfa {
         };
         // Completion: treat missing transitions as a virtual sink (class
         // usize::MAX in signatures below).
-        let mut class: Vec<usize> = self
-            .accepting
-            .iter()
-            .map(|&acc| usize::from(acc))
-            .collect();
+        let mut class: Vec<usize> = self.accepting.iter().map(|&acc| usize::from(acc)).collect();
         loop {
             let mut sig_index: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
             let mut next_class = vec![0usize; self.num_states];
@@ -249,10 +245,7 @@ mod tests {
         let d = Dfa {
             num_states: 2,
             start: 0,
-            transitions: vec![
-                [(0u32, 1usize)].into_iter().collect(),
-                FxHashMap::default(),
-            ],
+            transitions: vec![[(0u32, 1usize)].into_iter().collect(), FxHashMap::default()],
             accepting: vec![false, true],
         };
         assert!(d.accepts(&[0]));

@@ -40,7 +40,10 @@ impl Nfa {
 
     /// Add a transition `(p, a, q) ∈ ∆`.
     pub fn add_transition(&mut self, p: usize, a: u32, q: usize) {
-        assert!(p < self.num_states && q < self.num_states, "state out of range");
+        assert!(
+            p < self.num_states && q < self.num_states,
+            "state out of range"
+        );
         self.transitions.push((p, a, q));
     }
 
@@ -108,17 +111,22 @@ impl Nfa {
             i.dedup();
             i
         };
-        crate::dfa::Dfa::determinize(start, &alphabet, |set, a| {
-            let mut next: Vec<usize> = self
-                .transitions
-                .iter()
-                .filter(|&&(p, b, _)| b == a && set.binary_search(&p).is_ok())
-                .map(|&(_, _, q)| q)
-                .collect();
-            next.sort_unstable();
-            next.dedup();
-            next
-        }, |set| self.finals.iter().any(|f| set.binary_search(f).is_ok()))
+        crate::dfa::Dfa::determinize(
+            start,
+            &alphabet,
+            |set, a| {
+                let mut next: Vec<usize> = self
+                    .transitions
+                    .iter()
+                    .filter(|&&(p, b, _)| b == a && set.binary_search(&p).is_ok())
+                    .map(|&(_, _, q)| q)
+                    .collect();
+                next.sort_unstable();
+                next.dedup();
+                next
+            },
+            |set| self.finals.iter().any(|f| set.binary_search(f).is_ok()),
+        )
     }
 }
 

@@ -109,6 +109,35 @@ impl Pcea {
     pub fn states(&self) -> impl Iterator<Item = StateId> {
         (0..self.num_states as u32).map(StateId)
     }
+
+    /// The relations whose tuples can fire any transition, or `None`
+    /// when some transition's unary predicate is not confined to known
+    /// relations (the automaton must then see every tuple). Used by the
+    /// multi-query runtime to route stream tuples.
+    pub fn relations(&self) -> Option<Vec<cer_common::RelationId>> {
+        let mut out: Vec<cer_common::RelationId> = Vec::new();
+        for tr in &self.transitions {
+            let rs = tr.unary.relations()?;
+            for r in rs {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether outputs are preserved under key-partitioned sharding on
+    /// the tuple attribute at `pos`: every join predicate must project
+    /// that attribute at a common key index on both sides
+    /// ([`EqPredicate::preserves_partition`]), so every pair of joined
+    /// tuples — and hence every complete match — shares one partition
+    /// value.
+    pub fn supports_key_partition(&self, pos: usize) -> bool {
+        self.transitions
+            .iter()
+            .all(|tr| tr.binary.iter().all(|b| b.preserves_partition(pos)))
+    }
 }
 
 /// Incremental constructor for [`Pcea`].
@@ -259,7 +288,10 @@ pub fn paper_p0(
     b.add_transition(
         vec![
             (q0, EqPredicate::on_positions(t, [0usize], r, [0usize])),
-            (q1, EqPredicate::on_positions(s, [0usize, 1], r, [0usize, 1])),
+            (
+                q1,
+                EqPredicate::on_positions(s, [0usize, 1], r, [0usize, 1]),
+            ),
         ],
         UnaryPredicate::Relation(r),
         dot,
@@ -331,10 +363,7 @@ mod tests {
         let q = b.add_state();
         let p = b.add_state();
         b.add_transition(
-            vec![
-                (q, EqPredicate::default()),
-                (q, EqPredicate::default()),
-            ],
+            vec![(q, EqPredicate::default()), (q, EqPredicate::default())],
             UnaryPredicate::True,
             LabelSet::singleton(crate::valuation::Label(0)),
             p,
@@ -362,10 +391,7 @@ mod tests {
         b.mark_final(states[3]); // idempotent
         let p = b.build();
         assert_eq!(p.states().count(), 4);
-        assert_eq!(
-            p.finals().collect::<Vec<_>>(),
-            vec![states[1], states[3]]
-        );
+        assert_eq!(p.finals().collect::<Vec<_>>(), vec![states[1], states[3]]);
         assert!(p.is_final(states[1]));
         assert!(!p.is_final(states[0]));
     }

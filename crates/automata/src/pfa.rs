@@ -92,7 +92,10 @@ impl Pfa {
         let mut sources = sources.into();
         sources.sort_unstable();
         sources.dedup();
-        assert!(!sources.is_empty(), "PFA transitions need non-empty sources");
+        assert!(
+            !sources.is_empty(),
+            "PFA transitions need non-empty sources"
+        );
         assert!(
             target < self.num_states && sources.iter().all(|&p| p < self.num_states),
             "state out of range"
@@ -248,7 +251,11 @@ impl Pfa {
                     })
                     .collect();
             }
-            out.extend(combos.into_iter().map(|children| RunTree { state, children }));
+            out.extend(
+                combos
+                    .into_iter()
+                    .map(|children| RunTree { state, children }),
+            );
         }
         out
     }

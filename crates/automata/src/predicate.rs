@@ -129,6 +129,26 @@ impl KeyExtractor {
         }
         Some(entry.key.iter().map(|&p| t.get(p).clone()).collect())
     }
+
+    /// Bitmask of *key indices* (up to 64) at which **every** relation
+    /// this side is defined on projects tuple position `pos`. Key
+    /// equality is positional, so only a common index guarantees that
+    /// equal keys carry equal values of the partition attribute; an
+    /// extractor defined nowhere returns all-ones (its join can never
+    /// be satisfied, hence is vacuously safe).
+    pub fn projection_index_mask(&self, pos: usize) -> u64 {
+        let mut mask = !0u64;
+        for e in self.entries.values() {
+            let mut m = 0u64;
+            for (i, &p) in e.key.iter().take(64).enumerate() {
+                if p == pos {
+                    m |= 1 << i;
+                }
+            }
+            mask &= m;
+        }
+        mask
+    }
 }
 
 /// An equality predicate `B ∈ Beq`, as a pair of partial key functions.
@@ -163,6 +183,15 @@ impl EqPredicate {
             left: KeyExtractor::projection(lrel, lpos),
             right: KeyExtractor::projection(rrel, rpos),
         }
+    }
+
+    /// Whether satisfying this predicate implies both tuples carry equal
+    /// values at tuple position `pos`: the partition attribute must be
+    /// projected at a *common key index* by every entry of both sides
+    /// (key comparison is positional, so merely containing `pos`
+    /// somewhere in each key is not enough).
+    pub fn preserves_partition(&self, pos: usize) -> bool {
+        self.left.projection_index_mask(pos) & self.right.projection_index_mask(pos) != 0
     }
 
     /// Decide `(t1, t2) ∈ B`.
@@ -335,6 +364,35 @@ impl UnaryPredicate {
         }
     }
 
+    /// The relations whose tuples can possibly satisfy the predicate:
+    /// `None` when the predicate is not confined to known relations
+    /// (`True`, `Cmp`, `Custom`). Used by the multi-query runtime to
+    /// route stream tuples only to interested queries.
+    pub fn relations(&self) -> Option<Vec<RelationId>> {
+        match self {
+            UnaryPredicate::True | UnaryPredicate::Cmp { .. } | UnaryPredicate::Custom(_) => None,
+            UnaryPredicate::Relation(r) => Some(vec![*r]),
+            UnaryPredicate::OneOf(rs) => Some(rs.to_vec()),
+            UnaryPredicate::Atom(p) => Some(vec![p.relation]),
+            UnaryPredicate::Groups { relation, .. } => Some(vec![*relation]),
+            UnaryPredicate::And(ps) => {
+                // A conjunction is confined to the intersection of its
+                // confined conjuncts (any one suffices as a sound
+                // over-approximation; intersect for precision).
+                let mut acc: Option<Vec<RelationId>> = None;
+                for p in ps.iter() {
+                    if let Some(rs) = p.relations() {
+                        acc = Some(match acc {
+                            None => rs,
+                            Some(prev) => prev.into_iter().filter(|r| rs.contains(r)).collect(),
+                        });
+                    }
+                }
+                acc
+            }
+        }
+    }
+
     /// Conjunction helper that flattens nested `And`s.
     pub fn and(self, other: UnaryPredicate) -> UnaryPredicate {
         match (self, other) {
@@ -471,7 +529,10 @@ mod tests {
                 key: Box::new([0]),
             },
         );
-        assert_eq!(ex.extract(&tup(r, [4i64, 4])), Some(Box::from([Value::Int(4)])));
+        assert_eq!(
+            ex.extract(&tup(r, [4i64, 4])),
+            Some(Box::from([Value::Int(4)]))
+        );
         assert_eq!(ex.extract(&tup(r, [4i64, 5])), None);
     }
 
@@ -507,9 +568,7 @@ mod tests {
                 op: CmpOp::Ge,
                 value: Value::Int(0),
             })
-            .and(UnaryPredicate::Custom(Arc::new(|t: &Tuple| {
-                t.arity() == 2
-            })));
+            .and(UnaryPredicate::Custom(Arc::new(|t: &Tuple| t.arity() == 2)));
         assert!(u.matches(&tup(r, [1i64, 2])));
         if let UnaryPredicate::And(ps) = &u {
             assert_eq!(ps.len(), 3, "nested ands flattened");

@@ -347,8 +347,7 @@ mod tests {
         let (_, r, s, t) = Schema::sigma0();
         let stream = sigma0_prefix(r, s, t);
         let pcea_out = ReferenceEval::new(&paper_p0(r, s, t), &stream).outputs_at(5);
-        let ccea_out =
-            ReferenceEval::new(&paper_c0(r, s, t).to_pcea(), &stream).outputs_at(5);
+        let ccea_out = ReferenceEval::new(&paper_c0(r, s, t).to_pcea(), &stream).outputs_at(5);
         assert_eq!(pcea_out.len(), 2);
         assert_eq!(ccea_out.len(), 1);
         assert!(pcea_out.contains(&ccea_out[0]));

@@ -46,9 +46,7 @@ impl LabelSet {
 
     /// Build from an iterator of labels.
     pub fn from_labels(labels: impl IntoIterator<Item = Label>) -> Self {
-        labels
-            .into_iter()
-            .fold(LabelSet::EMPTY, |s, l| s.with(l))
+        labels.into_iter().fold(LabelSet::EMPTY, |s, l| s.with(l))
     }
 
     /// This set plus one label.

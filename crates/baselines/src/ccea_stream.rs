@@ -22,6 +22,8 @@ use cer_automata::predicate::Key;
 use cer_automata::valuation::{LabelSet, Valuation};
 use cer_common::hash::FxHashMap;
 use cer_common::Tuple;
+use cer_core::api::Evaluator;
+use cer_core::window::{WindowClock, WindowPolicy};
 
 const NIL: u32 = u32::MAX;
 
@@ -52,7 +54,7 @@ struct ChainNode {
 #[derive(Clone, Debug)]
 pub struct CceaStreamEvaluator {
     ccea: Ccea,
-    w: u64,
+    clock: WindowClock,
     nodes: Vec<ChainNode>,
     /// `(transition index, left key) → alternative-list head`.
     h: FxHashMap<(u32, Key), u32>,
@@ -62,12 +64,18 @@ pub struct CceaStreamEvaluator {
 }
 
 impl CceaStreamEvaluator {
-    /// Create an evaluator with window `w`.
+    /// Create an evaluator with count window `w`.
     pub fn new(ccea: Ccea, w: u64) -> Self {
+        Self::with_window(ccea, WindowPolicy::Count(w))
+    }
+
+    /// Create an evaluator with an explicit window policy (the
+    /// ingest/window stage is shared with the streaming engine).
+    pub fn with_window(ccea: Ccea, window: WindowPolicy) -> Self {
         let n = ccea.num_states();
         CceaStreamEvaluator {
             ccea,
-            w,
+            clock: WindowClock::new(window),
             nodes: Vec::new(),
             h: FxHashMap::default(),
             n_state: vec![Vec::new(); n],
@@ -98,7 +106,7 @@ impl CceaStreamEvaluator {
     pub fn push_for_each<F: FnMut(&Valuation)>(&mut self, t: &Tuple, mut f: F) {
         let i = self.next_pos;
         self.next_pos += 1;
-        let lo = i.saturating_sub(self.w);
+        let lo = self.clock.observe(i, t);
 
         for ns in &mut self.n_state {
             ns.clear();
@@ -172,13 +180,12 @@ impl CceaStreamEvaluator {
                         } else {
                             NIL // Whole suffix expired: truncate.
                         };
-                        let suffix_start = self.nodes[node as usize].max_start.max(
-                            if suffix == NIL {
+                        let suffix_start =
+                            self.nodes[node as usize].max_start.max(if suffix == NIL {
                                 0
                             } else {
                                 self.nodes[suffix as usize].suffix_start
-                            },
-                        );
+                            });
                         let copy = ChainNode {
                             alt: suffix,
                             suffix_start,
@@ -224,6 +231,20 @@ impl CceaStreamEvaluator {
             }
         }
         val.remove(n.labels, n.pos);
+    }
+}
+
+impl Evaluator for CceaStreamEvaluator {
+    fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
+        CceaStreamEvaluator::push_collect(self, t)
+    }
+
+    fn push_count(&mut self, t: &Tuple) -> usize {
+        CceaStreamEvaluator::push_count(self, t)
+    }
+
+    fn push_for_each(&mut self, t: &Tuple, f: &mut dyn FnMut(&Valuation)) {
+        CceaStreamEvaluator::push_for_each(self, t, f);
     }
 }
 

@@ -9,6 +9,13 @@
 //!   over a window buffer (the classic pre-automaton CER approach);
 //! * [`ccea_stream`] — a chain-specialized streaming evaluator in the
 //!   style of Grez & Riveros (ICDT 2020), the paper's reference \[16\].
+//!
+//! All three implement the [`cer_core::Evaluator`] trait — the same
+//! surface the streaming engine exposes — so differential tests and the
+//! multi-query runtime benches compare like-for-like, and all three
+//! share the engine's ingest/window stage
+//! ([`cer_core::window::WindowClock`]), so they support count *and*
+//! time windows through the `with_window` constructors.
 
 pub mod ccea_stream;
 pub mod naive_runs;

@@ -11,6 +11,8 @@
 use cer_automata::pcea::Pcea;
 use cer_automata::valuation::Valuation;
 use cer_common::Tuple;
+use cer_core::api::Evaluator;
+use cer_core::window::{WindowClock, WindowPolicy};
 
 /// One explicit partial run.
 #[derive(Clone, Debug)]
@@ -25,7 +27,7 @@ struct Run {
 #[derive(Clone, Debug)]
 pub struct NaiveRunsEvaluator {
     pcea: Pcea,
-    w: u64,
+    clock: WindowClock,
     /// `runs[p]`: live partial runs whose root is at state `p`.
     runs: Vec<Vec<Run>>,
     next_pos: u64,
@@ -35,12 +37,18 @@ pub struct NaiveRunsEvaluator {
 }
 
 impl NaiveRunsEvaluator {
-    /// Create an evaluator with window `w`.
+    /// Create an evaluator with count window `w`.
     pub fn new(pcea: Pcea, w: u64) -> Self {
+        Self::with_window(pcea, WindowPolicy::Count(w))
+    }
+
+    /// Create an evaluator with an explicit window policy (the
+    /// ingest/window stage is shared with the streaming engine).
+    pub fn with_window(pcea: Pcea, window: WindowPolicy) -> Self {
         let n = pcea.num_states();
         NaiveRunsEvaluator {
             pcea,
-            w,
+            clock: WindowClock::new(window),
             runs: vec![Vec::new(); n],
             next_pos: 0,
             max_runs: 10_000_000,
@@ -56,7 +64,7 @@ impl NaiveRunsEvaluator {
     pub fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
         let i = self.next_pos;
         self.next_pos += 1;
-        let lo = i.saturating_sub(self.w);
+        let lo = self.clock.observe(i, t);
 
         // Expire runs that can no longer produce an in-window output
         // (their minimum position only decreases under products).
@@ -112,7 +120,7 @@ impl NaiveRunsEvaluator {
         let mut outputs = Vec::new();
         for (p, run) in fresh {
             if self.pcea.is_final(cer_automata::pcea::StateId(p as u32))
-                && run.val.min_pos().is_none_or(|m| i - m <= self.w)
+                && run.val.min_pos().is_none_or(|m| m >= lo)
             {
                 outputs.push(run.val.clone());
             }
@@ -129,6 +137,12 @@ impl NaiveRunsEvaluator {
     /// Push a tuple and count the new outputs.
     pub fn push_count(&mut self, t: &Tuple) -> usize {
         self.push_collect(t).len()
+    }
+}
+
+impl Evaluator for NaiveRunsEvaluator {
+    fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
+        NaiveRunsEvaluator::push_collect(self, t)
     }
 }
 
@@ -191,6 +205,9 @@ mod tests {
             engine.push_collect(&tu);
             peak = peak.max(engine.stored_runs());
         }
-        assert!(peak < 2000, "window expiry must bound the store, peak {peak}");
+        assert!(
+            peak < 2000,
+            "window expiry must bound the store, peak {peak}"
+        );
     }
 }

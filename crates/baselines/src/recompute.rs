@@ -7,29 +7,37 @@
 //! the window — experiment E5 measures where the streaming engine
 //! overtakes it.
 
+use cer_automata::valuation::Valuation;
 use cer_common::hash::FxHashMap;
+use cer_common::{RelationId, Tuple};
+use cer_core::api::Evaluator;
+use cer_core::window::{WindowClock, WindowPolicy};
 use cer_cq::hom;
 use cer_cq::query::ConjunctiveQuery;
-use cer_automata::valuation::Valuation;
-use cer_common::{RelationId, Tuple};
 use std::collections::VecDeque;
 
 /// The re-evaluation baseline.
 #[derive(Clone, Debug)]
 pub struct RecomputeEvaluator {
     query: ConjunctiveQuery,
-    w: u64,
+    clock: WindowClock,
     /// `(global position, tuple)` ring of the last `w + 1` tuples.
     window: VecDeque<(u64, Tuple)>,
     next_pos: u64,
 }
 
 impl RecomputeEvaluator {
-    /// Create an evaluator with window `w`.
+    /// Create an evaluator with count window `w`.
     pub fn new(query: ConjunctiveQuery, w: u64) -> Self {
+        Self::with_window(query, WindowPolicy::Count(w))
+    }
+
+    /// Create an evaluator with an explicit window policy (the
+    /// ingest/window stage is shared with the streaming engine).
+    pub fn with_window(query: ConjunctiveQuery, window: WindowPolicy) -> Self {
         RecomputeEvaluator {
             query,
-            w,
+            clock: WindowClock::new(window),
             window: VecDeque::new(),
             next_pos: 0,
         }
@@ -45,7 +53,7 @@ impl RecomputeEvaluator {
     pub fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
         let i = self.next_pos;
         self.next_pos += 1;
-        let lo = i.saturating_sub(self.w);
+        let lo = self.clock.observe(i, t);
         while self.window.front().is_some_and(|(p, _)| *p < lo) {
             self.window.pop_front();
         }
@@ -66,10 +74,7 @@ impl RecomputeEvaluator {
             .into_iter()
             .filter(|eta| eta.contains(&new_local))
             .map(|eta| {
-                let global: Vec<usize> = eta
-                    .iter()
-                    .map(|&l| local_to_global[l] as usize)
-                    .collect();
+                let global: Vec<usize> = eta.iter().map(|&l| local_to_global[l] as usize).collect();
                 hom::thom_to_valuation(&self.query, &global)
             })
             .collect();
@@ -90,6 +95,12 @@ impl RecomputeEvaluator {
             *h.entry(t.relation()).or_insert(0) += 1;
         }
         h
+    }
+}
+
+impl Evaluator for RecomputeEvaluator {
+    fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
+        RecomputeEvaluator::push_collect(self, t)
     }
 }
 
@@ -146,8 +157,10 @@ mod tests {
         let mut schema = Schema::new();
         let q = parse_query(&mut schema, "Q(x) <- T(x), T(x)").unwrap();
         let t = schema.relation("T").unwrap();
-        let stream = [cer_common::tuple::tup(t, [1i64]),
-            cer_common::tuple::tup(t, [1i64])];
+        let stream = [
+            cer_common::tuple::tup(t, [1i64]),
+            cer_common::tuple::tup(t, [1i64]),
+        ];
         let mut engine = RecomputeEvaluator::new(q.clone(), 100);
         assert_eq!(engine.push_collect(&stream[0]).len(), 1);
         // New at position 1: {0↦0,1↦1}, {0↦1,1↦0}, {0↦1,1↦1}.

@@ -7,9 +7,9 @@
 //!   zero-allocation visitor vs cloning every valuation; the delta is
 //!   the price of materialization, not of the enumeration walk.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cer_bench::sigma0_workload;
 use cer_core::StreamingEvaluator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_gc_cadence(c: &mut Criterion) {
     let events = 20_000usize;

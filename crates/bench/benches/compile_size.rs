@@ -4,11 +4,11 @@
 //! the self-join construction grows exponentially with the per-relation
 //! atom multiplicity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cer_bench::{self_join_query_text, star_query_text};
 use cer_common::Schema;
 use cer_cq::compile::compile_hcq;
 use cer_cq::parser::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_compile_star");

@@ -4,8 +4,8 @@
 //! ~`2^n` reachable subsets: time (and states) grow exponentially in the
 //! number of branches, within the `2^|Q|` bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cer_bench::parallel_branch_pfa;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_determinize(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_determinize");

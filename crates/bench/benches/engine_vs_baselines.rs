@@ -6,10 +6,10 @@
 //! engine tracks the chain-specialized CCEA engine within a constant
 //! factor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cer_baselines::{CceaStreamEvaluator, NaiveRunsEvaluator, RecomputeEvaluator};
 use cer_bench::{chain_workload, sigma0_workload};
 use cer_core::StreamingEvaluator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_e5(c: &mut Criterion) {
     let events = 3_000usize;

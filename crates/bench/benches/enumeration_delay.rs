@@ -4,12 +4,12 @@
 //! `m` (output-linear delay): the per-output cost stays flat as `m`
 //! grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cer_common::tuple::tup;
 use cer_common::Schema;
 use cer_core::StreamingEvaluator;
 use cer_cq::compile::compile_hcq;
 use cer_cq::parser::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn primed_engine(m: usize) -> StreamingEvaluator {
     let mut schema = Schema::new();

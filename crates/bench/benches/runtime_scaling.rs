@@ -1,0 +1,82 @@
+//! Runtime shard scaling: multi-query throughput (tuples/sec) versus
+//! shard count, versus the status-quo loop of independent per-query
+//! evaluators, plus key-partitioned scaling of one hot query.
+//!
+//! Emits `BENCH_JSON` lines (see the criterion shim) with
+//! `elems_per_sec` as the tuples/sec figure.
+
+use cer_bench::multi_query_workload;
+use cer_core::runtime::{Partition, QuerySpec, Runtime};
+use cer_core::window::WindowPolicy;
+use cer_core::StreamingEvaluator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const QUERIES: usize = 8;
+const EVENTS: usize = 20_000;
+const WINDOW: u64 = 64;
+
+fn bench_multi_query_shards(c: &mut Criterion) {
+    let wl = multi_query_workload(QUERIES, EVENTS, 4, 4, 42);
+    let mut group = c.benchmark_group("runtime_scaling_multi_query");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for shards in [1usize, 2, 4, 8] {
+        // The runtime persists across iterations (steady state); each
+        // iteration pushes the whole stream as one batch.
+        let mut rt = Runtime::new(shards);
+        for (j, pcea) in wl.pceas.iter().enumerate() {
+            rt.register(QuerySpec::new(
+                format!("q{j}"),
+                pcea.clone(),
+                WindowPolicy::Count(WINDOW),
+            ))
+            .expect("register");
+        }
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| rt.push_batch(&wl.stream).len());
+        });
+    }
+    // Status quo: a single-threaded loop over independent evaluators,
+    // every query scanning every tuple.
+    let mut evals: Vec<StreamingEvaluator> = wl
+        .pceas
+        .iter()
+        .map(|p| StreamingEvaluator::new(p.clone(), WINDOW))
+        .collect();
+    group.bench_function("per_query_evaluators", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &wl.stream {
+                for e in &mut evals {
+                    n += e.push_count(t);
+                }
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_keyed_hot_query(c: &mut Criterion) {
+    // One hot query, key-partitioned across shards: scaling within a
+    // single query rather than across queries.
+    let wl = multi_query_workload(1, EVENTS, 256, 4, 7);
+    let pcea = &wl.pceas[0];
+    assert!(pcea.supports_key_partition(0));
+    let mut group = c.benchmark_group("runtime_scaling_keyed_hot_query");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for shards in [1usize, 2, 4, 8] {
+        let mut rt = Runtime::new(shards);
+        rt.register(
+            QuerySpec::new("hot", pcea.clone(), WindowPolicy::Count(WINDOW))
+                .with_partition(Partition::ByKey { pos: 0 }),
+        )
+        .expect("register");
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| rt.push_batch(&wl.stream).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_query_shards, bench_keyed_hot_query);
+criterion_main!(benches);

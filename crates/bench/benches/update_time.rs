@@ -4,9 +4,9 @@
 //! logarithmically in the window size `w`: the only `w`-dependent work is
 //! the leftist-heap meld (Proposition 5.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cer_bench::star_workload;
 use cer_core::StreamingEvaluator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_update_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_update_time");

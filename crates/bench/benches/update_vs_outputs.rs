@@ -4,9 +4,9 @@
 //! far": pushing one more tuple into an engine that has already produced
 //! millions of outputs costs the same as into a fresh one.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cer_bench::sigma0_workload;
 use cer_core::StreamingEvaluator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_update_vs_outputs(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_update_vs_outputs");
@@ -18,21 +18,17 @@ fn bench_update_vs_outputs(c: &mut Criterion) {
             engine.push(t);
         }
         let tail = &wl.stream[primed..];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(primed),
-            &primed,
-            |b, _| {
-                // Measure pushing the 2k-tuple tail into a clone of the
-                // primed engine (update phase only).
-                b.iter(|| {
-                    let mut e = engine.clone();
-                    for t in tail {
-                        e.push(t);
-                    }
-                    e.stats().extends
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(primed), &primed, |b, _| {
+            // Measure pushing the 2k-tuple tail into a clone of the
+            // primed engine (update phase only).
+            b.iter(|| {
+                let mut e = engine.clone();
+                for t in tail {
+                    e.push(t);
+                }
+                e.stats().extends
+            });
+        });
     }
     group.finish();
 }

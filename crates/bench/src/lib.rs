@@ -52,8 +52,12 @@ pub fn star_workload(k: usize, n: usize, x_domain: i64, y_domain: i64, seed: u64
         .expect("fresh schema")
         .with_domains(x_domain, y_domain);
     let query = parse_query(&mut schema, &star_query_text(k)).expect("valid star query");
-    let pcea = compile_hcq(&schema, &query).expect("star queries are HCQ").pcea;
-    let stream: Vec<Tuple> = (0..n).map(|_| gen.next_tuple().expect("infinite")).collect();
+    let pcea = compile_hcq(&schema, &query)
+        .expect("star queries are HCQ")
+        .pcea;
+    let stream: Vec<Tuple> = (0..n)
+        .map(|_| gen.next_tuple().expect("infinite"))
+        .collect();
     StarWorkload {
         schema,
         query,
@@ -77,14 +81,16 @@ pub struct Sigma0Workload {
 /// Build the σ0 workload with the given domains.
 pub fn sigma0_workload(n: usize, x_domain: i64, y_domain: i64, seed: u64) -> Sigma0Workload {
     let mut schema = Schema::new();
-    let query = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)")
-        .expect("valid query");
+    let query =
+        parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").expect("valid query");
     let pcea = compile_hcq(&schema, &query).expect("Q0 is HCQ").pcea;
     let r = schema.relation("R").expect("R");
     let s = schema.relation("S").expect("S");
     let t = schema.relation("T").expect("T");
     let mut gen = Sigma0Gen::new(r, s, t, seed).with_domains(x_domain, y_domain);
-    let stream: Vec<Tuple> = (0..n).map(|_| gen.next_tuple().expect("infinite")).collect();
+    let stream: Vec<Tuple> = (0..n)
+        .map(|_| gen.next_tuple().expect("infinite"))
+        .collect();
     Sigma0Workload {
         schema,
         query,
@@ -131,11 +137,64 @@ pub fn chain_workload(k: usize, n: usize, domain: i64, seed: u64) -> ChainWorklo
     }
     ccea.mark_final(StateId(k as u32 - 1));
     let pcea = ccea.to_pcea();
-    let stream: Vec<Tuple> = (0..n).map(|_| gen.next_tuple().expect("infinite")).collect();
+    let stream: Vec<Tuple> = (0..n)
+        .map(|_| gen.next_tuple().expect("infinite"))
+        .collect();
     ChainWorkload {
         schema,
         ccea,
         pcea,
+        stream,
+    }
+}
+
+/// A multi-query workload for the runtime benches: `m` independent
+/// σ0-shaped queries `Qj(x,y) ← Tj(x), Sj(x,y), Rj(x,y)` over disjoint
+/// relation families, plus one interleaved stream covering all of them.
+pub struct MultiQueryWorkload {
+    /// The shared schema (relations `Tj`, `Sj`, `Rj` for each query).
+    pub schema: Schema,
+    /// One compiled automaton per query.
+    pub pceas: Vec<Pcea>,
+    /// Pre-generated interleaved stream.
+    pub stream: Vec<Tuple>,
+}
+
+/// Build the multi-query workload: `m` queries, `n` tuples round-robined
+/// across the query families with the given key domains.
+pub fn multi_query_workload(
+    m: usize,
+    n: usize,
+    x_domain: i64,
+    y_domain: i64,
+    seed: u64,
+) -> MultiQueryWorkload {
+    use cer_common::gen::Sigma0Gen;
+    assert!(m >= 1);
+    let mut schema = Schema::new();
+    let mut pceas = Vec::with_capacity(m);
+    let mut gens = Vec::with_capacity(m);
+    for j in 0..m {
+        let text = format!("Q{j}(x, y) <- T{j}(x), S{j}(x, y), R{j}(x, y)");
+        let query = parse_query(&mut schema, &text).expect("valid query");
+        pceas.push(
+            compile_hcq(&schema, &query)
+                .expect("σ0-shaped queries are HCQ")
+                .pcea,
+        );
+        let r = schema.relation(&format!("R{j}")).expect("R");
+        let s = schema.relation(&format!("S{j}")).expect("S");
+        let t = schema.relation(&format!("T{j}")).expect("T");
+        gens.push(
+            Sigma0Gen::new(r, s, t, seed.wrapping_add(j as u64)).with_domains(x_domain, y_domain),
+        );
+    }
+    let stream: Vec<Tuple> = (0..n)
+        .map(|i| gens[i % m].next_tuple().expect("infinite"))
+        .collect();
+    MultiQueryWorkload {
+        schema,
+        pceas,
         stream,
     }
 }

@@ -212,7 +212,9 @@ pub struct StockGen {
 }
 
 /// Ticker universe for [`StockGen`].
-pub const TICKERS: [&str; 8] = ["AAPL", "MSFT", "GOOG", "AMZN", "TSLA", "META", "NVDA", "INTC"];
+pub const TICKERS: [&str; 8] = [
+    "AAPL", "MSFT", "GOOG", "AMZN", "TSLA", "META", "NVDA", "INTC",
+];
 
 impl StockGen {
     /// Build the stock schema `BUY/2, SELL/2, ALERT/1` and its generator.

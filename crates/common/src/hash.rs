@@ -82,8 +82,7 @@ mod tests {
 
     fn hash_one<T: Hash>(v: &T) -> u64 {
         let bh = FxBuildHasher::default();
-        
-        
+
         bh.hash_one(v)
     }
 

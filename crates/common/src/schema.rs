@@ -79,9 +79,10 @@ impl Schema {
 
     /// Look up a relation id by name, erroring when absent.
     pub fn require(&self, name: &str) -> Result<RelationId> {
-        self.relation(name).ok_or_else(|| CommonError::UnknownRelation {
-            name: name.to_string(),
-        })
+        self.relation(name)
+            .ok_or_else(|| CommonError::UnknownRelation {
+                name: name.to_string(),
+            })
     }
 
     /// The arity of a relation.

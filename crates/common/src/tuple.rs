@@ -76,7 +76,10 @@ impl Tuple {
 
     /// Render the tuple with its relation name from the schema.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
-        DisplayTuple { tuple: self, schema }
+        DisplayTuple {
+            tuple: self,
+            schema,
+        }
     }
 }
 

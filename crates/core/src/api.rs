@@ -1,0 +1,30 @@
+//! The shared evaluator trait surface.
+//!
+//! Every per-query evaluator in the workspace — the paper's streaming
+//! engine and the comparison baselines in `cer-baselines` — implements
+//! [`Evaluator`], so differential tests and the multi-query
+//! [`Runtime`](crate::runtime::Runtime) benches can swap engines behind
+//! one interface and compare like-for-like.
+
+use cer_automata::valuation::Valuation;
+use cer_common::Tuple;
+
+/// A single-query streaming evaluator: push one tuple, get the new
+/// outputs completed at its position.
+pub trait Evaluator {
+    /// Push one tuple; returns the new outputs at its position.
+    fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation>;
+
+    /// Push a tuple and count the new outputs. Engines that can count
+    /// without materializing valuations should override this.
+    fn push_count(&mut self, t: &Tuple) -> usize {
+        self.push_collect(t).len()
+    }
+
+    /// Push a tuple, calling `f` for each new output.
+    fn push_for_each(&mut self, t: &Tuple, f: &mut dyn FnMut(&Valuation)) {
+        for v in self.push_collect(t) {
+            f(&v);
+        }
+    }
+}

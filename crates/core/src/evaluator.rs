@@ -4,54 +4,41 @@
 //! Evaluates an unambiguous PCEA with equality predicates over a stream
 //! under a sliding window of size `w`, with
 //! `O(|P|·|t| + |P|·log|P| + |P|·log w)` update time and output-linear
-//! delay enumeration:
+//! delay enumeration. The algorithm is composed from explicit stages,
+//! each owned by its own module:
 //!
-//! * **FireTransitions** — for every transition `(P, U, B, L, q)`, if the
-//!   current tuple satisfies `U` and every source slot `p ∈ P` has a
-//!   stored run whose join key `⃗B_p` matches the tuple's `⃖B_p`, the
-//!   gathered runs are `extend`ed into a fresh `DS_w` node at `q`.
-//! * **UpdateIndices** — every node created this position is indexed in
-//!   the look-up table `H` under `(transition, slot, ⃗B_p(t))`, melding
-//!   with previous entries via the persistent `union`.
-//! * **Enumerate** — nodes that reached a final state this position hold
-//!   exactly the *new* outputs `⟦P⟧^w_i(S)`, enumerated with
-//!   output-linear delay (Theorem 5.2).
+//! * **ingest/window** ([`crate::window`]) — [`WindowClock`] maps each
+//!   arriving tuple to the expiry bound `lo` of its position;
+//! * **FireTransitions** and **UpdateIndices** ([`crate::fire`]) — for
+//!   every transition `(P, U, B, L, q)`, if the current tuple satisfies
+//!   `U` and every source slot `p ∈ P` has a stored run whose join key
+//!   `⃗B_p` matches the tuple's `⃖B_p`, the gathered runs are `extend`ed
+//!   into a fresh `DS_w` node at `q`; every node created this position
+//!   is indexed in the look-up table `H` under
+//!   `(transition, slot, ⃗B_p(t))`, melding with previous entries via
+//!   the persistent `union`;
+//! * **Enumerate** ([`crate::enumerate`]) — nodes that reached a final
+//!   state this position hold exactly the *new* outputs `⟦P⟧^w_i(S)`,
+//!   enumerated with output-linear delay (Theorem 5.2).
 //!
 //! Windowing never scans old state: expired subtrees are dropped lazily
 //! during `union` and enumeration (heap condition (‡)), and a periodic
 //! copying collector ([`StreamingEvaluator::set_gc_every`]) keeps memory
 //! proportional to the live window on unbounded streams.
+//!
+//! For hosting *many* queries over one stream — with relation-based
+//! routing and key-partitioned sharding across worker threads — see
+//! [`crate::runtime`].
 
-use crate::ds::{EnumStructure, NodeId};
+use crate::api::Evaluator;
+use crate::ds::EnumStructure;
 use crate::enumerate;
-use std::collections::VecDeque;
+use crate::fire::FireStage;
+use crate::window::WindowClock;
+pub use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
-use cer_automata::predicate::Key;
 use cer_automata::valuation::Valuation;
-use cer_common::hash::FxHashMap;
 use cer_common::Tuple;
-
-/// Look-up table key: `(transition index, source slot, join key)`.
-type HKey = (u32, u32, Key);
-
-/// How the sliding window expires old positions.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum WindowPolicy {
-    /// The paper's count window: positions older than `i − w` expire.
-    Count(u64),
-    /// A time window: the tuple attribute at `ts_pos` is a
-    /// non-decreasing integer timestamp, and positions whose timestamp
-    /// falls below `now − duration` expire. The `DS_w` machinery is
-    /// window-agnostic (it only needs a monotone expiry bound), so
-    /// Theorem 5.1's guarantees carry over with `w` read as the maximum
-    /// number of in-window positions.
-    Time {
-        /// Window length in timestamp units.
-        duration: i64,
-        /// Tuple position holding the integer timestamp.
-        ts_pos: usize,
-    },
-}
 
 /// Counters exposed for benchmarks and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -89,21 +76,16 @@ pub struct EngineStats {
 #[derive(Clone, Debug)]
 pub struct StreamingEvaluator {
     pcea: Pcea,
-    window: WindowPolicy,
+    clock: WindowClock,
     ds: EnumStructure,
-    h: FxHashMap<HKey, NodeId>,
-    /// `N_p` per state, rebuilt each position.
-    n_state: Vec<Vec<NodeId>>,
-    /// Scratch for gathered source nodes.
-    gather: Vec<NodeId>,
+    stage: FireStage,
     /// Next position to read (the paper's `i + 1`).
     next_pos: u64,
     /// Expiry bound computed for the current position.
     current_lo: u64,
-    /// Time windows: in-window `(position, timestamp)` ring.
-    ring: VecDeque<(u64, i64)>,
-    last_ts: i64,
     gc_every: u64,
+    /// Positions processed since the last collection.
+    since_gc: u64,
     stats: EngineStats,
 }
 
@@ -132,16 +114,13 @@ impl StreamingEvaluator {
         let n_states = pcea.num_states();
         StreamingEvaluator {
             pcea,
-            window,
+            clock: WindowClock::new(window),
             ds: EnumStructure::new(),
-            h: FxHashMap::default(),
-            n_state: vec![Vec::new(); n_states],
-            gather: Vec::new(),
+            stage: FireStage::new(n_states),
             next_pos: 0,
             current_lo: 0,
-            ring: VecDeque::new(),
-            last_ts: i64::MIN,
             gc_every: 0,
+            since_gc: 0,
             stats: EngineStats::default(),
         }
     }
@@ -160,10 +139,11 @@ impl StreamingEvaluator {
 
     /// The window policy.
     pub fn window(&self) -> &WindowPolicy {
-        &self.window
+        self.clock.policy()
     }
 
-    /// The position the *next* tuple will occupy.
+    /// The position the *next* tuple will occupy (when pushed without an
+    /// explicit position).
     pub fn next_position(&self) -> u64 {
         self.next_pos
     }
@@ -172,7 +152,7 @@ impl StreamingEvaluator {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             arena_nodes: self.ds.len(),
-            index_entries: self.h.len(),
+            index_entries: self.stage.index_entries(),
             ..self.stats
         }
     }
@@ -182,102 +162,46 @@ impl StreamingEvaluator {
     /// [`push_for_each`](Self::push_for_each) /
     /// [`push_collect`](Self::push_collect) / [`push_count`](Self::push_count).
     pub fn push(&mut self, t: &Tuple) -> u64 {
-        let i = self.next_pos;
-        self.next_pos += 1;
+        self.push_at(t, self.next_pos)
+    }
+
+    /// Update phase for a tuple occupying an *explicit* stream position.
+    ///
+    /// Positions must be pushed in strictly increasing order but may
+    /// have gaps: a sharded evaluator inside the multi-query
+    /// [`Runtime`](crate::runtime::Runtime) only sees the tuples routed
+    /// to it, yet output valuations must carry global stream positions.
+    /// Count windows keep their *global* meaning (`lo = i − w`), so
+    /// outputs match an evaluator that saw every position.
+    ///
+    /// Panics if `i` is behind a position already pushed.
+    pub fn push_at(&mut self, t: &Tuple, i: u64) -> u64 {
+        assert!(
+            i >= self.next_pos,
+            "positions must increase: got {i}, expected at least {}",
+            self.next_pos
+        );
+        self.next_pos = i + 1;
         self.stats.positions += 1;
-        let lo = match &self.window {
-            WindowPolicy::Count(w) => i.saturating_sub(*w),
-            WindowPolicy::Time { duration, ts_pos } => {
-                let ts = t
-                    .values()
-                    .get(*ts_pos)
-                    .and_then(cer_common::Value::as_int)
-                    .unwrap_or_else(|| {
-                        panic!("time window: tuple lacks an integer timestamp at {ts_pos}")
-                    })
-                    .max(self.last_ts);
-                self.last_ts = ts;
-                self.ring.push_back((i, ts));
-                while self
-                    .ring
-                    .front()
-                    .is_some_and(|&(_, old)| old < ts.saturating_sub(*duration))
-                {
-                    self.ring.pop_front();
-                }
-                self.ring.front().map_or(i, |&(p, _)| p)
-            }
-        };
+        let lo = self.clock.observe(i, t);
         self.current_lo = lo;
 
-        // Reset.
-        for n in &mut self.n_state {
-            n.clear();
-        }
-
-        // FireTransitions: gather matching stored runs per transition.
-        for (e_idx, tr) in self.pcea.transitions().iter().enumerate() {
-            if !tr.unary.matches(t) {
-                continue;
-            }
-            self.gather.clear();
-            let mut all_present = true;
-            for (slot, b) in tr.binary.iter().enumerate() {
-                let Some(key) = b.right.extract(t) else {
-                    all_present = false;
-                    break;
-                };
-                match self.h.get(&(e_idx as u32, slot as u32, key)) {
-                    Some(&node) if self.ds.max_start(node) >= lo => self.gather.push(node),
-                    _ => {
-                        all_present = false;
-                        break;
-                    }
-                }
-            }
-            if !all_present {
-                continue;
-            }
-            let node = self.ds.extend(tr.labels, i, &self.gather);
-            self.stats.extends += 1;
-            self.n_state[tr.target.index()].push(node);
-        }
-
-        // UpdateIndices: make this position's runs visible to future
-        // tuples under their left join keys.
-        for (e_idx, tr) in self.pcea.transitions().iter().enumerate() {
-            for (slot, (p, b)) in tr.sources.iter().zip(tr.binary.iter()).enumerate() {
-                if self.n_state[p.index()].is_empty() {
-                    continue;
-                }
-                let Some(key) = b.left.extract(t) else {
-                    continue;
-                };
-                let hkey = (e_idx as u32, slot as u32, key);
-                for k in 0..self.n_state[p.index()].len() {
-                    let node = self.n_state[p.index()][k];
-                    let merged = match self.h.get(&hkey) {
-                        Some(&prev) => {
-                            self.stats.unions += 1;
-                            self.ds.union(prev, node, lo)
-                        }
-                        None => node,
-                    };
-                    self.h.insert(hkey.clone(), merged);
-                }
-            }
-        }
+        self.stage.begin_position();
+        self.stage
+            .fire_transitions(&self.pcea, &mut self.ds, t, i, lo, &mut self.stats);
+        self.stage
+            .update_indices(&self.pcea, &mut self.ds, t, lo, &mut self.stats);
 
         let gc_every = if self.gc_every == 0 {
-            match self.window {
-                WindowPolicy::Count(w) => w.max(1024),
-                WindowPolicy::Time { .. } => 1024,
-            }
+            self.clock.default_gc_every()
         } else {
             self.gc_every
         };
-        if i > 0 && i.is_multiple_of(gc_every) {
-            self.collect_garbage(lo);
+        self.since_gc += 1;
+        if self.since_gc >= gc_every {
+            self.since_gc = 0;
+            self.stats.collections += 1;
+            self.stage.collect_garbage(&mut self.ds, lo);
         }
         i
     }
@@ -287,7 +211,7 @@ impl StreamingEvaluator {
     /// position.
     pub fn for_each_output<F: FnMut(&Valuation)>(&self, mut f: F) {
         for q in self.pcea.finals() {
-            for &n in &self.n_state[q.index()] {
+            for &n in self.stage.nodes_at(q.index()) {
                 enumerate::for_each_valuation_from(
                     &self.ds,
                     n,
@@ -310,9 +234,14 @@ impl StreamingEvaluator {
     /// Push a tuple and count the new outputs without materializing them.
     pub fn push_count(&mut self, t: &Tuple) -> usize {
         self.push(t);
+        self.count_outputs()
+    }
+
+    /// Count this position's new outputs without materializing them.
+    fn count_outputs(&self) -> usize {
         let mut n = 0usize;
         for q in self.pcea.finals() {
-            for &node in &self.n_state[q.index()] {
+            for &node in self.stage.nodes_at(q.index()) {
                 enumerate::for_each_valuation_from(&self.ds, node, self.current_lo, 0, |_| {
                     n += 1;
                 });
@@ -326,31 +255,25 @@ impl StreamingEvaluator {
         self.push(t);
         self.for_each_output(f);
     }
+}
 
-    /// Copying garbage collection: keep only nodes reachable from live
-    /// `H` entries (and the current position's pending nodes), dropping
-    /// expired subtrees. Fully transparent to outputs.
-    fn collect_garbage(&mut self, lo: u64) {
-        self.stats.collections += 1;
-        // Drop dead index entries first.
-        let ds = &self.ds;
-        self.h.retain(|_, node| ds.max_start(*node) >= lo);
-        let mut roots: Vec<&mut NodeId> = self
-            .h
-            .values_mut()
-            .chain(self.n_state.iter_mut().flatten())
-            .collect();
-        self.ds.compact(&mut roots, lo);
+impl Evaluator for StreamingEvaluator {
+    fn push_collect(&mut self, t: &Tuple) -> Vec<Valuation> {
+        StreamingEvaluator::push_collect(self, t)
+    }
+
+    fn push_count(&mut self, t: &Tuple) -> usize {
+        StreamingEvaluator::push_count(self, t)
+    }
+
+    fn push_for_each(&mut self, t: &Tuple, f: &mut dyn FnMut(&Valuation)) {
+        StreamingEvaluator::push_for_each(self, t, f);
     }
 }
 
 /// Convenience driver: evaluate a PCEA over a finite stream, returning
 /// `(position, outputs)` for every position with at least one output.
-pub fn run_to_end(
-    pcea: Pcea,
-    w: u64,
-    stream: &[Tuple],
-) -> Vec<(u64, Vec<Valuation>)> {
+pub fn run_to_end(pcea: Pcea, w: u64, stream: &[Tuple]) -> Vec<(u64, Vec<Valuation>)> {
     let mut engine = StreamingEvaluator::new(pcea, w);
     let mut out = Vec::new();
     for t in stream {
@@ -464,10 +387,7 @@ mod tests {
             peak = peak.max(engine.stats().arena_nodes);
         }
         // Live state is O(|∆| · w); allow a generous constant.
-        assert!(
-            peak < 64 * (w as usize) * 3,
-            "arena peaked at {peak} nodes"
-        );
+        assert!(peak < 64 * (w as usize) * 3, "arena peaked at {peak} nodes");
     }
 
     #[test]
@@ -493,5 +413,42 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].0, 5);
         assert_eq!(results[0].1.len(), 2);
+    }
+
+    #[test]
+    fn push_at_skips_positions_but_keeps_global_windows() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        // Feed the same tuples at their global positions, with gaps, and
+        // compare to the contiguous run.
+        let mut dense = StreamingEvaluator::new(paper_p0(r, s, t), 5);
+        let dense_out: Vec<_> = stream.iter().map(|tu| dense.push_collect(tu)).collect();
+        let mut gapped = StreamingEvaluator::new(paper_p0(r, s, t), 5);
+        for (n, tu) in stream.iter().enumerate() {
+            gapped.push_at(tu, n as u64);
+            let mut got = Vec::new();
+            gapped.for_each_output(|v| got.push(v.clone()));
+            assert_eq!(got, dense_out[n], "position {n}");
+        }
+        // A sparse subsequence at global positions: window w=5 measured
+        // in *global* positions, so the span 0..5 of ντ1 still fits.
+        let mut sparse = StreamingEvaluator::new(paper_p0(r, s, t), 5);
+        let picks = [0usize, 1, 3, 5];
+        let mut total = 0usize;
+        for &n in &picks {
+            sparse.push_at(&stream[n], n as u64);
+            sparse.for_each_output(|_| total += 1);
+        }
+        assert_eq!(total, 2, "both matches complete at global position 5");
+    }
+
+    #[test]
+    #[should_panic(expected = "positions must increase")]
+    fn push_at_rejects_rewinds() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let mut engine = StreamingEvaluator::new(paper_p0(r, s, t), 5);
+        engine.push_at(&stream[0], 3);
+        engine.push_at(&stream[1], 3);
     }
 }

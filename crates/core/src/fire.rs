@@ -1,0 +1,157 @@
+//! Transition-firing and index-maintenance stages of Algorithm 1.
+//!
+//! [`FireStage`] owns the per-evaluator mutable state the two update
+//! phases share — the look-up table `H`, the per-state node lists `N_p`
+//! rebuilt each position, and the gather scratch — and exposes them as
+//! explicit steps:
+//!
+//! * [`FireStage::fire_transitions`] — for every transition
+//!   `(P, U, B, L, q)` whose unary predicate accepts the current tuple
+//!   and whose every source slot has a stored run matching the tuple's
+//!   join key, `extend` the gathered runs into a fresh `DS_w` node at
+//!   `q`;
+//! * [`FireStage::update_indices`] — index every node created this
+//!   position in `H` under `(transition, slot, ⃗B_p(t))`, melding with
+//!   previous entries via the persistent `union`;
+//! * [`FireStage::collect_garbage`] — drop dead `H` entries and compact
+//!   the arena around the live roots.
+//!
+//! The [`StreamingEvaluator`](crate::evaluator::StreamingEvaluator)
+//! composes these with the ingest/window stage
+//! ([`WindowClock`](crate::window::WindowClock)) and the enumeration
+//! stage ([`crate::enumerate`]).
+
+use crate::ds::{EnumStructure, NodeId};
+use crate::evaluator::EngineStats;
+use cer_automata::pcea::Pcea;
+use cer_automata::predicate::Key;
+use cer_common::hash::FxHashMap;
+use cer_common::Tuple;
+
+/// Look-up table key: `(transition index, source slot, join key)`.
+type HKey = (u32, u32, Key);
+
+/// The mutable state of the firing and indexing stages.
+#[derive(Clone, Debug)]
+pub(crate) struct FireStage {
+    /// The look-up table `H`.
+    h: FxHashMap<HKey, NodeId>,
+    /// `N_p` per state, rebuilt each position.
+    n_state: Vec<Vec<NodeId>>,
+    /// Scratch for gathered source nodes.
+    gather: Vec<NodeId>,
+}
+
+impl FireStage {
+    pub(crate) fn new(num_states: usize) -> Self {
+        FireStage {
+            h: FxHashMap::default(),
+            n_state: vec![Vec::new(); num_states],
+            gather: Vec::new(),
+        }
+    }
+
+    /// Entries currently in `H`.
+    pub(crate) fn index_entries(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Nodes created at the current position targeting state `q`.
+    pub(crate) fn nodes_at(&self, q: usize) -> &[NodeId] {
+        &self.n_state[q]
+    }
+
+    /// Forget the previous position's `N_p` lists.
+    pub(crate) fn begin_position(&mut self) {
+        for n in &mut self.n_state {
+            n.clear();
+        }
+    }
+
+    /// FireTransitions: gather matching stored runs per transition and
+    /// `extend` them with the current tuple at position `i`.
+    pub(crate) fn fire_transitions(
+        &mut self,
+        pcea: &Pcea,
+        ds: &mut EnumStructure,
+        t: &Tuple,
+        i: u64,
+        lo: u64,
+        stats: &mut EngineStats,
+    ) {
+        for (e_idx, tr) in pcea.transitions().iter().enumerate() {
+            if !tr.unary.matches(t) {
+                continue;
+            }
+            self.gather.clear();
+            let mut all_present = true;
+            for (slot, b) in tr.binary.iter().enumerate() {
+                let Some(key) = b.right.extract(t) else {
+                    all_present = false;
+                    break;
+                };
+                match self.h.get(&(e_idx as u32, slot as u32, key)) {
+                    Some(&node) if ds.max_start(node) >= lo => self.gather.push(node),
+                    _ => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if !all_present {
+                continue;
+            }
+            let node = ds.extend(tr.labels, i, &self.gather);
+            stats.extends += 1;
+            self.n_state[tr.target.index()].push(node);
+        }
+    }
+
+    /// UpdateIndices: make this position's runs visible to future tuples
+    /// under their left join keys.
+    pub(crate) fn update_indices(
+        &mut self,
+        pcea: &Pcea,
+        ds: &mut EnumStructure,
+        t: &Tuple,
+        lo: u64,
+        stats: &mut EngineStats,
+    ) {
+        for (e_idx, tr) in pcea.transitions().iter().enumerate() {
+            for (slot, (p, b)) in tr.sources.iter().zip(tr.binary.iter()).enumerate() {
+                if self.n_state[p.index()].is_empty() {
+                    continue;
+                }
+                let Some(key) = b.left.extract(t) else {
+                    continue;
+                };
+                let hkey = (e_idx as u32, slot as u32, key);
+                for k in 0..self.n_state[p.index()].len() {
+                    let node = self.n_state[p.index()][k];
+                    let merged = match self.h.get(&hkey) {
+                        Some(&prev) => {
+                            stats.unions += 1;
+                            ds.union(prev, node, lo)
+                        }
+                        None => node,
+                    };
+                    self.h.insert(hkey.clone(), merged);
+                }
+            }
+        }
+    }
+
+    /// Copying garbage collection: keep only nodes reachable from live
+    /// `H` entries (and the current position's pending nodes), dropping
+    /// expired subtrees. Fully transparent to outputs.
+    pub(crate) fn collect_garbage(&mut self, ds: &mut EnumStructure, lo: u64) {
+        // Drop dead index entries first.
+        self.h.retain(|_, node| ds.max_start(*node) >= lo);
+        let mut roots: Vec<&mut NodeId> = self
+            .h
+            .values_mut()
+            .chain(self.n_state.iter_mut().flatten())
+            .collect();
+        ds.compact(&mut roots, lo);
+    }
+}

@@ -3,19 +3,38 @@
 //! Implements Theorem 5.1: streaming evaluation of unambiguous PCEA with
 //! equality predicates under a sliding window, with
 //! `O(|P|·|t| + |P|·log|P| + |P|·log w)` update time and output-linear
-//! delay enumeration.
+//! delay enumeration — plus the multi-query runtime that serves many
+//! registered queries over one stream.
 //!
+//! The evaluation stack is layered into explicit stages:
+//!
+//! * [`window`] — the ingest/window stage: [`WindowClock`] maps arriving
+//!   tuples to monotone expiry bounds (count and time windows);
+//! * `fire` — `FireTransitions` and `UpdateIndices` of Algorithm 1: the
+//!   look-up table `H` and per-position node lists;
 //! * [`ds`] — the persistent enumeration structure `DS_w`: product/union
 //!   nodes, `max-start`, heap condition (‡), leftist-meld `union`
 //!   (Proposition 5.3) and a copying collector;
 //! * [`enumerate`] — output-linear-delay enumeration of `⟦n⟧^w_i`
 //!   (Theorem 5.2);
-//! * [`evaluator`] — Algorithm 1 (`FireTransitions` / `UpdateIndices` /
-//!   enumeration phase) behind the [`StreamingEvaluator`] API.
+//! * [`evaluator`] — the single-query [`StreamingEvaluator`] composing
+//!   the stages;
+//! * [`api`] — the [`Evaluator`] trait surface shared with the
+//!   `cer-baselines` evaluators;
+//! * [`runtime`] — the sharded multi-query [`Runtime`]: a registry of
+//!   compiled queries, relation-based routing, key-partitioned sharding
+//!   across worker threads, and a batch push API.
 
+pub mod api;
 pub mod ds;
 pub mod enumerate;
 pub mod evaluator;
+mod fire;
+pub mod runtime;
+pub mod window;
 
+pub use api::Evaluator;
 pub use ds::{EnumStructure, NodeId, BOTTOM};
 pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};
+pub use runtime::{MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats};
+pub use window::{WindowClock, WindowPolicy};

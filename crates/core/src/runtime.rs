@@ -1,0 +1,803 @@
+//! The multi-query runtime: many registered queries, one stream,
+//! key-partitioned sharding across worker threads.
+//!
+//! The [`StreamingEvaluator`] hosts *one* automaton. A production
+//! deployment serves many standing queries over one firehose, so this
+//! module layers a [`Runtime`] on top:
+//!
+//! * **registry** — queries compiled from any front-end (the HCQ
+//!   compiler, the pattern language, or hand-built PCEA) are registered
+//!   as [`QuerySpec`]s and identified by [`QueryId`];
+//! * **routing** — each stream tuple is routed only to the queries
+//!   whose automaton can react to its relation
+//!   ([`Pcea::relations`]); queries with unconfined predicates see
+//!   every tuple;
+//! * **sharding** — queries are spread across `n` worker threads.
+//!   [`Partition::ByQuery`] pins a query to one shard (always sound);
+//!   [`Partition::ByKey`] *replicates* a query across all shards and
+//!   routes each tuple by the hash of its partition attribute, so a
+//!   single hot query scales across cores. Key partitioning is sound
+//!   exactly when every join projects the partition attribute on both
+//!   sides, which [`Runtime::register`] validates via
+//!   [`Pcea::supports_key_partition`];
+//! * **batching** — [`Runtime::push_batch`] ships whole batches to the
+//!   shards and collects the completed matches, amortizing channel
+//!   traffic.
+//!
+//! Outputs are *identical* to running one [`StreamingEvaluator`] per
+//! query over the full stream: shard evaluators are fed global stream
+//! positions via [`StreamingEvaluator::push_at`], so window semantics
+//! and reported positions do not depend on the shard count. (For time
+//! windows this relies on the documented non-decreasing-timestamp
+//! contract.)
+//!
+//! ```
+//! use cer_core::runtime::{Partition, QuerySpec, Runtime};
+//! use cer_core::window::WindowPolicy;
+//! use cer_automata::pcea::paper_p0;
+//! use cer_common::gen::sigma0_prefix;
+//! use cer_common::Schema;
+//!
+//! let (_, r, s, t) = Schema::sigma0();
+//! let mut rt = Runtime::new(4);
+//! // Two standing queries over the same stream, one key-partitioned.
+//! let narrow = rt
+//!     .register(QuerySpec::new("p0_w5", paper_p0(r, s, t), WindowPolicy::Count(5)))
+//!     .unwrap();
+//! let wide = rt
+//!     .register(
+//!         QuerySpec::new("p0_wide", paper_p0(r, s, t), WindowPolicy::Count(100))
+//!             .with_partition(Partition::ByKey { pos: 0 }),
+//!     )
+//!     .unwrap();
+//! let events = rt.push_batch(&sigma0_prefix(r, s, t));
+//! let narrow_hits = events.iter().filter(|e| e.query == narrow).count();
+//! let wide_hits = events.iter().filter(|e| e.query == wide).count();
+//! assert_eq!((narrow_hits, wide_hits), (2, 2));
+//! assert!(events.iter().all(|e| e.position == 5));
+//! ```
+
+use crate::evaluator::{EngineStats, StreamingEvaluator};
+use crate::window::WindowPolicy;
+use cer_automata::pcea::Pcea;
+use cer_automata::valuation::Valuation;
+use cer_common::hash::{FxBuildHasher, FxHashMap};
+use cer_common::{RelationId, Tuple};
+use std::fmt;
+use std::hash::BuildHasher;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+/// Identifier of a query registered in a [`Runtime`], dense from 0 in
+/// registration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u32);
+
+/// How a registered query is spread across the runtime's shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// The query lives on exactly one shard (chosen round-robin).
+    /// Always sound; multi-query workloads scale because different
+    /// queries land on different shards.
+    ByQuery,
+    /// The query is replicated on every shard and each tuple is routed
+    /// by the hash of its value at tuple position `pos`. Sound exactly
+    /// when every join of the automaton projects that attribute on both
+    /// sides ([`Pcea::supports_key_partition`]); lets a *single* hot
+    /// query scale across cores.
+    ByKey {
+        /// Tuple position holding the partition attribute.
+        pos: usize,
+    },
+}
+
+/// A query ready for registration: an automaton plus its window policy
+/// and placement.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Human-readable name, echoed in errors and stats.
+    pub name: String,
+    /// The compiled automaton.
+    pub pcea: Pcea,
+    /// The sliding-window policy.
+    pub window: WindowPolicy,
+    /// Shard placement.
+    pub partition: Partition,
+    /// GC cadence forwarded to the shard evaluators (0 = automatic).
+    pub gc_every: u64,
+}
+
+impl QuerySpec {
+    /// A query pinned to one shard ([`Partition::ByQuery`]).
+    pub fn new(name: impl Into<String>, pcea: Pcea, window: WindowPolicy) -> Self {
+        QuerySpec {
+            name: name.into(),
+            pcea,
+            window,
+            partition: Partition::ByQuery,
+            gc_every: 0,
+        }
+    }
+
+    /// Override the placement.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Override the GC cadence.
+    pub fn with_gc_every(mut self, every: u64) -> Self {
+        self.gc_every = every;
+        self
+    }
+}
+
+/// One completed match: which query fired, at which global stream
+/// position, with which valuation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MatchEvent {
+    /// Global position of the completing tuple.
+    pub position: u64,
+    /// The query that matched.
+    pub query: QueryId,
+    /// The match itself.
+    pub valuation: Valuation,
+}
+
+/// Why a registration was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// [`Partition::ByKey`] was requested but some join of the automaton
+    /// does not project the partition attribute on both sides, so runs
+    /// could cross shard boundaries and outputs would be lost.
+    KeyPartitionUnsound {
+        /// The query's name.
+        query: String,
+        /// The requested partition attribute.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::KeyPartitionUnsound { query, pos } => write!(
+                f,
+                "query `{query}`: key partitioning on tuple position {pos} is unsound — \
+                 every join must project that attribute on both sides"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Per-query counters aggregated across shards.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// `(query, per-shard engine counters summed)` in id order.
+    pub per_query: Vec<(QueryId, EngineStats)>,
+}
+
+/// What a shard worker hosts for one registered query.
+struct LocalQuery {
+    id: QueryId,
+    eval: StreamingEvaluator,
+    partition: Partition,
+}
+
+/// Messages from the runtime to a shard worker.
+enum Job {
+    Register {
+        id: QueryId,
+        pcea: Pcea,
+        window: WindowPolicy,
+        partition: Partition,
+        gc_every: u64,
+        listens: Option<Vec<RelationId>>,
+    },
+    Batch {
+        tuples: Vec<(u64, Tuple)>,
+        reply: Sender<Vec<MatchEvent>>,
+    },
+    Stats {
+        reply: Sender<Vec<(QueryId, EngineStats)>>,
+    },
+}
+
+struct Shard {
+    tx: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Registry metadata the router keeps per query.
+struct QueryInfo {
+    name: String,
+}
+
+/// The multi-query, sharded streaming runtime. See the [module
+/// docs](self) for the architecture.
+pub struct Runtime {
+    shards: Vec<Shard>,
+    queries: Vec<QueryInfo>,
+    /// Shards hosting a pinned query that listens to this relation.
+    fixed_routes: FxHashMap<RelationId, Vec<usize>>,
+    /// Partition-attribute positions of key-partitioned queries
+    /// listening to this relation.
+    key_routes: FxHashMap<RelationId, Vec<usize>>,
+    /// Shards hosting pinned queries with unconfined predicates.
+    wildcard_fixed: Vec<usize>,
+    /// Partition positions of key-partitioned unconfined queries.
+    wildcard_keys: Vec<usize>,
+    /// Round-robin cursor for pinned queries.
+    next_shard: usize,
+    next_pos: u64,
+    /// Per-shard staging buffers; each batch hands its contents off to
+    /// the shard workers (the allocations travel with the job).
+    staging: Vec<Vec<(u64, Tuple)>>,
+    hasher: FxBuildHasher,
+}
+
+impl Runtime {
+    /// A runtime with `shards` worker threads (clamped to `1..=64`).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.clamp(1, 64);
+        let shards = (0..n)
+            .map(|idx| {
+                let (tx, rx) = channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("cer-shard-{idx}"))
+                    .spawn(move || shard_loop(rx, idx, n))
+                    .expect("spawn shard worker");
+                Shard {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Runtime {
+            shards,
+            queries: Vec::new(),
+            fixed_routes: FxHashMap::default(),
+            key_routes: FxHashMap::default(),
+            wildcard_fixed: Vec::new(),
+            wildcard_keys: Vec::new(),
+            next_shard: 0,
+            next_pos: 0,
+            staging: vec![Vec::new(); n],
+            hasher: FxBuildHasher::default(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The global position the next pushed tuple will occupy.
+    pub fn next_position(&self) -> u64 {
+        self.next_pos
+    }
+
+    /// The name a query was registered under.
+    pub fn query_name(&self, id: QueryId) -> &str {
+        &self.queries[id.0 as usize].name
+    }
+
+    /// Register a query; tuples pushed from now on are evaluated against
+    /// it. Key-partitioned placements are validated for soundness.
+    pub fn register(&mut self, spec: QuerySpec) -> Result<QueryId, RuntimeError> {
+        if let Partition::ByKey { pos } = spec.partition {
+            if !spec.pcea.supports_key_partition(pos) {
+                return Err(RuntimeError::KeyPartitionUnsound {
+                    query: spec.name,
+                    pos,
+                });
+            }
+        }
+        let id = QueryId(self.queries.len() as u32);
+        let listens = spec.pcea.relations();
+        let targets: Vec<usize> = match spec.partition {
+            Partition::ByQuery => {
+                let shard = self.next_shard;
+                self.next_shard = (self.next_shard + 1) % self.shards.len();
+                match &listens {
+                    Some(rels) => {
+                        for &rel in rels {
+                            let route = self.fixed_routes.entry(rel).or_default();
+                            if !route.contains(&shard) {
+                                route.push(shard);
+                            }
+                        }
+                    }
+                    None => {
+                        if !self.wildcard_fixed.contains(&shard) {
+                            self.wildcard_fixed.push(shard);
+                        }
+                    }
+                }
+                vec![shard]
+            }
+            Partition::ByKey { pos } => {
+                match &listens {
+                    Some(rels) => {
+                        for &rel in rels {
+                            let route = self.key_routes.entry(rel).or_default();
+                            if !route.contains(&pos) {
+                                route.push(pos);
+                            }
+                        }
+                    }
+                    None => {
+                        if !self.wildcard_keys.contains(&pos) {
+                            self.wildcard_keys.push(pos);
+                        }
+                    }
+                }
+                (0..self.shards.len()).collect()
+            }
+        };
+        for &shard in &targets {
+            self.send(
+                shard,
+                Job::Register {
+                    id,
+                    pcea: spec.pcea.clone(),
+                    window: spec.window.clone(),
+                    partition: spec.partition,
+                    gc_every: spec.gc_every,
+                    listens: listens.clone(),
+                },
+            );
+        }
+        self.queries.push(QueryInfo { name: spec.name });
+        Ok(id)
+    }
+
+    /// Push one tuple; returns its completed matches across all queries.
+    pub fn push(&mut self, t: &Tuple) -> Vec<MatchEvent> {
+        self.push_batch(std::slice::from_ref(t))
+    }
+
+    /// Push a batch of tuples in stream order; returns every match the
+    /// batch completed, sorted by `(position, query, valuation)`.
+    ///
+    /// Routing happens once per tuple; shard workers evaluate their
+    /// slice of the batch in parallel.
+    pub fn push_batch(&mut self, batch: &[Tuple]) -> Vec<MatchEvent> {
+        for t in batch {
+            let i = self.next_pos;
+            self.next_pos += 1;
+            let rel = t.relation();
+            let mut mask: u64 = 0;
+            if let Some(route) = self.fixed_routes.get(&rel) {
+                for &s in route {
+                    mask |= 1 << s;
+                }
+            }
+            for &s in &self.wildcard_fixed {
+                mask |= 1 << s;
+            }
+            for &pos in self
+                .key_routes
+                .get(&rel)
+                .map(Vec::as_slice)
+                .unwrap_or_default()
+                .iter()
+                .chain(&self.wildcard_keys)
+            {
+                mask |= 1 << key_shard(&self.hasher, t, pos, self.shards.len());
+            }
+            let mut m = mask;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.staging[s].push((i, t.clone()));
+            }
+        }
+        let (reply, results) = channel();
+        let mut outstanding = 0usize;
+        for s in 0..self.shards.len() {
+            if self.staging[s].is_empty() {
+                continue;
+            }
+            let tuples = std::mem::take(&mut self.staging[s]);
+            self.send(
+                s,
+                Job::Batch {
+                    tuples,
+                    reply: reply.clone(),
+                },
+            );
+            outstanding += 1;
+        }
+        drop(reply);
+        let mut out = Vec::new();
+        let mut received = 0usize;
+        for events in results {
+            out.extend(events);
+            received += 1;
+        }
+        assert!(
+            received == outstanding,
+            "a runtime shard worker died mid-batch ({received}/{outstanding} replies)"
+        );
+        out.sort();
+        out
+    }
+
+    /// Aggregate engine counters per query, summed across shards.
+    pub fn stats(&self) -> RuntimeStats {
+        let (reply, results) = channel();
+        let mut outstanding = 0usize;
+        for s in 0..self.shards.len() {
+            self.send(
+                s,
+                Job::Stats {
+                    reply: reply.clone(),
+                },
+            );
+            outstanding += 1;
+        }
+        drop(reply);
+        let mut agg: FxHashMap<QueryId, EngineStats> = FxHashMap::default();
+        let mut received = 0usize;
+        for per_shard in results {
+            received += 1;
+            for (id, st) in per_shard {
+                let e = agg.entry(id).or_default();
+                e.positions += st.positions;
+                e.arena_nodes += st.arena_nodes;
+                e.index_entries += st.index_entries;
+                e.extends += st.extends;
+                e.unions += st.unions;
+                e.collections += st.collections;
+            }
+        }
+        assert!(
+            received == outstanding,
+            "a runtime shard worker died before reporting stats ({received}/{outstanding} replies)"
+        );
+        let mut per_query: Vec<(QueryId, EngineStats)> = agg.into_iter().collect();
+        per_query.sort_by_key(|(id, _)| *id);
+        RuntimeStats { per_query }
+    }
+
+    fn send(&self, shard: usize, job: Job) {
+        self.shards[shard]
+            .tx
+            .as_ref()
+            .expect("runtime not shut down")
+            .send(job)
+            .expect("runtime shard worker terminated");
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            drop(shard.tx.take());
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// One worker thread: hosts its queries' evaluators and a local routing
+/// table, processes batches in position order.
+fn shard_loop(rx: std::sync::mpsc::Receiver<Job>, shard_idx: usize, n_shards: usize) {
+    let hasher = FxBuildHasher::default();
+    let mut queries: Vec<LocalQuery> = Vec::new();
+    // Local routing: relation → indices into `queries`.
+    let mut routes: FxHashMap<RelationId, Vec<usize>> = FxHashMap::default();
+    let mut wildcards: Vec<usize> = Vec::new();
+    for job in rx {
+        match job {
+            Job::Register {
+                id,
+                pcea,
+                window,
+                partition,
+                gc_every,
+                listens,
+            } => {
+                let mut eval = StreamingEvaluator::with_window(pcea, window);
+                eval.set_gc_every(gc_every);
+                let k = queries.len();
+                match listens {
+                    Some(rels) => {
+                        for rel in rels {
+                            routes.entry(rel).or_default().push(k);
+                        }
+                    }
+                    None => wildcards.push(k),
+                }
+                queries.push(LocalQuery {
+                    id,
+                    eval,
+                    partition,
+                });
+            }
+            Job::Batch { tuples, reply } => {
+                let mut out = Vec::new();
+                for (i, t) in &tuples {
+                    let listed = routes
+                        .get(&t.relation())
+                        .map(Vec::as_slice)
+                        .unwrap_or_default();
+                    for &k in listed.iter().chain(&wildcards) {
+                        let q = &mut queries[k];
+                        if let Partition::ByKey { pos } = q.partition {
+                            // The batch was routed here for *some*
+                            // query; this one only owns its key slice.
+                            if key_shard(&hasher, t, pos, n_shards) != shard_idx {
+                                continue;
+                            }
+                        }
+                        q.eval.push_at(t, *i);
+                        let id = q.id;
+                        q.eval.for_each_output(|v| {
+                            out.push(MatchEvent {
+                                position: *i,
+                                query: id,
+                                valuation: v.clone(),
+                            });
+                        });
+                    }
+                }
+                let _ = reply.send(out);
+            }
+            Job::Stats { reply } => {
+                let _ = reply.send(queries.iter().map(|q| (q.id, q.eval.stats())).collect());
+            }
+        }
+    }
+}
+
+/// Shard a tuple belongs to under key partitioning on position `pos`:
+/// the hash of its partition value, or a deterministic home shard (0)
+/// when the tuple lacks that attribute. Router and workers must agree
+/// on this function. Attribute-less tuples cannot join under a
+/// partition-sound automaton (their key extraction is undefined), so a
+/// fixed home shard preserves outputs — their matches are self-contained.
+fn key_shard(hasher: &FxBuildHasher, t: &Tuple, pos: usize, n_shards: usize) -> usize {
+    match t.values().get(pos) {
+        Some(v) => (hasher.hash_one(v) % n_shards as u64) as usize,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_automata::pcea::paper_p0;
+    use cer_common::gen::sigma0_prefix;
+    use cer_common::Schema;
+
+    fn p0_runtime(shards: usize) -> (Runtime, QueryId, QueryId) {
+        let (_, r, s, t) = Schema::sigma0();
+        let mut rt = Runtime::new(shards);
+        let a = rt
+            .register(QuerySpec::new(
+                "pinned",
+                paper_p0(r, s, t),
+                WindowPolicy::Count(100),
+            ))
+            .unwrap();
+        let b = rt
+            .register(
+                QuerySpec::new("keyed", paper_p0(r, s, t), WindowPolicy::Count(100))
+                    .with_partition(Partition::ByKey { pos: 0 }),
+            )
+            .unwrap();
+        (rt, a, b)
+    }
+
+    #[test]
+    fn two_queries_match_single_evaluators() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        for shards in [1usize, 2, 4] {
+            let (mut rt, a, b) = p0_runtime(shards);
+            let events = rt.push_batch(&stream);
+            let mut single = StreamingEvaluator::new(paper_p0(r, s, t), 100);
+            let mut want = Vec::new();
+            for (n, tu) in stream.iter().enumerate() {
+                for v in single.push_collect(tu) {
+                    want.push((n as u64, v));
+                }
+            }
+            want.sort();
+            for q in [a, b] {
+                let mut got: Vec<(u64, Valuation)> = events
+                    .iter()
+                    .filter(|e| e.query == q)
+                    .map(|e| (e.position, e.valuation.clone()))
+                    .collect();
+                got.sort();
+                assert_eq!(got, want, "query {q:?} with {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn unsound_key_partition_rejected() {
+        // A chain whose join key rotates positions cannot be partitioned
+        // on a single attribute.
+        use cer_automata::ccea::Ccea;
+        use cer_automata::pcea::StateId;
+        use cer_automata::predicate::{EqPredicate, UnaryPredicate};
+        use cer_automata::valuation::{Label, LabelSet};
+        let mut schema = Schema::new();
+        let b0 = schema.add_relation("B0", 2).unwrap();
+        let b1 = schema.add_relation("B1", 2).unwrap();
+        let mut ccea = Ccea::new(2, 2);
+        ccea.set_initial(
+            StateId(0),
+            UnaryPredicate::Relation(b0),
+            LabelSet::singleton(Label(0)),
+        );
+        ccea.add_transition(
+            StateId(0),
+            UnaryPredicate::Relation(b1),
+            EqPredicate::on_positions(b0, [1usize], b1, [0usize]),
+            LabelSet::singleton(Label(1)),
+            StateId(1),
+        );
+        ccea.mark_final(StateId(1));
+        let pcea = ccea.to_pcea();
+        assert!(!pcea.supports_key_partition(0));
+        let mut rt = Runtime::new(2);
+        let err = rt
+            .register(
+                QuerySpec::new("chain", pcea, WindowPolicy::Count(10))
+                    .with_partition(Partition::ByKey { pos: 0 }),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::KeyPartitionUnsound { pos: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn misaligned_join_keys_rejected_for_key_partition() {
+        // Both sides *contain* attribute 0 in their keys, but at
+        // swapped indices: the join a[0]==b[1] && a[1]==b[0] does not
+        // imply equal partition values, so ByKey{0} must be rejected.
+        use cer_automata::predicate::{EqPredicate, UnaryPredicate};
+        use cer_automata::valuation::{Label, LabelSet};
+        let mut schema = Schema::new();
+        let a = schema.add_relation("A", 2).unwrap();
+        let b = schema.add_relation("B", 2).unwrap();
+        let dot = LabelSet::singleton(Label(0));
+        let mut builder = cer_automata::pcea::PceaBuilder::new(1);
+        let q0 = builder.add_state();
+        let q1 = builder.add_state();
+        builder.add_initial_transition(UnaryPredicate::Relation(a), dot, q0);
+        builder.add_transition(
+            vec![(
+                q0,
+                EqPredicate::on_positions(a, [0usize, 1], b, [1usize, 0]),
+            )],
+            UnaryPredicate::Relation(b),
+            dot,
+            q1,
+        );
+        builder.mark_final(q1);
+        let pcea = builder.build();
+        assert!(!pcea.supports_key_partition(0));
+        assert!(!pcea.supports_key_partition(1));
+        let mut rt = Runtime::new(2);
+        let err = rt
+            .register(
+                QuerySpec::new("swapped", pcea, WindowPolicy::Count(10))
+                    .with_partition(Partition::ByKey { pos: 0 }),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::KeyPartitionUnsound { .. }));
+    }
+
+    #[test]
+    fn keyed_join_free_query_keeps_attribute_less_tuples() {
+        // A join-free automaton passes key-partition validation
+        // vacuously; tuples lacking the partition attribute must still
+        // be routed (to the deterministic home shard), not dropped.
+        use cer_automata::predicate::UnaryPredicate;
+        use cer_automata::valuation::{Label, LabelSet};
+        let mut schema = Schema::new();
+        let unary = schema.add_relation("U", 1).unwrap();
+        let mut builder = cer_automata::pcea::PceaBuilder::new(1);
+        let q0 = builder.add_state();
+        builder.add_initial_transition(
+            UnaryPredicate::Relation(unary),
+            LabelSet::singleton(Label(0)),
+            q0,
+        );
+        builder.mark_final(q0);
+        let pcea = builder.build();
+        assert!(pcea.supports_key_partition(3), "vacuously sound");
+        for shards in [1usize, 2, 4] {
+            let mut rt = Runtime::new(shards);
+            let id = rt
+                .register(
+                    QuerySpec::new("unary", pcea.clone(), WindowPolicy::Count(10))
+                        // Partition attribute beyond the tuples' arity.
+                        .with_partition(Partition::ByKey { pos: 3 }),
+                )
+                .unwrap();
+            let stream: Vec<Tuple> = (0..5)
+                .map(|k| cer_common::tuple::tup(unary, [k as i64]))
+                .collect();
+            let events = rt.push_batch(&stream);
+            assert_eq!(events.len(), 5, "shards={shards}");
+            assert!(events.iter().all(|e| e.query == id));
+        }
+    }
+
+    #[test]
+    fn batching_is_transparent() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let (mut whole_rt, ..) = p0_runtime(3);
+        let whole = whole_rt.push_batch(&stream);
+        let (mut split_rt, ..) = p0_runtime(3);
+        let mut split = Vec::new();
+        for chunk in stream.chunks(3) {
+            split.extend(split_rt.push_batch(chunk));
+        }
+        assert_eq!(whole, split);
+        assert_eq!(whole_rt.next_position(), stream.len() as u64);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        let (mut rt, a, b) = p0_runtime(4);
+        rt.push_batch(&stream);
+        let stats = rt.stats();
+        assert_eq!(stats.per_query.len(), 2);
+        assert_eq!((rt.query_name(a), rt.query_name(b)), ("pinned", "keyed"));
+        let get = |q: QueryId| stats.per_query.iter().find(|(id, _)| *id == q).unwrap().1;
+        // Both queries saw all 8 σ0 tuples (all are relevant relations).
+        assert_eq!(get(a).positions, 8);
+        assert_eq!(get(b).positions, 8);
+        assert!(get(a).extends > 0 && get(b).extends > 0);
+    }
+
+    #[test]
+    fn foreign_relations_are_not_routed() {
+        let (mut schema, r, s, t) = Schema::sigma0();
+        let noise = schema.add_relation("NOISE", 1).unwrap();
+        let mut rt = Runtime::new(2);
+        let q = rt
+            .register(QuerySpec::new(
+                "p0",
+                paper_p0(r, s, t),
+                WindowPolicy::Count(100),
+            ))
+            .unwrap();
+        let mut stream = Vec::new();
+        for tu in sigma0_prefix(r, s, t) {
+            stream.push(cer_common::tuple::tup(noise, [1i64]));
+            stream.push(tu);
+        }
+        let events = rt.push_batch(&stream);
+        // Matches still complete (noise consumed global positions: the
+        // completing R sits at interleaved position 11).
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.query == q && e.position == 11));
+        // The shard evaluator never saw the noise tuples.
+        let stats = rt.stats();
+        assert_eq!(stats.per_query[0].1.positions, 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ingest/window stage: turning an arriving tuple into an expiry bound.
+//!
+//! Algorithm 1 is window-agnostic — the `DS_w` machinery only needs a
+//! monotone lower bound `lo` such that positions `< lo` are expired at
+//! the current position. This module isolates that computation behind
+//! [`WindowClock`] so every evaluator (the PCEA engine, the baselines,
+//! and the multi-query [`Runtime`](crate::runtime::Runtime) shards)
+//! shares one implementation of the paper's count window and the
+//! timestamp extension.
+
+use std::collections::VecDeque;
+
+use cer_common::Tuple;
+
+/// How the sliding window expires old positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// The paper's count window: positions older than `i − w` expire.
+    Count(u64),
+    /// A time window: the tuple attribute at `ts_pos` is a
+    /// non-decreasing integer timestamp, and positions whose timestamp
+    /// falls below `now − duration` expire. The `DS_w` machinery is
+    /// window-agnostic (it only needs a monotone expiry bound), so
+    /// Theorem 5.1's guarantees carry over with `w` read as the maximum
+    /// number of in-window positions.
+    Time {
+        /// Window length in timestamp units.
+        duration: i64,
+        /// Tuple position holding the integer timestamp.
+        ts_pos: usize,
+    },
+}
+
+/// The stateful ingest stage for one evaluator: feeds positions in
+/// increasing order, returns the expiry bound for each.
+///
+/// Positions may have gaps (a sharded evaluator only sees the tuples
+/// routed to it); the bound stays correct because it is only ever used
+/// to filter nodes built from positions this evaluator *did* see.
+#[derive(Clone, Debug)]
+pub struct WindowClock {
+    policy: WindowPolicy,
+    /// Time windows: in-window `(position, timestamp)` ring.
+    ring: VecDeque<(u64, i64)>,
+    last_ts: i64,
+}
+
+impl WindowClock {
+    /// A clock for the given policy.
+    pub fn new(policy: WindowPolicy) -> Self {
+        WindowClock {
+            policy,
+            ring: VecDeque::new(),
+            last_ts: i64::MIN,
+        }
+    }
+
+    /// The policy driving this clock.
+    pub fn policy(&self) -> &WindowPolicy {
+        &self.policy
+    }
+
+    /// Observe the tuple occupying position `i`; returns the expiry
+    /// bound `lo`: every stored position `< lo` is out of the window at
+    /// `i`.
+    ///
+    /// Panics for time windows when the tuple lacks an integer timestamp
+    /// at the configured position. Out-of-order timestamps are clamped
+    /// up to the latest seen by *this* clock.
+    pub fn observe(&mut self, i: u64, t: &Tuple) -> u64 {
+        match &self.policy {
+            WindowPolicy::Count(w) => i.saturating_sub(*w),
+            WindowPolicy::Time { duration, ts_pos } => {
+                let ts = t
+                    .values()
+                    .get(*ts_pos)
+                    .and_then(cer_common::Value::as_int)
+                    .unwrap_or_else(|| {
+                        panic!("time window: tuple lacks an integer timestamp at {ts_pos}")
+                    })
+                    .max(self.last_ts);
+                self.last_ts = ts;
+                self.ring.push_back((i, ts));
+                while self
+                    .ring
+                    .front()
+                    .is_some_and(|&(_, old)| old < ts.saturating_sub(*duration))
+                {
+                    self.ring.pop_front();
+                }
+                self.ring.front().map_or(i, |&(p, _)| p)
+            }
+        }
+    }
+
+    /// A reasonable default garbage-collection cadence for the policy.
+    pub fn default_gc_every(&self) -> u64 {
+        match self.policy {
+            WindowPolicy::Count(w) => w.max(1024),
+            WindowPolicy::Time { .. } => 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_common::tuple::tup;
+    use cer_common::Schema;
+
+    #[test]
+    fn count_window_bound() {
+        let (_, r, _, _) = Schema::sigma0();
+        let mut clock = WindowClock::new(WindowPolicy::Count(3));
+        let t = tup(r, [1i64, 2]);
+        assert_eq!(clock.observe(0, &t), 0);
+        assert_eq!(clock.observe(2, &t), 0);
+        assert_eq!(clock.observe(5, &t), 2);
+    }
+
+    #[test]
+    fn time_window_bound_with_gaps() {
+        let (_, r, _, _) = Schema::sigma0();
+        let mut clock = WindowClock::new(WindowPolicy::Time {
+            duration: 10,
+            ts_pos: 0,
+        });
+        // Sharded evaluators observe non-contiguous positions.
+        assert_eq!(clock.observe(0, &tup(r, [0i64, 0])), 0);
+        assert_eq!(clock.observe(4, &tup(r, [8i64, 0])), 0);
+        assert_eq!(clock.observe(9, &tup(r, [16i64, 0])), 4);
+        // A stale clock is clamped monotone.
+        assert_eq!(clock.observe(12, &tup(r, [2i64, 0])), 4);
+    }
+}

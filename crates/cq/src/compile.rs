@@ -19,8 +19,8 @@
 
 use crate::hierarchy::is_hierarchical;
 use crate::jointree::is_acyclic;
-use crate::query::{Atom, ConjunctiveQuery, Term, VarId};
 use crate::qtree::{NodeLabel, QTree};
+use crate::query::{Atom, ConjunctiveQuery, Term, VarId};
 use cer_automata::pcea::{Pcea, PceaBuilder, StateId};
 use cer_automata::predicate::{
     AtomPattern, EqPredicate, ExtractorEntry, KeyExtractor, PatTerm, UnaryPredicate,
@@ -108,10 +108,7 @@ pub struct CompiledQuery {
 /// let compiled = compile_hcq(&schema, &q).unwrap();
 /// assert_eq!(compiled.pcea.num_labels(), 3); // one label per atom
 /// ```
-pub fn compile_hcq(
-    schema: &Schema,
-    q: &ConjunctiveQuery,
-) -> Result<CompiledQuery, CompileError> {
+pub fn compile_hcq(schema: &Schema, q: &ConjunctiveQuery) -> Result<CompiledQuery, CompileError> {
     if !q.is_full() {
         return Err(CompileError::NotFull);
     }
@@ -258,9 +255,7 @@ fn var_predicate(q: &ConjunctiveQuery, tree: &QTree, y_node: usize, i: usize) ->
     let below = tree.atoms_below(y_node);
     let shared = shared_vars(q.atom(below[0]), ai);
     debug_assert!(
-        below
-            .iter()
-            .all(|&j| shared_vars(q.atom(j), ai) == shared),
+        below.iter().all(|&j| shared_vars(q.atom(j), ai) == shared),
         "hierarchy guarantees a uniform shared-variable set below a q-tree node"
     );
     let mut left = KeyExtractor::new();
@@ -343,8 +338,7 @@ mod tests {
 
     #[test]
     fn star_query_equivalence() {
-        let (schema, q, c) =
-            compile("Q(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)");
+        let (schema, q, c) = compile("Q(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)");
         let a0 = schema.relation("A0").unwrap();
         let a1 = schema.relation("A1").unwrap();
         let a2 = schema.relation("A2").unwrap();
@@ -403,7 +397,12 @@ mod tests {
         let (schema, q, c) = compile("Q(x, y) <- T(x), U(y)");
         let t = schema.relation("T").unwrap();
         let u = schema.relation("U").unwrap();
-        let stream = vec![tup(t, [1i64]), tup(u, [5i64]), tup(t, [2i64]), tup(u, [6i64])];
+        let stream = vec![
+            tup(t, [1i64]),
+            tup(u, [5i64]),
+            tup(t, [2i64]),
+            tup(u, [6i64]),
+        ];
         check_equivalence(&q, &c, &stream);
         let eval = ReferenceEval::new(&c.pcea, &stream);
         // At position 3 (U(6)): joins with T(1) and T(2): two outputs.

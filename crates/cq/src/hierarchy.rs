@@ -98,10 +98,7 @@ mod tests {
     #[test]
     fn non_full_is_rejected() {
         let query = q("Q(x) <- T(x), S(x, y)");
-        assert_eq!(
-            check_hierarchical(&query),
-            Err(HierarchyViolation::NotFull)
-        );
+        assert_eq!(check_hierarchical(&query), Err(HierarchyViolation::NotFull));
     }
 
     #[test]

@@ -153,10 +153,7 @@ pub fn cv_multiplicity(q: &ConjunctiveQuery, db: &Database, h: &Assignment) -> u
 /// `⌈⌈Q⌋⌋(D)` as a map from head-value rows to multiplicities, computed
 /// via the Chaudhuri–Vardi formula. Used to cross-check the
 /// t-homomorphism semantics (Appendix B equivalence).
-pub fn cv_bag_semantics(
-    q: &ConjunctiveQuery,
-    db: &Database,
-) -> FxHashMap<Vec<Value>, usize> {
+pub fn cv_bag_semantics(q: &ConjunctiveQuery, db: &Database) -> FxHashMap<Vec<Value>, usize> {
     let mut out: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
     for h in homomorphisms(q, db) {
         let row: Vec<Value> = q.head().iter().map(|v| h[v].clone()).collect();
@@ -167,10 +164,7 @@ pub fn cv_bag_semantics(
 
 /// `⟦Q⟧(D)` as a map from head rows to multiplicities, computed by
 /// counting t-homomorphisms (the paper's semantics).
-pub fn thom_bag_semantics(
-    q: &ConjunctiveQuery,
-    db: &Database,
-) -> FxHashMap<Vec<Value>, usize> {
+pub fn thom_bag_semantics(q: &ConjunctiveQuery, db: &Database) -> FxHashMap<Vec<Value>, usize> {
     let mut out: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
     for eta in t_homomorphisms(q, db) {
         let h = assignment_of(q, db, &eta);

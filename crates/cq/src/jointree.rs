@@ -41,9 +41,7 @@ impl JoinTree {
             let member_set: FxHashSet<usize> = members.iter().copied().collect();
             let roots = members
                 .iter()
-                .filter(|&&k| {
-                    self.parent[k].is_none_or(|p| !member_set.contains(&p))
-                })
+                .filter(|&&k| self.parent[k].is_none_or(|p| !member_set.contains(&p)))
                 .count();
             if roots != 1 {
                 return Err(format!(
@@ -91,18 +89,15 @@ pub fn gyo_join_tree(q: &ConjunctiveQuery) -> Option<JoinTree> {
             let exclusive: FxHashSet<VarId> = var_sets[e]
                 .iter()
                 .copied()
-                .filter(|v| {
-                    (0..n).all(|o| o == e || !alive[o] || !var_sets[o].contains(v))
-                })
+                .filter(|v| (0..n).all(|o| o == e || !alive[o] || !var_sets[o].contains(v)))
                 .collect();
             let shared: Vec<VarId> = var_sets[e]
                 .iter()
                 .copied()
                 .filter(|v| !exclusive.contains(v))
                 .collect();
-            let witness = (0..n).find(|&f| {
-                f != e && alive[f] && shared.iter().all(|v| var_sets[f].contains(v))
-            });
+            let witness = (0..n)
+                .find(|&f| f != e && alive[f] && shared.iter().all(|v| var_sets[f].contains(v)));
             let alive_count = alive.iter().filter(|&&a| a).count();
             if alive_count == 1 {
                 break;

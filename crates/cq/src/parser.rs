@@ -348,14 +348,8 @@ mod tests {
     fn parses_constants() {
         let mut schema = Schema::new();
         let q = parse_query(&mut schema, r#"Q(y) <- S(2, y), N(-7), W("AAPL")"#).unwrap();
-        assert!(matches!(
-            q.atom(0).args[0],
-            Term::Const(Value::Int(2))
-        ));
-        assert!(matches!(
-            q.atom(1).args[0],
-            Term::Const(Value::Int(-7))
-        ));
+        assert!(matches!(q.atom(0).args[0], Term::Const(Value::Int(2))));
+        assert!(matches!(q.atom(1).args[0], Term::Const(Value::Int(-7))));
         assert_eq!(q.atom(2).args[0], Term::Const(Value::from("AAPL")));
     }
 
@@ -371,7 +365,14 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("T", 2).unwrap();
         let err = parse_query(&mut schema, "Q(x) <- T(x)").unwrap_err();
-        assert!(matches!(err, QueryError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            QueryError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -504,7 +504,10 @@ mod tests {
     #[test]
     fn non_hierarchical_has_no_tree() {
         let query = q("Q(x, y) <- R(x), S(x, y), T(y)");
-        assert_eq!(QTree::build(&query).unwrap_err(), QTreeError::NotHierarchical);
+        assert_eq!(
+            QTree::build(&query).unwrap_err(),
+            QTreeError::NotHierarchical
+        );
         // Result PartialEq via derive on QTreeError only; compare variant.
     }
 

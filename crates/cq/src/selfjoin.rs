@@ -14,8 +14,8 @@
 //! with a transition budget ([`MAX_TRANSITIONS`]).
 
 use crate::compile::{atom_unary, CompileError, CompiledQuery};
-use crate::query::{ConjunctiveQuery, Term, VarId};
 use crate::qtree::{NodeLabel, QTree};
+use crate::query::{ConjunctiveQuery, Term, VarId};
 use cer_automata::pcea::{PceaBuilder, StateId};
 use cer_automata::predicate::{
     EqPredicate, ExtractorEntry, KeyExtractor, PosGroup, UnaryPredicate,
@@ -90,9 +90,9 @@ impl PositionClasses {
         let mut var_positions: FxHashMap<VarId, Vec<usize>> = FxHashMap::default();
         let mut constants_at: Vec<Vec<Value>> = vec![Vec::new(); n];
         let record = |atom: &crate::query::Atom,
-                          offset: usize,
-                          var_positions: &mut FxHashMap<VarId, Vec<usize>>,
-                          constants_at: &mut Vec<Vec<Value>>| {
+                      offset: usize,
+                      var_positions: &mut FxHashMap<VarId, Vec<usize>>,
+                      constants_at: &mut Vec<Vec<Value>>| {
             for (k, t) in atom.args.iter().enumerate() {
                 match t {
                     Term::Var(v) => var_positions.entry(*v).or_default().push(offset + k),
@@ -164,9 +164,7 @@ impl PositionClasses {
         members
             .into_iter()
             .enumerate()
-            .filter(|(cls, m)| {
-                !m.is_empty() && (m.len() >= 2 || self.constants[*cls].is_some())
-            })
+            .filter(|(cls, m)| !m.is_empty() && (m.len() >= 2 || self.constants[*cls].is_some()))
             .map(|(cls, m)| PosGroup {
                 positions: m.into(),
                 constant: self.constants[cls].clone(),
@@ -285,10 +283,10 @@ pub(crate) fn compile_selfjoin(
     let mut state_of: FxHashMap<SjState, StateId> = FxHashMap::default();
     let mut state_names: Vec<String> = Vec::new();
     let intern = |key: SjState,
-                      name: String,
-                      builder: &mut PceaBuilder,
-                      state_of: &mut FxHashMap<SjState, StateId>,
-                      state_names: &mut Vec<String>|
+                  name: String,
+                  builder: &mut PceaBuilder,
+                  state_of: &mut FxHashMap<SjState, StateId>,
+                  state_names: &mut Vec<String>|
      -> StateId {
         *state_of.entry(key).or_insert_with(|| {
             state_names.push(name);
@@ -377,10 +375,9 @@ pub(crate) fn compile_selfjoin(
             for &v in &relevant {
                 for &c in &tree.node(v).children {
                     match tree.node(c).label {
-                        NodeLabel::Atom(i)
-                            if !a.contains(&i) => {
-                                c_atoms.push(i);
-                            }
+                        NodeLabel::Atom(i) if !a.contains(&i) => {
+                            c_atoms.push(i);
+                        }
                         NodeLabel::Var(_) if !in_union(c) => c_vars.push(c),
                         _ => {}
                     }
@@ -507,8 +504,7 @@ mod tests {
         // R(x,y,z), R(x,y,v): joint classes merge positions 0 and 1
         // across sides; z and v stay separate.
         let mut schema = Schema::new();
-        let q =
-            parse_query(&mut schema, "Q(x, y, z, v) <- R(x, y, z), R(x, y, v)").unwrap();
+        let q = parse_query(&mut schema, "Q(x, y, z, v) <- R(x, y, z), R(x, y, v)").unwrap();
         let b = derived_binary(&q, &[0], &[1]).unwrap();
         let r = schema.relation("R").unwrap();
         assert!(b.satisfied(&tup(r, [1i64, 2, 3]), &tup(r, [1i64, 2, 4])));

@@ -61,10 +61,7 @@ pub struct CompiledPattern {
 /// let compiled = compile_pattern(&schema, &expr).unwrap();
 /// assert_eq!(compiled.pcea.num_labels(), 3);
 /// ```
-pub fn compile_pattern(
-    schema: &Schema,
-    expr: &PatternExpr,
-) -> Result<CompiledPattern, LangError> {
+pub fn compile_pattern(schema: &Schema, expr: &PatternExpr) -> Result<CompiledPattern, LangError> {
     let num_atoms = expr.pattern.atoms().len();
     if num_atoms > MAX_LABELS {
         return Err(LangError::TooManyAtoms { got: num_atoms });
@@ -84,10 +81,7 @@ pub fn compile_pattern(
 }
 
 /// Convenience: parse and compile in one step.
-pub fn pattern_to_pcea(
-    schema: &mut Schema,
-    text: &str,
-) -> Result<CompiledPattern, LangError> {
+pub fn pattern_to_pcea(schema: &mut Schema, text: &str) -> Result<CompiledPattern, LangError> {
     let expr = crate::parser::parse_pattern(schema, text)?;
     compile_pattern(schema, &expr)
 }
@@ -205,8 +199,10 @@ impl<'a> Compiler<'a> {
                 _ => Err(LangError::IterationBody),
             },
             Pattern::Conj(ps) => {
-                let frags: Vec<Frag> =
-                    ps.iter().map(|p| self.compile(p)).collect::<Result<_, _>>()?;
+                let frags: Vec<Frag> = ps
+                    .iter()
+                    .map(|p| self.compile(p))
+                    .collect::<Result<_, _>>()?;
                 let mut alts: Vec<Vec<Anchor>> = vec![Vec::new()];
                 let mut vars: Vec<PVar> = Vec::new();
                 for f in frags {
@@ -384,11 +380,7 @@ impl<'a> Compiler<'a> {
 
     /// Add `extras` as sources to a transition, with equality joins
     /// between the transition's atom and each extra's completing tuples.
-    fn attach(
-        &self,
-        mut spec: TransSpec,
-        extras: &[&Anchor],
-    ) -> Result<TransSpec, LangError> {
+    fn attach(&self, mut spec: TransSpec, extras: &[&Anchor]) -> Result<TransSpec, LangError> {
         let atom = self.atoms()[spec.atom_idx];
         let atom_vars = atom.variables();
         for x in extras {
@@ -679,7 +671,9 @@ mod tests {
         let stream = vec![tup(a, [1i64]), tup(a, [1i64]), tup(a, [1i64])];
         let outs = outputs_per_position(&c.pcea, &stream);
         assert_eq!(outs.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 2, 4]);
-        ReferenceEval::new(&c.pcea, &stream).check_unambiguous().unwrap();
+        ReferenceEval::new(&c.pcea, &stream)
+            .check_unambiguous()
+            .unwrap();
     }
 
     #[test]
@@ -719,7 +713,9 @@ mod tests {
         assert_eq!(outs[2].len(), 2);
         // At n=3: chains ending at 3: {3}, {0,3}, {2,3}, {0,2,3}.
         assert_eq!(outs[3].len(), 4);
-        ReferenceEval::new(&c.pcea, &stream).check_unambiguous().unwrap();
+        ReferenceEval::new(&c.pcea, &stream)
+            .check_unambiguous()
+            .unwrap();
     }
 
     #[test]
@@ -788,7 +784,9 @@ mod tests {
         let outs = outputs_per_position(&c.pcea, &stream);
         // C gathers the A-branch and the B-branch: two outputs at n=2.
         assert_eq!(outs[2].len(), 2);
-        ReferenceEval::new(&c.pcea, &stream).check_unambiguous().unwrap();
+        ReferenceEval::new(&c.pcea, &stream)
+            .check_unambiguous()
+            .unwrap();
     }
 
     #[test]
@@ -810,7 +808,9 @@ mod tests {
             let stream: Vec<Tuple> = perm.iter().map(|&i| tuples[i].clone()).collect();
             let outs = outputs_per_position(&c.pcea, &stream);
             assert_eq!(outs.iter().map(Vec::len).sum::<usize>(), 1, "{perm:?}");
-            ReferenceEval::new(&c.pcea, &stream).check_unambiguous().unwrap();
+            ReferenceEval::new(&c.pcea, &stream)
+                .check_unambiguous()
+                .unwrap();
         }
     }
 }

@@ -177,7 +177,10 @@ impl<'a> Parser<'a> {
         let rest = &self.text[self.pos..];
         let neg = rest.starts_with('-');
         let start = usize::from(neg);
-        let len = rest[start..].chars().take_while(char::is_ascii_digit).count();
+        let len = rest[start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .count();
         if len == 0 {
             return None;
         }
@@ -263,7 +266,8 @@ impl<'a> Parser<'a> {
         while self.eat("[") {
             let pos = self
                 .integer()
-                .ok_or_else(|| self.error("expected a position index"))? as usize;
+                .ok_or_else(|| self.error("expected a position index"))?
+                as usize;
             let op = self.cmp_op()?;
             let value = self
                 .constant()?

@@ -69,12 +69,12 @@ fn main() {
     let q0 = parse_query(&mut qschema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
     let tree = QTree::build(&q0).unwrap();
     tree.validate_full(&q0).unwrap();
-    println!("  q-tree has {} nodes (x above y; leaves T,S,R)", tree.len());
-    let compiled = compile_hcq(&qschema, &q0).unwrap();
     println!(
-        "  compiled: states {:?}",
-        compiled.state_names
+        "  q-tree has {} nodes (x above y; leaves T,S,R)",
+        tree.len()
     );
+    let compiled = compile_hcq(&qschema, &q0).unwrap();
+    println!("  compiled: states {:?}", compiled.state_names);
 
     // ---- Figures 3–4: q-trees of Q1 and the self-join Q2.
     println!("\nFigures 3-4 — q-trees / compact q-trees");

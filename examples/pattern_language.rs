@@ -34,10 +34,7 @@ fn inspect(text: &str) {
                 c.pcea.size()
             );
             println!("states  : {:?}", c.state_names);
-            println!(
-                "finals  : {:?}",
-                c.pcea.finals().collect::<Vec<_>>()
-            );
+            println!("finals  : {:?}", c.pcea.finals().collect::<Vec<_>>());
         }
         Err(e) => println!("rejected: {e}"),
     }
@@ -50,10 +47,7 @@ fn tour() {
 
     let patterns = [
         // The paper's P0 shape: two independent events joined later.
-        (
-            "correlated alert",
-            r#"BUY(x, _) && SELL(x, _) ; ALERT(x)"#,
-        ),
+        ("correlated alert", r#"BUY(x, _) && SELL(x, _) ; ALERT(x)"#),
         // Iteration with a value filter: a run of expensive buys after
         // an alert (soft sequencing: the last buy is after the alert).
         ("buy streak", "ALERT(x) ; BUY(x, _)+ [1 > 100]"),

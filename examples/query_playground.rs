@@ -37,7 +37,10 @@ fn main() {
     match gyo_join_tree(&query) {
         Some(jt) => {
             jt.validate(&query).expect("GYO produces valid join trees");
-            println!("acyclic      : yes ({} distinct atoms in join tree)", jt.atoms.len());
+            println!(
+                "acyclic      : yes ({} distinct atoms in join tree)",
+                jt.atoms.len()
+            );
         }
         None => println!("acyclic      : no"),
     }
@@ -78,10 +81,7 @@ fn main() {
                 }
             );
             println!("states       : {:?}", c.state_names);
-            println!(
-                "finals       : {:?}",
-                c.pcea.finals().collect::<Vec<_>>()
-            );
+            println!("finals       : {:?}", c.pcea.finals().collect::<Vec<_>>());
         }
         Err(e) => println!("compiled     : refused — {e}"),
     }

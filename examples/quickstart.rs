@@ -10,8 +10,8 @@ fn main() {
     // 1. Declare the query. Q0 is the paper's running example:
     //    "a T, an S and an R agreeing on x (and on y for S/R)".
     let mut schema = Schema::new();
-    let query = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)")
-        .expect("well-formed query");
+    let query =
+        parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").expect("well-formed query");
     println!("query      : {}", query.display(&schema));
 
     // 2. Compile to a Parallelized Complex Event Automaton (Theorem 4.1).

@@ -1,0 +1,231 @@
+//! Minimal, dependency-free stand-in for the slice of `criterion` this
+//! workspace's benches use.
+//!
+//! The workspace builds offline, so the real crates-io `criterion`
+//! cannot be fetched. The shim keeps the bench *sources* unchanged —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `black_box` —
+//! and replaces the statistics engine with a simple calibrated
+//! wall-clock loop. Results are printed as human-readable lines **and**
+//! machine-readable JSON lines (prefix `BENCH_JSON`), one per
+//! benchmark:
+//!
+//! ```json
+//! {"bench":"group/name","mean_ns":123.4,"iters":1000,"elems_per_sec":8.1e6}
+//! ```
+//!
+//! Environment knobs: `CRITERION_BUDGET_MS` (per-benchmark measuring
+//! budget, default 300).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up once, then run as many iterations as fit the
+    /// budget, recording the mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget = budget();
+        // Calibrate: time one iteration to choose a batch size.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (budget.as_nanos() / 10 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let elems = match throughput {
+        Some(Throughput::Elements(n)) => Some(n as f64 * 1e9 / b.mean_ns),
+        _ => None,
+    };
+    match elems {
+        Some(eps) => {
+            println!(
+                "bench {full}: {:.1} ns/iter ({} iters, {:.3e} elems/s)",
+                b.mean_ns, b.iters, eps
+            );
+            println!(
+                "BENCH_JSON {{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{},\"elems_per_sec\":{:.1}}}",
+                b.mean_ns, b.iters, eps
+            );
+        }
+        None => {
+            println!("bench {full}: {:.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+            println!(
+                "BENCH_JSON {{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{}}}",
+                b.mean_ns, b.iters
+            );
+        }
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(None, &id.id, &b, None);
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's loop is budget-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.id, &b, self.throughput);
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &b, self.throughput);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,202 @@
+//! Strategies: composable random value generators.
+//!
+//! The real proptest's `Strategy` produces shrinkable `ValueTree`s; this
+//! shim's strategies produce plain values (`pick`) and wrap them in a
+//! no-shrink [`SampleTree`] where the `new_tree` API is exercised.
+
+use crate::test_runner::{TestRng, TestRunner};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a (non-shrinking) value tree, mirroring the real API.
+    #[allow(clippy::type_complexity)]
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampleTree<Self::Value>, String>
+    where
+        Self: Sized,
+        Self::Value: Clone,
+    {
+        Ok(SampleTree {
+            value: self.pick(runner.rng()),
+        })
+    }
+
+    /// Erase the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// A generated value plus its (here: trivial) shrink state.
+pub trait ValueTree {
+    /// The carried type.
+    type Value;
+
+    /// The current value.
+    fn current(&self) -> Self::Value;
+
+    /// Try to shrink; the shim never shrinks.
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    /// Undo a shrink; the shim never shrinks.
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// The shim's only tree shape: a single sampled value.
+#[derive(Clone, Debug)]
+pub struct SampleTree<V> {
+    pub(crate) value: V,
+}
+
+impl<V: Clone> ValueTree for SampleTree<V> {
+    type Value = V;
+
+    fn current(&self) -> V {
+        self.value.clone()
+    }
+}
+
+/// Always produce one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy of [`crate::any`].
+pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+impl<T: crate::Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies ([`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the (non-empty) list of arms.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn pick(&self, rng: &mut TestRng) -> V {
+        let k = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[k].pick(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[inline]
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}

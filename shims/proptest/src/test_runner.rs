@@ -1,0 +1,100 @@
+//! Test-runner plumbing, mirroring `proptest::test_runner`.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Seed algorithm selector, accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RngAlgorithm {
+    /// The real proptest's default.
+    ChaCha,
+    /// Alternative algorithm tag.
+    XorShift,
+}
+
+/// The deterministic RNG driving strategies (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from raw bytes (the first 8 are used), mirroring the real
+    /// `TestRng::from_seed`.
+    pub fn from_seed(_algorithm: RngAlgorithm, seed: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        for (slot, &byte) in b.iter_mut().zip(seed.iter()) {
+            *slot = byte;
+        }
+        Self::from_u64(u64::from_le_bytes(b))
+    }
+
+    /// Seed from a 64-bit value.
+    pub fn from_u64(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6a09_e667_f3bc_c909,
+        }
+    }
+
+    /// The raw 64-bit output of the generator.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Holds the RNG that `Strategy::new_tree` draws from.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed default seed.
+    pub fn new(config: Config) -> Self {
+        Self::new_with_rng(config, TestRng::from_u64(0))
+    }
+
+    /// A runner drawing from the given RNG.
+    pub fn new_with_rng(config: Config, rng: TestRng) -> Self {
+        TestRunner { config, rng }
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+/// FNV-1a over bytes; seeds per-test RNGs from the test name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,134 @@
+//! Minimal, dependency-free stand-in for the parts of `rand` 0.8 that
+//! this workspace uses (`SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` on integer and float ranges).
+//!
+//! The workspace builds offline, so the real crates-io `rand` cannot be
+//! fetched; the generators only need a fast deterministic PRNG, which
+//! this shim provides via splitmix64. Streams produced by the workload
+//! generators are deterministic given a seed, exactly as before — the
+//! concrete sequences differ from upstream `rand`, which no test relies
+//! on.
+
+use std::ops::Range;
+
+/// Seedable constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the slice of `rand::Rng` in use.
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+/// A range that can be sampled, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic PRNG (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng {
+                // Avoid the all-zero fixpoint and decorrelate tiny seeds.
+                state: state ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&x));
+            let y: usize = r.gen_range(0usize..3);
+            assert!(y < 3);
+            let f: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn all_values_reachable_in_small_range() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0u8..3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -11,10 +11,12 @@
 //! * [`lang`] — a CER pattern language (`;`, `&&`, `|`, `+`, filters)
 //!   compiled to PCEA — the paper's first future-work item;
 //! * [`engine`] — the streaming evaluator with logarithmic update time and
-//!   output-linear-delay enumeration (Theorem 5.1);
-//! * [`baselines`] — naive and CCEA-specialized evaluators for comparison.
+//!   output-linear-delay enumeration (Theorem 5.1), plus the sharded
+//!   multi-query [`Runtime`](engine::Runtime);
+//! * [`baselines`] — naive and CCEA-specialized evaluators for comparison,
+//!   behind the same [`Evaluator`](engine::Evaluator) trait surface.
 //!
-//! ## Quickstart
+//! ## Quickstart: one query, one evaluator
 //!
 //! ```
 //! use pcea::prelude::*;
@@ -35,6 +37,46 @@
 //! }
 //! assert_eq!(n_outputs, 2); // the two matches of Q0 on S0's first 8 tuples
 //! ```
+//!
+//! ## Many queries, one stream: the sharded `Runtime`
+//!
+//! Production deployments serve many standing queries over one
+//! firehose. The [`Runtime`](engine::Runtime) hosts a registry of
+//! compiled queries — from the HCQ compiler *and* the pattern language —
+//! routes each tuple only to the queries whose schema matches, and
+//! spreads the work across sharded worker threads:
+//!
+//! ```
+//! use pcea::prelude::*;
+//!
+//! let mut schema = Schema::new();
+//! // One query from the HCQ compiler, one from the pattern language.
+//! let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+//! let hcq = compile_hcq(&schema, &q0).unwrap();
+//! let pat = pattern_to_pcea(&mut schema, "T(x) ; R(x, _)").unwrap();
+//!
+//! let mut runtime = Runtime::new(4); // four worker shards
+//! let hcq_id = runtime
+//!     .register(QuerySpec::new("q0", hcq.pcea, WindowPolicy::Count(100)))
+//!     .unwrap();
+//! let pat_id = runtime
+//!     .register(
+//!         QuerySpec::new("t_then_r", pat.pcea, WindowPolicy::Count(100))
+//!             // Every join of this pattern is keyed on attribute 0, so it
+//!             // may be key-partitioned across all shards.
+//!             .with_partition(Partition::ByKey { pos: 0 }),
+//!     )
+//!     .unwrap();
+//!
+//! let r = schema.relation("R").unwrap();
+//! let s = schema.relation("S").unwrap();
+//! let t = schema.relation("T").unwrap();
+//! let events = runtime.push_batch(&sigma0_prefix(r, s, t));
+//! // Outputs are identical to per-query evaluators: Q0 matches twice at
+//! // position 5, the sequential pattern once (T(2)@1 before R(2,11)@5).
+//! assert_eq!(events.iter().filter(|e| e.query == hcq_id).count(), 2);
+//! assert_eq!(events.iter().filter(|e| e.query == pat_id).count(), 1);
+//! ```
 
 pub use cer_automata as automata;
 pub use cer_baselines as baselines;
@@ -49,11 +91,14 @@ pub mod prelude {
     pub use cer_automata::predicate::{CmpOp, EqPredicate, KeyExtractor, UnaryPredicate};
     pub use cer_automata::reference::ReferenceEval;
     pub use cer_automata::valuation::{Label, LabelSet, Valuation};
-    pub use cer_common::gen::{
-        sigma0_prefix, ChainGen, SensorGen, Sigma0Gen, StarGen, StockGen,
-    };
+    pub use cer_common::gen::{sigma0_prefix, ChainGen, SensorGen, Sigma0Gen, StarGen, StockGen};
     pub use cer_common::{Schema, SliceStream, Stream, StreamExt, Tuple, Value, VecStream};
+    pub use cer_core::api::Evaluator;
     pub use cer_core::evaluator::{run_to_end, StreamingEvaluator};
+    pub use cer_core::runtime::{
+        MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
+    };
+    pub use cer_core::window::{WindowClock, WindowPolicy};
     pub use cer_cq::compile::{compile_hcq, CompileError, CompiledQuery};
     pub use cer_cq::parser::{parse_query, QueryBuilder};
     pub use cer_cq::query::ConjunctiveQuery;

@@ -33,8 +33,7 @@ fn pfa_strategy() -> impl Strategy<Value = Pfa> {
 }
 
 fn nfa_strategy() -> impl Strategy<Value = Nfa> {
-    let transitions =
-        proptest::collection::vec((0usize..4, 0u32..2, 0usize..4), 0..10);
+    let transitions = proptest::collection::vec((0usize..4, 0u32..2, 0usize..4), 0..10);
     let initials = proptest::collection::vec(0usize..4, 1..3);
     let finals = proptest::collection::vec(0usize..4, 1..3);
     (transitions, initials, finals).prop_map(|(ts, is, fs)| {
@@ -128,10 +127,5 @@ fn p0_determinization_canonical() {
     assert!(d.num_states() <= 32);
     // Canonical: track {seen T?, seen S?} then accept-sink: 5 states.
     assert_eq!(m.num_states(), 5);
-    let _ = Dfa::determinize(
-        vec![0],
-        &[0],
-        |_, _| vec![0],
-        |_| true,
-    );
+    let _ = Dfa::determinize(vec![0], &[0], |_, _| vec![0], |_| true);
 }

@@ -32,19 +32,16 @@ const CATALOG: &[&str] = &[
 /// domains (dense joins stress every code path; the reference oracle
 /// caps the length).
 fn stream_strategy(schema: &Schema, max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
-    let rels: Vec<(pcea::common::RelationId, usize)> = schema
-        .relations()
-        .map(|r| (r, schema.arity(r)))
-        .collect();
-    let tuple = (0..rels.len(), proptest::collection::vec(0i64..4, 0..8)).prop_map(
-        move |(ri, vals)| {
+    let rels: Vec<(pcea::common::RelationId, usize)> =
+        schema.relations().map(|r| (r, schema.arity(r))).collect();
+    let tuple =
+        (0..rels.len(), proptest::collection::vec(0i64..4, 0..8)).prop_map(move |(ri, vals)| {
             let (rel, arity) = rels[ri];
             let values: Vec<Value> = (0..arity)
                 .map(|k| Value::Int(*vals.get(k).unwrap_or(&1)))
                 .collect();
             Tuple::new(rel, values)
-        },
-    );
+        });
     proptest::collection::vec(tuple, 0..max_len)
 }
 
@@ -135,7 +132,9 @@ fn catalog_exhaustive_windows_on_fixed_stream() {
                 let arity = schema.arity(rel);
                 Tuple::new(
                     rel,
-                    (0..arity).map(|k| Value::Int(((i + k) % 2) as i64)).collect(),
+                    (0..arity)
+                        .map(|k| Value::Int(((i + k) % 2) as i64))
+                        .collect(),
                 )
             })
             .collect();

@@ -67,8 +67,7 @@ fn run_program(ops: &[Op]) -> (EnumStructure, Vec<NodeId>, Model) {
                 // (strictly earlier by construction since positions
                 // increase).
                 let mut chosen: Vec<usize> = Vec::new();
-                let mut support: std::collections::BTreeSet<u64> =
-                    std::iter::once(pos).collect();
+                let mut support: std::collections::BTreeSet<u64> = std::iter::once(pos).collect();
                 for &p in picks {
                     if roots.is_empty() {
                         break;
@@ -100,8 +99,7 @@ fn run_program(ops: &[Op]) -> (EnumStructure, Vec<NodeId>, Model) {
                 model.created.push(pos);
             }
             Op::Union { a, b } => {
-                let free: Vec<usize> =
-                    (0..roots.len()).filter(|&k| !consumed[k]).collect();
+                let free: Vec<usize> = (0..roots.len()).filter(|&k| !consumed[k]).collect();
                 if free.len() < 2 {
                     continue;
                 }

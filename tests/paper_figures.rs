@@ -33,11 +33,8 @@ fn f1_pfa_p0_language() {
                 word.push((code % 3) as u32);
                 code /= 3;
             }
-            let expected = (0..len).any(|k| {
-                word[k] == r
-                    && word[..k].contains(&t)
-                    && word[..k].contains(&s)
-            });
+            let expected =
+                (0..len).any(|k| word[k] == r && word[..k].contains(&t) && word[..k].contains(&s));
             assert_eq!(p.accepts(&word), expected, "word {word:?}");
         }
     }
@@ -51,10 +48,7 @@ fn f1_pcea_p0_outputs() {
     let (_, r, s, t) = Schema::sigma0();
     let stream = sigma0_prefix(r, s, t);
     let want = {
-        let mut w = vec![
-            val(1, &[(0, &[1, 3, 5])]),
-            val(1, &[(0, &[0, 1, 5])]),
-        ];
+        let mut w = vec![val(1, &[(0, &[1, 3, 5])]), val(1, &[(0, &[0, 1, 5])])];
         w.sort();
         w
     };

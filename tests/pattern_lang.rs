@@ -115,8 +115,8 @@ fn iteration_windowed() {
 #[test]
 fn anchoring_discipline() {
     let reject = [
-        "S(x, y) ; A(x) ; R(y)",   // y cannot flow through A(x)
-        "S(x, y) && T(y) ; A(x)",  // y correlates S and T; A(x) gathers both but carries no y
+        "S(x, y) ; A(x) ; R(y)",  // y cannot flow through A(x)
+        "S(x, y) && T(y) ; A(x)", // y correlates S and T; A(x) gathers both but carries no y
     ];
     for text in reject {
         let mut schema = Schema::new();
@@ -127,10 +127,7 @@ fn anchoring_discipline() {
         );
     }
     // Anchored versions compile.
-    let accept = [
-        "S(x, y) ; A(x, y) ; R(y)",
-        "S(x, y) && T(y) ; A(x, y)",
-    ];
+    let accept = ["S(x, y) ; A(x, y) ; R(y)", "S(x, y) && T(y) ; A(x, y)"];
     for text in accept {
         let mut schema = Schema::new();
         pattern_to_pcea(&mut schema, text).unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -240,10 +237,17 @@ fn sequenced_conjunctions() {
         .collect();
     let stream: Vec<Tuple> = ids.iter().map(|&r| tup(r, [4i64])).collect();
     let reference = ReferenceEval::new(&c.pcea, &stream);
-    assert_eq!(reference.outputs_at(4).len(), 1, "in-order run matches once");
+    assert_eq!(
+        reference.outputs_at(4).len(),
+        1,
+        "in-order run matches once"
+    );
     reference.check_unambiguous().unwrap();
     // Break the order: E before the C&&D step completes.
-    let bad: Vec<Tuple> = [0usize, 1, 4, 2, 3].iter().map(|&k| stream[k].clone()).collect();
+    let bad: Vec<Tuple> = [0usize, 1, 4, 2, 3]
+        .iter()
+        .map(|&k| stream[k].clone())
+        .collect();
     let reference_bad = ReferenceEval::new(&c.pcea, &bad);
     assert!((0..5).all(|n| reference_bad.outputs_at(n).is_empty()));
 }

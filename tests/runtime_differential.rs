@@ -1,0 +1,218 @@
+//! Differential tests for the sharded multi-query `Runtime`: N queries
+//! registered in one runtime must produce exactly the same outputs (as
+//! multisets of `(position, valuation)`) as N independent per-query
+//! `StreamingEvaluator`s fed the full stream — for every shard count,
+//! both partition modes, and both window policies.
+
+use pcea::baselines::NaiveRunsEvaluator;
+use pcea::prelude::*;
+
+/// Deterministic dense stream over all relations of `schema`, one value
+/// domain per attribute position.
+fn mixed_stream(schema: &Schema, n: usize) -> Vec<Tuple> {
+    let rels: Vec<_> = schema.relations().collect();
+    (0..n)
+        .map(|i| {
+            let rel = rels[(i * 7 + 3) % rels.len()];
+            let arity = schema.arity(rel);
+            let values = (0..arity)
+                .map(|k| Value::Int(((i * 13 + k * 5 + 1) % 3) as i64))
+                .collect();
+            Tuple::new(rel, values)
+        })
+        .collect()
+}
+
+/// Sorted `(position, valuation)` multiset of one per-query evaluator
+/// over the whole stream.
+fn single_engine_outputs(
+    pcea: &Pcea,
+    window: WindowPolicy,
+    stream: &[Tuple],
+) -> Vec<(u64, Valuation)> {
+    let mut engine = StreamingEvaluator::with_window(pcea.clone(), window);
+    let mut out = Vec::new();
+    for (n, t) in stream.iter().enumerate() {
+        for v in engine.push_collect(t) {
+            out.push((n as u64, v));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Sorted `(position, valuation)` multiset of one query's runtime events.
+fn runtime_outputs(events: &[MatchEvent], q: QueryId) -> Vec<(u64, Valuation)> {
+    let mut out: Vec<(u64, Valuation)> = events
+        .iter()
+        .filter(|e| e.query == q)
+        .map(|e| (e.position, e.valuation.clone()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Count windows: four queries (two front-ends, both partition modes),
+/// compared per shard count and window size.
+#[test]
+fn count_windows_match_independent_evaluators() {
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let q0_pcea = compile_hcq(&schema, &q0).unwrap().pcea;
+    let star = parse_query(&mut schema, "QS(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)").unwrap();
+    let star_pcea = compile_hcq(&schema, &star).unwrap().pcea;
+    let pat = pattern_to_pcea(&mut schema, "A(x) ; B(x)").unwrap().pcea;
+    let stream = mixed_stream(&schema, 400);
+
+    for w in [0u64, 3, 16, 1000] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut rt = Runtime::new(shards);
+            let specs = [
+                ("q0_pinned", q0_pcea.clone(), Partition::ByQuery),
+                ("q0_keyed", q0_pcea.clone(), Partition::ByKey { pos: 0 }),
+                ("star_pinned", star_pcea.clone(), Partition::ByQuery),
+                ("pat_keyed", pat.clone(), Partition::ByKey { pos: 0 }),
+            ];
+            let mut ids = Vec::new();
+            for (name, pcea, partition) in &specs {
+                let id = rt
+                    .register(
+                        QuerySpec::new(*name, pcea.clone(), WindowPolicy::Count(w))
+                            .with_partition(*partition),
+                    )
+                    .unwrap();
+                ids.push(id);
+            }
+            let events = rt.push_batch(&stream);
+            for ((name, pcea, _), id) in specs.iter().zip(&ids) {
+                let want = single_engine_outputs(pcea, WindowPolicy::Count(w), &stream);
+                assert_eq!(
+                    runtime_outputs(&events, *id),
+                    want,
+                    "{name}: w={w}, shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// Time windows: timestamps are the (monotone) stream position, carried
+/// in attribute 0 of every tuple.
+#[test]
+fn time_windows_match_independent_evaluators() {
+    let mut schema = Schema::new();
+    let q = parse_query(&mut schema, "Q(ta, tb, x) <- A(ta, x), B(tb, x)").unwrap();
+    let pcea = compile_hcq(&schema, &q).unwrap().pcea;
+    let a = schema.relation("A").unwrap();
+    let b = schema.relation("B").unwrap();
+    // Joins are keyed on `x` (attribute 1), so the query may also be
+    // key-partitioned on it.
+    assert!(pcea.supports_key_partition(1));
+    let stream: Vec<Tuple> = (0..300)
+        .map(|i| {
+            let rel = if (i / 3) % 2 == 0 { a } else { b };
+            Tuple::new(rel, vec![Value::Int(i as i64), Value::Int((i % 3) as i64)])
+        })
+        .collect();
+
+    for duration in [0i64, 4, 25, 10_000] {
+        let window = WindowPolicy::Time {
+            duration,
+            ts_pos: 0,
+        };
+        for shards in [1usize, 3, 8] {
+            let mut rt = Runtime::new(shards);
+            let pinned = rt
+                .register(QuerySpec::new("timed_pinned", pcea.clone(), window.clone()))
+                .unwrap();
+            let keyed = rt
+                .register(
+                    QuerySpec::new("timed_keyed", pcea.clone(), window.clone())
+                        .with_partition(Partition::ByKey { pos: 1 }),
+                )
+                .unwrap();
+            let events = rt.push_batch(&stream);
+            let want = single_engine_outputs(&pcea, window.clone(), &stream);
+            assert!(
+                !want.is_empty() || duration == 0,
+                "the workload must exercise the window"
+            );
+            for (name, id) in [("pinned", pinned), ("keyed", keyed)] {
+                assert_eq!(
+                    runtime_outputs(&events, id),
+                    want,
+                    "{name}: duration={duration}, shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// The baselines share the runtime's trait surface: driving the naive
+/// evaluator through `dyn Evaluator` agrees with the runtime's engine.
+#[test]
+fn trait_surface_compares_like_for_like() {
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let pcea = compile_hcq(&schema, &q0).unwrap().pcea;
+    let stream = mixed_stream(&schema, 200);
+
+    let mut rt = Runtime::new(3);
+    let id = rt
+        .register(QuerySpec::new("q0", pcea.clone(), WindowPolicy::Count(12)))
+        .unwrap();
+    let events = rt.push_batch(&stream);
+
+    let mut baseline: Box<dyn Evaluator> = Box::new(NaiveRunsEvaluator::new(pcea, 12));
+    let mut want = Vec::new();
+    for (n, t) in stream.iter().enumerate() {
+        for v in baseline.push_collect(t) {
+            want.push((n as u64, v));
+        }
+    }
+    want.sort();
+    assert_eq!(runtime_outputs(&events, id), want);
+}
+
+/// Incremental registration: a query registered mid-stream sees only the
+/// suffix, at its true global positions.
+#[test]
+fn late_registration_sees_the_suffix() {
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let pcea = compile_hcq(&schema, &q0).unwrap().pcea;
+    let stream = mixed_stream(&schema, 120);
+    let (head, tail) = stream.split_at(60);
+
+    let mut rt = Runtime::new(2);
+    let early = rt
+        .register(QuerySpec::new(
+            "early",
+            pcea.clone(),
+            WindowPolicy::Count(9),
+        ))
+        .unwrap();
+    let mut events = rt.push_batch(head);
+    let late = rt
+        .register(QuerySpec::new("late", pcea.clone(), WindowPolicy::Count(9)))
+        .unwrap();
+    events.extend(rt.push_batch(tail));
+
+    let want_full = single_engine_outputs(&pcea, WindowPolicy::Count(9), &stream);
+    assert_eq!(runtime_outputs(&events, early), want_full);
+    // The late query saw tuples from global position 60 on; its matches
+    // are exactly the full run's matches completing at ≥ 69 (everything
+    // within window reach of the suffix but spanning the cut is lost,
+    // which positions 60..69 may still straddle).
+    let late_got = runtime_outputs(&events, late);
+    assert!(late_got.iter().all(|(p, _)| *p >= 60));
+    let want_suffix: Vec<(u64, Valuation)> = want_full
+        .iter()
+        .filter(|(p, v)| {
+            let _ = p;
+            v.min_pos().is_some_and(|m| m >= 60)
+        })
+        .cloned()
+        .collect();
+    assert_eq!(late_got, want_suffix);
+}

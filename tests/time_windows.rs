@@ -17,11 +17,7 @@ use pcea::prelude::*;
 fn q0_engine() -> (Schema, Pcea) {
     let mut schema = Schema::new();
     // TS-carrying variants: first attribute is the timestamp.
-    let q = parse_query(
-        &mut schema,
-        "Q(ta, tb, x) <- A(ta, x), B(tb, x)",
-    )
-    .unwrap();
+    let q = parse_query(&mut schema, "Q(ta, tb, x) <- A(ta, x), B(tb, x)").unwrap();
     let pcea = compile_hcq(&schema, &q).unwrap().pcea;
     (schema, pcea)
 }
@@ -33,11 +29,13 @@ fn time_window_expires_by_timestamp_not_position() {
     let b = schema.relation("B").unwrap();
     // Timestamps: A@t=0, then a B@t=5 (in a 10-window), then a B@t=100
     // (expired for the A), then A@t=101, B@t=103.
-    let stream = [tup(a, [0i64, 7]),
+    let stream = [
+        tup(a, [0i64, 7]),
         tup(b, [5i64, 7]),
         tup(b, [100i64, 7]),
         tup(a, [101i64, 7]),
-        tup(b, [103i64, 7])];
+        tup(b, [103i64, 7]),
+    ];
     let mut engine = StreamingEvaluator::new_timed(pcea, 10, 0);
     let counts: Vec<usize> = stream.iter().map(|t| engine.push_count(t)).collect();
     // pos1: A(0)×B(5) ✓. pos2: A(0) expired (100-0 > 10): 0 matches.
