@@ -1,0 +1,91 @@
+//! Async ingestion throughput: tuples/sec versus producer-thread count
+//! (1/2/4 cloned `IngestHandle`s feeding the same runtime), with a
+//! `DropNewest` subscriber consuming match events out of band, plus the
+//! synchronous `push_batch` loop as the status-quo reference.
+//!
+//! Emits `BENCH_JSON` lines (see the criterion shim) with
+//! `elems_per_sec` as the tuples/sec figure, like `runtime_scaling.rs`.
+
+use cer_bench::multi_query_workload;
+use cer_core::ingest::{BackpressurePolicy, IngestConfig, SubscriptionFilter};
+use cer_core::runtime::{QuerySpec, Runtime};
+use cer_core::window::WindowPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const QUERIES: usize = 4;
+const EVENTS: usize = 20_000;
+const WINDOW: u64 = 64;
+const SHARDS: usize = 4;
+const PRODUCER_BATCH: usize = 256;
+
+fn runtime_with_queries(wl: &cer_bench::MultiQueryWorkload) -> Runtime {
+    let mut rt = Runtime::with_config(
+        SHARDS,
+        IngestConfig {
+            queue_capacity: 1 << 15,
+            policy: BackpressurePolicy::Block,
+        },
+    );
+    for (j, pcea) in wl.pceas.iter().enumerate() {
+        rt.register(QuerySpec::new(
+            format!("q{j}"),
+            pcea.clone(),
+            WindowPolicy::Count(WINDOW),
+        ))
+        .expect("register");
+    }
+    rt
+}
+
+fn bench_ingest_producers(c: &mut Criterion) {
+    let wl = multi_query_workload(QUERIES, EVENTS, 4, 4, 42);
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for producers in [1usize, 2, 4] {
+        let rt = runtime_with_queries(&wl);
+        // Out-of-band consumer: bounded and lossy, so the bench
+        // measures the ingest hot path, not event hoarding.
+        let sub = rt.subscribe_with(
+            SubscriptionFilter::All,
+            1 << 14,
+            BackpressurePolicy::DropNewest,
+        );
+        let chunk = EVENTS.div_ceil(producers);
+        group.bench_with_input(
+            BenchmarkId::new("producers", producers),
+            &producers,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for slice in wl.stream.chunks(chunk) {
+                            let handle = rt.ingest_handle();
+                            scope.spawn(move || {
+                                for batch in slice.chunks(PRODUCER_BATCH) {
+                                    handle.push_batch(batch).expect("runtime alive");
+                                }
+                            });
+                        }
+                    });
+                    rt.drain();
+                    sub.drain().len()
+                });
+            },
+        );
+    }
+    // Status quo: the synchronous push_batch loop on an identical
+    // runtime (single caller, collects every event inline).
+    let mut rt = runtime_with_queries(&wl);
+    group.bench_function("sync_push_batch", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for batch in wl.stream.chunks(PRODUCER_BATCH) {
+                n += rt.push_batch(batch).len();
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_producers);
+criterion_main!(benches);

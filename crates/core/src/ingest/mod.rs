@@ -1,0 +1,432 @@
+//! Asynchronous ingestion: sequenced, backpressured, subscription-fed.
+//!
+//! The synchronous [`Runtime::push_batch`](crate::runtime::Runtime::push_batch)
+//! couples three things that a production firehose wants decoupled:
+//! stamping stream positions, evaluating tuples on the shards, and
+//! delivering completed matches to consumers. This module splits them
+//! into a pipeline:
+//!
+//! ```text
+//!  producers (any thread, cloned IngestHandle)
+//!      │  push / push_batch
+//!      ▼
+//!  ┌─────────────┐   one lock: stamp global positions, route,
+//!  │  sequencer  │   stage per shard  (bit-identical to sync path)
+//!  └─────────────┘
+//!      │ per-shard FIFO, bounded, BackpressurePolicy
+//!      ▼
+//!  ┌─────────────┐  ┌─────────────┐
+//!  │ shard 0     │  │ shard k     │   workers drain queues, evaluate,
+//!  │ ShardQueue  │… │ ShardQueue  │   publish MatchEvents
+//!  └─────────────┘  └─────────────┘
+//!      │                 │
+//!      ▼                 ▼
+//!  ┌───────────────────────────────┐
+//!  │     subscription registry     │  per-consumer bounded channels
+//!  └───────────────────────────────┘
+//!      │ Subscription (per QueryId or All)
+//!      ▼
+//!  consumers — may lag or drop without stalling ingestion
+//! ```
+//!
+//! # Position-sequencing soundness
+//!
+//! Why are the asynchronously delivered outputs identical (as a
+//! multiset) to the synchronous path? Three invariants carry the
+//! argument:
+//!
+//! 1. **Global, gap-free stamping.** The sequencer assigns each
+//!    ingested tuple the next global position *and stages it onto the
+//!    per-shard FIFO queues under the same lock*. So every shard
+//!    receives exactly the subsequence routed to it, in strictly
+//!    increasing position order — the precondition of
+//!    [`StreamingEvaluator::push_at`](crate::evaluator::StreamingEvaluator::push_at).
+//! 2. **Window expiry is position-functional.** The
+//!    [`WindowClock`](crate::window::WindowClock) computes expiry
+//!    bounds from the stamped position (count windows) or from the
+//!    tuple's own timestamp attribute (time windows) — never from
+//!    arrival time, queue depth, or which shard observes the tuple. A
+//!    shard evaluator that sees a *gappy* subsequence therefore
+//!    computes the same bound the dense evaluator would, and queueing
+//!    delay cannot shift window semantics.
+//! 3. **Evaluation is deterministic per shard.** Each worker processes
+//!    its queue serially, so the set of matches completed at position
+//!    `i` is a function of the routed subsequence up to `i` alone.
+//!
+//! Hence, for every query, the multiset of [`MatchEvent`]s published to
+//! the registry equals the synchronous `push_batch` output on the same
+//! stream — shard count, queue capacity and consumer speed only
+//! reorder *delivery*, never membership. The guarantee assumes no
+//! tuple was dropped: [`BackpressurePolicy::Block`] never drops, while
+//! [`BackpressurePolicy::DropNewest`] trades completeness for a
+//! never-blocking producer and counts every tuple it sheds (per shard
+//! queue, in [`QueueStats::dropped`]).
+//!
+//! `tests/ingest_async.rs` checks the equivalence differentially across
+//! shard counts, partition modes and both window kinds, and checks that
+//! a deliberately stalled subscriber never blocks producers under
+//! `DropNewest`.
+//!
+//! # Example
+//!
+//! ```
+//! use cer_core::ingest::SubscriptionFilter;
+//! use cer_core::runtime::{QuerySpec, Runtime};
+//! use cer_core::window::WindowPolicy;
+//! use cer_automata::pcea::paper_p0;
+//! use cer_common::gen::sigma0_prefix;
+//! use cer_common::Schema;
+//!
+//! let (_, r, s, t) = Schema::sigma0();
+//! let mut rt = Runtime::new(2);
+//! let q = rt
+//!     .register(QuerySpec::new("p0", paper_p0(r, s, t), WindowPolicy::Count(100)))
+//!     .unwrap();
+//! let sub = rt.subscribe(SubscriptionFilter::Query(q));
+//! let handle = rt.ingest_handle();
+//! let producer = std::thread::spawn(move || {
+//!     for tuple in sigma0_prefix(r, s, t) {
+//!         handle.push(&tuple).unwrap();
+//!     }
+//! });
+//! producer.join().unwrap();
+//! rt.drain(); // fence: everything ingested is evaluated and delivered
+//! let events = sub.drain();
+//! assert_eq!(events.len(), 2);
+//! assert!(events.iter().all(|e| e.query == q && e.position == 5));
+//! ```
+
+mod queue;
+mod subscribe;
+
+pub use queue::QueueStats;
+pub use subscribe::{Subscription, SubscriptionFilter};
+
+pub(crate) use queue::{Closed, ShardMsg, ShardQueue};
+pub(crate) use subscribe::SubscriptionRegistry;
+
+use crate::runtime::Partition;
+use cer_common::hash::{FxBuildHasher, FxHashMap};
+use cer_common::{RelationId, Tuple};
+use std::fmt;
+use std::hash::BuildHasher;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+/// What a producer does when a shard queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Park the producer until the shard worker drains room. Lossless;
+    /// a saturated shard slows the firehose down to its pace.
+    #[default]
+    Block,
+    /// Drop the newest tuples that do not fit, counting them
+    /// ([`QueueStats::dropped`]). The producer never blocks.
+    DropNewest,
+}
+
+/// Construction-time knobs of the ingestion pipeline
+/// (`Runtime::with_config`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Per-shard queue capacity, in tuples. The bound is soft under
+    /// [`BackpressurePolicy::Block`]: a batch is admitted whole once any
+    /// room exists.
+    pub queue_capacity: usize,
+    /// What [`IngestHandle`] producers do when a shard queue is full.
+    /// The synchronous `push_batch` path always blocks (it promises
+    /// every match back), whatever this says.
+    pub policy: BackpressurePolicy,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_capacity: 1 << 16,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Why an ingest operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The runtime was dropped or shut down; its shard workers are gone.
+    RuntimeClosed,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::RuntimeClosed => write!(f, "the runtime has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What one `push_batch` on an [`IngestHandle`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The global positions stamped onto the batch, in order.
+    pub positions: Range<u64>,
+    /// Tuples dropped across shard queues
+    /// ([`BackpressurePolicy::DropNewest`] only). A tuple routed to
+    /// several shards counts once per queue that shed it.
+    pub dropped: u64,
+}
+
+/// Routing metadata for one registered query, kept so tables can be
+/// rebuilt when a query is deregistered.
+pub(crate) struct QueryMeta {
+    pub alive: bool,
+    pub partition: Partition,
+    pub listens: Option<Vec<RelationId>>,
+    /// Shards hosting the query (one for `ByQuery`, all for `ByKey`).
+    pub homes: Vec<usize>,
+}
+
+/// The relation → shard routing tables, derivable from the live
+/// [`QueryMeta`]s at any time.
+#[derive(Default)]
+pub(crate) struct Router {
+    pub metas: Vec<QueryMeta>,
+    /// Shards hosting a pinned query that listens to this relation.
+    fixed_routes: FxHashMap<RelationId, Vec<usize>>,
+    /// Partition-attribute positions of key-partitioned queries
+    /// listening to this relation.
+    key_routes: FxHashMap<RelationId, Vec<usize>>,
+    /// Shards hosting pinned queries with unconfined predicates.
+    wildcard_fixed: Vec<usize>,
+    /// Partition positions of key-partitioned unconfined queries.
+    wildcard_keys: Vec<usize>,
+}
+
+impl Router {
+    /// Recompute every table from the live query metadata.
+    pub fn rebuild(&mut self) {
+        self.fixed_routes.clear();
+        self.key_routes.clear();
+        self.wildcard_fixed.clear();
+        self.wildcard_keys.clear();
+        for meta in self.metas.iter().filter(|m| m.alive) {
+            match meta.partition {
+                Partition::ByQuery => {
+                    let shard = meta.homes[0];
+                    match &meta.listens {
+                        Some(rels) => {
+                            for &rel in rels {
+                                let route = self.fixed_routes.entry(rel).or_default();
+                                if !route.contains(&shard) {
+                                    route.push(shard);
+                                }
+                            }
+                        }
+                        None => {
+                            if !self.wildcard_fixed.contains(&shard) {
+                                self.wildcard_fixed.push(shard);
+                            }
+                        }
+                    }
+                }
+                Partition::ByKey { pos } => match &meta.listens {
+                    Some(rels) => {
+                        for &rel in rels {
+                            let route = self.key_routes.entry(rel).or_default();
+                            if !route.contains(&pos) {
+                                route.push(pos);
+                            }
+                        }
+                    }
+                    None => {
+                        if !self.wildcard_keys.contains(&pos) {
+                            self.wildcard_keys.push(pos);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Bitmask of shards the tuple must reach.
+    fn shard_mask(&self, hasher: &FxBuildHasher, t: &Tuple, n_shards: usize) -> u64 {
+        let rel = t.relation();
+        let mut mask: u64 = 0;
+        if let Some(route) = self.fixed_routes.get(&rel) {
+            for &s in route {
+                mask |= 1 << s;
+            }
+        }
+        for &s in &self.wildcard_fixed {
+            mask |= 1 << s;
+        }
+        for &pos in self
+            .key_routes
+            .get(&rel)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .chain(&self.wildcard_keys)
+        {
+            mask |= 1 << key_shard(hasher, t, pos, n_shards);
+        }
+        mask
+    }
+}
+
+/// The sequencer's mutable state: one lock serializes position stamping
+/// and per-shard staging, which is exactly what keeps shard inputs in
+/// increasing position order (see the module docs).
+pub(crate) struct SeqState {
+    pub next_pos: u64,
+    pub router: Router,
+    /// Per-shard staging buffers, reused across batches.
+    staging: Vec<Vec<(u64, Tuple)>>,
+}
+
+/// Everything the producers, the control plane and the shard workers
+/// share. `Runtime` owns one behind an [`Arc`]; [`IngestHandle`]s clone
+/// the `Arc`.
+pub(crate) struct IngestShared {
+    pub seq: Mutex<SeqState>,
+    pub queues: Vec<Arc<ShardQueue>>,
+    pub subs: SubscriptionRegistry,
+    pub config: IngestConfig,
+    pub hasher: FxBuildHasher,
+}
+
+impl IngestShared {
+    pub fn new(n_shards: usize, config: IngestConfig) -> Self {
+        IngestShared {
+            seq: Mutex::new(SeqState {
+                next_pos: 0,
+                router: Router::default(),
+                staging: vec![Vec::new(); n_shards],
+            }),
+            queues: (0..n_shards)
+                .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+                .collect(),
+            subs: SubscriptionRegistry::default(),
+            config,
+            hasher: FxBuildHasher::default(),
+        }
+    }
+
+    /// Stamp, route and enqueue a batch under `policy`. Returns the
+    /// stamped position range and the dropped-tuple count.
+    pub fn ingest(
+        &self,
+        batch: &[Tuple],
+        policy: BackpressurePolicy,
+    ) -> Result<IngestReceipt, IngestError> {
+        let n_shards = self.queues.len();
+        let mut seq = self.seq.lock().expect("sequencer poisoned");
+        let start = seq.next_pos;
+        for t in batch {
+            let i = seq.next_pos;
+            seq.next_pos += 1;
+            let mut mask = seq.router.shard_mask(&self.hasher, t, n_shards);
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                seq.staging[s].push((i, t.clone()));
+            }
+        }
+        let end = seq.next_pos;
+        let mut dropped = 0u64;
+        for s in 0..n_shards {
+            if seq.staging[s].is_empty() {
+                continue;
+            }
+            let tuples = std::mem::take(&mut seq.staging[s]);
+            // Still under the sequencer lock: staging order == queue
+            // order, so per-shard positions stay strictly increasing.
+            dropped += self.queues[s]
+                .push_tuples(tuples, policy)
+                .map_err(|Closed| IngestError::RuntimeClosed)?;
+        }
+        Ok(IngestReceipt {
+            positions: start..end,
+            dropped,
+        })
+    }
+
+    /// FIFO fence across all shards: returns once every message
+    /// enqueued before the call — tuples, registrations — has been fully
+    /// processed and its match events published.
+    pub fn barrier(&self) -> Result<(), IngestError> {
+        let (reply, done) = std::sync::mpsc::channel();
+        {
+            // Take the sequencer lock so the fence orders after any
+            // in-flight producer's staging.
+            let _seq = self.seq.lock().expect("sequencer poisoned");
+            for q in &self.queues {
+                q.push_control(ShardMsg::Barrier {
+                    reply: reply.clone(),
+                })
+                .map_err(|Closed| IngestError::RuntimeClosed)?;
+            }
+        }
+        drop(reply);
+        for _ in 0..self.queues.len() {
+            done.recv().map_err(|_| IngestError::RuntimeClosed)?;
+        }
+        Ok(())
+    }
+
+    /// Close every shard queue; workers drain what is queued and exit.
+    pub fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+}
+
+/// A cloneable producer handle onto the runtime's ingestion pipeline.
+///
+/// Any number of threads may hold clones and feed the stream
+/// concurrently; the sequencer serializes them to stamp global
+/// positions. The handle outlives the runtime safely: once the runtime
+/// shuts down, pushes return [`IngestError::RuntimeClosed`].
+#[derive(Clone)]
+pub struct IngestHandle {
+    pub(crate) shared: Arc<IngestShared>,
+}
+
+impl IngestHandle {
+    /// Push one tuple; returns its stamped global position.
+    pub fn push(&self, t: &Tuple) -> Result<u64, IngestError> {
+        let receipt = self.push_batch(std::slice::from_ref(t))?;
+        Ok(receipt.positions.start)
+    }
+
+    /// Push a batch in stream order under the runtime's configured
+    /// [`BackpressurePolicy`].
+    pub fn push_batch(&self, batch: &[Tuple]) -> Result<IngestReceipt, IngestError> {
+        self.shared.ingest(batch, self.shared.config.policy)
+    }
+
+    /// Occupancy counters of every shard queue, including tuples
+    /// dropped by [`BackpressurePolicy::DropNewest`].
+    pub fn queue_stats(&self) -> Vec<QueueStats> {
+        self.shared.queues.iter().map(|q| q.stats()).collect()
+    }
+
+    /// Total tuples dropped across all shard queues so far.
+    pub fn total_dropped(&self) -> u64 {
+        self.shared.queues.iter().map(|q| q.stats().dropped).sum()
+    }
+}
+
+/// Shard a tuple belongs to under key partitioning on position `pos`:
+/// the hash of its partition value, or a deterministic home shard (0)
+/// when the tuple lacks that attribute. Sequencer and workers must agree
+/// on this function. Attribute-less tuples cannot join under a
+/// partition-sound automaton (their key extraction is undefined), so a
+/// fixed home shard preserves outputs — their matches are self-contained.
+pub(crate) fn key_shard(hasher: &FxBuildHasher, t: &Tuple, pos: usize, n_shards: usize) -> usize {
+    match t.values().get(pos) {
+        Some(v) => (hasher.hash_one(v) % n_shards as u64) as usize,
+        None => 0,
+    }
+}

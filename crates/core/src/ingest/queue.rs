@@ -1,0 +1,264 @@
+//! Bounded per-shard ingest queues.
+//!
+//! Each shard worker owns one [`ShardQueue`]: a mutex-and-condvar MPSC
+//! queue that carries position-stamped tuple batches *and* control
+//! messages (register, deregister, stats, barriers). Capacity is
+//! accounted in **tuples**, not messages, and only tuple batches count —
+//! control traffic always gets through, so a saturated firehose can
+//! never wedge registration or shutdown.
+//!
+//! Two backpressure behaviours are supported per push
+//! ([`BackpressurePolicy`]): `Block` parks the producer until the worker
+//! has drained some room (the bound is soft — a batch is admitted whole
+//! once *any* room exists, so occupancy can overshoot by one batch), and
+//! `DropNewest` truncates the incoming batch to the remaining room,
+//! counting every dropped tuple.
+
+use super::BackpressurePolicy;
+use crate::evaluator::EngineStats;
+use crate::runtime::{Partition, QueryId};
+use crate::window::WindowPolicy;
+use cer_automata::pcea::Pcea;
+use cer_common::{RelationId, Tuple};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+/// The queue was closed (its runtime has shut down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Closed;
+
+/// What travels to a shard worker. Tuple batches compete for queue
+/// capacity; everything else is control traffic and always admitted.
+pub(crate) enum ShardMsg {
+    /// Position-stamped tuples in increasing position order.
+    Tuples(Vec<(u64, Tuple)>),
+    /// Host a new query on this shard.
+    Register {
+        id: QueryId,
+        pcea: Pcea,
+        window: WindowPolicy,
+        partition: Partition,
+        gc_every: u64,
+        listens: Option<Vec<RelationId>>,
+    },
+    /// Drop a hosted query; replies with its final engine counters
+    /// (`None` if this shard never hosted it).
+    Deregister {
+        id: QueryId,
+        reply: Sender<Option<EngineStats>>,
+    },
+    /// Report per-query engine counters.
+    Stats {
+        reply: Sender<Vec<(QueryId, EngineStats)>>,
+    },
+    /// FIFO fence: the worker replies once every earlier message on this
+    /// queue has been fully processed (tuples evaluated, match events
+    /// published).
+    Barrier { reply: Sender<()> },
+}
+
+/// Occupancy counters of one shard queue, readable at any time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Tuples currently queued (stamped but not yet picked up by the
+    /// shard worker).
+    pub depth: usize,
+    /// Maximum `depth` ever observed.
+    pub high_water: usize,
+    /// Tuples dropped by [`BackpressurePolicy::DropNewest`].
+    pub dropped: u64,
+}
+
+struct Inner {
+    msgs: VecDeque<ShardMsg>,
+    depth: usize,
+    high_water: usize,
+    dropped: u64,
+    closed: bool,
+}
+
+/// A bounded MPSC queue feeding one shard worker. Producers are the
+/// sequencer (under its lock) and the runtime's control plane; the
+/// single consumer is the shard worker.
+pub(crate) struct ShardQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    pub fn new(capacity: usize) -> Self {
+        ShardQueue {
+            inner: Mutex::new(Inner {
+                msgs: VecDeque::new(),
+                depth: 0,
+                high_water: 0,
+                dropped: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a stamped tuple batch under `policy`. Returns how many
+    /// tuples were dropped (`DropNewest` only; `Block` never drops).
+    pub fn push_tuples(
+        &self,
+        mut tuples: Vec<(u64, Tuple)>,
+        policy: BackpressurePolicy,
+    ) -> Result<u64, Closed> {
+        if tuples.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        if inner.closed {
+            return Err(Closed);
+        }
+        let dropped = match policy {
+            BackpressurePolicy::Block => {
+                while inner.depth >= self.capacity && !inner.closed {
+                    inner = self.not_full.wait(inner).expect("ingest queue poisoned");
+                }
+                if inner.closed {
+                    return Err(Closed);
+                }
+                0
+            }
+            BackpressurePolicy::DropNewest => {
+                let room = self.capacity.saturating_sub(inner.depth);
+                let dropped = tuples.len().saturating_sub(room) as u64;
+                tuples.truncate(room);
+                inner.dropped += dropped;
+                dropped
+            }
+        };
+        if !tuples.is_empty() {
+            inner.depth += tuples.len();
+            inner.high_water = inner.high_water.max(inner.depth);
+            inner.msgs.push_back(ShardMsg::Tuples(tuples));
+            self.not_empty.notify_one();
+        }
+        Ok(dropped)
+    }
+
+    /// Enqueue a control message; bypasses the capacity bound and is
+    /// never dropped.
+    pub fn push_control(&self, msg: ShardMsg) -> Result<(), Closed> {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        if inner.closed {
+            return Err(Closed);
+        }
+        inner.msgs.push_back(msg);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop for the shard worker. Returns `None` once the queue
+    /// is closed *and* fully drained, so no queued work is ever lost.
+    pub fn pop(&self) -> Option<ShardMsg> {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        loop {
+            if let Some(msg) = inner.msgs.pop_front() {
+                if let ShardMsg::Tuples(ts) = &msg {
+                    inner.depth -= ts.len();
+                    self.not_full.notify_all();
+                }
+                return Some(msg);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("ingest queue poisoned");
+        }
+    }
+
+    /// Close the queue: producers fail fast, the worker drains what is
+    /// left and exits.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current occupancy counters.
+    pub fn stats(&self) -> QueueStats {
+        let inner = self.inner.lock().expect("ingest queue poisoned");
+        QueueStats {
+            depth: inner.depth,
+            high_water: inner.high_water,
+            dropped: inner.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_common::tuple::tup;
+    use cer_common::Schema;
+
+    fn stamped(r: cer_common::RelationId, n: usize) -> Vec<(u64, Tuple)> {
+        (0..n).map(|i| (i as u64, tup(r, [i as i64]))).collect()
+    }
+
+    #[test]
+    fn drop_newest_truncates_and_counts() {
+        let (_, r, _, _) = Schema::sigma0();
+        let q = ShardQueue::new(3);
+        let dropped = q
+            .push_tuples(stamped(r, 5), BackpressurePolicy::DropNewest)
+            .unwrap();
+        assert_eq!(dropped, 2);
+        let st = q.stats();
+        assert_eq!((st.depth, st.high_water, st.dropped), (3, 3, 2));
+        // Full: everything new is dropped, control still gets through.
+        let dropped = q
+            .push_tuples(stamped(r, 2), BackpressurePolicy::DropNewest)
+            .unwrap();
+        assert_eq!(dropped, 2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        q.push_control(ShardMsg::Barrier { reply: tx }).unwrap();
+        match q.pop().unwrap() {
+            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 3),
+            _ => panic!("tuples first"),
+        }
+        match q.pop().unwrap() {
+            ShardMsg::Barrier { reply } => reply.send(()).unwrap(),
+            _ => panic!("barrier second"),
+        }
+        rx.recv().unwrap();
+        assert_eq!(q.stats().depth, 0);
+    }
+
+    #[test]
+    fn block_waits_for_room_and_close_drains() {
+        let (_, r, _, _) = Schema::sigma0();
+        let q = std::sync::Arc::new(ShardQueue::new(2));
+        q.push_tuples(stamped(r, 2), BackpressurePolicy::Block)
+            .unwrap();
+        let producer = {
+            let q = q.clone();
+            let batch = stamped(r, 2);
+            std::thread::spawn(move || q.push_tuples(batch, BackpressurePolicy::Block))
+        };
+        // The producer is parked until the consumer drains.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!producer.is_finished());
+        assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
+        assert_eq!(producer.join().unwrap(), Ok(0));
+        q.close();
+        // The queued batch survives the close; then the queue reports
+        // exhaustion and producers fail fast.
+        assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
+        assert!(q.pop().is_none());
+        assert_eq!(
+            q.push_tuples(stamped(r, 1), BackpressurePolicy::Block),
+            Err(Closed)
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! The subscription registry: per-consumer bounded match-event channels.
+//!
+//! Shard workers publish every [`MatchEvent`] they complete to the
+//! registry; each subscriber owns its *own* bounded queue with its own
+//! [`BackpressurePolicy`], so a slow or stalled consumer lags or drops
+//! on its private channel without ever stalling ingestion (use
+//! [`BackpressurePolicy::DropNewest`] for that guarantee — a `Block`
+//! subscriber that never drains *will* eventually park the shard
+//! workers, which is the explicit opt-in "lossless but stalling"
+//! trade-off).
+//!
+//! Subscriptions filter per query ([`SubscriptionFilter::Query`]) or
+//! receive everything ([`SubscriptionFilter::All`]). Dropping a
+//! [`Subscription`] closes its queue; publishers skip closed queues and
+//! the registry prunes them on the next subscribe.
+
+use super::BackpressurePolicy;
+use crate::runtime::{MatchEvent, QueryId};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Which match events a subscription receives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubscriptionFilter {
+    /// Every query's events.
+    All,
+    /// Only one query's events.
+    Query(QueryId),
+}
+
+impl SubscriptionFilter {
+    fn accepts(&self, q: QueryId) -> bool {
+        match self {
+            SubscriptionFilter::All => true,
+            SubscriptionFilter::Query(id) => *id == q,
+        }
+    }
+}
+
+struct SubInner {
+    events: VecDeque<MatchEvent>,
+    dropped: u64,
+    closed: bool,
+}
+
+struct SubQueue {
+    inner: Mutex<SubInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    filter: SubscriptionFilter,
+}
+
+impl SubQueue {
+    /// Publisher side: offer one event, honouring the subscriber's
+    /// capacity and policy.
+    fn offer(&self, event: &MatchEvent) {
+        let mut inner = self.inner.lock().expect("subscription queue poisoned");
+        if inner.closed {
+            return;
+        }
+        match self.policy {
+            BackpressurePolicy::Block => {
+                while inner.events.len() >= self.capacity && !inner.closed {
+                    inner = self
+                        .not_full
+                        .wait(inner)
+                        .expect("subscription queue poisoned");
+                }
+                if inner.closed {
+                    return;
+                }
+            }
+            BackpressurePolicy::DropNewest => {
+                if inner.events.len() >= self.capacity {
+                    inner.dropped += 1;
+                    return;
+                }
+            }
+        }
+        inner.events.push_back(event.clone());
+        self.not_empty.notify_one();
+    }
+}
+
+/// The shared registry of live subscriptions. Publishing takes a read
+/// lock, so shard workers publish concurrently; subscribing takes the
+/// write lock and prunes queues whose `Subscription` was dropped.
+#[derive(Default)]
+pub(crate) struct SubscriptionRegistry {
+    subs: RwLock<Vec<Arc<SubQueue>>>,
+}
+
+impl SubscriptionRegistry {
+    /// Open a subscription with the given filter, capacity (in events)
+    /// and backpressure policy.
+    pub fn subscribe(
+        &self,
+        filter: SubscriptionFilter,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Subscription {
+        let queue = Arc::new(SubQueue {
+            inner: Mutex::new(SubInner {
+                events: VecDeque::new(),
+                dropped: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+            filter,
+        });
+        let mut subs = self.subs.write().expect("subscription registry poisoned");
+        subs.retain(|s| !s.inner.lock().expect("subscription queue poisoned").closed);
+        subs.push(queue.clone());
+        Subscription { queue }
+    }
+
+    /// Publish one completed match to every live matching subscriber.
+    pub fn publish(&self, event: &MatchEvent) {
+        let subs = self.subs.read().expect("subscription registry poisoned");
+        for sub in subs.iter() {
+            if sub.filter.accepts(event.query) {
+                sub.offer(event);
+            }
+        }
+    }
+
+    /// Whether any live subscriber would accept events for `q` — lets
+    /// shard workers skip valuation cloning entirely on quiet queries.
+    pub fn has_subscriber_for(&self, q: QueryId) -> bool {
+        let subs = self.subs.read().expect("subscription registry poisoned");
+        subs.iter().any(|s| {
+            s.filter.accepts(q) && !s.inner.lock().expect("subscription queue poisoned").closed
+        })
+    }
+}
+
+/// The consumer end of one match-event channel. Created by
+/// `Runtime::subscribe`; dropping it closes the channel and publishers
+/// stop delivering to it.
+pub struct Subscription {
+    queue: Arc<SubQueue>,
+}
+
+impl Subscription {
+    /// Take one event if one is queued.
+    pub fn try_recv(&self) -> Option<MatchEvent> {
+        let mut inner = self
+            .queue
+            .inner
+            .lock()
+            .expect("subscription queue poisoned");
+        let ev = inner.events.pop_front();
+        if ev.is_some() {
+            self.queue.not_full.notify_all();
+        }
+        ev
+    }
+
+    /// Wait up to `timeout` for one event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<MatchEvent> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self
+            .queue
+            .inner
+            .lock()
+            .expect("subscription queue poisoned");
+        loop {
+            if let Some(ev) = inner.events.pop_front() {
+                self.queue.not_full.notify_all();
+                return Some(ev);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .queue
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("subscription queue poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Take everything currently queued, without waiting.
+    pub fn drain(&self) -> Vec<MatchEvent> {
+        let mut inner = self
+            .queue
+            .inner
+            .lock()
+            .expect("subscription queue poisoned");
+        let out: Vec<MatchEvent> = inner.events.drain(..).collect();
+        if !out.is_empty() {
+            self.queue.not_full.notify_all();
+        }
+        out
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.queue
+            .inner
+            .lock()
+            .expect("subscription queue poisoned")
+            .events
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped on this channel by
+    /// [`BackpressurePolicy::DropNewest`].
+    pub fn dropped(&self) -> u64 {
+        self.queue
+            .inner
+            .lock()
+            .expect("subscription queue poisoned")
+            .dropped
+    }
+
+    /// The subscription's filter.
+    pub fn filter(&self) -> SubscriptionFilter {
+        self.queue.filter
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        let mut inner = self
+            .queue
+            .inner
+            .lock()
+            .expect("subscription queue poisoned");
+        inner.closed = true;
+        // Wake a publisher parked on a full queue so it observes the
+        // close instead of waiting forever.
+        self.queue.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cer_automata::valuation::Valuation;
+
+    fn ev(q: u32, pos: u64) -> MatchEvent {
+        MatchEvent {
+            position: pos,
+            query: QueryId(q),
+            valuation: Valuation::default(),
+        }
+    }
+
+    #[test]
+    fn filters_and_drop_counting() {
+        let reg = SubscriptionRegistry::default();
+        let all = reg.subscribe(SubscriptionFilter::All, 2, BackpressurePolicy::DropNewest);
+        let only1 = reg.subscribe(
+            SubscriptionFilter::Query(QueryId(1)),
+            8,
+            BackpressurePolicy::DropNewest,
+        );
+        for pos in 0..4 {
+            reg.publish(&ev((pos % 2) as u32, pos));
+        }
+        // `all` capped at 2, dropped the rest; `only1` saw only query 1.
+        assert_eq!(all.len(), 2);
+        assert_eq!(all.dropped(), 2);
+        let got = only1.drain();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|e| e.query == QueryId(1)));
+        assert_eq!(only1.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_subscription_stops_receiving_and_is_pruned() {
+        let reg = SubscriptionRegistry::default();
+        let sub = reg.subscribe(SubscriptionFilter::All, 1, BackpressurePolicy::Block);
+        assert!(reg.has_subscriber_for(QueryId(0)));
+        drop(sub);
+        assert!(!reg.has_subscriber_for(QueryId(0)));
+        // Publishing to a closed full queue must not block.
+        reg.publish(&ev(0, 0));
+        let again = reg.subscribe(SubscriptionFilter::All, 1, BackpressurePolicy::Block);
+        assert_eq!(reg.subs.read().unwrap().len(), 1, "closed queue pruned");
+        drop(again);
+    }
+
+    #[test]
+    fn blocked_publisher_wakes_on_consume_and_close() {
+        let reg = Arc::new(SubscriptionRegistry::default());
+        let sub = reg.subscribe(SubscriptionFilter::All, 1, BackpressurePolicy::Block);
+        reg.publish(&ev(0, 0));
+        let publisher = {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                reg.publish(&ev(0, 1));
+                reg.publish(&ev(0, 2));
+            })
+        };
+        // Drain one slot at a time; the publisher advances each time.
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(5)).unwrap().position,
+            0
+        );
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(5)).unwrap().position,
+            1
+        );
+        // Close while the publisher may be parked on the last event.
+        drop(sub);
+        publisher.join().unwrap();
+    }
+}

@@ -23,18 +23,28 @@
 //!   `cer-baselines` evaluators;
 //! * [`runtime`] — the sharded multi-query [`Runtime`]: a registry of
 //!   compiled queries, relation-based routing, key-partitioned sharding
-//!   across worker threads, and a batch push API.
+//!   across worker threads, and a batch push API;
+//! * [`ingest`] — the asynchronous ingestion pipeline underneath the
+//!   runtime: a position-stamping sequencer, bounded per-shard queues
+//!   with backpressure ([`IngestHandle`] producers), and a subscription
+//!   registry delivering [`MatchEvent`]s over per-consumer bounded
+//!   channels.
 
 pub mod api;
 pub mod ds;
 pub mod enumerate;
 pub mod evaluator;
 mod fire;
+pub mod ingest;
 pub mod runtime;
 pub mod window;
 
 pub use api::Evaluator;
 pub use ds::{EnumStructure, NodeId, BOTTOM};
 pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};
+pub use ingest::{
+    BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,
+    Subscription, SubscriptionFilter,
+};
 pub use runtime::{MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats};
 pub use window::{WindowClock, WindowPolicy};

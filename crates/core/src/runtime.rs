@@ -7,7 +7,8 @@
 //!
 //! * **registry** — queries compiled from any front-end (the HCQ
 //!   compiler, the pattern language, or hand-built PCEA) are registered
-//!   as [`QuerySpec`]s and identified by [`QueryId`];
+//!   as [`QuerySpec`]s and identified by [`QueryId`]; a query can be
+//!   removed again with [`Runtime::deregister`];
 //! * **routing** — each stream tuple is routed only to the queries
 //!   whose automaton can react to its relation
 //!   ([`Pcea::relations`]); queries with unconfined predicates see
@@ -20,9 +21,14 @@
 //!   exactly when every join projects the partition attribute on both
 //!   sides, which [`Runtime::register`] validates via
 //!   [`Pcea::supports_key_partition`];
-//! * **batching** — [`Runtime::push_batch`] ships whole batches to the
-//!   shards and collects the completed matches, amortizing channel
-//!   traffic.
+//! * **ingestion** — shard workers drain bounded per-shard queues fed
+//!   by a position-stamping sequencer ([`crate::ingest`]). The
+//!   synchronous [`Runtime::push_batch`] stays: it ingests, fences with
+//!   [`Runtime::drain`], and collects the batch's matches. Producers
+//!   that want the hot path decoupled from delivery clone an
+//!   [`IngestHandle`] and consumers take a [`Subscription`] — see the
+//!   [`ingest`](crate::ingest) module docs for the pipeline and its
+//!   position-sequencing soundness argument.
 //!
 //! Outputs are *identical* to running one [`StreamingEvaluator`] per
 //! query over the full stream: shard evaluators are fed global stream
@@ -58,14 +64,18 @@
 //! ```
 
 use crate::evaluator::{EngineStats, StreamingEvaluator};
+use crate::ingest::{
+    key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, QueryMeta, QueueStats,
+    ShardMsg, Subscription, SubscriptionFilter,
+};
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
 use cer_automata::valuation::Valuation;
 use cer_common::hash::{FxBuildHasher, FxHashMap};
 use cer_common::{RelationId, Tuple};
 use std::fmt;
-use std::hash::BuildHasher;
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Identifier of a query registered in a [`Runtime`], dense from 0 in
@@ -144,7 +154,7 @@ pub struct MatchEvent {
     pub valuation: Valuation,
 }
 
-/// Why a registration was rejected.
+/// Why a registration or deregistration was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RuntimeError {
     /// [`Partition::ByKey`] was requested but some join of the automaton
@@ -156,6 +166,12 @@ pub enum RuntimeError {
         /// The requested partition attribute.
         pos: usize,
     },
+    /// The query id is not currently registered (never was, or already
+    /// deregistered).
+    UnknownQuery {
+        /// The offending id.
+        id: QueryId,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -166,17 +182,25 @@ impl fmt::Display for RuntimeError {
                 "query `{query}`: key partitioning on tuple position {pos} is unsound — \
                  every join must project that attribute on both sides"
             ),
+            RuntimeError::UnknownQuery { id } => {
+                write!(f, "query {id:?} is not registered")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
 
-/// Per-query counters aggregated across shards.
+/// Runtime counters: per-query engine stats aggregated across shards,
+/// plus the occupancy of every shard's ingest queue.
 #[derive(Clone, Debug, Default)]
 pub struct RuntimeStats {
     /// `(query, per-shard engine counters summed)` in id order.
     pub per_query: Vec<(QueryId, EngineStats)>,
+    /// Per-shard ingest queue occupancy: current depth, high-water
+    /// mark, and tuples dropped under
+    /// [`BackpressurePolicy::DropNewest`](crate::ingest::BackpressurePolicy::DropNewest).
+    pub shard_queues: Vec<QueueStats>,
 }
 
 /// What a shard worker hosts for one registered query.
@@ -184,107 +208,74 @@ struct LocalQuery {
     id: QueryId,
     eval: StreamingEvaluator,
     partition: Partition,
+    listens: Option<Vec<RelationId>>,
 }
 
-/// Messages from the runtime to a shard worker.
-enum Job {
-    Register {
-        id: QueryId,
-        pcea: Pcea,
-        window: WindowPolicy,
-        partition: Partition,
-        gc_every: u64,
-        listens: Option<Vec<RelationId>>,
-    },
-    Batch {
-        tuples: Vec<(u64, Tuple)>,
-        reply: Sender<Vec<MatchEvent>>,
-    },
-    Stats {
-        reply: Sender<Vec<(QueryId, EngineStats)>>,
-    },
-}
-
-struct Shard {
-    tx: Option<Sender<Job>>,
-    handle: Option<JoinHandle<()>>,
-}
-
-/// Registry metadata the router keeps per query.
+/// Registry metadata the runtime keeps per query.
 struct QueryInfo {
     name: String,
+    alive: bool,
 }
 
 /// The multi-query, sharded streaming runtime. See the [module
-/// docs](self) for the architecture.
+/// docs](self) for the architecture and [`crate::ingest`] for the
+/// asynchronous pipeline underneath.
 pub struct Runtime {
-    shards: Vec<Shard>,
+    shared: Arc<IngestShared>,
+    workers: Vec<Option<JoinHandle<()>>>,
     queries: Vec<QueryInfo>,
-    /// Shards hosting a pinned query that listens to this relation.
-    fixed_routes: FxHashMap<RelationId, Vec<usize>>,
-    /// Partition-attribute positions of key-partitioned queries
-    /// listening to this relation.
-    key_routes: FxHashMap<RelationId, Vec<usize>>,
-    /// Shards hosting pinned queries with unconfined predicates.
-    wildcard_fixed: Vec<usize>,
-    /// Partition positions of key-partitioned unconfined queries.
-    wildcard_keys: Vec<usize>,
     /// Round-robin cursor for pinned queries.
     next_shard: usize,
-    next_pos: u64,
-    /// Per-shard staging buffers; each batch hands its contents off to
-    /// the shard workers (the allocations travel with the job).
-    staging: Vec<Vec<(u64, Tuple)>>,
-    hasher: FxBuildHasher,
 }
 
 impl Runtime {
-    /// A runtime with `shards` worker threads (clamped to `1..=64`).
+    /// A runtime with `shards` worker threads (clamped to `1..=64`) and
+    /// the default [`IngestConfig`].
     pub fn new(shards: usize) -> Self {
+        Self::with_config(shards, IngestConfig::default())
+    }
+
+    /// A runtime with explicit ingestion knobs (queue capacity and
+    /// backpressure policy).
+    pub fn with_config(shards: usize, config: IngestConfig) -> Self {
         let n = shards.clamp(1, 64);
-        let shards = (0..n)
+        let shared = Arc::new(IngestShared::new(n, config));
+        let workers = (0..n)
             .map(|idx| {
-                let (tx, rx) = channel::<Job>();
-                let handle = std::thread::Builder::new()
-                    .name(format!("cer-shard-{idx}"))
-                    .spawn(move || shard_loop(rx, idx, n))
-                    .expect("spawn shard worker");
-                Shard {
-                    tx: Some(tx),
-                    handle: Some(handle),
-                }
+                let shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("cer-shard-{idx}"))
+                        .spawn(move || shard_loop(shared, idx))
+                        .expect("spawn shard worker"),
+                )
             })
             .collect();
         Runtime {
-            shards,
+            shared,
+            workers,
             queries: Vec::new(),
-            fixed_routes: FxHashMap::default(),
-            key_routes: FxHashMap::default(),
-            wildcard_fixed: Vec::new(),
-            wildcard_keys: Vec::new(),
             next_shard: 0,
-            next_pos: 0,
-            staging: vec![Vec::new(); n],
-            hasher: FxBuildHasher::default(),
         }
     }
 
     /// Number of worker shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shared.queues.len()
     }
 
-    /// Number of registered queries.
+    /// Number of currently registered (not deregistered) queries.
     pub fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.queries.iter().filter(|q| q.alive).count()
     }
 
     /// The global position the next pushed tuple will occupy.
     pub fn next_position(&self) -> u64 {
-        self.next_pos
+        self.shared.seq.lock().expect("sequencer poisoned").next_pos
     }
 
-    /// The name a query was registered under.
+    /// The name a query was registered under (also for deregistered
+    /// ids).
     pub fn query_name(&self, id: QueryId) -> &str {
         &self.queries[id.0 as usize].name
     }
@@ -302,61 +293,87 @@ impl Runtime {
         }
         let id = QueryId(self.queries.len() as u32);
         let listens = spec.pcea.relations();
-        let targets: Vec<usize> = match spec.partition {
+        let homes: Vec<usize> = match spec.partition {
             Partition::ByQuery => {
                 let shard = self.next_shard;
-                self.next_shard = (self.next_shard + 1) % self.shards.len();
-                match &listens {
-                    Some(rels) => {
-                        for &rel in rels {
-                            let route = self.fixed_routes.entry(rel).or_default();
-                            if !route.contains(&shard) {
-                                route.push(shard);
-                            }
-                        }
-                    }
-                    None => {
-                        if !self.wildcard_fixed.contains(&shard) {
-                            self.wildcard_fixed.push(shard);
-                        }
-                    }
-                }
+                self.next_shard = (self.next_shard + 1) % self.num_shards();
                 vec![shard]
             }
-            Partition::ByKey { pos } => {
-                match &listens {
-                    Some(rels) => {
-                        for &rel in rels {
-                            let route = self.key_routes.entry(rel).or_default();
-                            if !route.contains(&pos) {
-                                route.push(pos);
-                            }
-                        }
-                    }
-                    None => {
-                        if !self.wildcard_keys.contains(&pos) {
-                            self.wildcard_keys.push(pos);
-                        }
-                    }
-                }
-                (0..self.shards.len()).collect()
-            }
+            Partition::ByKey { .. } => (0..self.num_shards()).collect(),
         };
-        for &shard in &targets {
-            self.send(
-                shard,
-                Job::Register {
-                    id,
-                    pcea: spec.pcea.clone(),
-                    window: spec.window.clone(),
-                    partition: spec.partition,
-                    gc_every: spec.gc_every,
-                    listens: listens.clone(),
-                },
-            );
+        {
+            // Under the sequencer lock: tuples staged before this see
+            // the old tables, tuples after see the query — and the
+            // Register control messages land on each shard queue ahead
+            // of any tuple routed to the new query.
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            seq.router.metas.push(QueryMeta {
+                alive: true,
+                partition: spec.partition,
+                listens: listens.clone(),
+                homes: homes.clone(),
+            });
+            seq.router.rebuild();
+            for &shard in &homes {
+                self.shared.queues[shard]
+                    .push_control(ShardMsg::Register {
+                        id,
+                        pcea: spec.pcea.clone(),
+                        window: spec.window.clone(),
+                        partition: spec.partition,
+                        gc_every: spec.gc_every,
+                        listens: listens.clone(),
+                    })
+                    .expect("runtime not shut down");
+            }
         }
-        self.queries.push(QueryInfo { name: spec.name });
+        self.queries.push(QueryInfo {
+            name: spec.name,
+            alive: true,
+        });
         Ok(id)
+    }
+
+    /// Remove a query: tuples ingested from now on are no longer routed
+    /// to it, and its final engine counters (summed across shards) are
+    /// returned. Tuples already queued ahead of the call still count —
+    /// deregistration is FIFO-ordered with ingestion, like
+    /// registration. The id is retired, not reused.
+    pub fn deregister(&mut self, id: QueryId) -> Result<EngineStats, RuntimeError> {
+        let info = self
+            .queries
+            .get_mut(id.0 as usize)
+            .filter(|info| info.alive)
+            .ok_or(RuntimeError::UnknownQuery { id })?;
+        info.alive = false;
+        let (reply, replies) = channel();
+        let homes = {
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            let meta = &mut seq.router.metas[id.0 as usize];
+            meta.alive = false;
+            let homes = meta.homes.clone();
+            seq.router.rebuild();
+            for &shard in &homes {
+                self.shared.queues[shard]
+                    .push_control(ShardMsg::Deregister {
+                        id,
+                        reply: reply.clone(),
+                    })
+                    .expect("runtime not shut down");
+            }
+            homes
+        };
+        drop(reply);
+        let mut total = EngineStats::default();
+        for _ in 0..homes.len() {
+            let st = replies
+                .recv()
+                .expect("a runtime shard worker died during deregistration");
+            if let Some(st) = st {
+                sum_stats(&mut total, &st);
+            }
+        }
+        Ok(total)
     }
 
     /// Push one tuple; returns its completed matches across all queries.
@@ -367,82 +384,88 @@ impl Runtime {
     /// Push a batch of tuples in stream order; returns every match the
     /// batch completed, sorted by `(position, query, valuation)`.
     ///
-    /// Routing happens once per tuple; shard workers evaluate their
-    /// slice of the batch in parallel.
+    /// This is the synchronous convenience path over the asynchronous
+    /// pipeline: it ingests the batch (always blocking — the sync path
+    /// never drops), fences all shards, and collects the delivered
+    /// events. Matches from tuples concurrently ingested through an
+    /// [`IngestHandle`] are folded into the same return value.
     pub fn push_batch(&mut self, batch: &[Tuple]) -> Vec<MatchEvent> {
-        for t in batch {
-            let i = self.next_pos;
-            self.next_pos += 1;
-            let rel = t.relation();
-            let mut mask: u64 = 0;
-            if let Some(route) = self.fixed_routes.get(&rel) {
-                for &s in route {
-                    mask |= 1 << s;
-                }
-            }
-            for &s in &self.wildcard_fixed {
-                mask |= 1 << s;
-            }
-            for &pos in self
-                .key_routes
-                .get(&rel)
-                .map(Vec::as_slice)
-                .unwrap_or_default()
-                .iter()
-                .chain(&self.wildcard_keys)
-            {
-                mask |= 1 << key_shard(&self.hasher, t, pos, self.shards.len());
-            }
-            let mut m = mask;
-            while m != 0 {
-                let s = m.trailing_zeros() as usize;
-                m &= m - 1;
-                self.staging[s].push((i, t.clone()));
-            }
-        }
-        let (reply, results) = channel();
-        let mut outstanding = 0usize;
-        for s in 0..self.shards.len() {
-            if self.staging[s].is_empty() {
-                continue;
-            }
-            let tuples = std::mem::take(&mut self.staging[s]);
-            self.send(
-                s,
-                Job::Batch {
-                    tuples,
-                    reply: reply.clone(),
-                },
-            );
-            outstanding += 1;
-        }
-        drop(reply);
-        let mut out = Vec::new();
-        let mut received = 0usize;
-        for events in results {
-            out.extend(events);
-            received += 1;
-        }
-        assert!(
-            received == outstanding,
-            "a runtime shard worker died mid-batch ({received}/{outstanding} replies)"
+        // An unbounded collector subscription opened before ingestion
+        // sees every event the batch completes.
+        let sub = self.shared.subs.subscribe(
+            SubscriptionFilter::All,
+            usize::MAX,
+            BackpressurePolicy::Block,
         );
+        self.shared
+            .ingest(batch, BackpressurePolicy::Block)
+            .expect("runtime not shut down");
+        self.shared.barrier().expect("a runtime shard worker died");
+        let mut out = sub.drain();
         out.sort();
         out
     }
 
-    /// Aggregate engine counters per query, summed across shards.
+    /// A cloneable producer handle onto the asynchronous ingestion
+    /// pipeline. See [`crate::ingest`].
+    pub fn ingest_handle(&self) -> IngestHandle {
+        IngestHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Subscribe to match events with default channel knobs (capacity
+    /// 65 536, [`BackpressurePolicy::Block`]). Use
+    /// [`subscribe_with`](Self::subscribe_with) to pick the capacity and
+    /// what happens when the consumer lags.
+    pub fn subscribe(&self, filter: SubscriptionFilter) -> Subscription {
+        self.subscribe_with(filter, 1 << 16, BackpressurePolicy::Block)
+    }
+
+    /// Subscribe with an explicit channel capacity (in events) and
+    /// backpressure policy. `DropNewest` guarantees a stalled consumer
+    /// never stalls ingestion; `Block` is lossless but a consumer that
+    /// stops draining will eventually park the shard workers (and, once
+    /// the ingest queues fill, blocking producers).
+    pub fn subscribe_with(
+        &self,
+        filter: SubscriptionFilter,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Subscription {
+        self.shared.subs.subscribe(filter, capacity, policy)
+    }
+
+    /// Fence the pipeline: returns once every tuple ingested before the
+    /// call has been evaluated and its match events delivered to the
+    /// subscriber channels.
+    ///
+    /// With `Block` subscribers, make sure someone is draining them (or
+    /// their capacity covers the in-flight events) — a full blocking
+    /// channel parks the shard workers the fence is waiting on.
+    pub fn drain(&self) {
+        self.shared.barrier().expect("a runtime shard worker died");
+    }
+
+    /// Drain the pipeline, collect final statistics, and stop the shard
+    /// workers. Outstanding [`IngestHandle`]s observe
+    /// [`IngestError::RuntimeClosed`](crate::ingest::IngestError::RuntimeClosed)
+    /// afterwards.
+    pub fn shutdown(self) -> RuntimeStats {
+        self.drain();
+        // `Drop` then closes the queues and joins the workers.
+        self.stats()
+    }
+
+    /// Aggregate counters: per-query engine stats summed across shards,
+    /// plus per-shard ingest queue occupancy.
     pub fn stats(&self) -> RuntimeStats {
         let (reply, results) = channel();
-        let mut outstanding = 0usize;
-        for s in 0..self.shards.len() {
-            self.send(
-                s,
-                Job::Stats {
-                    reply: reply.clone(),
-                },
-            );
-            outstanding += 1;
+        for q in &self.shared.queues {
+            q.push_control(ShardMsg::Stats {
+                reply: reply.clone(),
+            })
+            .expect("runtime not shut down");
         }
         drop(reply);
         let mut agg: FxHashMap<QueryId, EngineStats> = FxHashMap::default();
@@ -450,84 +473,81 @@ impl Runtime {
         for per_shard in results {
             received += 1;
             for (id, st) in per_shard {
-                let e = agg.entry(id).or_default();
-                e.positions += st.positions;
-                e.arena_nodes += st.arena_nodes;
-                e.index_entries += st.index_entries;
-                e.extends += st.extends;
-                e.unions += st.unions;
-                e.collections += st.collections;
+                sum_stats(agg.entry(id).or_default(), &st);
             }
         }
         assert!(
-            received == outstanding,
-            "a runtime shard worker died before reporting stats ({received}/{outstanding} replies)"
+            received == self.shared.queues.len(),
+            "a runtime shard worker died before reporting stats ({received}/{} replies)",
+            self.shared.queues.len()
         );
         let mut per_query: Vec<(QueryId, EngineStats)> = agg.into_iter().collect();
         per_query.sort_by_key(|(id, _)| *id);
-        RuntimeStats { per_query }
-    }
-
-    fn send(&self, shard: usize, job: Job) {
-        self.shards[shard]
-            .tx
-            .as_ref()
-            .expect("runtime not shut down")
-            .send(job)
-            .expect("runtime shard worker terminated");
+        RuntimeStats {
+            per_query,
+            shard_queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
+        }
     }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        for shard in &mut self.shards {
-            drop(shard.tx.take());
-        }
-        for shard in &mut self.shards {
-            if let Some(handle) = shard.handle.take() {
+        self.shared.close();
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.take() {
                 let _ = handle.join();
             }
         }
     }
 }
 
+fn sum_stats(acc: &mut EngineStats, st: &EngineStats) {
+    acc.positions += st.positions;
+    acc.arena_nodes += st.arena_nodes;
+    acc.index_entries += st.index_entries;
+    acc.extends += st.extends;
+    acc.unions += st.unions;
+    acc.collections += st.collections;
+}
+
 /// One worker thread: hosts its queries' evaluators and a local routing
-/// table, processes batches in position order.
-fn shard_loop(rx: std::sync::mpsc::Receiver<Job>, shard_idx: usize, n_shards: usize) {
+/// table, drains its bounded ingest queue in FIFO order, and publishes
+/// completed matches to the subscription registry.
+fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
+    let n_shards = shared.queues.len();
+    let queue = shared.queues[shard_idx].clone();
     let hasher = FxBuildHasher::default();
     let mut queries: Vec<LocalQuery> = Vec::new();
     // Local routing: relation → indices into `queries`.
     let mut routes: FxHashMap<RelationId, Vec<usize>> = FxHashMap::default();
     let mut wildcards: Vec<usize> = Vec::new();
-    for job in rx {
-        match job {
-            Job::Register {
-                id,
-                pcea,
-                window,
-                partition,
-                gc_every,
-                listens,
-            } => {
-                let mut eval = StreamingEvaluator::with_window(pcea, window);
-                eval.set_gc_every(gc_every);
-                let k = queries.len();
-                match listens {
-                    Some(rels) => {
-                        for rel in rels {
-                            routes.entry(rel).or_default().push(k);
-                        }
+    let rebuild_local = |queries: &[LocalQuery],
+                         routes: &mut FxHashMap<RelationId, Vec<usize>>,
+                         wildcards: &mut Vec<usize>| {
+        routes.clear();
+        wildcards.clear();
+        for (k, q) in queries.iter().enumerate() {
+            match &q.listens {
+                Some(rels) => {
+                    for &rel in rels {
+                        routes.entry(rel).or_default().push(k);
                     }
-                    None => wildcards.push(k),
                 }
-                queries.push(LocalQuery {
-                    id,
-                    eval,
-                    partition,
-                });
+                None => wildcards.push(k),
             }
-            Job::Batch { tuples, reply } => {
-                let mut out = Vec::new();
+        }
+    };
+    while let Some(msg) = queue.pop() {
+        match msg {
+            ShardMsg::Tuples(tuples) => {
+                // Enumerating outputs only pays off if someone is
+                // listening for the query's events; gate once per batch
+                // rather than per tuple (subscriber churn mid-batch is
+                // already racy by construction).
+                let listening: Vec<bool> = queries
+                    .iter()
+                    .map(|q| shared.subs.has_subscriber_for(q.id))
+                    .collect();
                 for (i, t) in &tuples {
                     let listed = routes
                         .get(&t.relation())
@@ -544,34 +564,54 @@ fn shard_loop(rx: std::sync::mpsc::Receiver<Job>, shard_idx: usize, n_shards: us
                         }
                         q.eval.push_at(t, *i);
                         let id = q.id;
-                        q.eval.for_each_output(|v| {
-                            out.push(MatchEvent {
-                                position: *i,
-                                query: id,
-                                valuation: v.clone(),
+                        if listening[k] {
+                            q.eval.for_each_output(|v| {
+                                shared.subs.publish(&MatchEvent {
+                                    position: *i,
+                                    query: id,
+                                    valuation: v.clone(),
+                                });
                             });
-                        });
+                        }
                     }
                 }
-                let _ = reply.send(out);
             }
-            Job::Stats { reply } => {
+            ShardMsg::Register {
+                id,
+                pcea,
+                window,
+                partition,
+                gc_every,
+                listens,
+            } => {
+                let mut eval = StreamingEvaluator::with_window(pcea, window);
+                eval.set_gc_every(gc_every);
+                queries.push(LocalQuery {
+                    id,
+                    eval,
+                    partition,
+                    listens,
+                });
+                rebuild_local(&queries, &mut routes, &mut wildcards);
+            }
+            ShardMsg::Deregister { id, reply } => {
+                let stats = match queries.iter().position(|q| q.id == id) {
+                    Some(k) => {
+                        let q = queries.remove(k);
+                        rebuild_local(&queries, &mut routes, &mut wildcards);
+                        Some(q.eval.stats())
+                    }
+                    None => None,
+                };
+                let _ = reply.send(stats);
+            }
+            ShardMsg::Stats { reply } => {
                 let _ = reply.send(queries.iter().map(|q| (q.id, q.eval.stats())).collect());
             }
+            ShardMsg::Barrier { reply } => {
+                let _ = reply.send(());
+            }
         }
-    }
-}
-
-/// Shard a tuple belongs to under key partitioning on position `pos`:
-/// the hash of its partition value, or a deterministic home shard (0)
-/// when the tuple lacks that attribute. Router and workers must agree
-/// on this function. Attribute-less tuples cannot join under a
-/// partition-sound automaton (their key extraction is undefined), so a
-/// fixed home shard preserves outputs — their matches are self-contained.
-fn key_shard(hasher: &FxBuildHasher, t: &Tuple, pos: usize, n_shards: usize) -> usize {
-    match t.values().get(pos) {
-        Some(v) => (hasher.hash_one(v) % n_shards as u64) as usize,
-        None => 0,
     }
 }
 
@@ -772,6 +812,12 @@ mod tests {
         assert_eq!(get(a).positions, 8);
         assert_eq!(get(b).positions, 8);
         assert!(get(a).extends > 0 && get(b).extends > 0);
+        // Queue occupancy: drained back to zero, but the high-water
+        // mark recorded the batch passing through.
+        assert_eq!(stats.shard_queues.len(), 4);
+        assert!(stats.shard_queues.iter().all(|q| q.depth == 0));
+        assert!(stats.shard_queues.iter().any(|q| q.high_water > 0));
+        assert!(stats.shard_queues.iter().all(|q| q.dropped == 0));
     }
 
     #[test]
@@ -799,5 +845,40 @@ mod tests {
         // The shard evaluator never saw the noise tuples.
         let stats = rt.stats();
         assert_eq!(stats.per_query[0].1.positions, 8);
+    }
+
+    #[test]
+    fn deregister_returns_final_stats_and_stops_routing() {
+        let (_, r, s, t) = Schema::sigma0();
+        let stream = sigma0_prefix(r, s, t);
+        for shards in [1usize, 3] {
+            let (mut rt, a, b) = p0_runtime(shards);
+            let first = rt.push_batch(&stream);
+            assert_eq!(first.iter().filter(|e| e.query == b).count(), 2);
+            let final_stats = rt.deregister(b).unwrap();
+            assert_eq!(final_stats.positions, 8, "shards={shards}");
+            assert!(final_stats.extends > 0);
+            assert_eq!(rt.num_queries(), 1);
+            assert_eq!(rt.query_name(b), "keyed", "name outlives the query");
+            // Retired id: a second deregister is rejected.
+            assert_eq!(rt.deregister(b), Err(RuntimeError::UnknownQuery { id: b }));
+            // The survivor keeps matching (the wide window also joins
+            // across batches); the dead query stays silent and no
+            // longer accrues stats.
+            let second = rt.push_batch(&stream);
+            assert!(second.iter().all(|e| e.query == a));
+            assert!(second.iter().filter(|e| e.query == a).count() >= 2);
+            let stats = rt.stats();
+            assert!(stats.per_query.iter().all(|(id, _)| *id != b));
+        }
+    }
+
+    #[test]
+    fn deregister_unknown_id_rejected() {
+        let mut rt = Runtime::new(2);
+        assert_eq!(
+            rt.deregister(QueryId(7)),
+            Err(RuntimeError::UnknownQuery { id: QueryId(7) })
+        );
     }
 }

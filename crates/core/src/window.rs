@@ -7,6 +7,16 @@
 //! and the multi-query [`Runtime`](crate::runtime::Runtime) shards)
 //! shares one implementation of the paper's count window and the
 //! timestamp extension.
+//!
+//! Under the asynchronous pipeline ([`crate::ingest`]), the position
+//! fed to [`WindowClock::observe`] is the one stamped by the ingest
+//! *sequencer*, not a per-shard counter: expiry advances on the global
+//! stream position (count windows) or on the tuple's own timestamp
+//! attribute (time windows), never on arrival time or queue depth. A
+//! shard that observes a gappy subsequence therefore computes the same
+//! bound the dense evaluator would — this is invariant 2 of the
+//! position-sequencing soundness argument in the
+//! [`ingest`](crate::ingest) module docs.
 
 use std::collections::VecDeque;
 
@@ -116,6 +126,25 @@ mod tests {
         assert_eq!(clock.observe(0, &t), 0);
         assert_eq!(clock.observe(2, &t), 0);
         assert_eq!(clock.observe(5, &t), 2);
+    }
+
+    #[test]
+    fn count_window_expiry_follows_sequencer_positions() {
+        // A sharded clock sees only the subsequence routed to it, at the
+        // sequencer's global positions; the bound must match what a
+        // dense clock reports at the same positions, whatever the gaps.
+        let (_, r, _, _) = Schema::sigma0();
+        let t = tup(r, [1i64, 2]);
+        let picks = [0u64, 1, 4, 9, 10, 63];
+        let mut dense = WindowClock::new(WindowPolicy::Count(7));
+        let mut dense_bounds = vec![0u64; 64];
+        for i in 0..64 {
+            dense_bounds[i as usize] = dense.observe(i, &t);
+        }
+        let mut gappy = WindowClock::new(WindowPolicy::Count(7));
+        for &i in &picks {
+            assert_eq!(gappy.observe(i, &t), dense_bounds[i as usize], "pos {i}");
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The sharded multi-query runtime: many standing queries over one
-//! stream, with relation routing and key-partitioned sharding.
+//! stream, with relation routing, key-partitioned sharding — and the
+//! asynchronous ingestion pipeline (`IngestHandle` producers feeding
+//! backpressured shard queues, `Subscription` consumers receiving
+//! match events out of band).
 //!
 //! Run with `cargo run --release --example multi_query_runtime`.
 
@@ -43,44 +46,83 @@ fn main() {
         ))
         .unwrap();
 
-    // Replay a sensor feed in batches, as an ingestion loop would.
+    // Replay a sensor feed through the async pipeline: two producer
+    // threads clone the IngestHandle and feed batches concurrently, a
+    // consumer thread drains a subscription while ingestion is still
+    // running — nobody waits for anybody.
     let mut feed = SensorGen::build(&mut schema, 64, 2024).unwrap();
     let events_total = 200_000usize;
     let batch_size = 1_000usize;
-    let mut counts = [0usize; 3];
+    let stream: Vec<Tuple> = (0..events_total)
+        .map(|_| feed.next_tuple().unwrap())
+        .collect();
+
+    let subscription = runtime.subscribe(SubscriptionFilter::All);
     let started = Instant::now();
-    for _ in 0..events_total / batch_size {
-        let batch: Vec<Tuple> = (0..batch_size)
-            .map(|_| feed.next_tuple().unwrap())
-            .collect();
-        for event in runtime.push_batch(&batch) {
-            let slot = match event.query {
+    let counts: [usize; 3] = std::thread::scope(|scope| {
+        for half in stream.chunks(events_total / 2) {
+            let handle = runtime.ingest_handle();
+            scope.spawn(move || {
+                for batch in half.chunks(batch_size) {
+                    handle.push_batch(batch).expect("runtime alive");
+                }
+            });
+        }
+        let consumer = scope.spawn(|| {
+            let mut counts = [0usize; 3];
+            let slot_of = |q: QueryId| match q {
                 q if q == fire_id => 0,
                 q if q == spike_id => 1,
                 q if q == echo_id => 2,
                 _ => unreachable!(),
             };
-            counts[slot] += 1;
-        }
-    }
+            // Poll until the producers are done and the pipeline is dry;
+            // the final drain() fence below guarantees completeness.
+            loop {
+                match subscription.recv_timeout(std::time::Duration::from_millis(50)) {
+                    Some(event) => counts[slot_of(event.query)] += 1,
+                    None if runtime.next_position() == events_total as u64 => {
+                        runtime.drain();
+                        for event in subscription.drain() {
+                            counts[slot_of(event.query)] += 1;
+                        }
+                        return counts;
+                    }
+                    None => {}
+                }
+            }
+        });
+        consumer.join().unwrap()
+    });
     let secs = started.elapsed().as_secs_f64();
 
     println!("processed {events_total} events across 3 queries on 4 shards in {secs:.2}s");
     println!(
-        "  throughput:    {:>10.0} tuples/sec",
+        "  throughput:    {:>10.0} tuples/sec (2 producers, 1 subscriber)",
         events_total as f64 / secs
     );
     println!("  fire matches:  {:>10}", counts[0]);
     println!("  spike matches: {:>10}", counts[1]);
     println!("  echo matches:  {:>10}", counts[2]);
-    for (id, stats) in runtime.stats().per_query {
+    let stats = runtime.stats();
+    for (id, st) in &stats.per_query {
         println!(
             "  {}: {} positions seen, {} extends, {} live arena nodes",
-            runtime.query_name(id),
-            stats.positions,
-            stats.extends,
-            stats.arena_nodes
+            runtime.query_name(*id),
+            st.positions,
+            st.extends,
+            st.arena_nodes
+        );
+    }
+    for (shard, q) in stats.shard_queues.iter().enumerate() {
+        println!(
+            "  shard {shard} queue: depth {}, high-water {}, dropped {}",
+            q.depth, q.high_water, q.dropped
         );
     }
     assert!(counts.iter().all(|&c| c > 0), "every query should fire");
+    assert!(
+        stats.shard_queues.iter().all(|q| q.dropped == 0),
+        "Block backpressure never drops"
+    );
 }

@@ -18,12 +18,70 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.end - self.size.start) as u64;
         let len = self.size.start + (rng.next_u64() % span) as usize;
         (0..len).map(|_| self.element.pick(rng)).collect()
+    }
+
+    /// Structural first (drop to the minimum length, halve, remove
+    /// single elements), then shrink surviving elements in place.
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.start;
+        let mut out = Vec::new();
+        if v.len() > min {
+            out.push(v[..min].to_vec());
+            let half = min.max(v.len() / 2);
+            if half < v.len() && half > min {
+                out.push(v[..half].to_vec());
+            }
+            for idx in 0..v.len().min(8) {
+                let mut w = v.clone();
+                w.remove(idx);
+                out.push(w);
+            }
+            if v.len() > 8 {
+                let mut w = v.clone();
+                w.pop();
+                out.push(w);
+            }
+        }
+        for idx in 0..v.len().min(8) {
+            for c in self.element.shrink(&v[idx]).into_iter().take(3) {
+                let mut w = v.clone();
+                w[idx] = c;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_shrink_respects_min_size_and_shrinks_elements() {
+        let s = vec(0i64..100, 1..10);
+        let v = vec![50i64, 3, 7];
+        let cands = s.shrink(&v);
+        // Structural candidates never go below the minimum length.
+        assert!(cands.iter().all(|c| !c.is_empty()));
+        assert!(cands.contains(&vec![50]), "drop to min");
+        assert!(cands.contains(&vec![3, 7]), "single removal");
+        assert!(cands.contains(&vec![0, 3, 7]), "element shrink");
+        // At the minimum length only element shrinks remain.
+        let at_min = s.shrink(&vec![5]);
+        assert!(at_min.iter().all(|c| c.len() == 1));
+        assert!(!at_min.is_empty());
+        // Fully minimal: nothing to offer.
+        assert!(s.shrink(&vec![0]).is_empty());
     }
 }

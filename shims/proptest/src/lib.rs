@@ -4,16 +4,23 @@
 //! The workspace builds offline, so the real crates-io `proptest` cannot
 //! be fetched. This shim keeps the same *testing model* — strategies
 //! compose into random value generators, `proptest!` runs a body over
-//! `ProptestConfig::cases` deterministic random cases — but does **not**
-//! implement shrinking: a failing case panics with the case index so it
-//! can be replayed (generation is seeded from the test name, so failures
-//! are reproducible run-to-run).
+//! `ProptestConfig::cases` deterministic random cases — and implements
+//! **minimal shrinking**: when a case fails, the macro greedily re-tests
+//! simpler candidates ([`strategy::Strategy::shrink`]: integer ranges
+//! toward their start, vectors by removing elements, tuples
+//! componentwise) within a `max_shrink_iters` budget, reports the
+//! near-minimal failing arguments, and replays them so the original
+//! assertion message propagates. Strategies without a natural order
+//! (`prop_map`, `prop_oneof!`, `any`) do not shrink; generation is
+//! seeded from the test name, so failures stay reproducible
+//! run-to-run.
 //!
-//! Provided surface: `Strategy` (with `prop_map`, `new_tree`, `boxed`),
-//! ranges and tuples as strategies, `proptest::collection::vec`,
-//! `any::<T>()`, `Just`, `prop_oneof!`, `proptest!`, `prop_assert!`,
-//! `prop_assert_eq!`, `prop_assert_ne!`, and the
-//! `test_runner::{Config, TestRunner, TestRng, RngAlgorithm}` types.
+//! Provided surface: `Strategy` (with `prop_map`, `new_tree`, `boxed`,
+//! `shrink`), ranges and tuples as strategies,
+//! `proptest::collection::vec`, `any::<T>()`, `Just`, `prop_oneof!`,
+//! `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//! and the `test_runner::{Config, TestRunner, TestRng, RngAlgorithm}`
+//! types.
 
 pub mod collection;
 pub mod strategy;
@@ -89,26 +96,106 @@ macro_rules! __proptest_body {
      $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*
     ) => {$(
         $(#[$meta])*
+        #[allow(clippy::clone_on_copy, clippy::redundant_clone)]
         fn $name() {
             let __config: $crate::test_runner::Config = $config;
             let __seed = $crate::test_runner::fnv1a(stringify!($name).as_bytes());
+            // Pins a checker closure's argument tuple to the snapshot
+            // type, so the body type-checks before its first call.
+            fn __constrain<T, F: Fn(T) -> bool>(_: &T, f: F) -> F {
+                f
+            }
             for __case in 0..__config.cases {
                 let mut __rng = $crate::test_runner::TestRng::from_u64(
                     __seed ^ (u64::from(__case)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                 );
-                let __run = || {
-                    $( let $arg = $crate::strategy::Strategy::pick(&{ $strat }, &mut __rng); )*
-                    $body
-                };
-                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
-                    eprintln!(
-                        "proptest case {}/{} of `{}` failed (deterministic; re-run reproduces it)",
-                        __case + 1,
-                        __config.cases,
-                        stringify!($name),
+                // Each argument keeps its strategy next to its current
+                // value; `RefCell` lets the per-argument shrink loop
+                // rebind one slot while the snapshot closure below
+                // reads them all.
+                $(
+                    let $arg = ::std::cell::RefCell::new(
+                        $crate::strategy::Slot::sample({ $strat }, &mut __rng),
                     );
-                    ::std::panic::resume_unwind(panic);
+                )*
+                let __snapshot =
+                    || ($( ::std::clone::Clone::clone(&$arg.borrow().value), )*);
+                let __first = __snapshot();
+                // Run the body on a tuple of argument values; true =
+                // the case failed.
+                let __fails = __constrain(&__first, |($( $arg, )*)| -> bool {
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }))
+                    .is_err()
+                });
+                if !__fails(__first) {
+                    continue;
                 }
+                eprintln!(
+                    "proptest case {}/{} of `{}` failed (deterministic; re-run reproduces it); shrinking…",
+                    __case + 1,
+                    __config.cases,
+                    stringify!($name),
+                );
+                // Greedy minimal shrinking: walk the arguments, adopt
+                // any simpler candidate that still fails, restart that
+                // argument's candidates, repeat to fixpoint or budget.
+                // The default panic hook is silenced meanwhile so the
+                // candidate re-runs do not spam stderr; the guard
+                // serializes the process-global hook swap across
+                // concurrently shrinking properties.
+                let __hook_guard = $crate::test_runner::shrink_hook_guard();
+                let __prev_hook = ::std::panic::take_hook();
+                ::std::panic::set_hook(Box::new(|_| {}));
+                let mut __iters: u32 = 0;
+                let mut __progress = true;
+                while __progress && __iters < __config.max_shrink_iters {
+                    __progress = false;
+                    $(
+                        loop {
+                            let mut __adopted = false;
+                            let __cands = $arg.borrow().candidates();
+                            for __cand in __cands {
+                                if __iters >= __config.max_shrink_iters {
+                                    break;
+                                }
+                                __iters += 1;
+                                let __old = ::std::mem::replace(
+                                    &mut $arg.borrow_mut().value,
+                                    __cand,
+                                );
+                                if __fails(__snapshot()) {
+                                    __adopted = true;
+                                    __progress = true;
+                                    break;
+                                }
+                                $arg.borrow_mut().value = __old;
+                            }
+                            if !__adopted || __iters >= __config.max_shrink_iters {
+                                break;
+                            }
+                        }
+                    )*
+                }
+                ::std::panic::set_hook(__prev_hook);
+                ::std::mem::drop(__hook_guard);
+                eprintln!(
+                    "proptest: near-minimal failing case of `{}` after {} shrink run(s): {:?}",
+                    stringify!($name),
+                    __iters,
+                    __snapshot(),
+                );
+                // Replay the minimal case uncaught so the original
+                // assertion message is what the harness reports.
+                {
+                    let ($( $arg, )*) = __snapshot();
+                    $body
+                }
+                panic!(
+                    "proptest: `{}` failed during shrinking but passed on replay (flaky body?)",
+                    stringify!($name),
+                );
             }
         }
     )*};

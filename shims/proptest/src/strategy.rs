@@ -3,6 +3,11 @@
 //! The real proptest's `Strategy` produces shrinkable `ValueTree`s; this
 //! shim's strategies produce plain values (`pick`) and wrap them in a
 //! no-shrink [`SampleTree`] where the `new_tree` API is exercised.
+//! Shrinking lives on the strategy itself instead
+//! ([`Strategy::shrink`]): integer ranges shrink toward their start,
+//! vectors by removing elements and shrinking survivors, tuples
+//! componentwise — enough for the `proptest!` macro to report
+//! near-minimal failing cases.
 
 use crate::test_runner::{TestRng, TestRunner};
 use std::marker::PhantomData;
@@ -15,6 +20,15 @@ pub trait Strategy {
 
     /// Draw one value.
     fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simpler values for `v`, most aggressive first. The
+    /// default has nothing to offer; strategies with a natural order
+    /// (ranges, vectors, tuples) override it. The `proptest!` macro
+    /// greedily re-tests candidates to report a near-minimal failing
+    /// case.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Map generated values through a function.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -55,6 +69,10 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn pick(&self, rng: &mut TestRng) -> Self::Value {
         (**self).pick(rng)
     }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(v)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -62,6 +80,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn pick(&self, rng: &mut TestRng) -> Self::Value {
         (**self).pick(rng)
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(v)
     }
 }
 
@@ -174,6 +196,25 @@ macro_rules! impl_range_strategy {
                 let draw = (u128::from(rng.next_u64()) % span) as i128;
                 (self.start as i128 + draw) as $t
             }
+
+            /// Toward the range start: the start itself, the midpoint
+            /// (binary descent), and the predecessor (final single
+            /// steps), so greedy re-testing converges to the smallest
+            /// failing value.
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let (start, v128) = (self.start as i128, *v as i128);
+                if v128 <= start {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let mid = start + (v128 - start) / 2;
+                if mid != start && mid != v128 {
+                    out.push(mid as $t);
+                }
+                out.push((v128 - 1) as $t);
+                out.dedup();
+                out
+            }
         }
     )*};
 }
@@ -182,11 +223,28 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn pick(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.pick(rng),)+)
+            }
+
+            /// Componentwise: shrink one slot at a time, holding the
+            /// others fixed.
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&v.$idx).into_iter().take(4) {
+                        let mut w = v.clone();
+                        w.$idx = c;
+                        out.push(w);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -199,4 +257,58 @@ impl_tuple_strategy! {
     (S0.0, S1.1, S2.2, S3.3)
     (S0.0, S1.1, S2.2, S3.3, S4.4)
     (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+/// One `proptest!` argument: its strategy paired with the currently
+/// bound value — the unit of the macro's greedy shrink loop.
+pub struct Slot<S: Strategy> {
+    /// The generating strategy (also the shrinker).
+    pub strategy: S,
+    /// The value currently bound to the argument.
+    pub value: S::Value,
+}
+
+impl<S: Strategy> Slot<S> {
+    /// Draw the initial value.
+    pub fn sample(strategy: S, rng: &mut TestRng) -> Self {
+        let value = strategy.pick(rng);
+        Slot { strategy, value }
+    }
+
+    /// Candidate simpler values for the current binding.
+    pub fn candidates(&self) -> Vec<S::Value> {
+        self.strategy.shrink(&self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_shrinks_toward_start() {
+        let s = 10i64..1000;
+        assert_eq!(s.shrink(&10), Vec::<i64>::new(), "already minimal");
+        let c = s.shrink(&500);
+        assert_eq!(c, vec![10, 255, 499]);
+        // Greedy descent reaches the start in logarithmically many
+        // adopted steps.
+        let mut v = 999i64;
+        let mut adopted = 0;
+        while let Some(&next) = s.shrink(&v).first() {
+            v = next;
+            adopted += 1;
+            assert!(adopted < 64, "must converge");
+        }
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let s = (0u8..10, 5i64..50);
+        let cands = s.shrink(&(4, 40));
+        assert!(cands.contains(&(0, 40)), "first slot toward start");
+        assert!(cands.contains(&(4, 5)), "second slot toward start");
+        assert!(cands.iter().all(|&(a, b)| (a, b) != (4, 40)));
+    }
 }

@@ -5,7 +5,8 @@
 pub struct Config {
     /// Number of random cases to run per property.
     pub cases: u32,
-    /// Accepted for compatibility; the shim never shrinks.
+    /// Budget of candidate re-runs the greedy shrinker may spend on a
+    /// failing case (0 disables shrinking).
     pub max_shrink_iters: u32,
 }
 
@@ -13,7 +14,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             cases: 64,
-            max_shrink_iters: 0,
+            max_shrink_iters: 512,
         }
     }
 }
@@ -88,6 +89,19 @@ impl TestRunner {
     pub fn config(&self) -> &Config {
         &self.config
     }
+}
+
+/// Serializes the `proptest!` shrink loop's panic-hook swap across
+/// threads. The hook is process-global: without mutual exclusion, two
+/// properties shrinking concurrently could interleave
+/// `take_hook`/`set_hook` and leave the silencing hook installed for
+/// the rest of the process. Hold the guard from before `take_hook`
+/// until after the original hook is restored.
+pub fn shrink_hook_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A panic while the lock is held (there is none: the guarded region
+    // only swaps hooks) would poison it; recover rather than cascade.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FNV-1a over bytes; seeds per-test RNGs from the test name.

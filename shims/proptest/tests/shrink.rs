@@ -1,0 +1,68 @@
+//! End-to-end shrinking through the `proptest!` macro: deliberately
+//! failing properties must be minimized before the final (replayed)
+//! panic, so the harness reports near-minimal inputs.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+static SMALLEST_INT: AtomicI64 = AtomicI64::new(i64::MAX);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Fails exactly when a >= 100; the true minimum is 100.
+    fn int_property_fails_at_100(a in 0i64..1000) {
+        if a >= 100 {
+            SMALLEST_INT.fetch_min(a, Ordering::SeqCst);
+            panic!("boom at {a}");
+        }
+    }
+}
+
+#[test]
+fn integer_case_shrinks_to_the_boundary() {
+    let result = std::panic::catch_unwind(int_property_fails_at_100);
+    assert!(result.is_err(), "the property must fail");
+    assert_eq!(
+        SMALLEST_INT.load(Ordering::SeqCst),
+        100,
+        "binary descent plus predecessor steps must reach the minimum"
+    );
+}
+
+static LAST_FAILING_VEC: Mutex<Vec<i64>> = Mutex::new(Vec::new());
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Fails exactly when some element is >= 5; the minimal failing
+    // input is the one-element vector [5].
+    fn vec_property_fails_on_large_element(v in proptest::collection::vec(0i64..10, 0..12)) {
+        if v.iter().any(|&x| x >= 5) {
+            *LAST_FAILING_VEC.lock().unwrap() = v.clone();
+            panic!("boom at {v:?}");
+        }
+    }
+}
+
+#[test]
+fn vec_case_shrinks_to_a_single_boundary_element() {
+    let result = std::panic::catch_unwind(vec_property_fails_on_large_element);
+    assert!(result.is_err(), "the property must fail");
+    // The greedy loop's last failing candidate is the adopted minimum,
+    // and the uncaught replay records it once more.
+    assert_eq!(*LAST_FAILING_VEC.lock().unwrap(), vec![5]);
+}
+
+proptest! {
+    // Passing properties are unaffected by the shrinking machinery.
+    fn passing_property_still_passes(a in 0u32..50, b in 0u32..50) {
+        prop_assert!(a < 50 && b < 50);
+    }
+}
+
+#[test]
+fn passing_properties_run_clean() {
+    passing_property_still_passes();
+}

@@ -12,7 +12,10 @@
 //!   compiled to PCEA — the paper's first future-work item;
 //! * [`engine`] — the streaming evaluator with logarithmic update time and
 //!   output-linear-delay enumeration (Theorem 5.1), plus the sharded
-//!   multi-query [`Runtime`](engine::Runtime);
+//!   multi-query [`Runtime`](engine::Runtime) with an asynchronous
+//!   ingestion pipeline ([`IngestHandle`](engine::IngestHandle) producers,
+//!   backpressured shard queues, per-consumer
+//!   [`Subscription`](engine::Subscription) channels);
 //! * [`baselines`] — naive and CCEA-specialized evaluators for comparison,
 //!   behind the same [`Evaluator`](engine::Evaluator) trait surface.
 //!
@@ -95,6 +98,10 @@ pub mod prelude {
     pub use cer_common::{Schema, SliceStream, Stream, StreamExt, Tuple, Value, VecStream};
     pub use cer_core::api::Evaluator;
     pub use cer_core::evaluator::{run_to_end, StreamingEvaluator};
+    pub use cer_core::ingest::{
+        BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,
+        Subscription, SubscriptionFilter,
+    };
     pub use cer_core::runtime::{
         MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
     };

@@ -1,0 +1,308 @@
+//! Differential and liveness tests for the asynchronous ingestion
+//! pipeline: events delivered through subscriptions after `drain()`
+//! must equal the synchronous `push_batch` output on the same stream —
+//! for every shard count, both partition modes, and both window kinds —
+//! and a stalled subscriber must never block producers under
+//! `BackpressurePolicy::DropNewest`.
+
+use pcea::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Deterministic dense stream over all relations of `schema`, one value
+/// domain per attribute position.
+fn mixed_stream(schema: &Schema, n: usize) -> Vec<Tuple> {
+    let rels: Vec<_> = schema.relations().collect();
+    (0..n)
+        .map(|i| {
+            let rel = rels[(i * 7 + 3) % rels.len()];
+            let arity = schema.arity(rel);
+            let values = (0..arity)
+                .map(|k| Value::Int(((i * 13 + k * 5 + 1) % 3) as i64))
+                .collect();
+            Tuple::new(rel, values)
+        })
+        .collect()
+}
+
+fn sorted(mut events: Vec<MatchEvent>) -> Vec<MatchEvent> {
+    events.sort();
+    events
+}
+
+/// The four-query spec set shared with `runtime_differential.rs`.
+fn spec_set(schema: &mut Schema) -> Vec<(String, Pcea, Partition)> {
+    let q0 = parse_query(schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let q0_pcea = compile_hcq(schema, &q0).unwrap().pcea;
+    let star = parse_query(schema, "QS(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)").unwrap();
+    let star_pcea = compile_hcq(schema, &star).unwrap().pcea;
+    let pat = pattern_to_pcea(schema, "A(x) ; B(x)").unwrap().pcea;
+    vec![
+        ("q0_pinned".into(), q0_pcea.clone(), Partition::ByQuery),
+        ("q0_keyed".into(), q0_pcea, Partition::ByKey { pos: 0 }),
+        ("star_pinned".into(), star_pcea, Partition::ByQuery),
+        ("pat_keyed".into(), pat, Partition::ByKey { pos: 0 }),
+    ]
+}
+
+fn register_all(
+    rt: &mut Runtime,
+    specs: &[(String, Pcea, Partition)],
+    window: &WindowPolicy,
+) -> Vec<QueryId> {
+    specs
+        .iter()
+        .map(|(name, pcea, partition)| {
+            rt.register(
+                QuerySpec::new(name.clone(), pcea.clone(), window.clone())
+                    .with_partition(*partition),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Events delivered through subscriptions when the stream is fed by an
+/// `IngestHandle` producer thread, collected after `drain()`. Also
+/// checks that a per-query subscription receives exactly its slice.
+fn async_events(
+    specs: &[(String, Pcea, Partition)],
+    window: &WindowPolicy,
+    stream: &[Tuple],
+    shards: usize,
+) -> Vec<MatchEvent> {
+    let mut rt = Runtime::new(shards);
+    let ids = register_all(&mut rt, specs, window);
+    // Unbounded lossless collectors: the fence below requires either a
+    // concurrent consumer or enough capacity.
+    let all = rt.subscribe_with(
+        SubscriptionFilter::All,
+        usize::MAX,
+        BackpressurePolicy::Block,
+    );
+    let one = rt.subscribe_with(
+        SubscriptionFilter::Query(ids[0]),
+        usize::MAX,
+        BackpressurePolicy::Block,
+    );
+    let handle = rt.ingest_handle();
+    let producer = {
+        let stream = stream.to_vec();
+        std::thread::spawn(move || {
+            for chunk in stream.chunks(17) {
+                let receipt = handle.push_batch(chunk).unwrap();
+                assert_eq!(receipt.dropped, 0, "Block never drops");
+            }
+        })
+    };
+    producer.join().unwrap();
+    rt.drain();
+    let events = sorted(all.drain());
+    let filtered = sorted(one.drain());
+    let want_first: Vec<&MatchEvent> = events.iter().filter(|e| e.query == ids[0]).collect();
+    assert_eq!(
+        filtered.iter().collect::<Vec<_>>(),
+        want_first,
+        "per-query subscription sees exactly its query's events"
+    );
+    events
+}
+
+/// Synchronous reference on an identical runtime.
+fn sync_events(
+    specs: &[(String, Pcea, Partition)],
+    window: &WindowPolicy,
+    stream: &[Tuple],
+    shards: usize,
+) -> Vec<MatchEvent> {
+    let mut rt = Runtime::new(shards);
+    register_all(&mut rt, specs, window);
+    sorted(rt.push_batch(stream))
+}
+
+#[test]
+fn subscriptions_match_sync_push_batch_count_windows() {
+    let mut schema = Schema::new();
+    let specs = spec_set(&mut schema);
+    let stream = mixed_stream(&schema, 400);
+    let mut any_events = false;
+    for w in [0u64, 3, 16, 1000] {
+        let window = WindowPolicy::Count(w);
+        for shards in [1usize, 2, 4, 8] {
+            let want = sync_events(&specs, &window, &stream, shards);
+            let got = async_events(&specs, &window, &stream, shards);
+            assert_eq!(got, want, "w={w}, shards={shards}");
+            any_events |= !want.is_empty();
+        }
+    }
+    assert!(any_events, "the workload must produce matches somewhere");
+}
+
+#[test]
+fn subscriptions_match_sync_push_batch_time_windows() {
+    let mut schema = Schema::new();
+    let q = parse_query(&mut schema, "Q(ta, tb, x) <- A(ta, x), B(tb, x)").unwrap();
+    let pcea = compile_hcq(&schema, &q).unwrap().pcea;
+    let a = schema.relation("A").unwrap();
+    let b = schema.relation("B").unwrap();
+    assert!(pcea.supports_key_partition(1));
+    let specs = vec![
+        ("timed_pinned".to_string(), pcea.clone(), Partition::ByQuery),
+        ("timed_keyed".to_string(), pcea, Partition::ByKey { pos: 1 }),
+    ];
+    let stream: Vec<Tuple> = (0..300)
+        .map(|i| {
+            let rel = if (i / 3) % 2 == 0 { a } else { b };
+            Tuple::new(rel, vec![Value::Int(i as i64), Value::Int((i % 3) as i64)])
+        })
+        .collect();
+    for duration in [0i64, 4, 25, 10_000] {
+        let window = WindowPolicy::Time {
+            duration,
+            ts_pos: 0,
+        };
+        for shards in [1usize, 3, 8] {
+            let want = sync_events(&specs, &window, &stream, shards);
+            let got = async_events(&specs, &window, &stream, shards);
+            assert_eq!(got, want, "duration={duration}, shards={shards}");
+        }
+    }
+}
+
+/// Concurrent producers: positions interleave nondeterministically, but
+/// the sequencer must stamp a gap-free range and a single-atom query
+/// (order-independent) must fire once per matching tuple.
+#[test]
+fn concurrent_producers_lose_nothing_under_block() {
+    let mut schema = Schema::new();
+    let pcea = pattern_to_pcea(&mut schema, "A(x)").unwrap().pcea;
+    let a = schema.relation("A").unwrap();
+    let per_producer = 2_000usize;
+    let producers = 4usize;
+    let mut rt = Runtime::with_config(
+        3,
+        IngestConfig {
+            queue_capacity: 64, // tiny: forces real backpressure
+            policy: BackpressurePolicy::Block,
+        },
+    );
+    let q = rt
+        .register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(8)))
+        .unwrap();
+    let sub = rt.subscribe_with(
+        SubscriptionFilter::All,
+        usize::MAX,
+        BackpressurePolicy::Block,
+    );
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let handle = rt.ingest_handle();
+            scope.spawn(move || {
+                for i in 0..per_producer {
+                    let t = Tuple::new(a, vec![Value::Int((p * per_producer + i) as i64)]);
+                    handle.push(&t).unwrap();
+                }
+            });
+        }
+    });
+    rt.drain();
+    assert_eq!(rt.next_position(), (producers * per_producer) as u64);
+    let events = sub.drain();
+    assert_eq!(events.len(), producers * per_producer);
+    assert!(events.iter().all(|e| e.query == q));
+    // Gap-free stamping: every position fired exactly once.
+    let mut positions: Vec<u64> = events.iter().map(|e| e.position).collect();
+    positions.sort_unstable();
+    assert!(positions.iter().enumerate().all(|(i, &p)| p == i as u64));
+    let stats = rt.stats();
+    assert!(stats.shard_queues.iter().all(|qs| qs.dropped == 0));
+    assert!(stats.shard_queues.iter().any(|qs| qs.high_water > 0));
+}
+
+/// The acceptance property: a deliberately stalled subscriber never
+/// blocks `IngestHandle` producers under `DropNewest`.
+#[test]
+fn stalled_subscriber_never_blocks_producers_under_drop_newest() {
+    let mut schema = Schema::new();
+    let pcea = pattern_to_pcea(&mut schema, "A(x)").unwrap().pcea;
+    let a = schema.relation("A").unwrap();
+    let mut rt = Runtime::with_config(
+        2,
+        IngestConfig {
+            queue_capacity: 1 << 14,
+            policy: BackpressurePolicy::DropNewest,
+        },
+    );
+    rt.register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(4)))
+        .unwrap();
+    // The stalled consumer: capacity 4, never drained, DropNewest on
+    // its own channel so publishers shed instead of parking.
+    let stalled = rt.subscribe_with(SubscriptionFilter::All, 4, BackpressurePolicy::DropNewest);
+    let n = 50_000usize;
+    let started = Instant::now();
+    let handle = rt.ingest_handle();
+    let producer = std::thread::spawn(move || {
+        let batch: Vec<Tuple> = (0..n)
+            .map(|i| Tuple::new(a, vec![Value::Int(i as i64)]))
+            .collect();
+        let mut dropped = 0u64;
+        for chunk in batch.chunks(512) {
+            dropped += handle.push_batch(chunk).unwrap().dropped;
+        }
+        dropped
+    });
+    // The producer must finish promptly even though nobody consumes:
+    // DropNewest never parks it on the queues, and the stalled
+    // subscriber sheds on its own channel.
+    let ingest_dropped = producer.join().unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "producer stalled for {elapsed:?}"
+    );
+    rt.drain();
+    // The stalled channel kept its first 4 events and counted the shed.
+    assert_eq!(stalled.len(), 4);
+    assert!(stalled.dropped() > 0, "the stalled channel must have shed");
+    let delivered = stalled.len() as u64 + stalled.dropped();
+    let stats = rt.stats();
+    let queue_dropped: u64 = stats.shard_queues.iter().map(|qs| qs.dropped).sum();
+    assert_eq!(queue_dropped, ingest_dropped);
+    // Every tuple was either evaluated (then delivered or shed at the
+    // subscriber) or dropped at an ingest queue.
+    assert_eq!(delivered + queue_dropped, n as u64);
+}
+
+/// Late subscribers only see events published after they subscribe —
+/// and handles outliving the runtime fail fast instead of hanging.
+#[test]
+fn late_subscription_and_closed_runtime() {
+    let mut schema = Schema::new();
+    let pcea = pattern_to_pcea(&mut schema, "A(x)").unwrap().pcea;
+    let a = schema.relation("A").unwrap();
+    let tuples: Vec<Tuple> = (0..10)
+        .map(|i| Tuple::new(a, vec![Value::Int(i)]))
+        .collect();
+    let mut rt = Runtime::new(2);
+    let q = rt
+        .register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(4)))
+        .unwrap();
+    let handle = rt.ingest_handle();
+    handle.push_batch(&tuples[..6]).unwrap();
+    rt.drain();
+    let late = rt.subscribe(SubscriptionFilter::Query(q));
+    handle.push_batch(&tuples[6..]).unwrap();
+    rt.drain();
+    let events = late.drain();
+    assert_eq!(events.len(), 4, "only the post-subscription suffix");
+    assert!(events.iter().all(|e| e.position >= 6));
+    // recv_timeout drains nothing further and times out cleanly.
+    assert!(late.recv_timeout(Duration::from_millis(10)).is_none());
+    let stats = rt.shutdown();
+    assert_eq!(stats.per_query.len(), 1);
+    assert_eq!(stats.per_query[0].1.positions, 10);
+    assert_eq!(
+        handle.push(&tuples[0]),
+        Err(IngestError::RuntimeClosed),
+        "handles outliving the runtime fail fast"
+    );
+}

@@ -174,6 +174,48 @@ fn trait_surface_compares_like_for_like() {
     assert_eq!(runtime_outputs(&events, id), want);
 }
 
+/// Deregistration mid-stream: the removed query's matches stop at the
+/// cut, the survivor is oblivious, and the final stats cover exactly
+/// the prefix the query saw.
+#[test]
+fn deregistration_freezes_the_prefix() {
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let pcea = compile_hcq(&schema, &q0).unwrap().pcea;
+    let stream = mixed_stream(&schema, 120);
+    let (head, tail) = stream.split_at(60);
+    let want_full = single_engine_outputs(&pcea, WindowPolicy::Count(9), &stream);
+    let want_head: Vec<(u64, Valuation)> =
+        want_full.iter().filter(|(p, _)| *p < 60).cloned().collect();
+
+    for shards in [1usize, 2, 4] {
+        let mut rt = Runtime::new(shards);
+        let keep = rt
+            .register(QuerySpec::new("keep", pcea.clone(), WindowPolicy::Count(9)))
+            .unwrap();
+        let doomed = rt
+            .register(
+                QuerySpec::new("doomed", pcea.clone(), WindowPolicy::Count(9))
+                    .with_partition(Partition::ByKey { pos: 0 }),
+            )
+            .unwrap();
+        let mut events = rt.push_batch(head);
+        let final_stats = rt.deregister(doomed).unwrap();
+        assert_eq!(final_stats.positions, 60, "shards={shards}");
+        events.extend(rt.push_batch(tail));
+        assert_eq!(
+            runtime_outputs(&events, doomed),
+            want_head,
+            "shards={shards}: the dead query's matches stop at the cut"
+        );
+        assert_eq!(
+            runtime_outputs(&events, keep),
+            want_full,
+            "shards={shards}: the survivor is unaffected"
+        );
+    }
+}
+
 /// Incremental registration: a query registered mid-stream sees only the
 /// suffix, at its true global positions.
 #[test]
