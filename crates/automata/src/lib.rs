@@ -16,7 +16,7 @@
 //!   automaton model: transitions fire from *sets* of source states,
 //!   merging parallel runs;
 //! * [`valuation`] — outputs `ν : Ω → 2^N` and their product `⊕`;
-//! * [`reference`] — exponential-time reference semantics (`⟦P⟧n(S)` by
+//! * [`reference`](mod@reference) — exponential-time reference semantics (`⟦P⟧n(S)` by
 //!   explicit run-tree enumeration) used as the correctness oracle for the
 //!   streaming engine, plus an unambiguity checker.
 

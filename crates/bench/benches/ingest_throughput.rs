@@ -24,6 +24,7 @@ fn runtime_with_queries(wl: &cer_bench::MultiQueryWorkload) -> Runtime {
         IngestConfig {
             queue_capacity: 1 << 15,
             policy: BackpressurePolicy::Block,
+            ..IngestConfig::default()
         },
     );
     for (j, pcea) in wl.pceas.iter().enumerate() {

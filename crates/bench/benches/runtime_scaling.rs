@@ -1,9 +1,12 @@
 //! Runtime shard scaling: multi-query throughput (tuples/sec) versus
 //! shard count, versus the status-quo loop of independent per-query
-//! evaluators, plus key-partitioned scaling of one hot query.
+//! evaluators, plus key-partitioned scaling of one hot query, plus the
+//! batch-size sweep showing the vectorized fire-stage win.
 //!
 //! Emits `BENCH_JSON` lines (see the criterion shim) with
-//! `elems_per_sec` as the tuples/sec figure.
+//! `elems_per_sec` as the tuples/sec figure. The CI bench-regression
+//! gate (`cer-bench`'s `bench_gate` binary) compares these against the
+//! committed `BENCH_runtime_scaling.json` baseline at the repo root.
 
 use cer_bench::multi_query_workload;
 use cer_core::runtime::{Partition, QuerySpec, Runtime};
@@ -78,5 +81,66 @@ fn bench_keyed_hot_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_multi_query_shards, bench_keyed_hot_query);
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    // How many tuples per slice before the batch path pays off? Two
+    // views of the same standard workload:
+    //
+    // * `push_batch/N` — the full runtime path (sequencer + shard
+    //   queues + fence) fed in chunks of N: at N=1 every tuple pays the
+    //   whole pipeline round-trip, larger N amortizes it and lets the
+    //   workers evaluate coalesced slices through the vectorized fire
+    //   stage;
+    // * `evaluator_slice/N` — a single `StreamingEvaluator` driven
+    //   through `push_slice_count` in chunks of N: the pure
+    //   vectorization trajectory (prefilter bitmask, hoisted N_p
+    //   bookkeeping, amortized GC) with no pipeline overhead at all.
+    let wl = multi_query_workload(QUERIES, EVENTS, 4, 4, 42);
+    let mut group = c.benchmark_group("runtime_scaling_batch_size");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for batch in [1usize, 16, 256, 4096] {
+        let mut rt = Runtime::new(4);
+        for (j, pcea) in wl.pceas.iter().enumerate() {
+            rt.register(QuerySpec::new(
+                format!("q{j}"),
+                pcea.clone(),
+                WindowPolicy::Count(WINDOW),
+            ))
+            .expect("register");
+        }
+        group.bench_with_input(BenchmarkId::new("push_batch", batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for chunk in wl.stream.chunks(batch) {
+                    n += rt.push_batch(chunk).len();
+                }
+                n
+            });
+        });
+    }
+    let single = multi_query_workload(1, EVENTS, 4, 4, 42);
+    for batch in [1usize, 16, 256, 4096] {
+        let mut eval = StreamingEvaluator::new(single.pceas[0].clone(), WINDOW);
+        group.bench_with_input(
+            BenchmarkId::new("evaluator_slice", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for chunk in single.stream.chunks(batch) {
+                        n += eval.push_slice_count(chunk);
+                    }
+                    n
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_query_shards,
+    bench_keyed_hot_query,
+    bench_batch_size_sweep
+);
 criterion_main!(benches);

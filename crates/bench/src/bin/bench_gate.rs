@@ -1,0 +1,220 @@
+//! The CI bench-regression gate.
+//!
+//! The criterion shim prints one machine-readable `BENCH_JSON {...}`
+//! line per benchmark. This binary turns those lines into committed
+//! baseline files at the repo root and fails CI when throughput
+//! regresses:
+//!
+//! ```sh
+//! # Refresh a committed baseline (run benches at full budget first):
+//! cargo bench -p cer-bench --bench runtime_scaling | tee rs.txt
+//! cargo run -p cer-bench --bin bench_gate -- record rs.txt BENCH_runtime_scaling.json
+//!
+//! # CI: compare a fresh run against the committed baseline.
+//! cargo run -p cer-bench --bin bench_gate -- check rs.txt BENCH_runtime_scaling.json
+//! ```
+//!
+//! `check` computes, for every benchmark present in both the fresh run
+//! and the baseline, the ratio `current / baseline` of `elems_per_sec`
+//! (tuples per second), and fails — exit code 1 — when the **median**
+//! ratio drops below 0.75 (a >25% regression). The median across
+//! benchmarks is robust to one noisy timing; the 25% slack absorbs
+//! machine-to-machine variance. Setting `BENCH_ALLOW_REGRESSION=1`
+//! downgrades a failure to a warning, for intentional trade-offs.
+//!
+//! The workspace builds offline (no serde), so the tiny flat-object
+//! JSON format the shim emits is parsed by hand here.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One benchmark record: name → tuples/sec (only benches with a
+/// throughput annotation participate in the gate).
+type Records = BTreeMap<String, f64>;
+
+/// Extract a string field (`"bench":"..."`) from a flat JSON object.
+fn json_str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')? + start;
+    Some(obj[start..end].to_string())
+}
+
+/// Extract a numeric field (`"elems_per_sec":123.4`) from a flat JSON
+/// object.
+fn json_num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse every `BENCH_JSON` line (raw bench output) or bare JSON object
+/// line (a recorded baseline file) in `text`.
+fn parse_records(text: &str) -> Records {
+    let mut out = Records::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let obj = match line.strip_prefix("BENCH_JSON ") {
+            Some(rest) => rest,
+            None if line.starts_with('{') && line.contains("\"bench\"") => line,
+            None => continue,
+        };
+        let (Some(name), Some(eps)) = (
+            json_str_field(obj, "bench"),
+            json_num_field(obj, "elems_per_sec"),
+        ) else {
+            continue;
+        };
+        out.insert(name, eps);
+    }
+    out
+}
+
+/// Serialize records as a stable, pretty JSON array.
+fn render_baseline(records: &Records) -> String {
+    let mut s = String::from("[\n");
+    for (i, (name, eps)) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        s.push_str(&format!(
+            "  {{\"bench\":\"{name}\",\"elems_per_sec\":{eps:.1}}}{comma}\n"
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_gate record <bench-output.txt> <baseline.json>\n\
+         \x20      bench_gate check  <bench-output.txt> <baseline.json>\n\
+         check fails (exit 1) when the median tuples/sec ratio vs the\n\
+         baseline drops below 0.75; BENCH_ALLOW_REGRESSION=1 overrides."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, mode, output_path, baseline_path] = args.as_slice() else {
+        return usage();
+    };
+    let output = match std::fs::read_to_string(output_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {output_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = parse_records(&output);
+    if current.is_empty() {
+        eprintln!("bench_gate: no BENCH_JSON lines with elems_per_sec in {output_path}");
+        return ExitCode::from(2);
+    }
+    match mode.as_str() {
+        "record" => {
+            if let Err(e) = std::fs::write(baseline_path, render_baseline(&current)) {
+                eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "bench_gate: recorded {} benchmarks into {baseline_path}",
+                current.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let baseline_text = match std::fs::read_to_string(baseline_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline = parse_records(&baseline_text);
+            let allow = std::env::var("BENCH_ALLOW_REGRESSION").as_deref() == Ok("1");
+            let mut ratios: Vec<(f64, String)> = Vec::new();
+            let mut missing = 0usize;
+            for (name, &base_eps) in &baseline {
+                let Some(&cur_eps) = current.get(name) else {
+                    eprintln!("bench_gate: benchmark `{name}` missing from this run");
+                    missing += 1;
+                    continue;
+                };
+                if base_eps > 0.0 {
+                    ratios.push((cur_eps / base_eps, name.clone()));
+                }
+            }
+            if ratios.is_empty() {
+                eprintln!("bench_gate: no overlapping benchmarks between run and baseline");
+                return ExitCode::from(2);
+            }
+            ratios.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (ratio, name) in &ratios {
+                println!("bench_gate: {name}: {:.2}x vs baseline", ratio);
+            }
+            let median = ratios[ratios.len() / 2].0;
+            println!(
+                "bench_gate: median throughput ratio {median:.2}x across {} benchmarks",
+                ratios.len()
+            );
+            // A baseline entry with no counterpart in the run means the
+            // gate's coverage shrank (renamed/removed bench) — fail so
+            // the committed baseline gets refreshed in the same change.
+            let failed = if missing > 0 {
+                eprintln!(
+                    "bench_gate: FAIL — {missing} baseline benchmark(s) missing from this \
+                     run; re-record {baseline_path} alongside the bench change"
+                );
+                true
+            } else if median < 0.75 {
+                eprintln!(
+                    "bench_gate: FAIL — median tuples/sec dropped more than 25% vs \
+                     {baseline_path}; fix the regression, or refresh the baseline for an \
+                     intentional trade-off (see README \"Performance\")"
+                );
+                true
+            } else {
+                false
+            };
+            if failed {
+                if allow {
+                    println!(
+                        "bench_gate: failure allowed by BENCH_ALLOW_REGRESSION=1 \
+                         — refresh the committed baseline if intentional"
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_raw_bench_output_and_baseline_files() {
+        let raw = "noise\nBENCH_JSON {\"bench\":\"g/a\",\"mean_ns\":10.0,\"iters\":3,\"elems_per_sec\":100.0}\n\
+                   BENCH_JSON {\"bench\":\"g/b\",\"mean_ns\":10.0,\"iters\":3}\n";
+        let recs = parse_records(raw);
+        assert_eq!(recs.len(), 1, "no-throughput benches are skipped");
+        assert_eq!(recs["g/a"], 100.0);
+        let rendered = render_baseline(&recs);
+        let reparsed = parse_records(&rendered);
+        assert_eq!(recs, reparsed, "record/parse round-trips");
+    }
+
+    #[test]
+    fn scientific_notation_and_negatives_parse() {
+        let raw = "BENCH_JSON {\"bench\":\"x\",\"elems_per_sec\":8.1e6}";
+        assert_eq!(parse_records(raw)["x"], 8.1e6);
+    }
+}

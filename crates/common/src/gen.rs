@@ -15,7 +15,7 @@
 //!   paper's introduction motivates (stock correlation, sensor fusion),
 //!   used by the runnable examples.
 //!
-//! All generators implement [`Stream`](crate::stream::Stream) and are
+//! All generators implement [`Stream`] and are
 //! deterministic given a seed, so experiments are reproducible.
 
 use crate::schema::{RelationId, Schema};

@@ -27,4 +27,22 @@ pub trait Evaluator {
             f(&v);
         }
     }
+
+    /// Push a whole slice of tuples in stream order, calling
+    /// `f(offset, v)` for each new output, where `offset` indexes the
+    /// tuple within `batch` whose position completed the match.
+    ///
+    /// The default implementation falls back to tuple-at-a-time
+    /// [`push_for_each`](Self::push_for_each), so every evaluator gets
+    /// the batch surface for free; engines with a vectorized batch path
+    /// (the streaming engine's
+    /// [`push_slice_for_each`](crate::evaluator::StreamingEvaluator::push_slice_for_each))
+    /// override it. Outputs must be identical to pushing the tuples one
+    /// at a time — batch size is an implementation detail, never a
+    /// semantic knob.
+    fn push_slice(&mut self, batch: &[Tuple], f: &mut dyn FnMut(usize, &Valuation)) {
+        for (j, t) in batch.iter().enumerate() {
+            self.push_for_each(t, &mut |v| f(j, v));
+        }
+    }
 }

@@ -16,14 +16,33 @@
 //! * [`FireStage::collect_garbage`] — drop dead `H` entries and compact
 //!   the arena around the live roots.
 //!
+//! For batch evaluation ([`StreamingEvaluator::push_slice_for_each`]),
+//! the stage also owns the *vectorized* front half of FireTransitions:
+//! [`FireStage::prefilter_slice`] evaluates every transition's unary
+//! predicate across a whole slice of tuples into a compact bitmask
+//! (one bit per `(tuple, transition)` pair), so the per-position loop
+//! ([`FireStage::fire_transitions_masked`]) only visits transitions
+//! whose unary predicate already accepted — a transition-major sweep
+//! with much better predicate/branch locality than re-dispatching every
+//! predicate at every position. The bitmask is a pure reordering of the
+//! same predicate evaluations the tuple-at-a-time path performs, so
+//! firing decisions are bit-identical.
+//!
+//! `N_p` bookkeeping is also batch-friendly: instead of clearing every
+//! state's node list at every position, the stage records which states
+//! were touched and clears only those ([`FireStage::begin_position`] is
+//! `O(|touched|)`, not `O(|Q|)`).
+//!
 //! The [`StreamingEvaluator`](crate::evaluator::StreamingEvaluator)
 //! composes these with the ingest/window stage
 //! ([`WindowClock`](crate::window::WindowClock)) and the enumeration
 //! stage ([`crate::enumerate`]).
+//!
+//! [`StreamingEvaluator::push_slice_for_each`]: crate::evaluator::StreamingEvaluator::push_slice_for_each
 
 use crate::ds::{EnumStructure, NodeId};
 use crate::evaluator::EngineStats;
-use cer_automata::pcea::Pcea;
+use cer_automata::pcea::{Pcea, Transition};
 use cer_automata::predicate::Key;
 use cer_common::hash::FxHashMap;
 use cer_common::Tuple;
@@ -38,8 +57,15 @@ pub(crate) struct FireStage {
     h: FxHashMap<HKey, NodeId>,
     /// `N_p` per state, rebuilt each position.
     n_state: Vec<Vec<NodeId>>,
+    /// States whose `N_p` list is currently non-empty; lets
+    /// [`begin_position`](Self::begin_position) clear only those.
+    touched: Vec<u32>,
     /// Scratch for gathered source nodes.
     gather: Vec<NodeId>,
+    /// Per-batch unary pre-filter: bit `e % 64` of word
+    /// `j * stride + e / 64` is set iff transition `e`'s unary predicate
+    /// accepts tuple `j` of the current slice. Reused across batches.
+    unary_mask: Vec<u64>,
 }
 
 impl FireStage {
@@ -47,7 +73,9 @@ impl FireStage {
         FireStage {
             h: FxHashMap::default(),
             n_state: vec![Vec::new(); num_states],
+            touched: Vec::new(),
             gather: Vec::new(),
+            unary_mask: Vec::new(),
         }
     }
 
@@ -61,11 +89,46 @@ impl FireStage {
         &self.n_state[q]
     }
 
-    /// Forget the previous position's `N_p` lists.
+    /// Forget the previous position's `N_p` lists. Only states actually
+    /// touched since the last call are cleared, so a position that fired
+    /// nothing costs nothing here.
     pub(crate) fn begin_position(&mut self) {
-        for n in &mut self.n_state {
-            n.clear();
+        for q in self.touched.drain(..) {
+            self.n_state[q as usize].clear();
         }
+    }
+
+    /// The shared back half of FireTransitions for one transition whose
+    /// unary predicate already accepted `t`: gather matching stored runs
+    /// and `extend` them with the tuple at position `i`.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_one(
+        &mut self,
+        e_idx: usize,
+        tr: &Transition,
+        ds: &mut EnumStructure,
+        t: &Tuple,
+        i: u64,
+        lo: u64,
+        stats: &mut EngineStats,
+    ) {
+        self.gather.clear();
+        for (slot, b) in tr.binary.iter().enumerate() {
+            let Some(key) = b.right.extract(t) else {
+                return;
+            };
+            match self.h.get(&(e_idx as u32, slot as u32, key)) {
+                Some(&node) if ds.max_start(node) >= lo => self.gather.push(node),
+                _ => return,
+            }
+        }
+        let node = ds.extend(tr.labels, i, &self.gather);
+        stats.extends += 1;
+        let q = tr.target.index();
+        if self.n_state[q].is_empty() {
+            self.touched.push(q as u32);
+        }
+        self.n_state[q].push(node);
     }
 
     /// FireTransitions: gather matching stored runs per transition and
@@ -83,27 +146,65 @@ impl FireStage {
             if !tr.unary.matches(t) {
                 continue;
             }
-            self.gather.clear();
-            let mut all_present = true;
-            for (slot, b) in tr.binary.iter().enumerate() {
-                let Some(key) = b.right.extract(t) else {
-                    all_present = false;
-                    break;
-                };
-                match self.h.get(&(e_idx as u32, slot as u32, key)) {
-                    Some(&node) if ds.max_start(node) >= lo => self.gather.push(node),
-                    _ => {
-                        all_present = false;
-                        break;
-                    }
+            self.fire_one(e_idx, tr, ds, t, i, lo, stats);
+        }
+    }
+
+    /// Vectorized front half of FireTransitions: evaluate every
+    /// transition's unary predicate across the whole slice into the
+    /// reusable [`unary_mask`](Self::unary_mask) bitmask, transition by
+    /// transition. Returns the per-tuple stride in 64-bit words.
+    ///
+    /// The iterator must yield exactly `len` tuples — the same tuples,
+    /// in the same order, that are later passed to
+    /// [`fire_transitions_masked`](Self::fire_transitions_masked) with
+    /// their slice index `j`.
+    pub(crate) fn prefilter_slice<'t>(
+        &mut self,
+        pcea: &Pcea,
+        tuples: impl Iterator<Item = &'t Tuple> + Clone,
+        len: usize,
+    ) -> usize {
+        let n_trans = pcea.transitions().len();
+        let stride = n_trans.div_ceil(64).max(1);
+        self.unary_mask.clear();
+        self.unary_mask.resize(len * stride, 0);
+        for (e_idx, tr) in pcea.transitions().iter().enumerate() {
+            let (word, bit) = (e_idx / 64, 1u64 << (e_idx % 64));
+            for (j, t) in tuples.clone().enumerate() {
+                if tr.unary.matches(t) {
+                    self.unary_mask[j * stride + word] |= bit;
                 }
             }
-            if !all_present {
-                continue;
+        }
+        stride
+    }
+
+    /// FireTransitions for tuple `j` of a pre-filtered slice: identical
+    /// to [`fire_transitions`](Self::fire_transitions), but the unary
+    /// predicate outcomes are read from the bitmask filled by
+    /// [`prefilter_slice`](Self::prefilter_slice) instead of being
+    /// re-evaluated, and non-matching transitions are skipped in bulk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fire_transitions_masked(
+        &mut self,
+        pcea: &Pcea,
+        ds: &mut EnumStructure,
+        t: &Tuple,
+        i: u64,
+        lo: u64,
+        stats: &mut EngineStats,
+        j: usize,
+        stride: usize,
+    ) {
+        let trs = pcea.transitions();
+        for k in 0..stride {
+            let mut word = self.unary_mask[j * stride + k];
+            while word != 0 {
+                let e_idx = k * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.fire_one(e_idx, &trs[e_idx], ds, t, i, lo, stats);
             }
-            let node = ds.extend(tr.labels, i, &self.gather);
-            stats.extends += 1;
-            self.n_state[tr.target.index()].push(node);
         }
     }
 

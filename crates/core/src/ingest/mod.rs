@@ -53,7 +53,8 @@
 //!    its queue serially, so the set of matches completed at position
 //!    `i` is a function of the routed subsequence up to `i` alone.
 //!
-//! Hence, for every query, the multiset of [`MatchEvent`]s published to
+//! Hence, for every query, the multiset of
+//! [`MatchEvent`](crate::runtime::MatchEvent)s published to
 //! the registry equals the synchronous `push_batch` output on the same
 //! stream — shard count, queue capacity and consumer speed only
 //! reorder *delivery*, never membership. The guarantee assumes no
@@ -137,6 +138,17 @@ pub struct IngestConfig {
     /// The synchronous `push_batch` path always blocks (it promises
     /// every match back), whatever this says.
     pub policy: BackpressurePolicy,
+    /// Target evaluation batch size, in tuples: each shard-worker wakeup
+    /// opportunistically drains consecutive queued tuple batches into
+    /// one slice until it reaches this many tuples (it may overshoot by
+    /// at most one producer batch), then evaluates the slice through the
+    /// vectorized batch path. Larger values amortize per-wakeup
+    /// bookkeeping under backlog; the worker never *waits* to fill a
+    /// batch, so latency under light load is unaffected. The batch
+    /// sizes actually seen are reported in
+    /// [`QueueStats::drained_batches`] / [`QueueStats::drained_tuples`] /
+    /// [`QueueStats::max_drain_batch`].
+    pub max_batch: usize,
 }
 
 impl Default for IngestConfig {
@@ -144,6 +156,7 @@ impl Default for IngestConfig {
         IngestConfig {
             queue_capacity: 1 << 16,
             policy: BackpressurePolicy::Block,
+            max_batch: 4096,
         }
     }
 }

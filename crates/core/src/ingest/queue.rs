@@ -68,6 +68,15 @@ pub struct QueueStats {
     pub high_water: usize,
     /// Tuples dropped by [`BackpressurePolicy::DropNewest`].
     pub dropped: u64,
+    /// Coalesced tuple batches handed to the shard worker so far (one
+    /// per worker wakeup that yielded tuples).
+    pub drained_batches: u64,
+    /// Total tuples handed to the shard worker across those batches;
+    /// `drained_tuples / drained_batches` is the mean evaluation batch
+    /// size the worker actually saw.
+    pub drained_tuples: u64,
+    /// Largest single coalesced batch handed to the worker.
+    pub max_drain_batch: usize,
 }
 
 struct Inner {
@@ -75,6 +84,9 @@ struct Inner {
     depth: usize,
     high_water: usize,
     dropped: u64,
+    drained_batches: u64,
+    drained_tuples: u64,
+    max_drain: usize,
     closed: bool,
 }
 
@@ -96,6 +108,9 @@ impl ShardQueue {
                 depth: 0,
                 high_water: 0,
                 dropped: 0,
+                drained_batches: 0,
+                drained_tuples: 0,
+                max_drain: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -157,16 +172,46 @@ impl ShardQueue {
         Ok(())
     }
 
+    /// Blocking pop without coalescing (`pop_batch(1)`), for tests.
+    #[cfg(test)]
+    pub fn pop(&self) -> Option<ShardMsg> {
+        self.pop_batch(1)
+    }
+
     /// Blocking pop for the shard worker. Returns `None` once the queue
     /// is closed *and* fully drained, so no queued work is ever lost.
-    pub fn pop(&self) -> Option<ShardMsg> {
+    ///
+    /// When the front message is a tuple batch, consecutive tuple
+    /// batches already queued behind it are opportunistically coalesced
+    /// into one slice until it reaches `max_batch` tuples, so a worker
+    /// that fell behind evaluates in large batches instead of one
+    /// sequencer push at a time. Coalescing only ever merges
+    /// front-of-queue neighbours and never crosses a control message,
+    /// so FIFO ordering (and barrier semantics) is preserved; the slice
+    /// may overshoot `max_batch` by at most one producer batch.
+    pub fn pop_batch(&self, max_batch: usize) -> Option<ShardMsg> {
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
         loop {
             if let Some(msg) = inner.msgs.pop_front() {
-                if let ShardMsg::Tuples(ts) = &msg {
-                    inner.depth -= ts.len();
-                    self.not_full.notify_all();
-                }
+                let msg = match msg {
+                    ShardMsg::Tuples(mut ts) => {
+                        while ts.len() < max_batch
+                            && matches!(inner.msgs.front(), Some(ShardMsg::Tuples(_)))
+                        {
+                            match inner.msgs.pop_front() {
+                                Some(ShardMsg::Tuples(more)) => ts.extend(more),
+                                _ => unreachable!("front was a tuple batch"),
+                            }
+                        }
+                        inner.depth -= ts.len();
+                        inner.drained_batches += 1;
+                        inner.drained_tuples += ts.len() as u64;
+                        inner.max_drain = inner.max_drain.max(ts.len());
+                        self.not_full.notify_all();
+                        ShardMsg::Tuples(ts)
+                    }
+                    control => control,
+                };
                 return Some(msg);
             }
             if inner.closed {
@@ -192,6 +237,9 @@ impl ShardQueue {
             depth: inner.depth,
             high_water: inner.high_water,
             dropped: inner.dropped,
+            drained_batches: inner.drained_batches,
+            drained_tuples: inner.drained_tuples,
+            max_drain_batch: inner.max_drain,
         }
     }
 }
@@ -233,6 +281,47 @@ mod tests {
         }
         rx.recv().unwrap();
         assert_eq!(q.stats().depth, 0);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max_but_never_crosses_control() {
+        let (_, r, _, _) = Schema::sigma0();
+        let q = ShardQueue::new(100);
+        // Three consecutive tuple batches, a barrier, then one more.
+        q.push_tuples(stamped(r, 3), BackpressurePolicy::Block)
+            .unwrap();
+        q.push_tuples(stamped(r, 3), BackpressurePolicy::Block)
+            .unwrap();
+        q.push_tuples(stamped(r, 3), BackpressurePolicy::Block)
+            .unwrap();
+        let (tx, _rx) = std::sync::mpsc::channel();
+        q.push_control(ShardMsg::Barrier { reply: tx }).unwrap();
+        q.push_tuples(stamped(r, 2), BackpressurePolicy::Block)
+            .unwrap();
+        // max_batch 5: the first two batches coalesce (3 < 5, then 6 ≥ 5
+        // — overshoot by at most one producer batch), the third stays.
+        match q.pop_batch(5).unwrap() {
+            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 6),
+            _ => panic!("tuples first"),
+        }
+        // The third batch never merges across the barrier.
+        match q.pop_batch(100).unwrap() {
+            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 3),
+            _ => panic!("tuples second"),
+        }
+        assert!(matches!(
+            q.pop_batch(100).unwrap(),
+            ShardMsg::Barrier { .. }
+        ));
+        match q.pop_batch(100).unwrap() {
+            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 2),
+            _ => panic!("tuples last"),
+        }
+        let st = q.stats();
+        assert_eq!(st.depth, 0);
+        assert_eq!(st.drained_batches, 3);
+        assert_eq!(st.drained_tuples, 11);
+        assert_eq!(st.max_drain_batch, 6);
     }
 
     #[test]

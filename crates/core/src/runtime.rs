@@ -22,13 +22,18 @@
 //!   sides, which [`Runtime::register`] validates via
 //!   [`Pcea::supports_key_partition`];
 //! * **ingestion** — shard workers drain bounded per-shard queues fed
-//!   by a position-stamping sequencer ([`crate::ingest`]). The
-//!   synchronous [`Runtime::push_batch`] stays: it ingests, fences with
-//!   [`Runtime::drain`], and collects the batch's matches. Producers
-//!   that want the hot path decoupled from delivery clone an
-//!   [`IngestHandle`] and consumers take a [`Subscription`] — see the
-//!   [`ingest`](crate::ingest) module docs for the pipeline and its
-//!   position-sequencing soundness argument.
+//!   by a position-stamping sequencer ([`crate::ingest`]), coalescing
+//!   queued tuples into slices of up to [`IngestConfig::max_batch`] per
+//!   wakeup and evaluating each query's subsequence through the
+//!   vectorized batch path
+//!   ([`StreamingEvaluator::push_slice_for_each`] and the module docs
+//!   of [`crate::evaluator`] for why outputs are bit-identical to
+//!   tuple-at-a-time). The synchronous [`Runtime::push_batch`] stays:
+//!   it ingests, fences with [`Runtime::drain`], and collects the
+//!   batch's matches. Producers that want the hot path decoupled from
+//!   delivery clone an [`IngestHandle`] and consumers take a
+//!   [`Subscription`] — see the [`ingest`](crate::ingest) module docs
+//!   for the pipeline and its position-sequencing soundness argument.
 //!
 //! Outputs are *identical* to running one [`StreamingEvaluator`] per
 //! query over the full stream: shard evaluators are fed global stream
@@ -197,9 +202,12 @@ impl std::error::Error for RuntimeError {}
 pub struct RuntimeStats {
     /// `(query, per-shard engine counters summed)` in id order.
     pub per_query: Vec<(QueryId, EngineStats)>,
-    /// Per-shard ingest queue occupancy: current depth, high-water
-    /// mark, and tuples dropped under
-    /// [`BackpressurePolicy::DropNewest`](crate::ingest::BackpressurePolicy::DropNewest).
+    /// Per-shard ingest queue occupancy (current depth, high-water
+    /// mark, tuples dropped under
+    /// [`BackpressurePolicy::DropNewest`](crate::ingest::BackpressurePolicy)),
+    /// plus the evaluation batch sizes the shard workers actually
+    /// drained ([`QueueStats::drained_batches`] /
+    /// [`QueueStats::drained_tuples`] / [`QueueStats::max_drain_batch`]).
     pub shard_queues: Vec<QueueStats>,
 }
 
@@ -511,13 +519,20 @@ fn sum_stats(acc: &mut EngineStats, st: &EngineStats) {
 }
 
 /// One worker thread: hosts its queries' evaluators and a local routing
-/// table, drains its bounded ingest queue in FIFO order, and publishes
-/// completed matches to the subscription registry.
+/// table, drains its bounded ingest queue in FIFO order — coalescing
+/// consecutive tuple batches up to [`IngestConfig::max_batch`] per
+/// wakeup — evaluates each query's subsequence of the coalesced slice
+/// through the vectorized batch path, and publishes completed matches
+/// to the subscription registry.
 fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
     let n_shards = shared.queues.len();
     let queue = shared.queues[shard_idx].clone();
+    let max_batch = shared.config.max_batch.max(1);
     let hasher = FxBuildHasher::default();
     let mut queries: Vec<LocalQuery> = Vec::new();
+    // Per-query selection scratch (indices into the current slice),
+    // kept parallel to `queries` and reused across batches.
+    let mut sel: Vec<Vec<u32>> = Vec::new();
     // Local routing: relation → indices into `queries`.
     let mut routes: FxHashMap<RelationId, Vec<usize>> = FxHashMap::default();
     let mut wildcards: Vec<usize> = Vec::new();
@@ -537,7 +552,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
             }
         }
     };
-    while let Some(msg) = queue.pop() {
+    while let Some(msg) = queue.pop_batch(max_batch) {
         match msg {
             ShardMsg::Tuples(tuples) => {
                 // Enumerating outputs only pays off if someone is
@@ -548,32 +563,43 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                     .iter()
                     .map(|q| shared.subs.has_subscriber_for(q.id))
                     .collect();
-                for (i, t) in &tuples {
+                // Select each query's subsequence of the slice, then
+                // evaluate query-major so the batch path sees the whole
+                // run at once. Per-query event order (by position) is
+                // unchanged; only the interleaving *across* queries
+                // differs from tuple-major, and that was never ordered.
+                for s in &mut sel {
+                    s.clear();
+                }
+                for (j, (_, t)) in tuples.iter().enumerate() {
                     let listed = routes
                         .get(&t.relation())
                         .map(Vec::as_slice)
                         .unwrap_or_default();
                     for &k in listed.iter().chain(&wildcards) {
-                        let q = &mut queries[k];
-                        if let Partition::ByKey { pos } = q.partition {
+                        if let Partition::ByKey { pos } = queries[k].partition {
                             // The batch was routed here for *some*
                             // query; this one only owns its key slice.
                             if key_shard(&hasher, t, pos, n_shards) != shard_idx {
                                 continue;
                             }
                         }
-                        q.eval.push_at(t, *i);
-                        let id = q.id;
-                        if listening[k] {
-                            q.eval.for_each_output(|v| {
-                                shared.subs.publish(&MatchEvent {
-                                    position: *i,
-                                    query: id,
-                                    valuation: v.clone(),
-                                });
-                            });
-                        }
+                        sel[k].push(j as u32);
                     }
+                }
+                for (k, q) in queries.iter_mut().enumerate() {
+                    if sel[k].is_empty() {
+                        continue;
+                    }
+                    let id = q.id;
+                    q.eval
+                        .push_slice_selected(&tuples, &sel[k], listening[k], |position, v| {
+                            shared.subs.publish(&MatchEvent {
+                                position,
+                                query: id,
+                                valuation: v.clone(),
+                            });
+                        });
                 }
             }
             ShardMsg::Register {
@@ -592,12 +618,14 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                     partition,
                     listens,
                 });
+                sel.push(Vec::new());
                 rebuild_local(&queries, &mut routes, &mut wildcards);
             }
             ShardMsg::Deregister { id, reply } => {
                 let stats = match queries.iter().position(|q| q.id == id) {
                     Some(k) => {
                         let q = queries.remove(k);
+                        sel.remove(k);
                         rebuild_local(&queries, &mut routes, &mut wildcards);
                         Some(q.eval.stats())
                     }

@@ -11,7 +11,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// Strategy of [`vec`].
+/// Strategy of [`vec`](fn@vec).
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,0 +1,299 @@
+//! Differential tests for batch evaluation: `push_slice` must be
+//! multiset-identical (in fact sequence-identical after sorting by
+//! `(position, valuation)`) to tuple-at-a-time `push` —
+//!
+//! * for the streaming engine *and* every baseline (the three baselines
+//!   exercise the `Evaluator` trait's per-tuple fallback, the engine its
+//!   vectorized override);
+//! * for every slicing of the stream, including empty slices and
+//!   slices of one;
+//! * under count *and* time windows;
+//! * and through the sharded `Runtime`, whose workers now evaluate
+//!   coalesced slices, across shard counts and `max_batch` settings.
+//!
+//! This is the acceptance harness for the exactness argument in
+//! `cer_core::evaluator`'s module docs: batch size is an implementation
+//! detail, never a semantic knob.
+
+use pcea::automata::ccea::paper_c0;
+use pcea::baselines::{CceaStreamEvaluator, NaiveRunsEvaluator, RecomputeEvaluator};
+use pcea::prelude::*;
+use proptest::prelude::*;
+
+/// Hierarchical queries covering joins, self-joins, constants and
+/// disconnection — small enough for the baselines to keep up.
+const CATALOG: &[&str] = &[
+    "Q(x, y) <- T(x), S(x, y), R(x, y)",
+    "Q(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)",
+    "Q(x) <- S(x, x), T(x)",
+    "Q(x, y) <- T(x), U(y)",
+];
+
+/// Slicing patterns, cycled over the stream: the degenerate cases the
+/// issue calls out (0 and 1) plus ragged and one-shot slicings.
+const SLICINGS: &[&[usize]] = &[
+    &[1],
+    &[0, 1],
+    &[3, 0, 5, 1],
+    &[2, 7],
+    &[usize::MAX], // the whole stream as one slice
+];
+
+/// Random stream over the schema with dense value domains.
+fn stream_strategy(schema: &Schema, max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    let rels: Vec<(pcea::common::RelationId, usize)> =
+        schema.relations().map(|r| (r, schema.arity(r))).collect();
+    let tuple =
+        (0..rels.len(), proptest::collection::vec(0i64..4, 0..8)).prop_map(move |(ri, vals)| {
+            let (rel, arity) = rels[ri];
+            let values: Vec<Value> = (0..arity)
+                .map(|k| Value::Int(*vals.get(k).unwrap_or(&1)))
+                .collect();
+            Tuple::new(rel, values)
+        });
+    proptest::collection::vec(tuple, 0..max_len)
+}
+
+/// Sorted `(position, valuation)` multiset via tuple-at-a-time `push`.
+fn per_tuple_outputs(eval: &mut dyn Evaluator, stream: &[Tuple]) -> Vec<(u64, Valuation)> {
+    let mut out = Vec::new();
+    for (n, t) in stream.iter().enumerate() {
+        eval.push_for_each(t, &mut |v| out.push((n as u64, v.clone())));
+    }
+    out.sort();
+    out
+}
+
+/// Sorted `(position, valuation)` multiset via `push_slice`, slicing
+/// the stream by cycling `sizes` (zeros push genuinely empty slices).
+fn sliced_outputs(
+    eval: &mut dyn Evaluator,
+    stream: &[Tuple],
+    sizes: &[usize],
+) -> Vec<(u64, Valuation)> {
+    let mut out = Vec::new();
+    let mut base = 0usize;
+    let mut cursor = 0usize;
+    loop {
+        let sz = sizes[cursor % sizes.len()];
+        cursor += 1;
+        let end = base.saturating_add(sz).min(stream.len());
+        eval.push_slice(&stream[base..end], &mut |j, v| {
+            out.push(((base + j) as u64, v.clone()))
+        });
+        base = end;
+        if base >= stream.len() {
+            break;
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Every evaluator implementing the trait for the query, under `window`.
+fn evaluator_suite(
+    query: &ConjunctiveQuery,
+    pcea: &Pcea,
+    window: &WindowPolicy,
+) -> Vec<(&'static str, Box<dyn Evaluator>)> {
+    vec![
+        (
+            "engine",
+            Box::new(StreamingEvaluator::with_window(
+                pcea.clone(),
+                window.clone(),
+            )) as Box<dyn Evaluator>,
+        ),
+        (
+            "naive_runs",
+            Box::new(NaiveRunsEvaluator::with_window(
+                pcea.clone(),
+                window.clone(),
+            )),
+        ),
+        (
+            "recompute",
+            Box::new(RecomputeEvaluator::with_window(
+                query.clone(),
+                window.clone(),
+            )),
+        ),
+    ]
+}
+
+fn check_query_on_stream(text: &str, stream: &[Tuple], schema: &Schema, query: &ConjunctiveQuery) {
+    let pcea = compile_hcq(schema, query).unwrap().pcea;
+    let windows = [
+        WindowPolicy::Count(0),
+        WindowPolicy::Count(3),
+        WindowPolicy::Count(16),
+        WindowPolicy::Count(1_000),
+        // All catalog relations carry an integer at position 0; the
+        // shared WindowClock clamps non-monotone timestamps, so both
+        // paths see identical bounds.
+        WindowPolicy::Time {
+            duration: 5,
+            ts_pos: 0,
+        },
+        WindowPolicy::Time {
+            duration: 1_000,
+            ts_pos: 0,
+        },
+    ];
+    for window in &windows {
+        let mut reference = StreamingEvaluator::with_window(pcea.clone(), window.clone());
+        let want = per_tuple_outputs(&mut reference, stream);
+        for sizes in SLICINGS {
+            for (name, mut eval) in evaluator_suite(query, &pcea, window) {
+                let got = sliced_outputs(eval.as_mut(), stream, sizes);
+                assert_eq!(
+                    got, want,
+                    "{text}: {name} sliced {sizes:?} vs per-tuple engine, window {window:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn push_slice_matches_push_across_evaluators(
+        qi in 0..CATALOG.len(),
+        seed in any::<u64>(),
+    ) {
+        let text = CATALOG[qi];
+        let mut schema = Schema::new();
+        let query = parse_query(&mut schema, text).unwrap();
+        let mut runner = proptest::test_runner::TestRunner::new_with_rng(
+            ProptestConfig::default(),
+            proptest::test_runner::TestRng::from_seed(
+                proptest::test_runner::RngAlgorithm::ChaCha,
+                &{
+                    let mut b = [0u8; 32];
+                    b[..8].copy_from_slice(&seed.to_le_bytes());
+                    b
+                },
+            ),
+        );
+        use proptest::strategy::ValueTree;
+        let stream = stream_strategy(&schema, 40)
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        check_query_on_stream(text, &stream, &schema, &query);
+    }
+}
+
+/// The chain-specialized CCEA baseline (per-tuple trait fallback)
+/// against the engine's batch path on the same automaton.
+#[test]
+fn ccea_baseline_agrees_with_batched_engine() {
+    let (_, r, s, t) = Schema::sigma0();
+    let mut gen = cer_stream(r, s, t);
+    let stream: Vec<Tuple> = (0..250).map(|_| gen.next_tuple().unwrap()).collect();
+    let ccea = paper_c0(r, s, t);
+    let pcea = ccea.to_pcea();
+    for w in [0u64, 2, 8, 64] {
+        let mut base = CceaStreamEvaluator::new(ccea.clone(), w);
+        let want = per_tuple_outputs(&mut base, &stream);
+        for sizes in SLICINGS {
+            let mut engine = StreamingEvaluator::new(pcea.clone(), w);
+            let got = sliced_outputs(&mut engine, &stream, sizes);
+            assert_eq!(got, want, "w={w}, sizes={sizes:?}");
+            // And the baseline's own trait fallback is slicing-invariant.
+            let mut base2 = CceaStreamEvaluator::new(ccea.clone(), w);
+            let got2 = sliced_outputs(&mut base2, &stream, sizes);
+            assert_eq!(got2, want, "baseline w={w}, sizes={sizes:?}");
+        }
+    }
+}
+
+fn cer_stream(
+    r: pcea::common::RelationId,
+    s: pcea::common::RelationId,
+    t: pcea::common::RelationId,
+) -> Sigma0Gen {
+    Sigma0Gen::new(r, s, t, 99).with_domains(3, 3)
+}
+
+/// The sharded runtime now evaluates coalesced slices: outputs must be
+/// independent of shard count, producer chunking and `max_batch`.
+#[test]
+fn runtime_batching_matches_independent_evaluators() {
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, "Q0(x, y) <- T(x), S(x, y), R(x, y)").unwrap();
+    let q0_pcea = compile_hcq(&schema, &q0).unwrap().pcea;
+    let star = parse_query(&mut schema, "QS(x, y1, y2) <- A0(x), A1(x, y1), A2(x, y2)").unwrap();
+    let star_pcea = compile_hcq(&schema, &star).unwrap().pcea;
+    let rels: Vec<_> = schema.relations().collect();
+    let stream: Vec<Tuple> = (0..300)
+        .map(|i| {
+            let rel = rels[(i * 7 + 3) % rels.len()];
+            let values = (0..schema.arity(rel))
+                .map(|k| Value::Int(((i * 13 + k * 5 + 1) % 3) as i64))
+                .collect();
+            Tuple::new(rel, values)
+        })
+        .collect();
+    let specs = [
+        ("q0_pinned", &q0_pcea, Partition::ByQuery),
+        ("q0_keyed", &q0_pcea, Partition::ByKey { pos: 0 }),
+        ("star_pinned", &star_pcea, Partition::ByQuery),
+    ];
+    let mut wants = Vec::new();
+    for (_, pcea, _) in &specs {
+        let mut eval = StreamingEvaluator::new((*pcea).clone(), 16);
+        wants.push(per_tuple_outputs(&mut eval, &stream));
+    }
+    for shards in [1usize, 2, 4] {
+        for max_batch in [1usize, 3, 4096] {
+            for chunk in [1usize, 17, 300] {
+                let mut rt = Runtime::with_config(
+                    shards,
+                    IngestConfig {
+                        max_batch,
+                        ..IngestConfig::default()
+                    },
+                );
+                let ids: Vec<QueryId> = specs
+                    .iter()
+                    .map(|(name, pcea, partition)| {
+                        rt.register(
+                            QuerySpec::new(*name, (*pcea).clone(), WindowPolicy::Count(16))
+                                .with_partition(*partition),
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                let mut events = Vec::new();
+                for slice in stream.chunks(chunk) {
+                    events.extend(rt.push_batch(slice));
+                }
+                for (qi, id) in ids.iter().enumerate() {
+                    let mut got: Vec<(u64, Valuation)> = events
+                        .iter()
+                        .filter(|e| e.query == *id)
+                        .map(|e| (e.position, e.valuation.clone()))
+                        .collect();
+                    got.sort();
+                    assert_eq!(
+                        got, wants[qi],
+                        "query {qi}, shards={shards}, max_batch={max_batch}, chunk={chunk}"
+                    );
+                }
+                // The drain-loop batching is observable in the stats.
+                let stats = rt.stats();
+                let drained: u64 = stats.shard_queues.iter().map(|q| q.drained_tuples).sum();
+                assert!(drained > 0, "workers drained through pop_batch");
+                if max_batch == 1 {
+                    assert!(stats
+                        .shard_queues
+                        .iter()
+                        .all(|q| q.max_drain_batch <= chunk.max(1)));
+                }
+            }
+        }
+    }
+}

@@ -183,6 +183,7 @@ fn concurrent_producers_lose_nothing_under_block() {
         IngestConfig {
             queue_capacity: 64, // tiny: forces real backpressure
             policy: BackpressurePolicy::Block,
+            ..IngestConfig::default()
         },
     );
     let q = rt
@@ -230,6 +231,7 @@ fn stalled_subscriber_never_blocks_producers_under_drop_newest() {
         IngestConfig {
             queue_capacity: 1 << 14,
             policy: BackpressurePolicy::DropNewest,
+            ..IngestConfig::default()
         },
     );
     rt.register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(4)))
