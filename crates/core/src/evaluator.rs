@@ -93,6 +93,12 @@ pub struct EngineStats {
     pub unions: u64,
     /// Garbage collections run.
     pub collections: u64,
+    /// Out-of-order timestamps the time-window clock clamped (always 0
+    /// for count windows). Non-zero means the stream violated the
+    /// non-decreasing-timestamp contract — under key-partitioned
+    /// sharding its outputs may then depend on the shard count; see the
+    /// hazard note in [`crate::window`].
+    pub ts_regressions: u64,
 }
 
 /// The streaming evaluator of Theorem 5.1.
@@ -191,6 +197,7 @@ impl StreamingEvaluator {
         EngineStats {
             arena_nodes: self.ds.len(),
             index_entries: self.stage.index_entries(),
+            ts_regressions: self.clock.ts_regressions(),
             ..self.stats
         }
     }

@@ -10,15 +10,17 @@
 //!  producers (any thread, cloned IngestHandle)
 //!      │  push / push_batch
 //!      ▼
-//!  ┌─────────────┐   one lock: stamp global positions, route,
-//!  │  sequencer  │   stage per shard  (bit-identical to sync path)
+//!  ┌─────────────┐   short lock: reserve a contiguous position block
+//!  │  sequencer  │   and snapshot the router epoch — nothing else
 //!  └─────────────┘
-//!      │ per-shard FIFO, bounded, BackpressurePolicy
+//!      │ route, hash partition keys, clone and stage — all OUTSIDE
+//!      │ the lock, concurrently across producers
 //!      ▼
 //!  ┌─────────────┐  ┌─────────────┐
-//!  │ shard 0     │  │ shard k     │   workers drain queues, evaluate,
-//!  │ ShardQueue  │… │ ShardQueue  │   publish MatchEvents
-//!  └─────────────┘  └─────────────┘
+//!  │ shard 0     │  │ shard k     │   per-shard reorder stage releases
+//!  │ reorder ▸   │… │ reorder ▸   │   staged blocks to the FIFO in
+//!  │ ShardQueue  │  │ ShardQueue  │   block order; workers drain,
+//!  └─────────────┘  └─────────────┘   evaluate, publish MatchEvents
 //!      │                 │
 //!      ▼                 ▼
 //!  ┌───────────────────────────────┐
@@ -29,17 +31,59 @@
 //!  consumers — may lag or drop without stalling ingestion
 //! ```
 //!
+//! # The striped sequencer
+//!
+//! Each `push_batch` **reserves** a contiguous block of global positions
+//! with one short lock acquisition (`SeqCore::reserve`): the block's
+//! position range, a dense *block id*, and an [`Arc`] snapshot of the
+//! current routing tables. Routing (`Router::shard_mask`), partition-key
+//! hashing and tuple cloning then happen entirely **outside** the lock,
+//! so concurrent producers stripe that per-tuple work across their own
+//! threads instead of serializing it. Each shard's slice of the block is
+//! staged into that shard's *reorder buffer*, and the producer finally
+//! marks the block **complete** (a second short lock).
+//!
+//! Because blocks from concurrent producers are staged out of order, the
+//! per-shard reorder stage holds staged blocks until the **low
+//! watermark** — the smallest block id not yet complete — passes them,
+//! then releases them to the worker FIFO in block-id order. Block ids are
+//! assigned in the same order as position ranges, so released batches
+//! reach each shard worker in strictly increasing position order. A
+//! producer can never wedge the watermark: reservation and completion
+//! bracket a single `push_batch` call, every exit path (including queue
+//! closure and drops) completes the block, and producers park for
+//! backpressure only *after* completing — so every reserved block
+//! completes in bounded time and sparse or empty blocks (blocks that
+//! routed nothing to a shard) simply have no entry to release.
+//!
+//! Control traffic rides the same order: `IngestShared::barrier`,
+//! registration and deregistration each reserve a **zero-width** block
+//! (no positions) and stage their control message into the reorder
+//! buffers under that block id. A barrier is therefore delivered to a
+//! worker only after every block reserved before it — *staged or not* —
+//! has completed and been released: the watermark cannot pass a
+//! reserved-but-unstaged block, which is exactly the fence `drain()`
+//! needs. Registration mutates the routing tables and reserves its
+//! zero-width block under the same lock acquisition, so a block's router
+//! snapshot agrees with its position in block order: blocks before the
+//! registration were routed with the old tables and are delivered ahead
+//! of the `Register` message, blocks after with the new tables, behind
+//! it.
+//!
 //! # Position-sequencing soundness
 //!
 //! Why are the asynchronously delivered outputs identical (as a
 //! multiset) to the synchronous path? Three invariants carry the
 //! argument:
 //!
-//! 1. **Global, gap-free stamping.** The sequencer assigns each
-//!    ingested tuple the next global position *and stages it onto the
-//!    per-shard FIFO queues under the same lock*. So every shard
-//!    receives exactly the subsequence routed to it, in strictly
-//!    increasing position order — the precondition of
+//! 1. **Global, gap-free stamping; per-shard order restored by the
+//!    reorder stage.** Reservation assigns each ingested batch the next
+//!    contiguous position range, so stamping is gap-free across
+//!    producers. Staging is concurrent and out of order, but a shard
+//!    worker only ever sees batches *released* by the reorder stage — in
+//!    block-id order, which is position order. So every shard receives
+//!    exactly the subsequence routed to it, in strictly increasing
+//!    position order — the precondition of
 //!    [`StreamingEvaluator::push_at`](crate::evaluator::StreamingEvaluator::push_at).
 //! 2. **Window expiry is position-functional.** The
 //!    [`WindowClock`](crate::window::WindowClock) computes expiry
@@ -47,8 +91,14 @@
 //!    tuple's own timestamp attribute (time windows) — never from
 //!    arrival time, queue depth, or which shard observes the tuple. A
 //!    shard evaluator that sees a *gappy* subsequence therefore
-//!    computes the same bound the dense evaluator would, and queueing
-//!    delay cannot shift window semantics.
+//!    computes the same bound the dense evaluator would, and neither
+//!    queueing delay nor reorder-stage buffering can shift window
+//!    semantics: a batch held in the reorder buffer is evaluated at its
+//!    *stamped* positions whenever it is released. (Time windows
+//!    additionally assume the documented non-decreasing-timestamp
+//!    contract — see the hazard note in [`crate::window`] about what the
+//!    clamp does to contract-violating streams, and the
+//!    `ts_regressions` counter that detects them.)
 //! 3. **Evaluation is deterministic per shard.** Each worker processes
 //!    its queue serially, so the set of matches completed at position
 //!    `i` is a function of the routed subsequence up to `i` alone.
@@ -56,17 +106,19 @@
 //! Hence, for every query, the multiset of
 //! [`MatchEvent`](crate::runtime::MatchEvent)s published to
 //! the registry equals the synchronous `push_batch` output on the same
-//! stream — shard count, queue capacity and consumer speed only
-//! reorder *delivery*, never membership. The guarantee assumes no
-//! tuple was dropped: [`BackpressurePolicy::Block`] never drops, while
+//! stream — shard count, queue capacity, producer count, reorder-stage
+//! buffering and consumer speed only reorder *delivery*, never
+//! membership. The guarantee assumes no tuple was dropped:
+//! [`BackpressurePolicy::Block`] never drops, while
 //! [`BackpressurePolicy::DropNewest`] trades completeness for a
 //! never-blocking producer and counts every tuple it sheds (per shard
 //! queue, in [`QueueStats::dropped`]).
 //!
 //! `tests/ingest_async.rs` checks the equivalence differentially across
-//! shard counts, partition modes and both window kinds, and checks that
-//! a deliberately stalled subscriber never blocks producers under
-//! `DropNewest`.
+//! shard counts, producer counts, partition modes and both window kinds
+//! (reconstructing the stamped order from the producers' receipts and
+//! replaying it synchronously), and checks that a deliberately stalled
+//! subscriber never blocks producers under `DropNewest`.
 //!
 //! # Example
 //!
@@ -109,6 +161,7 @@ pub(crate) use subscribe::SubscriptionRegistry;
 use crate::runtime::Partition;
 use cer_common::hash::{FxBuildHasher, FxHashMap};
 use cer_common::{RelationId, Tuple};
+use std::collections::VecDeque;
 use std::fmt;
 use std::hash::BuildHasher;
 use std::ops::Range;
@@ -131,8 +184,11 @@ pub enum BackpressurePolicy {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IngestConfig {
     /// Per-shard queue capacity, in tuples. The bound is soft under
-    /// [`BackpressurePolicy::Block`]: a batch is admitted whole once any
-    /// room exists.
+    /// [`BackpressurePolicy::Block`]: a batch is admitted whole and the
+    /// producer parks *afterwards* until the shard drains below the
+    /// bound (completing its position block first, so a parked producer
+    /// can never hold back the reorder watermark). Occupancy can
+    /// therefore overshoot by one in-flight batch per producer.
     pub queue_capacity: usize,
     /// What [`IngestHandle`] producers do when a shard queue is full.
     /// The synchronous `push_batch` path always blocks (it promises
@@ -191,6 +247,7 @@ pub struct IngestReceipt {
 
 /// Routing metadata for one registered query, kept so tables can be
 /// rebuilt when a query is deregistered.
+#[derive(Clone)]
 pub(crate) struct QueryMeta {
     pub alive: bool,
     pub partition: Partition,
@@ -200,8 +257,11 @@ pub(crate) struct QueryMeta {
 }
 
 /// The relation → shard routing tables, derivable from the live
-/// [`QueryMeta`]s at any time.
-#[derive(Default)]
+/// [`QueryMeta`]s at any time. Producers route against an [`Arc`]
+/// snapshot taken with their block reservation; registration swaps in a
+/// rebuilt copy, so a block's snapshot agrees with its block-order
+/// position relative to the `Register`/`Deregister` control block.
+#[derive(Clone, Default)]
 pub(crate) struct Router {
     pub metas: Vec<QueryMeta>,
     /// Shards hosting a pinned query that listens to this relation.
@@ -261,6 +321,18 @@ impl Router {
         }
     }
 
+    /// Number of live pinned (`ByQuery`) queries homed on each shard —
+    /// the load metric for placing the next pinned query.
+    pub fn pinned_per_shard(&self, n_shards: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_shards];
+        for meta in self.metas.iter().filter(|m| m.alive) {
+            if meta.partition == Partition::ByQuery {
+                counts[meta.homes[0]] += 1;
+            }
+        }
+        counts
+    }
+
     /// Bitmask of shards the tuple must reach.
     fn shard_mask(&self, hasher: &FxBuildHasher, t: &Tuple, n_shards: usize) -> u64 {
         let rel = t.relation();
@@ -287,21 +359,59 @@ impl Router {
     }
 }
 
-/// The sequencer's mutable state: one lock serializes position stamping
-/// and per-shard staging, which is exactly what keeps shard inputs in
-/// increasing position order (see the module docs).
-pub(crate) struct SeqState {
+/// The sequencer's mutable core: the only state producers serialize on.
+/// A lock acquisition here reserves positions, assigns a block id and
+/// snapshots the router — everything else (routing, hashing, cloning,
+/// staging) happens outside, striped across producer threads.
+pub(crate) struct SeqCore {
+    /// The next global position to stamp.
     pub next_pos: u64,
-    pub router: Router,
-    /// Per-shard staging buffers, reused across batches.
-    staging: Vec<Vec<(u64, Tuple)>>,
+    /// The next block id to assign (dense, reservation-ordered; block
+    /// ids order the same way as position ranges).
+    next_block: u64,
+    /// The low watermark: every block id below this has completed.
+    head_block: u64,
+    /// Completion flags for blocks `head_block..next_block`.
+    inflight: VecDeque<bool>,
+    /// The current routing tables; producers clone the [`Arc`] as their
+    /// per-block snapshot, registration swaps in a rebuilt copy.
+    pub router: Arc<Router>,
+}
+
+impl SeqCore {
+    /// Reserve `len` contiguous positions; returns `(block id, start)`.
+    /// The block MUST later be completed on every path, or the reorder
+    /// watermark wedges behind it.
+    pub fn reserve(&mut self, len: u64) -> (u64, u64) {
+        let id = self.next_block;
+        self.next_block += 1;
+        let start = self.next_pos;
+        self.next_pos += len;
+        self.inflight.push_back(false);
+        (id, start)
+    }
+
+    /// Mark `id` complete. Returns the new low watermark when it
+    /// advanced (the caller must then broadcast it to the shard reorder
+    /// buffers), `None` when an earlier block is still in flight.
+    pub fn complete(&mut self, id: u64) -> Option<u64> {
+        self.inflight[(id - self.head_block) as usize] = true;
+        if id != self.head_block {
+            return None;
+        }
+        while self.inflight.front() == Some(&true) {
+            self.inflight.pop_front();
+            self.head_block += 1;
+        }
+        Some(self.head_block)
+    }
 }
 
 /// Everything the producers, the control plane and the shard workers
 /// share. `Runtime` owns one behind an [`Arc`]; [`IngestHandle`]s clone
 /// the `Arc`.
 pub(crate) struct IngestShared {
-    pub seq: Mutex<SeqState>,
+    pub seq: Mutex<SeqCore>,
     pub queues: Vec<Arc<ShardQueue>>,
     pub subs: SubscriptionRegistry,
     pub config: IngestConfig,
@@ -311,10 +421,12 @@ pub(crate) struct IngestShared {
 impl IngestShared {
     pub fn new(n_shards: usize, config: IngestConfig) -> Self {
         IngestShared {
-            seq: Mutex::new(SeqState {
+            seq: Mutex::new(SeqCore {
                 next_pos: 0,
-                router: Router::default(),
-                staging: vec![Vec::new(); n_shards],
+                next_block: 0,
+                head_block: 0,
+                inflight: VecDeque::new(),
+                router: Arc::new(Router::default()),
             }),
             queues: (0..n_shards)
                 .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
@@ -325,82 +437,176 @@ impl IngestShared {
         }
     }
 
-    /// Stamp, route and enqueue a batch under `policy`. Returns the
+    /// Complete block `id` and, when the low watermark advanced,
+    /// broadcast it so the shard reorder buffers release everything
+    /// below it. Must run on every path after `SeqCore::reserve`.
+    pub fn finish_block(&self, id: u64) {
+        let advanced = {
+            let mut seq = self.seq.lock().expect("sequencer poisoned");
+            seq.complete(id)
+        };
+        if let Some(watermark) = advanced {
+            for q in &self.queues {
+                q.release_up_to(watermark);
+            }
+        }
+    }
+
+    /// Stamp, route and stage a batch under `policy`. Returns the
     /// stamped position range and the dropped-tuple count.
+    ///
+    /// One short lock reserves the position block and snapshots the
+    /// router; routing, partition-key hashing and cloning then run on
+    /// the caller's thread, and each shard's slice is staged into that
+    /// shard's reorder buffer. Under [`BackpressurePolicy::Block`] the
+    /// producer parks for room only *after* completing the block, so
+    /// backpressure can never wedge the reorder watermark.
     pub fn ingest(
         &self,
         batch: &[Tuple],
         policy: BackpressurePolicy,
     ) -> Result<IngestReceipt, IngestError> {
         let n_shards = self.queues.len();
-        let mut seq = self.seq.lock().expect("sequencer poisoned");
-        let start = seq.next_pos;
-        for t in batch {
-            let i = seq.next_pos;
-            seq.next_pos += 1;
-            let mut mask = seq.router.shard_mask(&self.hasher, t, n_shards);
-            while mask != 0 {
-                let s = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                seq.staging[s].push((i, t.clone()));
-            }
+        if batch.is_empty() {
+            let seq = self.seq.lock().expect("sequencer poisoned");
+            return Ok(IngestReceipt {
+                positions: seq.next_pos..seq.next_pos,
+                dropped: 0,
+            });
         }
-        let end = seq.next_pos;
-        let mut dropped = 0u64;
-        for s in 0..n_shards {
-            if seq.staging[s].is_empty() {
-                continue;
+        let (id, start, router) = {
+            let mut seq = self.seq.lock().expect("sequencer poisoned");
+            let (id, start) = seq.reserve(batch.len() as u64);
+            (id, start, Arc::clone(&seq.router))
+        };
+        // Outside the lock: route, hash and clone on this producer's
+        // thread, striping the per-tuple work across producers. The
+        // outer staging vector is thread-local scratch (each staged
+        // slice is handed over by `mem::take`, so only the outer
+        // allocation amortizes — same profile as the pre-striping
+        // sequencer, now without any shared lock around it).
+        thread_local! {
+            static STAGING: std::cell::RefCell<Vec<Vec<(u64, Tuple)>>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let (dropped, closed, mut touched) = STAGING.with(|cell| {
+            let mut staging = cell.borrow_mut();
+            if staging.len() < n_shards {
+                staging.resize_with(n_shards, Vec::new);
             }
-            let tuples = std::mem::take(&mut seq.staging[s]);
-            // Still under the sequencer lock: staging order == queue
-            // order, so per-shard positions stay strictly increasing.
-            dropped += self.queues[s]
-                .push_tuples(tuples, policy)
-                .map_err(|Closed| IngestError::RuntimeClosed)?;
+            // Defensive against a poisoned previous call (e.g. a panic
+            // mid-staging): normally every slot is already empty.
+            for slot in staging.iter_mut() {
+                slot.clear();
+            }
+            for (k, t) in batch.iter().enumerate() {
+                let i = start + k as u64;
+                let mut mask = router.shard_mask(&self.hasher, t, n_shards);
+                while mask != 0 {
+                    let s = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    staging[s].push((i, t.clone()));
+                }
+            }
+            let mut dropped = 0u64;
+            let mut closed = false;
+            let mut touched: u64 = 0;
+            for s in 0..n_shards {
+                if staging[s].is_empty() {
+                    continue;
+                }
+                let tuples = std::mem::take(&mut staging[s]);
+                match self.queues[s].stage_block(id, tuples, policy) {
+                    Ok(d) => {
+                        dropped += d;
+                        touched |= 1 << s;
+                    }
+                    Err(Closed) => closed = true,
+                }
+            }
+            (dropped, closed, touched)
+        });
+        // Complete before any backpressure wait (and on the closed
+        // path): a parked or failing producer must not hold the
+        // watermark back.
+        self.finish_block(id);
+        if closed {
+            return Err(IngestError::RuntimeClosed);
+        }
+        if policy == BackpressurePolicy::Block {
+            while touched != 0 {
+                let s = touched.trailing_zeros() as usize;
+                touched &= touched - 1;
+                self.queues[s]
+                    .wait_for_room()
+                    .map_err(|Closed| IngestError::RuntimeClosed)?;
+            }
         }
         Ok(IngestReceipt {
-            positions: start..end,
+            positions: start..start + batch.len() as u64,
             dropped,
         })
     }
 
-    /// FIFO fence across all shards: returns once every message
-    /// enqueued before the call — tuples, registrations — has been fully
-    /// processed and its match events published.
+    /// Fence across all shards: returns once every message ordered
+    /// before the call — tuple blocks (reserved or staged),
+    /// registrations — has been fully processed and its match events
+    /// published.
+    ///
+    /// The barrier reserves a zero-width block, so it is released to
+    /// each worker only after the watermark passes every block reserved
+    /// before it: reserved-but-unstaged blocks are fenced too.
     pub fn barrier(&self) -> Result<(), IngestError> {
         let (reply, done) = std::sync::mpsc::channel();
-        {
-            // Take the sequencer lock so the fence orders after any
-            // in-flight producer's staging.
-            let _seq = self.seq.lock().expect("sequencer poisoned");
-            for q in &self.queues {
-                q.push_control(ShardMsg::Barrier {
+        let id = {
+            let mut seq = self.seq.lock().expect("sequencer poisoned");
+            seq.reserve(0).0
+        };
+        let mut closed = false;
+        for q in &self.queues {
+            if q.stage_control(
+                id,
+                ShardMsg::Barrier {
                     reply: reply.clone(),
-                })
-                .map_err(|Closed| IngestError::RuntimeClosed)?;
+                },
+            )
+            .is_err()
+            {
+                closed = true;
             }
         }
+        self.finish_block(id);
         drop(reply);
+        if closed {
+            return Err(IngestError::RuntimeClosed);
+        }
         for _ in 0..self.queues.len() {
             done.recv().map_err(|_| IngestError::RuntimeClosed)?;
         }
         Ok(())
     }
 
-    /// Close every shard queue; workers drain what is queued and exit.
+    /// Close the pipeline: every shard queue is closed (workers drain
+    /// what was released and exit; producers fail fast) and every
+    /// subscriber channel is closed and woken — a shard worker parked on
+    /// a full `Block` subscription observes the close instead of parking
+    /// forever, which is what lets `Runtime::drop` join its workers
+    /// under a live, undrained subscriber.
     pub fn close(&self) {
         for q in &self.queues {
             q.close();
         }
+        self.subs.close_all();
     }
 }
 
 /// A cloneable producer handle onto the runtime's ingestion pipeline.
 ///
 /// Any number of threads may hold clones and feed the stream
-/// concurrently; the sequencer serializes them to stamp global
-/// positions. The handle outlives the runtime safely: once the runtime
-/// shuts down, pushes return [`IngestError::RuntimeClosed`].
+/// concurrently; the sequencer serializes them only to reserve position
+/// blocks — routing and staging stripe across the producers' threads.
+/// The handle outlives the runtime safely: once the runtime shuts down,
+/// pushes return [`IngestError::RuntimeClosed`].
 #[derive(Clone)]
 pub struct IngestHandle {
     pub(crate) shared: Arc<IngestShared>,
@@ -441,5 +647,35 @@ pub(crate) fn key_shard(hasher: &FxBuildHasher, t: &Tuple, pos: usize, n_shards:
     match t.values().get(pos) {
         Some(v) => (hasher.hash_one(v) % n_shards as u64) as usize,
         None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_tracker_watermark_advances_in_completion_order() {
+        let mut seq = SeqCore {
+            next_pos: 0,
+            next_block: 0,
+            head_block: 0,
+            inflight: VecDeque::new(),
+            router: Arc::new(Router::default()),
+        };
+        let (a, sa) = seq.reserve(3);
+        let (b, sb) = seq.reserve(0); // zero-width control block
+        let (c, sc) = seq.reserve(5);
+        assert_eq!((sa, sb, sc), (0, 3, 3));
+        assert_eq!(seq.next_pos, 8);
+        // Completing out of order holds the watermark at the oldest
+        // incomplete block...
+        assert_eq!(seq.complete(c), None);
+        assert_eq!(seq.complete(b), None);
+        // ...and completing the head releases everything at once.
+        assert_eq!(seq.complete(a), Some(c + 1));
+        let (d, sd) = seq.reserve(1);
+        assert_eq!(sd, 8);
+        assert_eq!(seq.complete(d), Some(d + 1));
     }
 }

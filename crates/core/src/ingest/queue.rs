@@ -1,4 +1,4 @@
-//! Bounded per-shard ingest queues.
+//! Bounded per-shard ingest queues with a block-reorder stage.
 //!
 //! Each shard worker owns one [`ShardQueue`]: a mutex-and-condvar MPSC
 //! queue that carries position-stamped tuple batches *and* control
@@ -7,12 +7,26 @@
 //! control traffic always gets through, so a saturated firehose can
 //! never wedge registration or shutdown.
 //!
-//! Two backpressure behaviours are supported per push
-//! ([`BackpressurePolicy`]): `Block` parks the producer until the worker
-//! has drained some room (the bound is soft — a batch is admitted whole
-//! once *any* room exists, so occupancy can overshoot by one batch), and
-//! `DropNewest` truncates the incoming batch to the remaining room,
-//! counting every dropped tuple.
+//! In front of the worker FIFO sits the **reorder stage**: producers of
+//! the striped sequencer ([`crate::ingest`]) stage each position block's
+//! per-shard slice with [`ShardQueue::stage_block`] in whatever order
+//! their threads happen to run, and the sequencer broadcasts its low
+//! watermark with [`ShardQueue::release_up_to`] once every older block
+//! has completed. Pending entries are released to the FIFO in block-id
+//! order — which is position order — so the single consumer still
+//! observes strictly increasing positions. Blocks that routed nothing
+//! to this shard simply have no entry and are skipped by the watermark;
+//! a watermark broadcast that races an older one is ignored (releases
+//! are monotone).
+//!
+//! Two backpressure behaviours are supported per staged block
+//! ([`BackpressurePolicy`]): `Block` admits the slice whole and lets the
+//! *producer* park afterwards in [`ShardQueue::wait_for_room`] (after
+//! completing its block — a parked producer must never hold back the
+//! watermark), and `DropNewest` truncates the incoming slice to the
+//! remaining room, counting every dropped tuple. Capacity counts staged
+//! tuples whether still pending in the reorder buffer or already
+//! released to the FIFO.
 
 use super::BackpressurePolicy;
 use crate::evaluator::EngineStats;
@@ -20,7 +34,8 @@ use crate::runtime::{Partition, QueryId};
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
 use cer_common::{RelationId, Tuple};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 
@@ -61,8 +76,8 @@ pub(crate) enum ShardMsg {
 /// Occupancy counters of one shard queue, readable at any time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Tuples currently queued (stamped but not yet picked up by the
-    /// shard worker).
+    /// Tuples currently staged (pending in the reorder buffer or
+    /// released to the FIFO, not yet picked up by the shard worker).
     pub depth: usize,
     /// Maximum `depth` ever observed.
     pub high_water: usize,
@@ -77,27 +92,58 @@ pub struct QueueStats {
     pub drained_tuples: u64,
     /// Largest single coalesced batch handed to the worker.
     pub max_drain_batch: usize,
+    /// Blocks currently held in the reorder buffer, waiting for the
+    /// sequencer's low watermark to pass them.
+    pub reorder_pending: usize,
+    /// Maximum `reorder_pending` ever observed — how far concurrent
+    /// producers ran ahead of the oldest incomplete block on this shard.
+    pub reorder_high_water: usize,
+    /// Entries released from the reorder buffer to the worker FIFO so
+    /// far (tuple blocks and ordered control messages).
+    pub reorder_released: u64,
+}
+
+/// A reorder-buffer entry: one block's slice for this shard, or a
+/// position-ordered control message riding a zero-width block.
+enum Staged {
+    Tuples(Vec<(u64, Tuple)>),
+    Control(ShardMsg),
 }
 
 struct Inner {
+    /// Released messages, in block order, ready for the worker.
     msgs: VecDeque<ShardMsg>,
+    /// The reorder buffer: staged entries keyed by block id, awaiting
+    /// the watermark.
+    pending: BTreeMap<u64, Staged>,
+    /// Highest watermark applied; `release_up_to` is monotone in it.
+    released_watermark: u64,
     depth: usize,
     high_water: usize,
     dropped: u64,
     drained_batches: u64,
     drained_tuples: u64,
     max_drain: usize,
+    reorder_high_water: usize,
+    reorder_released: u64,
     closed: bool,
 }
 
 /// A bounded MPSC queue feeding one shard worker. Producers are the
-/// sequencer (under its lock) and the runtime's control plane; the
-/// single consumer is the shard worker.
+/// striped sequencer's ingest paths (staging blocks out of order) and
+/// the runtime's control plane; the single consumer is the shard worker.
 pub(crate) struct ShardQueue {
     inner: Mutex<Inner>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Lock-free mirror of `!inner.pending.is_empty()`, letting
+    /// watermark broadcasts skip shards with nothing staged without
+    /// touching their mutex. Safe to read stale-false only because any
+    /// entry a broadcast must release was staged (and this flag raised)
+    /// before its block completed — and completion happens-before the
+    /// broadcast via the sequencer lock.
+    has_pending: AtomicBool,
 }
 
 impl ShardQueue {
@@ -105,24 +151,38 @@ impl ShardQueue {
         ShardQueue {
             inner: Mutex::new(Inner {
                 msgs: VecDeque::new(),
+                pending: BTreeMap::new(),
+                released_watermark: 0,
                 depth: 0,
                 high_water: 0,
                 dropped: 0,
                 drained_batches: 0,
                 drained_tuples: 0,
                 max_drain: 0,
+                reorder_high_water: 0,
+                reorder_released: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            has_pending: AtomicBool::new(false),
         }
     }
 
-    /// Enqueue a stamped tuple batch under `policy`. Returns how many
-    /// tuples were dropped (`DropNewest` only; `Block` never drops).
-    pub fn push_tuples(
+    /// Stage one block's slice into the reorder buffer under `policy`.
+    /// Returns how many tuples were dropped (`DropNewest` only — the
+    /// slice is truncated to the remaining room; `Block` admits the
+    /// slice whole and never drops, the producer parks later in
+    /// [`wait_for_room`](Self::wait_for_room)).
+    ///
+    /// The entry stays pending until the sequencer watermark passes its
+    /// block id; a block is staged at most once per shard, before its
+    /// completion, so its id is always at or above the applied
+    /// watermark.
+    pub fn stage_block(
         &self,
+        block: u64,
         mut tuples: Vec<(u64, Tuple)>,
         policy: BackpressurePolicy,
     ) -> Result<u64, Closed> {
@@ -133,16 +193,13 @@ impl ShardQueue {
         if inner.closed {
             return Err(Closed);
         }
+        debug_assert!(
+            block >= inner.released_watermark,
+            "block {block} staged after watermark {}",
+            inner.released_watermark
+        );
         let dropped = match policy {
-            BackpressurePolicy::Block => {
-                while inner.depth >= self.capacity && !inner.closed {
-                    inner = self.not_full.wait(inner).expect("ingest queue poisoned");
-                }
-                if inner.closed {
-                    return Err(Closed);
-                }
-                0
-            }
+            BackpressurePolicy::Block => 0,
             BackpressurePolicy::DropNewest => {
                 let room = self.capacity.saturating_sub(inner.depth);
                 let dropped = tuples.len().saturating_sub(room) as u64;
@@ -154,14 +211,71 @@ impl ShardQueue {
         if !tuples.is_empty() {
             inner.depth += tuples.len();
             inner.high_water = inner.high_water.max(inner.depth);
-            inner.msgs.push_back(ShardMsg::Tuples(tuples));
-            self.not_empty.notify_one();
+            inner.pending.insert(block, Staged::Tuples(tuples));
+            inner.reorder_high_water = inner.reorder_high_water.max(inner.pending.len());
+            self.has_pending.store(true, Ordering::Release);
         }
         Ok(dropped)
     }
 
-    /// Enqueue a control message; bypasses the capacity bound and is
-    /// never dropped.
+    /// Stage a position-ordered control message (register, deregister,
+    /// barrier) under a zero-width block id; bypasses the capacity bound
+    /// and is never dropped.
+    pub fn stage_control(&self, block: u64, msg: ShardMsg) -> Result<(), Closed> {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        if inner.closed {
+            return Err(Closed);
+        }
+        inner.pending.insert(block, Staged::Control(msg));
+        inner.reorder_high_water = inner.reorder_high_water.max(inner.pending.len());
+        self.has_pending.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Apply a sequencer low watermark: move every pending entry with a
+    /// block id below `watermark` to the worker FIFO, in block order.
+    /// Monotone — a broadcast racing an older one is a no-op.
+    ///
+    /// Skipping when nothing is pending is sound: an entry this
+    /// broadcast must release was staged — raising `has_pending` —
+    /// strictly before its block completed, and the completion
+    /// happens-before the broadcast through the sequencer lock, so the
+    /// flag is visible by the time the broadcast reaches this shard. A
+    /// skipped broadcast leaves `released_watermark` stale (a lower
+    /// bound), which the next real release simply catches up past.
+    pub fn release_up_to(&self, watermark: u64) {
+        if !self.has_pending.load(Ordering::Acquire) {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        if watermark <= inner.released_watermark {
+            return;
+        }
+        inner.released_watermark = watermark;
+        let mut moved = false;
+        while let Some(entry) = inner.pending.first_entry() {
+            if *entry.key() >= watermark {
+                break;
+            }
+            let msg = match entry.remove() {
+                Staged::Tuples(ts) => ShardMsg::Tuples(ts),
+                Staged::Control(msg) => msg,
+            };
+            inner.msgs.push_back(msg);
+            inner.reorder_released += 1;
+            moved = true;
+        }
+        if inner.pending.is_empty() {
+            self.has_pending.store(false, Ordering::Release);
+        }
+        if moved {
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Enqueue an *unordered* control message (stats polls) directly on
+    /// the worker FIFO; bypasses both the reorder stage and the capacity
+    /// bound.
     pub fn push_control(&self, msg: ShardMsg) -> Result<(), Closed> {
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
         if inner.closed {
@@ -172,6 +286,20 @@ impl ShardQueue {
         Ok(())
     }
 
+    /// Park until the queue has room below its capacity bound (the
+    /// `Block` policy's backpressure point, called by producers *after*
+    /// completing their position block) or the queue closes.
+    pub fn wait_for_room(&self) -> Result<(), Closed> {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        while inner.depth >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("ingest queue poisoned");
+        }
+        if inner.closed {
+            return Err(Closed);
+        }
+        Ok(())
+    }
+
     /// Blocking pop without coalescing (`pop_batch(1)`), for tests.
     #[cfg(test)]
     pub fn pop(&self) -> Option<ShardMsg> {
@@ -179,7 +307,10 @@ impl ShardQueue {
     }
 
     /// Blocking pop for the shard worker. Returns `None` once the queue
-    /// is closed *and* fully drained, so no queued work is ever lost.
+    /// is closed *and* the released FIFO is fully drained, so no
+    /// released work is ever lost (entries still pending in the reorder
+    /// buffer at close belong to blocks that can no longer complete and
+    /// are abandoned with the shutdown).
     ///
     /// When the front message is a tuple batch, consecutive tuple
     /// batches already queued behind it are opportunistically coalesced
@@ -221,8 +352,8 @@ impl ShardQueue {
         }
     }
 
-    /// Close the queue: producers fail fast, the worker drains what is
-    /// left and exits.
+    /// Close the queue: producers fail fast, the worker drains what was
+    /// released and exits.
     pub fn close(&self) {
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
         inner.closed = true;
@@ -240,6 +371,9 @@ impl ShardQueue {
             drained_batches: inner.drained_batches,
             drained_tuples: inner.drained_tuples,
             max_drain_batch: inner.max_drain,
+            reorder_pending: inner.pending.len(),
+            reorder_high_water: inner.reorder_high_water,
+            reorder_released: inner.reorder_released,
         }
     }
 }
@@ -250,27 +384,80 @@ mod tests {
     use cer_common::tuple::tup;
     use cer_common::Schema;
 
-    fn stamped(r: cer_common::RelationId, n: usize) -> Vec<(u64, Tuple)> {
-        (0..n).map(|i| (i as u64, tup(r, [i as i64]))).collect()
+    fn stamped(r: cer_common::RelationId, start: u64, n: usize) -> Vec<(u64, Tuple)> {
+        (0..n)
+            .map(|i| (start + i as u64, tup(r, [i as i64])))
+            .collect()
+    }
+
+    /// Stage one block and release it immediately, the single-producer
+    /// fast path.
+    fn stage_released(
+        q: &ShardQueue,
+        block: u64,
+        tuples: Vec<(u64, Tuple)>,
+        policy: BackpressurePolicy,
+    ) -> Result<u64, Closed> {
+        let dropped = q.stage_block(block, tuples, policy)?;
+        q.release_up_to(block + 1);
+        Ok(dropped)
     }
 
     #[test]
-    fn drop_newest_truncates_and_counts() {
+    fn out_of_order_blocks_release_in_block_order() {
+        let (_, r, _, _) = Schema::sigma0();
+        let q = ShardQueue::new(100);
+        // Three blocks staged newest-first, as racing producers would.
+        q.stage_block(2, stamped(r, 20, 2), BackpressurePolicy::Block)
+            .unwrap();
+        q.stage_block(1, stamped(r, 10, 2), BackpressurePolicy::Block)
+            .unwrap();
+        assert_eq!(q.stats().reorder_pending, 2);
+        // Watermark stuck below the oldest block: nothing released, the
+        // worker would still be waiting.
+        q.release_up_to(0);
+        assert_eq!(q.stats().reorder_released, 0);
+        q.stage_block(0, stamped(r, 0, 2), BackpressurePolicy::Block)
+            .unwrap();
+        assert_eq!(q.stats().reorder_high_water, 3);
+        // Watermark passes all three (a stale broadcast racing in later
+        // must be a no-op).
+        q.release_up_to(3);
+        q.release_up_to(1);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            match q.pop().unwrap() {
+                ShardMsg::Tuples(ts) => seen.extend(ts.iter().map(|(i, _)| *i)),
+                _ => panic!("tuples only"),
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![0, 1, 10, 11, 20, 21],
+            "released in position order"
+        );
+        let st = q.stats();
+        assert_eq!((st.reorder_pending, st.reorder_released), (0, 3));
+        assert_eq!(st.depth, 0);
+    }
+
+    #[test]
+    fn drop_newest_truncates_and_counts_through_the_reorder_stage() {
         let (_, r, _, _) = Schema::sigma0();
         let q = ShardQueue::new(3);
-        let dropped = q
-            .push_tuples(stamped(r, 5), BackpressurePolicy::DropNewest)
-            .unwrap();
+        let dropped =
+            stage_released(&q, 0, stamped(r, 0, 5), BackpressurePolicy::DropNewest).unwrap();
         assert_eq!(dropped, 2);
         let st = q.stats();
         assert_eq!((st.depth, st.high_water, st.dropped), (3, 3, 2));
-        // Full: everything new is dropped, control still gets through.
-        let dropped = q
-            .push_tuples(stamped(r, 2), BackpressurePolicy::DropNewest)
-            .unwrap();
+        // Full: everything new is dropped (whether pending or released,
+        // staged tuples count), control still gets through.
+        let dropped =
+            stage_released(&q, 1, stamped(r, 5, 2), BackpressurePolicy::DropNewest).unwrap();
         assert_eq!(dropped, 2);
         let (tx, rx) = std::sync::mpsc::channel();
-        q.push_control(ShardMsg::Barrier { reply: tx }).unwrap();
+        q.stage_control(2, ShardMsg::Barrier { reply: tx }).unwrap();
+        q.release_up_to(3);
         match q.pop().unwrap() {
             ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 3),
             _ => panic!("tuples first"),
@@ -287,24 +474,25 @@ mod tests {
     fn pop_batch_coalesces_up_to_max_but_never_crosses_control() {
         let (_, r, _, _) = Schema::sigma0();
         let q = ShardQueue::new(100);
-        // Three consecutive tuple batches, a barrier, then one more.
-        q.push_tuples(stamped(r, 3), BackpressurePolicy::Block)
+        // Three consecutive tuple blocks, a barrier, then one more.
+        q.stage_block(0, stamped(r, 0, 3), BackpressurePolicy::Block)
             .unwrap();
-        q.push_tuples(stamped(r, 3), BackpressurePolicy::Block)
+        q.stage_block(1, stamped(r, 3, 3), BackpressurePolicy::Block)
             .unwrap();
-        q.push_tuples(stamped(r, 3), BackpressurePolicy::Block)
+        q.stage_block(2, stamped(r, 6, 3), BackpressurePolicy::Block)
             .unwrap();
         let (tx, _rx) = std::sync::mpsc::channel();
-        q.push_control(ShardMsg::Barrier { reply: tx }).unwrap();
-        q.push_tuples(stamped(r, 2), BackpressurePolicy::Block)
+        q.stage_control(3, ShardMsg::Barrier { reply: tx }).unwrap();
+        q.stage_block(4, stamped(r, 9, 2), BackpressurePolicy::Block)
             .unwrap();
-        // max_batch 5: the first two batches coalesce (3 < 5, then 6 ≥ 5
+        q.release_up_to(5);
+        // max_batch 5: the first two blocks coalesce (3 < 5, then 6 ≥ 5
         // — overshoot by at most one producer batch), the third stays.
         match q.pop_batch(5).unwrap() {
             ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 6),
             _ => panic!("tuples first"),
         }
-        // The third batch never merges across the barrier.
+        // The third block never merges across the barrier.
         match q.pop_batch(100).unwrap() {
             ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 3),
             _ => panic!("tuples second"),
@@ -325,29 +513,34 @@ mod tests {
     }
 
     #[test]
-    fn block_waits_for_room_and_close_drains() {
+    fn wait_for_room_parks_until_drained_and_close_drains_released() {
         let (_, r, _, _) = Schema::sigma0();
         let q = std::sync::Arc::new(ShardQueue::new(2));
-        q.push_tuples(stamped(r, 2), BackpressurePolicy::Block)
-            .unwrap();
+        stage_released(&q, 0, stamped(r, 0, 2), BackpressurePolicy::Block).unwrap();
+        // Over-capacity staging is admitted whole (soft bound)...
+        stage_released(&q, 1, stamped(r, 2, 2), BackpressurePolicy::Block).unwrap();
+        assert_eq!(q.stats().depth, 4);
+        // ...and the producer then parks in wait_for_room until the
+        // consumer drains below the bound.
         let producer = {
             let q = q.clone();
-            let batch = stamped(r, 2);
-            std::thread::spawn(move || q.push_tuples(batch, BackpressurePolicy::Block))
+            std::thread::spawn(move || q.wait_for_room())
         };
-        // The producer is parked until the consumer drains.
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!producer.is_finished());
         assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
-        assert_eq!(producer.join().unwrap(), Ok(0));
+        assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
+        assert_eq!(producer.join().unwrap(), Ok(()));
+        stage_released(&q, 2, stamped(r, 4, 1), BackpressurePolicy::Block).unwrap();
         q.close();
-        // The queued batch survives the close; then the queue reports
+        // The released batch survives the close; then the queue reports
         // exhaustion and producers fail fast.
         assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
         assert!(q.pop().is_none());
         assert_eq!(
-            q.push_tuples(stamped(r, 1), BackpressurePolicy::Block),
+            q.stage_block(3, stamped(r, 5, 1), BackpressurePolicy::Block),
             Err(Closed)
         );
+        assert_eq!(q.wait_for_room(), Err(Closed));
     }
 }

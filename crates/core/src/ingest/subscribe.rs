@@ -12,7 +12,11 @@
 //! Subscriptions filter per query ([`SubscriptionFilter::Query`]) or
 //! receive everything ([`SubscriptionFilter::All`]). Dropping a
 //! [`Subscription`] closes its queue; publishers skip closed queues and
-//! the registry prunes them on the next subscribe.
+//! the registry prunes them on the next subscribe. Runtime shutdown
+//! closes every channel from the other side
+//! ([`SubscriptionRegistry::close_all`]) — waking publishers parked on
+//! full `Block` channels so the shard workers can exit — while events
+//! already queued stay readable by the consumer.
 
 use super::BackpressurePolicy;
 use crate::runtime::{MatchEvent, QueryId};
@@ -130,6 +134,23 @@ impl SubscriptionRegistry {
         }
     }
 
+    /// Close every subscriber channel and wake anyone parked on it:
+    /// publishers parked in [`SubQueue::offer`] on a full `Block`
+    /// channel return immediately, and publishers skip closed channels
+    /// afterwards. Called by the ingest pipeline's shutdown so a shard
+    /// worker wedged on an undrained subscription cannot hang
+    /// `Runtime::drop`. Events already queued stay readable; consumers
+    /// waiting in `recv_timeout` return `None` early.
+    pub fn close_all(&self) {
+        let subs = self.subs.read().expect("subscription registry poisoned");
+        for sub in subs.iter() {
+            let mut inner = sub.inner.lock().expect("subscription queue poisoned");
+            inner.closed = true;
+            sub.not_full.notify_all();
+            sub.not_empty.notify_all();
+        }
+    }
+
     /// Whether any live subscriber would accept events for `q` — lets
     /// shard workers skip valuation cloning entirely on quiet queries.
     pub fn has_subscriber_for(&self, q: QueryId) -> bool {
@@ -174,6 +195,11 @@ impl Subscription {
             if let Some(ev) = inner.events.pop_front() {
                 self.queue.not_full.notify_all();
                 return Some(ev);
+            }
+            // A closed empty channel can never fill again (the runtime
+            // shut down): return early instead of sleeping the timeout.
+            if inner.closed {
+                return None;
             }
             let now = Instant::now();
             if now >= deadline {
@@ -293,6 +319,34 @@ mod tests {
         let again = reg.subscribe(SubscriptionFilter::All, 1, BackpressurePolicy::Block);
         assert_eq!(reg.subs.read().unwrap().len(), 1, "closed queue pruned");
         drop(again);
+    }
+
+    #[test]
+    fn close_all_wakes_parked_publishers_and_keeps_queued_events() {
+        let reg = Arc::new(SubscriptionRegistry::default());
+        let sub = reg.subscribe(SubscriptionFilter::All, 1, BackpressurePolicy::Block);
+        reg.publish(&ev(0, 0));
+        // A publisher parked on the full Block channel (this is the
+        // shutdown-hang shape: a shard worker stuck in offer()).
+        let publisher = {
+            let reg = reg.clone();
+            std::thread::spawn(move || reg.publish(&ev(0, 1)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!publisher.is_finished());
+        reg.close_all();
+        publisher.join().unwrap();
+        // The event queued before the close stays readable; the one the
+        // parked publisher held is discarded; later publishes are
+        // skipped and subscriber checks report no listeners.
+        assert_eq!(sub.drain().len(), 1);
+        reg.publish(&ev(0, 2));
+        assert!(sub.is_empty());
+        assert!(!reg.has_subscriber_for(QueryId(0)));
+        // recv_timeout returns early on the closed empty channel.
+        let t0 = Instant::now();
+        assert!(sub.recv_timeout(Duration::from_secs(30)).is_none());
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   sides, which [`Runtime::register`] validates via
 //!   [`Pcea::supports_key_partition`];
 //! * **ingestion** — shard workers drain bounded per-shard queues fed
-//!   by a position-stamping sequencer ([`crate::ingest`]), coalescing
+//!   by a striped position-block sequencer ([`crate::ingest`]; producers
+//!   reserve position blocks and route/stage outside any global lock,
+//!   and a per-shard reorder stage restores position order), coalescing
 //!   queued tuples into slices of up to [`IngestConfig::max_batch`] per
 //!   wakeup and evaluating each query's subsequence through the
 //!   vectorized batch path
@@ -91,9 +93,11 @@ pub struct QueryId(pub u32);
 /// How a registered query is spread across the runtime's shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Partition {
-    /// The query lives on exactly one shard (chosen round-robin).
-    /// Always sound; multi-query workloads scale because different
-    /// queries land on different shards.
+    /// The query lives on exactly one shard (the one hosting the fewest
+    /// live pinned queries at registration time, so register/deregister
+    /// churn keeps placement balanced). Always sound; multi-query
+    /// workloads scale because different queries land on different
+    /// shards.
     ByQuery,
     /// The query is replicated on every shard and each tuple is routed
     /// by the hash of its value at tuple position `pos`. Sound exactly
@@ -205,10 +209,27 @@ pub struct RuntimeStats {
     /// Per-shard ingest queue occupancy (current depth, high-water
     /// mark, tuples dropped under
     /// [`BackpressurePolicy::DropNewest`](crate::ingest::BackpressurePolicy)),
-    /// plus the evaluation batch sizes the shard workers actually
-    /// drained ([`QueueStats::drained_batches`] /
-    /// [`QueueStats::drained_tuples`] / [`QueueStats::max_drain_batch`]).
+    /// the evaluation batch sizes the shard workers actually drained
+    /// ([`QueueStats::drained_batches`] / [`QueueStats::drained_tuples`]
+    /// / [`QueueStats::max_drain_batch`]), and the reorder-stage
+    /// counters of the striped sequencer
+    /// ([`QueueStats::reorder_pending`] /
+    /// [`QueueStats::reorder_high_water`] /
+    /// [`QueueStats::reorder_released`]).
     pub shard_queues: Vec<QueueStats>,
+}
+
+impl RuntimeStats {
+    /// Out-of-order timestamps clamped by time-window clocks, summed
+    /// across queries and shards
+    /// ([`EngineStats::ts_regressions`](crate::evaluator::EngineStats)).
+    /// Non-zero means some stream violated the non-decreasing-timestamp
+    /// contract — under `ByKey` sharding its outputs may then depend on
+    /// the shard count (see the hazard note in [`crate::window`]), so
+    /// operators should alert on this counter.
+    pub fn ts_regressions(&self) -> u64 {
+        self.per_query.iter().map(|(_, st)| st.ts_regressions).sum()
+    }
 }
 
 /// What a shard worker hosts for one registered query.
@@ -232,8 +253,6 @@ pub struct Runtime {
     shared: Arc<IngestShared>,
     workers: Vec<Option<JoinHandle<()>>>,
     queries: Vec<QueryInfo>,
-    /// Round-robin cursor for pinned queries.
-    next_shard: usize,
 }
 
 impl Runtime {
@@ -263,7 +282,6 @@ impl Runtime {
             shared,
             workers,
             queries: Vec::new(),
-            next_shard: 0,
         }
     }
 
@@ -283,13 +301,16 @@ impl Runtime {
     }
 
     /// The name a query was registered under (also for deregistered
-    /// ids).
-    pub fn query_name(&self, id: QueryId) -> &str {
-        &self.queries[id.0 as usize].name
+    /// ids); `None` for an id this runtime never issued.
+    pub fn query_name(&self, id: QueryId) -> Option<&str> {
+        self.queries.get(id.0 as usize).map(|q| q.name.as_str())
     }
 
     /// Register a query; tuples pushed from now on are evaluated against
-    /// it. Key-partitioned placements are validated for soundness.
+    /// it. Key-partitioned placements are validated for soundness;
+    /// pinned ([`Partition::ByQuery`]) queries are placed on the shard
+    /// currently hosting the fewest live pinned queries, so
+    /// register/deregister churn cannot pile them up on few shards.
     pub fn register(&mut self, spec: QuerySpec) -> Result<QueryId, RuntimeError> {
         if let Partition::ByKey { pos } = spec.partition {
             if !spec.pcea.supports_key_partition(pos) {
@@ -301,40 +322,49 @@ impl Runtime {
         }
         let id = QueryId(self.queries.len() as u32);
         let listens = spec.pcea.relations();
-        let homes: Vec<usize> = match spec.partition {
-            Partition::ByQuery => {
-                let shard = self.next_shard;
-                self.next_shard = (self.next_shard + 1) % self.num_shards();
-                vec![shard]
-            }
-            Partition::ByKey { .. } => (0..self.num_shards()).collect(),
-        };
-        {
-            // Under the sequencer lock: tuples staged before this see
-            // the old tables, tuples after see the query — and the
-            // Register control messages land on each shard queue ahead
-            // of any tuple routed to the new query.
+        let block = {
+            // One sequencer lock acquisition swaps the router AND
+            // reserves the zero-width control block, so the routing
+            // epoch agrees with block order: blocks reserved before this
+            // were routed with the old tables and their tuples are
+            // released ahead of the Register message; blocks after see
+            // the query and follow it.
             let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
-            seq.router.metas.push(QueryMeta {
+            let homes: Vec<usize> = match spec.partition {
+                Partition::ByQuery => {
+                    let counts = seq.router.pinned_per_shard(self.shared.queues.len());
+                    let least = (0..counts.len()).min_by_key(|&s| counts[s]).unwrap_or(0);
+                    vec![least]
+                }
+                Partition::ByKey { .. } => (0..self.shared.queues.len()).collect(),
+            };
+            let router = Arc::make_mut(&mut seq.router);
+            router.metas.push(QueryMeta {
                 alive: true,
                 partition: spec.partition,
                 listens: listens.clone(),
                 homes: homes.clone(),
             });
-            seq.router.rebuild();
+            router.rebuild();
+            let (block, _) = seq.reserve(0);
             for &shard in &homes {
                 self.shared.queues[shard]
-                    .push_control(ShardMsg::Register {
-                        id,
-                        pcea: spec.pcea.clone(),
-                        window: spec.window.clone(),
-                        partition: spec.partition,
-                        gc_every: spec.gc_every,
-                        listens: listens.clone(),
-                    })
+                    .stage_control(
+                        block,
+                        ShardMsg::Register {
+                            id,
+                            pcea: spec.pcea.clone(),
+                            window: spec.window.clone(),
+                            partition: spec.partition,
+                            gc_every: spec.gc_every,
+                            listens: listens.clone(),
+                        },
+                    )
                     .expect("runtime not shut down");
             }
-        }
+            block
+        };
+        self.shared.finish_block(block);
         self.queries.push(QueryInfo {
             name: spec.name,
             alive: true,
@@ -355,22 +385,32 @@ impl Runtime {
             .ok_or(RuntimeError::UnknownQuery { id })?;
         info.alive = false;
         let (reply, replies) = channel();
-        let homes = {
+        let (block, homes) = {
+            // Same epoch rule as `register`: the router swap and the
+            // zero-width control block share one lock acquisition, so
+            // tuples routed to the dying query (older blocks) are
+            // released ahead of the Deregister message and still count.
             let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
-            let meta = &mut seq.router.metas[id.0 as usize];
+            let router = Arc::make_mut(&mut seq.router);
+            let meta = &mut router.metas[id.0 as usize];
             meta.alive = false;
             let homes = meta.homes.clone();
-            seq.router.rebuild();
+            router.rebuild();
+            let (block, _) = seq.reserve(0);
             for &shard in &homes {
                 self.shared.queues[shard]
-                    .push_control(ShardMsg::Deregister {
-                        id,
-                        reply: reply.clone(),
-                    })
+                    .stage_control(
+                        block,
+                        ShardMsg::Deregister {
+                            id,
+                            reply: reply.clone(),
+                        },
+                    )
                     .expect("runtime not shut down");
             }
-            homes
+            (block, homes)
         };
+        self.shared.finish_block(block);
         drop(reply);
         let mut total = EngineStats::default();
         for _ in 0..homes.len() {
@@ -459,6 +499,13 @@ impl Runtime {
     /// workers. Outstanding [`IngestHandle`]s observe
     /// [`IngestError::RuntimeClosed`](crate::ingest::IngestError::RuntimeClosed)
     /// afterwards.
+    ///
+    /// The initial drain is a lossless fence, so it shares `drain`'s
+    /// caveat about full `Block` subscribers. Dropping the runtime
+    /// *without* `shutdown` never hangs, even with a live, undrained
+    /// `Block` subscription: `Drop` closes the subscriber channels along
+    /// with the queues, waking any parked worker (in-flight, undelivered
+    /// events are discarded — already-queued ones stay readable).
     pub fn shutdown(self) -> RuntimeStats {
         self.drain();
         // `Drop` then closes the queues and joins the workers.
@@ -516,6 +563,7 @@ fn sum_stats(acc: &mut EngineStats, st: &EngineStats) {
     acc.extends += st.extends;
     acc.unions += st.unions;
     acc.collections += st.collections;
+    acc.ts_regressions += st.ts_regressions;
 }
 
 /// One worker thread: hosts its queries' evaluators and a local routing
@@ -834,7 +882,10 @@ mod tests {
         rt.push_batch(&stream);
         let stats = rt.stats();
         assert_eq!(stats.per_query.len(), 2);
-        assert_eq!((rt.query_name(a), rt.query_name(b)), ("pinned", "keyed"));
+        assert_eq!(
+            (rt.query_name(a), rt.query_name(b)),
+            (Some("pinned"), Some("keyed"))
+        );
         let get = |q: QueryId| stats.per_query.iter().find(|(id, _)| *id == q).unwrap().1;
         // Both queries saw all 8 σ0 tuples (all are relevant relations).
         assert_eq!(get(a).positions, 8);
@@ -887,7 +938,7 @@ mod tests {
             assert_eq!(final_stats.positions, 8, "shards={shards}");
             assert!(final_stats.extends > 0);
             assert_eq!(rt.num_queries(), 1);
-            assert_eq!(rt.query_name(b), "keyed", "name outlives the query");
+            assert_eq!(rt.query_name(b), Some("keyed"), "name outlives the query");
             // Retired id: a second deregister is rejected.
             assert_eq!(rt.deregister(b), Err(RuntimeError::UnknownQuery { id: b }));
             // The survivor keeps matching (the wide window also joins
@@ -908,5 +959,61 @@ mod tests {
             rt.deregister(QueryId(7)),
             Err(RuntimeError::UnknownQuery { id: QueryId(7) })
         );
+    }
+
+    #[test]
+    fn query_name_of_unknown_id_is_none_not_a_panic() {
+        let (_, r, s, t) = Schema::sigma0();
+        let mut rt = Runtime::new(2);
+        // Probing a never-registered id must not crash.
+        assert_eq!(rt.query_name(QueryId(3)), None);
+        let q = rt
+            .register(QuerySpec::new(
+                "p0",
+                paper_p0(r, s, t),
+                WindowPolicy::Count(10),
+            ))
+            .unwrap();
+        assert_eq!(rt.query_name(q), Some("p0"));
+        assert_eq!(rt.query_name(QueryId(q.0 + 1)), None);
+    }
+
+    /// Where each registered query's pinned home landed, read from the
+    /// router metadata.
+    fn pinned_homes(rt: &Runtime) -> Vec<usize> {
+        let seq = rt.shared.seq.lock().unwrap();
+        seq.router
+            .metas
+            .iter()
+            .filter(|m| m.alive && m.partition == Partition::ByQuery)
+            .map(|m| m.homes[0])
+            .collect()
+    }
+
+    #[test]
+    fn pinned_placement_balances_after_churn() {
+        let (_, r, s, t) = Schema::sigma0();
+        let mut rt = Runtime::new(2);
+        let spec = || QuerySpec::new("pinned", paper_p0(r, s, t), WindowPolicy::Count(10));
+        // Fresh runtime: four pinned queries spread 2/2.
+        let ids: Vec<QueryId> = (0..4).map(|_| rt.register(spec()).unwrap()).collect();
+        assert_eq!(pinned_homes(&rt), vec![0, 1, 0, 1]);
+        // Deregister both queries on shard 0. A cursor that ignores
+        // deregistration would now alternate 0,1 and leave shard 1 with
+        // twice the load; least-loaded placement refills shard 0 first.
+        rt.deregister(ids[0]).unwrap();
+        rt.deregister(ids[2]).unwrap();
+        rt.register(spec()).unwrap();
+        rt.register(spec()).unwrap();
+        assert_eq!(pinned_homes(&rt), vec![1, 1, 0, 0]);
+        // The next two split across the (now equal) shards again.
+        rt.register(spec()).unwrap();
+        rt.register(spec()).unwrap();
+        let homes = pinned_homes(&rt);
+        assert_eq!(homes.iter().filter(|&&s| s == 0).count(), 3);
+        assert_eq!(homes.iter().filter(|&&s| s == 1).count(), 3);
+        // The placement still evaluates correctly after the churn.
+        let events = rt.push_batch(&sigma0_prefix(r, s, t));
+        assert_eq!(events.len(), 2 * rt.num_queries());
     }
 }

@@ -16,7 +16,32 @@
 //! shard that observes a gappy subsequence therefore computes the same
 //! bound the dense evaluator would — this is invariant 2 of the
 //! position-sequencing soundness argument in the
-//! [`ingest`](crate::ingest) module docs.
+//! [`ingest`](crate::ingest) module docs. The striped sequencer adds a
+//! reordering clause to that argument: concurrent producers stage
+//! position blocks out of order and a per-shard reorder stage releases
+//! them in position order, so a tuple may sit buffered for a while —
+//! but since the bound is a function of the *stamped* position (or the
+//! tuple's own timestamp), evaluating it later computes exactly the
+//! bound it would have computed at staging time. Buffering delay is
+//! invisible to window semantics.
+//!
+//! # Hazard: out-of-order timestamps under `ByKey` sharding
+//!
+//! Time windows assume each stream's timestamp attribute is
+//! non-decreasing. [`WindowClock::observe`] *clamps* a violating
+//! timestamp up to the latest one seen **by that clock** — and under
+//! [`Partition::ByKey`](crate::runtime::Partition) sharding each shard
+//! replica owns its own clock and sees only its key slice. The same
+//! contract-violating stream can therefore clamp *differently* on
+//! different shard counts (a regression hidden from shard 0's clock may
+//! be visible to the single dense clock, and vice versa), silently
+//! producing **shard-count-dependent outputs**. The clamp counts every
+//! such regression ([`WindowClock::ts_regressions`], surfaced as
+//! `EngineStats::ts_regressions` and aggregated across shards in
+//! [`RuntimeStats`](crate::runtime::RuntimeStats::ts_regressions)):
+//! a non-zero counter means the input violated the contract and
+//! divergence is possible — alert on it rather than trusting the
+//! multiset-equivalence guarantee for that stream.
 
 use std::collections::VecDeque;
 
@@ -53,6 +78,9 @@ pub struct WindowClock {
     /// Time windows: in-window `(position, timestamp)` ring.
     ring: VecDeque<(u64, i64)>,
     last_ts: i64,
+    /// Out-of-order timestamps this clock clamped (see the module-level
+    /// hazard note).
+    ts_regressions: u64,
 }
 
 impl WindowClock {
@@ -62,7 +90,16 @@ impl WindowClock {
             policy,
             ring: VecDeque::new(),
             last_ts: i64::MIN,
+            ts_regressions: 0,
         }
+    }
+
+    /// How many out-of-order timestamps this clock has clamped up to its
+    /// own `last_ts`. Always 0 for count windows and for streams
+    /// honouring the non-decreasing-timestamp contract; non-zero flags
+    /// the shard-count-dependence hazard described in the module docs.
+    pub fn ts_regressions(&self) -> u64 {
+        self.ts_regressions
     }
 
     /// The policy driving this clock.
@@ -89,19 +126,25 @@ impl WindowClock {
     ///
     /// Panics for time windows when the tuple lacks an integer timestamp
     /// at the configured position. Out-of-order timestamps are clamped
-    /// up to the latest seen by *this* clock.
+    /// up to the latest seen by *this* clock, and every clamp is counted
+    /// in [`ts_regressions`](Self::ts_regressions) — under key-partitioned
+    /// sharding the clamp makes outputs shard-count-dependent, so the
+    /// count is the operator's detection signal (module docs).
     pub fn observe(&mut self, i: u64, t: &Tuple) -> u64 {
         match &self.policy {
             WindowPolicy::Count(w) => i.saturating_sub(*w),
             WindowPolicy::Time { duration, ts_pos } => {
-                let ts = t
+                let raw = t
                     .values()
                     .get(*ts_pos)
                     .and_then(cer_common::Value::as_int)
                     .unwrap_or_else(|| {
                         panic!("time window: tuple lacks an integer timestamp at {ts_pos}")
-                    })
-                    .max(self.last_ts);
+                    });
+                if raw < self.last_ts {
+                    self.ts_regressions += 1;
+                }
+                let ts = raw.max(self.last_ts);
                 self.last_ts = ts;
                 self.ring.push_back((i, ts));
                 while self
@@ -173,5 +216,26 @@ mod tests {
         assert_eq!(clock.observe(9, &tup(r, [16i64, 0])), 4);
         // A stale clock is clamped monotone.
         assert_eq!(clock.observe(12, &tup(r, [2i64, 0])), 4);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_counted() {
+        let (_, r, _, _) = Schema::sigma0();
+        let mut clock = WindowClock::new(WindowPolicy::Time {
+            duration: 10,
+            ts_pos: 0,
+        });
+        clock.observe(0, &tup(r, [5i64, 0]));
+        assert_eq!(clock.ts_regressions(), 0);
+        clock.observe(1, &tup(r, [3i64, 0])); // regression: clamped to 5
+        clock.observe(2, &tup(r, [5i64, 0])); // equal is NOT a regression
+        clock.observe(3, &tup(r, [4i64, 0])); // regression again
+        clock.observe(4, &tup(r, [9i64, 0]));
+        assert_eq!(clock.ts_regressions(), 2);
+        // Count windows never regress: there is no timestamp to clamp.
+        let mut count = WindowClock::new(WindowPolicy::Count(3));
+        count.observe(0, &tup(r, [9i64, 0]));
+        count.observe(5, &tup(r, [1i64, 0]));
+        assert_eq!(count.ts_regressions(), 0);
     }
 }

@@ -108,7 +108,7 @@ fn main() {
     for (id, st) in &stats.per_query {
         println!(
             "  {}: {} positions seen, {} extends, {} live arena nodes",
-            runtime.query_name(*id),
+            runtime.query_name(*id).unwrap_or("<unknown>"),
             st.positions,
             st.extends,
             st.arena_nodes

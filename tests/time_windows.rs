@@ -144,3 +144,60 @@ fn missing_timestamp_panics_with_context() {
     let mut engine = StreamingEvaluator::new_timed(pcea, 10, 5); // bad ts_pos
     engine.push(&tup(a, [0i64, 7]));
 }
+
+/// A contract-violating stream (out-of-order timestamps) is *detected*:
+/// the clamp that keeps the clock monotone counts every regression into
+/// `EngineStats::ts_regressions`, aggregated across shards in
+/// `RuntimeStats` — the operator's signal that under `ByKey` sharding
+/// outputs may have become shard-count-dependent (see the hazard note
+/// in `cer_core::window`).
+#[test]
+fn ts_regressions_surface_in_engine_and_runtime_stats() {
+    let (schema, pcea) = q0_engine();
+    let a = schema.relation("A").unwrap();
+    let b = schema.relation("B").unwrap();
+    // Timestamps regress twice (10 → 4, 12 → 3).
+    let stream = [
+        tup(a, [10i64, 7]),
+        tup(b, [4i64, 7]),
+        tup(b, [12i64, 7]),
+        tup(a, [3i64, 7]),
+        tup(b, [13i64, 7]),
+    ];
+    let mut engine = StreamingEvaluator::new_timed(pcea.clone(), 10, 0);
+    for t in &stream {
+        engine.push(t);
+    }
+    assert_eq!(engine.stats().ts_regressions, 2);
+    // A compliant stream reports zero.
+    let mut clean = StreamingEvaluator::new_timed(pcea.clone(), 10, 0);
+    for ts in [1i64, 2, 5, 9] {
+        clean.push(&tup(a, [ts, 7]));
+    }
+    assert_eq!(clean.stats().ts_regressions, 0);
+    // Through the runtime: each key-partitioned shard replica owns its
+    // own clock, so the aggregate depends on how the violating stream
+    // sharded — the counter must be non-zero whenever any clock clamped.
+    assert!(pcea.supports_key_partition(1));
+    for shards in [1usize, 2, 4] {
+        let mut rt = Runtime::new(shards);
+        rt.register(
+            QuerySpec::new(
+                "timed_keyed",
+                pcea.clone(),
+                WindowPolicy::Time {
+                    duration: 10,
+                    ts_pos: 0,
+                },
+            )
+            .with_partition(Partition::ByKey { pos: 1 }),
+        )
+        .unwrap();
+        rt.push_batch(&stream);
+        let stats = rt.stats();
+        assert!(
+            stats.ts_regressions() > 0,
+            "shards={shards}: the violation must be visible to operators"
+        );
+    }
+}
