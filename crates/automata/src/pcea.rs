@@ -127,6 +127,31 @@ impl Pcea {
         Some(out)
     }
 
+    /// Whether `other` shares this automaton's *skeleton*: same state
+    /// count, same label alphabet, same finals, and transition-for-
+    /// transition the same sources, target and label set. Predicates
+    /// (unary filters, join keys) are free to differ.
+    ///
+    /// The skeleton is exactly the part of the automaton that the
+    /// streaming engine's accumulated state is keyed on — `DS_w` nodes
+    /// carry label sets and target-state node lists, and the look-up
+    /// table `H` is keyed by transition index and source slot — so a
+    /// skeleton-compatible recompiled query can take over a
+    /// predecessor's live state (`Runtime::replace` in `cer-core`).
+    pub fn skeleton_compatible(&self, other: &Pcea) -> bool {
+        self.num_states == other.num_states
+            && self.num_labels == other.num_labels
+            && self.is_final == other.is_final
+            && self.transitions.len() == other.transitions.len()
+            && self
+                .transitions
+                .iter()
+                .zip(&other.transitions)
+                .all(|(a, b)| {
+                    a.sources == b.sources && a.target == b.target && a.labels == b.labels
+                })
+    }
+
     /// Whether outputs are preserved under key-partitioned sharding on
     /// the tuple attribute at `pos`: every join predicate must project
     /// that attribute at a common key index on both sides
@@ -137,6 +162,78 @@ impl Pcea {
         self.transitions
             .iter()
             .all(|tr| tr.binary.iter().all(|b| b.preserves_partition(pos)))
+    }
+}
+
+mod wire_impls {
+    //! Checkpoint wire encodings: a PCEA round-trips whenever every
+    //! transition's unary predicate is a closed form (see the
+    //! `predicate` module's wire impls for the one exception).
+
+    use super::*;
+    use cer_common::wire::{Wire, WireError, WireReader, WireWriter};
+
+    impl Wire for StateId {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            w.put_u32(self.0);
+            Ok(())
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(StateId(r.get_u32()?))
+        }
+    }
+
+    impl Wire for Transition {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            self.sources.encode(w)?;
+            self.unary.encode(w)?;
+            self.binary.encode(w)?;
+            self.labels.encode(w)?;
+            self.target.encode(w)
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(Transition {
+                sources: Wire::decode(r)?,
+                unary: Wire::decode(r)?,
+                binary: Wire::decode(r)?,
+                labels: Wire::decode(r)?,
+                target: Wire::decode(r)?,
+            })
+        }
+    }
+
+    impl Wire for Pcea {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            self.num_states.encode(w)?;
+            self.num_labels.encode(w)?;
+            self.transitions.encode(w)?;
+            self.is_final.encode(w)
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            let num_states = usize::decode(r)?;
+            let num_labels = usize::decode(r)?;
+            let transitions = Vec::<Transition>::decode(r)?;
+            let is_final = Vec::<bool>::decode(r)?;
+            if is_final.len() != num_states {
+                return Err(WireError::Corrupt("finals length != state count"));
+            }
+            let state_ok = |q: &StateId| q.index() < num_states;
+            for tr in &transitions {
+                if !state_ok(&tr.target)
+                    || !tr.sources.iter().all(state_ok)
+                    || tr.sources.len() != tr.binary.len()
+                    || tr.labels.is_empty()
+                {
+                    return Err(WireError::Corrupt("malformed transition"));
+                }
+            }
+            Ok(Pcea {
+                num_states,
+                num_labels,
+                transitions,
+                is_final,
+            })
+        }
     }
 }
 

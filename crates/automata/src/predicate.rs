@@ -203,6 +203,266 @@ impl EqPredicate {
     }
 }
 
+mod wire_impls {
+    //! Checkpoint wire encodings for the predicate classes. Every
+    //! closed predicate form round-trips; only
+    //! [`UnaryPredicate::Custom`](super::UnaryPredicate::Custom)
+    //! refuses to encode (a closure has no portable representation), so
+    //! queries built from the HCQ compiler or the pattern language —
+    //! which emit closed forms exclusively — always snapshot.
+
+    use super::*;
+    use cer_common::wire::{Wire, WireError, WireReader, WireWriter};
+
+    impl Wire for PosGroup {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            self.positions.encode(w)?;
+            self.constant.encode(w)
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(PosGroup {
+                positions: Wire::decode(r)?,
+                constant: Wire::decode(r)?,
+            })
+        }
+    }
+
+    impl Wire for ExtractorEntry {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            self.checks.encode(w)?;
+            self.key.encode(w)
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(ExtractorEntry {
+                checks: Wire::decode(r)?,
+                key: Wire::decode(r)?,
+            })
+        }
+    }
+
+    impl Wire for KeyExtractor {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            // Hash-map iteration order is arbitrary; sort by relation id
+            // so identical extractors encode to identical bytes.
+            let mut entries: Vec<(&RelationId, &ExtractorEntry)> = self.entries.iter().collect();
+            entries.sort_by_key(|(rel, _)| **rel);
+            w.put_len(entries.len());
+            for (rel, entry) in entries {
+                rel.encode(w)?;
+                entry.encode(w)?;
+            }
+            Ok(())
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            let n = r.get_len()?;
+            let mut out = KeyExtractor::new();
+            for _ in 0..n {
+                let rel = RelationId::decode(r)?;
+                out.insert(rel, ExtractorEntry::decode(r)?);
+            }
+            Ok(out)
+        }
+    }
+
+    impl Wire for EqPredicate {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            self.left.encode(w)?;
+            self.right.encode(w)
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(EqPredicate {
+                left: Wire::decode(r)?,
+                right: Wire::decode(r)?,
+            })
+        }
+    }
+
+    impl Wire for PatTerm {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            match self {
+                PatTerm::Var(v) => {
+                    w.put_u8(0);
+                    w.put_u32(*v);
+                }
+                PatTerm::Const(c) => {
+                    w.put_u8(1);
+                    c.encode(w)?;
+                }
+            }
+            Ok(())
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            match r.get_u8()? {
+                0 => Ok(PatTerm::Var(r.get_u32()?)),
+                1 => Ok(PatTerm::Const(Wire::decode(r)?)),
+                _ => Err(WireError::Corrupt("pattern term tag")),
+            }
+        }
+    }
+
+    impl Wire for AtomPattern {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            self.relation.encode(w)?;
+            self.terms.encode(w)
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(AtomPattern {
+                relation: Wire::decode(r)?,
+                terms: Wire::decode(r)?,
+            })
+        }
+    }
+
+    impl Wire for CmpOp {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            w.put_u8(match self {
+                CmpOp::Lt => 0,
+                CmpOp::Le => 1,
+                CmpOp::Eq => 2,
+                CmpOp::Ne => 3,
+                CmpOp::Ge => 4,
+                CmpOp::Gt => 5,
+            });
+            Ok(())
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(match r.get_u8()? {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Le,
+                2 => CmpOp::Eq,
+                3 => CmpOp::Ne,
+                4 => CmpOp::Ge,
+                5 => CmpOp::Gt,
+                _ => return Err(WireError::Corrupt("cmp op tag")),
+            })
+        }
+    }
+
+    /// Nesting bound for `And` during decode: snapshot bytes come from
+    /// disk or the network, and unbounded recursion would let a
+    /// crafted ~1 MB blob of nested `And` tags overflow the stack
+    /// (an abort, not a `WireError`). Real predicates are flat or a
+    /// few levels deep — `UnaryPredicate::and` flattens as it builds.
+    const MAX_UNARY_DEPTH: u32 = 64;
+
+    fn decode_unary(r: &mut WireReader<'_>, depth: u32) -> Result<UnaryPredicate, WireError> {
+        if depth > MAX_UNARY_DEPTH {
+            return Err(WireError::Corrupt("unary predicate nested too deeply"));
+        }
+        Ok(match r.get_u8()? {
+            0 => UnaryPredicate::True,
+            1 => UnaryPredicate::Relation(Wire::decode(r)?),
+            2 => UnaryPredicate::OneOf(Wire::decode(r)?),
+            3 => UnaryPredicate::Atom(Wire::decode(r)?),
+            4 => UnaryPredicate::Groups {
+                relation: Wire::decode(r)?,
+                arity: Wire::decode(r)?,
+                groups: Wire::decode(r)?,
+            },
+            5 => UnaryPredicate::Cmp {
+                pos: Wire::decode(r)?,
+                op: Wire::decode(r)?,
+                value: Wire::decode(r)?,
+            },
+            6 => {
+                let n = r.get_len()?;
+                let mut conjuncts = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    conjuncts.push(decode_unary(r, depth + 1)?);
+                }
+                UnaryPredicate::And(conjuncts.into())
+            }
+            _ => return Err(WireError::Corrupt("unary predicate tag")),
+        })
+    }
+
+    impl Wire for UnaryPredicate {
+        fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+            match self {
+                UnaryPredicate::True => w.put_u8(0),
+                UnaryPredicate::Relation(rel) => {
+                    w.put_u8(1);
+                    rel.encode(w)?;
+                }
+                UnaryPredicate::OneOf(rels) => {
+                    w.put_u8(2);
+                    rels.encode(w)?;
+                }
+                UnaryPredicate::Atom(p) => {
+                    w.put_u8(3);
+                    p.encode(w)?;
+                }
+                UnaryPredicate::Groups {
+                    relation,
+                    arity,
+                    groups,
+                } => {
+                    w.put_u8(4);
+                    relation.encode(w)?;
+                    arity.encode(w)?;
+                    groups.encode(w)?;
+                }
+                UnaryPredicate::Cmp { pos, op, value } => {
+                    w.put_u8(5);
+                    pos.encode(w)?;
+                    op.encode(w)?;
+                    value.encode(w)?;
+                }
+                UnaryPredicate::And(ps) => {
+                    w.put_u8(6);
+                    ps.encode(w)?;
+                }
+                UnaryPredicate::Custom(_) => {
+                    return Err(WireError::Unsupported(
+                        "UnaryPredicate::Custom (closure predicates have no portable encoding)",
+                    ));
+                }
+            }
+            Ok(())
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            decode_unary(r, 0)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use cer_common::wire::Wire;
+
+        #[test]
+        fn deeply_nested_and_bytes_error_instead_of_overflowing() {
+            // ~100k levels of `And([..])`, 9 bytes each: tag 6 + len 1.
+            let mut w = WireWriter::new();
+            let levels = 100_000u32;
+            for _ in 0..levels {
+                w.put_u8(6);
+                w.put_len(1);
+            }
+            w.put_u8(0); // innermost: True
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(
+                UnaryPredicate::decode(&mut r).unwrap_err(),
+                WireError::Corrupt("unary predicate nested too deeply")
+            );
+            // A realistically nested conjunction still round-trips
+            // (UnaryPredicate has no PartialEq — closures — so compare
+            // the Debug rendering).
+            let nested = UnaryPredicate::And(Box::new([
+                UnaryPredicate::True,
+                UnaryPredicate::And(Box::new([UnaryPredicate::True, UnaryPredicate::True])),
+            ]));
+            let mut w = WireWriter::new();
+            nested.encode(&mut w).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let back = UnaryPredicate::decode(&mut r).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{nested:?}"));
+        }
+    }
+}
+
 /// A term of an atom pattern: a variable (identified by an arbitrary
 /// per-pattern index) or a constant.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -101,6 +101,21 @@ impl LabelSet {
     }
 }
 
+impl cer_common::wire::Wire for LabelSet {
+    fn encode(
+        &self,
+        w: &mut cer_common::wire::WireWriter,
+    ) -> Result<(), cer_common::wire::WireError> {
+        w.put_u64(self.0);
+        Ok(())
+    }
+    fn decode(
+        r: &mut cer_common::wire::WireReader<'_>,
+    ) -> Result<Self, cer_common::wire::WireError> {
+        Ok(LabelSet(r.get_u64()?))
+    }
+}
+
 impl fmt::Debug for LabelSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;

@@ -1,0 +1,75 @@
+//! Checkpoint subsystem cost: tuples/sec of state captured by
+//! `Runtime::snapshot` (epoch fence + per-shard copy-on-fence
+//! serialization), of `Runtime::restore` (decode + replica merge +
+//! re-registration) and of the serialized-bytes round-trip, versus the
+//! shard count the live state is spread over.
+//!
+//! Emits `BENCH_JSON` lines (see the criterion shim) with
+//! `elems_per_sec` = events of accumulated window state per second, so
+//! the bench gate's within-run shape ratios (`shards/4` vs `shards/1`)
+//! watch for serialization hot-path regressions the same way the
+//! ingest benches watch the sequencer.
+
+use cer_bench::multi_query_workload;
+use cer_core::runtime::{Partition, QuerySpec, Runtime};
+use cer_core::window::WindowPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const QUERIES: usize = 4;
+const EVENTS: usize = 10_000;
+const WINDOW: u64 = 512;
+
+/// A runtime with `EVENTS` tuples of accumulated window state: half the
+/// queries pinned, half key-partitioned, so every shard hosts state.
+fn loaded_runtime(wl: &cer_bench::MultiQueryWorkload, shards: usize) -> Runtime {
+    let mut rt = Runtime::new(shards);
+    for (j, pcea) in wl.pceas.iter().enumerate() {
+        let spec = QuerySpec::new(format!("q{j}"), pcea.clone(), WindowPolicy::Count(WINDOW));
+        let spec = if j % 2 == 0 && pcea.supports_key_partition(0) {
+            spec.with_partition(Partition::ByKey { pos: 0 })
+        } else {
+            spec
+        };
+        rt.register(spec).expect("register");
+    }
+    rt.push_batch(&wl.stream);
+    rt
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let wl = multi_query_workload(QUERIES, EVENTS, 4, 4, 42);
+    let mut group = c.benchmark_group("checkpoint");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for shards in [1usize, 2, 4] {
+        let mut rt = loaded_runtime(&wl, shards);
+        group.bench_with_input(
+            BenchmarkId::new("snapshot/shards", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| rt.snapshot().expect("snapshot"));
+            },
+        );
+        let snap = rt.snapshot().expect("snapshot");
+        group.bench_with_input(
+            BenchmarkId::new("restore/shards", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| Runtime::restore(&snap, shards).expect("restore"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bytes_roundtrip/shards", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    let bytes = snap.to_bytes().expect("to_bytes");
+                    cer_core::checkpoint::Snapshot::from_bytes(&bytes).expect("from_bytes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -14,13 +14,27 @@
 //! cargo run -p cer-bench --bin bench_gate -- check rs.txt BENCH_runtime_scaling.json
 //! ```
 //!
-//! `check` computes, for every benchmark present in both the fresh run
-//! and the baseline, the ratio `current / baseline` of `elems_per_sec`
-//! (tuples per second), and fails — exit code 1 — when the **median**
-//! ratio drops below 0.75 (a >25% regression). The median across
-//! benchmarks is robust to one noisy timing; the 25% slack absorbs
-//! machine-to-machine variance. Setting `BENCH_ALLOW_REGRESSION=1`
-//! downgrades a failure to a warning, for intentional trade-offs.
+//! `check` gates on **within-run relative ratios**, so its verdict is
+//! machine-class independent: a parameter *family* is a set of
+//! benchmark names differing only in a numeric tail
+//! (`…/shards/1`, `…/shards/4`, `…/producers/2`, …), and each
+//! non-base member's *relative throughput* is its `elems_per_sec`
+//! divided by the family's base member (the smallest parameter —
+//! `shards/1`, `producers/1`). Those shape ratios are computed for the
+//! fresh run and for the committed baseline, and the gate fails — exit
+//! code 1 — when the **median** of `current_shape / baseline_shape`
+//! drops below 0.75: the scaling curve flattened by more than 25%
+//! relative to what was recorded, wherever it runs. A slower machine
+//! scales both sides of every ratio equally, so absolute speed cancels
+//! out — which absolute tuples/sec (the previous gate) never did.
+//!
+//! Baselines still record **absolute** medians (`record` is
+//! unchanged), so the committed files double as trend data; `check`
+//! prints the absolute median ratio as information, without gating on
+//! it. A baseline benchmark missing from the fresh run still fails the
+//! gate (coverage shrank — refresh the baseline in the same change),
+//! and `BENCH_ALLOW_REGRESSION=1` still downgrades any failure to a
+//! warning for intentional trade-offs.
 //!
 //! The workspace builds offline (no serde), so the tiny flat-object
 //! JSON format the shim emits is parsed by hand here.
@@ -74,6 +88,42 @@ fn parse_records(text: &str) -> Records {
     out
 }
 
+/// Split a benchmark name into a parameter-family prefix and its
+/// numeric tail: `"g/shards/4"` → `("g/shards", 4)`. Names without a
+/// numeric final segment are not family members.
+fn family_of(name: &str) -> Option<(&str, u64)> {
+    let (prefix, tail) = name.rsplit_once('/')?;
+    Some((prefix, tail.parse().ok()?))
+}
+
+/// Within-run *shape* ratios: for every parameter family with at least
+/// two members, each non-base member's throughput relative to the
+/// family's base (smallest-parameter) member. Keyed by member name.
+fn shape_ratios(records: &Records) -> BTreeMap<String, f64> {
+    // family prefix → (base param, base eps)
+    let mut bases: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for (name, &eps) in records {
+        if let Some((prefix, param)) = family_of(name) {
+            let slot = bases.entry(prefix).or_insert((param, eps));
+            if param < slot.0 {
+                *slot = (param, eps);
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (name, &eps) in records {
+        let Some((prefix, param)) = family_of(name) else {
+            continue;
+        };
+        let &(base_param, base_eps) = &bases[prefix];
+        if param == base_param || base_eps <= 0.0 {
+            continue;
+        }
+        out.insert(name.clone(), eps / base_eps);
+    }
+    out
+}
+
 /// Serialize records as a stable, pretty JSON array.
 fn render_baseline(records: &Records) -> String {
     let mut s = String::from("[\n");
@@ -91,8 +141,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_gate record <bench-output.txt> <baseline.json>\n\
          \x20      bench_gate check  <bench-output.txt> <baseline.json>\n\
-         check fails (exit 1) when the median tuples/sec ratio vs the\n\
-         baseline drops below 0.75; BENCH_ALLOW_REGRESSION=1 overrides."
+         check fails (exit 1) when the median within-run scaling ratio\n\
+         (e.g. shards/4 vs shards/1) drops below 0.75x of the same ratio\n\
+         derived from the baseline, or when a baseline benchmark is\n\
+         missing from the run; BENCH_ALLOW_REGRESSION=1 overrides."
     );
     ExitCode::from(2)
 }
@@ -136,8 +188,12 @@ fn main() -> ExitCode {
             };
             let baseline = parse_records(&baseline_text);
             let allow = std::env::var("BENCH_ALLOW_REGRESSION").as_deref() == Ok("1");
-            let mut ratios: Vec<(f64, String)> = Vec::new();
+            // Coverage first: a baseline entry with no counterpart in
+            // the run means the gate's coverage shrank (renamed or
+            // removed bench) — fail so the committed baseline gets
+            // refreshed in the same change.
             let mut missing = 0usize;
+            let mut abs_ratios: Vec<f64> = Vec::new();
             for (name, &base_eps) in &baseline {
                 let Some(&cur_eps) = current.get(name) else {
                     eprintln!("bench_gate: benchmark `{name}` missing from this run");
@@ -145,40 +201,71 @@ fn main() -> ExitCode {
                     continue;
                 };
                 if base_eps > 0.0 {
-                    ratios.push((cur_eps / base_eps, name.clone()));
+                    abs_ratios.push(cur_eps / base_eps);
                 }
             }
-            if ratios.is_empty() {
+            if abs_ratios.is_empty() {
                 eprintln!("bench_gate: no overlapping benchmarks between run and baseline");
                 return ExitCode::from(2);
             }
-            ratios.sort_by(|a, b| a.0.total_cmp(&b.0));
-            for (ratio, name) in &ratios {
-                println!("bench_gate: {name}: {:.2}x vs baseline", ratio);
-            }
-            let median = ratios[ratios.len() / 2].0;
+            // Trend information only (machine-class dependent, never
+            // gated on): absolute throughput vs the recorded medians.
+            abs_ratios.sort_by(f64::total_cmp);
             println!(
-                "bench_gate: median throughput ratio {median:.2}x across {} benchmarks",
-                ratios.len()
+                "bench_gate: info: absolute median {:.2}x vs baseline across {} benchmarks \
+                 (trend only, not gated)",
+                abs_ratios[abs_ratios.len() / 2],
+                abs_ratios.len()
             );
-            // A baseline entry with no counterpart in the run means the
-            // gate's coverage shrank (renamed/removed bench) — fail so
-            // the committed baseline gets refreshed in the same change.
+            // The gate: within-run shape ratios (e.g. shards/4 relative
+            // to shards/1) compared against the same ratios derived
+            // from the baseline — absolute machine speed cancels out.
+            let cur_shape = shape_ratios(&current);
+            let base_shape = shape_ratios(&baseline);
+            let mut ratios: Vec<(f64, String)> = Vec::new();
+            for (name, &base_rel) in &base_shape {
+                if let Some(&cur_rel) = cur_shape.get(name) {
+                    if base_rel > 0.0 {
+                        ratios.push((cur_rel / base_rel, name.clone()));
+                    }
+                }
+            }
             let failed = if missing > 0 {
                 eprintln!(
                     "bench_gate: FAIL — {missing} baseline benchmark(s) missing from this \
                      run; re-record {baseline_path} alongside the bench change"
                 );
                 true
-            } else if median < 0.75 {
-                eprintln!(
-                    "bench_gate: FAIL — median tuples/sec dropped more than 25% vs \
-                     {baseline_path}; fix the regression, or refresh the baseline for an \
-                     intentional trade-off (see README \"Performance\")"
-                );
-                true
-            } else {
+            } else if ratios.is_empty() {
+                // No parameter families (e.g. a baseline of standalone
+                // benches): nothing shape-based to gate, coverage
+                // already checked above.
+                println!("bench_gate: no parameter families to gate on; coverage check only");
                 false
+            } else {
+                ratios.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for (ratio, name) in &ratios {
+                    println!(
+                        "bench_gate: {name}: shape {:.2}x vs baseline \
+                         (run {:.2}x vs its family base, baseline {:.2}x)",
+                        ratio, cur_shape[name], base_shape[name]
+                    );
+                }
+                let median = ratios[ratios.len() / 2].0;
+                println!(
+                    "bench_gate: median shape ratio {median:.2}x across {} family members",
+                    ratios.len()
+                );
+                if median < 0.75 {
+                    eprintln!(
+                        "bench_gate: FAIL — within-run scaling ratios dropped more than 25% \
+                         vs {baseline_path}; fix the regression, or refresh the baseline for \
+                         an intentional trade-off (see README \"Performance\")"
+                    );
+                    true
+                } else {
+                    false
+                }
             };
             if failed {
                 if allow {
@@ -216,5 +303,31 @@ mod tests {
     fn scientific_notation_and_negatives_parse() {
         let raw = "BENCH_JSON {\"bench\":\"x\",\"elems_per_sec\":8.1e6}";
         assert_eq!(parse_records(raw)["x"], 8.1e6);
+    }
+
+    #[test]
+    fn family_names_split_on_numeric_tails_only() {
+        assert_eq!(family_of("g/shards/4"), Some(("g/shards", 4)));
+        assert_eq!(family_of("a/b/producers/16"), Some(("a/b/producers", 16)));
+        assert_eq!(family_of("g/sync_push_batch"), None);
+        assert_eq!(family_of("standalone"), None);
+    }
+
+    #[test]
+    fn shape_ratios_are_relative_to_the_smallest_parameter() {
+        let mut recs = Records::new();
+        recs.insert("g/shards/1".into(), 100.0);
+        recs.insert("g/shards/2".into(), 150.0);
+        recs.insert("g/shards/8".into(), 400.0);
+        recs.insert("g/other".into(), 999.0); // not a family member
+        recs.insert("h/batch/16".into(), 80.0); // family of one: no ratio
+        let shape = shape_ratios(&recs);
+        assert_eq!(shape.len(), 2);
+        assert_eq!(shape["g/shards/2"], 1.5);
+        assert_eq!(shape["g/shards/8"], 4.0);
+        // Machine-class independence: scaling every absolute number by
+        // 10x (a faster machine) leaves every shape ratio unchanged.
+        let slower: Records = recs.iter().map(|(k, v)| (k.clone(), v / 10.0)).collect();
+        assert_eq!(shape_ratios(&slower), shape);
     }
 }

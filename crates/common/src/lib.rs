@@ -33,6 +33,7 @@ pub mod schema;
 pub mod stream;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use error::{CommonError, Result};
 pub use schema::{RelationId, Schema};

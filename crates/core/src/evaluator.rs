@@ -398,6 +398,132 @@ impl StreamingEvaluator {
         );
     }
 
+    /// Checkpoint encoding of every cross-position piece of this
+    /// evaluator: the window clock, position cursors, engine counters,
+    /// the `DS_w` arena and the look-up table `H`. The per-position
+    /// `N_p` lists and all scratch are excluded — they are only
+    /// meaningful *within* a position, and a snapshot is always taken
+    /// at a position boundary (see [`crate::checkpoint`]).
+    ///
+    /// Runs the copying collector first so the snapshot carries only
+    /// state reachable from live `H` entries.
+    pub(crate) fn snapshot_bytes(&mut self) -> Result<Vec<u8>, cer_common::wire::WireError> {
+        self.stats.collections += 1;
+        self.since_gc = 0;
+        self.stage.collect_garbage(&mut self.ds, self.current_lo);
+        let mut w = cer_common::wire::WireWriter::new();
+        self.clock.encode(&mut w)?;
+        w.put_u64(self.next_pos);
+        w.put_u64(self.current_lo);
+        w.put_u64(self.gc_every);
+        w.put_u64(self.since_gc);
+        w.put_u64(self.stats.positions);
+        w.put_u64(self.stats.extends);
+        w.put_u64(self.stats.unions);
+        w.put_u64(self.stats.collections);
+        self.ds.encode(&mut w)?;
+        self.stage.encode(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuild an evaluator from [`snapshot_bytes`](Self::snapshot_bytes)
+    /// output and the (separately serialized) automaton.
+    pub(crate) fn from_snapshot_bytes(
+        pcea: Pcea,
+        bytes: &[u8],
+    ) -> Result<Self, cer_common::wire::WireError> {
+        let mut r = cer_common::wire::WireReader::new(bytes);
+        let clock = WindowClock::decode(&mut r)?;
+        let next_pos = r.get_u64()?;
+        let current_lo = r.get_u64()?;
+        let gc_every = r.get_u64()?;
+        let since_gc = r.get_u64()?;
+        let mut stats = EngineStats {
+            positions: r.get_u64()?,
+            extends: r.get_u64()?,
+            unions: r.get_u64()?,
+            ..EngineStats::default()
+        };
+        stats.collections = r.get_u64()?;
+        let ds = crate::ds::EnumStructure::decode(&mut r)?;
+        let stage = FireStage::decode(&mut r, pcea.num_states(), ds.len())?;
+        if !r.is_exhausted() {
+            return Err(cer_common::wire::WireError::Corrupt(
+                "trailing bytes after evaluator state",
+            ));
+        }
+        Ok(StreamingEvaluator {
+            pcea,
+            clock,
+            ds,
+            stage,
+            next_pos,
+            current_lo,
+            gc_every,
+            since_gc,
+            stats,
+        })
+    }
+
+    /// Merge another shard replica of the *same* query into this
+    /// evaluator (restore-time shard-count change,
+    /// [`crate::checkpoint`]): arenas concatenate with remapped ids,
+    /// `H` tables union (replica key sets are disjoint under sound key
+    /// partitioning), window clocks interleave, and counters sum.
+    pub(crate) fn absorb_replica(&mut self, other: StreamingEvaluator) {
+        let offset = self.ds.absorb(other.ds);
+        self.stage
+            .absorb(other.stage, offset, &mut self.ds, &mut self.stats);
+        self.clock.absorb(other.clock);
+        self.next_pos = self.next_pos.max(other.next_pos);
+        self.current_lo = self.current_lo.max(other.current_lo);
+        self.since_gc = self.since_gc.max(other.since_gc);
+        self.stats.positions += other.stats.positions;
+        self.stats.extends += other.stats.extends;
+        self.stats.unions += other.stats.unions;
+        self.stats.collections += other.stats.collections;
+    }
+
+    /// Zero the counters of a restore-time replica clone so per-query
+    /// stats (summed across shards) are not multiplied by the shard
+    /// count when merged state is replicated.
+    pub(crate) fn clear_replica_stats(&mut self) {
+        self.stats = EngineStats::default();
+        self.clock.reset_regressions();
+    }
+
+    /// Set the position the next pushed tuple must occupy (restore-time
+    /// alignment with the runtime's resumed sequencer position).
+    pub(crate) fn set_resume_position(&mut self, pos: u64) {
+        assert!(pos >= self.next_pos, "cannot resume behind captured state");
+        self.next_pos = pos;
+    }
+
+    /// Hand this evaluator's accumulated state to a recompiled query
+    /// (`Runtime::replace` hot-swap). The caller must have verified
+    /// [`Pcea::skeleton_compatible`]; the window handoff goes through
+    /// [`WindowClock::migrate`], which returns `None` — surfaced here —
+    /// when the window *kind* changes (count vs. time, or a moved
+    /// timestamp attribute). Within a kind, any resize is accepted:
+    /// widening cannot resurrect runs already pruned under the old
+    /// bound (it converges within one old window), narrowing re-prunes
+    /// lazily at the next position.
+    pub(crate) fn replace_automaton(
+        self,
+        pcea: Pcea,
+        window: WindowPolicy,
+        gc_every: u64,
+    ) -> Option<Self> {
+        debug_assert!(self.pcea.skeleton_compatible(&pcea));
+        let clock = self.clock.migrate(window)?;
+        Some(StreamingEvaluator {
+            pcea,
+            clock,
+            gc_every,
+            ..self
+        })
+    }
+
     /// Enumerate this position's new outputs (`⟦P⟧^w_i(S)`), calling `f`
     /// once per valuation. Must follow [`push`](Self::push) for the same
     /// position.

@@ -242,6 +242,83 @@ impl FireStage {
         }
     }
 
+    /// Checkpoint encoding of the look-up table `H` (the only
+    /// cross-position state this stage owns — the `N_p` lists and all
+    /// scratch are per-position and deliberately excluded; see
+    /// [`crate::checkpoint`]). Entries are sorted so identical tables
+    /// encode to identical bytes.
+    pub(crate) fn encode(
+        &self,
+        w: &mut cer_common::wire::WireWriter,
+    ) -> Result<(), cer_common::wire::WireError> {
+        use cer_common::wire::Wire;
+        let mut entries: Vec<(&HKey, &NodeId)> = self.h.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        w.put_len(entries.len());
+        for ((e_idx, slot, key), node) in entries {
+            w.put_u32(*e_idx);
+            w.put_u32(*slot);
+            key.encode(w)?;
+            w.put_u32(node.0);
+        }
+        Ok(())
+    }
+
+    /// Decode a table encoded by [`encode`](Self::encode) into a fresh
+    /// stage for an automaton with `num_states` states whose arena has
+    /// `arena_len` nodes (for link validation).
+    pub(crate) fn decode(
+        r: &mut cer_common::wire::WireReader<'_>,
+        num_states: usize,
+        arena_len: usize,
+    ) -> Result<Self, cer_common::wire::WireError> {
+        use cer_common::wire::{Wire, WireError};
+        let mut stage = FireStage::new(num_states);
+        let n = r.get_len()?;
+        for _ in 0..n {
+            let e_idx = r.get_u32()?;
+            let slot = r.get_u32()?;
+            let key = cer_automata::predicate::Key::decode(r)?;
+            let node = r.get_u32()?;
+            if node as usize >= arena_len {
+                return Err(WireError::Corrupt("H entry past the arena"));
+            }
+            stage.h.insert((e_idx, slot, key), NodeId(node));
+        }
+        Ok(stage)
+    }
+
+    /// Merge another replica's `H` entries into this stage, with
+    /// `offset` the arena id shift returned by
+    /// [`EnumStructure::absorb`]. Replicas of a soundly key-partitioned
+    /// query hold disjoint key sets (the join key determines the
+    /// partition value, which determines the shard), so collisions are
+    /// not expected — but a colliding entry is still merged correctly
+    /// via the persistent `union` rather than silently dropped.
+    pub(crate) fn absorb(
+        &mut self,
+        other: FireStage,
+        offset: u32,
+        ds: &mut EnumStructure,
+        stats: &mut EngineStats,
+    ) {
+        for ((e_idx, slot, key), node) in other.h {
+            let node = NodeId(node.0 + offset);
+            match self.h.entry((e_idx, slot, key)) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(node);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    stats.unions += 1;
+                    // `lo = 0` keeps every subtree: expiry is re-applied
+                    // lazily at the next position anyway.
+                    let merged = ds.union(*o.get(), node, 0);
+                    o.insert(merged);
+                }
+            }
+        }
+    }
+
     /// Copying garbage collection: keep only nodes reachable from live
     /// `H` entries (and the current position's pending nodes), dropping
     /// expired subtrees. Fully transparent to outputs.

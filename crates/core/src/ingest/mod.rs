@@ -155,7 +155,7 @@ mod subscribe;
 pub use queue::QueueStats;
 pub use subscribe::{Subscription, SubscriptionFilter};
 
-pub(crate) use queue::{Closed, ShardMsg, ShardQueue};
+pub(crate) use queue::{Closed, ShardMsg, ShardQueue, ShardSnapshot};
 pub(crate) use subscribe::SubscriptionRegistry;
 
 use crate::runtime::Partition;

@@ -29,10 +29,11 @@
 //! released to the FIFO.
 
 use super::BackpressurePolicy;
-use crate::evaluator::EngineStats;
+use crate::evaluator::{EngineStats, StreamingEvaluator};
 use crate::runtime::{Partition, QueryId};
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
+use cer_common::wire::WireError;
 use cer_common::{RelationId, Tuple};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,7 +49,8 @@ pub(crate) struct Closed;
 pub(crate) enum ShardMsg {
     /// Position-stamped tuples in increasing position order.
     Tuples(Vec<(u64, Tuple)>),
-    /// Host a new query on this shard.
+    /// Host a new query on this shard. `state` carries a restored
+    /// evaluator (checkpoint restore) instead of starting fresh.
     Register {
         id: QueryId,
         pcea: Pcea,
@@ -56,6 +58,25 @@ pub(crate) enum ShardMsg {
         partition: Partition,
         gc_every: u64,
         listens: Option<Vec<RelationId>>,
+        state: Option<Box<StreamingEvaluator>>,
+    },
+    /// Epoch-block snapshot fence ([`crate::checkpoint`]): serialize
+    /// every hosted query's state at exactly this point of the released
+    /// position order and reply with the per-query blobs plus how long
+    /// the serialization stalled this shard.
+    Snapshot { reply: Sender<ShardSnapshot> },
+    /// Hot-swap a hosted query's automaton in place
+    /// (`Runtime::replace`): the accumulated state is handed to the
+    /// recompiled automaton at exactly this point of the position
+    /// order. Replies whether this shard hosted (and swapped) the
+    /// query; compatibility was validated by the control plane.
+    Replace {
+        id: QueryId,
+        pcea: Pcea,
+        window: WindowPolicy,
+        gc_every: u64,
+        listens: Option<Vec<RelationId>>,
+        reply: Sender<bool>,
     },
     /// Drop a hosted query; replies with its final engine counters
     /// (`None` if this shard never hosted it).
@@ -71,6 +92,20 @@ pub(crate) enum ShardMsg {
     /// queue has been fully processed (tuples evaluated, match events
     /// published).
     Barrier { reply: Sender<()> },
+}
+
+/// One shard's reply to a [`ShardMsg::Snapshot`] fence: the state
+/// blobs of every query hosted on the shard, serialized at the epoch
+/// position.
+pub(crate) struct ShardSnapshot {
+    /// Which shard replied.
+    pub shard: usize,
+    /// `(query, state blob)` per hosted query, or the first encode
+    /// error.
+    pub queries: Result<Vec<(QueryId, Vec<u8>)>, WireError>,
+    /// How long the serialization stalled this shard's worker, in
+    /// nanoseconds (surfaced as a `RuntimeStats` snapshot counter).
+    pub serialize_nanos: u64,
 }
 
 /// Occupancy counters of one shard queue, readable at any time.

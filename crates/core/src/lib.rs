@@ -28,9 +28,16 @@
 //!   runtime: a position-stamping sequencer, bounded per-shard queues
 //!   with backpressure ([`IngestHandle`] producers), and a subscription
 //!   registry delivering [`MatchEvent`]s over per-consumer bounded
-//!   channels.
+//!   channels;
+//! * [`checkpoint`] — epoch-consistent snapshots of a live runtime
+//!   ([`Runtime::snapshot`](runtime::Runtime::snapshot) /
+//!   [`Runtime::restore`](runtime::Runtime::restore), no
+//!   stop-the-world, shard count may change across restore) and query
+//!   hot-swap with state handoff
+//!   ([`Runtime::replace`](runtime::Runtime::replace)).
 
 pub mod api;
+pub mod checkpoint;
 pub mod ds;
 pub mod enumerate;
 pub mod evaluator;
@@ -40,11 +47,15 @@ pub mod runtime;
 pub mod window;
 
 pub use api::Evaluator;
+pub use checkpoint::{Snapshot, SnapshotError};
 pub use ds::{EnumStructure, NodeId, BOTTOM};
 pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};
 pub use ingest::{
     BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,
     Subscription, SubscriptionFilter,
 };
-pub use runtime::{MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats};
+pub use runtime::{
+    MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
+    SnapshotCounters,
+};
 pub use window::{WindowClock, WindowPolicy};

@@ -70,10 +70,11 @@
 //! assert!(events.iter().all(|e| e.position == 5));
 //! ```
 
+use crate::checkpoint::{QueryRecord, Snapshot, SnapshotError};
 use crate::evaluator::{EngineStats, StreamingEvaluator};
 use crate::ingest::{
     key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, QueryMeta, QueueStats,
-    ShardMsg, Subscription, SubscriptionFilter,
+    ShardMsg, ShardSnapshot, Subscription, SubscriptionFilter,
 };
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
@@ -181,6 +182,15 @@ pub enum RuntimeError {
         /// The offending id.
         id: QueryId,
     },
+    /// [`Runtime::replace`] rejected a hot-swap: the new query cannot
+    /// take over the old one's accumulated state. The old query keeps
+    /// running untouched.
+    ReplaceIncompatible {
+        /// The replacement query's name.
+        query: String,
+        /// What failed the compatibility check.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -193,6 +203,12 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::UnknownQuery { id } => {
                 write!(f, "query {id:?} is not registered")
+            }
+            RuntimeError::ReplaceIncompatible { query, reason } => {
+                write!(
+                    f,
+                    "query `{query}` cannot take over the old state: {reason}"
+                )
             }
         }
     }
@@ -217,6 +233,25 @@ pub struct RuntimeStats {
     /// [`QueueStats::reorder_high_water`] /
     /// [`QueueStats::reorder_released`]).
     pub shard_queues: Vec<QueueStats>,
+    /// Checkpoint counters ([`Runtime::snapshot`]): how many snapshots
+    /// were taken, at which position the last one cut, and how long
+    /// each shard's copy-on-fence serialization stalled its worker.
+    pub snapshots: SnapshotCounters,
+}
+
+/// Checkpoint counters surfaced in [`RuntimeStats`], alongside the
+/// queue/reorder stats.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotCounters {
+    /// Snapshots successfully taken over this runtime's lifetime.
+    pub snapshots_taken: u64,
+    /// Epoch position of the most recent snapshot (`None` before the
+    /// first).
+    pub last_snapshot_pos: Option<u64>,
+    /// Per-shard serialization stall of the most recent snapshot, in
+    /// nanoseconds — the copy-on-fence cost each worker paid while
+    /// producers kept running.
+    pub shard_serialize_nanos: Vec<u64>,
 }
 
 impl RuntimeStats {
@@ -240,19 +275,24 @@ struct LocalQuery {
     listens: Option<Vec<RelationId>>,
 }
 
-/// Registry metadata the runtime keeps per query.
+/// Registry metadata the runtime keeps per query. The full spec is
+/// retained for live queries so checkpoints can serialize definitions
+/// and `replace` can validate hand-off compatibility.
 struct QueryInfo {
     name: String,
     alive: bool,
+    spec: Option<QuerySpec>,
 }
 
 /// The multi-query, sharded streaming runtime. See the [module
-/// docs](self) for the architecture and [`crate::ingest`] for the
-/// asynchronous pipeline underneath.
+/// docs](self) for the architecture, [`crate::ingest`] for the
+/// asynchronous pipeline underneath, and [`crate::checkpoint`] for
+/// snapshot/restore and query hot-swap.
 pub struct Runtime {
     shared: Arc<IngestShared>,
     workers: Vec<Option<JoinHandle<()>>>,
     queries: Vec<QueryInfo>,
+    snap_counters: SnapshotCounters,
 }
 
 impl Runtime {
@@ -282,6 +322,7 @@ impl Runtime {
             shared,
             workers,
             queries: Vec::new(),
+            snap_counters: SnapshotCounters::default(),
         }
     }
 
@@ -312,6 +353,21 @@ impl Runtime {
     /// currently hosting the fewest live pinned queries, so
     /// register/deregister churn cannot pile them up on few shards.
     pub fn register(&mut self, spec: QuerySpec) -> Result<QueryId, RuntimeError> {
+        self.register_with_state(spec, None)
+    }
+
+    /// The shared registration path: `state` carries a restored
+    /// evaluator (checkpoint restore) to seed the shard workers with
+    /// instead of fresh state. Key-partitioned restored queries get a
+    /// clone of the merged state on *every* home shard — see
+    /// [`crate::checkpoint`] for why the stale-slice portion is inert —
+    /// with the merged counters on the first home only, so per-query
+    /// stats summed across shards stay exact.
+    fn register_with_state(
+        &mut self,
+        spec: QuerySpec,
+        state: Option<StreamingEvaluator>,
+    ) -> Result<QueryId, RuntimeError> {
         if let Partition::ByKey { pos } = spec.partition {
             if !spec.pcea.supports_key_partition(pos) {
                 return Err(RuntimeError::KeyPartitionUnsound {
@@ -322,6 +378,21 @@ impl Runtime {
         }
         let id = QueryId(self.queries.len() as u32);
         let listens = spec.pcea.relations();
+        let n_homes = match spec.partition {
+            Partition::ByQuery => 1,
+            Partition::ByKey { .. } => self.shared.queues.len(),
+        };
+        // Replica clones are prepared before the sequencer lock: cloning
+        // a large restored arena under the lock would stall producers.
+        let mut states: Vec<Option<Box<StreamingEvaluator>>> = (0..n_homes).map(|_| None).collect();
+        if let Some(eval) = state {
+            for slot in states.iter_mut().skip(1) {
+                let mut clone = eval.clone();
+                clone.clear_replica_stats();
+                *slot = Some(Box::new(clone));
+            }
+            states[0] = Some(Box::new(eval));
+        }
         let block = {
             // One sequencer lock acquisition swaps the router AND
             // reserves the zero-width control block, so the routing
@@ -347,7 +418,7 @@ impl Runtime {
             });
             router.rebuild();
             let (block, _) = seq.reserve(0);
-            for &shard in &homes {
+            for (k, &shard) in homes.iter().enumerate() {
                 self.shared.queues[shard]
                     .stage_control(
                         block,
@@ -358,6 +429,7 @@ impl Runtime {
                             partition: spec.partition,
                             gc_every: spec.gc_every,
                             listens: listens.clone(),
+                            state: states[k].take(),
                         },
                     )
                     .expect("runtime not shut down");
@@ -366,8 +438,9 @@ impl Runtime {
         };
         self.shared.finish_block(block);
         self.queries.push(QueryInfo {
-            name: spec.name,
+            name: spec.name.clone(),
             alive: true,
+            spec: Some(spec),
         });
         Ok(id)
     }
@@ -384,6 +457,7 @@ impl Runtime {
             .filter(|info| info.alive)
             .ok_or(RuntimeError::UnknownQuery { id })?;
         info.alive = false;
+        info.spec = None;
         let (reply, replies) = channel();
         let (block, homes) = {
             // Same epoch rule as `register`: the router swap and the
@@ -422,6 +496,280 @@ impl Runtime {
             }
         }
         Ok(total)
+    }
+
+    /// Capture an epoch-consistent [`Snapshot`] of every registered
+    /// query's definition and live evaluator state, **without stopping
+    /// producers**: one zero-width *epoch block* is reserved through
+    /// the striped sequencer, so every shard serializes at exactly the
+    /// same stamped position while ingestion keeps flowing (see
+    /// [`crate::checkpoint`] for the consistency argument). Shards
+    /// serialize concurrently; each worker's copy-on-fence stall is
+    /// reported in [`RuntimeStats::snapshots`].
+    ///
+    /// Fails up front — before fencing anything — when a registered
+    /// definition cannot be serialized (closure predicates).
+    pub fn snapshot(&mut self) -> Result<Snapshot, SnapshotError> {
+        use cer_common::wire::{Wire, WireWriter};
+        // Early validation: every live definition must round-trip, or
+        // the snapshot would be unrestorable.
+        for info in self.queries.iter().filter(|i| i.alive) {
+            let spec = info.spec.as_ref().expect("live query retains its spec");
+            let mut probe = WireWriter::new();
+            spec.encode(&mut probe)?;
+        }
+        let (reply, replies) = channel();
+        let (block, position) = {
+            // The epoch block: reserved and staged to every shard under
+            // one sequencer lock acquisition, like register/deregister.
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            let (block, position) = seq.reserve(0);
+            for q in &self.shared.queues {
+                q.stage_control(
+                    block,
+                    ShardMsg::Snapshot {
+                        reply: reply.clone(),
+                    },
+                )
+                .map_err(|_| SnapshotError::ShardWorkerDied)?;
+            }
+            (block, position)
+        };
+        self.shared.finish_block(block);
+        drop(reply);
+        let n_shards = self.shared.queues.len();
+        let mut per_shard_nanos = vec![0u64; n_shards];
+        let mut blobs: FxHashMap<QueryId, Vec<(usize, Vec<u8>)>> = FxHashMap::default();
+        for _ in 0..n_shards {
+            let ShardSnapshot {
+                shard,
+                queries,
+                serialize_nanos,
+            } = replies.recv().map_err(|_| SnapshotError::ShardWorkerDied)?;
+            per_shard_nanos[shard] = serialize_nanos;
+            for (qid, blob) in queries? {
+                blobs.entry(qid).or_default().push((shard, blob));
+            }
+        }
+        self.snap_counters.snapshots_taken += 1;
+        self.snap_counters.last_snapshot_pos = Some(position);
+        self.snap_counters.shard_serialize_nanos = per_shard_nanos;
+        let queries = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                let mut shard_blobs = blobs.remove(&QueryId(i as u32)).unwrap_or_default();
+                shard_blobs.sort_by_key(|(shard, _)| *shard);
+                QueryRecord {
+                    id: i as u32,
+                    name: info.name.clone(),
+                    spec: info.spec.clone(),
+                    blobs: shard_blobs.into_iter().map(|(_, blob)| blob).collect(),
+                }
+            })
+            .collect();
+        Ok(Snapshot {
+            position,
+            origin_shards: n_shards,
+            queries,
+        })
+    }
+
+    /// Rebuild a runtime from a [`Snapshot`] with `shards` worker
+    /// threads — the shard count (and hence the partition layout) may
+    /// differ from the captured runtime's — and resume stamping at the
+    /// snapshot's epoch position. Query ids are preserved, retired ids
+    /// included, so pre-snapshot [`QueryId`]s stay valid. Subscriptions
+    /// are not part of a snapshot; consumers re-subscribe on the
+    /// restored runtime.
+    pub fn restore(snapshot: &Snapshot, shards: usize) -> Result<Runtime, SnapshotError> {
+        Self::restore_with_config(snapshot, shards, IngestConfig::default())
+    }
+
+    /// [`restore`](Self::restore) with explicit ingestion knobs.
+    pub fn restore_with_config(
+        snapshot: &Snapshot,
+        shards: usize,
+        config: IngestConfig,
+    ) -> Result<Runtime, SnapshotError> {
+        use cer_common::wire::WireError;
+        let mut rt = Runtime::with_config(shards, config);
+        {
+            let mut seq = rt.shared.seq.lock().expect("sequencer poisoned");
+            seq.next_pos = snapshot.position;
+        }
+        for record in &snapshot.queries {
+            if record.id as usize != rt.queries.len() {
+                return Err(SnapshotError::Wire(WireError::Corrupt(
+                    "snapshot query ids not dense",
+                )));
+            }
+            let Some(spec) = &record.spec else {
+                // A retired id: keep the numbering (and the name for
+                // `query_name`) without hosting anything.
+                rt.push_retired_placeholder(record.name.clone());
+                continue;
+            };
+            // Merge the captured shard replicas into one evaluator;
+            // `register_with_state` re-replicates it across the new
+            // layout's home shards.
+            let mut merged: Option<StreamingEvaluator> = None;
+            for blob in &record.blobs {
+                let eval = StreamingEvaluator::from_snapshot_bytes(spec.pcea.clone(), blob)?;
+                match &mut merged {
+                    None => merged = Some(eval),
+                    Some(m) => m.absorb_replica(eval),
+                }
+            }
+            let mut eval = merged.unwrap_or_else(|| {
+                let mut fresh =
+                    StreamingEvaluator::with_window(spec.pcea.clone(), spec.window.clone());
+                fresh.set_gc_every(spec.gc_every);
+                fresh
+            });
+            // A blob whose captured state runs past the snapshot's
+            // epoch position is corrupt (e.g. a bit-rotted header):
+            // reject it here — decoding must never panic the process.
+            if eval.next_position() > snapshot.position {
+                return Err(SnapshotError::Wire(WireError::Corrupt(
+                    "captured state ahead of the snapshot position",
+                )));
+            }
+            eval.set_resume_position(snapshot.position);
+            let id = rt
+                .register_with_state(spec.clone(), Some(eval))
+                .map_err(|_| SnapshotError::BadDefinition(spec.name.clone()))?;
+            debug_assert_eq!(id.0, record.id);
+        }
+        Ok(rt)
+    }
+
+    /// Record a retired query id at restore time: the id stays
+    /// unregistered but keeps its slot (and name) so later ids line up.
+    fn push_retired_placeholder(&mut self, name: String) {
+        let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+        let router = Arc::make_mut(&mut seq.router);
+        router.metas.push(QueryMeta {
+            alive: false,
+            partition: Partition::ByQuery,
+            listens: None,
+            homes: Vec::new(),
+        });
+        drop(seq);
+        self.queries.push(QueryInfo {
+            name,
+            alive: false,
+            spec: None,
+        });
+    }
+
+    /// Hot-swap: replace query `id`'s automaton with a recompiled one,
+    /// handing over the accumulated window state atomically in the
+    /// stream order — tuples stamped before the call complete against
+    /// the old automaton, tuples after against the new one, and partial
+    /// matches survive the swap. The query keeps its id; its name and
+    /// definition become the new spec's.
+    ///
+    /// The hand-off is accepted when the new automaton shares the old
+    /// one's *skeleton* ([`Pcea::skeleton_compatible`]: same states,
+    /// finals, and per-transition sources/targets/labels — predicates
+    /// may differ, which is the recompile case) and the window keeps
+    /// its kind. Within a kind any resize is allowed, with one
+    /// documented widening caveat: runs already expired under the old
+    /// bound are gone, so a widened window converges to its full span
+    /// over one old window's worth of stream. The partition mode must
+    /// be unchanged (re-sharding live state is a restore-level
+    /// operation: [`Runtime::snapshot`] + [`Runtime::restore`]).
+    ///
+    /// On any incompatibility the swap is rejected and the old query
+    /// keeps running untouched.
+    pub fn replace(&mut self, id: QueryId, new: QuerySpec) -> Result<(), RuntimeError> {
+        let info = self
+            .queries
+            .get(id.0 as usize)
+            .filter(|info| info.alive)
+            .ok_or(RuntimeError::UnknownQuery { id })?;
+        let old = info.spec.as_ref().expect("live query retains its spec");
+        if new.partition != old.partition {
+            return Err(RuntimeError::ReplaceIncompatible {
+                query: new.name,
+                reason: "partition mode must match (snapshot/restore re-shards)",
+            });
+        }
+        if let Partition::ByKey { pos } = new.partition {
+            if !new.pcea.supports_key_partition(pos) {
+                return Err(RuntimeError::KeyPartitionUnsound {
+                    query: new.name,
+                    pos,
+                });
+            }
+        }
+        if !old.pcea.skeleton_compatible(&new.pcea) {
+            return Err(RuntimeError::ReplaceIncompatible {
+                query: new.name,
+                reason: "automaton skeleton differs (states, finals or transition shape)",
+            });
+        }
+        let window_ok = matches!(
+            (&old.window, &new.window),
+            (WindowPolicy::Count(_), WindowPolicy::Count(_))
+        ) || matches!(
+            (&old.window, &new.window),
+            (
+                WindowPolicy::Time { ts_pos: a, .. },
+                WindowPolicy::Time { ts_pos: b, .. },
+            ) if a == b
+        );
+        if !window_ok {
+            return Err(RuntimeError::ReplaceIncompatible {
+                query: new.name,
+                reason: "window kind (or timestamp attribute) differs",
+            });
+        }
+        let listens = new.pcea.relations();
+        let (reply, replies) = channel();
+        let (block, homes) = {
+            // Same epoch rule as register/deregister: the routing-table
+            // swap and the zero-width Replace block share one lock
+            // acquisition, so the routing epoch agrees with the swap
+            // point in position order.
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            let router = Arc::make_mut(&mut seq.router);
+            let meta = &mut router.metas[id.0 as usize];
+            meta.listens = listens.clone();
+            let homes = meta.homes.clone();
+            router.rebuild();
+            let (block, _) = seq.reserve(0);
+            for &shard in &homes {
+                self.shared.queues[shard]
+                    .stage_control(
+                        block,
+                        ShardMsg::Replace {
+                            id,
+                            pcea: new.pcea.clone(),
+                            window: new.window.clone(),
+                            gc_every: new.gc_every,
+                            listens: listens.clone(),
+                            reply: reply.clone(),
+                        },
+                    )
+                    .expect("runtime not shut down");
+            }
+            (block, homes)
+        };
+        self.shared.finish_block(block);
+        drop(reply);
+        for _ in 0..homes.len() {
+            let swapped = replies
+                .recv()
+                .expect("a runtime shard worker died during replace");
+            assert!(swapped, "home shard did not host the replaced query");
+        }
+        let info = &mut self.queries[id.0 as usize];
+        info.name = new.name.clone();
+        info.spec = Some(new);
+        Ok(())
     }
 
     /// Push one tuple; returns its completed matches across all queries.
@@ -541,6 +889,7 @@ impl Runtime {
         RuntimeStats {
             per_query,
             shard_queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
+            snapshots: self.snap_counters.clone(),
         }
     }
 }
@@ -657,9 +1006,17 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 partition,
                 gc_every,
                 listens,
+                state,
             } => {
-                let mut eval = StreamingEvaluator::with_window(pcea, window);
-                eval.set_gc_every(gc_every);
+                let eval = match state {
+                    // Checkpoint restore: adopt the captured state.
+                    Some(restored) => *restored,
+                    None => {
+                        let mut fresh = StreamingEvaluator::with_window(pcea, window);
+                        fresh.set_gc_every(gc_every);
+                        fresh
+                    }
+                };
                 queries.push(LocalQuery {
                     id,
                     eval,
@@ -668,6 +1025,53 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 });
                 sel.push(Vec::new());
                 rebuild_local(&queries, &mut routes, &mut wildcards);
+            }
+            ShardMsg::Snapshot { reply } => {
+                // Copy-on-fence: serialize every hosted query at this
+                // exact point of the released position order. Shards
+                // hit their fences concurrently; producers keep staging
+                // later blocks meanwhile.
+                let started = std::time::Instant::now();
+                let blobs: Result<Vec<_>, _> = queries
+                    .iter_mut()
+                    .map(|q| q.eval.snapshot_bytes().map(|blob| (q.id, blob)))
+                    .collect();
+                let _ = reply.send(ShardSnapshot {
+                    shard: shard_idx,
+                    queries: blobs,
+                    serialize_nanos: started.elapsed().as_nanos() as u64,
+                });
+            }
+            ShardMsg::Replace {
+                id,
+                pcea,
+                window,
+                gc_every,
+                listens,
+                reply,
+            } => {
+                let swapped = match queries.iter().position(|q| q.id == id) {
+                    Some(k) => {
+                        let old = queries.remove(k);
+                        let eval = old
+                            .eval
+                            .replace_automaton(pcea, window, gc_every)
+                            .expect("replace compatibility validated by the control plane");
+                        queries.insert(
+                            k,
+                            LocalQuery {
+                                id,
+                                eval,
+                                partition: old.partition,
+                                listens,
+                            },
+                        );
+                        rebuild_local(&queries, &mut routes, &mut wildcards);
+                        true
+                    }
+                    None => false,
+                };
+                let _ = reply.send(swapped);
             }
             ShardMsg::Deregister { id, reply } => {
                 let stats = match queries.iter().position(|q| q.id == id) {

@@ -166,6 +166,166 @@ impl WindowClock {
             WindowPolicy::Time { .. } => 1024,
         }
     }
+
+    /// Checkpoint encoding: the policy plus the clock's mutable state
+    /// (the in-window ring, the clamp floor and the regression counter).
+    pub(crate) fn encode(
+        &self,
+        w: &mut cer_common::wire::WireWriter,
+    ) -> Result<(), cer_common::wire::WireError> {
+        use cer_common::wire::Wire;
+        self.policy.encode(w)?;
+        w.put_len(self.ring.len());
+        for &(pos, ts) in &self.ring {
+            w.put_u64(pos);
+            w.put_i64(ts);
+        }
+        w.put_i64(self.last_ts);
+        w.put_u64(self.ts_regressions);
+        Ok(())
+    }
+
+    /// Decode a clock encoded by [`encode`](Self::encode).
+    pub(crate) fn decode(
+        r: &mut cer_common::wire::WireReader<'_>,
+    ) -> Result<Self, cer_common::wire::WireError> {
+        let policy = <WindowPolicy as cer_common::wire::Wire>::decode(r)?;
+        let n = r.get_len()?;
+        let mut ring = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let pos = r.get_u64()?;
+            let ts = r.get_i64()?;
+            if let Some(&(p, t)) = ring.back() {
+                if pos <= p || ts < t {
+                    return Err(cer_common::wire::WireError::Corrupt(
+                        "window ring not monotone",
+                    ));
+                }
+            }
+            ring.push_back((pos, ts));
+        }
+        let last_ts = r.get_i64()?;
+        let ts_regressions = r.get_u64()?;
+        Ok(WindowClock {
+            policy,
+            ring,
+            last_ts,
+            ts_regressions,
+        })
+    }
+
+    /// Merge another replica's clock into this one (restore-time shard
+    /// merge, [`crate::checkpoint`]): the rings interleave by position,
+    /// the clamp floor is the max of the floors, and regressions sum.
+    /// For streams honouring the non-decreasing-timestamp contract the
+    /// result is exactly the clock a dense evaluator would hold; for
+    /// violating streams replica clocks may have clamped differently,
+    /// which is the same shard-count-dependence hazard the module docs
+    /// describe (and `ts_regressions` flags).
+    pub(crate) fn absorb(&mut self, other: WindowClock) {
+        let mut merged = VecDeque::with_capacity(self.ring.len() + other.ring.len());
+        let (mut a, mut b) = (
+            std::mem::take(&mut self.ring).into_iter().peekable(),
+            other.ring.into_iter().peekable(),
+        );
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x.0 <= y.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (pos, mut ts) = if take_a {
+                a.next().unwrap()
+            } else {
+                b.next().unwrap()
+            };
+            // Equal positions cannot happen across replicas (positions
+            // are globally unique); keep both defensively. Re-apply the
+            // monotone clamp across the merged order: replica clocks
+            // clamped independently, so on a contract-violating stream
+            // the interleaved ring could regress (shard A holding
+            // (0, 100), shard B (1, 5)) — exactly what a dense clock
+            // would have clamped, and what `decode` rejects.
+            if let Some(&(_, prev_ts)) = merged.back() {
+                ts = ts.max(prev_ts);
+            }
+            merged.push_back((pos, ts));
+        }
+        self.ring = merged;
+        self.last_ts = self.last_ts.max(other.last_ts);
+        self.ts_regressions += other.ts_regressions;
+        if let WindowPolicy::Time { duration, .. } = self.policy {
+            let horizon = self.last_ts.saturating_sub(duration);
+            while self.ring.front().is_some_and(|&(_, old)| old < horizon) {
+                self.ring.pop_front();
+            }
+        }
+    }
+
+    /// Reset the regression counter (restore-time replica clones must
+    /// not multiply-report the merged count across shards).
+    pub(crate) fn reset_regressions(&mut self) {
+        self.ts_regressions = 0;
+    }
+
+    /// Carry this clock's state over to a replacement policy of the
+    /// same kind (`Runtime::replace` hot-swap). Count-window clocks are
+    /// stateless, so any count size migrates exactly; time-window
+    /// clocks keep their ring and clamp floor, so a *widened* duration
+    /// converges to the dense bound within one old window (entries
+    /// already pruned under the old duration cannot be resurrected) and
+    /// a narrowed one re-prunes at the next observation. Returns `None`
+    /// when the kinds differ (or the timestamp attribute moved), which
+    /// `replace` surfaces as an incompatibility.
+    pub(crate) fn migrate(self, new_policy: WindowPolicy) -> Option<Self> {
+        match (&self.policy, &new_policy) {
+            (WindowPolicy::Count(_), WindowPolicy::Count(_)) => Some(WindowClock {
+                policy: new_policy,
+                ..self
+            }),
+            (
+                WindowPolicy::Time { ts_pos: old_ts, .. },
+                WindowPolicy::Time { ts_pos: new_ts, .. },
+            ) if old_ts == new_ts => Some(WindowClock {
+                policy: new_policy,
+                ..self
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl cer_common::wire::Wire for WindowPolicy {
+    fn encode(
+        &self,
+        w: &mut cer_common::wire::WireWriter,
+    ) -> Result<(), cer_common::wire::WireError> {
+        match self {
+            WindowPolicy::Count(size) => {
+                w.put_u8(0);
+                w.put_u64(*size);
+            }
+            WindowPolicy::Time { duration, ts_pos } => {
+                w.put_u8(1);
+                w.put_i64(*duration);
+                w.put_len(*ts_pos);
+            }
+        }
+        Ok(())
+    }
+    fn decode(
+        r: &mut cer_common::wire::WireReader<'_>,
+    ) -> Result<Self, cer_common::wire::WireError> {
+        match r.get_u8()? {
+            0 => Ok(WindowPolicy::Count(r.get_u64()?)),
+            1 => Ok(WindowPolicy::Time {
+                duration: r.get_i64()?,
+                ts_pos: <usize as cer_common::wire::Wire>::decode(r)?,
+            }),
+            _ => Err(cer_common::wire::WireError::Corrupt("window policy tag")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +376,41 @@ mod tests {
         assert_eq!(clock.observe(9, &tup(r, [16i64, 0])), 4);
         // A stale clock is clamped monotone.
         assert_eq!(clock.observe(12, &tup(r, [2i64, 0])), 4);
+    }
+
+    #[test]
+    fn absorb_reclamps_interleaved_regressions_and_stays_encodable() {
+        // Two ByKey replica clocks that clamped independently on a
+        // contract-violating stream: interleaving their rings by
+        // position regresses in ts, which the merged clock must clamp
+        // (like the dense clock would) so its own snapshot encoding
+        // stays decodable.
+        let (_, r, _, _) = Schema::sigma0();
+        let policy = WindowPolicy::Time {
+            duration: 1000,
+            ts_pos: 0,
+        };
+        let mut a = WindowClock::new(policy.clone());
+        a.observe(0, &tup(r, [100i64, 0]));
+        let mut b = WindowClock::new(policy);
+        b.observe(1, &tup(r, [5i64, 0]));
+        a.absorb(b);
+        assert_eq!(a.last_ts, 100);
+        assert!(
+            a.ring
+                .iter()
+                .zip(a.ring.iter().skip(1))
+                .all(|(&(p1, t1), &(p2, t2))| p1 < p2 && t1 <= t2),
+            "merged ring monotone: {:?}",
+            a.ring
+        );
+        let mut w = cer_common::wire::WireWriter::new();
+        a.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut rdr = cer_common::wire::WireReader::new(&bytes);
+        let back = WindowClock::decode(&mut rdr).unwrap();
+        assert_eq!(back.ring, a.ring);
+        assert_eq!(back.last_ts, 100);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Collection strategies, mirroring `proptest::collection`.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Shrinkable, Strategy};
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
@@ -20,7 +20,7 @@ pub struct VecStrategy<S> {
 
 impl<S: Strategy> Strategy for VecStrategy<S>
 where
-    S::Value: Clone,
+    S::Value: Clone + 'static,
 {
     type Value = Vec<S::Value>;
 
@@ -30,36 +30,25 @@ where
         (0..len).map(|_| self.element.pick(rng)).collect()
     }
 
-    /// Structural first (drop to the minimum length, halve, remove
-    /// single elements), then shrink surviving elements in place.
+    /// The shared vector policy ([`crate::strategy::vec_candidates`]):
+    /// structural candidates first, then element shrinks in place.
     fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
-        let min = self.size.start;
-        let mut out = Vec::new();
-        if v.len() > min {
-            out.push(v[..min].to_vec());
-            let half = min.max(v.len() / 2);
-            if half < v.len() && half > min {
-                out.push(v[..half].to_vec());
-            }
-            for idx in 0..v.len().min(8) {
-                let mut w = v.clone();
-                w.remove(idx);
-                out.push(w);
-            }
-            if v.len() > 8 {
-                let mut w = v.clone();
-                w.pop();
-                out.push(w);
-            }
-        }
-        for idx in 0..v.len().min(8) {
-            for c in self.element.shrink(&v[idx]).into_iter().take(3) {
-                let mut w = v.clone();
-                w[idx] = c;
-                out.push(w);
-            }
-        }
-        out
+        crate::strategy::vec_candidates(v, self.size.start, |x| self.element.shrink(x))
+    }
+
+    /// Element provenance is kept per slot, so structural shrinking
+    /// (removals) composes with element shrinks that run through
+    /// arbitrary combinators (`prop_map`, `prop_oneof!`).
+    fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Vec<S::Value>>
+    where
+        Self::Value: 'static,
+    {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + (rng.next_u64() % span) as usize;
+        let elems: Vec<Shrinkable<S::Value>> = (0..len)
+            .map(|_| self.element.pick_shrinkable(rng))
+            .collect();
+        Shrinkable::vec(elems, self.size.start)
     }
 }
 

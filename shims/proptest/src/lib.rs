@@ -6,14 +6,16 @@
 //! compose into random value generators, `proptest!` runs a body over
 //! `ProptestConfig::cases` deterministic random cases — and implements
 //! **minimal shrinking**: when a case fails, the macro greedily re-tests
-//! simpler candidates ([`strategy::Strategy::shrink`]: integer ranges
-//! toward their start, vectors by removing elements, tuples
-//! componentwise) within a `max_shrink_iters` budget, reports the
-//! near-minimal failing arguments, and replays them so the original
-//! assertion message propagates. Strategies without a natural order
-//! (`prop_map`, `prop_oneof!`, `any`) do not shrink; generation is
-//! seeded from the test name, so failures stay reproducible
-//! run-to-run.
+//! simpler candidates from the value's provenance tree
+//! ([`strategy::Strategy::pick_shrinkable`]: integer ranges toward
+//! their start, vectors by removing elements, tuples componentwise,
+//! `prop_map` by shrinking the pre-map input and re-mapping,
+//! `prop_oneof!` within the arm that produced the value) within a
+//! `max_shrink_iters` budget, reports the near-minimal failing
+//! arguments, and replays them so the original assertion message
+//! propagates. Only `any`/`Just` (no natural order) do not shrink;
+//! generation is seeded from the test name, so failures stay
+//! reproducible run-to-run.
 //!
 //! Provided surface: `Strategy` (with `prop_map`, `new_tree`, `boxed`,
 //! `shrink`), ranges and tuples as strategies,
@@ -110,16 +112,16 @@ macro_rules! __proptest_body {
                     __seed ^ (u64::from(__case)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                 );
                 // Each argument keeps its strategy next to its current
-                // value; `RefCell` lets the per-argument shrink loop
-                // rebind one slot while the snapshot closure below
-                // reads them all.
+                // value's provenance tree; `RefCell` lets the
+                // per-argument shrink loop rebind one slot while the
+                // snapshot closure below reads them all.
                 $(
                     let $arg = ::std::cell::RefCell::new(
                         $crate::strategy::Slot::sample({ $strat }, &mut __rng),
                     );
                 )*
                 let __snapshot =
-                    || ($( ::std::clone::Clone::clone(&$arg.borrow().value), )*);
+                    || ($( ::std::clone::Clone::clone(&$arg.borrow().tree.value), )*);
                 let __first = __snapshot();
                 // Run the body on a tuple of argument values; true =
                 // the case failed.
@@ -162,7 +164,7 @@ macro_rules! __proptest_body {
                                 }
                                 __iters += 1;
                                 let __old = ::std::mem::replace(
-                                    &mut $arg.borrow_mut().value,
+                                    &mut $arg.borrow_mut().tree,
                                     __cand,
                                 );
                                 if __fails(__snapshot()) {
@@ -170,7 +172,7 @@ macro_rules! __proptest_body {
                                     __progress = true;
                                     break;
                                 }
-                                $arg.borrow_mut().value = __old;
+                                $arg.borrow_mut().tree = __old;
                             }
                             if !__adopted || __iters >= __config.max_shrink_iters {
                                 break;

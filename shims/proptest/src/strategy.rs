@@ -3,15 +3,171 @@
 //! The real proptest's `Strategy` produces shrinkable `ValueTree`s; this
 //! shim's strategies produce plain values (`pick`) and wrap them in a
 //! no-shrink [`SampleTree`] where the `new_tree` API is exercised.
-//! Shrinking lives on the strategy itself instead
-//! ([`Strategy::shrink`]): integer ranges shrink toward their start,
-//! vectors by removing elements and shrinking survivors, tuples
-//! componentwise — enough for the `proptest!` macro to report
-//! near-minimal failing cases.
+//! Shrinking is driven by [`Shrinkable`] *provenance trees*
+//! ([`Strategy::pick_shrinkable`]): each sampled value carries enough
+//! of its generation history to offer simpler candidates — integer
+//! ranges shrink toward their start, vectors by removing elements and
+//! shrinking survivors, tuples componentwise, `prop_map` by shrinking
+//! the *pre-map input* and re-mapping, and `prop_oneof!` within the
+//! arm that produced the value. The `proptest!` macro greedily
+//! re-tests candidates to report near-minimal failing cases.
+//! ([`Strategy::shrink`] remains as the provenance-free value-level
+//! shrinker — ranges, vectors and tuples keep it for direct use and
+//! tests — sharing the vector policy via the crate-private
+//! `vec_candidates` helper.)
 
 use crate::test_runner::{TestRng, TestRunner};
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::rc::Rc;
+
+/// A sampled value plus its shrink provenance: which strategy (or
+/// which pre-combinator inputs) produced it, so candidates can be
+/// derived even through lossy combinators like `prop_map`.
+pub struct Shrinkable<V> {
+    /// The concrete value currently bound.
+    pub value: V,
+    node: Rc<dyn ShrinkNode<V>>,
+}
+
+impl<V: Clone> Clone for Shrinkable<V> {
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            node: self.node.clone(),
+        }
+    }
+}
+
+impl<V> Shrinkable<V> {
+    /// A value with no shrink provenance (never shrinks).
+    pub fn leaf(value: V) -> Self
+    where
+        V: 'static,
+    {
+        Shrinkable {
+            value,
+            node: Rc::new(LeafNode),
+        }
+    }
+
+    /// Candidate simpler values, most aggressive first. Each candidate
+    /// carries its own provenance, so adopted candidates keep
+    /// shrinking.
+    pub fn candidates(&self) -> Vec<Shrinkable<V>> {
+        self.node.children(&self.value)
+    }
+}
+
+impl<V: Clone + 'static> Shrinkable<Vec<V>> {
+    /// A vector built from per-element provenance trees
+    /// ([`crate::collection::vec`]), shrinking structurally and
+    /// elementwise with `min` as the length floor.
+    pub(crate) fn vec(elems: Vec<Shrinkable<V>>, min: usize) -> Self {
+        Shrinkable {
+            value: elems.iter().map(|e| e.value.clone()).collect(),
+            node: Rc::new(VecNode { elems, min }),
+        }
+    }
+}
+
+/// Provenance behind one [`Shrinkable`] value.
+trait ShrinkNode<V> {
+    /// Simpler candidates for the current value `v`.
+    fn children(&self, v: &V) -> Vec<Shrinkable<V>>;
+}
+
+/// No provenance: nothing to offer.
+struct LeafNode;
+
+impl<V: 'static> ShrinkNode<V> for LeafNode {
+    fn children(&self, _v: &V) -> Vec<Shrinkable<V>> {
+        Vec::new()
+    }
+}
+
+/// The shared vector-shrink policy, used by both the value-level
+/// [`crate::collection::VecStrategy`]`::shrink` and the
+/// provenance-level [`VecNode`] (one definition, so the two paths
+/// cannot drift): structural candidates first — drop to the minimum
+/// length, halve, remove single elements (first 8), pop when long —
+/// then up to 3 `shrink_elem` candidates for each of the first 8
+/// surviving elements.
+pub(crate) fn vec_candidates<T: Clone>(
+    v: &[T],
+    min: usize,
+    shrink_elem: impl Fn(&T) -> Vec<T>,
+) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if v.len() > min {
+        out.push(v[..min].to_vec());
+        let half = min.max(v.len() / 2);
+        if half < v.len() && half > min {
+            out.push(v[..half].to_vec());
+        }
+        for idx in 0..v.len().min(8) {
+            let mut w = v.to_vec();
+            w.remove(idx);
+            out.push(w);
+        }
+        if v.len() > 8 {
+            let mut w = v.to_vec();
+            w.pop();
+            out.push(w);
+        }
+    }
+    for idx in 0..v.len().min(8) {
+        for c in shrink_elem(&v[idx]).into_iter().take(3) {
+            let mut w = v.to_vec();
+            w[idx] = c;
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// The shared, by-reference form of a `prop_map` closure.
+type MapFn<I, O> = Rc<dyn Fn(&I) -> O>;
+
+/// Provenance of [`Strategy::prop_map`]: the pre-map input's tree plus
+/// the mapping, so shrinking happens on the *input* and re-maps.
+struct MapNode<I, O> {
+    input: Shrinkable<I>,
+    f: MapFn<I, O>,
+}
+
+impl<I: Clone + 'static, O: 'static> ShrinkNode<O> for MapNode<I, O> {
+    fn children(&self, _v: &O) -> Vec<Shrinkable<O>> {
+        self.input
+            .candidates()
+            .into_iter()
+            .map(|input| Shrinkable {
+                value: (self.f)(&input.value),
+                node: Rc::new(MapNode {
+                    input,
+                    f: self.f.clone(),
+                }),
+            })
+            .collect()
+    }
+}
+
+/// Provenance of [`crate::collection::vec`]: the element trees, so the
+/// structural candidates (removals) compose with element-level shrinks
+/// that themselves run through arbitrary combinators.
+pub(crate) struct VecNode<V> {
+    pub(crate) elems: Vec<Shrinkable<V>>,
+    pub(crate) min: usize,
+}
+
+impl<V: Clone + 'static> ShrinkNode<Vec<V>> for VecNode<V> {
+    fn children(&self, _v: &Vec<V>) -> Vec<Shrinkable<Vec<V>>> {
+        vec_candidates(&self.elems, self.min, |e| e.candidates())
+            .into_iter()
+            .map(|elems| Shrinkable::vec(elems, self.min))
+            .collect()
+    }
+}
 
 /// A generator of random values of one type.
 pub trait Strategy {
@@ -22,12 +178,25 @@ pub trait Strategy {
     fn pick(&self, rng: &mut TestRng) -> Self::Value;
 
     /// Candidate simpler values for `v`, most aggressive first. The
-    /// default has nothing to offer; strategies with a natural order
-    /// (ranges, vectors, tuples) override it. The `proptest!` macro
-    /// greedily re-tests candidates to report a near-minimal failing
-    /// case.
+    /// default has nothing to offer; strategies with a natural value
+    /// order (ranges) override it. Combinators (vectors, tuples,
+    /// `prop_map`, `prop_oneof!`) shrink through
+    /// [`pick_shrinkable`](Self::pick_shrinkable) provenance instead,
+    /// since their candidates depend on how the value was generated.
     fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
+    }
+
+    /// Draw one value together with its shrink provenance. The default
+    /// wraps [`pick`](Self::pick) in a non-shrinking leaf; strategies
+    /// with candidates override it — directly (ranges) or by composing
+    /// their inputs' provenance (vectors, tuples, `prop_map`,
+    /// `prop_oneof!` arms).
+    fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        Shrinkable::leaf(self.pick(rng))
     }
 
     /// Map generated values through a function.
@@ -73,6 +242,13 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
         (**self).shrink(v)
     }
+
+    fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        (**self).pick_shrinkable(rng)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -84,6 +260,13 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
         (**self).shrink(v)
+    }
+
+    fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        (**self).pick_shrinkable(rng)
     }
 }
 
@@ -153,12 +336,28 @@ pub struct Map<S, F> {
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
-    F: Fn(S::Value) -> O,
+    S::Value: Clone + 'static,
+    F: Fn(S::Value) -> O + Clone + 'static,
 {
     type Value = O;
 
     fn pick(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.pick(rng))
+    }
+
+    /// Shrinks *through* the map: the provenance keeps the pre-map
+    /// input's tree, shrinks it, and re-applies the mapping.
+    fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<O>
+    where
+        O: 'static,
+    {
+        let input = self.inner.pick_shrinkable(rng);
+        let f = self.f.clone();
+        let f: MapFn<S::Value, O> = Rc::new(move |i| f(i.clone()));
+        Shrinkable {
+            value: f(&input.value),
+            node: Rc::new(MapNode { input, f }),
+        }
     }
 }
 
@@ -181,6 +380,16 @@ impl<V> Strategy for Union<V> {
     fn pick(&self, rng: &mut TestRng) -> V {
         let k = (rng.next_u64() % self.arms.len() as u64) as usize;
         self.arms[k].pick(rng)
+    }
+
+    /// Shrinks *within the arm* that produced the value: the chosen
+    /// arm's provenance travels with the sample.
+    fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<V>
+    where
+        V: 'static,
+    {
+        let k = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[k].pick_shrinkable(rng)
     }
 }
 
@@ -215,17 +424,96 @@ macro_rules! impl_range_strategy {
                 out.dedup();
                 out
             }
+
+            /// True bracketing binary search, unlike the stateless
+            /// [`shrink`](Strategy::shrink): each candidate's
+            /// provenance records that every smaller candidate before
+            /// it *passed* (the greedy loop tries them in order), so
+            /// the next round bisects the remaining bracket. Converges
+            /// to the exact failing boundary in `O(log²)` re-tests —
+            /// the stateless `[start, mid, pred]` list degrades to a
+            /// linear walk once the midpoint passes.
+            fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<$t> {
+                /// `floor` = smallest value not yet known to pass.
+                struct Node {
+                    floor: i128,
+                }
+                impl ShrinkNode<$t> for Node {
+                    fn children(&self, v: &$t) -> Vec<Shrinkable<$t>> {
+                        let v128 = *v as i128;
+                        if v128 <= self.floor {
+                            return Vec::new();
+                        }
+                        let mid = self.floor + (v128 - self.floor) / 2;
+                        // (candidate, floor if all earlier ones passed)
+                        let mut ladder = vec![(self.floor, self.floor)];
+                        if mid > self.floor {
+                            ladder.push((mid, self.floor + 1));
+                        }
+                        if v128 - 1 > mid {
+                            ladder.push((v128 - 1, mid + 1));
+                        }
+                        ladder
+                            .into_iter()
+                            .map(|(value, floor)| Shrinkable {
+                                value: value as $t,
+                                node: Rc::new(Node { floor }),
+                            })
+                            .collect()
+                    }
+                }
+                let v = self.pick(rng);
+                Shrinkable {
+                    value: v,
+                    node: Rc::new(Node {
+                        floor: self.start as i128,
+                    }),
+                }
+            }
         }
     )*};
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Provenance of tuple strategies: the component trees. The payload is
+/// the tuple of component [`Shrinkable`]s; per-arity impls live in
+/// [`impl_tuple_strategy`].
+struct TupleNode<T>(T);
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Clone + 'static),+> TupleNode<($(Shrinkable<$s>,)+)> {
+            /// The value tuple mirrored by the component trees.
+            fn value(trees: &($(Shrinkable<$s>,)+)) -> ($($s,)+) {
+                ($(trees.$idx.value.clone(),)+)
+            }
+        }
+
+        impl<$($s: Clone + 'static),+> ShrinkNode<($($s,)+)>
+            for TupleNode<($(Shrinkable<$s>,)+)>
+        {
+            /// Componentwise: shrink one slot at a time (through its
+            /// own provenance), holding the others fixed.
+            fn children(&self, _v: &($($s,)+)) -> Vec<Shrinkable<($($s,)+)>> {
+                let mut out = Vec::new();
+                $(
+                    for c in (self.0).$idx.candidates().into_iter().take(4) {
+                        let mut trees = self.0.clone();
+                        trees.$idx = c;
+                        out.push(Shrinkable {
+                            value: Self::value(&trees),
+                            node: Rc::new(TupleNode(trees)),
+                        });
+                    }
+                )+
+                out
+            }
+        }
+
         impl<$($s: Strategy),+> Strategy for ($($s,)+)
         where
-            $($s::Value: Clone,)+
+            $($s::Value: Clone + 'static,)+
         {
             type Value = ($($s::Value,)+);
 
@@ -246,6 +534,17 @@ macro_rules! impl_tuple_strategy {
                 )+
                 out
             }
+
+            fn pick_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>
+            where
+                Self::Value: 'static,
+            {
+                let trees = ($(self.$idx.pick_shrinkable(rng),)+);
+                Shrinkable {
+                    value: TupleNode::<($(Shrinkable<$s::Value>,)+)>::value(&trees),
+                    node: Rc::new(TupleNode(trees)),
+                }
+            }
         }
     )*};
 }
@@ -260,24 +559,30 @@ impl_tuple_strategy! {
 }
 
 /// One `proptest!` argument: its strategy paired with the currently
-/// bound value — the unit of the macro's greedy shrink loop.
+/// bound value's provenance tree — the unit of the macro's greedy
+/// shrink loop. Adopting a candidate replaces the whole tree, so the
+/// next round shrinks from the adopted value's own provenance (which
+/// is what lets shrinking continue *through* `prop_map`/`prop_oneof!`).
 pub struct Slot<S: Strategy> {
-    /// The generating strategy (also the shrinker).
+    /// The generating strategy.
     pub strategy: S,
-    /// The value currently bound to the argument.
-    pub value: S::Value,
+    /// The value currently bound to the argument, with provenance.
+    pub tree: Shrinkable<S::Value>,
 }
 
-impl<S: Strategy> Slot<S> {
+impl<S: Strategy> Slot<S>
+where
+    S::Value: 'static,
+{
     /// Draw the initial value.
     pub fn sample(strategy: S, rng: &mut TestRng) -> Self {
-        let value = strategy.pick(rng);
-        Slot { strategy, value }
+        let tree = strategy.pick_shrinkable(rng);
+        Slot { strategy, tree }
     }
 
     /// Candidate simpler values for the current binding.
-    pub fn candidates(&self) -> Vec<S::Value> {
-        self.strategy.shrink(&self.value)
+    pub fn candidates(&self) -> Vec<Shrinkable<S::Value>> {
+        self.tree.candidates()
     }
 }
 

@@ -66,3 +66,92 @@ proptest! {
 fn passing_properties_run_clean() {
     passing_property_still_passes();
 }
+
+static SMALLEST_MAPPED: AtomicI64 = AtomicI64::new(i64::MAX);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Shrinking through `prop_map`: candidates come from the *pre-map*
+    // input (an integer range), re-mapped. Fails exactly when the
+    // mapped value is >= 600, i.e. the input is >= 300; the minimal
+    // failing input is 300, so the minimal mapped value is 600.
+    fn mapped_property_fails_at_600(v in (0i64..1000).prop_map(|x| x * 2)) {
+        if v >= 600 {
+            SMALLEST_MAPPED.fetch_min(v, Ordering::SeqCst);
+            panic!("boom at {v}");
+        }
+    }
+}
+
+#[test]
+fn prop_map_case_shrinks_through_the_mapping() {
+    let result = std::panic::catch_unwind(mapped_property_fails_at_600);
+    assert!(result.is_err(), "the property must fail");
+    assert_eq!(
+        SMALLEST_MAPPED.load(Ordering::SeqCst),
+        600,
+        "the pre-map input must shrink to its boundary and re-map"
+    );
+}
+
+static SMALLEST_ARM: AtomicI64 = AtomicI64::new(i64::MAX);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    // Shrinking through `prop_oneof!` arms: the constant arm (0) never
+    // fails; range-arm values >= 50 fail and must descend *within the
+    // arm* to exactly 50. The middle arm checks that a `prop_map`
+    // nested inside a oneof arm shrinks too (fails at 2*x >= 50 with
+    // even minimum 50).
+    fn oneof_property_fails_at_50(
+        v in prop_oneof![
+            Just(0i64),
+            (10i64..500).prop_map(|x| x * 2),
+            10i64..1000,
+        ],
+    ) {
+        if v >= 50 {
+            SMALLEST_ARM.fetch_min(v, Ordering::SeqCst);
+            panic!("boom at {v}");
+        }
+    }
+}
+
+#[test]
+fn prop_oneof_case_shrinks_within_its_arm() {
+    let result = std::panic::catch_unwind(oneof_property_fails_at_50);
+    assert!(result.is_err(), "the property must fail");
+    assert_eq!(
+        SMALLEST_ARM.load(Ordering::SeqCst),
+        50,
+        "the producing arm must descend to its own boundary"
+    );
+}
+
+static LAST_FAILING_MAPPED_VEC: Mutex<Vec<i64>> = Mutex::new(Vec::new());
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Composition: vector *elements* generated through `prop_map`
+    // still shrink both structurally (removals) and elementwise
+    // (through the map). Minimal failing input is one doubled element
+    // at its boundary: [10].
+    fn vec_of_mapped_fails_on_large_element(
+        v in proptest::collection::vec((0i64..100).prop_map(|x| x * 2), 0..10),
+    ) {
+        if v.iter().any(|&x| x >= 10) {
+            *LAST_FAILING_MAPPED_VEC.lock().unwrap() = v.clone();
+            panic!("boom at {v:?}");
+        }
+    }
+}
+
+#[test]
+fn vec_of_mapped_elements_shrinks_structurally_and_through_the_map() {
+    let result = std::panic::catch_unwind(vec_of_mapped_fails_on_large_element);
+    assert!(result.is_err(), "the property must fail");
+    assert_eq!(*LAST_FAILING_MAPPED_VEC.lock().unwrap(), vec![10]);
+}

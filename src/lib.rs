@@ -15,7 +15,9 @@
 //!   multi-query [`Runtime`](engine::Runtime) with an asynchronous
 //!   ingestion pipeline ([`IngestHandle`](engine::IngestHandle) producers,
 //!   backpressured shard queues, per-consumer
-//!   [`Subscription`](engine::Subscription) channels);
+//!   [`Subscription`](engine::Subscription) channels) and
+//!   epoch-consistent checkpoint/restore + query hot-swap
+//!   ([`engine::checkpoint`]);
 //! * [`baselines`] — naive and CCEA-specialized evaluators for comparison,
 //!   behind the same [`Evaluator`](engine::Evaluator) trait surface.
 //!
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use cer_common::gen::{sigma0_prefix, ChainGen, SensorGen, Sigma0Gen, StarGen, StockGen};
     pub use cer_common::{Schema, SliceStream, Stream, StreamExt, Tuple, Value, VecStream};
     pub use cer_core::api::Evaluator;
+    pub use cer_core::checkpoint::{Snapshot, SnapshotError};
     pub use cer_core::evaluator::{run_to_end, StreamingEvaluator};
     pub use cer_core::ingest::{
         BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,
@@ -104,6 +107,7 @@ pub mod prelude {
     };
     pub use cer_core::runtime::{
         MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
+        SnapshotCounters,
     };
     pub use cer_core::window::{WindowClock, WindowPolicy};
     pub use cer_cq::compile::{compile_hcq, CompileError, CompiledQuery};
