@@ -34,5 +34,5 @@ pub use dfa::Dfa;
 pub use nfa::Nfa;
 pub use pcea::{Pcea, PceaBuilder, StateId, Transition};
 pub use pfa::Pfa;
-pub use predicate::{AtomPattern, EqPredicate, Key, KeyExtractor, UnaryPredicate};
+pub use predicate::{AtomPattern, EqPredicate, Key, KeyExtractor, PredicateKey, UnaryPredicate};
 pub use valuation::{Label, LabelSet, Valuation};

@@ -32,7 +32,7 @@ pub type Key = Box<[Value]>;
 /// Groups implement the "repeated variable" and "constant argument" checks
 /// of atom patterns, and the per-side equivalence-class checks of the
 /// derived atoms `t_A` from Lemma B.3/B.4 (self-join compilation).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PosGroup {
     /// Tuple positions that must all hold the same value (non-empty).
     pub positions: Box<[usize]>,
@@ -465,7 +465,7 @@ mod wire_impls {
 
 /// A term of an atom pattern: a variable (identified by an arbitrary
 /// per-pattern index) or a constant.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum PatTerm {
     /// Variable occurrence; equal indices must carry equal values.
     Var(u32),
@@ -480,7 +480,7 @@ pub enum PatTerm {
 /// A tuple matches iff it has the pattern's relation, positions sharing a
 /// variable hold equal values, and constant positions hold the constants —
 /// exactly "`t` is homomorphic to the atom", checked in linear time.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct AtomPattern {
     /// The relation the pattern constrains.
     pub relation: RelationId,
@@ -528,7 +528,7 @@ impl AtomPattern {
 }
 
 /// Comparison operators for the [`UnaryPredicate::Cmp`] filter.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `<`
     Lt,
@@ -653,6 +653,139 @@ impl UnaryPredicate {
         }
     }
 
+    /// Whether tuples of `r` can never satisfy the predicate. Sound but
+    /// incomplete: `false` means "maybe matches". Unconfined forms
+    /// (`True`, `Cmp`, `Custom`) never reject.
+    pub fn rejects_relation(&self, r: RelationId) -> bool {
+        match self {
+            UnaryPredicate::True | UnaryPredicate::Cmp { .. } | UnaryPredicate::Custom(_) => false,
+            UnaryPredicate::Relation(x) => *x != r,
+            UnaryPredicate::OneOf(rs) => !rs.contains(&r),
+            UnaryPredicate::Atom(p) => p.relation != r,
+            UnaryPredicate::Groups { relation, .. } => *relation != r,
+            UnaryPredicate::And(ps) => ps.iter().any(|p| p.rejects_relation(r)),
+        }
+    }
+
+    /// The structural canonical key of this predicate: two predicates
+    /// with equal keys are semantically identical (for `Custom`, only
+    /// the *same closure allocation* — `Arc` identity — keys equal).
+    /// This is what the runtime's per-shard predicate cache dedups on.
+    pub fn canonical_key(&self) -> PredicateKey {
+        PredicateKey(self.clone())
+    }
+}
+
+/// Structural identity wrapper for [`UnaryPredicate`], usable as a hash
+/// map key. Closed forms compare structurally; [`UnaryPredicate::Custom`]
+/// compares by `Arc` pointer identity (the same closure allocation), the
+/// only sound notion of equality for opaque closures.
+#[derive(Clone, Debug)]
+pub struct PredicateKey(pub UnaryPredicate);
+
+impl PartialEq for PredicateKey {
+    fn eq(&self, other: &Self) -> bool {
+        fn eq(a: &UnaryPredicate, b: &UnaryPredicate) -> bool {
+            use UnaryPredicate as U;
+            match (a, b) {
+                (U::True, U::True) => true,
+                (U::Relation(x), U::Relation(y)) => x == y,
+                (U::OneOf(x), U::OneOf(y)) => x == y,
+                (U::Atom(x), U::Atom(y)) => x == y,
+                (
+                    U::Groups {
+                        relation: r1,
+                        arity: a1,
+                        groups: g1,
+                    },
+                    U::Groups {
+                        relation: r2,
+                        arity: a2,
+                        groups: g2,
+                    },
+                ) => r1 == r2 && a1 == a2 && g1 == g2,
+                (
+                    U::Cmp {
+                        pos: p1,
+                        op: o1,
+                        value: v1,
+                    },
+                    U::Cmp {
+                        pos: p2,
+                        op: o2,
+                        value: v2,
+                    },
+                ) => p1 == p2 && o1 == o2 && v1 == v2,
+                (U::And(xs), U::And(ys)) => {
+                    xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| eq(x, y))
+                }
+                // Compare thin data pointers: `Arc::ptr_eq` on wide
+                // `dyn Fn` pointers also compares vtables, which is both
+                // stricter than needed and lint-prone.
+                (U::Custom(f), U::Custom(g)) => {
+                    std::ptr::eq(Arc::as_ptr(f) as *const (), Arc::as_ptr(g) as *const ())
+                }
+                _ => false,
+            }
+        }
+        eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for PredicateKey {}
+
+impl std::hash::Hash for PredicateKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        fn hash<H: std::hash::Hasher>(p: &UnaryPredicate, state: &mut H) {
+            use UnaryPredicate as U;
+            match p {
+                U::True => 0u8.hash(state),
+                U::Relation(r) => {
+                    1u8.hash(state);
+                    r.hash(state);
+                }
+                U::OneOf(rs) => {
+                    2u8.hash(state);
+                    rs.hash(state);
+                }
+                U::Atom(a) => {
+                    3u8.hash(state);
+                    a.hash(state);
+                }
+                U::Groups {
+                    relation,
+                    arity,
+                    groups,
+                } => {
+                    4u8.hash(state);
+                    relation.hash(state);
+                    arity.hash(state);
+                    groups.hash(state);
+                }
+                U::Cmp { pos, op, value } => {
+                    5u8.hash(state);
+                    pos.hash(state);
+                    op.hash(state);
+                    value.hash(state);
+                }
+                U::And(ps) => {
+                    6u8.hash(state);
+                    ps.len().hash(state);
+                    for q in ps.iter() {
+                        hash(q, state);
+                    }
+                }
+                U::Custom(f) => {
+                    7u8.hash(state);
+                    (Arc::as_ptr(f) as *const () as usize).hash(state);
+                }
+            }
+        }
+        hash(&self.0, state);
+    }
+}
+
+impl UnaryPredicate {
     /// Conjunction helper that flattens nested `And`s.
     pub fn and(self, other: UnaryPredicate) -> UnaryPredicate {
         match (self, other) {
@@ -858,6 +991,67 @@ mod tests {
         assert!(u.matches(&tup(r, [3i64, 3])));
         assert!(!u.matches(&tup(r, [3i64, 4])));
         assert!(!u.matches(&tup(s, [3i64, 3])));
+    }
+
+    #[test]
+    fn canonical_keys_dedup_structural_forms() {
+        use std::collections::HashSet;
+        let (_, r, s, t) = Schema::sigma0();
+        let cmp = |v: i64| UnaryPredicate::Cmp {
+            pos: 1,
+            op: CmpOp::Ge,
+            value: Value::Int(v),
+        };
+        // Structurally identical predicates built independently key equal.
+        let a = UnaryPredicate::Relation(s).and(cmp(5));
+        let b = UnaryPredicate::Relation(s).and(cmp(5));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let mut set = HashSet::new();
+        for p in [
+            UnaryPredicate::True,
+            UnaryPredicate::Relation(r),
+            UnaryPredicate::Relation(r), // duplicate
+            UnaryPredicate::Relation(t),
+            a,
+            b, // duplicate
+            cmp(5),
+            cmp(6),
+            UnaryPredicate::OneOf(Box::new([r, s])),
+            UnaryPredicate::Atom(AtomPattern::any_vars(r, 2)),
+        ] {
+            set.insert(p.canonical_key());
+        }
+        assert_eq!(set.len(), 8, "two structural duplicates collapse");
+    }
+
+    #[test]
+    fn custom_predicates_key_by_arc_identity() {
+        let f: Arc<dyn Fn(&Tuple) -> bool + Send + Sync> = Arc::new(|_| true);
+        let g: Arc<dyn Fn(&Tuple) -> bool + Send + Sync> = Arc::new(|_| true);
+        let p1 = UnaryPredicate::Custom(f.clone());
+        let p2 = UnaryPredicate::Custom(f);
+        let p3 = UnaryPredicate::Custom(g);
+        assert_eq!(p1.canonical_key(), p2.canonical_key());
+        assert_ne!(p1.canonical_key(), p3.canonical_key());
+    }
+
+    #[test]
+    fn rejects_relation_is_sound() {
+        let (_, r, s, t) = Schema::sigma0();
+        assert!(!UnaryPredicate::True.rejects_relation(r));
+        assert!(UnaryPredicate::Relation(s).rejects_relation(r));
+        assert!(!UnaryPredicate::Relation(s).rejects_relation(s));
+        assert!(UnaryPredicate::OneOf(Box::new([r, s])).rejects_relation(t));
+        assert!(!UnaryPredicate::OneOf(Box::new([r, s])).rejects_relation(s));
+        let conj = UnaryPredicate::Relation(s).and(UnaryPredicate::Cmp {
+            pos: 0,
+            op: CmpOp::Ge,
+            value: Value::Int(0),
+        });
+        assert!(conj.rejects_relation(r));
+        assert!(!conj.rejects_relation(s));
+        let custom = UnaryPredicate::Custom(Arc::new(|_| false));
+        assert!(!custom.rejects_relation(r), "opaque closures never reject");
     }
 
     #[test]

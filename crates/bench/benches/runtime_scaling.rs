@@ -8,7 +8,7 @@
 //! gate (`cer-bench`'s `bench_gate` binary) compares these against the
 //! committed `BENCH_runtime_scaling.json` baseline at the repo root.
 
-use cer_bench::multi_query_workload;
+use cer_bench::{multi_query_workload, near_duplicate_workload};
 use cer_core::runtime::{Partition, QuerySpec, Runtime};
 use cer_core::window::WindowPolicy;
 use cer_core::StreamingEvaluator;
@@ -137,10 +137,47 @@ fn bench_batch_size_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_query_count_scaling(c: &mut Criterion) {
+    // Sublinear scaling in the *query count*: 4 skeleton families of
+    // near-duplicate queries (S-branch thresholds cycling through a
+    // tiny domain, so most variants are exact duplicates). The shared
+    // predicate cache evaluates each distinct unary predicate once per
+    // tuple per batch and the skeleton groups select once per family,
+    // so per-query marginal cost collapses to residual firing work.
+    // One shard isolates the effect from thread-level parallelism.
+    //
+    // The CI gate (`SUBLINEAR_FAMILIES` in bench_gate) requires the
+    // largest member to beat the linear extrapolation of the 1-query
+    // member by at least 3x *within this same run*.
+    const SCALE_EVENTS: usize = 8_000;
+    const SKELETONS: usize = 4;
+    let mut group = c.benchmark_group("runtime_scaling_query_count");
+    group.throughput(Throughput::Elements(SCALE_EVENTS as u64));
+    for queries in [1usize, 16, 128, 1024] {
+        let skeletons = SKELETONS.min(queries);
+        let variants = queries / skeletons;
+        let wl = near_duplicate_workload(skeletons, variants, SCALE_EVENTS, 4, 4, 42);
+        let mut rt = Runtime::new(1);
+        for (j, pcea) in wl.pceas.iter().enumerate() {
+            rt.register(QuerySpec::new(
+                format!("q{j}"),
+                pcea.clone(),
+                WindowPolicy::Count(WINDOW),
+            ))
+            .expect("register");
+        }
+        group.bench_with_input(BenchmarkId::new("queries", queries), &queries, |b, _| {
+            b.iter(|| rt.push_batch(&wl.stream).len());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_multi_query_shards,
     bench_keyed_hot_query,
-    bench_batch_size_sweep
+    bench_batch_size_sweep,
+    bench_query_count_scaling
 );
 criterion_main!(benches);

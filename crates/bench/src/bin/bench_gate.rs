@@ -124,6 +124,55 @@ fn shape_ratios(records: &Records) -> BTreeMap<String, f64> {
     out
 }
 
+/// Families whose parameter is a *work multiplier* (query count), not a
+/// resource (shards): scaling linearly in the parameter is the
+/// status-quo cost, and the whole point of the shared evaluation path
+/// is to beat it. For each family, the largest member's within-run
+/// throughput must beat the linear extrapolation of the base member by
+/// at least the given factor: `eps(p) ≥ factor · eps(base) · base/p`.
+/// Gated on the **current run alone** (shape, machine-independent).
+const SUBLINEAR_FAMILIES: &[(&str, f64)] = &[("runtime_scaling_query_count/queries", 3.0)];
+
+/// Check the sublinear-scaling requirement against a run. Returns the
+/// failure messages (empty = pass); families absent from the run are
+/// skipped (baseline coverage is gated separately).
+fn sublinear_failures(records: &Records) -> Vec<String> {
+    let mut failures = Vec::new();
+    for &(prefix, factor) in SUBLINEAR_FAMILIES {
+        let members: Vec<(u64, f64)> = records
+            .iter()
+            .filter_map(|(name, &eps)| {
+                let (p, param) = family_of(name)?;
+                (p == prefix).then_some((param, eps))
+            })
+            .collect();
+        let (Some(&base), Some(&top)) = (
+            members.iter().min_by_key(|(p, _)| *p),
+            members.iter().max_by_key(|(p, _)| *p),
+        ) else {
+            continue;
+        };
+        if base.0 == top.0 || base.1 <= 0.0 {
+            continue;
+        }
+        let linear = base.1 * base.0 as f64 / top.0 as f64;
+        let achieved = top.1 / linear;
+        println!(
+            "bench_gate: {prefix}/{}: {:.2}x over linear extrapolation of {prefix}/{} \
+             (need >= {factor:.1}x)",
+            top.0, achieved, base.0
+        );
+        if achieved < factor {
+            failures.push(format!(
+                "{prefix}/{} runs only {achieved:.2}x faster than linear scaling \
+                 from {prefix}/{} (required >= {factor:.1}x)",
+                top.0, base.0
+            ));
+        }
+    }
+    failures
+}
+
 /// Serialize records as a stable, pretty JSON array.
 fn render_baseline(records: &Records) -> String {
     let mut s = String::from("[\n");
@@ -143,8 +192,10 @@ fn usage() -> ExitCode {
          \x20      bench_gate check  <bench-output.txt> <baseline.json>\n\
          check fails (exit 1) when the median within-run scaling ratio\n\
          (e.g. shards/4 vs shards/1) drops below 0.75x of the same ratio\n\
-         derived from the baseline, or when a baseline benchmark is\n\
-         missing from the run; BENCH_ALLOW_REGRESSION=1 overrides."
+         derived from the baseline, when a baseline benchmark is\n\
+         missing from the run, or when a work-multiplier family (query\n\
+         count) scales worse than its required sublinear factor;\n\
+         BENCH_ALLOW_REGRESSION=1 overrides."
     );
     ExitCode::from(2)
 }
@@ -230,6 +281,12 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            // Work-multiplier families: the current run's own shape
+            // must stay sublinear (see `SUBLINEAR_FAMILIES`).
+            let sublinear = sublinear_failures(&current);
+            for msg in &sublinear {
+                eprintln!("bench_gate: FAIL — {msg}");
+            }
             let failed = if missing > 0 {
                 eprintln!(
                     "bench_gate: FAIL — {missing} baseline benchmark(s) missing from this \
@@ -267,7 +324,7 @@ fn main() -> ExitCode {
                     false
                 }
             };
-            if failed {
+            if failed || !sublinear.is_empty() {
                 if allow {
                     println!(
                         "bench_gate: failure allowed by BENCH_ALLOW_REGRESSION=1 \
@@ -311,6 +368,25 @@ mod tests {
         assert_eq!(family_of("a/b/producers/16"), Some(("a/b/producers", 16)));
         assert_eq!(family_of("g/sync_push_batch"), None);
         assert_eq!(family_of("standalone"), None);
+    }
+
+    #[test]
+    fn sublinear_gate_compares_against_linear_extrapolation() {
+        let mut recs = Records::new();
+        // Base: 1 query at 1000 tuples/sec. Linear scaling to 1000
+        // queries would leave 1.0 tuples/sec; the gate demands >= 3x
+        // that, i.e. >= 3.0.
+        recs.insert("runtime_scaling_query_count/queries/1".into(), 1000.0);
+        recs.insert("runtime_scaling_query_count/queries/1000".into(), 2.9);
+        assert_eq!(sublinear_failures(&recs).len(), 1, "2.9x < 3x fails");
+        recs.insert("runtime_scaling_query_count/queries/1000".into(), 3.1);
+        assert!(sublinear_failures(&recs).is_empty(), "3.1x passes");
+        // Intermediate members don't participate; only base vs largest.
+        recs.insert("runtime_scaling_query_count/queries/10".into(), 0.001);
+        assert!(sublinear_failures(&recs).is_empty());
+        // A run without the family (other baselines) is skipped.
+        let other: Records = [("ingest/producers/4".to_string(), 5.0)].into();
+        assert!(sublinear_failures(&other).is_empty());
     }
 
     #[test]

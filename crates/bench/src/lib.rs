@@ -6,12 +6,12 @@
 //! `src/bin/tables.rs` (the tables recorded in `EXPERIMENTS.md`).
 
 use cer_automata::ccea::Ccea;
-use cer_automata::pcea::{Pcea, StateId};
+use cer_automata::pcea::{Pcea, PceaBuilder, StateId};
 use cer_automata::pfa::Pfa;
-use cer_automata::predicate::{EqPredicate, UnaryPredicate};
+use cer_automata::predicate::{CmpOp, EqPredicate, UnaryPredicate};
 use cer_automata::valuation::{Label, LabelSet};
 use cer_common::gen::{ChainGen, Sigma0Gen, StarGen};
-use cer_common::{Schema, Stream, Tuple};
+use cer_common::{RelationId, Schema, Stream, Tuple, Value};
 use cer_cq::compile::compile_hcq;
 use cer_cq::parser::parse_query;
 use cer_cq::query::ConjunctiveQuery;
@@ -199,6 +199,101 @@ pub fn multi_query_workload(
     }
 }
 
+/// A near-duplicate multi-query workload for the shared-evaluation
+/// benches: `skeletons` disjoint σ0-shaped relation families
+/// (`Tf`, `Sf`, `Rf`), each hosting `variants` queries that differ only
+/// in the threshold constant of the S-branch unary predicate
+/// (`S_f(x,y) ∧ y ≥ c`). Thresholds cycle through `0..y_domain`, so
+/// with more variants than distinct thresholds most queries are *exact*
+/// duplicates of an earlier one — the regime the runtime's shared
+/// predicate cache and skeleton grouping target.
+pub struct NearDuplicateWorkload {
+    /// The schema: relations `Tf`, `Sf`, `Rf` per skeleton family.
+    pub schema: Schema,
+    /// One compiled automaton per query (`skeletons × variants`),
+    /// family-major.
+    pub pceas: Vec<Pcea>,
+    /// Pre-generated stream, round-robined across the families.
+    pub stream: Vec<Tuple>,
+}
+
+/// σ0-shaped variant automaton: `paper_p0`'s three-transition skeleton
+/// over (`r`, `s`, `t`) with the S-branch initial predicate tightened
+/// to `S(x,y) ∧ y ≥ threshold`.
+fn sigma0_variant(r: RelationId, s: RelationId, t: RelationId, threshold: i64) -> Pcea {
+    let dot = LabelSet::singleton(Label(0));
+    let mut b = PceaBuilder::new(1);
+    let q0 = b.add_state();
+    let q1 = b.add_state();
+    let q2 = b.add_state();
+    b.add_initial_transition(UnaryPredicate::Relation(t), dot, q0);
+    b.add_initial_transition(
+        UnaryPredicate::Relation(s).and(UnaryPredicate::Cmp {
+            pos: 1,
+            op: CmpOp::Ge,
+            value: Value::Int(threshold),
+        }),
+        dot,
+        q1,
+    );
+    b.add_transition(
+        vec![
+            (q0, EqPredicate::on_positions(t, [0usize], r, [0usize])),
+            (
+                q1,
+                EqPredicate::on_positions(s, [0usize, 1], r, [0usize, 1]),
+            ),
+        ],
+        UnaryPredicate::Relation(r),
+        dot,
+        q2,
+    );
+    b.mark_final(q2);
+    b.build()
+}
+
+/// Build the near-duplicate workload: `skeletons × variants` queries,
+/// `n` tuples round-robined across the skeleton families with the
+/// given key domains.
+pub fn near_duplicate_workload(
+    skeletons: usize,
+    variants: usize,
+    n: usize,
+    x_domain: i64,
+    y_domain: i64,
+    seed: u64,
+) -> NearDuplicateWorkload {
+    assert!(skeletons >= 1 && variants >= 1 && y_domain >= 1);
+    let mut schema = Schema::new();
+    let mut pceas = Vec::with_capacity(skeletons * variants);
+    let mut gens = Vec::with_capacity(skeletons);
+    for f in 0..skeletons {
+        let t = schema
+            .add_relation(&format!("T{f}"), 1)
+            .expect("fresh schema");
+        let s = schema
+            .add_relation(&format!("S{f}"), 2)
+            .expect("fresh schema");
+        let r = schema
+            .add_relation(&format!("R{f}"), 2)
+            .expect("fresh schema");
+        for v in 0..variants {
+            pceas.push(sigma0_variant(r, s, t, (v as i64) % y_domain));
+        }
+        gens.push(
+            Sigma0Gen::new(r, s, t, seed.wrapping_add(f as u64)).with_domains(x_domain, y_domain),
+        );
+    }
+    let stream: Vec<Tuple> = (0..n)
+        .map(|i| gens[i % skeletons].next_tuple().expect("infinite"))
+        .collect();
+    NearDuplicateWorkload {
+        schema,
+        pceas,
+        stream,
+    }
+}
+
 /// The parallel-branch PFA family for experiment E4: `n` branches that
 /// must each see their own symbol (in any order) before the joining
 /// symbol `n` — the subset construction must track each branch
@@ -251,6 +346,33 @@ mod tests {
         for t in &w.stream {
             assert_eq!(spec.push_count(t), gen.push_count(t));
         }
+    }
+
+    #[test]
+    fn near_duplicate_workload_shares_skeletons_and_dedups() {
+        let w = near_duplicate_workload(2, 6, 400, 3, 3, 5);
+        assert_eq!(w.pceas.len(), 12);
+        // Every variant within a family (and across families) shares
+        // the three-transition skeleton...
+        for p in &w.pceas[1..] {
+            assert!(w.pceas[0].skeleton_compatible(p));
+        }
+        // ...but families listen to disjoint relations.
+        assert_ne!(w.pceas[0].relations(), w.pceas[6].relations());
+        // Thresholds cycle through 0..y_domain: variant 3 of a family
+        // is an exact duplicate of variant 0.
+        assert_eq!(
+            w.pceas[0].transitions()[1].unary.canonical_key(),
+            w.pceas[3].transitions()[1].unary.canonical_key()
+        );
+        assert_ne!(
+            w.pceas[0].transitions()[1].unary.canonical_key(),
+            w.pceas[1].transitions()[1].unary.canonical_key()
+        );
+        // Threshold 0 keeps the full σ0 semantics: matches exist.
+        let mut engine = cer_core::StreamingEvaluator::new(w.pceas[0].clone(), 64);
+        let total: usize = w.stream.iter().map(|t| engine.push_count(t)).sum();
+        assert!(total > 0);
     }
 
     #[test]

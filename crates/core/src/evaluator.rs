@@ -273,6 +273,27 @@ impl StreamingEvaluator {
             self.stage
                 .prefilter_slice(&self.pcea, (0..len).map(move |j| g(j).1), len)
         };
+        self.push_slice_tail(stride, len, get, labels, &mut f);
+    }
+
+    /// The per-position back half of the batch path, shared by the
+    /// private prefilter ([`push_slice_impl`](Self::push_slice_impl))
+    /// and the runtime's shared prefilter
+    /// ([`push_slice_selected_shared`](Self::push_slice_selected_shared)):
+    /// fire, index, enumerate per position, then the amortized GC check
+    /// at the batch boundary. Identical machinery regardless of how the
+    /// mask was filled.
+    fn push_slice_tail<'t, G, F>(
+        &mut self,
+        stride: usize,
+        len: usize,
+        get: G,
+        labels: Option<usize>,
+        f: &mut F,
+    ) where
+        G: Fn(usize) -> (u64, &'t Tuple),
+        F: FnMut(u64, &Valuation),
+    {
         // Hoist the window-policy dispatch: count windows are a pure
         // function of the position; time windows must consult each
         // tuple's timestamp, so they keep the per-tuple clock update.
@@ -373,28 +394,46 @@ impl StreamingEvaluator {
 
     /// Batched [`push_at`](Self::push_at) for the runtime shard workers:
     /// evaluate the stamped tuples selected by `sel` (indices into
-    /// `tuples`, in increasing position order). `enumerate` gates output
-    /// enumeration — a shard skips it when no subscriber listens.
-    pub(crate) fn push_slice_selected<F: FnMut(u64, &Valuation)>(
+    /// `tuples`, in increasing position order), with the unary
+    /// prefilter served by the shard's shared [`PredicateCache`]
+    /// instead of evaluated privately: `slots` maps each transition of
+    /// this query's automaton to its interned predicate slot, and the
+    /// mask is gathered from the cache's pool
+    /// ([`FireStage::prefilter_shared`](crate::fire)). `enumerate`
+    /// gates output enumeration — a shard skips it when no subscriber
+    /// listens. Everything after the mask — firing, indexing,
+    /// enumeration, GC — is the *same* code as the private
+    /// single-query path, and the mask bits are the same `matches()`
+    /// outcomes, so outputs are bit-identical.
+    pub(crate) fn push_slice_selected_shared<F: FnMut(u64, &Valuation)>(
         &mut self,
         tuples: &[(u64, Tuple)],
         sel: &[u32],
+        slots: &[u32],
+        cache: &mut crate::shared::PredicateCache,
         enumerate: bool,
-        f: F,
+        mut f: F,
     ) {
+        if sel.is_empty() {
+            return;
+        }
+        let stride = self
+            .stage
+            .prefilter_shared(&self.pcea, cache, slots, sel, tuples);
         let labels = if enumerate {
             Some(self.pcea.num_labels())
         } else {
             None
         };
-        self.push_slice_impl(
+        self.push_slice_tail(
+            stride,
             sel.len(),
             |k| {
                 let (i, t) = &tuples[sel[k] as usize];
                 (*i, t)
             },
             labels,
-            f,
+            &mut f,
         );
     }
 

@@ -42,8 +42,9 @@
 
 use crate::ds::{EnumStructure, NodeId};
 use crate::evaluator::EngineStats;
+use crate::shared::PredicateCache;
 use cer_automata::pcea::{Pcea, Transition};
-use cer_automata::predicate::Key;
+use cer_automata::predicate::{Key, UnaryPredicate};
 use cer_common::hash::FxHashMap;
 use cer_common::Tuple;
 
@@ -169,11 +170,82 @@ impl FireStage {
         let stride = n_trans.div_ceil(64).max(1);
         self.unary_mask.clear();
         self.unary_mask.resize(len * stride, 0);
+        // Is the whole slice one relation? One cheap pass lets relation
+        // tests below resolve per-transition instead of per-tuple.
+        let batch_rel = {
+            let mut it = tuples.clone();
+            it.next()
+                .map(|t0| t0.relation())
+                .filter(|&r0| tuples.clone().all(|t| t.relation() == r0))
+        };
         for (e_idx, tr) in pcea.transitions().iter().enumerate() {
             let (word, bit) = (e_idx / 64, 1u64 << (e_idx % 64));
+            // `True` accepts everything: fill the column without
+            // touching a single tuple.
+            if matches!(tr.unary, UnaryPredicate::True) {
+                for j in 0..len {
+                    self.unary_mask[j * stride + word] |= bit;
+                }
+                continue;
+            }
+            if let Some(r) = batch_rel {
+                // Relation-constant slice: an exact relation test is
+                // all-or-nothing, and any predicate that rejects the
+                // relation skips the slice outright.
+                if matches!(tr.unary, UnaryPredicate::Relation(x) if x == r) {
+                    for j in 0..len {
+                        self.unary_mask[j * stride + word] |= bit;
+                    }
+                    continue;
+                }
+                if tr.unary.rejects_relation(r) {
+                    continue;
+                }
+            }
             for (j, t) in tuples.clone().enumerate() {
                 if tr.unary.matches(t) {
                     self.unary_mask[j * stride + word] |= bit;
+                }
+            }
+        }
+        stride
+    }
+
+    /// Shared-prefilter variant for the multi-query runtime: instead of
+    /// evaluating `tr.unary` per transition, gather each transition's
+    /// bits from the shard's [`PredicateCache`] through the query's
+    /// indirection table `slots` (transition index → shared predicate
+    /// slot). The cache evaluates each *distinct* predicate at most
+    /// once per tuple per batch, no matter how many queries reference
+    /// it; this fan-out is pure bit movement.
+    ///
+    /// `sel` holds the query's tuple indices into the stamped batch
+    /// `tuples` (increasing). The produced mask is laid out over `sel`
+    /// exactly as [`prefilter_slice`](Self::prefilter_slice) lays it
+    /// over its slice, so
+    /// [`fire_transitions_masked`](Self::fire_transitions_masked)
+    /// consumes both identically — and the bits themselves are the same
+    /// `matches()` outcomes, so firing decisions are bit-identical.
+    pub(crate) fn prefilter_shared(
+        &mut self,
+        pcea: &Pcea,
+        cache: &mut PredicateCache,
+        slots: &[u32],
+        sel: &[u32],
+        tuples: &[(u64, Tuple)],
+    ) -> usize {
+        let n_trans = pcea.transitions().len();
+        debug_assert_eq!(slots.len(), n_trans);
+        let stride = n_trans.div_ceil(64).max(1);
+        self.unary_mask.clear();
+        self.unary_mask.resize(sel.len() * stride, 0);
+        for (e_idx, &slot) in slots.iter().enumerate() {
+            let (word, bit) = (e_idx / 64, 1u64 << (e_idx % 64));
+            let pool = cache.ensure(slot, tuples);
+            for (jj, &j) in sel.iter().enumerate() {
+                let j = j as usize;
+                if pool[j / 64] >> (j % 64) & 1 == 1 {
+                    self.unary_mask[jj * stride + word] |= bit;
                 }
             }
         }

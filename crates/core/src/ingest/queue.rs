@@ -30,7 +30,7 @@
 
 use super::BackpressurePolicy;
 use crate::evaluator::{EngineStats, StreamingEvaluator};
-use crate::runtime::{Partition, QueryId};
+use crate::runtime::{Partition, QueryId, SharedEvalStats};
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
 use cer_common::wire::WireError;
@@ -86,7 +86,7 @@ pub(crate) enum ShardMsg {
     },
     /// Report per-query engine counters.
     Stats {
-        reply: Sender<Vec<(QueryId, EngineStats)>>,
+        reply: Sender<(Vec<(QueryId, EngineStats)>, SharedEvalStats)>,
     },
     /// FIFO fence: the worker replies once every earlier message on this
     /// queue has been fully processed (tuples evaluated, match events

@@ -44,6 +44,7 @@ pub mod evaluator;
 mod fire;
 pub mod ingest;
 pub mod runtime;
+mod shared;
 pub mod window;
 
 pub use api::Evaluator;
@@ -56,6 +57,6 @@ pub use ingest::{
 };
 pub use runtime::{
     MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
-    SnapshotCounters,
+    SharedEvalStats, SnapshotCounters,
 };
 pub use window::{WindowClock, WindowPolicy};

@@ -76,6 +76,7 @@ use crate::ingest::{
     key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, QueryMeta, QueueStats,
     ShardMsg, ShardSnapshot, Subscription, SubscriptionFilter,
 };
+use crate::shared::PredicateCache;
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
 use cer_automata::valuation::Valuation;
@@ -237,6 +238,36 @@ pub struct RuntimeStats {
     /// were taken, at which position the last one cut, and how long
     /// each shard's copy-on-fence serialization stalled its worker.
     pub snapshots: SnapshotCounters,
+    /// Shared-evaluation effectiveness, summed across shards: predicate
+    /// dedup (distinct vs referenced predicates, prefilter `matches()`
+    /// calls performed vs avoided) and skeleton grouping (group count
+    /// and sizes, concatenated across shards).
+    pub shared: SharedEvalStats,
+}
+
+/// Effectiveness counters of the per-shard shared-evaluation layer
+/// (predicate cache + skeleton groups), surfaced in [`RuntimeStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharedEvalStats {
+    /// Distinct unary predicates currently interned (summed across
+    /// shard caches).
+    pub distinct_predicates: usize,
+    /// Predicate references held by registered transitions (one per
+    /// transition per hosted query replica). The gap to
+    /// `distinct_predicates` is the dedup factor.
+    pub referenced_predicates: usize,
+    /// Cumulative unary `matches()` calls the shared prefilter actually
+    /// performed.
+    pub prefilter_evals_done: u64,
+    /// Cumulative unary `matches()` calls avoided versus private
+    /// per-query prefilters (which pay one call per tuple per
+    /// referencing transition).
+    pub prefilter_evals_saved: u64,
+    /// Skeleton-compatible query groups currently live (summed across
+    /// shards).
+    pub groups: usize,
+    /// Member count of every live group, concatenated across shards.
+    pub group_sizes: Vec<usize>,
 }
 
 /// Checkpoint counters surfaced in [`RuntimeStats`], alongside the
@@ -273,6 +304,78 @@ struct LocalQuery {
     eval: StreamingEvaluator,
     partition: Partition,
     listens: Option<Vec<RelationId>>,
+    /// Indirection table: transition index → shared predicate slot in
+    /// the shard's [`PredicateCache`].
+    slots: Vec<u32>,
+    /// Index of this query's [`QueryGroup`].
+    group: usize,
+}
+
+/// A shard-local bucket of skeleton-compatible queries: same automaton
+/// skeleton ([`Pcea::skeleton_compatible`]), same routing interests and
+/// same partition mode, so the whole group shares one routed tuple
+/// selection per batch and its members differ only in per-query
+/// residuals (predicates, join state, windows).
+struct QueryGroup {
+    /// Routing interests shared by every member (equal by construction).
+    listens: Option<Vec<RelationId>>,
+    /// Partition mode shared by every member.
+    partition: Partition,
+    /// Indices into the worker's `queries`.
+    members: Vec<usize>,
+    /// Reusable per-batch selection scratch (indices into the drained
+    /// slice), computed once per group instead of once per query.
+    sel: Vec<u32>,
+}
+
+/// Find the group a query belongs in — same skeleton, listens and
+/// partition — or create an empty one. `k` indexes the query in
+/// `queries`; membership is the caller's to record.
+fn find_or_create_group(groups: &mut Vec<QueryGroup>, queries: &[LocalQuery], k: usize) -> usize {
+    let q = &queries[k];
+    for (gi, g) in groups.iter().enumerate() {
+        if g.partition == q.partition
+            && g.listens == q.listens
+            && g.members
+                .first()
+                .is_some_and(|&m| queries[m].eval.pcea().skeleton_compatible(q.eval.pcea()))
+        {
+            return gi;
+        }
+    }
+    groups.push(QueryGroup {
+        listens: q.listens.clone(),
+        partition: q.partition,
+        members: Vec::new(),
+        sel: Vec::new(),
+    });
+    groups.len() - 1
+}
+
+/// Recompute every group's membership from the queries' `group` fields
+/// (indices into `queries` shift on removal) and drop groups left
+/// empty, remapping the survivors.
+fn rebuild_groups(groups: &mut Vec<QueryGroup>, queries: &mut [LocalQuery]) {
+    for g in groups.iter_mut() {
+        g.members.clear();
+    }
+    for (k, q) in queries.iter().enumerate() {
+        groups[q.group].members.push(k);
+    }
+    let mut remap = vec![usize::MAX; groups.len()];
+    let mut w = 0usize;
+    for gi in 0..groups.len() {
+        if groups[gi].members.is_empty() {
+            continue;
+        }
+        remap[gi] = w;
+        groups.swap(gi, w);
+        w += 1;
+    }
+    groups.truncate(w);
+    for q in queries.iter_mut() {
+        q.group = remap[q.group];
+    }
 }
 
 /// Registry metadata the runtime keeps per query. The full spec is
@@ -872,12 +975,19 @@ impl Runtime {
         }
         drop(reply);
         let mut agg: FxHashMap<QueryId, EngineStats> = FxHashMap::default();
+        let mut shared_total = SharedEvalStats::default();
         let mut received = 0usize;
-        for per_shard in results {
+        for (per_shard, sh) in results {
             received += 1;
             for (id, st) in per_shard {
                 sum_stats(agg.entry(id).or_default(), &st);
             }
+            shared_total.distinct_predicates += sh.distinct_predicates;
+            shared_total.referenced_predicates += sh.referenced_predicates;
+            shared_total.prefilter_evals_done += sh.prefilter_evals_done;
+            shared_total.prefilter_evals_saved += sh.prefilter_evals_saved;
+            shared_total.groups += sh.groups;
+            shared_total.group_sizes.extend(sh.group_sizes);
         }
         assert!(
             received == self.shared.queues.len(),
@@ -890,6 +1000,7 @@ impl Runtime {
             per_query,
             shard_queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
             snapshots: self.snap_counters.clone(),
+            shared: shared_total,
         }
     }
 }
@@ -927,25 +1038,32 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
     let max_batch = shared.config.max_batch.max(1);
     let hasher = FxBuildHasher::default();
     let mut queries: Vec<LocalQuery> = Vec::new();
-    // Per-query selection scratch (indices into the current slice),
-    // kept parallel to `queries` and reused across batches.
-    let mut sel: Vec<Vec<u32>> = Vec::new();
-    // Local routing: relation → indices into `queries`.
+    // Skeleton-compatible query groups: selection (and, through the
+    // predicate cache, unary prefiltering) is computed once per group
+    // per batch, not once per query.
+    let mut groups: Vec<QueryGroup> = Vec::new();
+    // Shared unary-predicate cache: each distinct predicate is
+    // evaluated at most once per tuple per drained batch, no matter how
+    // many hosted queries reference it.
+    let mut cache = PredicateCache::default();
+    // Reusable per-batch scratch: which queries have a subscriber.
+    let mut listening: Vec<bool> = Vec::new();
+    // Local routing: relation → indices into `groups`.
     let mut routes: FxHashMap<RelationId, Vec<usize>> = FxHashMap::default();
     let mut wildcards: Vec<usize> = Vec::new();
-    let rebuild_local = |queries: &[LocalQuery],
+    let rebuild_local = |groups: &[QueryGroup],
                          routes: &mut FxHashMap<RelationId, Vec<usize>>,
                          wildcards: &mut Vec<usize>| {
         routes.clear();
         wildcards.clear();
-        for (k, q) in queries.iter().enumerate() {
-            match &q.listens {
+        for (gi, g) in groups.iter().enumerate() {
+            match &g.listens {
                 Some(rels) => {
                     for &rel in rels {
-                        routes.entry(rel).or_default().push(k);
+                        routes.entry(rel).or_default().push(gi);
                     }
                 }
-                None => wildcards.push(k),
+                None => wildcards.push(gi),
             }
         }
     };
@@ -956,47 +1074,57 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 // listening for the query's events; gate once per batch
                 // rather than per tuple (subscriber churn mid-batch is
                 // already racy by construction).
-                let listening: Vec<bool> = queries
-                    .iter()
-                    .map(|q| shared.subs.has_subscriber_for(q.id))
-                    .collect();
-                // Select each query's subsequence of the slice, then
-                // evaluate query-major so the batch path sees the whole
-                // run at once. Per-query event order (by position) is
+                listening.clear();
+                listening.extend(queries.iter().map(|q| shared.subs.has_subscriber_for(q.id)));
+                cache.begin_batch(&tuples);
+                // Select each *group's* subsequence of the slice (every
+                // member shares listens and partition, so the group
+                // selection is exactly each member's), then evaluate
+                // query-major so the batch path sees the whole run at
+                // once. Per-query event order (by position) is
                 // unchanged; only the interleaving *across* queries
                 // differs from tuple-major, and that was never ordered.
-                for s in &mut sel {
-                    s.clear();
+                for g in &mut groups {
+                    g.sel.clear();
                 }
                 for (j, (_, t)) in tuples.iter().enumerate() {
                     let listed = routes
                         .get(&t.relation())
                         .map(Vec::as_slice)
                         .unwrap_or_default();
-                    for &k in listed.iter().chain(&wildcards) {
-                        if let Partition::ByKey { pos } = queries[k].partition {
+                    for &gi in listed.iter().chain(&wildcards) {
+                        if let Partition::ByKey { pos } = groups[gi].partition {
                             // The batch was routed here for *some*
-                            // query; this one only owns its key slice.
+                            // query; this group only owns its key slice.
                             if key_shard(&hasher, t, pos, n_shards) != shard_idx {
                                 continue;
                             }
                         }
-                        sel[k].push(j as u32);
+                        groups[gi].sel.push(j as u32);
                     }
                 }
-                for (k, q) in queries.iter_mut().enumerate() {
-                    if sel[k].is_empty() {
+                for g in &groups {
+                    if g.sel.is_empty() {
                         continue;
                     }
-                    let id = q.id;
-                    q.eval
-                        .push_slice_selected(&tuples, &sel[k], listening[k], |position, v| {
-                            shared.subs.publish(&MatchEvent {
-                                position,
-                                query: id,
-                                valuation: v.clone(),
-                            });
-                        });
+                    for &k in &g.members {
+                        let q = &mut queries[k];
+                        let id = q.id;
+                        q.eval.push_slice_selected_shared(
+                            &tuples,
+                            &g.sel,
+                            &q.slots,
+                            &mut cache,
+                            listening[k],
+                            |position, v| {
+                                shared.subs.publish(&MatchEvent {
+                                    position,
+                                    query: id,
+                                    valuation: v.clone(),
+                                });
+                            },
+                        );
+                    }
                 }
             }
             ShardMsg::Register {
@@ -1017,14 +1145,25 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                         fresh
                     }
                 };
+                let slots = eval
+                    .pcea()
+                    .transitions()
+                    .iter()
+                    .map(|tr| cache.intern(&tr.unary))
+                    .collect();
+                let k = queries.len();
                 queries.push(LocalQuery {
                     id,
                     eval,
                     partition,
                     listens,
+                    slots,
+                    group: 0,
                 });
-                sel.push(Vec::new());
-                rebuild_local(&queries, &mut routes, &mut wildcards);
+                let gi = find_or_create_group(&mut groups, &queries, k);
+                queries[k].group = gi;
+                groups[gi].members.push(k);
+                rebuild_local(&groups, &mut routes, &mut wildcards);
             }
             ShardMsg::Snapshot { reply } => {
                 // Copy-on-fence: serialize every hosted query at this
@@ -1053,10 +1192,19 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 let swapped = match queries.iter().position(|q| q.id == id) {
                     Some(k) => {
                         let old = queries.remove(k);
+                        for &s in &old.slots {
+                            cache.release(s);
+                        }
                         let eval = old
                             .eval
                             .replace_automaton(pcea, window, gc_every)
                             .expect("replace compatibility validated by the control plane");
+                        let slots = eval
+                            .pcea()
+                            .transitions()
+                            .iter()
+                            .map(|tr| cache.intern(&tr.unary))
+                            .collect();
                         queries.insert(
                             k,
                             LocalQuery {
@@ -1064,9 +1212,17 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                                 eval,
                                 partition: old.partition,
                                 listens,
+                                slots,
+                                group: 0,
                             },
                         );
-                        rebuild_local(&queries, &mut routes, &mut wildcards);
+                        // The replacement may land in a different
+                        // skeleton group than its predecessor, and
+                        // `remove`/`insert` shifted member indices.
+                        let gi = find_or_create_group(&mut groups, &queries, k);
+                        queries[k].group = gi;
+                        rebuild_groups(&mut groups, &mut queries);
+                        rebuild_local(&groups, &mut routes, &mut wildcards);
                         true
                     }
                     None => false,
@@ -1077,8 +1233,11 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 let stats = match queries.iter().position(|q| q.id == id) {
                     Some(k) => {
                         let q = queries.remove(k);
-                        sel.remove(k);
-                        rebuild_local(&queries, &mut routes, &mut wildcards);
+                        for &s in &q.slots {
+                            cache.release(s);
+                        }
+                        rebuild_groups(&mut groups, &mut queries);
+                        rebuild_local(&groups, &mut routes, &mut wildcards);
                         Some(q.eval.stats())
                     }
                     None => None,
@@ -1086,7 +1245,16 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 let _ = reply.send(stats);
             }
             ShardMsg::Stats { reply } => {
-                let _ = reply.send(queries.iter().map(|q| (q.id, q.eval.stats())).collect());
+                let per_query = queries.iter().map(|q| (q.id, q.eval.stats())).collect();
+                let shared_stats = SharedEvalStats {
+                    distinct_predicates: cache.distinct_predicates(),
+                    referenced_predicates: cache.referenced_predicates(),
+                    prefilter_evals_done: cache.evals_done(),
+                    prefilter_evals_saved: cache.evals_saved(),
+                    groups: groups.len(),
+                    group_sizes: groups.iter().map(|g| g.members.len()).collect(),
+                };
+                let _ = reply.send((per_query, shared_stats));
             }
             ShardMsg::Barrier { reply } => {
                 let _ = reply.send(());

@@ -107,7 +107,7 @@ pub mod prelude {
     };
     pub use cer_core::runtime::{
         MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
-        SnapshotCounters,
+        SharedEvalStats, SnapshotCounters,
     };
     pub use cer_core::window::{WindowClock, WindowPolicy};
     pub use cer_cq::compile::{compile_hcq, CompileError, CompiledQuery};

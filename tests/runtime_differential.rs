@@ -3,9 +3,17 @@
 //! multisets of `(position, valuation)`) as N independent per-query
 //! `StreamingEvaluator`s fed the full stream — for every shard count,
 //! both partition modes, and both window policies.
+//!
+//! The runtime evaluates hosted queries through the *shared* path
+//! (skeleton groups + the per-shard predicate cache), so every test in
+//! this file is also a differential check of that machinery against the
+//! private single-query prefilter; the fleets of near-duplicate
+//! variants below stress it specifically (exact duplicate predicates,
+//! cross-query dedup, group churn through deregister/replace/restore).
 
 use pcea::baselines::NaiveRunsEvaluator;
 use pcea::prelude::*;
+use proptest::prelude::*;
 
 /// Deterministic dense stream over all relations of `schema`, one value
 /// domain per attribute position.
@@ -214,6 +222,275 @@ fn deregistration_freezes_the_prefix() {
             "shards={shards}: the survivor is unaffected"
         );
     }
+}
+
+/// σ0-shaped near-duplicate variant: `paper_p0`'s three-transition
+/// skeleton over (`r`, `s`, `t`) with the S-branch tightened to
+/// `S(x,y) ∧ y ≥ threshold`. Variants with equal thresholds are *exact*
+/// duplicates — the shared predicate cache's prime target.
+fn sigma0_variant(
+    r: pcea::common::RelationId,
+    s: pcea::common::RelationId,
+    t: pcea::common::RelationId,
+    threshold: i64,
+) -> Pcea {
+    let dot = LabelSet::singleton(Label(0));
+    let mut b = PceaBuilder::new(1);
+    let q0 = b.add_state();
+    let q1 = b.add_state();
+    let q2 = b.add_state();
+    b.add_initial_transition(UnaryPredicate::Relation(t), dot, q0);
+    b.add_initial_transition(
+        UnaryPredicate::Relation(s).and(UnaryPredicate::Cmp {
+            pos: 1,
+            op: CmpOp::Ge,
+            value: Value::Int(threshold),
+        }),
+        dot,
+        q1,
+    );
+    b.add_transition(
+        vec![
+            (q0, EqPredicate::on_positions(t, [0usize], r, [0usize])),
+            (
+                q1,
+                EqPredicate::on_positions(s, [0usize, 1], r, [0usize, 1]),
+            ),
+        ],
+        UnaryPredicate::Relation(r),
+        dot,
+        q2,
+    );
+    b.mark_final(q2);
+    b.build()
+}
+
+/// A fresh σ0 schema (T/1, S/2, R/2) for the variant fleets.
+fn sigma0_schema() -> (
+    Schema,
+    pcea::common::RelationId,
+    pcea::common::RelationId,
+    pcea::common::RelationId,
+) {
+    let mut schema = Schema::new();
+    let t = schema.add_relation("T", 1).unwrap();
+    let s = schema.add_relation("S", 2).unwrap();
+    let r = schema.add_relation("R", 2).unwrap();
+    (schema, r, s, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The shared-evaluation acceptance property: a fleet of
+    /// near-duplicate queries (random thresholds, so duplicates are
+    /// common) hosted in one runtime produces, query for query, exactly
+    /// the independent per-query evaluator's outputs — across shard
+    /// counts, both partition modes and count-window sizes.
+    #[test]
+    fn near_duplicate_fleet_matches_independent_evaluators(
+        shards in 1usize..5,
+        w in prop_oneof![Just(0u64), Just(3), Just(9), Just(1000)],
+        keyed in any::<bool>(),
+        thresholds in proptest::collection::vec(0i64..4, 1..10),
+    ) {
+        let (schema, r, s, t) = sigma0_schema();
+        let stream = mixed_stream(&schema, 240);
+        let mut rt = Runtime::new(shards);
+        let mut ids = Vec::new();
+        for (i, &th) in thresholds.iter().enumerate() {
+            let mut spec = QuerySpec::new(
+                format!("v{i}"),
+                sigma0_variant(r, s, t, th),
+                WindowPolicy::Count(w),
+            );
+            if keyed {
+                spec = spec.with_partition(Partition::ByKey { pos: 0 });
+            }
+            ids.push(rt.register(spec).unwrap());
+        }
+        let events = rt.push_batch(&stream);
+        for (&id, &th) in ids.iter().zip(&thresholds) {
+            let want = single_engine_outputs(
+                &sigma0_variant(r, s, t, th),
+                WindowPolicy::Count(w),
+                &stream,
+            );
+            prop_assert_eq!(runtime_outputs(&events, id), want);
+        }
+        // The fleet shares one skeleton, listens set and partition, so
+        // each hosting shard keeps exactly one group; keyed queries are
+        // hosted on every shard, and the cache saw real sharing.
+        let stats = rt.stats();
+        prop_assert_eq!(
+            stats.shared.group_sizes.iter().sum::<usize>(),
+            if keyed { shards * thresholds.len() } else { thresholds.len() }
+        );
+        prop_assert!(stats.shared.groups <= shards);
+        prop_assert!(stats.shared.prefilter_evals_saved > 0);
+        if keyed {
+            let distinct: std::collections::HashSet<i64> =
+                thresholds.iter().copied().collect();
+            // Per shard: T, R, and one S-variant per distinct threshold.
+            prop_assert_eq!(
+                stats.shared.distinct_predicates,
+                shards * (2 + distinct.len())
+            );
+            prop_assert_eq!(
+                stats.shared.referenced_predicates,
+                shards * 3 * thresholds.len()
+            );
+        }
+    }
+
+    /// Same property under *time* windows, over a two-relation join
+    /// `A(ta,x), B(tb,x)` with the B-branch tightened per variant.
+    #[test]
+    fn near_duplicate_fleet_matches_under_time_windows(
+        shards in 1usize..5,
+        duration in prop_oneof![Just(0i64), Just(4), Just(25), Just(10_000)],
+        keyed in any::<bool>(),
+        thresholds in proptest::collection::vec(0i64..3, 1..8),
+    ) {
+        let mut schema = Schema::new();
+        let a = schema.add_relation("A", 2).unwrap();
+        let b = schema.add_relation("B", 2).unwrap();
+        let variant = |threshold: i64| {
+            let dot = LabelSet::singleton(Label(0));
+            let mut builder = PceaBuilder::new(1);
+            let q0 = builder.add_state();
+            let q1 = builder.add_state();
+            builder.add_initial_transition(UnaryPredicate::Relation(a), dot, q0);
+            builder.add_transition(
+                vec![(q0, EqPredicate::on_positions(a, [1usize], b, [1usize]))],
+                UnaryPredicate::Relation(b).and(UnaryPredicate::Cmp {
+                    pos: 1,
+                    op: CmpOp::Ge,
+                    value: Value::Int(threshold),
+                }),
+                dot,
+                q1,
+            );
+            builder.mark_final(q1);
+            builder.build()
+        };
+        // Timestamps are the stream position (attribute 0); joins key
+        // on `x` (attribute 1), so ByKey partitions on it.
+        let stream: Vec<Tuple> = (0..300)
+            .map(|i| {
+                let rel = if (i / 3) % 2 == 0 { a } else { b };
+                Tuple::new(rel, vec![Value::Int(i as i64), Value::Int((i % 3) as i64)])
+            })
+            .collect();
+        let window = WindowPolicy::Time { duration, ts_pos: 0 };
+        let mut rt = Runtime::new(shards);
+        let mut ids = Vec::new();
+        for (i, &th) in thresholds.iter().enumerate() {
+            let mut spec = QuerySpec::new(format!("v{i}"), variant(th), window.clone());
+            if keyed {
+                spec = spec.with_partition(Partition::ByKey { pos: 1 });
+            }
+            ids.push(rt.register(spec).unwrap());
+        }
+        let events = rt.push_batch(&stream);
+        for (&id, &th) in ids.iter().zip(&thresholds) {
+            let want = single_engine_outputs(&variant(th), window.clone(), &stream);
+            prop_assert_eq!(runtime_outputs(&events, id), want);
+        }
+    }
+
+    /// Group and cache maintenance under churn: push, deregister a
+    /// duplicate, hot-swap another with an identical recompile
+    /// (slot release + re-intern + regroup), snapshot, restore into a
+    /// different shard count (groups rebuilt from scratch), push the
+    /// rest — the survivors' outputs are exactly the uninterrupted
+    /// independent runs.
+    #[test]
+    fn shared_path_survives_churn_and_restore(
+        shards_before in 1usize..4,
+        shards_after in 1usize..4,
+        cut in 40usize..80,
+    ) {
+        let (schema, r, s, t) = sigma0_schema();
+        let stream = mixed_stream(&schema, 160);
+        // Duplicates on purpose: thresholds 0 and 1 both appear thrice.
+        let thresholds = [0i64, 1, 0, 1, 0, 1];
+        let window = WindowPolicy::Count(9);
+        let mut rt = Runtime::new(shards_before);
+        let mut ids = Vec::new();
+        for (i, &th) in thresholds.iter().enumerate() {
+            let mut spec = QuerySpec::new(
+                format!("v{i}"),
+                sigma0_variant(r, s, t, th),
+                window.clone(),
+            );
+            if i % 2 == 0 {
+                spec = spec.with_partition(Partition::ByKey { pos: 0 });
+            }
+            ids.push(rt.register(spec).unwrap());
+        }
+        let mut events = rt.push_batch(&stream[..cut]);
+        // Retire one duplicate; its siblings must keep their slots.
+        rt.deregister(ids[2]).unwrap();
+        // Identical recompile: invisible to outputs, but releases and
+        // re-interns the query's predicate slots and regroups it.
+        rt.replace(
+            ids[3],
+            QuerySpec::new("v3_v2", sigma0_variant(r, s, t, 1), window.clone()),
+        )
+        .unwrap();
+        let snap = rt.snapshot().unwrap();
+        drop(rt);
+        let mut rt2 = Runtime::restore(&snap, shards_after).unwrap();
+        events.extend(rt2.push_batch(&stream[cut..]));
+        for (k, (&id, &th)) in ids.iter().zip(&thresholds).enumerate() {
+            if k == 2 {
+                continue; // deregistered: checked by its own test above
+            }
+            let want = single_engine_outputs(
+                &sigma0_variant(r, s, t, th),
+                window.clone(),
+                &stream,
+            );
+            prop_assert_eq!(runtime_outputs(&events, id), want, "query v{}", k);
+        }
+        // After restore the five survivors regrouped: every hosted
+        // instance is in a group, and shards hosting several queries
+        // dedup their shared T/R (and duplicate S) predicates.
+        let stats = rt2.stats();
+        prop_assert_eq!(stats.per_query.len(), 5);
+        prop_assert!(stats.shared.groups >= 1);
+        prop_assert!(stats.shared.group_sizes.iter().sum::<usize>() >= 5);
+        prop_assert!(stats.shared.distinct_predicates < stats.shared.referenced_predicates);
+    }
+}
+
+/// The exposed sharing counters on the easiest-to-count configuration:
+/// one shard, six pinned queries over three distinct thresholds.
+#[test]
+fn runtime_stats_expose_predicate_sharing() {
+    let (schema, r, s, t) = sigma0_schema();
+    let stream = mixed_stream(&schema, 90);
+    let mut rt = Runtime::new(1);
+    for (i, th) in [0i64, 1, 2, 0, 1, 2].iter().enumerate() {
+        rt.register(QuerySpec::new(
+            format!("v{i}"),
+            sigma0_variant(r, s, t, *th),
+            WindowPolicy::Count(16),
+        ))
+        .unwrap();
+    }
+    rt.push_batch(&stream);
+    let stats = rt.stats();
+    // One skeleton group of six; 18 transition references collapse to
+    // 5 distinct predicates (T, R, and three S-variants).
+    assert_eq!(stats.shared.groups, 1);
+    assert_eq!(stats.shared.group_sizes, vec![6]);
+    assert_eq!(stats.shared.distinct_predicates, 5);
+    assert_eq!(stats.shared.referenced_predicates, 18);
+    // Naive cost would be one predicate evaluation per transition per
+    // tuple; sharing plus relation confinement saves most of it.
+    assert!(stats.shared.prefilter_evals_saved > stats.shared.prefilter_evals_done);
 }
 
 /// Incremental registration: a query registered mid-stream sees only the
