@@ -31,7 +31,12 @@
 //! Baselines still record **absolute** medians (`record` is
 //! unchanged), so the committed files double as trend data; `check`
 //! prints the absolute median ratio as information, without gating on
-//! it. A baseline benchmark missing from the fresh run still fails the
+//! it. The shim's per-iteration `p95_ns`/`p99_ns` latency columns
+//! (sampled into `cer-obs` histograms) ride along the same way:
+//! recorded into the baselines and printed as a trend ratio on
+//! `check`, never gated — per-iteration tail latency is far noisier
+//! and more machine-class dependent than the within-run shape ratios.
+//! A baseline benchmark missing from the fresh run still fails the
 //! gate (coverage shrank — refresh the baseline in the same change),
 //! and `BENCH_ALLOW_REGRESSION=1` still downgrades any failure to a
 //! warning for intentional trade-offs.
@@ -42,9 +47,21 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// One benchmark record: name → tuples/sec (only benches with a
-/// throughput annotation participate in the gate).
-type Records = BTreeMap<String, f64>;
+/// One benchmark's recorded numbers. Only `elems_per_sec` participates
+/// in the gate; the latency percentiles are trend columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct BenchRec {
+    /// Tuples/sec (present only for benches with a throughput
+    /// annotation).
+    eps: Option<f64>,
+    /// Per-iteration 95th-percentile latency, nanoseconds.
+    p95_ns: Option<f64>,
+    /// Per-iteration 99th-percentile latency, nanoseconds.
+    p99_ns: Option<f64>,
+}
+
+/// Benchmark name → recorded numbers.
+type Records = BTreeMap<String, BenchRec>;
 
 /// Extract a string field (`"bench":"..."`) from a flat JSON object.
 fn json_str_field(obj: &str, key: &str) -> Option<String> {
@@ -77,13 +94,20 @@ fn parse_records(text: &str) -> Records {
             None if line.starts_with('{') && line.contains("\"bench\"") => line,
             None => continue,
         };
-        let (Some(name), Some(eps)) = (
-            json_str_field(obj, "bench"),
-            json_num_field(obj, "elems_per_sec"),
-        ) else {
+        let Some(name) = json_str_field(obj, "bench") else {
             continue;
         };
-        out.insert(name, eps);
+        let rec = BenchRec {
+            eps: json_num_field(obj, "elems_per_sec"),
+            p95_ns: json_num_field(obj, "p95_ns"),
+            p99_ns: json_num_field(obj, "p99_ns"),
+        };
+        // Mean-only lines (no throughput, no percentiles) carry nothing
+        // the gate or the trend columns can use.
+        if rec.eps.is_none() && rec.p95_ns.is_none() && rec.p99_ns.is_none() {
+            continue;
+        }
+        out.insert(name, rec);
     }
     out
 }
@@ -102,7 +126,8 @@ fn family_of(name: &str) -> Option<(&str, u64)> {
 fn shape_ratios(records: &Records) -> BTreeMap<String, f64> {
     // family prefix → (base param, base eps)
     let mut bases: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
-    for (name, &eps) in records {
+    for (name, rec) in records {
+        let Some(eps) = rec.eps else { continue };
         if let Some((prefix, param)) = family_of(name) {
             let slot = bases.entry(prefix).or_insert((param, eps));
             if param < slot.0 {
@@ -111,7 +136,8 @@ fn shape_ratios(records: &Records) -> BTreeMap<String, f64> {
         }
     }
     let mut out = BTreeMap::new();
-    for (name, &eps) in records {
+    for (name, rec) in records {
+        let Some(eps) = rec.eps else { continue };
         let Some((prefix, param)) = family_of(name) else {
             continue;
         };
@@ -141,9 +167,9 @@ fn sublinear_failures(records: &Records) -> Vec<String> {
     for &(prefix, factor) in SUBLINEAR_FAMILIES {
         let members: Vec<(u64, f64)> = records
             .iter()
-            .filter_map(|(name, &eps)| {
+            .filter_map(|(name, rec)| {
                 let (p, param) = family_of(name)?;
-                (p == prefix).then_some((param, eps))
+                (p == prefix).then_some((param, rec.eps?))
             })
             .collect();
         let (Some(&base), Some(&top)) = (
@@ -173,14 +199,23 @@ fn sublinear_failures(records: &Records) -> Vec<String> {
     failures
 }
 
-/// Serialize records as a stable, pretty JSON array.
+/// Serialize records as a stable, pretty JSON array (one flat object
+/// per line — the same format `parse_records` reads back).
 fn render_baseline(records: &Records) -> String {
     let mut s = String::from("[\n");
-    for (i, (name, eps)) in records.iter().enumerate() {
+    for (i, (name, rec)) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
-        s.push_str(&format!(
-            "  {{\"bench\":\"{name}\",\"elems_per_sec\":{eps:.1}}}{comma}\n"
-        ));
+        let mut fields = format!("\"bench\":\"{name}\"");
+        if let Some(eps) = rec.eps {
+            fields.push_str(&format!(",\"elems_per_sec\":{eps:.1}"));
+        }
+        if let Some(p95) = rec.p95_ns {
+            fields.push_str(&format!(",\"p95_ns\":{p95:.1}"));
+        }
+        if let Some(p99) = rec.p99_ns {
+            fields.push_str(&format!(",\"p99_ns\":{p99:.1}"));
+        }
+        s.push_str(&format!("  {{{fields}}}{comma}\n"));
     }
     s.push_str("]\n");
     s
@@ -245,14 +280,30 @@ fn main() -> ExitCode {
             // refreshed in the same change.
             let mut missing = 0usize;
             let mut abs_ratios: Vec<f64> = Vec::new();
-            for (name, &base_eps) in &baseline {
-                let Some(&cur_eps) = current.get(name) else {
+            let mut p99_ratios: Vec<f64> = Vec::new();
+            for (name, base) in &baseline {
+                let Some(cur) = current.get(name) else {
                     eprintln!("bench_gate: benchmark `{name}` missing from this run");
                     missing += 1;
                     continue;
                 };
-                if base_eps > 0.0 {
-                    abs_ratios.push(cur_eps / base_eps);
+                if let (Some(base_eps), Some(cur_eps)) = (base.eps, cur.eps) {
+                    if base_eps > 0.0 {
+                        abs_ratios.push(cur_eps / base_eps);
+                    }
+                }
+                // Latency trend columns (never gated): per-iteration
+                // tail latency vs what the baseline recorded.
+                if let (Some(b95), Some(b99), Some(c95), Some(c99)) =
+                    (base.p95_ns, base.p99_ns, cur.p95_ns, cur.p99_ns)
+                {
+                    println!(
+                        "bench_gate: info: {name}: p95 {c95:.0}ns / p99 {c99:.0}ns \
+                         (baseline {b95:.0}ns / {b99:.0}ns)"
+                    );
+                    if b99 > 0.0 {
+                        p99_ratios.push(c99 / b99);
+                    }
                 }
             }
             if abs_ratios.is_empty() {
@@ -268,6 +319,15 @@ fn main() -> ExitCode {
                 abs_ratios[abs_ratios.len() / 2],
                 abs_ratios.len()
             );
+            if !p99_ratios.is_empty() {
+                p99_ratios.sort_by(f64::total_cmp);
+                println!(
+                    "bench_gate: info: median p99 latency {:.2}x vs baseline across {} \
+                     benchmarks (trend only, not gated)",
+                    p99_ratios[p99_ratios.len() / 2],
+                    p99_ratios.len()
+                );
+            }
             // The gate: within-run shape ratios (e.g. shards/4 relative
             // to shards/1) compared against the same ratios derived
             // from the baseline — absolute machine speed cancels out.
@@ -344,22 +404,49 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
+    /// Throughput-only record, as old-format baselines parse to.
+    fn eps(v: f64) -> BenchRec {
+        BenchRec {
+            eps: Some(v),
+            ..BenchRec::default()
+        }
+    }
+
     #[test]
     fn parses_raw_bench_output_and_baseline_files() {
         let raw = "noise\nBENCH_JSON {\"bench\":\"g/a\",\"mean_ns\":10.0,\"iters\":3,\"elems_per_sec\":100.0}\n\
                    BENCH_JSON {\"bench\":\"g/b\",\"mean_ns\":10.0,\"iters\":3}\n";
         let recs = parse_records(raw);
-        assert_eq!(recs.len(), 1, "no-throughput benches are skipped");
-        assert_eq!(recs["g/a"], 100.0);
+        assert_eq!(
+            recs.len(),
+            1,
+            "lines with no gateable/trend fields are skipped"
+        );
+        assert_eq!(recs["g/a"].eps, Some(100.0));
         let rendered = render_baseline(&recs);
         let reparsed = parse_records(&rendered);
         assert_eq!(recs, reparsed, "record/parse round-trips");
     }
 
     #[test]
+    fn latency_columns_parse_and_round_trip() {
+        let raw = "BENCH_JSON {\"bench\":\"g/a\",\"mean_ns\":10.0,\"iters\":3,\"p95_ns\":140,\"p99_ns\":210,\"elems_per_sec\":100.0}\n\
+                   BENCH_JSON {\"bench\":\"g/lat_only\",\"mean_ns\":10.0,\"iters\":3,\"p95_ns\":12,\"p99_ns\":16}\n";
+        let recs = parse_records(raw);
+        assert_eq!(recs["g/a"].p95_ns, Some(140.0));
+        assert_eq!(recs["g/a"].p99_ns, Some(210.0));
+        assert_eq!(recs["g/lat_only"].eps, None, "no throughput annotation");
+        assert_eq!(recs["g/lat_only"].p99_ns, Some(16.0));
+        let reparsed = parse_records(&render_baseline(&recs));
+        assert_eq!(recs, reparsed, "latency columns survive record/parse");
+        // Latency-only members contribute nothing to the gated shapes.
+        assert!(shape_ratios(&recs).is_empty());
+    }
+
+    #[test]
     fn scientific_notation_and_negatives_parse() {
         let raw = "BENCH_JSON {\"bench\":\"x\",\"elems_per_sec\":8.1e6}";
-        assert_eq!(parse_records(raw)["x"], 8.1e6);
+        assert_eq!(parse_records(raw)["x"].eps, Some(8.1e6));
     }
 
     #[test]
@@ -376,34 +463,37 @@ mod tests {
         // Base: 1 query at 1000 tuples/sec. Linear scaling to 1000
         // queries would leave 1.0 tuples/sec; the gate demands >= 3x
         // that, i.e. >= 3.0.
-        recs.insert("runtime_scaling_query_count/queries/1".into(), 1000.0);
-        recs.insert("runtime_scaling_query_count/queries/1000".into(), 2.9);
+        recs.insert("runtime_scaling_query_count/queries/1".into(), eps(1000.0));
+        recs.insert("runtime_scaling_query_count/queries/1000".into(), eps(2.9));
         assert_eq!(sublinear_failures(&recs).len(), 1, "2.9x < 3x fails");
-        recs.insert("runtime_scaling_query_count/queries/1000".into(), 3.1);
+        recs.insert("runtime_scaling_query_count/queries/1000".into(), eps(3.1));
         assert!(sublinear_failures(&recs).is_empty(), "3.1x passes");
         // Intermediate members don't participate; only base vs largest.
-        recs.insert("runtime_scaling_query_count/queries/10".into(), 0.001);
+        recs.insert("runtime_scaling_query_count/queries/10".into(), eps(0.001));
         assert!(sublinear_failures(&recs).is_empty());
         // A run without the family (other baselines) is skipped.
-        let other: Records = [("ingest/producers/4".to_string(), 5.0)].into();
+        let other: Records = [("ingest/producers/4".to_string(), eps(5.0))].into();
         assert!(sublinear_failures(&other).is_empty());
     }
 
     #[test]
     fn shape_ratios_are_relative_to_the_smallest_parameter() {
         let mut recs = Records::new();
-        recs.insert("g/shards/1".into(), 100.0);
-        recs.insert("g/shards/2".into(), 150.0);
-        recs.insert("g/shards/8".into(), 400.0);
-        recs.insert("g/other".into(), 999.0); // not a family member
-        recs.insert("h/batch/16".into(), 80.0); // family of one: no ratio
+        recs.insert("g/shards/1".into(), eps(100.0));
+        recs.insert("g/shards/2".into(), eps(150.0));
+        recs.insert("g/shards/8".into(), eps(400.0));
+        recs.insert("g/other".into(), eps(999.0)); // not a family member
+        recs.insert("h/batch/16".into(), eps(80.0)); // family of one: no ratio
         let shape = shape_ratios(&recs);
         assert_eq!(shape.len(), 2);
         assert_eq!(shape["g/shards/2"], 1.5);
         assert_eq!(shape["g/shards/8"], 4.0);
         // Machine-class independence: scaling every absolute number by
         // 10x (a faster machine) leaves every shape ratio unchanged.
-        let slower: Records = recs.iter().map(|(k, v)| (k.clone(), v / 10.0)).collect();
+        let slower: Records = recs
+            .iter()
+            .map(|(k, v)| (k.clone(), eps(v.eps.unwrap() / 10.0)))
+            .collect();
         assert_eq!(shape_ratios(&slower), shape);
     }
 }

@@ -405,6 +405,12 @@ impl StreamingEvaluator {
     /// enumeration, GC — is the *same* code as the private
     /// single-query path, and the mask bits are the same `matches()`
     /// outcomes, so outputs are bit-identical.
+    ///
+    /// `timers`, when given, splits the call's wall time into the
+    /// shared-prefilter phase and the fire/index/enumerate tail — the
+    /// shard worker passes its stage histograms; timing is two `Instant`
+    /// reads per *batch*, not per tuple.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn push_slice_selected_shared<F: FnMut(u64, &Valuation)>(
         &mut self,
         tuples: &[(u64, Tuple)],
@@ -412,14 +418,20 @@ impl StreamingEvaluator {
         slots: &[u32],
         cache: &mut crate::shared::PredicateCache,
         enumerate: bool,
+        timers: Option<(&cer_obs::Histogram, &cer_obs::Histogram)>,
         mut f: F,
     ) {
         if sel.is_empty() {
             return;
         }
+        let prefilter_at = timers.map(|_| std::time::Instant::now());
         let stride = self
             .stage
             .prefilter_shared(&self.pcea, cache, slots, sel, tuples);
+        let tail_at = std::time::Instant::now();
+        if let (Some((prefilter, _)), Some(at)) = (timers, prefilter_at) {
+            prefilter.record_duration(tail_at.saturating_duration_since(at));
+        }
         let labels = if enumerate {
             Some(self.pcea.num_labels())
         } else {
@@ -435,6 +447,9 @@ impl StreamingEvaluator {
             labels,
             &mut f,
         );
+        if let Some((_, tail)) = timers {
+            tail.record_duration(tail_at.elapsed());
+        }
     }
 
     /// Checkpoint encoding of every cross-position piece of this

@@ -158,6 +158,7 @@ pub use subscribe::{Subscription, SubscriptionFilter};
 pub(crate) use queue::{Closed, ShardMsg, ShardQueue, ShardSnapshot};
 pub(crate) use subscribe::SubscriptionRegistry;
 
+use crate::metrics::{PipelineEvent, PipelineMetrics};
 use crate::runtime::Partition;
 use cer_common::hash::{FxBuildHasher, FxHashMap};
 use cer_common::{RelationId, Tuple};
@@ -166,6 +167,7 @@ use std::fmt;
 use std::hash::BuildHasher;
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// What a producer does when a shard queue is full.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -416,6 +418,10 @@ pub(crate) struct IngestShared {
     pub subs: SubscriptionRegistry,
     pub config: IngestConfig,
     pub hasher: FxBuildHasher,
+    /// The runtime's metrics registry and event journal — shared here so
+    /// producers, the control plane and the shard workers all record
+    /// into the same instance.
+    pub metrics: PipelineMetrics,
 }
 
 impl IngestShared {
@@ -434,6 +440,7 @@ impl IngestShared {
             subs: SubscriptionRegistry::default(),
             config,
             hasher: FxBuildHasher::default(),
+            metrics: PipelineMetrics::new(n_shards),
         }
     }
 
@@ -474,11 +481,17 @@ impl IngestShared {
                 dropped: 0,
             });
         }
+        // The ingest timestamp anchors both the sequencer-reserve span
+        // and (carried on the staged batch) the end-to-end latency.
+        let ingest_at = Instant::now();
         let (id, start, router) = {
             let mut seq = self.seq.lock().expect("sequencer poisoned");
             let (id, start) = seq.reserve(batch.len() as u64);
             (id, start, Arc::clone(&seq.router))
         };
+        self.metrics
+            .seq_reserve
+            .record_duration(ingest_at.elapsed());
         // Outside the lock: route, hash and clone on this producer's
         // thread, striping the per-tuple work across producers. The
         // outer staging vector is thread-local scratch (each staged
@@ -516,8 +529,16 @@ impl IngestShared {
                     continue;
                 }
                 let tuples = std::mem::take(&mut staging[s]);
-                match self.queues[s].stage_block(id, tuples, policy) {
+                match self.queues[s].stage_block(id, tuples, ingest_at, policy) {
                     Ok(d) => {
+                        if d > 0 {
+                            self.metrics.drops.add(d);
+                            self.metrics.journal.push(PipelineEvent::TuplesDropped {
+                                shard: s,
+                                position: start,
+                                count: d,
+                            });
+                        }
                         dropped += d;
                         touched |= 1 << s;
                     }
@@ -537,9 +558,20 @@ impl IngestShared {
             while touched != 0 {
                 let s = touched.trailing_zeros() as usize;
                 touched &= touched - 1;
-                self.queues[s]
+                let park_at = Instant::now();
+                let parked = self.queues[s]
                     .wait_for_room()
                     .map_err(|Closed| IngestError::RuntimeClosed)?;
+                if parked {
+                    let park = park_at.elapsed();
+                    self.metrics.producer_park.record_duration(park);
+                    self.metrics.parks.inc();
+                    self.metrics.journal.push(PipelineEvent::ProducerParked {
+                        shard: s,
+                        position: start,
+                        park_nanos: u64::try_from(park.as_nanos()).unwrap_or(u64::MAX),
+                    });
+                }
             }
         }
         Ok(IngestReceipt {
@@ -593,6 +625,10 @@ impl IngestShared {
     /// forever, which is what lets `Runtime::drop` join its workers
     /// under a live, undrained subscriber.
     pub fn close(&self) {
+        let position = self.seq.lock().expect("sequencer poisoned").next_pos;
+        self.metrics
+            .journal
+            .push(PipelineEvent::Shutdown { position });
         for q in &self.queues {
             q.close();
         }

@@ -35,20 +35,40 @@ use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
 use cer_common::wire::WireError;
 use cer_common::{RelationId, Tuple};
+use cer_obs::Histogram;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// The queue was closed (its runtime has shut down).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Closed;
 
+/// A released batch of position-stamped tuples, carrying the wall-clock
+/// marks the latency histograms are computed from.
+pub(crate) struct TupleBatch {
+    /// The stamped tuples, in increasing position order.
+    pub tuples: Vec<(u64, Tuple)>,
+    /// Captured at `SeqCore::reserve` — the start of the end-to-end
+    /// ingest→delivery clock. Coalescing keeps the earliest mark.
+    pub ingest_at: Instant,
+    /// When the reorder stage released the batch to the worker FIFO —
+    /// the start of the drain-wait clock.
+    pub released_at: Instant,
+}
+
+/// One shard's reply to a [`ShardMsg::Stats`] probe: the replying
+/// shard's index, its per-query engine counters, and its shared-eval
+/// cache counters.
+pub(crate) type StatsReply = (usize, Vec<(QueryId, EngineStats)>, SharedEvalStats);
+
 /// What travels to a shard worker. Tuple batches compete for queue
 /// capacity; everything else is control traffic and always admitted.
 pub(crate) enum ShardMsg {
     /// Position-stamped tuples in increasing position order.
-    Tuples(Vec<(u64, Tuple)>),
+    Tuples(TupleBatch),
     /// Host a new query on this shard. `state` carries a restored
     /// evaluator (checkpoint restore) instead of starting fresh.
     Register {
@@ -84,10 +104,10 @@ pub(crate) enum ShardMsg {
         id: QueryId,
         reply: Sender<Option<EngineStats>>,
     },
-    /// Report per-query engine counters.
-    Stats {
-        reply: Sender<(Vec<(QueryId, EngineStats)>, SharedEvalStats)>,
-    },
+    /// Report per-query engine counters (tagged with the replying
+    /// shard's index, so the runtime can surface per-shard breakdowns
+    /// alongside the summed totals).
+    Stats { reply: Sender<StatsReply> },
     /// FIFO fence: the worker replies once every earlier message on this
     /// queue has been fully processed (tuples evaluated, match events
     /// published).
@@ -109,6 +129,23 @@ pub(crate) struct ShardSnapshot {
 }
 
 /// Occupancy counters of one shard queue, readable at any time.
+///
+/// # Monotone-since-start semantics
+///
+/// Every cumulative field — [`dropped`](Self::dropped),
+/// [`drained_batches`](Self::drained_batches),
+/// [`drained_tuples`](Self::drained_tuples),
+/// [`reorder_released`](Self::reorder_released) — and every
+/// watermark field — [`high_water`](Self::high_water),
+/// [`max_drain_batch`](Self::max_drain_batch),
+/// [`reorder_high_water`](Self::reorder_high_water) — is **monotone
+/// non-decreasing over the runtime's lifetime**. Reading stats never
+/// resets anything: the stats read is a pure copy of the
+/// counters, so two consecutive reads r1, r2 always satisfy
+/// `r1.field <= r2.field` for these fields. Only
+/// [`depth`](Self::depth) and [`reorder_pending`](Self::reorder_pending)
+/// are instantaneous levels that move both ways. Rate computation is
+/// therefore the reader's job: sample twice and difference.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Tuples currently staged (pending in the reorder buffer or
@@ -141,7 +178,15 @@ pub struct QueueStats {
 /// A reorder-buffer entry: one block's slice for this shard, or a
 /// position-ordered control message riding a zero-width block.
 enum Staged {
-    Tuples(Vec<(u64, Tuple)>),
+    Tuples {
+        tuples: Vec<(u64, Tuple)>,
+        /// The producer's reserve instant, forwarded onto the released
+        /// [`TupleBatch`].
+        ingest_at: Instant,
+        /// When the slice entered the reorder buffer — start of the
+        /// reorder-hold clock.
+        staged_at: Instant,
+    },
     Control(ShardMsg),
 }
 
@@ -172,6 +217,12 @@ pub(crate) struct ShardQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// How long released entries sat in the reorder buffer waiting for
+    /// the sequencer watermark (one sample per released entry).
+    pub reorder_hold: Histogram,
+    /// How long released batches waited in the worker FIFO before the
+    /// shard worker drained them (one sample per coalesced drain).
+    pub queue_wait: Histogram,
     /// Lock-free mirror of `!inner.pending.is_empty()`, letting
     /// watermark broadcasts skip shards with nothing staged without
     /// touching their mutex. Safe to read stale-false only because any
@@ -201,6 +252,8 @@ impl ShardQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            reorder_hold: Histogram::new(),
+            queue_wait: Histogram::new(),
             has_pending: AtomicBool::new(false),
         }
     }
@@ -219,6 +272,7 @@ impl ShardQueue {
         &self,
         block: u64,
         mut tuples: Vec<(u64, Tuple)>,
+        ingest_at: Instant,
         policy: BackpressurePolicy,
     ) -> Result<u64, Closed> {
         if tuples.is_empty() {
@@ -246,7 +300,14 @@ impl ShardQueue {
         if !tuples.is_empty() {
             inner.depth += tuples.len();
             inner.high_water = inner.high_water.max(inner.depth);
-            inner.pending.insert(block, Staged::Tuples(tuples));
+            inner.pending.insert(
+                block,
+                Staged::Tuples {
+                    tuples,
+                    ingest_at,
+                    staged_at: Instant::now(),
+                },
+            );
             inner.reorder_high_water = inner.reorder_high_water.max(inner.pending.len());
             self.has_pending.store(true, Ordering::Release);
         }
@@ -288,12 +349,25 @@ impl ShardQueue {
         }
         inner.released_watermark = watermark;
         let mut moved = false;
+        let released_at = Instant::now();
         while let Some(entry) = inner.pending.first_entry() {
             if *entry.key() >= watermark {
                 break;
             }
             let msg = match entry.remove() {
-                Staged::Tuples(ts) => ShardMsg::Tuples(ts),
+                Staged::Tuples {
+                    tuples,
+                    ingest_at,
+                    staged_at,
+                } => {
+                    self.reorder_hold
+                        .record_duration(released_at.saturating_duration_since(staged_at));
+                    ShardMsg::Tuples(TupleBatch {
+                        tuples,
+                        ingest_at,
+                        released_at,
+                    })
+                }
                 Staged::Control(msg) => msg,
             };
             inner.msgs.push_back(msg);
@@ -323,16 +397,20 @@ impl ShardQueue {
 
     /// Park until the queue has room below its capacity bound (the
     /// `Block` policy's backpressure point, called by producers *after*
-    /// completing their position block) or the queue closes.
-    pub fn wait_for_room(&self) -> Result<(), Closed> {
+    /// completing their position block) or the queue closes. Returns
+    /// whether the producer actually parked, so the caller can record
+    /// the park episode without charging the uncontended fast path.
+    pub fn wait_for_room(&self) -> Result<bool, Closed> {
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        let mut parked = false;
         while inner.depth >= self.capacity && !inner.closed {
+            parked = true;
             inner = self.not_full.wait(inner).expect("ingest queue poisoned");
         }
         if inner.closed {
             return Err(Closed);
         }
-        Ok(())
+        Ok(parked)
     }
 
     /// Blocking pop without coalescing (`pop_batch(1)`), for tests.
@@ -360,21 +438,26 @@ impl ShardQueue {
         loop {
             if let Some(msg) = inner.msgs.pop_front() {
                 let msg = match msg {
-                    ShardMsg::Tuples(mut ts) => {
-                        while ts.len() < max_batch
+                    ShardMsg::Tuples(mut batch) => {
+                        // Merging keeps the *front* batch's wall-clock
+                        // marks: FIFO order is block order, so they are
+                        // the earliest — the e2e and drain-wait clocks
+                        // measure the oldest tuple in the merged slice.
+                        while batch.tuples.len() < max_batch
                             && matches!(inner.msgs.front(), Some(ShardMsg::Tuples(_)))
                         {
                             match inner.msgs.pop_front() {
-                                Some(ShardMsg::Tuples(more)) => ts.extend(more),
+                                Some(ShardMsg::Tuples(more)) => batch.tuples.extend(more.tuples),
                                 _ => unreachable!("front was a tuple batch"),
                             }
                         }
-                        inner.depth -= ts.len();
+                        inner.depth -= batch.tuples.len();
                         inner.drained_batches += 1;
-                        inner.drained_tuples += ts.len() as u64;
-                        inner.max_drain = inner.max_drain.max(ts.len());
+                        inner.drained_tuples += batch.tuples.len() as u64;
+                        inner.max_drain = inner.max_drain.max(batch.tuples.len());
+                        self.queue_wait.record_duration(batch.released_at.elapsed());
                         self.not_full.notify_all();
-                        ShardMsg::Tuples(ts)
+                        ShardMsg::Tuples(batch)
                     }
                     control => control,
                 };
@@ -433,9 +516,20 @@ mod tests {
         tuples: Vec<(u64, Tuple)>,
         policy: BackpressurePolicy,
     ) -> Result<u64, Closed> {
-        let dropped = q.stage_block(block, tuples, policy)?;
+        let dropped = q.stage_block(block, tuples, Instant::now(), policy)?;
         q.release_up_to(block + 1);
         Ok(dropped)
+    }
+
+    /// Stage a block with a fresh ingest mark (the non-test path takes
+    /// the mark at `SeqCore::reserve`).
+    fn stage(
+        q: &ShardQueue,
+        block: u64,
+        tuples: Vec<(u64, Tuple)>,
+        policy: BackpressurePolicy,
+    ) -> Result<u64, Closed> {
+        q.stage_block(block, tuples, Instant::now(), policy)
     }
 
     #[test]
@@ -443,17 +537,14 @@ mod tests {
         let (_, r, _, _) = Schema::sigma0();
         let q = ShardQueue::new(100);
         // Three blocks staged newest-first, as racing producers would.
-        q.stage_block(2, stamped(r, 20, 2), BackpressurePolicy::Block)
-            .unwrap();
-        q.stage_block(1, stamped(r, 10, 2), BackpressurePolicy::Block)
-            .unwrap();
+        stage(&q, 2, stamped(r, 20, 2), BackpressurePolicy::Block).unwrap();
+        stage(&q, 1, stamped(r, 10, 2), BackpressurePolicy::Block).unwrap();
         assert_eq!(q.stats().reorder_pending, 2);
         // Watermark stuck below the oldest block: nothing released, the
         // worker would still be waiting.
         q.release_up_to(0);
         assert_eq!(q.stats().reorder_released, 0);
-        q.stage_block(0, stamped(r, 0, 2), BackpressurePolicy::Block)
-            .unwrap();
+        stage(&q, 0, stamped(r, 0, 2), BackpressurePolicy::Block).unwrap();
         assert_eq!(q.stats().reorder_high_water, 3);
         // Watermark passes all three (a stale broadcast racing in later
         // must be a no-op).
@@ -462,10 +553,13 @@ mod tests {
         let mut seen = Vec::new();
         for _ in 0..3 {
             match q.pop().unwrap() {
-                ShardMsg::Tuples(ts) => seen.extend(ts.iter().map(|(i, _)| *i)),
+                ShardMsg::Tuples(b) => seen.extend(b.tuples.iter().map(|(i, _)| *i)),
                 _ => panic!("tuples only"),
             }
         }
+        // Two latency histograms saw every released/drained batch.
+        assert_eq!(q.reorder_hold.count(), 3);
+        assert_eq!(q.queue_wait.count(), 3);
         assert_eq!(
             seen,
             vec![0, 1, 10, 11, 20, 21],
@@ -494,7 +588,7 @@ mod tests {
         q.stage_control(2, ShardMsg::Barrier { reply: tx }).unwrap();
         q.release_up_to(3);
         match q.pop().unwrap() {
-            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 3),
+            ShardMsg::Tuples(b) => assert_eq!(b.tuples.len(), 3),
             _ => panic!("tuples first"),
         }
         match q.pop().unwrap() {
@@ -510,26 +604,22 @@ mod tests {
         let (_, r, _, _) = Schema::sigma0();
         let q = ShardQueue::new(100);
         // Three consecutive tuple blocks, a barrier, then one more.
-        q.stage_block(0, stamped(r, 0, 3), BackpressurePolicy::Block)
-            .unwrap();
-        q.stage_block(1, stamped(r, 3, 3), BackpressurePolicy::Block)
-            .unwrap();
-        q.stage_block(2, stamped(r, 6, 3), BackpressurePolicy::Block)
-            .unwrap();
+        stage(&q, 0, stamped(r, 0, 3), BackpressurePolicy::Block).unwrap();
+        stage(&q, 1, stamped(r, 3, 3), BackpressurePolicy::Block).unwrap();
+        stage(&q, 2, stamped(r, 6, 3), BackpressurePolicy::Block).unwrap();
         let (tx, _rx) = std::sync::mpsc::channel();
         q.stage_control(3, ShardMsg::Barrier { reply: tx }).unwrap();
-        q.stage_block(4, stamped(r, 9, 2), BackpressurePolicy::Block)
-            .unwrap();
+        stage(&q, 4, stamped(r, 9, 2), BackpressurePolicy::Block).unwrap();
         q.release_up_to(5);
         // max_batch 5: the first two blocks coalesce (3 < 5, then 6 ≥ 5
         // — overshoot by at most one producer batch), the third stays.
         match q.pop_batch(5).unwrap() {
-            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 6),
+            ShardMsg::Tuples(b) => assert_eq!(b.tuples.len(), 6),
             _ => panic!("tuples first"),
         }
         // The third block never merges across the barrier.
         match q.pop_batch(100).unwrap() {
-            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 3),
+            ShardMsg::Tuples(b) => assert_eq!(b.tuples.len(), 3),
             _ => panic!("tuples second"),
         }
         assert!(matches!(
@@ -537,7 +627,7 @@ mod tests {
             ShardMsg::Barrier { .. }
         ));
         match q.pop_batch(100).unwrap() {
-            ShardMsg::Tuples(ts) => assert_eq!(ts.len(), 2),
+            ShardMsg::Tuples(b) => assert_eq!(b.tuples.len(), 2),
             _ => panic!("tuples last"),
         }
         let st = q.stats();
@@ -565,7 +655,7 @@ mod tests {
         assert!(!producer.is_finished());
         assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
         assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
-        assert_eq!(producer.join().unwrap(), Ok(()));
+        assert_eq!(producer.join().unwrap(), Ok(true), "the producer parked");
         stage_released(&q, 2, stamped(r, 4, 1), BackpressurePolicy::Block).unwrap();
         q.close();
         // The released batch survives the close; then the queue reports
@@ -573,7 +663,12 @@ mod tests {
         assert!(matches!(q.pop(), Some(ShardMsg::Tuples(_))));
         assert!(q.pop().is_none());
         assert_eq!(
-            q.stage_block(3, stamped(r, 5, 1), BackpressurePolicy::Block),
+            q.stage_block(
+                3,
+                stamped(r, 5, 1),
+                Instant::now(),
+                BackpressurePolicy::Block
+            ),
             Err(Closed)
         );
         assert_eq!(q.wait_for_room(), Err(Closed));

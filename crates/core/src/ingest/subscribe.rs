@@ -20,6 +20,7 @@
 
 use super::BackpressurePolicy;
 use crate::runtime::{MatchEvent, QueryId};
+use cer_obs::Histogram;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -95,6 +96,10 @@ impl SubQueue {
 #[derive(Default)]
 pub(crate) struct SubscriptionRegistry {
     subs: RwLock<Vec<Arc<SubQueue>>>,
+    /// Wall time of each [`publish`](Self::publish) call, including any
+    /// park on a full `Block` subscriber channel — so a stalled
+    /// lossless consumer shows up here as a fat delivery tail.
+    pub delivery: Histogram,
 }
 
 impl SubscriptionRegistry {
@@ -126,12 +131,14 @@ impl SubscriptionRegistry {
 
     /// Publish one completed match to every live matching subscriber.
     pub fn publish(&self, event: &MatchEvent) {
+        let at = Instant::now();
         let subs = self.subs.read().expect("subscription registry poisoned");
         for sub in subs.iter() {
             if sub.filter.accepts(event.query) {
                 sub.offer(event);
             }
         }
+        self.delivery.record_duration(at.elapsed());
     }
 
     /// Close every subscriber channel and wake anyone parked on it:

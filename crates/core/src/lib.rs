@@ -43,11 +43,15 @@ pub mod enumerate;
 pub mod evaluator;
 mod fire;
 pub mod ingest;
+pub mod metrics;
 pub mod runtime;
 mod shared;
 pub mod window;
 
 pub use api::Evaluator;
+pub use cer_obs::{
+    validate_prometheus_text, HistogramSnapshot, JournalEntry, Metric, MetricValue, MetricsSnapshot,
+};
 pub use checkpoint::{Snapshot, SnapshotError};
 pub use ds::{EnumStructure, NodeId, BOTTOM};
 pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};
@@ -55,6 +59,7 @@ pub use ingest::{
     BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,
     Subscription, SubscriptionFilter,
 };
+pub use metrics::PipelineEvent;
 pub use runtime::{
     MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
     SharedEvalStats, SnapshotCounters,

@@ -1,0 +1,249 @@
+//! Pipeline observability: the per-runtime metrics registry and the
+//! structured event journal.
+//!
+//! Every [`Runtime`](crate::runtime::Runtime) owns one
+//! `PipelineMetrics` registry (shared with its producers and shard workers
+//! through the ingest pipeline's `Arc`). The span structure mirrors the
+//! pipeline stages documented in [`crate::ingest`]:
+//!
+//! ```text
+//!  producer ──────────────────────────────────────────────► consumer
+//!   │ seq_reserve   reorder_hold   queue_wait   shard_eval │
+//!   │ producer_park              (prefilter + eval tail)   │
+//!   │                                         delivery     │
+//!   └───────────────────── e2e ──────────────────────────▲─┘
+//! ```
+//!
+//! * `seq_reserve` — the sequencer lock acquisition reserving a
+//!   position block ([`SeqCore::reserve`](crate::ingest));
+//! * `producer_park` — how long producers park for backpressure under
+//!   [`BackpressurePolicy::Block`](crate::ingest::BackpressurePolicy);
+//! * reorder hold and drain-batch wait live on each shard queue
+//!   ([`crate::ingest`]'s reorder stage);
+//! * `shard_eval` / `prefilter` / `eval_tail` — per-shard batch
+//!   evaluation, with the shared-prefilter phase split from the
+//!   fire/index/enumerate tail;
+//! * delivery lives on the subscription registry;
+//! * `e2e` — true ingest→match-delivery latency, measured from an
+//!   `Instant` captured at block reservation and carried on the stamped
+//!   batch. Sampled every Nth delivered match
+//!   ([`Runtime::set_e2e_sample_every`](crate::runtime::Runtime::set_e2e_sample_every));
+//!   the default is every match.
+//!
+//! Recording cost follows the `cer-obs` model: one relaxed atomic add
+//! per histogram sample; the journal takes a short mutex on *events*
+//! (parks, drops, churn), which are orders of magnitude rarer than
+//! tuples.
+
+use crate::runtime::QueryId;
+use cer_obs::{Counter, Histogram, Journal};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many [`PipelineEvent`]s the journal retains before overwriting
+/// the oldest (overwrites are counted, never silent).
+pub const EVENT_JOURNAL_CAPACITY: usize = 1024;
+
+/// A structured, position-stamped pipeline event. Drained via
+/// [`Runtime::events`](crate::runtime::Runtime::events); each entry
+/// additionally carries the journal's own dense sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// A producer parked for backpressure on a shard queue
+    /// ([`BackpressurePolicy::Block`](crate::ingest::BackpressurePolicy)),
+    /// recorded once it unparked, with the park duration.
+    ProducerParked {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// Start of the position block the producer had just staged.
+        position: u64,
+        /// How long it parked, in nanoseconds.
+        park_nanos: u64,
+    },
+    /// A shard queue shed tuples under
+    /// [`BackpressurePolicy::DropNewest`](crate::ingest::BackpressurePolicy).
+    TuplesDropped {
+        /// The shard that dropped.
+        shard: usize,
+        /// Start of the position block the drop occurred in.
+        position: u64,
+        /// Tuples shed.
+        count: u64,
+    },
+    /// A time-window clock clamped out-of-order timestamps (the stream
+    /// violated the non-decreasing-timestamp contract; see
+    /// [`crate::window`]).
+    TsRegressions {
+        /// The shard that observed the regression.
+        shard: usize,
+        /// The affected query.
+        query: QueryId,
+        /// Position of the last tuple in the evaluated batch.
+        position: u64,
+        /// New clamps observed in that batch.
+        count: u64,
+    },
+    /// A query was registered.
+    QueryRegistered {
+        /// The new query's id.
+        query: QueryId,
+        /// Stream position of the registration fence.
+        position: u64,
+    },
+    /// A query was deregistered.
+    QueryDeregistered {
+        /// The removed query's id.
+        query: QueryId,
+        /// Stream position of the deregistration fence.
+        position: u64,
+    },
+    /// A query's automaton was hot-swapped in place
+    /// ([`Runtime::replace`](crate::runtime::Runtime::replace)).
+    QueryReplaced {
+        /// The swapped query's id.
+        query: QueryId,
+        /// Stream position of the swap fence.
+        position: u64,
+    },
+    /// An epoch-consistent snapshot was captured.
+    SnapshotTaken {
+        /// The snapshot's epoch position.
+        position: u64,
+    },
+    /// A runtime was rebuilt from a snapshot.
+    Restored {
+        /// The resumed stream position.
+        position: u64,
+        /// The restored runtime's shard count.
+        shards: usize,
+    },
+    /// The pipeline shut down (queues closed, workers draining out).
+    Shutdown {
+        /// The last stamped position at shutdown.
+        position: u64,
+    },
+}
+
+impl PipelineEvent {
+    /// The stream position the event is stamped with.
+    pub fn position(&self) -> u64 {
+        match self {
+            PipelineEvent::ProducerParked { position, .. }
+            | PipelineEvent::TuplesDropped { position, .. }
+            | PipelineEvent::TsRegressions { position, .. }
+            | PipelineEvent::QueryRegistered { position, .. }
+            | PipelineEvent::QueryDeregistered { position, .. }
+            | PipelineEvent::QueryReplaced { position, .. }
+            | PipelineEvent::SnapshotTaken { position }
+            | PipelineEvent::Restored { position, .. }
+            | PipelineEvent::Shutdown { position } => *position,
+        }
+    }
+}
+
+/// Per-shard evaluation-stage histograms, recorded by that shard's
+/// worker thread.
+#[derive(Default)]
+pub(crate) struct ShardStageMetrics {
+    /// Whole drained-batch evaluation time (selection + every hosted
+    /// query).
+    pub eval: Histogram,
+    /// Shared-prefilter phase across all evaluations on this shard.
+    pub prefilter: Histogram,
+    /// The fire/index/enumerate tail, split from the prefilter.
+    pub eval_tail: Histogram,
+}
+
+/// The per-runtime metrics registry. Lives inside the ingest pipeline's
+/// shared state so producers, shard workers and the control plane all
+/// record into the same instance.
+pub(crate) struct PipelineMetrics {
+    /// Sequencer position-block reservation latency.
+    pub seq_reserve: Histogram,
+    /// Producer park duration under `Block` backpressure (recorded only
+    /// when the producer actually parked).
+    pub producer_park: Histogram,
+    /// Park episodes (histogram count equals this; kept as a cheap
+    /// counter for export).
+    pub parks: Counter,
+    /// Tuples shed under `DropNewest`, summed across shards.
+    pub drops: Counter,
+    /// End-to-end ingest→match-delivery latency (sampled).
+    pub e2e: Histogram,
+    /// Per-shard serialize stall of snapshot fences.
+    pub snapshot_serialize: Histogram,
+    /// Wall-clock duration of `Runtime::restore` calls that built this
+    /// runtime (at most one sample, on the restored runtime).
+    pub restore: Histogram,
+    /// Per-shard evaluation-stage histograms.
+    pub shards: Vec<ShardStageMetrics>,
+    /// The bounded event journal.
+    pub journal: Journal<PipelineEvent>,
+    e2e_ticks: AtomicU64,
+    e2e_sample_every: AtomicU64,
+}
+
+impl PipelineMetrics {
+    pub fn new(n_shards: usize) -> Self {
+        PipelineMetrics {
+            seq_reserve: Histogram::new(),
+            producer_park: Histogram::new(),
+            parks: Counter::new(),
+            drops: Counter::new(),
+            e2e: Histogram::new(),
+            snapshot_serialize: Histogram::new(),
+            restore: Histogram::new(),
+            shards: (0..n_shards)
+                .map(|_| ShardStageMetrics::default())
+                .collect(),
+            journal: Journal::new(EVENT_JOURNAL_CAPACITY),
+            e2e_ticks: AtomicU64::new(0),
+            e2e_sample_every: AtomicU64::new(1),
+        }
+    }
+
+    /// Whether this delivered match should contribute an e2e sample:
+    /// every `sample_every`-th match does. One relaxed `fetch_add`; the
+    /// histograms stay unbiased under uniform sampling because every
+    /// percentile is a ratio of bucket counts.
+    #[inline]
+    pub fn e2e_should_sample(&self) -> bool {
+        let every = self.e2e_sample_every.load(Ordering::Relaxed).max(1);
+        self.e2e_ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+    }
+
+    /// Set the e2e sampling period (clamped to ≥ 1).
+    pub fn set_e2e_sample_every(&self, every: u64) {
+        self.e2e_sample_every.store(every.max(1), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2e_sampling_period_is_respected() {
+        let m = PipelineMetrics::new(1);
+        m.set_e2e_sample_every(4);
+        let sampled = (0..16).filter(|_| m.e2e_should_sample()).count();
+        assert_eq!(sampled, 4);
+        // 0 is clamped to 1: every match samples.
+        m.set_e2e_sample_every(0);
+        let sampled = (0..5).filter(|_| m.e2e_should_sample()).count();
+        assert_eq!(sampled, 5);
+    }
+
+    #[test]
+    fn event_positions_are_extracted_uniformly() {
+        let ev = PipelineEvent::SnapshotTaken { position: 42 };
+        assert_eq!(ev.position(), 42);
+        let ev = PipelineEvent::ProducerParked {
+            shard: 1,
+            position: 7,
+            park_nanos: 100,
+        };
+        assert_eq!(ev.position(), 7);
+    }
+}

@@ -76,16 +76,19 @@ use crate::ingest::{
     key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, QueryMeta, QueueStats,
     ShardMsg, ShardSnapshot, Subscription, SubscriptionFilter,
 };
+use crate::metrics::PipelineEvent;
 use crate::shared::PredicateCache;
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
 use cer_automata::valuation::Valuation;
 use cer_common::hash::{FxBuildHasher, FxHashMap};
 use cer_common::{RelationId, Tuple};
+use cer_obs::{JournalEntry, MetricsSnapshot};
 use std::fmt;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Identifier of a query registered in a [`Runtime`], dense from 0 in
 /// registration order.
@@ -223,6 +226,13 @@ impl std::error::Error for RuntimeError {}
 pub struct RuntimeStats {
     /// `(query, per-shard engine counters summed)` in id order.
     pub per_query: Vec<(QueryId, EngineStats)>,
+    /// The unsummed breakdown behind [`per_query`](Self::per_query):
+    /// `(query, [(shard, counters), …])` in id order, shards ascending.
+    /// Summing each query's shard entries reproduces `per_query`
+    /// exactly — kept so hot-shard skew under
+    /// [`Partition::ByKey`] stays visible instead of being averaged
+    /// away.
+    pub per_query_shards: Vec<(QueryId, Vec<(usize, EngineStats)>)>,
     /// Per-shard ingest queue occupancy (current depth, high-water
     /// mark, tuples dropped under
     /// [`BackpressurePolicy::DropNewest`](crate::ingest::BackpressurePolicy)),
@@ -309,6 +319,9 @@ struct LocalQuery {
     slots: Vec<u32>,
     /// Index of this query's [`QueryGroup`].
     group: usize,
+    /// `ts_regressions` observed after the previous batch — new clamps
+    /// show up as a delta and are journaled per batch.
+    last_regressions: u64,
 }
 
 /// A shard-local bucket of skeleton-compatible queries: same automaton
@@ -496,7 +509,7 @@ impl Runtime {
             }
             states[0] = Some(Box::new(eval));
         }
-        let block = {
+        let (block, position) = {
             // One sequencer lock acquisition swaps the router AND
             // reserves the zero-width control block, so the routing
             // epoch agrees with block order: blocks reserved before this
@@ -520,7 +533,7 @@ impl Runtime {
                 homes: homes.clone(),
             });
             router.rebuild();
-            let (block, _) = seq.reserve(0);
+            let (block, position) = seq.reserve(0);
             for (k, &shard) in homes.iter().enumerate() {
                 self.shared.queues[shard]
                     .stage_control(
@@ -537,9 +550,16 @@ impl Runtime {
                     )
                     .expect("runtime not shut down");
             }
-            block
+            (block, position)
         };
         self.shared.finish_block(block);
+        self.shared
+            .metrics
+            .journal
+            .push(PipelineEvent::QueryRegistered {
+                query: id,
+                position,
+            });
         self.queries.push(QueryInfo {
             name: spec.name.clone(),
             alive: true,
@@ -562,7 +582,7 @@ impl Runtime {
         info.alive = false;
         info.spec = None;
         let (reply, replies) = channel();
-        let (block, homes) = {
+        let (block, position, homes) = {
             // Same epoch rule as `register`: the router swap and the
             // zero-width control block share one lock acquisition, so
             // tuples routed to the dying query (older blocks) are
@@ -573,7 +593,7 @@ impl Runtime {
             meta.alive = false;
             let homes = meta.homes.clone();
             router.rebuild();
-            let (block, _) = seq.reserve(0);
+            let (block, position) = seq.reserve(0);
             for &shard in &homes {
                 self.shared.queues[shard]
                     .stage_control(
@@ -585,9 +605,16 @@ impl Runtime {
                     )
                     .expect("runtime not shut down");
             }
-            (block, homes)
+            (block, position, homes)
         };
         self.shared.finish_block(block);
+        self.shared
+            .metrics
+            .journal
+            .push(PipelineEvent::QueryDeregistered {
+                query: id,
+                position,
+            });
         drop(reply);
         let mut total = EngineStats::default();
         for _ in 0..homes.len() {
@@ -656,6 +683,13 @@ impl Runtime {
         }
         self.snap_counters.snapshots_taken += 1;
         self.snap_counters.last_snapshot_pos = Some(position);
+        for &nanos in &per_shard_nanos {
+            self.shared.metrics.snapshot_serialize.record(nanos);
+        }
+        self.shared
+            .metrics
+            .journal
+            .push(PipelineEvent::SnapshotTaken { position });
         self.snap_counters.shard_serialize_nanos = per_shard_nanos;
         let queries = self
             .queries
@@ -697,6 +731,7 @@ impl Runtime {
         config: IngestConfig,
     ) -> Result<Runtime, SnapshotError> {
         use cer_common::wire::WireError;
+        let restore_at = Instant::now();
         let mut rt = Runtime::with_config(shards, config);
         {
             let mut seq = rt.shared.seq.lock().expect("sequencer poisoned");
@@ -745,6 +780,14 @@ impl Runtime {
                 .map_err(|_| SnapshotError::BadDefinition(spec.name.clone()))?;
             debug_assert_eq!(id.0, record.id);
         }
+        rt.shared
+            .metrics
+            .restore
+            .record_duration(restore_at.elapsed());
+        rt.shared.metrics.journal.push(PipelineEvent::Restored {
+            position: snapshot.position,
+            shards: rt.shared.queues.len(),
+        });
         Ok(rt)
     }
 
@@ -832,7 +875,7 @@ impl Runtime {
         }
         let listens = new.pcea.relations();
         let (reply, replies) = channel();
-        let (block, homes) = {
+        let (block, position, homes) = {
             // Same epoch rule as register/deregister: the routing-table
             // swap and the zero-width Replace block share one lock
             // acquisition, so the routing epoch agrees with the swap
@@ -843,7 +886,7 @@ impl Runtime {
             meta.listens = listens.clone();
             let homes = meta.homes.clone();
             router.rebuild();
-            let (block, _) = seq.reserve(0);
+            let (block, position) = seq.reserve(0);
             for &shard in &homes {
                 self.shared.queues[shard]
                     .stage_control(
@@ -859,9 +902,16 @@ impl Runtime {
                     )
                     .expect("runtime not shut down");
             }
-            (block, homes)
+            (block, position, homes)
         };
         self.shared.finish_block(block);
+        self.shared
+            .metrics
+            .journal
+            .push(PipelineEvent::QueryReplaced {
+                query: id,
+                position,
+            });
         drop(reply);
         for _ in 0..homes.len() {
             let swapped = replies
@@ -975,12 +1025,14 @@ impl Runtime {
         }
         drop(reply);
         let mut agg: FxHashMap<QueryId, EngineStats> = FxHashMap::default();
+        let mut breakdown: FxHashMap<QueryId, Vec<(usize, EngineStats)>> = FxHashMap::default();
         let mut shared_total = SharedEvalStats::default();
         let mut received = 0usize;
-        for (per_shard, sh) in results {
+        for (shard, per_shard, sh) in results {
             received += 1;
             for (id, st) in per_shard {
                 sum_stats(agg.entry(id).or_default(), &st);
+                breakdown.entry(id).or_default().push((shard, st));
             }
             shared_total.distinct_predicates += sh.distinct_predicates;
             shared_total.referenced_predicates += sh.referenced_predicates;
@@ -996,12 +1048,303 @@ impl Runtime {
         );
         let mut per_query: Vec<(QueryId, EngineStats)> = agg.into_iter().collect();
         per_query.sort_by_key(|(id, _)| *id);
+        let mut per_query_shards: Vec<(QueryId, Vec<(usize, EngineStats)>)> =
+            breakdown.into_iter().collect();
+        per_query_shards.sort_by_key(|(id, _)| *id);
+        for (_, shards) in &mut per_query_shards {
+            shards.sort_by_key(|(shard, _)| *shard);
+        }
         RuntimeStats {
             per_query,
+            per_query_shards,
             shard_queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
             snapshots: self.snap_counters.clone(),
             shared: shared_total,
         }
+    }
+
+    /// Drain the pipeline event journal: every [`PipelineEvent`] pushed
+    /// since the last drain (or since start), each wrapped with its
+    /// dense journal sequence number. The journal is bounded
+    /// ([`crate::metrics::EVENT_JOURNAL_CAPACITY`]); overwritten events
+    /// are counted by [`events_overwritten`](Self::events_overwritten),
+    /// and the sequence numbers of the survivors make any gap visible.
+    pub fn events(&self) -> Vec<JournalEntry<PipelineEvent>> {
+        self.shared.metrics.journal.drain()
+    }
+
+    /// How many journal events were overwritten before being drained
+    /// (monotone since start; 0 means [`events`](Self::events) saw
+    /// everything).
+    pub fn events_overwritten(&self) -> u64 {
+        self.shared.metrics.journal.overwritten()
+    }
+
+    /// Sample the end-to-end ingest→delivery latency on every `every`-th
+    /// delivered match (clamped to ≥ 1; default 1 — every match). The
+    /// other histograms are unaffected: this is the only span whose
+    /// recording costs an extra `Instant::now()` on the delivery path,
+    /// so high-fan-out deployments can thin it.
+    pub fn set_e2e_sample_every(&self, every: u64) {
+        self.shared.metrics.set_e2e_sample_every(every);
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] of every pipeline metric:
+    /// stage latency histograms, queue occupancy gauges, per-query
+    /// engine counters and journal counters. The snapshot is plain data
+    /// — merge it, encode it over the wire
+    /// ([`cer_common::wire::Wire`]), or render it with
+    /// [`metrics_text`](Self::metrics_text).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        let m = &self.shared.metrics;
+        let mut out = MetricsSnapshot::new();
+
+        // Pipeline-wide histograms.
+        out.push_histogram(
+            "cer_seq_reserve_nanos",
+            "Sequencer position-block reservation latency",
+            &[],
+            m.seq_reserve.snapshot(),
+        );
+        out.push_histogram(
+            "cer_producer_park_nanos",
+            "Producer park duration under Block backpressure",
+            &[],
+            m.producer_park.snapshot(),
+        );
+        out.push_histogram(
+            "cer_e2e_nanos",
+            "End-to-end ingest-to-delivery latency (sampled)",
+            &[],
+            m.e2e.snapshot(),
+        );
+        out.push_histogram(
+            "cer_delivery_nanos",
+            "Match publish latency across subscriber channels",
+            &[],
+            self.shared.subs.delivery.snapshot(),
+        );
+        out.push_histogram(
+            "cer_snapshot_serialize_nanos",
+            "Per-shard serialize stall of snapshot fences",
+            &[],
+            m.snapshot_serialize.snapshot(),
+        );
+        out.push_histogram(
+            "cer_restore_nanos",
+            "Wall time of the restore that built this runtime",
+            &[],
+            m.restore.snapshot(),
+        );
+
+        // Per-shard stage histograms (same metric name, shard label —
+        // grouped per name so the text exposition stays contiguous).
+        for (i, sm) in m.shards.iter().enumerate() {
+            out.push_histogram(
+                "cer_shard_eval_nanos",
+                "Whole drained-batch evaluation time per shard",
+                &[("shard", i.to_string())],
+                sm.eval.snapshot(),
+            );
+        }
+        for (i, sm) in m.shards.iter().enumerate() {
+            out.push_histogram(
+                "cer_shared_prefilter_nanos",
+                "Shared-prefilter phase of batch evaluation per shard",
+                &[("shard", i.to_string())],
+                sm.prefilter.snapshot(),
+            );
+        }
+        for (i, sm) in m.shards.iter().enumerate() {
+            out.push_histogram(
+                "cer_eval_tail_nanos",
+                "Fire/index/enumerate tail of batch evaluation per shard",
+                &[("shard", i.to_string())],
+                sm.eval_tail.snapshot(),
+            );
+        }
+        for (i, q) in self.shared.queues.iter().enumerate() {
+            out.push_histogram(
+                "cer_reorder_hold_nanos",
+                "Time staged blocks waited in the reorder buffer",
+                &[("shard", i.to_string())],
+                q.reorder_hold.snapshot(),
+            );
+        }
+        for (i, q) in self.shared.queues.iter().enumerate() {
+            out.push_histogram(
+                "cer_queue_wait_nanos",
+                "Time released batches waited in the shard FIFO",
+                &[("shard", i.to_string())],
+                q.queue_wait.snapshot(),
+            );
+        }
+
+        // Pipeline-wide counters.
+        out.push_counter(
+            "cer_producer_parks_total",
+            "Producer park episodes under Block backpressure",
+            &[],
+            m.parks.get(),
+        );
+        out.push_counter(
+            "cer_tuples_dropped_total",
+            "Tuples shed under DropNewest across shard queues",
+            &[],
+            m.drops.get(),
+        );
+        out.push_counter(
+            "cer_events_pushed_total",
+            "Pipeline events pushed to the journal",
+            &[],
+            m.journal.pushed(),
+        );
+        out.push_counter(
+            "cer_events_overwritten_total",
+            "Journal events overwritten before being drained",
+            &[],
+            m.journal.overwritten(),
+        );
+        out.push_counter(
+            "cer_snapshots_taken_total",
+            "Snapshots successfully taken",
+            &[],
+            stats.snapshots.snapshots_taken,
+        );
+
+        // Per-shard queue gauges and counters (from QueueStats; the
+        // cumulative ones are monotone since start by contract).
+        let queues = &stats.shard_queues;
+        for (i, q) in queues.iter().enumerate() {
+            out.push_gauge(
+                "cer_queue_depth",
+                "Tuples currently staged or queued per shard",
+                &[("shard", i.to_string())],
+                q.depth as u64,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_gauge(
+                "cer_queue_high_water",
+                "Maximum queue depth ever observed per shard",
+                &[("shard", i.to_string())],
+                q.high_water as u64,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_counter(
+                "cer_queue_dropped_total",
+                "Tuples dropped by DropNewest per shard",
+                &[("shard", i.to_string())],
+                q.dropped,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_counter(
+                "cer_drained_batches_total",
+                "Coalesced batches handed to the shard worker",
+                &[("shard", i.to_string())],
+                q.drained_batches,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_counter(
+                "cer_drained_tuples_total",
+                "Tuples handed to the shard worker",
+                &[("shard", i.to_string())],
+                q.drained_tuples,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_gauge(
+                "cer_max_drain_batch",
+                "Largest coalesced batch handed to the worker",
+                &[("shard", i.to_string())],
+                q.max_drain_batch as u64,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_gauge(
+                "cer_reorder_pending",
+                "Blocks currently held in the reorder buffer",
+                &[("shard", i.to_string())],
+                q.reorder_pending as u64,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_gauge(
+                "cer_reorder_high_water",
+                "Maximum reorder-buffer occupancy ever observed",
+                &[("shard", i.to_string())],
+                q.reorder_high_water as u64,
+            );
+        }
+        for (i, q) in queues.iter().enumerate() {
+            out.push_counter(
+                "cer_reorder_released_total",
+                "Entries released from the reorder buffer in block order",
+                &[("shard", i.to_string())],
+                q.reorder_released,
+            );
+        }
+
+        // Per-query engine counters (summed across shards).
+        let qlabel = |id: QueryId| {
+            vec![
+                ("query", id.0.to_string()),
+                ("name", self.query_name(id).unwrap_or_default().to_string()),
+            ]
+        };
+        for (id, st) in &stats.per_query {
+            out.push_counter(
+                "cer_query_positions_total",
+                "Stream positions evaluated per query",
+                &qlabel(*id),
+                st.positions,
+            );
+        }
+        for (id, st) in &stats.per_query {
+            out.push_gauge(
+                "cer_query_arena_nodes",
+                "Live enumeration-arena nodes per query",
+                &qlabel(*id),
+                st.arena_nodes as u64,
+            );
+        }
+        for (id, st) in &stats.per_query {
+            out.push_counter(
+                "cer_query_extends_total",
+                "Extend operations per query",
+                &qlabel(*id),
+                st.extends,
+            );
+        }
+        for (id, st) in &stats.per_query {
+            out.push_counter(
+                "cer_query_unions_total",
+                "Union operations per query",
+                &qlabel(*id),
+                st.unions,
+            );
+        }
+        for (id, st) in &stats.per_query {
+            out.push_counter(
+                "cer_query_ts_regressions_total",
+                "Out-of-order timestamps clamped by time-window clocks",
+                &qlabel(*id),
+                st.ts_regressions,
+            );
+        }
+        out
+    }
+
+    /// The Prometheus text exposition of
+    /// [`metrics_snapshot`](Self::metrics_snapshot) — serve it from a
+    /// `/metrics` endpoint as-is. The output always passes
+    /// [`cer_obs::validate_prometheus_text`].
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus_text()
     }
 }
 
@@ -1069,7 +1412,11 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
     };
     while let Some(msg) = queue.pop_batch(max_batch) {
         match msg {
-            ShardMsg::Tuples(tuples) => {
+            ShardMsg::Tuples(batch) => {
+                let ingest_at = batch.ingest_at;
+                let tuples = batch.tuples;
+                let eval_at = std::time::Instant::now();
+                let stage = &shared.metrics.shards[shard_idx];
                 // Enumerating outputs only pays off if someone is
                 // listening for the query's events; gate once per batch
                 // rather than per tuple (subscriber churn mid-batch is
@@ -1103,6 +1450,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                         groups[gi].sel.push(j as u32);
                     }
                 }
+                let last_pos = tuples.last().map(|(i, _)| *i).unwrap_or(0);
                 for g in &groups {
                     if g.sel.is_empty() {
                         continue;
@@ -1116,16 +1464,36 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                             &q.slots,
                             &mut cache,
                             listening[k],
+                            Some((&stage.prefilter, &stage.eval_tail)),
                             |position, v| {
                                 shared.subs.publish(&MatchEvent {
                                     position,
                                     query: id,
                                     valuation: v.clone(),
                                 });
+                                if shared.metrics.e2e_should_sample() {
+                                    shared.metrics.e2e.record_duration(ingest_at.elapsed());
+                                }
                             },
                         );
+                        // Journal new time-window clamps as a per-batch
+                        // delta — one cheap counter read per query per
+                        // batch, an event only when the stream actually
+                        // violated the timestamp contract.
+                        let regs = q.eval.stats().ts_regressions;
+                        if regs > q.last_regressions {
+                            let count = regs - q.last_regressions;
+                            q.last_regressions = regs;
+                            shared.metrics.journal.push(PipelineEvent::TsRegressions {
+                                shard: shard_idx,
+                                query: id,
+                                position: last_pos,
+                                count,
+                            });
+                        }
                     }
                 }
+                stage.eval.record_duration(eval_at.elapsed());
             }
             ShardMsg::Register {
                 id,
@@ -1152,6 +1520,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                     .map(|tr| cache.intern(&tr.unary))
                     .collect();
                 let k = queries.len();
+                let last_regressions = eval.stats().ts_regressions;
                 queries.push(LocalQuery {
                     id,
                     eval,
@@ -1159,6 +1528,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                     listens,
                     slots,
                     group: 0,
+                    last_regressions,
                 });
                 let gi = find_or_create_group(&mut groups, &queries, k);
                 queries[k].group = gi;
@@ -1205,6 +1575,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                             .iter()
                             .map(|tr| cache.intern(&tr.unary))
                             .collect();
+                        let last_regressions = eval.stats().ts_regressions;
                         queries.insert(
                             k,
                             LocalQuery {
@@ -1214,6 +1585,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                                 listens,
                                 slots,
                                 group: 0,
+                                last_regressions,
                             },
                         );
                         // The replacement may land in a different
@@ -1254,7 +1626,7 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                     groups: groups.len(),
                     group_sizes: groups.iter().map(|g| g.members.len()).collect(),
                 };
-                let _ = reply.send((per_query, shared_stats));
+                let _ = reply.send((shard_idx, per_query, shared_stats));
             }
             ShardMsg::Barrier { reply } => {
                 let _ = reply.send(());

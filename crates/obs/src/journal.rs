@@ -1,0 +1,145 @@
+//! Bounded ring-buffer event journal.
+//!
+//! Pipeline events (backpressure parks, drops, query churn, snapshots)
+//! are rare compared to tuple traffic, so the journal trades a short
+//! mutex for strict sequencing: every pushed item receives a
+//! monotonically increasing sequence number, and when the ring wraps
+//! the overwritten entries are *counted*, never silently lost — a
+//! reader draining the journal can always tell how much history it
+//! missed.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One journal entry: the item plus its journal-assigned sequence
+/// number (0-based, dense, monotone across the life of the journal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry<T> {
+    /// Position of this entry in the journal's total history.
+    pub seq: u64,
+    /// The recorded event.
+    pub item: T,
+}
+
+/// A bounded, overwrite-oldest event journal.
+///
+/// `push` is `&self` (internally synchronized) so producers, shard
+/// workers and the control plane can all record into one shared
+/// journal. `drain` removes and returns the retained entries in
+/// sequence order.
+pub struct Journal<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+}
+
+struct Inner<T> {
+    ring: VecDeque<JournalEntry<T>>,
+    next_seq: u64,
+    overwritten: u64,
+}
+
+impl<T> Journal<T> {
+    /// A journal retaining at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                next_seq: 0,
+                overwritten: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event, assigning it the next sequence number (which is
+    /// returned). Evicts the oldest retained entry when full.
+    pub fn push(&self, item: T) -> u64 {
+        let mut g = self.inner.lock().unwrap();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if g.ring.len() == self.capacity {
+            g.ring.pop_front();
+            g.overwritten += 1;
+        }
+        g.ring.push_back(JournalEntry { seq, item });
+        seq
+    }
+
+    /// Remove and return all retained entries, oldest first. Sequence
+    /// numbers in the result are strictly increasing; a gap between the
+    /// last previously drained `seq` and the first returned one means
+    /// the ring wrapped in between (see [`overwritten`](Self::overwritten)).
+    pub fn drain(&self) -> Vec<JournalEntry<T>> {
+        let mut g = self.inner.lock().unwrap();
+        g.ring.drain(..).collect()
+    }
+
+    /// Total entries evicted by ring wrap-around since creation
+    /// (monotone; never reset by [`drain`](Self::drain)).
+    pub fn overwritten(&self) -> u64 {
+        self.inner.lock().unwrap().overwritten
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Whether no entries are currently retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries ever pushed (equals the next sequence number).
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_dense_and_survive_drain() {
+        let j = Journal::new(8);
+        for i in 0..5 {
+            assert_eq!(j.push(i), i as u64);
+        }
+        let first = j.drain();
+        assert_eq!(
+            first.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        j.push(99);
+        let second = j.drain();
+        assert_eq!(second[0].seq, 5);
+        assert_eq!(j.overwritten(), 0);
+    }
+
+    #[test]
+    fn wraparound_counts_overwrites_and_keeps_newest() {
+        let j = Journal::new(3);
+        for i in 0..7u32 {
+            j.push(i);
+        }
+        assert_eq!(j.overwritten(), 4);
+        let kept = j.drain();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(
+            kept.iter().map(|e| e.item).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert_eq!(
+            kept.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        // Overwritten count is monotone across drains.
+        assert_eq!(j.overwritten(), 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! # cer-obs — observability primitives for the streaming runtime
+//!
+//! The workspace builds offline, so this crate hand-rolls (no external
+//! deps, same spirit as the `shims/`) the three things a production
+//! stream processor needs to watch itself:
+//!
+//! * **lock-free metric primitives** — [`Counter`], [`Gauge`] and the
+//!   log-bucketed latency [`Histogram`]: 64 fixed power-of-~1.35
+//!   buckets, mergeable across shards, with `p50/p90/p99/max`
+//!   extraction from a [`HistogramSnapshot`];
+//! * a bounded ring-buffer **event [`Journal`]** for structured,
+//!   sequence-stamped pipeline events (overwrites are counted, never
+//!   silently lost);
+//! * an **export surface** — [`MetricsSnapshot`] renders to Prometheus
+//!   text exposition format ([`MetricsSnapshot::to_prometheus_text`])
+//!   and round-trips through `cer_common::wire`; a hand-rolled
+//!   [`validate_prometheus_text`] checker keeps the exporter honest in
+//!   CI.
+//!
+//! # Hot-path cost model
+//!
+//! Recording a histogram sample is **one relaxed atomic add** to the
+//! sample's bucket counter: the bucket index is pure arithmetic (a
+//! branchless binary search over a compile-time bound table), no locks,
+//! no allocation, no other shared writes. [`Counter::add`] is likewise
+//! a single relaxed `fetch_add`. Everything else — percentile
+//! extraction, merging shard histograms, rendering — happens on the
+//! *read* side, off the hot path. Derived figures (count, max) come
+//! from the buckets at read time, so the write side never maintains
+//! them.
+//!
+//! Instrumented pipelines that cannot afford even a timestamp per
+//! sample on some path (e.g. an end-to-end latency measured per
+//! delivered match) should sample: record every Nth observation and
+//! document the knob — the histograms are insensitive to uniform
+//! sampling because every percentile is a ratio of bucket counts.
+//! (`cer-core`'s runtime exposes exactly such a knob for its
+//! ingest→delivery histogram.)
+//!
+//! [`Journal::push`] takes a short mutex — pipeline *events*
+//! (backpressure parks, drops, query churn) are orders of magnitude
+//! rarer than samples, so a lock there costs nothing measurable while
+//! keeping entries strictly sequenced.
+
+mod export;
+mod hist;
+mod journal;
+
+pub use export::{validate_prometheus_text, Metric, MetricValue, MetricsSnapshot};
+pub use hist::{bucket_bounds, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{Journal, JournalEntry};

@@ -1,0 +1,143 @@
+//! Deterministic tests for the histogram math and the Prometheus text
+//! exposition checker (the same checker CI runs against the
+//! `observability` example's output).
+
+use cer_obs::{
+    bucket_bounds, validate_prometheus_text, Histogram, HistogramSnapshot, MetricsSnapshot, BUCKETS,
+};
+
+#[test]
+fn bucket_boundaries_are_exact() {
+    // A sample equal to a bucket's upper bound must land in that
+    // bucket: recording the bound then asking for p100 returns the
+    // bound itself, while bound+1 reports the next bucket up.
+    let bounds = bucket_bounds();
+    for &bound in bounds.iter().take(20) {
+        let h = Histogram::new();
+        h.record(bound);
+        assert_eq!(h.snapshot().max(), bound);
+
+        let h2 = Histogram::new();
+        h2.record(bound + 1);
+        assert!(h2.snapshot().max() > bound);
+    }
+    // Everything beyond the top finite bound saturates there.
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    assert_eq!(h.snapshot().max(), bounds[bounds.len() - 1]);
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mk = |samples: &[u64]| {
+        let h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h.snapshot()
+    };
+    let a = mk(&[10, 50, 2_000, 1_000_000]);
+    let b = mk(&[16, 17, 40_000]);
+    let c = mk(&[1, 1, 1, 900_000_000]);
+
+    let merge = |x: &HistogramSnapshot, y: &HistogramSnapshot| {
+        let mut out = x.clone();
+        out.merge(y);
+        out
+    };
+    // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+    assert_eq!(merge(&merge(&a, &b), &c), merge(&a, &merge(&b, &c)));
+    // a ⊕ b == b ⊕ a
+    assert_eq!(merge(&a, &b), merge(&b, &a));
+    // Counts add.
+    assert_eq!(merge(&a, &b).count(), a.count() + b.count());
+}
+
+#[test]
+fn exact_percentiles_on_hand_built_distributions() {
+    let bounds = bucket_bounds();
+    // 100 samples: 50 in bucket 0, 40 in bucket 5, 10 in bucket 10.
+    // Every quantile is then knowable exactly.
+    let mut counts = [0u64; BUCKETS];
+    counts[0] = 50;
+    counts[5] = 40;
+    counts[10] = 10;
+    let s = HistogramSnapshot { counts };
+    assert_eq!(s.count(), 100);
+    assert_eq!(s.p50(), bounds[0]); // rank 50 is the last of bucket 0
+    assert_eq!(s.quantile(0.51), bounds[5]); // rank 51 starts bucket 5
+    assert_eq!(s.p90(), bounds[5]); // rank 90 is the last of bucket 5
+    assert_eq!(s.p99(), bounds[10]);
+    assert_eq!(s.max(), bounds[10]);
+    assert_eq!(s.quantile(0.0), bounds[0]); // clamped to rank 1
+    assert_eq!(s.quantile(1.0), bounds[10]);
+
+    // Empty histogram: all zeros, no panic.
+    let empty = HistogramSnapshot::default();
+    assert_eq!(empty.p50(), 0);
+    assert_eq!(empty.max(), 0);
+    assert_eq!(empty.count(), 0);
+}
+
+#[test]
+fn single_sample_every_quantile_is_its_bucket() {
+    let h = Histogram::new();
+    h.record(777);
+    let s = h.snapshot();
+    let v = s.p50();
+    assert!(v >= 777, "quantile is an upper bound");
+    assert_eq!(s.p99(), v);
+    assert_eq!(s.max(), v);
+    assert_eq!(s.count(), 1);
+}
+
+#[test]
+fn exporter_output_is_always_valid() {
+    // Exercise the exporter across empty, labelled and histogram-heavy
+    // snapshots; the checker must accept every rendering.
+    let mut s = MetricsSnapshot::new();
+    validate_prometheus_text(&s.to_prometheus_text()).unwrap();
+
+    s.push_counter("a_total", "plain", &[], 0);
+    s.push_gauge(
+        "b",
+        "labels with \"quotes\" and \\slashes\\",
+        &[("k", "va\"lue\\with\nnewline".to_string())],
+        3,
+    );
+    let h = Histogram::new();
+    for i in 0..1000u64 {
+        h.record(i * 97);
+    }
+    s.push_histogram(
+        "c_nanos",
+        "hist",
+        &[("shard", "2".to_string())],
+        h.snapshot(),
+    );
+    let text = s.to_prometheus_text();
+    validate_prometheus_text(&text).unwrap();
+}
+
+#[test]
+fn checker_catches_real_world_mistakes() {
+    // A _count that disagrees with the +Inf bucket — the classic
+    // aggregation bug this checker exists to catch.
+    let bad = "\
+# TYPE x_nanos histogram
+x_nanos_bucket{le=\"100\"} 4
+x_nanos_bucket{le=\"+Inf\"} 9
+x_nanos_sum 123
+x_nanos_count 10
+";
+    assert!(validate_prometheus_text(bad).is_err());
+
+    // Missing +Inf bucket.
+    let bad2 = "\
+# TYPE x_nanos histogram
+x_nanos_bucket{le=\"100\"} 4
+x_nanos_sum 1
+x_nanos_count 4
+";
+    assert!(validate_prometheus_text(bad2).is_err());
+}

@@ -1,0 +1,142 @@
+//! The observability layer end to end: a bursty multi-producer
+//! workload over the sharded runtime, then the full metrics export —
+//! per-stage latency histograms (sequencer reserve, shard evaluation,
+//! ingest→delivery e2e), the pipeline event journal, and the
+//! Prometheus text exposition.
+//!
+//! Run with `cargo run --release --example observability`.
+//!
+//! CI runs this as a smoke test: it *asserts* that the key histograms
+//! saw samples with non-zero percentiles and that `metrics_text()`
+//! passes `validate_prometheus_text`, so a broken exporter or a stage
+//! that stopped recording fails the build.
+
+use pcea::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let mut schema = Schema::new();
+    let fire = parse_query(
+        &mut schema,
+        "Fire(n, c, p) <- ALARM(n), TEMP(n, c), SMOKE(n, p)",
+    )
+    .unwrap();
+    let fire_pcea = compile_hcq(&schema, &fire).unwrap().pcea;
+    let spike = pattern_to_pcea(&mut schema, "TEMP(n, _) ; SMOKE(n, _)")
+        .unwrap()
+        .pcea;
+
+    let mut runtime = Runtime::new(4);
+    runtime
+        .register(
+            QuerySpec::new("fire", fire_pcea, WindowPolicy::Count(128))
+                .with_partition(Partition::ByKey { pos: 0 }),
+        )
+        .unwrap();
+    runtime
+        .register(QuerySpec::new("spike", spike, WindowPolicy::Count(32)))
+        .unwrap();
+
+    // Thin the e2e ingest→delivery span to every 8th delivered match —
+    // the knob a high-fan-out deployment would turn. Every other
+    // histogram records unconditionally (one relaxed atomic add).
+    runtime.set_e2e_sample_every(8);
+
+    // Bursty traffic: three producers, each pushing bursts of batches
+    // with idle gaps, concurrently with a consumer draining matches.
+    let mut feed = SensorGen::build(&mut schema, 48, 7).unwrap();
+    let stream: Vec<Tuple> = (0..60_000).map(|_| feed.next_tuple().unwrap()).collect();
+    let subscription = runtime.subscribe(SubscriptionFilter::All);
+    let consumer = std::thread::spawn(move || {
+        let mut n = 0u64;
+        while subscription.recv_timeout(Duration::from_secs(5)).is_some() {
+            n += 1;
+        }
+        n
+    });
+    let producers: Vec<_> = stream
+        .chunks(20_000)
+        .map(|slice| {
+            let handle = runtime.ingest_handle();
+            let slice = slice.to_vec();
+            std::thread::spawn(move || {
+                for (b, burst) in slice.chunks(2_000).enumerate() {
+                    for batch in burst.chunks(250) {
+                        handle.push_batch(batch).unwrap();
+                    }
+                    // The idle gap between bursts: queues drain, the
+                    // next burst slams in cold.
+                    std::thread::sleep(Duration::from_millis(2 + (b as u64 % 3)));
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    runtime.drain();
+
+    // --- The export surface ---------------------------------------
+    let text = runtime.metrics_text();
+    println!("{text}");
+
+    // The journal: structured, position-stamped pipeline events.
+    let events = runtime.events();
+    println!(
+        "# journal: {} events drained, {} overwritten",
+        events.len(),
+        runtime.events_overwritten()
+    );
+    for e in events.iter().take(5) {
+        println!("#   [{}] {:?}", e.seq, e.item);
+    }
+
+    // --- Smoke assertions (CI) ------------------------------------
+    validate_prometheus_text(&text).expect("metrics_text must pass the format checker");
+    let snap = runtime.metrics_snapshot();
+    let must_have = ["cer_seq_reserve_nanos", "cer_e2e_nanos"];
+    for name in must_have {
+        let Some(m) = snap.get(name, &[]) else {
+            panic!("{name} missing from the snapshot");
+        };
+        let MetricValue::Histogram(h) = &m.value else {
+            panic!("{name} is not a histogram");
+        };
+        assert!(h.count() > 0, "{name} recorded no samples");
+        assert!(h.p50() > 0 && h.p99() >= h.p50(), "{name} percentiles");
+        println!(
+            "# {name}: n={} p50={}ns p99={}ns max={}ns",
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max()
+        );
+    }
+    // Shard-eval histograms are per shard; merge them (bucket-count
+    // addition, order-independent) and check the merged distribution.
+    let mut eval = HistogramSnapshot::default();
+    for i in 0..4 {
+        let shard = i.to_string();
+        if let Some(m) = snap.get("cer_shard_eval_nanos", &[("shard", shard.as_str())]) {
+            if let MetricValue::Histogram(h) = &m.value {
+                eval.merge(h);
+            }
+        }
+    }
+    assert!(
+        eval.count() > 0 && eval.p50() > 0 && eval.p99() >= eval.p50(),
+        "merged shard-eval histogram"
+    );
+    println!(
+        "# cer_shard_eval_nanos (merged): n={} p50={}ns p99={}ns",
+        eval.count(),
+        eval.p50(),
+        eval.p99()
+    );
+
+    let delivered = {
+        drop(runtime); // closes the subscription, unblocking the consumer
+        consumer.join().unwrap()
+    };
+    println!("# consumer drained {delivered} match events");
+}

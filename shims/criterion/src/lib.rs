@@ -11,8 +11,16 @@
 //! benchmark:
 //!
 //! ```json
-//! {"bench":"group/name","mean_ns":123.4,"iters":1000,"elems_per_sec":8.1e6}
+//! {"bench":"group/name","mean_ns":123.4,"iters":1000,"p95_ns":140.0,"p99_ns":210.0,"elems_per_sec":8.1e6}
 //! ```
+//!
+//! The mean comes from the batched measuring loop (timer overhead
+//! amortized away). `p95_ns`/`p99_ns` come from a *separate* sampling
+//! phase of individually timed iterations bucketed into a
+//! [`cer_obs::Histogram`], so the percentiles never perturb the mean;
+//! for nanosecond-scale bodies they include the per-iteration timer
+//! overhead, which is why they are trend data, not gated numbers
+//! (see `bench_gate`).
 //!
 //! Environment knobs: `CRITERION_BUDGET_MS` (per-benchmark measuring
 //! budget, default 300).
@@ -77,11 +85,15 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     mean_ns: f64,
     iters: u64,
+    p95_ns: u64,
+    p99_ns: u64,
 }
 
 impl Bencher {
     /// Measure `f`: warm up once, then run as many iterations as fit the
-    /// budget, recording the mean wall-clock time per iteration.
+    /// budget, recording the mean wall-clock time per iteration —
+    /// followed by a shorter phase of individually timed iterations
+    /// feeding a log-bucketed latency histogram for `p95`/`p99`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
         let budget = budget();
@@ -100,6 +112,24 @@ impl Bencher {
         }
         self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
         self.iters = iters;
+        // Percentile phase: a tenth of the budget of individually
+        // timed iterations (at least 8, at most 100 000), bucketed
+        // into the shared observability histogram. Kept apart from the
+        // batched loop above so the extra `Instant` pair per iteration
+        // never inflates the reported mean.
+        let hist = cer_obs::Histogram::new();
+        let lat_budget = budget / 10;
+        let lat_start = Instant::now();
+        let mut samples = 0u64;
+        while (samples < 8 || lat_start.elapsed() < lat_budget) && samples < 100_000 {
+            let t = Instant::now();
+            black_box(f());
+            hist.record_duration(t.elapsed());
+            samples += 1;
+        }
+        let snap = hist.snapshot();
+        self.p95_ns = snap.p95();
+        self.p99_ns = snap.p99();
     }
 }
 
@@ -115,19 +145,22 @@ fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Through
     match elems {
         Some(eps) => {
             println!(
-                "bench {full}: {:.1} ns/iter ({} iters, {:.3e} elems/s)",
-                b.mean_ns, b.iters, eps
+                "bench {full}: {:.1} ns/iter ({} iters, p95 {} ns, p99 {} ns, {:.3e} elems/s)",
+                b.mean_ns, b.iters, b.p95_ns, b.p99_ns, eps
             );
             println!(
-                "BENCH_JSON {{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{},\"elems_per_sec\":{:.1}}}",
-                b.mean_ns, b.iters, eps
+                "BENCH_JSON {{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{},\"p95_ns\":{},\"p99_ns\":{},\"elems_per_sec\":{:.1}}}",
+                b.mean_ns, b.iters, b.p95_ns, b.p99_ns, eps
             );
         }
         None => {
-            println!("bench {full}: {:.1} ns/iter ({} iters)", b.mean_ns, b.iters);
             println!(
-                "BENCH_JSON {{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{}}}",
-                b.mean_ns, b.iters
+                "bench {full}: {:.1} ns/iter ({} iters, p95 {} ns, p99 {} ns)",
+                b.mean_ns, b.iters, b.p95_ns, b.p99_ns
+            );
+            println!(
+                "BENCH_JSON {{\"bench\":\"{full}\",\"mean_ns\":{:.1},\"iters\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                b.mean_ns, b.iters, b.p95_ns, b.p99_ns
             );
         }
     }
@@ -153,6 +186,8 @@ impl Criterion {
         let mut b = Bencher {
             mean_ns: 0.0,
             iters: 0,
+            p95_ns: 0,
+            p99_ns: 0,
         };
         f(&mut b);
         report(None, &id.id, &b, None);
@@ -184,6 +219,8 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             mean_ns: 0.0,
             iters: 0,
+            p95_ns: 0,
+            p99_ns: 0,
         };
         f(&mut b);
         report(Some(&self.name), &id.id, &b, self.throughput);
@@ -200,6 +237,8 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             mean_ns: 0.0,
             iters: 0,
+            p95_ns: 0,
+            p99_ns: 0,
         };
         f(&mut b, input);
         report(Some(&self.name), &id.id, &b, self.throughput);

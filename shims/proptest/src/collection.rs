@@ -30,7 +30,7 @@ where
         (0..len).map(|_| self.element.pick(rng)).collect()
     }
 
-    /// The shared vector policy ([`crate::strategy::vec_candidates`]):
+    /// The shared vector policy (`crate::strategy::vec_candidates`):
     /// structural candidates first, then element shrinks in place.
     fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
         crate::strategy::vec_candidates(v, self.size.start, |x| self.element.shrink(x))

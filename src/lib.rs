@@ -105,11 +105,16 @@ pub mod prelude {
         BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,
         Subscription, SubscriptionFilter,
     };
+    pub use cer_core::metrics::PipelineEvent;
     pub use cer_core::runtime::{
         MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
         SharedEvalStats, SnapshotCounters,
     };
     pub use cer_core::window::{WindowClock, WindowPolicy};
+    pub use cer_core::{
+        validate_prometheus_text, HistogramSnapshot, JournalEntry, Metric, MetricValue,
+        MetricsSnapshot,
+    };
     pub use cer_cq::compile::{compile_hcq, CompileError, CompiledQuery};
     pub use cer_cq::parser::{parse_query, QueryBuilder};
     pub use cer_cq::query::ConjunctiveQuery;
