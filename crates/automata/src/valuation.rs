@@ -262,6 +262,45 @@ impl Valuation {
     }
 }
 
+impl cer_common::wire::Wire for Valuation {
+    fn encode(
+        &self,
+        w: &mut cer_common::wire::WireWriter,
+    ) -> Result<(), cer_common::wire::WireError> {
+        w.put_len(self.sets.len());
+        for set in &self.sets {
+            w.put_len(set.len());
+            for &p in set {
+                w.put_u64(p);
+            }
+        }
+        Ok(())
+    }
+    fn decode(
+        r: &mut cer_common::wire::WireReader<'_>,
+    ) -> Result<Self, cer_common::wire::WireError> {
+        let n_labels = r.get_len()?;
+        let mut sets = Vec::with_capacity(n_labels.min(1 << 10));
+        for _ in 0..n_labels {
+            let n = r.get_len()?;
+            let mut set = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                set.push(r.get_u64()?);
+            }
+            // The per-label lists are sorted sets by construction;
+            // decoded bytes must uphold the same invariant or later
+            // products would silently misbehave.
+            if !set.windows(2).all(|w| w[0] < w[1]) {
+                return Err(cer_common::wire::WireError::Corrupt(
+                    "valuation positions not strictly sorted",
+                ));
+            }
+            sets.push(set);
+        }
+        Ok(Valuation { sets })
+    }
+}
+
 impl fmt::Debug for Valuation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
@@ -409,5 +448,32 @@ mod tests {
         v.insert(LabelSet::singleton(Label(0)), 8);
         let es: Vec<_> = v.entries().collect();
         assert_eq!(es, vec![(Label(0), 8), (Label(1), 2)]);
+    }
+
+    #[test]
+    fn wire_roundtrip_rejects_unsorted_and_truncated() {
+        use cer_common::wire::{Wire, WireReader, WireWriter};
+        let mut v = Valuation::empty(3);
+        v.insert(LabelSet::from_labels([Label(0), Label(2)]), 4);
+        v.insert(LabelSet::singleton(Label(0)), 1);
+        let mut w = WireWriter::new();
+        v.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Valuation::decode(&mut r).unwrap(), v);
+        assert!(r.is_exhausted());
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(Valuation::decode(&mut r).is_err(), "cut {cut}");
+        }
+        // An out-of-order position list is rejected, not adopted.
+        let mut w = WireWriter::new();
+        w.put_len(1);
+        w.put_len(2);
+        w.put_u64(9);
+        w.put_u64(3);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(Valuation::decode(&mut r).is_err());
     }
 }

@@ -7,6 +7,7 @@
 //! `elems_per_sec` as the tuples/sec figure, like `runtime_scaling.rs`.
 
 use cer_bench::multi_query_workload;
+use cer_core::config::RuntimeConfig;
 use cer_core::ingest::{BackpressurePolicy, IngestConfig, SubscriptionFilter};
 use cer_core::runtime::{QuerySpec, Runtime};
 use cer_core::window::WindowPolicy;
@@ -19,14 +20,11 @@ const SHARDS: usize = 4;
 const PRODUCER_BATCH: usize = 256;
 
 fn runtime_with_queries(wl: &cer_bench::MultiQueryWorkload) -> Runtime {
-    let mut rt = Runtime::with_config(
-        SHARDS,
-        IngestConfig {
-            queue_capacity: 1 << 15,
-            policy: BackpressurePolicy::Block,
-            ..IngestConfig::default()
-        },
-    );
+    let mut rt = Runtime::new(RuntimeConfig::new(SHARDS).with_ingest(IngestConfig {
+        queue_capacity: 1 << 15,
+        policy: BackpressurePolicy::Block,
+        ..IngestConfig::default()
+    }));
     for (j, pcea) in wl.pceas.iter().enumerate() {
         rt.register(QuerySpec::new(
             format!("q{j}"),

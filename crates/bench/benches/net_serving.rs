@@ -1,0 +1,162 @@
+//! End-to-end serving throughput over real TCP sockets: tuples/sec
+//! from client ingest through the sharded runtime to pushed match
+//! frames, versus concurrent-connection count (1/2/4 connections, each
+//! with its own standing query and subscription on a loopback server).
+//!
+//! The measured loop covers the full serving path — frame encode,
+//! socket write, server decode, schema validation, async ingest,
+//! evaluation, subscription publish, frame push, client decode —
+//! fenced by a drain and by counting the expected matches back on
+//! every connection.
+//!
+//! Emits `BENCH_JSON` lines (see the criterion shim) with
+//! `elems_per_sec` as the tuples/sec figure, like `runtime_scaling.rs`.
+
+use cer_common::tuple::tup;
+use cer_core::config::RuntimeConfig;
+use cer_core::ingest::BackpressurePolicy;
+use cer_core::window::WindowPolicy;
+use cer_serve::{Client, Frontend, ServeConfig, Server};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+const EVENTS: usize = 9_000;
+const BATCH: usize = 256;
+const SHARDS: usize = 2;
+// All connections share one global position stream, so a triple's
+// T..R span includes every other connection's interleaved tuples —
+// the window must exceed one full iteration's stream (EVENTS
+// positions) or slow connections lose matches to expiry, while
+// staying small enough that state from past iterations still expires.
+const WINDOW: u64 = 32_768;
+
+/// One connection's standing setup: its own relations (so queries stay
+/// disjoint on the shared stream), its own query, its own subscription.
+struct Conn {
+    client: Client,
+    t: cer_common::RelationId,
+    s: cer_common::RelationId,
+    r: cer_common::RelationId,
+}
+
+fn connect_all(server: &Server, connections: usize) -> Vec<Conn> {
+    (0..connections)
+        .map(|i| {
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            let t = client.declare_relation(&format!("T{i}"), 1).unwrap();
+            let s = client.declare_relation(&format!("S{i}"), 2).unwrap();
+            let r = client.declare_relation(&format!("R{i}"), 2).unwrap();
+            let (frontend, text) = if i % 2 == 0 {
+                (
+                    Frontend::Hcq,
+                    format!("Q(x, y) <- T{i}(x), S{i}(x, y), R{i}(x, y)"),
+                )
+            } else {
+                (
+                    Frontend::Pattern,
+                    format!("T{i}(x) && S{i}(x, y) ; R{i}(x, y)"),
+                )
+            };
+            let query = client
+                .submit_query(
+                    &format!("bench-{i}"),
+                    frontend,
+                    &text,
+                    WindowPolicy::Count(WINDOW),
+                    None,
+                )
+                .unwrap();
+            client
+                .subscribe(Some(query), 1 << 14, BackpressurePolicy::Block)
+                .unwrap();
+            Conn { client, t, s, r }
+        })
+        .collect()
+}
+
+/// Ingest `events` tuples as complete T/S/R triples and wait for the
+/// `events / 3` matches to come back over the socket. `base` keeps
+/// triple keys unique across bench iterations so stale partial runs
+/// never join fresh tuples.
+fn pump(conn: &mut Conn, events: usize, base: i64) -> usize {
+    let expected = events / 3;
+    let mut pending = Vec::with_capacity(BATCH);
+    let mut pushed = 0usize;
+    let mut triple = 0i64;
+    while pushed < events {
+        pending.clear();
+        while pending.len() < BATCH && pushed < events {
+            let x = base + triple;
+            match pushed % 3 {
+                0 => pending.push(tup(conn.t, [x])),
+                1 => pending.push(tup(conn.s, [x, x + 1])),
+                _ => {
+                    pending.push(tup(conn.r, [x, x + 1]));
+                    triple += 1;
+                }
+            }
+            pushed += 1;
+        }
+        conn.client.ingest(pending.clone()).expect("ingest");
+    }
+    conn.client.drain().expect("drain");
+    let mut matches = 0usize;
+    while matches < expected {
+        match conn
+            .client
+            .next_event(Duration::from_secs(5))
+            .expect("events")
+        {
+            Some(_) => matches += 1,
+            None => break,
+        }
+    }
+    assert_eq!(matches, expected, "every triple completes one match");
+    matches
+}
+
+fn bench_net_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_serving");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for connections in [1usize, 2, 4] {
+        let server = Server::bind("127.0.0.1:0", ServeConfig::from(RuntimeConfig::new(SHARDS)))
+            .expect("bind");
+        let mut conns = connect_all(&server, connections);
+        let per_conn = EVENTS / connections;
+        // Disjoint, forever-unique key ranges per connection/iteration.
+        let mut iteration = 0i64;
+        group.bench_with_input(
+            BenchmarkId::new("connections", connections),
+            &connections,
+            |b, _| {
+                b.iter(|| {
+                    iteration += 1;
+                    let mut total = 0usize;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = conns
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, conn)| {
+                                let base = iteration * 1_000_000_000 + (i as i64) * 1_000_000;
+                                scope.spawn(move || pump(conn, per_conn, base))
+                            })
+                            .collect();
+                        for h in handles {
+                            total += h.join().expect("connection thread");
+                        }
+                    });
+                    total
+                });
+            },
+        );
+        for conn in &mut conns {
+            conn.client.unsubscribe().expect("unsubscribe");
+        }
+        drop(conns);
+        server.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_serving);
+criterion_main!(benches);

@@ -119,6 +119,26 @@ pub fn tup<V: Into<Value>>(relation: RelationId, values: impl IntoIterator<Item 
     Tuple::new(relation, values.into_iter().map(Into::into).collect())
 }
 
+impl crate::wire::Wire for Tuple {
+    fn encode(&self, w: &mut crate::wire::WireWriter) -> Result<(), crate::wire::WireError> {
+        self.relation.encode(w)?;
+        w.put_len(self.values.len());
+        for v in self.values.iter() {
+            v.encode(w)?;
+        }
+        Ok(())
+    }
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        let relation = RelationId::decode(r)?;
+        let n = r.get_len()?;
+        let mut values = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            values.push(Value::decode(r)?);
+        }
+        Ok(Tuple::new(relation, values))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +187,22 @@ mod tests {
         let a = tup(r, [1i64, 2]);
         let b = tup(s_rel, [1i64, 2]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wire_roundtrip_and_truncation() {
+        use crate::wire::{Wire, WireReader, WireWriter};
+        let (_, r, _, _) = sigma0();
+        let t = Tuple::new(r, vec![Value::Int(-3), Value::Str("x".into())]);
+        let mut w = WireWriter::new();
+        t.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut rd = WireReader::new(&bytes);
+        assert_eq!(Tuple::decode(&mut rd).unwrap(), t);
+        assert!(rd.is_exhausted());
+        for cut in 0..bytes.len() {
+            let mut rd = WireReader::new(&bytes[..cut]);
+            assert!(Tuple::decode(&mut rd).is_err(), "cut {cut}");
+        }
     }
 }

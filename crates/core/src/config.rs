@@ -1,0 +1,171 @@
+//! One construction-time configuration value for the whole runtime.
+//!
+//! The runtime used to scatter its knobs across the constructor
+//! (`shards`), a second constructor (`with_config` taking an
+//! [`IngestConfig`]), and post-construction setters
+//! (`set_e2e_sample_every`) — a surface a remote client cannot drive,
+//! because a server listener has exactly one place to accept
+//! configuration: before it builds the runtime. [`RuntimeConfig`]
+//! gathers every knob into one builder-style value that
+//! [`Runtime::new`](crate::runtime::Runtime::new),
+//! [`Runtime::restore_with`](crate::runtime::Runtime::restore_with) and
+//! the serving layer's listener all take.
+//!
+//! `Runtime::new(4)` keeps compiling: a bare shard count converts into
+//! a config via `From<usize>`, with every other field at its default.
+
+use crate::ingest::IngestConfig;
+use crate::metrics::EVENT_JOURNAL_CAPACITY;
+use crate::runtime::Partition;
+
+/// Everything a [`Runtime`](crate::runtime::Runtime) needs to know at
+/// construction, in one value.
+///
+/// ```
+/// use cer_core::{BackpressurePolicy, IngestConfig, Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::new(
+///     RuntimeConfig::new(4)
+///         .with_ingest(IngestConfig {
+///             queue_capacity: 1 << 12,
+///             policy: BackpressurePolicy::DropNewest,
+///             max_batch: 1024,
+///         })
+///         .with_e2e_sample_every(8),
+/// );
+/// assert_eq!(rt.num_shards(), 4);
+/// rt.shutdown();
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker shard count; clamped to `1..=64` at construction.
+    pub shards: usize,
+    /// The placement assumed for queries submitted without an explicit
+    /// partition (the serving layer's submit-query op, which has no
+    /// partition field unless the client sets one).
+    pub default_partition: Partition,
+    /// The ingestion pipeline's knobs (queue capacity, backpressure
+    /// policy, evaluation batch size).
+    pub ingest: IngestConfig,
+    /// Sample every Nth delivered match into the end-to-end latency
+    /// histogram (clamped to ≥ 1; 1 = every match).
+    pub e2e_sample_every: u64,
+    /// How many pipeline events the bounded journal retains before
+    /// overwriting the oldest (clamped to ≥ 1; overwrites are counted).
+    pub journal_capacity: usize,
+}
+
+impl RuntimeConfig {
+    /// A config with `shards` worker threads and every other field at
+    /// its default.
+    pub fn new(shards: usize) -> Self {
+        RuntimeConfig {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Override the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Override the partition assumed for queries submitted without one.
+    pub fn with_default_partition(mut self, partition: Partition) -> Self {
+        self.default_partition = partition;
+        self
+    }
+
+    /// Override the ingestion knobs.
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Override the e2e latency sampling period.
+    pub fn with_e2e_sample_every(mut self, every: u64) -> Self {
+        self.e2e_sample_every = every;
+        self
+    }
+
+    /// Override the event-journal capacity.
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
+        self
+    }
+
+    /// The config with out-of-range fields clamped into their valid
+    /// ranges — what `Runtime` actually constructs from.
+    pub(crate) fn validated(mut self) -> Self {
+        self.shards = self.shards.clamp(1, 64);
+        self.e2e_sample_every = self.e2e_sample_every.max(1);
+        self.journal_capacity = self.journal_capacity.max(1);
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            shards: 1,
+            default_partition: Partition::ByQuery,
+            ingest: IngestConfig::default(),
+            e2e_sample_every: 1,
+            journal_capacity: EVENT_JOURNAL_CAPACITY,
+        }
+    }
+}
+
+impl From<usize> for RuntimeConfig {
+    fn from(shards: usize) -> Self {
+        RuntimeConfig::new(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_from_usize() {
+        let cfg = RuntimeConfig::new(8)
+            .with_e2e_sample_every(4)
+            .with_journal_capacity(64)
+            .with_default_partition(Partition::ByKey { pos: 0 });
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.e2e_sample_every, 4);
+        assert_eq!(cfg.journal_capacity, 64);
+        assert_eq!(cfg.default_partition, Partition::ByKey { pos: 0 });
+        assert_eq!(RuntimeConfig::from(3).shards, 3);
+        assert_eq!(RuntimeConfig::from(3).ingest, IngestConfig::default());
+    }
+
+    /// The pre-`RuntimeConfig` constructor names survive as thin shims
+    /// for one release: same behavior, deprecation warning only.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        use crate::runtime::Runtime;
+        let mut rt = Runtime::with_config(2, IngestConfig::default());
+        assert_eq!(rt.num_shards(), 2);
+        rt.set_e2e_sample_every(4);
+        let snap = rt.snapshot().unwrap();
+        let rt2 = Runtime::restore_with_config(&snap, 3, IngestConfig::default()).unwrap();
+        assert_eq!(rt2.num_shards(), 3);
+        rt2.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn validation_clamps_out_of_range_fields() {
+        let cfg = RuntimeConfig::new(0)
+            .with_e2e_sample_every(0)
+            .with_journal_capacity(0)
+            .validated();
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.e2e_sample_every, 1);
+        assert_eq!(cfg.journal_capacity, 1);
+        assert_eq!(RuntimeConfig::new(1000).validated().shards, 64);
+    }
+}

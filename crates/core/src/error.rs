@@ -1,0 +1,325 @@
+//! The unified, layered error type of the engine's public API.
+//!
+//! Before this module existed the workspace leaked three unrelated
+//! error enums to callers — [`RuntimeError`] from the query registry,
+//! [`SnapshotError`] from checkpointing, [`CommonError`] from the data
+//! model — plus [`WireError`] underneath both and [`IngestError`] from
+//! the pipeline. A remote client cannot pattern-match five enums across
+//! four crates, so the serving layer forced the redesign: one
+//! [`Error`] that *wraps* the per-subsystem enums (they stay the
+//! precise, layer-local types returned by the APIs that raise them) and
+//! flattens every variant onto a stable numeric [`ErrorCode`] that a
+//! server can serialize and a client of any language can dispatch on.
+//!
+//! The layering rule: subsystem APIs keep returning their own enums
+//! (`Runtime::register` returns [`RuntimeError`], `Snapshot::from_bytes`
+//! returns [`SnapshotError`], …), every subsystem enum converts into
+//! [`Error`] via `From`, and `Error::code()` is total — every error the
+//! workspace can raise has exactly one code, and every code round-trips
+//! through [`ErrorCode::from_u16`]. Codes are append-only: a released
+//! code's meaning never changes, new failure modes take new codes.
+//!
+//! The `Parse`, `Compile` and `Protocol` variants carry boundary errors
+//! that originate *above* this crate (the HCQ/pattern front-end parsers
+//! and the TCP protocol layer, which cannot appear in `cer-core`'s
+//! dependency graph) as plain messages, so the serving layer can funnel
+//! every failure it meets through the same type.
+
+use crate::checkpoint::SnapshotError;
+use crate::ingest::IngestError;
+use crate::runtime::RuntimeError;
+use cer_common::wire::WireError;
+use cer_common::CommonError;
+use std::fmt;
+
+/// The stable numeric discriminant a server serializes for every error
+/// the engine can raise. Explicit values, append-only; grouped by layer
+/// in steps of 10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`CommonError::DuplicateRelation`].
+    DuplicateRelation = 1,
+    /// [`CommonError::ArityMismatch`].
+    ArityMismatch = 2,
+    /// [`CommonError::UnknownRelation`].
+    UnknownRelation = 3,
+    /// [`WireError::Unsupported`] — a value that cannot serialize.
+    WireUnsupported = 10,
+    /// [`WireError::Truncated`] — bytes ran out mid-value.
+    WireTruncated = 11,
+    /// [`WireError::Corrupt`] — a tag or length the decoder rejects.
+    WireCorrupt = 12,
+    /// [`RuntimeError::KeyPartitionUnsound`].
+    KeyPartitionUnsound = 20,
+    /// [`RuntimeError::UnknownQuery`].
+    UnknownQuery = 21,
+    /// [`RuntimeError::ReplaceIncompatible`].
+    ReplaceIncompatible = 22,
+    /// [`IngestError::RuntimeClosed`].
+    RuntimeClosed = 30,
+    /// [`SnapshotError::NotASnapshot`].
+    NotASnapshot = 40,
+    /// [`SnapshotError::UnknownVersion`].
+    UnknownSnapshotVersion = 41,
+    /// [`SnapshotError::ShardWorkerDied`].
+    ShardWorkerDied = 42,
+    /// [`SnapshotError::BadDefinition`].
+    BadDefinition = 43,
+    /// A front-end (HCQ or pattern language) rejected the query text.
+    Parse = 50,
+    /// A front-end compiler rejected the parsed query (not
+    /// hierarchical, too many atoms, …).
+    Compile = 51,
+    /// A serving-layer request was malformed or violated the protocol.
+    Protocol = 60,
+}
+
+impl ErrorCode {
+    /// Every defined code, in numeric order — the round-trip surface
+    /// for protocol tests.
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::DuplicateRelation,
+        ErrorCode::ArityMismatch,
+        ErrorCode::UnknownRelation,
+        ErrorCode::WireUnsupported,
+        ErrorCode::WireTruncated,
+        ErrorCode::WireCorrupt,
+        ErrorCode::KeyPartitionUnsound,
+        ErrorCode::UnknownQuery,
+        ErrorCode::ReplaceIncompatible,
+        ErrorCode::RuntimeClosed,
+        ErrorCode::NotASnapshot,
+        ErrorCode::UnknownSnapshotVersion,
+        ErrorCode::ShardWorkerDied,
+        ErrorCode::BadDefinition,
+        ErrorCode::Parse,
+        ErrorCode::Compile,
+        ErrorCode::Protocol,
+    ];
+
+    /// The wire value.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decode a wire value; `None` for codes this release does not
+    /// know (a newer server, or corrupt bytes).
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|c| c.as_u16() == v)
+    }
+
+    /// The stable snake_case name, e.g. for text expositions.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::DuplicateRelation => "duplicate_relation",
+            ErrorCode::ArityMismatch => "arity_mismatch",
+            ErrorCode::UnknownRelation => "unknown_relation",
+            ErrorCode::WireUnsupported => "wire_unsupported",
+            ErrorCode::WireTruncated => "wire_truncated",
+            ErrorCode::WireCorrupt => "wire_corrupt",
+            ErrorCode::KeyPartitionUnsound => "key_partition_unsound",
+            ErrorCode::UnknownQuery => "unknown_query",
+            ErrorCode::ReplaceIncompatible => "replace_incompatible",
+            ErrorCode::RuntimeClosed => "runtime_closed",
+            ErrorCode::NotASnapshot => "not_a_snapshot",
+            ErrorCode::UnknownSnapshotVersion => "unknown_snapshot_version",
+            ErrorCode::ShardWorkerDied => "shard_worker_died",
+            ErrorCode::BadDefinition => "bad_definition",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Compile => "compile",
+            ErrorCode::Protocol => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.as_u16())
+    }
+}
+
+/// The unified error of the engine's public surface: every subsystem
+/// enum wraps into it via `From`, and [`Error::code`] maps every value
+/// onto a stable [`ErrorCode`] the serving layer serializes. See the
+/// [module docs](self) for the layering rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Data-model layer ([`cer_common`]): schemas and tuples.
+    Data(CommonError),
+    /// Wire-codec layer: encode/decode failures.
+    Wire(WireError),
+    /// Query registry and hot-swap layer.
+    Runtime(RuntimeError),
+    /// Ingestion pipeline layer.
+    Ingest(IngestError),
+    /// Checkpoint/restore layer.
+    Snapshot(SnapshotError),
+    /// A front-end parser rejected query text (raised above this crate;
+    /// carried as a message).
+    Parse(String),
+    /// A front-end compiler rejected a parsed query.
+    Compile(String),
+    /// A serving-layer protocol violation.
+    Protocol(String),
+}
+
+impl Error {
+    /// The stable code for this error. Total: every variant (and every
+    /// nested subsystem variant) has exactly one code.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::Data(e) => match e {
+                CommonError::DuplicateRelation { .. } => ErrorCode::DuplicateRelation,
+                CommonError::ArityMismatch { .. } => ErrorCode::ArityMismatch,
+                CommonError::UnknownRelation { .. } => ErrorCode::UnknownRelation,
+            },
+            Error::Wire(e) => wire_code(e),
+            Error::Runtime(e) => match e {
+                RuntimeError::KeyPartitionUnsound { .. } => ErrorCode::KeyPartitionUnsound,
+                RuntimeError::UnknownQuery { .. } => ErrorCode::UnknownQuery,
+                RuntimeError::ReplaceIncompatible { .. } => ErrorCode::ReplaceIncompatible,
+            },
+            Error::Ingest(IngestError::RuntimeClosed) => ErrorCode::RuntimeClosed,
+            Error::Snapshot(e) => match e {
+                // Layered: a snapshot failure caused by the wire codec
+                // reports the codec's code, not a blanket one.
+                SnapshotError::Wire(w) => wire_code(w),
+                SnapshotError::NotASnapshot => ErrorCode::NotASnapshot,
+                SnapshotError::UnknownVersion(_) => ErrorCode::UnknownSnapshotVersion,
+                SnapshotError::ShardWorkerDied => ErrorCode::ShardWorkerDied,
+                SnapshotError::BadDefinition(_) => ErrorCode::BadDefinition,
+            },
+            Error::Parse(_) => ErrorCode::Parse,
+            Error::Compile(_) => ErrorCode::Compile,
+            Error::Protocol(_) => ErrorCode::Protocol,
+        }
+    }
+}
+
+fn wire_code(e: &WireError) -> ErrorCode {
+    match e {
+        WireError::Unsupported(_) => ErrorCode::WireUnsupported,
+        WireError::Truncated => ErrorCode::WireTruncated,
+        WireError::Corrupt(_) => ErrorCode::WireCorrupt,
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Data(e) => write!(f, "data error: {e}"),
+            Error::Wire(e) => write!(f, "wire error: {e}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::Ingest(e) => write!(f, "ingest error: {e}"),
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Compile(msg) => write!(f, "compile error: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl From<CommonError> for Error {
+    fn from(e: CommonError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<IngestError> for Error {
+    fn from(e: IngestError) -> Self {
+        Error::Ingest(e)
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Data(e) => Some(e),
+            Error::Wire(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Ingest(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
+            Error::Parse(_) | Error::Compile(_) | Error::Protocol(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &code in ErrorCode::ALL {
+            assert!(seen.insert(code.as_u16()), "duplicate code {code}");
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(9999), None);
+        assert_eq!(ErrorCode::from_u16(0), None);
+    }
+
+    #[test]
+    fn every_subsystem_error_has_a_code() {
+        let cases: Vec<(Error, ErrorCode)> = vec![
+            (
+                CommonError::UnknownRelation { name: "X".into() }.into(),
+                ErrorCode::UnknownRelation,
+            ),
+            (WireError::Truncated.into(), ErrorCode::WireTruncated),
+            (
+                RuntimeError::UnknownQuery {
+                    id: crate::runtime::QueryId(3),
+                }
+                .into(),
+                ErrorCode::UnknownQuery,
+            ),
+            (IngestError::RuntimeClosed.into(), ErrorCode::RuntimeClosed),
+            (
+                SnapshotError::UnknownVersion(9).into(),
+                ErrorCode::UnknownSnapshotVersion,
+            ),
+            (
+                // Layering: a wire error inside a snapshot error keeps
+                // the codec's code.
+                SnapshotError::Wire(WireError::Corrupt("x")).into(),
+                ErrorCode::WireCorrupt,
+            ),
+            (Error::Parse("bad".into()), ErrorCode::Parse),
+            (Error::Compile("bad".into()), ErrorCode::Compile),
+            (Error::Protocol("bad".into()), ErrorCode::Protocol),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code, "{err}");
+        }
+    }
+
+    #[test]
+    fn display_mentions_the_cause() {
+        let e: Error = RuntimeError::UnknownQuery {
+            id: crate::runtime::QueryId(7),
+        }
+        .into();
+        let text = e.to_string();
+        assert!(text.contains("not registered"), "{text}");
+    }
+}

@@ -425,7 +425,7 @@ pub(crate) struct IngestShared {
 }
 
 impl IngestShared {
-    pub fn new(n_shards: usize, config: IngestConfig) -> Self {
+    pub fn new(rc: &crate::config::RuntimeConfig) -> Self {
         IngestShared {
             seq: Mutex::new(SeqCore {
                 next_pos: 0,
@@ -434,13 +434,13 @@ impl IngestShared {
                 inflight: VecDeque::new(),
                 router: Arc::new(Router::default()),
             }),
-            queues: (0..n_shards)
-                .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+            queues: (0..rc.shards)
+                .map(|_| Arc::new(ShardQueue::new(rc.ingest.queue_capacity)))
                 .collect(),
             subs: SubscriptionRegistry::default(),
-            config,
+            config: rc.ingest,
             hasher: FxBuildHasher::default(),
-            metrics: PipelineMetrics::new(n_shards),
+            metrics: PipelineMetrics::new(rc.shards, rc.journal_capacity, rc.e2e_sample_every),
         }
     }
 

@@ -38,8 +38,10 @@
 
 pub mod api;
 pub mod checkpoint;
+pub mod config;
 pub mod ds;
 pub mod enumerate;
+pub mod error;
 pub mod evaluator;
 mod fire;
 pub mod ingest;
@@ -53,7 +55,9 @@ pub use cer_obs::{
     validate_prometheus_text, HistogramSnapshot, JournalEntry, Metric, MetricValue, MetricsSnapshot,
 };
 pub use checkpoint::{Snapshot, SnapshotError};
+pub use config::RuntimeConfig;
 pub use ds::{EnumStructure, NodeId, BOTTOM};
+pub use error::{Error, ErrorCode};
 pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};
 pub use ingest::{
     BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,

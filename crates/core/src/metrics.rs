@@ -27,7 +27,7 @@
 //! * `e2e` — true ingest→match-delivery latency, measured from an
 //!   `Instant` captured at block reservation and carried on the stamped
 //!   batch. Sampled every Nth delivered match
-//!   ([`Runtime::set_e2e_sample_every`](crate::runtime::Runtime::set_e2e_sample_every));
+//!   ([`RuntimeConfig::e2e_sample_every`](crate::config::RuntimeConfig::e2e_sample_every));
 //!   the default is every match.
 //!
 //! Recording cost follows the `cer-obs` model: one relaxed atomic add
@@ -183,7 +183,7 @@ pub(crate) struct PipelineMetrics {
 }
 
 impl PipelineMetrics {
-    pub fn new(n_shards: usize) -> Self {
+    pub fn new(n_shards: usize, journal_capacity: usize, e2e_sample_every: u64) -> Self {
         PipelineMetrics {
             seq_reserve: Histogram::new(),
             producer_park: Histogram::new(),
@@ -195,9 +195,9 @@ impl PipelineMetrics {
             shards: (0..n_shards)
                 .map(|_| ShardStageMetrics::default())
                 .collect(),
-            journal: Journal::new(EVENT_JOURNAL_CAPACITY),
+            journal: Journal::new(journal_capacity.max(1)),
             e2e_ticks: AtomicU64::new(0),
-            e2e_sample_every: AtomicU64::new(1),
+            e2e_sample_every: AtomicU64::new(e2e_sample_every.max(1)),
         }
     }
 
@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn e2e_sampling_period_is_respected() {
-        let m = PipelineMetrics::new(1);
+        let m = PipelineMetrics::new(1, EVENT_JOURNAL_CAPACITY, 1);
         m.set_e2e_sample_every(4);
         let sampled = (0..16).filter(|_| m.e2e_should_sample()).count();
         assert_eq!(sampled, 4);

@@ -71,6 +71,7 @@
 //! ```
 
 use crate::checkpoint::{QueryRecord, Snapshot, SnapshotError};
+use crate::config::RuntimeConfig;
 use crate::evaluator::{EngineStats, StreamingEvaluator};
 use crate::ingest::{
     key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, QueryMeta, QueueStats,
@@ -409,21 +410,28 @@ pub struct Runtime {
     workers: Vec<Option<JoinHandle<()>>>,
     queries: Vec<QueryInfo>,
     snap_counters: SnapshotCounters,
+    config: RuntimeConfig,
 }
 
 impl Runtime {
-    /// A runtime with `shards` worker threads (clamped to `1..=64`) and
-    /// the default [`IngestConfig`].
-    pub fn new(shards: usize) -> Self {
-        Self::with_config(shards, IngestConfig::default())
+    /// A runtime from a [`RuntimeConfig`] — or a bare shard count
+    /// (clamped to `1..=64`), which converts into a config with every
+    /// other knob at its default: `Runtime::new(4)`.
+    pub fn new(config: impl Into<RuntimeConfig>) -> Self {
+        Self::build(config.into())
     }
 
     /// A runtime with explicit ingestion knobs (queue capacity and
     /// backpressure policy).
+    #[deprecated(note = "use Runtime::new(RuntimeConfig::new(shards).with_ingest(config))")]
     pub fn with_config(shards: usize, config: IngestConfig) -> Self {
-        let n = shards.clamp(1, 64);
-        let shared = Arc::new(IngestShared::new(n, config));
-        let workers = (0..n)
+        Self::build(RuntimeConfig::new(shards).with_ingest(config))
+    }
+
+    fn build(config: RuntimeConfig) -> Self {
+        let config = config.validated();
+        let shared = Arc::new(IngestShared::new(&config));
+        let workers = (0..config.shards)
             .map(|idx| {
                 let shared = shared.clone();
                 Some(
@@ -439,7 +447,13 @@ impl Runtime {
             workers,
             queries: Vec::new(),
             snap_counters: SnapshotCounters::default(),
+            config,
         }
+    }
+
+    /// The (validated) configuration this runtime was built from.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// Number of worker shards.
@@ -721,18 +735,32 @@ impl Runtime {
     /// are not part of a snapshot; consumers re-subscribe on the
     /// restored runtime.
     pub fn restore(snapshot: &Snapshot, shards: usize) -> Result<Runtime, SnapshotError> {
-        Self::restore_with_config(snapshot, shards, IngestConfig::default())
+        Self::restore_with(snapshot, shards)
     }
 
     /// [`restore`](Self::restore) with explicit ingestion knobs.
+    #[deprecated(
+        note = "use Runtime::restore_with(snapshot, RuntimeConfig::new(shards).with_ingest(config))"
+    )]
     pub fn restore_with_config(
         snapshot: &Snapshot,
         shards: usize,
         config: IngestConfig,
     ) -> Result<Runtime, SnapshotError> {
+        Self::restore_with(snapshot, RuntimeConfig::new(shards).with_ingest(config))
+    }
+
+    /// [`restore`](Self::restore) from a full [`RuntimeConfig`] (or a
+    /// bare shard count): the restored runtime takes every
+    /// construction-time knob — ingest queues, journal capacity, e2e
+    /// sampling — from the config, not from the captured runtime.
+    pub fn restore_with(
+        snapshot: &Snapshot,
+        config: impl Into<RuntimeConfig>,
+    ) -> Result<Runtime, SnapshotError> {
         use cer_common::wire::WireError;
         let restore_at = Instant::now();
-        let mut rt = Runtime::with_config(shards, config);
+        let mut rt = Runtime::build(config.into());
         {
             let mut seq = rt.shared.seq.lock().expect("sequencer poisoned");
             seq.next_pos = snapshot.position;
@@ -976,13 +1004,17 @@ impl Runtime {
     /// never stalls ingestion; `Block` is lossless but a consumer that
     /// stops draining will eventually park the shard workers (and, once
     /// the ingest queues fill, blocking producers).
+    ///
+    /// `capacity` is clamped to at least 1: a zero-capacity `Block`
+    /// channel could never admit an event, deadlocking the shard worker
+    /// that publishes into it.
     pub fn subscribe_with(
         &self,
         filter: SubscriptionFilter,
         capacity: usize,
         policy: BackpressurePolicy,
     ) -> Subscription {
-        self.shared.subs.subscribe(filter, capacity, policy)
+        self.shared.subs.subscribe(filter, capacity.max(1), policy)
     }
 
     /// Fence the pipeline: returns once every tuple ingested before the
@@ -1085,6 +1117,7 @@ impl Runtime {
     /// other histograms are unaffected: this is the only span whose
     /// recording costs an extra `Instant::now()` on the delivery path,
     /// so high-fan-out deployments can thin it.
+    #[deprecated(note = "set RuntimeConfig::e2e_sample_every at construction instead")]
     pub fn set_e2e_sample_every(&self, every: u64) {
         self.shared.metrics.set_e2e_sample_every(every);
     }

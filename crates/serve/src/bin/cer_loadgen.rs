@@ -1,0 +1,238 @@
+//! Load generator for the serving layer.
+//!
+//! Each connection declares the schema, submits its own standing query
+//! (alternating between the HCQ and pattern front-ends), subscribes,
+//! ingests `--events` tuples in `--batch`-sized frames, fences with
+//! drain, and counts the matches pushed back. With no `--addr` an
+//! in-process server on an ephemeral loopback port is used, so the
+//! binary doubles as a self-contained smoke test:
+//!
+//! ```text
+//! cer_loadgen [--addr HOST:PORT] [--connections N] [--events N] [--batch N]
+//! ```
+
+use cer_common::tuple::tup;
+use cer_core::window::WindowPolicy;
+use cer_core::{BackpressurePolicy, RuntimeConfig};
+use cer_serve::{Client, Frontend, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    events: u64,
+    batch: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        addr: None,
+        connections: 2,
+        events: 20_000,
+        batch: 256,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--addr" => out.addr = Some(take("--addr")?),
+            "--connections" => {
+                out.connections = take("--connections")?
+                    .parse()
+                    .map_err(|_| "--connections needs a number".to_string())?
+            }
+            "--events" => {
+                out.events = take("--events")?
+                    .parse()
+                    .map_err(|_| "--events needs a number".to_string())?
+            }
+            "--batch" => {
+                out.batch = take("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch needs a number".to_string())?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if out.connections == 0 || out.events == 0 || out.batch == 0 {
+        return Err("--connections, --events and --batch must be positive".to_string());
+    }
+    Ok(out)
+}
+
+/// What one connection accomplished.
+struct ConnReport {
+    ingested: u64,
+    matches: u64,
+}
+
+/// Drive one connection end to end. Every `--events` tuples form
+/// repeating T/S/R triples that each complete one match for the
+/// standing query, so the expected match count is `events / 3`.
+fn run_connection(
+    addr: &str,
+    conn_id: usize,
+    events: u64,
+    batch: usize,
+) -> Result<ConnReport, Box<dyn std::error::Error + Send + Sync>> {
+    let mut client = Client::connect(addr)?;
+    // Per-connection relation names: all connections share one stream,
+    // so same-named relations would make every query match every
+    // connection's triples.
+    let t = client.declare_relation(&format!("T{conn_id}"), 1)?;
+    let s = client.declare_relation(&format!("S{conn_id}"), 2)?;
+    let r = client.declare_relation(&format!("R{conn_id}"), 2)?;
+
+    // Alternate front-ends across connections: both compile to PCEAs
+    // that complete on a T, S, R triple agreeing on x (and y for S/R).
+    let (frontend, text) = if conn_id.is_multiple_of(2) {
+        (
+            Frontend::Hcq,
+            format!("Q(x, y) <- T{conn_id}(x), S{conn_id}(x, y), R{conn_id}(x, y)"),
+        )
+    } else {
+        (
+            Frontend::Pattern,
+            format!("T{conn_id}(x) && S{conn_id}(x, y) ; R{conn_id}(x, y)"),
+        )
+    };
+    let query = client.submit_query(
+        &format!("loadgen-{conn_id}"),
+        frontend,
+        &text,
+        WindowPolicy::Count(1 << 20),
+        None,
+    )?;
+    client.subscribe(Some(query), 1 << 16, BackpressurePolicy::Block)?;
+
+    let mut ingested = 0u64;
+    let mut pending = Vec::with_capacity(batch);
+    // Give each connection its own key space so queries don't cross-match.
+    let base = (conn_id as i64 + 1) * 1_000_000;
+    let mut triple = 0i64;
+    while ingested < events {
+        pending.clear();
+        while pending.len() < batch && ingested < events {
+            let x = base + triple;
+            match ingested % 3 {
+                0 => pending.push(tup(t, [x])),
+                1 => pending.push(tup(s, [x, x + 7])),
+                _ => {
+                    pending.push(tup(r, [x, x + 7]));
+                    triple += 1;
+                }
+            }
+            ingested += 1;
+        }
+        client.ingest(pending.clone())?;
+    }
+    client.drain()?;
+
+    let mut matches = 0u64;
+    while client.next_event(Duration::from_millis(200))?.is_some() {
+        matches += 1;
+    }
+    client.unsubscribe()?;
+    client.deregister(query)?;
+    Ok(ConnReport { ingested, matches })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("cer_loadgen: {msg}");
+            }
+            eprintln!(
+                "usage: cer_loadgen [--addr HOST:PORT] [--connections N] [--events N] [--batch N]"
+            );
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    // No --addr: serve in-process on an ephemeral port.
+    let local = if args.addr.is_none() {
+        match Server::bind("127.0.0.1:0", ServeConfig::from(RuntimeConfig::new(4))) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cer_loadgen: cannot start in-process server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    eprintln!(
+        "cer_loadgen: {} connection(s) x {} events (batch {}) against {}",
+        args.connections, args.events, args.batch, addr
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.connections)
+        .map(|conn_id| {
+            let addr = addr.clone();
+            let (events, batch) = (args.events, args.batch);
+            std::thread::spawn(move || run_connection(&addr, conn_id, events, batch))
+        })
+        .collect();
+
+    let mut total_ingested = 0u64;
+    let mut total_matches = 0u64;
+    let mut failed = false;
+    for (conn_id, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(report)) => {
+                eprintln!(
+                    "  conn {conn_id}: ingested {} tuples, received {} matches",
+                    report.ingested, report.matches
+                );
+                total_ingested += report.ingested;
+                total_matches += report.matches;
+            }
+            Ok(Err(e)) => {
+                eprintln!("  conn {conn_id}: FAILED: {e}");
+                failed = true;
+            }
+            Err(_) => {
+                eprintln!("  conn {conn_id}: panicked");
+                failed = true;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    if let Some(server) = local {
+        server.stop();
+    }
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "cer_loadgen: {total_ingested} tuples, {total_matches} matches in {:.3}s ({:.0} tuples/s end-to-end)",
+        elapsed.as_secs_f64(),
+        total_ingested as f64 / secs
+    );
+    // Each T/S/R triple yields exactly one match per owning query.
+    let expected = args.connections as u64 * (args.events / 3);
+    if total_matches != expected {
+        eprintln!("cer_loadgen: expected {expected} matches, got {total_matches}");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,73 @@
+//! The serving daemon: bind a TCP address and run until a client sends
+//! `Shutdown` (or the process is killed).
+//!
+//! ```text
+//! cer_served [--addr HOST:PORT] [--shards N]
+//! ```
+
+use cer_core::RuntimeConfig;
+use cer_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards = 4usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return usage("--addr needs a value"),
+            },
+            "--shards" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => shards = n,
+                None => return usage("--shards needs a number"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: cer_served [--addr HOST:PORT] [--shards N]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let config = ServeConfig::from(RuntimeConfig::new(shards));
+    let server = match Server::bind(addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cer_served: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "cer_served: listening on {} ({} shard{})",
+        server.local_addr(),
+        shards,
+        if shards == 1 { "" } else { "s" }
+    );
+    let stats = server.run_until_shutdown();
+    let positions: u64 = stats
+        .per_query
+        .iter()
+        .map(|(_, s)| s.positions)
+        .max()
+        .unwrap_or(0);
+    eprintln!(
+        "cer_served: shut down with {} standing quer{} after {} positions",
+        stats.per_query.len(),
+        if stats.per_query.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        positions
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cer_served: {msg}");
+    eprintln!("usage: cer_served [--addr HOST:PORT] [--shards N]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,320 @@
+//! A blocking client for the serving protocol.
+//!
+//! One [`Client`] owns one TCP connection. Requests are answered in
+//! order, but after [`Client::subscribe`] the server interleaves
+//! unsolicited [`Response::Event`] frames onto the same socket; the
+//! client buffers those aside while waiting for a request's reply, and
+//! [`Client::next_event`] drains them (buffer first, then the socket).
+//!
+//! A server-side failure arrives as [`ClientError::Remote`] carrying
+//! the stable [`ErrorCode`] the server serialized — the connection
+//! stays usable after it.
+
+use crate::protocol::{
+    decode_message, encode_message, read_frame, write_frame, Frontend, Request, Response,
+    StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use cer_common::wire::WireError;
+use cer_common::{RelationId, Tuple};
+use cer_core::runtime::{MatchEvent, Partition, QueryId};
+use cer_core::window::WindowPolicy;
+use cer_core::{BackpressurePolicy, ErrorCode};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (or closed mid-conversation).
+    Io(io::Error),
+    /// A frame decoded to garbage.
+    Wire(WireError),
+    /// The server reported an error for the request.
+    Remote {
+        /// The decoded code, `None` if this client build does not know
+        /// it (newer server).
+        code: Option<ErrorCode>,
+        /// The raw wire discriminant.
+        raw_code: u16,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered with a response type the request cannot
+    /// produce — a protocol bug on one side.
+    Unexpected(Response),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote {
+                code,
+                raw_code,
+                message,
+            } => match code {
+                Some(c) => write!(f, "server error [{c}]: {message}"),
+                None => write!(f, "server error [unknown code {raw_code}]: {message}"),
+            },
+            ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`Server`](crate::server::Server).
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    /// Events that arrived while waiting for a request's reply.
+    pending_events: VecDeque<MatchEvent>,
+}
+
+impl Client {
+    /// Connect and exchange [`Request::Hello`]. Fails fast on a
+    /// protocol-version skew.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+            pending_events: VecDeque::new(),
+        };
+        match client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::Hello { version } => Err(ClientError::Remote {
+                code: None,
+                raw_code: 0,
+                message: format!("server protocol version {version}, client {PROTOCOL_VERSION}"),
+            }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Override the frame cap (must match the server's to make use of
+    /// larger batches).
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = max_frame;
+    }
+
+    /// Declare (or look up) a relation.
+    pub fn declare_relation(
+        &mut self,
+        name: &str,
+        arity: usize,
+    ) -> Result<RelationId, ClientError> {
+        match self.call(&Request::DeclareRelation {
+            name: name.to_string(),
+            arity,
+        })? {
+            Response::RelationDeclared { id } => Ok(id),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Submit a standing query in the given front-end language.
+    pub fn submit_query(
+        &mut self,
+        name: &str,
+        frontend: Frontend,
+        text: &str,
+        window: WindowPolicy,
+        partition: Option<Partition>,
+    ) -> Result<QueryId, ClientError> {
+        match self.call(&Request::SubmitQuery {
+            name: name.to_string(),
+            frontend,
+            text: text.to_string(),
+            window,
+            partition,
+            gc_every: 0,
+        })? {
+            Response::QueryAccepted { id } => Ok(id),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Ingest a batch; returns `(first_position, one_past_last, dropped)`.
+    pub fn ingest(&mut self, tuples: Vec<Tuple>) -> Result<(u64, u64, u64), ClientError> {
+        match self.call(&Request::IngestBatch { tuples })? {
+            Response::Ingested {
+                start,
+                end,
+                dropped,
+            } => Ok((start, end, dropped)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Start the event stream (one subscription per connection).
+    /// `capacity` 0 uses the server default.
+    pub fn subscribe(
+        &mut self,
+        query: Option<QueryId>,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Result<(), ClientError> {
+        match self.call(&Request::Subscribe {
+            query,
+            capacity,
+            policy,
+        })? {
+            Response::Subscribed => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Stop the event stream. Events already in flight stay readable
+    /// via [`next_event`](Self::next_event)'s buffer.
+    pub fn unsubscribe(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Unsubscribe)? {
+            Response::Unsubscribed => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Remove a standing query.
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), ClientError> {
+        match self.call(&Request::Deregister { id })? {
+            Response::Deregistered => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// The server's compact stats summary.
+    pub fn stats(&mut self) -> Result<StatsSummary, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// The server's Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::MetricsText)? {
+            Response::MetricsText { text } => Ok(text),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// An epoch-consistent snapshot of the server's runtime
+    /// (`Snapshot::from_bytes` recovers it).
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot { bytes } => Ok(bytes),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fence the pipeline: returns once everything ingested before the
+    /// call was evaluated and delivered (including to this
+    /// connection's subscription channel, though events may still be in
+    /// flight on the socket).
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Drain)? {
+            Response::Drained => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// The next pushed match event: from the local buffer if one is
+    /// queued, else waiting up to `timeout` on the socket. `Ok(None)`
+    /// on timeout or a cleanly closed connection.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Option<MatchEvent>, ClientError> {
+        if let Some(ev) = self.pending_events.pop_front() {
+            return Ok(Some(ev));
+        }
+        // A zero timeout would mean "block forever" to the socket API.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let outcome = match read_frame(&mut self.stream, self.max_frame) {
+            Ok(Some(payload)) => match decode_message::<Response>(&payload)? {
+                Response::Event(ev) => Ok(Some(ev)),
+                other => Err(ClientError::Unexpected(other)),
+            },
+            Ok(None) => Ok(None),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        };
+        self.stream.set_read_timeout(None)?;
+        outcome
+    }
+
+    /// One request/response round-trip, buffering any [`Response::Event`]
+    /// frames that arrive first and unwrapping [`Response::Error`] into
+    /// [`ClientError::Remote`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = encode_message(request)?;
+        write_frame(&mut self.stream, &payload)?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_frame)?.ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-call",
+                ))
+            })?;
+            match decode_message::<Response>(&frame)? {
+                Response::Event(ev) => self.pending_events.push_back(ev),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Remote {
+                        code: ErrorCode::from_u16(code),
+                        raw_code: code,
+                        message,
+                    })
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # cer-serve: a std-only TCP front door for the runtime
+//!
+//! This crate turns a [`cer_core::Runtime`] into a network service
+//! without pulling in an async runtime: a thread-per-connection
+//! [`Server`] speaks a length-framed binary protocol built on
+//! [`cer_common::wire`], and a blocking [`Client`] drives it.
+//!
+//! ```text
+//!   +-----------+   [u32 LE len][payload]    +-----------------+
+//!   |  Client   | <------------------------> |     Server      |
+//!   | (blocking)|   Request ->, <- Response  | (thread / conn) |
+//!   +-----------+   <- Event (pushed)        +--------+--------+
+//!                                                     |
+//!                                            IngestHandle + Runtime
+//! ```
+//!
+//! Everything a client can do maps onto one [`protocol::Request`] op:
+//! declare relations, submit standing queries in either front-end
+//! language ([`Frontend::Hcq`] or [`Frontend::Pattern`]), ingest tuple
+//! batches, subscribe to pushed [`MatchEvent`](cer_core::runtime::MatchEvent)
+//! frames with a chosen backpressure policy, fetch stats / Prometheus
+//! metrics / snapshots, fence with drain, and shut the server down
+//! gracefully. Server-side failures travel as
+//! [`protocol::Response::Error`] carrying the stable
+//! [`cer_core::ErrorCode`] — malformed input never kills the server or
+//! the connection.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use cer_serve::{Client, Frontend, ServeConfig, Server};
+//! use cer_core::window::WindowPolicy;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.declare_relation("temp", 2).unwrap();
+//! client
+//!     .submit_query(
+//!         "hot",
+//!         Frontend::Hcq,
+//!         "Hot(s, x) <- temp(s, x)",
+//!         WindowPolicy::Count(1024),
+//!         None,
+//!     )
+//!     .unwrap();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    Frontend, Request, Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server};

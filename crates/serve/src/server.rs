@@ -1,0 +1,517 @@
+//! The thread-per-connection TCP server in front of a
+//! [`Runtime`].
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! * one **accept thread** blocks on [`TcpListener::accept`] and spawns
+//!   a handler thread per connection;
+//! * each **connection thread** loops `read_frame → decode → handle →
+//!   write_frame`, with a short read timeout so it can observe the
+//!   server-wide shutdown flag between frames;
+//! * a connection that subscribes gets a **pusher thread** that drains
+//!   its [`Subscription`](cer_core::ingest::Subscription) and writes
+//!   [`Response::Event`] frames; pusher
+//!   and handler share the socket through a mutex taken per whole
+//!   frame, so frames never interleave;
+//! * the **control plane** (submit/deregister/stats/snapshot/drain)
+//!   goes through one `Mutex<Runtime>`; the **hot path** (ingest) uses
+//!   a cloned lock-free [`IngestHandle`], so concurrent producers never
+//!   serialize on the control-plane lock.
+//!
+//! Graceful shutdown ([`Request::Shutdown`] or [`Server::stop`]) sets a
+//! flag, wakes the accept loop with a self-connection, joins every
+//! connection (their read timeouts bound the latency), and finally
+//! shuts the runtime down, returning its final [`RuntimeStats`].
+//!
+//! Every failure a request can hit — schema conflicts, parse/compile
+//! rejections, unknown queries, wire corruption — maps through
+//! [`cer_core::Error::code`] onto the stable
+//! [`ErrorCode`](cer_core::error::ErrorCode) table that
+//! [`Response::Error`] carries; the connection survives all of them.
+
+use crate::protocol::{
+    decode_message, encode_message, read_frame, write_frame, Frontend, Request, Response,
+    StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use cer_common::Schema;
+use cer_core::ingest::{IngestHandle, SubscriptionFilter};
+use cer_core::runtime::{QuerySpec, Runtime, RuntimeStats};
+use cer_core::{Error, RuntimeConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Construction-time knobs of a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// The runtime underneath the listener — one config value carries
+    /// the whole engine setup ([`RuntimeConfig`]).
+    pub runtime: RuntimeConfig,
+    /// Per-frame payload cap, both directions.
+    pub max_frame: usize,
+    /// Subscription channel capacity used when a
+    /// [`Request::Subscribe`] asks for capacity 0 ("server default").
+    pub default_sub_capacity: usize,
+    /// Socket read timeout: how often idle connection (and pusher)
+    /// threads wake to observe the shutdown flag. Bounds shutdown
+    /// latency, not request latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            runtime: RuntimeConfig::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            default_sub_capacity: 1 << 16,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl From<RuntimeConfig> for ServeConfig {
+    fn from(runtime: RuntimeConfig) -> Self {
+        ServeConfig {
+            runtime,
+            ..Self::default()
+        }
+    }
+}
+
+struct Shared {
+    /// `None` only after the server took the runtime out for shutdown.
+    runtime: Mutex<Option<Runtime>>,
+    schema: Mutex<Schema>,
+    /// Cloned once at bind: ingest never touches the `runtime` mutex.
+    ingest: IngestHandle,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+    addr: SocketAddr,
+}
+
+/// A listening server. Bind with [`Server::bind`], stop with
+/// [`Server::stop`] (or remotely via [`Request::Shutdown`] +
+/// [`Server::run_until_shutdown`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind a listener (use port 0 for an ephemeral port) over a fresh
+    /// runtime built from `config.runtime`.
+    pub fn bind(addr: impl ToSocketAddrs, config: impl Into<ServeConfig>) -> io::Result<Server> {
+        let config = config.into();
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let runtime = Runtime::new(config.runtime);
+        let ingest = runtime.ingest_handle();
+        let shared = Arc::new(Shared {
+            runtime: Mutex::new(Some(runtime)),
+            schema: Mutex::new(Schema::new()),
+            ingest,
+            shutdown: AtomicBool::new(false),
+            config,
+            addr,
+        });
+        let accept_shared = shared.clone();
+        let accept = thread::Builder::new()
+            .name("cer-serve-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))?;
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether a shutdown has been requested (locally or by a client).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Park until some client sends [`Request::Shutdown`] (or another
+    /// thread calls for shutdown), then stop and return the runtime's
+    /// final stats.
+    pub fn run_until_shutdown(self) -> RuntimeStats {
+        while !self.is_shutting_down() {
+            thread::sleep(self.shared.config.poll_interval);
+        }
+        self.stop()
+    }
+
+    /// Graceful shutdown: close the listener and every connection, then
+    /// drain and stop the runtime, returning its final stats.
+    pub fn stop(mut self) -> RuntimeStats {
+        let conns = self.begin_stop();
+        for c in conns {
+            let _ = c.join();
+        }
+        let runtime = self
+            .shared
+            .runtime
+            .lock()
+            .expect("runtime mutex poisoned")
+            .take()
+            .expect("server stopped twice");
+        runtime.shutdown()
+    }
+
+    /// Raise the flag, wake the accept loop, and join it, returning the
+    /// live connection handles.
+    fn begin_stop(&mut self) -> Vec<JoinHandle<()>> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+        match self.accept.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `stop` disarms by taking `accept`; an un-stopped server still
+        // joins its threads so tests cannot leak listeners.
+        if self.accept.is_some() {
+            for c in self.begin_stop() {
+                let _ = c.join();
+            }
+            if let Some(rt) = self
+                .shared
+                .runtime
+                .lock()
+                .expect("runtime mutex poisoned")
+                .take()
+            {
+                rt.shutdown();
+            }
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) -> Vec<JoinHandle<()>> {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn_shared = shared.clone();
+                if let Ok(handle) = thread::Builder::new()
+                    .name("cer-serve-conn".into())
+                    .spawn(move || handle_connection(conn_shared, stream))
+                {
+                    conns.push(handle);
+                }
+                // Opportunistically reap finished connections so a
+                // long-lived server does not accumulate dead handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    conns
+}
+
+/// The per-connection subscription: a stop flag shared with the pusher
+/// thread plus the pusher's handle.
+struct ActiveSubscription {
+    stop: Arc<AtomicBool>,
+    pusher: JoinHandle<()>,
+}
+
+impl ActiveSubscription {
+    fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.pusher.join();
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut read_half = stream;
+    let mut subscription: Option<ActiveSubscription> = None;
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match read_frame(&mut read_half, shared.config.max_frame) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // peer closed
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break, // corrupt framing or dead socket
+        };
+        let response = match decode_message::<Request>(&payload) {
+            Err(wire) => error_response(&Error::Wire(wire)),
+            Ok(request) => handle_request(&shared, &writer, &mut subscription, request)
+                .unwrap_or_else(|e| error_response(&e)),
+        };
+        if send(&writer, &response).is_err() {
+            break;
+        }
+    }
+    if let Some(sub) = subscription.take() {
+        sub.stop();
+    }
+}
+
+fn error_response(e: &Error) -> Response {
+    Response::Error {
+        code: e.code().as_u16(),
+        message: e.to_string(),
+    }
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> io::Result<()> {
+    let payload = encode_message(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+    let mut w = writer.lock().expect("connection writer poisoned");
+    write_frame(&mut *w, &payload)
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    subscription: &mut Option<ActiveSubscription>,
+    request: Request,
+) -> Result<Response, Error> {
+    match request {
+        Request::Hello { version: _ } => Ok(Response::Hello {
+            version: PROTOCOL_VERSION,
+        }),
+        Request::DeclareRelation { name, arity } => {
+            let mut schema = shared.schema.lock().expect("schema mutex poisoned");
+            let id = schema.add_relation(&name, arity).map_err(Error::Data)?;
+            Ok(Response::RelationDeclared { id })
+        }
+        Request::SubmitQuery {
+            name,
+            frontend,
+            text,
+            window,
+            partition,
+            gc_every,
+        } => {
+            let pcea = {
+                let mut schema = shared.schema.lock().expect("schema mutex poisoned");
+                compile_query_text(&mut schema, frontend, &text)?
+            };
+            let partition = partition.unwrap_or(shared.config.runtime.default_partition);
+            let spec = QuerySpec::new(name, pcea, window)
+                .with_partition(partition)
+                .with_gc_every(gc_every);
+            let mut guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_mut()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            let id = runtime.register(spec).map_err(Error::Runtime)?;
+            Ok(Response::QueryAccepted { id })
+        }
+        Request::IngestBatch { tuples } => {
+            // Validate against the schema before stamping: a remote
+            // client's malformed tuple must not reach the evaluators.
+            {
+                let schema = shared.schema.lock().expect("schema mutex poisoned");
+                for t in &tuples {
+                    validate_tuple(&schema, t)?;
+                }
+            }
+            let receipt = shared.ingest.push_batch(&tuples).map_err(Error::Ingest)?;
+            Ok(Response::Ingested {
+                start: receipt.positions.start,
+                end: receipt.positions.end,
+                dropped: receipt.dropped,
+            })
+        }
+        Request::Subscribe {
+            query,
+            capacity,
+            policy,
+        } => {
+            if subscription.is_some() {
+                return Err(Error::Protocol(
+                    "connection already has a subscription".into(),
+                ));
+            }
+            let capacity = if capacity == 0 {
+                shared.config.default_sub_capacity
+            } else {
+                capacity
+            };
+            let sub = {
+                let guard = shared.runtime.lock().expect("runtime mutex poisoned");
+                let runtime = guard
+                    .as_ref()
+                    .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+                let filter = match query {
+                    Some(id) => {
+                        if runtime.query_name(id).is_none() {
+                            return Err(Error::Runtime(
+                                cer_core::runtime::RuntimeError::UnknownQuery { id },
+                            ));
+                        }
+                        SubscriptionFilter::Query(id)
+                    }
+                    None => SubscriptionFilter::All,
+                };
+                runtime.subscribe_with(filter, capacity, policy)
+            };
+            let stop = Arc::new(AtomicBool::new(false));
+            let pusher_stop = stop.clone();
+            let pusher_shared = shared.clone();
+            let pusher_writer = writer.clone();
+            let pusher = thread::Builder::new()
+                .name("cer-serve-push".into())
+                .spawn(move || {
+                    let tick = pusher_shared.config.poll_interval;
+                    while !pusher_stop.load(Ordering::SeqCst)
+                        && !pusher_shared.shutdown.load(Ordering::SeqCst)
+                    {
+                        if let Some(event) = sub.recv_timeout(tick) {
+                            if send(&pusher_writer, &Response::Event(event)).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| Error::Protocol(format!("cannot spawn pusher thread: {e}")))?;
+            *subscription = Some(ActiveSubscription { stop, pusher });
+            Ok(Response::Subscribed)
+        }
+        Request::Unsubscribe => match subscription.take() {
+            Some(sub) => {
+                sub.stop();
+                Ok(Response::Unsubscribed)
+            }
+            None => Err(Error::Protocol("no subscription on this connection".into())),
+        },
+        Request::Deregister { id } => {
+            let mut guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_mut()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            runtime.deregister(id).map_err(Error::Runtime)?;
+            Ok(Response::Deregistered)
+        }
+        Request::Stats => {
+            let guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_ref()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            Ok(Response::Stats(StatsSummary {
+                shards: runtime.num_shards() as u64,
+                queries: runtime.num_queries() as u64,
+                next_position: runtime.next_position(),
+                dropped: shared.ingest.total_dropped(),
+                events_overwritten: runtime.events_overwritten(),
+            }))
+        }
+        Request::MetricsText => {
+            let guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_ref()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            Ok(Response::MetricsText {
+                text: runtime.metrics_text(),
+            })
+        }
+        Request::Snapshot => {
+            let mut guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_mut()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            let snapshot = runtime.snapshot().map_err(Error::Snapshot)?;
+            let bytes = snapshot.to_bytes().map_err(Error::Snapshot)?;
+            Ok(Response::Snapshot { bytes })
+        }
+        Request::Drain => {
+            let guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_ref()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            runtime.drain();
+            Ok(Response::Drained)
+        }
+        Request::Ping => Ok(Response::Pong),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so `run_until_shutdown`/`stop` can
+            // join it promptly.
+            let _ = TcpStream::connect(shared.addr);
+            Ok(Response::ShuttingDown)
+        }
+    }
+}
+
+/// Parse and compile a submitted query through the requested front-end,
+/// mapping both failure layers onto the unified error.
+fn compile_query_text(
+    schema: &mut Schema,
+    frontend: Frontend,
+    text: &str,
+) -> Result<cer_automata::pcea::Pcea, Error> {
+    match frontend {
+        Frontend::Hcq => {
+            let query = cer_cq::parser::parse_query(schema, text)
+                .map_err(|e| Error::Parse(e.to_string()))?;
+            let compiled = cer_cq::compile::compile_hcq(schema, &query)
+                .map_err(|e| Error::Compile(e.to_string()))?;
+            Ok(compiled.pcea)
+        }
+        Frontend::Pattern => {
+            let expr =
+                cer_lang::parse_pattern(schema, text).map_err(|e| Error::Parse(e.to_string()))?;
+            let compiled = cer_lang::compile_pattern(schema, &expr)
+                .map_err(|e| Error::Compile(e.to_string()))?;
+            Ok(compiled.pcea)
+        }
+    }
+}
+
+/// A remote tuple must name a declared relation with the right arity.
+fn validate_tuple(schema: &Schema, t: &cer_common::Tuple) -> Result<(), Error> {
+    let rel = t.relation();
+    if rel.index() >= schema.len() {
+        return Err(Error::Data(cer_common::CommonError::UnknownRelation {
+            name: format!("#{}", rel.0),
+        }));
+    }
+    let expected = schema.arity(rel);
+    if t.arity() != expected {
+        return Err(Error::Data(cer_common::CommonError::ArityMismatch {
+            relation: schema.name(rel).to_string(),
+            expected,
+            got: t.arity(),
+        }));
+    }
+    Ok(())
+}

@@ -26,7 +26,10 @@ fn main() {
         .unwrap()
         .pcea;
 
-    let mut runtime = Runtime::new(4);
+    // Thin the e2e ingest→delivery span to every 8th delivered match —
+    // the knob a high-fan-out deployment would turn. Every other
+    // histogram records unconditionally (one relaxed atomic add).
+    let mut runtime = Runtime::new(RuntimeConfig::new(4).with_e2e_sample_every(8));
     runtime
         .register(
             QuerySpec::new("fire", fire_pcea, WindowPolicy::Count(128))
@@ -36,11 +39,6 @@ fn main() {
     runtime
         .register(QuerySpec::new("spike", spike, WindowPolicy::Count(32)))
         .unwrap();
-
-    // Thin the e2e ingest→delivery span to every 8th delivered match —
-    // the knob a high-fan-out deployment would turn. Every other
-    // histogram records unconditionally (one relaxed atomic add).
-    runtime.set_e2e_sample_every(8);
 
     // Bursty traffic: three producers, each pushing bursts of batches
     // with idle gaps, concurrently with a consumer draining matches.

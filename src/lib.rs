@@ -18,6 +18,9 @@
 //!   [`Subscription`](engine::Subscription) channels) and
 //!   epoch-consistent checkpoint/restore + query hot-swap
 //!   ([`engine::checkpoint`]);
+//! * [`serve`] — a std-only TCP serving layer: length-framed wire
+//!   protocol, thread-per-connection [`Server`](serve::Server), blocking
+//!   [`Client`](serve::Client) and a load-generator binary;
 //! * [`baselines`] — naive and CCEA-specialized evaluators for comparison,
 //!   behind the same [`Evaluator`](engine::Evaluator) trait surface.
 //!
@@ -89,6 +92,7 @@ pub use cer_common as common;
 pub use cer_core as engine;
 pub use cer_cq as cq;
 pub use cer_lang as lang;
+pub use cer_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -100,6 +104,8 @@ pub mod prelude {
     pub use cer_common::{Schema, SliceStream, Stream, StreamExt, Tuple, Value, VecStream};
     pub use cer_core::api::Evaluator;
     pub use cer_core::checkpoint::{Snapshot, SnapshotError};
+    pub use cer_core::config::RuntimeConfig;
+    pub use cer_core::error::{Error, ErrorCode};
     pub use cer_core::evaluator::{run_to_end, StreamingEvaluator};
     pub use cer_core::ingest::{
         BackpressurePolicy, IngestConfig, IngestError, IngestHandle, IngestReceipt, QueueStats,

@@ -250,13 +250,10 @@ fn runtime_batching_matches_independent_evaluators() {
     for shards in [1usize, 2, 4] {
         for max_batch in [1usize, 3, 4096] {
             for chunk in [1usize, 17, 300] {
-                let mut rt = Runtime::with_config(
-                    shards,
-                    IngestConfig {
-                        max_batch,
-                        ..IngestConfig::default()
-                    },
-                );
+                let mut rt = Runtime::new(RuntimeConfig::new(shards).with_ingest(IngestConfig {
+                    max_batch,
+                    ..IngestConfig::default()
+                }));
                 let ids: Vec<QueryId> = specs
                     .iter()
                     .map(|(name, pcea, partition)| {

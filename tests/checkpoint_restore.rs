@@ -228,13 +228,10 @@ fn snapshot_with_live_producers_cuts_consistently() {
     let stream = mixed_stream(&schema, 4_000);
     let window = WindowPolicy::Count(24);
     for (shards_old, shards_new, producers) in [(2usize, 3usize, 3usize), (3, 1, 4), (1, 4, 2)] {
-        let mut rt = Runtime::with_config(
-            shards_old,
-            IngestConfig {
-                queue_capacity: 256, // small: real backpressure during the snapshot
-                ..IngestConfig::default()
-            },
-        );
+        let mut rt = Runtime::new(RuntimeConfig::new(shards_old).with_ingest(IngestConfig {
+            queue_capacity: 256, // small: real backpressure during the snapshot
+            ..IngestConfig::default()
+        }));
         register_all(&mut rt, &specs, &window);
         let sub = rt.subscribe_with(
             SubscriptionFilter::All,

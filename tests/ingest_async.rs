@@ -189,14 +189,11 @@ fn concurrent_producers_lose_nothing_under_block() {
     let a = schema.relation("A").unwrap();
     let per_producer = 2_000usize;
     let producers = 4usize;
-    let mut rt = Runtime::with_config(
-        3,
-        IngestConfig {
-            queue_capacity: 64, // tiny: forces real backpressure
-            policy: BackpressurePolicy::Block,
-            ..IngestConfig::default()
-        },
-    );
+    let mut rt = Runtime::new(RuntimeConfig::new(3).with_ingest(IngestConfig {
+        queue_capacity: 64, // tiny: forces real backpressure
+        policy: BackpressurePolicy::Block,
+        ..IngestConfig::default()
+    }));
     let q = rt
         .register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(8)))
         .unwrap();
@@ -237,14 +234,11 @@ fn stalled_subscriber_never_blocks_producers_under_drop_newest() {
     let mut schema = Schema::new();
     let pcea = pattern_to_pcea(&mut schema, "A(x)").unwrap().pcea;
     let a = schema.relation("A").unwrap();
-    let mut rt = Runtime::with_config(
-        2,
-        IngestConfig {
-            queue_capacity: 1 << 14,
-            policy: BackpressurePolicy::DropNewest,
-            ..IngestConfig::default()
-        },
-    );
+    let mut rt = Runtime::new(RuntimeConfig::new(2).with_ingest(IngestConfig {
+        queue_capacity: 1 << 14,
+        policy: BackpressurePolicy::DropNewest,
+        ..IngestConfig::default()
+    }));
     rt.register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(4)))
         .unwrap();
     // The stalled consumer: capacity 4, never drained, DropNewest on
@@ -492,14 +486,11 @@ proptest! {
         let mut schema = Schema::new();
         let pcea = pattern_to_pcea(&mut schema, "A(x)").unwrap().pcea;
         let a = schema.relation("A").unwrap();
-        let mut rt = Runtime::with_config(
-            shards,
-            IngestConfig {
-                queue_capacity: capacity,
-                policy: BackpressurePolicy::DropNewest,
-                ..IngestConfig::default()
-            },
-        );
+        let mut rt = Runtime::new(RuntimeConfig::new(shards).with_ingest(IngestConfig {
+            queue_capacity: capacity,
+            policy: BackpressurePolicy::DropNewest,
+            ..IngestConfig::default()
+        }));
         let q = rt
             .register(QuerySpec::new("every_a", pcea, WindowPolicy::Count(4)))
             .unwrap();

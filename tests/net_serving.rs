@@ -1,0 +1,365 @@
+//! The serving layer, end to end.
+//!
+//! * Fuzzes the frame codec: arbitrary bytes, truncations and oversized
+//!   length prefixes must come back as wire errors, never a panic.
+//! * Round-trips every stable [`ErrorCode`] through the wire encoding
+//!   of [`Response::Error`].
+//! * The differential guarantee: the matches a client receives over a
+//!   socket are exactly the matches an in-process run of the same
+//!   stamped stream produces — with two concurrent connections, one
+//!   query from each front-end.
+//! * Every protocol error path maps to the right [`ErrorCode`] and
+//!   leaves the connection usable; framing violations close it.
+
+use pcea::prelude::*;
+use pcea::serve::protocol::{
+    check_frame_len, decode_message, encode_message, parse_frame, read_frame, write_frame, Request,
+    Response, DEFAULT_MAX_FRAME,
+};
+use pcea::serve::{Client, ClientError, Frontend, ServeConfig, Server};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Collect everything a subscribed client has been pushed, stopping
+/// after `quiet` of silence.
+fn drain_events(client: &mut Client, quiet: Duration) -> Vec<MatchEvent> {
+    let mut out = Vec::new();
+    while let Some(ev) = client.next_event(quiet).expect("event stream healthy") {
+        out.push(ev);
+    }
+    out
+}
+
+fn event_key(ev: &MatchEvent) -> (u64, String) {
+    (ev.position, format!("{:?}", ev.valuation))
+}
+
+// ---------------------------------------------------------------------
+// Fuzz: the codec survives hostile bytes
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes through every decode entry point: any outcome
+    /// but a panic is acceptable, and `parse_frame` must agree with
+    /// `check_frame_len` about the advertised length.
+    #[test]
+    fn fuzz_codec_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_message::<Request>(&bytes);
+        let _ = decode_message::<Response>(&bytes);
+        match parse_frame(&bytes, 32) {
+            Ok(Some((payload, rest))) => {
+                prop_assert!(check_frame_len(payload.len(), 32).is_ok());
+                prop_assert_eq!(payload.len() + rest.len() + 4, bytes.len());
+            }
+            Ok(None) => {} // incomplete prefix — need more bytes
+            Err(_) => {}   // empty or oversized length — rejected
+        }
+    }
+
+    /// Every strict prefix of a valid message encoding fails to decode
+    /// (the codec never mistakes a truncation for a message).
+    #[test]
+    fn fuzz_truncations_are_rejected(cut in 0usize..1000) {
+        let msg = Request::SubmitQuery {
+            name: "watchdog".into(),
+            frontend: Frontend::Pattern,
+            text: "T(x) && S(x, y) ; R(x, y)".into(),
+            window: WindowPolicy::Time { duration: 60, ts_pos: 0 },
+            partition: Some(Partition::ByKey { pos: 1 }),
+            gc_every: 512,
+        };
+        let full = encode_message(&msg).unwrap();
+        let cut = cut % full.len();
+        prop_assert!(decode_message::<Request>(&full[..cut]).is_err());
+    }
+
+    /// A length prefix over the receiver's cap is rejected before any
+    /// allocation, whatever the advertised size.
+    #[test]
+    fn fuzz_oversized_frames_are_rejected(over in 1u64..u32::MAX as u64) {
+        let cap = 1024usize;
+        let len = (cap as u64 + over).min(u32::MAX as u64) as u32;
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 8]);
+        prop_assert!(parse_frame(&buf, cap).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error codes round-trip the wire
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_error_code_round_trips_the_wire() {
+    for &code in ErrorCode::ALL {
+        let msg = Response::Error {
+            code: code.as_u16(),
+            message: format!("synthetic {code}"),
+        };
+        let bytes = encode_message(&msg).unwrap();
+        match decode_message::<Response>(&bytes).unwrap() {
+            Response::Error { code: got, message } => {
+                assert_eq!(ErrorCode::from_u16(got), Some(code));
+                assert!(message.contains(code.name()));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: socket matches ≡ in-process matches
+// ---------------------------------------------------------------------
+
+const HCQ_TEXT: &str = "Q0(x, y) <- T(x), S(x, y), R(x, y)";
+const PAT_TEXT: &str = "T(x) ; R(x, _)";
+
+#[test]
+fn socket_matches_equal_in_process_matches() {
+    // In-process reference: same query texts, same stamped stream.
+    let mut schema = Schema::new();
+    let q0 = parse_query(&mut schema, HCQ_TEXT).unwrap();
+    let hcq = compile_hcq(&schema, &q0).unwrap();
+    let pat = pattern_to_pcea(&mut schema, PAT_TEXT).unwrap();
+    let mut reference = Runtime::new(RuntimeConfig::new(2));
+    let ref_hcq = reference
+        .register(QuerySpec::new("q-hcq", hcq.pcea, WindowPolicy::Count(100)))
+        .unwrap();
+    let ref_pat = reference
+        .register(QuerySpec::new("q-pat", pat.pcea, WindowPolicy::Count(100)))
+        .unwrap();
+    let r = schema.relation("R").unwrap();
+    let s = schema.relation("S").unwrap();
+    let t = schema.relation("T").unwrap();
+    let stream = sigma0_prefix(r, s, t);
+    let expected = reference.push_batch(&stream);
+    let expected_hcq: BTreeSet<_> = expected
+        .iter()
+        .filter(|e| e.query == ref_hcq)
+        .map(event_key)
+        .collect();
+    let expected_pat: BTreeSet<_> = expected
+        .iter()
+        .filter(|e| e.query == ref_pat)
+        .map(event_key)
+        .collect();
+    assert!(!expected_hcq.is_empty() && !expected_pat.is_empty());
+    reference.shutdown();
+
+    // Served: two concurrent connections, one query from each
+    // front-end, the same batch stamped by the server's sequencer.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::from(RuntimeConfig::new(2))).unwrap();
+    let mut conn_hcq = Client::connect(server.local_addr()).unwrap();
+    let mut conn_pat = Client::connect(server.local_addr()).unwrap();
+
+    // The HCQ submission declares T, S, R in text order, mirroring the
+    // in-process schema, so relation ids agree across both runs.
+    let hcq_id = conn_hcq
+        .submit_query(
+            "q-hcq",
+            Frontend::Hcq,
+            HCQ_TEXT,
+            WindowPolicy::Count(100),
+            None,
+        )
+        .unwrap();
+    let pat_id = conn_pat
+        .submit_query(
+            "q-pat",
+            Frontend::Pattern,
+            PAT_TEXT,
+            WindowPolicy::Count(100),
+            None,
+        )
+        .unwrap();
+    assert_eq!(conn_hcq.declare_relation("T", 1).unwrap(), t);
+    assert_eq!(conn_hcq.declare_relation("S", 2).unwrap(), s);
+    assert_eq!(conn_hcq.declare_relation("R", 2).unwrap(), r);
+
+    conn_hcq
+        .subscribe(Some(hcq_id), 1 << 12, BackpressurePolicy::Block)
+        .unwrap();
+    conn_pat
+        .subscribe(Some(pat_id), 1 << 12, BackpressurePolicy::Block)
+        .unwrap();
+
+    let (start, end, dropped) = conn_hcq.ingest(stream.clone()).unwrap();
+    assert_eq!((start, end, dropped), (0, stream.len() as u64, 0));
+    conn_hcq.drain().unwrap();
+
+    // Drain both subscriptions concurrently (the point of two
+    // connections: neither blocks the other).
+    let collector = std::thread::spawn(move || {
+        let got = drain_events(&mut conn_pat, Duration::from_millis(500));
+        (conn_pat, got)
+    });
+    let got_hcq = drain_events(&mut conn_hcq, Duration::from_millis(500));
+    let (mut conn_pat, got_pat) = collector.join().unwrap();
+
+    assert!(got_hcq.iter().all(|e| e.query == hcq_id));
+    assert!(got_pat.iter().all(|e| e.query == pat_id));
+    let got_hcq: BTreeSet<_> = got_hcq.iter().map(event_key).collect();
+    let got_pat: BTreeSet<_> = got_pat.iter().map(event_key).collect();
+    assert_eq!(got_hcq, expected_hcq);
+    assert_eq!(got_pat, expected_pat);
+
+    // Stats reflect the served pipeline.
+    let stats = conn_hcq.stats().unwrap();
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.queries, 2);
+    assert_eq!(stats.next_position, stream.len() as u64);
+
+    // Metrics are checker-valid Prometheus text.
+    let text = conn_hcq.metrics_text().unwrap();
+    validate_prometheus_text(&text).expect("exposition parses");
+    assert!(text.contains("cer_"));
+
+    // A snapshot taken over the wire restores to a runtime that still
+    // knows both queries.
+    let bytes = conn_pat.snapshot().unwrap();
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+    let restored = Runtime::restore_with(&snap, RuntimeConfig::new(1)).unwrap();
+    assert_eq!(restored.query_name(hcq_id), Some("q-hcq"));
+    assert_eq!(restored.query_name(pat_id), Some("q-pat"));
+
+    conn_hcq.unsubscribe().unwrap();
+    conn_pat.unsubscribe().unwrap();
+    // One client asks for shutdown; the server's stop path joins every
+    // connection and worker.
+    conn_hcq.shutdown_server().unwrap();
+    server.run_until_shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Error paths: wrong input → the right code, connection survives
+// ---------------------------------------------------------------------
+
+fn remote_code(err: ClientError) -> Option<ErrorCode> {
+    match err {
+        ClientError::Remote { code, .. } => code,
+        other => panic!("expected a remote error, got {other}"),
+    }
+}
+
+#[test]
+fn protocol_errors_carry_stable_codes_and_spare_the_connection() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let t = client.declare_relation("T", 1).unwrap();
+
+    // Redeclaring with a different arity is a data error.
+    let err = client.declare_relation("T", 3).unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::DuplicateRelation));
+
+    // Ingesting a tuple of the wrong arity never reaches the pipeline.
+    let err = client
+        .ingest(vec![Tuple::new(t, vec![Value::Int(1), Value::Int(2)])])
+        .unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::ArityMismatch));
+
+    // An out-of-schema relation id is caught at the door.
+    let bogus = pcea::common::RelationId(404);
+    let err = client
+        .ingest(vec![Tuple::new(bogus, vec![Value::Int(1)])])
+        .unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::UnknownRelation));
+
+    // Unparsable and non-hierarchical queries map to parse/compile.
+    let err = client
+        .submit_query(
+            "bad",
+            Frontend::Hcq,
+            "not a query",
+            WindowPolicy::Count(8),
+            None,
+        )
+        .unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::Parse));
+    let err = client
+        .submit_query(
+            "triangle",
+            Frontend::Hcq,
+            "Q(x, y, z) <- A(x, y), B(y, z), C(z, x)",
+            WindowPolicy::Count(8),
+            None,
+        )
+        .unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::Compile));
+
+    // Subscribing to a query that does not exist.
+    let err = client
+        .subscribe(Some(QueryId(99)), 16, BackpressurePolicy::Block)
+        .unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::UnknownQuery));
+
+    // Unsubscribing without a subscription, then double-subscribing.
+    let err = client.unsubscribe().unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::Protocol));
+    let q = client
+        .submit_query("ok", Frontend::Hcq, HCQ_TEXT, WindowPolicy::Count(8), None)
+        .unwrap();
+    client
+        .subscribe(Some(q), 16, BackpressurePolicy::DropNewest)
+        .unwrap();
+    let err = client
+        .subscribe(Some(q), 16, BackpressurePolicy::DropNewest)
+        .unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::Protocol));
+
+    // Deregistering twice: the second is an unknown query.
+    client.deregister(q).unwrap();
+    let err = client.deregister(q).unwrap_err();
+    assert_eq!(remote_code(err), Some(ErrorCode::UnknownQuery));
+
+    // After all of that the connection still answers.
+    client.ping().unwrap();
+    server.stop();
+}
+
+#[test]
+fn garbage_frames_get_wire_errors_and_framing_violations_close() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+
+    // An unknown request tag inside a well-formed frame: the server
+    // answers with a wire error and keeps the connection open.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut raw, &[0xFF, 1, 2, 3]).unwrap();
+    let reply = read_frame(&mut raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    match decode_message::<Response>(&reply).unwrap() {
+        Response::Error { code, .. } => {
+            let code = ErrorCode::from_u16(code).unwrap();
+            assert!(matches!(
+                code,
+                ErrorCode::WireUnsupported | ErrorCode::WireTruncated | ErrorCode::WireCorrupt
+            ));
+        }
+        other => panic!("expected a wire error, got {other:?}"),
+    }
+    write_frame(&mut raw, &encode_message(&Request::Ping).unwrap()).unwrap();
+    let reply = read_frame(&mut raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert!(matches!(
+        decode_message::<Response>(&reply).unwrap(),
+        Response::Pong
+    ));
+
+    // A length prefix over the server's cap is a framing violation:
+    // the server hangs up rather than allocating.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    let mut sink = Vec::new();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(
+        raw.read_to_end(&mut sink).unwrap_or(0),
+        0,
+        "server should hang up"
+    );
+
+    server.stop();
+}

@@ -279,10 +279,9 @@ fn stage_histograms_populate_and_export_is_valid() {
 fn e2e_sampling_knob_thins_recording() {
     let mut schema = Schema::new();
     let e = schema.add_relation("E", 1).unwrap();
-    let mut rt = Runtime::new(1);
+    let mut rt = Runtime::new(RuntimeConfig::new(1).with_e2e_sample_every(4));
     rt.register(QuerySpec::new("all", match_all(e), WindowPolicy::Count(4)))
         .unwrap();
-    rt.set_e2e_sample_every(4);
     let stream: Vec<Tuple> = (0..100)
         .map(|i| Tuple::new(e, vec![Value::Int(i as i64)]))
         .collect();
@@ -423,14 +422,11 @@ fn journal_counts_ring_overwrites() {
 fn drops_are_journaled_and_counted() {
     let mut schema = Schema::new();
     let e = schema.add_relation("E", 1).unwrap();
-    let mut rt = Runtime::with_config(
-        1,
-        IngestConfig {
-            queue_capacity: 8,
-            policy: BackpressurePolicy::DropNewest,
-            ..IngestConfig::default()
-        },
-    );
+    let mut rt = Runtime::new(RuntimeConfig::new(1).with_ingest(IngestConfig {
+        queue_capacity: 8,
+        policy: BackpressurePolicy::DropNewest,
+        ..IngestConfig::default()
+    }));
     rt.register(QuerySpec::new("all", match_all(e), WindowPolicy::Count(4)))
         .unwrap();
     let h = rt.ingest_handle();
@@ -467,14 +463,11 @@ fn drops_are_journaled_and_counted() {
 fn producer_parks_are_journaled_under_backpressure() {
     let mut schema = Schema::new();
     let e = schema.add_relation("E", 1).unwrap();
-    let mut rt = Runtime::with_config(
-        1,
-        IngestConfig {
-            queue_capacity: 4,
-            policy: BackpressurePolicy::Block,
-            ..IngestConfig::default()
-        },
-    );
+    let mut rt = Runtime::new(RuntimeConfig::new(1).with_ingest(IngestConfig {
+        queue_capacity: 4,
+        policy: BackpressurePolicy::Block,
+        ..IngestConfig::default()
+    }));
     let q = rt
         .register(QuerySpec::new("all", match_all(e), WindowPolicy::Count(4)))
         .unwrap();
@@ -584,14 +577,11 @@ fn per_query_shard_breakdown_sums_to_totals() {
 fn queue_stats_are_monotone_since_start() {
     let mut schema = Schema::new();
     let e = schema.add_relation("E", 1).unwrap();
-    let mut rt = Runtime::with_config(
-        2,
-        IngestConfig {
-            queue_capacity: 16,
-            policy: BackpressurePolicy::DropNewest,
-            ..IngestConfig::default()
-        },
-    );
+    let mut rt = Runtime::new(RuntimeConfig::new(2).with_ingest(IngestConfig {
+        queue_capacity: 16,
+        policy: BackpressurePolicy::DropNewest,
+        ..IngestConfig::default()
+    }));
     rt.register(
         QuerySpec::new("all", match_all(e), WindowPolicy::Count(8))
             .with_partition(Partition::ByKey { pos: 0 }),
@@ -680,8 +670,7 @@ proptest! {
     ) {
         let (_schema, r, s, t) = sigma0_schema();
         let stream = triple_stream(r, s, t, 64);
-        let mut rt = Runtime::new(shards);
-        rt.set_e2e_sample_every(sample_every);
+        let mut rt = Runtime::new(RuntimeConfig::new(shards).with_e2e_sample_every(sample_every));
         let mut ids = Vec::new();
         for (i, &th) in thresholds.iter().enumerate() {
             let mut spec = QuerySpec::new(
