@@ -1,0 +1,85 @@
+//! Live-resharding cost: how long `Runtime::rescale` takes, fence to
+//! resume, versus the shard counts involved and the amount of live
+//! window state that must move.
+//!
+//! Each iteration toggles a loaded runtime between two layouts, so
+//! every measurement is one complete move: zero-width fence through
+//! the striped sequencer, in-memory extract from every old worker,
+//! merge + key-slice redistribution, install under the second block.
+//! The call's wall time is also the upper bound on how long a producer
+//! can be parked by the move (producers only wait on the sequencer
+//! lock and the new queues, both released before `rescale` returns).
+//!
+//! Emits `BENCH_JSON` lines with `elems_per_sec` = events of
+//! accumulated window state moved per second, so the bench gate's
+//! within-run shape ratios (`shards/4` vs `shards/1`, `events/32000`
+//! vs `events/2000`) watch the state-movement hot path the same way
+//! the checkpoint benches watch the serializer.
+
+use cer_bench::multi_query_workload;
+use cer_core::runtime::{Partition, QuerySpec, Runtime};
+use cer_core::window::WindowPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const QUERIES: usize = 4;
+
+/// A runtime with accumulated window state: half the queries pinned,
+/// half key-partitioned, so every shard hosts state and every move
+/// exercises both placement rules.
+fn loaded_runtime(wl: &cer_bench::MultiQueryWorkload, shards: usize, window: u64) -> Runtime {
+    let mut rt = Runtime::new(shards);
+    for (j, pcea) in wl.pceas.iter().enumerate() {
+        let spec = QuerySpec::new(format!("q{j}"), pcea.clone(), WindowPolicy::Count(window));
+        let spec = if j % 2 == 0 && pcea.supports_key_partition(0) {
+            spec.with_partition(Partition::ByKey { pos: 0 })
+        } else {
+            spec
+        };
+        rt.register(spec).expect("register");
+    }
+    rt.push_batch(&wl.stream);
+    rt
+}
+
+fn bench_rescale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rescale_latency");
+
+    // Shard-count family: toggle `shards <-> 2*shards` so every
+    // iteration both grows and shrinks get sampled evenly.
+    const EVENTS: usize = 10_000;
+    let wl = multi_query_workload(QUERIES, EVENTS, 4, 4, 42);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for shards in [1usize, 2, 4] {
+        let mut rt = loaded_runtime(&wl, shards, 512);
+        let mut at_double = false;
+        group.bench_with_input(BenchmarkId::new("move/shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                let to = if at_double { shards } else { shards * 2 };
+                at_double = !at_double;
+                rt.rescale(to).expect("rescale");
+            });
+        });
+    }
+
+    // State-size family: a fixed 2 <-> 4 toggle while the window —
+    // and with it the live state every move must carry — widens. A
+    // broader key domain keeps match enumeration (not what this bench
+    // measures) from swamping the load phase.
+    let wl = multi_query_workload(QUERIES, EVENTS, 16, 16, 42);
+    for window in [256u64, 1_024, 4_096] {
+        let mut rt = loaded_runtime(&wl, 2, window);
+        let mut at_four = false;
+        group.throughput(Throughput::Elements(window));
+        group.bench_with_input(BenchmarkId::new("move/window", window), &window, |b, _| {
+            b.iter(|| {
+                let to = if at_four { 2 } else { 4 };
+                at_four = !at_four;
+                rt.rescale(to).expect("rescale");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rescale);
+criterion_main!(benches);

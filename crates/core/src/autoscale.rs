@@ -1,0 +1,380 @@
+//! Closed-loop elasticity: a hysteresis controller that watches the
+//! load signals the observability layer already produces and drives
+//! [`Runtime::rescale`](crate::runtime::Runtime::rescale) up and down.
+//!
+//! The controller is deliberately **pure**: [`Controller::observe`]
+//! maps a [`LoadSignals`] sample to a [`ScaleDecision`] using only its
+//! own streak counters, so the policy is unit-testable without a
+//! runtime, a clock, or threads. The impure rim —
+//! [`Runtime::autoscale_tick`](crate::runtime::Runtime::autoscale_tick)
+//! — samples [`RuntimeStats`], feeds the
+//! controller, journals every non-hold decision as
+//! [`PipelineEvent::AutoscaleDecision`](crate::metrics::PipelineEvent)
+//! and executes the rescale. Serving deployments poll it from a
+//! background thread (`cer-serve` exposes enable/status over the
+//! protocol); embedded users call it on whatever cadence they like.
+//!
+//! ## Signals and hysteresis
+//!
+//! | signal | meaning | drives |
+//! |---|---|---|
+//! | `max_occupancy` | hottest shard queue depth / capacity | up and down |
+//! | `parks_delta` | producer park episodes since the last tick | up |
+//! | `max_drain_batch` | largest coalesced batch a worker drained | (exposed for operators) |
+//! | `pinned_queries` | live `ByQuery` queries | caps useful scale-up |
+//!
+//! A tick is *hot* when the hottest queue is above
+//! [`AutoscalePolicy::scale_up_occupancy`] or any producer parked;
+//! *cold* when every queue is below
+//! [`AutoscalePolicy::scale_down_occupancy`] and nobody parked. Only
+//! [`AutoscalePolicy::up_after`] consecutive hot ticks (resp.
+//! [`AutoscalePolicy::down_after`] cold ones) trigger a decision, and
+//! every decision is followed by [`AutoscalePolicy::cooldown_ticks`]
+//! held ticks so the post-rescale queues drain before being judged.
+//! Scale-up doubles the shard count, scale-down halves it, both
+//! clamped to `min_shards..=max_shards` — multiplicative steps reach
+//! any target in `O(log)` decisions while the hysteresis keeps the
+//! loop from flapping between adjacent counts.
+
+use crate::runtime::RuntimeStats;
+
+/// The knobs of the hysteresis policy. Construct with
+/// [`AutoscalePolicy::default`] and override fields as needed; the
+/// defaults suit a queue-bound streaming workload polled about once a
+/// second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Never scale below this many shards.
+    pub min_shards: usize,
+    /// Never scale above this many shards (clamped to 64, the
+    /// runtime-wide bound).
+    pub max_shards: usize,
+    /// A tick is hot when some shard queue's occupancy
+    /// (depth / capacity) reaches this fraction.
+    pub scale_up_occupancy: f64,
+    /// A tick is cold when every shard queue's occupancy is at or
+    /// below this fraction (and no producer parked).
+    pub scale_down_occupancy: f64,
+    /// A tick is also hot when at least this many producer park
+    /// episodes happened since the previous tick.
+    pub park_rate_up: u64,
+    /// Consecutive hot ticks before scaling up.
+    pub up_after: u32,
+    /// Consecutive cold ticks before scaling down (deliberately
+    /// larger than `up_after`: adding capacity is urgent, removing it
+    /// is not).
+    pub down_after: u32,
+    /// Ticks held (no decision, streaks reset) after each rescale so
+    /// the new layout's queues reach steady state before being judged.
+    pub cooldown_ticks: u32,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            min_shards: 1,
+            max_shards: 8,
+            scale_up_occupancy: 0.75,
+            scale_down_occupancy: 0.10,
+            park_rate_up: 1,
+            up_after: 3,
+            down_after: 8,
+            cooldown_ticks: 5,
+        }
+    }
+}
+
+/// One tick's worth of load observations, distilled from
+/// [`RuntimeStats`] (see the [module docs](self) for the signal
+/// table). Plain data so policies can be tested against synthetic
+/// load shapes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoadSignals {
+    /// Current worker shard count.
+    pub shards: usize,
+    /// Hottest shard queue: depth / capacity at sample time.
+    pub max_occupancy: f64,
+    /// Mean shard queue occupancy at sample time.
+    pub mean_occupancy: f64,
+    /// Cumulative producer park episodes (the controller diffs
+    /// successive samples itself).
+    pub parks_total: u64,
+    /// Largest coalesced batch any worker drained since start.
+    pub max_drain_batch: usize,
+    /// Live pinned ([`Partition::ByQuery`](crate::runtime::Partition))
+    /// queries: scaling above this only helps keyed queries.
+    pub pinned_queries: usize,
+}
+
+impl LoadSignals {
+    /// Distill a [`RuntimeStats`] sample. `shards` and
+    /// `queue_capacity` come from the runtime because `RuntimeStats`
+    /// carries depths, not capacities.
+    pub fn from_stats(shards: usize, queue_capacity: usize, stats: &RuntimeStats) -> Self {
+        let cap = queue_capacity.max(1) as f64;
+        let occ: Vec<f64> = stats
+            .shard_queues
+            .iter()
+            .map(|q| q.depth as f64 / cap)
+            .collect();
+        let max_occupancy = occ.iter().copied().fold(0.0, f64::max);
+        let mean_occupancy = if occ.is_empty() {
+            0.0
+        } else {
+            occ.iter().sum::<f64>() / occ.len() as f64
+        };
+        LoadSignals {
+            shards,
+            max_occupancy,
+            mean_occupancy,
+            parks_total: 0, // filled by the caller (a pipeline counter, not a QueueStats field)
+            max_drain_batch: stats
+                .shard_queues
+                .iter()
+                .map(|q| q.max_drain_batch)
+                .max()
+                .unwrap_or(0),
+            pinned_queries: stats.per_query.len(),
+        }
+    }
+}
+
+/// What the controller wants done after a tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current shard count.
+    Hold,
+    /// Rescale to `to` shards.
+    Scale {
+        /// The target shard count.
+        to: usize,
+    },
+}
+
+/// The hysteresis controller: feed it one [`LoadSignals`] sample per
+/// tick and act on the returned [`ScaleDecision`]. See the [module
+/// docs](self) for the policy semantics.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    policy: AutoscalePolicy,
+    hot_ticks: u32,
+    cold_ticks: u32,
+    cooldown: u32,
+    last_parks: Option<u64>,
+}
+
+impl Controller {
+    /// A controller with the given policy and cold streak counters.
+    pub fn new(policy: AutoscalePolicy) -> Self {
+        Controller {
+            policy,
+            hot_ticks: 0,
+            cold_ticks: 0,
+            cooldown: 0,
+            last_parks: None,
+        }
+    }
+
+    /// The policy this controller runs.
+    pub fn policy(&self) -> &AutoscalePolicy {
+        &self.policy
+    }
+
+    /// `(hot, cold, cooldown)` streak counters — surfaced so a status
+    /// endpoint can show how close the controller is to a decision.
+    pub fn streaks(&self) -> (u32, u32, u32) {
+        (self.hot_ticks, self.cold_ticks, self.cooldown)
+    }
+
+    /// One tick: classify the sample, advance the streaks, and decide.
+    /// Pure with respect to everything but the controller's own
+    /// counters.
+    pub fn observe(&mut self, s: &LoadSignals) -> ScaleDecision {
+        // Park rate is a delta between successive cumulative samples;
+        // the first sample establishes the baseline.
+        let parks_delta = match self.last_parks.replace(s.parks_total) {
+            Some(prev) => s.parks_total.saturating_sub(prev),
+            None => 0,
+        };
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.hot_ticks = 0;
+            self.cold_ticks = 0;
+            return ScaleDecision::Hold;
+        }
+        let hot = s.max_occupancy >= self.policy.scale_up_occupancy
+            || (self.policy.park_rate_up > 0 && parks_delta >= self.policy.park_rate_up);
+        let cold = !hot && s.max_occupancy <= self.policy.scale_down_occupancy && parks_delta == 0;
+        if hot {
+            self.hot_ticks += 1;
+            self.cold_ticks = 0;
+        } else if cold {
+            self.cold_ticks += 1;
+            self.hot_ticks = 0;
+        } else {
+            self.hot_ticks = 0;
+            self.cold_ticks = 0;
+        }
+        let max = self.policy.max_shards.clamp(1, 64);
+        let min = self.policy.min_shards.clamp(1, max);
+        if self.hot_ticks >= self.policy.up_after && s.shards < max {
+            self.hot_ticks = 0;
+            self.cooldown = self.policy.cooldown_ticks;
+            return ScaleDecision::Scale {
+                to: (s.shards * 2).clamp(min, max),
+            };
+        }
+        if self.cold_ticks >= self.policy.down_after && s.shards > min {
+            self.cold_ticks = 0;
+            self.cooldown = self.policy.cooldown_ticks;
+            return ScaleDecision::Scale {
+                to: (s.shards / 2).clamp(min, max),
+            };
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signals(shards: usize, occ: f64, parks: u64) -> LoadSignals {
+        LoadSignals {
+            shards,
+            max_occupancy: occ,
+            mean_occupancy: occ,
+            parks_total: parks,
+            max_drain_batch: 0,
+            pinned_queries: 0,
+        }
+    }
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            up_after: 3,
+            down_after: 4,
+            cooldown_ticks: 2,
+            ..AutoscalePolicy::default()
+        }
+    }
+
+    #[test]
+    fn scale_up_needs_a_hot_streak() {
+        let mut c = Controller::new(policy());
+        // Two hot ticks, one lukewarm tick: streak resets, no decision.
+        assert_eq!(c.observe(&signals(2, 0.9, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(2, 0.9, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(2, 0.4, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(2, 0.9, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(2, 0.9, 0)), ScaleDecision::Hold);
+        // Third consecutive hot tick: double.
+        assert_eq!(
+            c.observe(&signals(2, 0.9, 0)),
+            ScaleDecision::Scale { to: 4 }
+        );
+    }
+
+    #[test]
+    fn park_episodes_count_as_hot() {
+        let mut c = Controller::new(policy());
+        // Parks are cumulative; each tick with a positive delta is hot
+        // even at low occupancy.
+        assert_eq!(c.observe(&signals(1, 0.1, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(1, 0.1, 3)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(1, 0.1, 6)), ScaleDecision::Hold);
+        assert_eq!(
+            c.observe(&signals(1, 0.1, 9)),
+            ScaleDecision::Scale { to: 2 }
+        );
+    }
+
+    #[test]
+    fn scale_down_needs_a_longer_cold_streak_and_respects_min() {
+        let mut c = Controller::new(policy());
+        for _ in 0..3 {
+            assert_eq!(c.observe(&signals(4, 0.0, 0)), ScaleDecision::Hold);
+        }
+        assert_eq!(
+            c.observe(&signals(4, 0.0, 0)),
+            ScaleDecision::Scale { to: 2 }
+        );
+        // At min_shards a cold streak decides nothing.
+        let mut c = Controller::new(policy());
+        for _ in 0..16 {
+            assert_eq!(c.observe(&signals(1, 0.0, 0)), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn cooldown_suppresses_and_resets() {
+        let mut c = Controller::new(policy());
+        for _ in 0..2 {
+            c.observe(&signals(2, 0.9, 0));
+        }
+        assert_eq!(
+            c.observe(&signals(2, 0.9, 0)),
+            ScaleDecision::Scale { to: 4 }
+        );
+        // cooldown_ticks = 2: two held ticks even under full heat,
+        // then the streak starts over from zero.
+        assert_eq!(c.observe(&signals(4, 1.0, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(4, 1.0, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(4, 1.0, 0)), ScaleDecision::Hold);
+        assert_eq!(c.observe(&signals(4, 1.0, 0)), ScaleDecision::Hold);
+        assert_eq!(
+            c.observe(&signals(4, 1.0, 0)),
+            ScaleDecision::Scale { to: 8 }
+        );
+    }
+
+    #[test]
+    fn max_shards_caps_the_doubling() {
+        let mut c = Controller::new(AutoscalePolicy {
+            max_shards: 6,
+            ..policy()
+        });
+        for _ in 0..2 {
+            c.observe(&signals(4, 0.9, 0));
+        }
+        assert_eq!(
+            c.observe(&signals(4, 0.9, 0)),
+            ScaleDecision::Scale { to: 6 }
+        );
+        // Already at max: hot streaks hold.
+        let mut c = Controller::new(AutoscalePolicy {
+            max_shards: 4,
+            ..policy()
+        });
+        for _ in 0..10 {
+            assert_eq!(c.observe(&signals(4, 1.0, 0)), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn load_signals_distill_queue_stats() {
+        use crate::runtime::RuntimeStats;
+        let stats = RuntimeStats {
+            shard_queues: vec![
+                crate::ingest::QueueStats {
+                    depth: 75,
+                    high_water: 90,
+                    max_drain_batch: 40,
+                    ..Default::default()
+                },
+                crate::ingest::QueueStats {
+                    depth: 25,
+                    high_water: 50,
+                    max_drain_batch: 64,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let s = LoadSignals::from_stats(2, 100, &stats);
+        assert_eq!(s.shards, 2);
+        assert!((s.max_occupancy - 0.75).abs() < 1e-9);
+        assert!((s.mean_occupancy - 0.50).abs() < 1e-9);
+        assert_eq!(s.max_drain_batch, 64);
+    }
+}

@@ -60,14 +60,19 @@
 //! concatenate with remapped node ids, `H` tables union (sound key
 //! partitioning makes replica key sets disjoint: the join key projects
 //! the partition attribute, which determines the shard), window clocks
-//! interleave by position — and the merged state is handed to every
-//! home shard of the new layout. A replica of a key-partitioned query
-//! thus briefly holds state for key slices it no longer owns; that
-//! state is *inert* (tuples for those slices are routed elsewhere, so
-//! it can never fire or enumerate) and expires with the window /
-//! next collection. Outputs are unaffected: each future tuple is
-//! evaluated by exactly one replica, against exactly the runs the
-//! pre-snapshot stream accumulated.
+//! interleave by position — and each home shard of the new layout
+//! receives a copy *pruned to the key slice it owns there*
+//! (`StreamingEvaluator::retain_key_shard`): every `H` entry's owner is
+//! recomputed from its stored join key with the router's hash, entries
+//! that hash elsewhere are dropped, and the arena is compacted around
+//! the survivors. The dropped state is exactly what the tuple router
+//! never sends that shard, so outputs are unaffected — each future
+//! tuple is evaluated by exactly one replica, against exactly the runs
+//! the pre-snapshot stream accumulated. The pruning is not just a
+//! memory optimization: it is what keeps replicas **disjoint**, so the
+//! *next* merge — another restore, a live rescale
+//! ([`Runtime::rescale`](crate::runtime::Runtime::rescale)) — cannot
+//! double-count runs that two homes both held.
 //!
 //! Time-window streams that violate the non-decreasing-timestamp
 //! contract are already shard-count-dependent (see the hazard note in

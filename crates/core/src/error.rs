@@ -56,6 +56,8 @@ pub enum ErrorCode {
     UnknownQuery = 21,
     /// [`RuntimeError::ReplaceIncompatible`].
     ReplaceIncompatible = 22,
+    /// [`RuntimeError::InvalidShardCount`].
+    InvalidShardCount = 23,
     /// [`IngestError::RuntimeClosed`].
     RuntimeClosed = 30,
     /// [`SnapshotError::NotASnapshot`].
@@ -88,6 +90,7 @@ impl ErrorCode {
         ErrorCode::KeyPartitionUnsound,
         ErrorCode::UnknownQuery,
         ErrorCode::ReplaceIncompatible,
+        ErrorCode::InvalidShardCount,
         ErrorCode::RuntimeClosed,
         ErrorCode::NotASnapshot,
         ErrorCode::UnknownSnapshotVersion,
@@ -121,6 +124,7 @@ impl ErrorCode {
             ErrorCode::KeyPartitionUnsound => "key_partition_unsound",
             ErrorCode::UnknownQuery => "unknown_query",
             ErrorCode::ReplaceIncompatible => "replace_incompatible",
+            ErrorCode::InvalidShardCount => "invalid_shard_count",
             ErrorCode::RuntimeClosed => "runtime_closed",
             ErrorCode::NotASnapshot => "not_a_snapshot",
             ErrorCode::UnknownSnapshotVersion => "unknown_snapshot_version",
@@ -179,6 +183,7 @@ impl Error {
                 RuntimeError::KeyPartitionUnsound { .. } => ErrorCode::KeyPartitionUnsound,
                 RuntimeError::UnknownQuery { .. } => ErrorCode::UnknownQuery,
                 RuntimeError::ReplaceIncompatible { .. } => ErrorCode::ReplaceIncompatible,
+                RuntimeError::InvalidShardCount { .. } => ErrorCode::InvalidShardCount,
             },
             Error::Ingest(IngestError::RuntimeClosed) => ErrorCode::RuntimeClosed,
             Error::Snapshot(e) => match e {
@@ -294,6 +299,10 @@ mod tests {
                 ErrorCode::UnknownQuery,
             ),
             (IngestError::RuntimeClosed.into(), ErrorCode::RuntimeClosed),
+            (
+                RuntimeError::InvalidShardCount { shards: 0 }.into(),
+                ErrorCode::InvalidShardCount,
+            ),
             (
                 SnapshotError::UnknownVersion(9).into(),
                 ErrorCode::UnknownSnapshotVersion,

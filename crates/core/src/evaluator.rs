@@ -538,6 +538,31 @@ impl StreamingEvaluator {
         self.stats.collections += other.stats.collections;
     }
 
+    /// Restrict this evaluator to the key slice shard `shard` owns
+    /// under a `(pos, n_shards)` key partition, dropping every run
+    /// whose join key hashes elsewhere.
+    ///
+    /// Called on each home's copy when merged `ByKey` state is
+    /// redistributed (restore into a different shard count,
+    /// `Runtime::rescale`). The dropped state is exactly the slice the
+    /// tuple router never sends this shard, so outputs are unchanged —
+    /// but the pruning is what keeps replicas *disjoint*, which
+    /// [`absorb_replica`](Self::absorb_replica) relies on: merging
+    /// un-pruned full copies would duplicate every in-window run on the
+    /// next rescale or snapshot.
+    pub(crate) fn retain_key_shard(&mut self, pos: usize, shard: usize, n_shards: usize) {
+        self.stats.collections += 1;
+        self.since_gc = 0;
+        self.stage.retain_key_shard(
+            &self.pcea,
+            pos,
+            shard,
+            n_shards,
+            &cer_common::hash::FxBuildHasher::default(),
+            &mut self.ds,
+        );
+    }
+
     /// Zero the counters of a restore-time replica clone so per-query
     /// stats (summed across shards) are not multiplied by the shard
     /// count when merged state is replicated.

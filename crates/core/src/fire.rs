@@ -391,6 +391,72 @@ impl FireStage {
         }
     }
 
+    /// Drop every `H` entry whose join key belongs to a different shard
+    /// of a `(pos, n_shards)` key partition, then compact the arena
+    /// around the survivors.
+    ///
+    /// Soundness of [`Partition::ByKey`](crate::runtime::Partition)
+    /// guarantees ([`Pcea::supports_key_partition`]) that every join
+    /// predicate projects the partition attribute at a common key index
+    /// on both sides — so for each `(transition, slot)` the owning shard
+    /// of an entry is computable from its stored key alone, with exactly
+    /// the hash `key_shard` uses for tuple routing. Entries whose owner
+    /// cannot be determined (no common
+    /// index, short key) are conservatively kept.
+    ///
+    /// This is what makes replica redistribution *idempotent*: a full
+    /// copy of merged state handed to each home of a new layout would
+    /// otherwise hold every other home's runs too, and the next
+    /// merge-of-replicas would duplicate them (see
+    /// [`crate::checkpoint`]).
+    pub(crate) fn retain_key_shard(
+        &mut self,
+        pcea: &Pcea,
+        pos: usize,
+        shard: usize,
+        n_shards: usize,
+        hasher: &cer_common::hash::FxBuildHasher,
+        ds: &mut EnumStructure,
+    ) {
+        use std::hash::BuildHasher;
+        // Per (transition, slot): the key index carrying the partition
+        // attribute, `None` when no common index exists.
+        let key_index: Vec<Vec<Option<u32>>> = pcea
+            .transitions()
+            .iter()
+            .map(|tr| {
+                tr.binary
+                    .iter()
+                    .map(|b| {
+                        let mask =
+                            b.left.projection_index_mask(pos) & b.right.projection_index_mask(pos);
+                        (mask != 0).then(|| mask.trailing_zeros())
+                    })
+                    .collect()
+            })
+            .collect();
+        self.h.retain(|(e_idx, slot, key), _| {
+            match key_index
+                .get(*e_idx as usize)
+                .and_then(|slots| slots.get(*slot as usize))
+                .copied()
+                .flatten()
+            {
+                Some(i) => match key.get(i as usize) {
+                    Some(v) => (hasher.hash_one(v) % n_shards as u64) as usize == shard,
+                    None => true,
+                },
+                None => true,
+            }
+        });
+        // Compact with `lo = 0`: after a merge, `current_lo` is the max
+        // across replicas, which may overshoot a slice that saw older
+        // in-window tuples — expiry is re-applied lazily from the
+        // merged clock at the next position, exactly as in
+        // [`absorb`](Self::absorb).
+        self.collect_garbage(ds, 0);
+    }
+
     /// Copying garbage collection: keep only nodes reachable from live
     /// `H` entries (and the current position's pending nodes), dropping
     /// expired subtrees. Fully transparent to outputs.

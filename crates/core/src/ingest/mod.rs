@@ -155,7 +155,7 @@ mod subscribe;
 pub use queue::QueueStats;
 pub use subscribe::{Subscription, SubscriptionFilter};
 
-pub(crate) use queue::{Closed, ShardMsg, ShardQueue, ShardSnapshot};
+pub(crate) use queue::{Closed, InstallQuery, ShardMsg, ShardQueue, ShardState};
 pub(crate) use subscribe::SubscriptionRegistry;
 
 use crate::metrics::{PipelineEvent, PipelineMetrics};
@@ -378,6 +378,17 @@ pub(crate) struct SeqCore {
     /// The current routing tables; producers clone the [`Arc`] as their
     /// per-block snapshot, registration swaps in a rebuilt copy.
     pub router: Arc<Router>,
+    /// The current shard queue set. Producers snapshot it together with
+    /// their block reservation (one lock acquisition), so a block is
+    /// always staged into the queue set that matches its position in
+    /// block order; `Runtime::rescale` swaps in a new set under the
+    /// same lock that reserves the rescale fence block.
+    pub queues: Arc<[Arc<ShardQueue>]>,
+    /// Every queue a watermark broadcast must reach: the current set,
+    /// plus — mid-rescale — the retiring queues still draining their
+    /// pre-fence backlog. Reset to the current set once the old workers
+    /// detach.
+    pub broadcast: Arc<[Arc<ShardQueue>]>,
 }
 
 impl SeqCore {
@@ -414,10 +425,12 @@ impl SeqCore {
 /// the `Arc`.
 pub(crate) struct IngestShared {
     pub seq: Mutex<SeqCore>,
-    pub queues: Vec<Arc<ShardQueue>>,
     pub subs: SubscriptionRegistry,
     pub config: IngestConfig,
     pub hasher: FxBuildHasher,
+    /// Tuples dropped by queues that a rescale has since retired, so
+    /// drop totals stay monotone across queue-set swaps.
+    pub retired_dropped: std::sync::atomic::AtomicU64,
     /// The runtime's metrics registry and event journal — shared here so
     /// producers, the control plane and the shard workers all record
     /// into the same instance.
@@ -426,6 +439,9 @@ pub(crate) struct IngestShared {
 
 impl IngestShared {
     pub fn new(rc: &crate::config::RuntimeConfig) -> Self {
+        let queues: Arc<[Arc<ShardQueue>]> = (0..rc.shards)
+            .map(|_| Arc::new(ShardQueue::new(rc.ingest.queue_capacity)))
+            .collect();
         IngestShared {
             seq: Mutex::new(SeqCore {
                 next_pos: 0,
@@ -433,15 +449,23 @@ impl IngestShared {
                 head_block: 0,
                 inflight: VecDeque::new(),
                 router: Arc::new(Router::default()),
+                queues: Arc::clone(&queues),
+                broadcast: queues,
             }),
-            queues: (0..rc.shards)
-                .map(|_| Arc::new(ShardQueue::new(rc.ingest.queue_capacity)))
-                .collect(),
             subs: SubscriptionRegistry::default(),
             config: rc.ingest,
             hasher: FxBuildHasher::default(),
+            retired_dropped: std::sync::atomic::AtomicU64::new(0),
             metrics: PipelineMetrics::new(rc.shards, rc.journal_capacity, rc.e2e_sample_every),
         }
+    }
+
+    /// An [`Arc`] snapshot of the current shard queue set (one short
+    /// sequencer lock). Callers that need the set to agree with a block
+    /// reservation must take both under the same lock acquisition
+    /// instead.
+    pub fn queues(&self) -> Arc<[Arc<ShardQueue>]> {
+        Arc::clone(&self.seq.lock().expect("sequencer poisoned").queues)
     }
 
     /// Complete block `id` and, when the low watermark advanced,
@@ -451,9 +475,10 @@ impl IngestShared {
         let advanced = {
             let mut seq = self.seq.lock().expect("sequencer poisoned");
             seq.complete(id)
+                .map(|watermark| (watermark, Arc::clone(&seq.broadcast)))
         };
-        if let Some(watermark) = advanced {
-            for q in &self.queues {
+        if let Some((watermark, queues)) = advanced {
+            for q in queues.iter() {
                 q.release_up_to(watermark);
             }
         }
@@ -473,7 +498,6 @@ impl IngestShared {
         batch: &[Tuple],
         policy: BackpressurePolicy,
     ) -> Result<IngestReceipt, IngestError> {
-        let n_shards = self.queues.len();
         if batch.is_empty() {
             let seq = self.seq.lock().expect("sequencer poisoned");
             return Ok(IngestReceipt {
@@ -484,11 +508,16 @@ impl IngestShared {
         // The ingest timestamp anchors both the sequencer-reserve span
         // and (carried on the staged batch) the end-to-end latency.
         let ingest_at = Instant::now();
-        let (id, start, router) = {
+        // The queue set is snapshotted with the reservation: a block
+        // reserved before a rescale fence stages into the retiring
+        // queues (whose workers drain everything pre-fence before
+        // detaching), a block reserved after stages into the new set.
+        let (id, start, router, queues) = {
             let mut seq = self.seq.lock().expect("sequencer poisoned");
             let (id, start) = seq.reserve(batch.len() as u64);
-            (id, start, Arc::clone(&seq.router))
+            (id, start, Arc::clone(&seq.router), Arc::clone(&seq.queues))
         };
+        let n_shards = queues.len();
         self.metrics
             .seq_reserve
             .record_duration(ingest_at.elapsed());
@@ -529,7 +558,7 @@ impl IngestShared {
                     continue;
                 }
                 let tuples = std::mem::take(&mut staging[s]);
-                match self.queues[s].stage_block(id, tuples, ingest_at, policy) {
+                match queues[s].stage_block(id, tuples, ingest_at, policy) {
                     Ok(d) => {
                         if d > 0 {
                             self.metrics.drops.add(d);
@@ -559,7 +588,7 @@ impl IngestShared {
                 let s = touched.trailing_zeros() as usize;
                 touched &= touched - 1;
                 let park_at = Instant::now();
-                let parked = self.queues[s]
+                let parked = queues[s]
                     .wait_for_room()
                     .map_err(|Closed| IngestError::RuntimeClosed)?;
                 if parked {
@@ -590,12 +619,12 @@ impl IngestShared {
     /// before it: reserved-but-unstaged blocks are fenced too.
     pub fn barrier(&self) -> Result<(), IngestError> {
         let (reply, done) = std::sync::mpsc::channel();
-        let id = {
+        let (id, queues) = {
             let mut seq = self.seq.lock().expect("sequencer poisoned");
-            seq.reserve(0).0
+            (seq.reserve(0).0, Arc::clone(&seq.queues))
         };
         let mut closed = false;
-        for q in &self.queues {
+        for q in queues.iter() {
             if q.stage_control(
                 id,
                 ShardMsg::Barrier {
@@ -612,7 +641,7 @@ impl IngestShared {
         if closed {
             return Err(IngestError::RuntimeClosed);
         }
-        for _ in 0..self.queues.len() {
+        for _ in 0..queues.len() {
             done.recv().map_err(|_| IngestError::RuntimeClosed)?;
         }
         Ok(())
@@ -625,11 +654,16 @@ impl IngestShared {
     /// forever, which is what lets `Runtime::drop` join its workers
     /// under a live, undrained subscriber.
     pub fn close(&self) {
-        let position = self.seq.lock().expect("sequencer poisoned").next_pos;
+        // Close the *broadcast* set: mid-rescale it is a superset of the
+        // current queues, so retiring workers are released too.
+        let (position, queues) = {
+            let seq = self.seq.lock().expect("sequencer poisoned");
+            (seq.next_pos, Arc::clone(&seq.broadcast))
+        };
         self.metrics
             .journal
             .push(PipelineEvent::Shutdown { position });
-        for q in &self.queues {
+        for q in queues.iter() {
             q.close();
         }
         self.subs.close_all();
@@ -664,12 +698,25 @@ impl IngestHandle {
     /// Occupancy counters of every shard queue, including tuples
     /// dropped by [`BackpressurePolicy::DropNewest`].
     pub fn queue_stats(&self) -> Vec<QueueStats> {
-        self.shared.queues.iter().map(|q| q.stats()).collect()
+        self.shared.queues().iter().map(|q| q.stats()).collect()
     }
 
     /// Total tuples dropped across all shard queues so far.
+    ///
+    /// Monotone across rescales: drops accumulated by queues a rescale
+    /// retired are folded into the total when their workers detach.
     pub fn total_dropped(&self) -> u64 {
-        self.shared.queues.iter().map(|q| q.stats().dropped).sum()
+        let retired = self
+            .shared
+            .retired_dropped
+            .load(std::sync::atomic::Ordering::Relaxed);
+        retired
+            + self
+                .shared
+                .queues()
+                .iter()
+                .map(|q| q.stats().dropped)
+                .sum::<u64>()
     }
 }
 
@@ -692,12 +739,15 @@ mod tests {
 
     #[test]
     fn block_tracker_watermark_advances_in_completion_order() {
+        let empty: Arc<[Arc<ShardQueue>]> = Arc::from([]);
         let mut seq = SeqCore {
             next_pos: 0,
             next_block: 0,
             head_block: 0,
             inflight: VecDeque::new(),
             router: Arc::new(Router::default()),
+            queues: Arc::clone(&empty),
+            broadcast: empty,
         };
         let (a, sa) = seq.reserve(3);
         let (b, sb) = seq.reserve(0); // zero-width control block

@@ -33,7 +33,6 @@ use crate::evaluator::{EngineStats, StreamingEvaluator};
 use crate::runtime::{Partition, QueryId, SharedEvalStats};
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
-use cer_common::wire::WireError;
 use cer_common::{RelationId, Tuple};
 use cer_obs::Histogram;
 use std::collections::{BTreeMap, VecDeque};
@@ -80,11 +79,27 @@ pub(crate) enum ShardMsg {
         listens: Option<Vec<RelationId>>,
         state: Option<Box<StreamingEvaluator>>,
     },
-    /// Epoch-block snapshot fence ([`crate::checkpoint`]): serialize
-    /// every hosted query's state at exactly this point of the released
-    /// position order and reply with the per-query blobs plus how long
-    /// the serialization stalled this shard.
-    Snapshot { reply: Sender<ShardSnapshot> },
+    /// Epoch-block state fence shared by snapshot and rescale
+    /// ([`crate::checkpoint`]): capture every hosted query's evaluator
+    /// at exactly this point of the released position order and reply
+    /// with the in-memory [`ShardState`]. `detach: false` (snapshot)
+    /// clones the evaluators and keeps serving; `detach: true`
+    /// (rescale) moves them out — the worker exits after replying and
+    /// its queue is retired.
+    Extract {
+        detach: bool,
+        reply: Sender<ShardState>,
+    },
+    /// Rescale install fence: adopt merged evaluators for the new shard
+    /// topology. The whole shard's worth of queries rides one message
+    /// because the reorder buffer keys entries by block id — a zero-
+    /// width block carries exactly one control message per shard.
+    /// Replies once the state is installed, i.e. this worker serves
+    /// positions from the fence onward.
+    Install {
+        queries: Vec<InstallQuery>,
+        reply: Sender<()>,
+    },
     /// Hot-swap a hosted query's automaton in place
     /// (`Runtime::replace`): the accumulated state is handed to the
     /// recompiled automaton at exactly this point of the position
@@ -114,18 +129,33 @@ pub(crate) enum ShardMsg {
     Barrier { reply: Sender<()> },
 }
 
-/// One shard's reply to a [`ShardMsg::Snapshot`] fence: the state
-/// blobs of every query hosted on the shard, serialized at the epoch
-/// position.
-pub(crate) struct ShardSnapshot {
+/// One shard's reply to a [`ShardMsg::Extract`] fence: the movable
+/// per-shard engine state — every hosted query's evaluator, captured at
+/// the epoch position. This is the in-memory value the checkpoint wire
+/// format encodes on the control plane ([`crate::checkpoint`]) and that
+/// `Runtime::rescale` moves between worker sets with **zero**
+/// encode/decode.
+pub(crate) struct ShardState {
     /// Which shard replied.
     pub shard: usize,
-    /// `(query, state blob)` per hosted query, or the first encode
-    /// error.
-    pub queries: Result<Vec<(QueryId, Vec<u8>)>, WireError>,
-    /// How long the serialization stalled this shard's worker, in
-    /// nanoseconds (surfaced as a `RuntimeStats` snapshot counter).
-    pub serialize_nanos: u64,
+    /// `(query, evaluator)` per hosted query, in hosting order.
+    pub queries: Vec<(QueryId, Box<StreamingEvaluator>)>,
+    /// How long the capture stalled this shard's worker, in nanoseconds
+    /// (surfaced as a `RuntimeStats` counter by both snapshot and
+    /// rescale).
+    pub capture_nanos: u64,
+}
+
+/// One query's ready-to-serve state handed to a new worker during
+/// `Runtime::rescale` — one element of [`ShardMsg::Install`]. The
+/// evaluator carries its own automaton, window clock and GC cadence;
+/// routing metadata rides alongside so the worker can rebuild its
+/// local tables exactly as a restore-time register would.
+pub(crate) struct InstallQuery {
+    pub id: QueryId,
+    pub partition: Partition,
+    pub listens: Option<Vec<RelationId>>,
+    pub state: Box<StreamingEvaluator>,
 }
 
 /// Occupancy counters of one shard queue, readable at any time.
@@ -400,6 +430,12 @@ impl ShardQueue {
     /// completing their position block) or the queue closes. Returns
     /// whether the producer actually parked, so the caller can record
     /// the park episode without charging the uncontended fast path.
+    ///
+    /// A closed queue that *has* room reports success: the producer's
+    /// batch was already admitted, and a rescale retires (drains, then
+    /// closes) old queues concurrently with producers that staged into
+    /// them — only a close that strands the producer at a full queue is
+    /// an error. The next `stage_block` still fails fast.
     pub fn wait_for_room(&self) -> Result<bool, Closed> {
         let mut inner = self.inner.lock().expect("ingest queue poisoned");
         let mut parked = false;
@@ -407,7 +443,7 @@ impl ShardQueue {
             parked = true;
             inner = self.not_full.wait(inner).expect("ingest queue poisoned");
         }
-        if inner.closed {
+        if inner.closed && inner.depth >= self.capacity {
             return Err(Closed);
         }
         Ok(parked)
@@ -671,6 +707,13 @@ mod tests {
             ),
             Err(Closed)
         );
-        assert_eq!(q.wait_for_room(), Err(Closed));
+        // Closed with room (fully drained, as a rescale leaves retired
+        // queues): the admitted batch was not stranded, so no error.
+        assert_eq!(q.wait_for_room(), Ok(false));
+        // Closed while still at/over capacity: the producer is stranded.
+        let full = ShardQueue::new(1);
+        stage_released(&full, 0, stamped(r, 0, 2), BackpressurePolicy::Block).unwrap();
+        full.close();
+        assert_eq!(full.wait_for_room(), Err(Closed));
     }
 }

@@ -34,9 +34,14 @@
 //!   [`Runtime::restore`](runtime::Runtime::restore), no
 //!   stop-the-world, shard count may change across restore) and query
 //!   hot-swap with state handoff
-//!   ([`Runtime::replace`](runtime::Runtime::replace)).
+//!   ([`Runtime::replace`](runtime::Runtime::replace));
+//! * [`autoscale`] — live elasticity: in-process resharding
+//!   ([`Runtime::rescale`](runtime::Runtime::rescale), no serialize
+//!   round-trip) plus the hysteresis [`Controller`] closing the loop
+//!   from load signals to shard count.
 
 pub mod api;
+pub mod autoscale;
 pub mod checkpoint;
 pub mod config;
 pub mod ds;
@@ -51,6 +56,7 @@ mod shared;
 pub mod window;
 
 pub use api::Evaluator;
+pub use autoscale::{AutoscalePolicy, Controller, LoadSignals, ScaleDecision};
 pub use cer_obs::{
     validate_prometheus_text, HistogramSnapshot, JournalEntry, Metric, MetricValue, MetricsSnapshot,
 };
@@ -65,7 +71,7 @@ pub use ingest::{
 };
 pub use metrics::PipelineEvent;
 pub use runtime::{
-    MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
-    SharedEvalStats, SnapshotCounters,
+    MatchEvent, Partition, QueryId, QuerySpec, RescaleCounters, Runtime, RuntimeError,
+    RuntimeStats, SharedEvalStats, SnapshotCounters,
 };
 pub use window::{WindowClock, WindowPolicy};

@@ -116,6 +116,31 @@ pub enum PipelineEvent {
         /// The restored runtime's shard count.
         shards: usize,
     },
+    /// The runtime was live-resharded in place
+    /// ([`Runtime::rescale`](crate::runtime::Runtime::rescale)).
+    Rescale {
+        /// Shard count before the rescale.
+        from: usize,
+        /// Shard count after the rescale.
+        to: usize,
+        /// Stream position of the rescale fence: every tuple stamped
+        /// below it was evaluated by the old worker set, everything at
+        /// or above by the new one.
+        fence_pos: u64,
+        /// Fence-to-resume wall time, in nanoseconds.
+        nanos: u64,
+    },
+    /// The autoscale controller decided to change the shard count (the
+    /// matching [`Rescale`](Self::Rescale) event follows once the move
+    /// completes). Hold decisions are not journaled.
+    AutoscaleDecision {
+        /// Shard count at decision time.
+        from: usize,
+        /// The target shard count.
+        to: usize,
+        /// The stream position when the decision was made.
+        position: u64,
+    },
     /// The pipeline shut down (queues closed, workers draining out).
     Shutdown {
         /// The last stamped position at shutdown.
@@ -135,7 +160,9 @@ impl PipelineEvent {
             | PipelineEvent::QueryReplaced { position, .. }
             | PipelineEvent::SnapshotTaken { position }
             | PipelineEvent::Restored { position, .. }
+            | PipelineEvent::AutoscaleDecision { position, .. }
             | PipelineEvent::Shutdown { position } => *position,
+            PipelineEvent::Rescale { fence_pos, .. } => *fence_pos,
         }
     }
 }
@@ -169,13 +196,20 @@ pub(crate) struct PipelineMetrics {
     pub drops: Counter,
     /// End-to-end ingest→match-delivery latency (sampled).
     pub e2e: Histogram,
-    /// Per-shard serialize stall of snapshot fences.
+    /// Per-shard capture + encode stall of snapshot fences. Untouched
+    /// by `Runtime::rescale` — the rescale path never serializes, and
+    /// the zero-wire test pins that by asserting this stays empty.
     pub snapshot_serialize: Histogram,
     /// Wall-clock duration of `Runtime::restore` calls that built this
     /// runtime (at most one sample, on the restored runtime).
     pub restore: Histogram,
-    /// Per-shard evaluation-stage histograms.
-    pub shards: Vec<ShardStageMetrics>,
+    /// Fence-to-resume duration of `Runtime::rescale` calls.
+    pub rescale: Histogram,
+    /// Per-shard evaluation-stage histograms. Behind a mutex (locked
+    /// only at construction, rescale and metrics export — workers hold
+    /// their own `Arc` and record lock-free) because a rescale swaps in
+    /// a fresh set sized for the new worker count.
+    pub shards: std::sync::Mutex<Vec<std::sync::Arc<ShardStageMetrics>>>,
     /// The bounded event journal.
     pub journal: Journal<PipelineEvent>,
     e2e_ticks: AtomicU64,
@@ -192,9 +226,12 @@ impl PipelineMetrics {
             e2e: Histogram::new(),
             snapshot_serialize: Histogram::new(),
             restore: Histogram::new(),
-            shards: (0..n_shards)
-                .map(|_| ShardStageMetrics::default())
-                .collect(),
+            rescale: Histogram::new(),
+            shards: std::sync::Mutex::new(
+                (0..n_shards)
+                    .map(|_| std::sync::Arc::new(ShardStageMetrics::default()))
+                    .collect(),
+            ),
             journal: Journal::new(journal_capacity.max(1)),
             e2e_ticks: AtomicU64::new(0),
             e2e_sample_every: AtomicU64::new(e2e_sample_every.max(1)),

@@ -74,10 +74,10 @@ use crate::checkpoint::{QueryRecord, Snapshot, SnapshotError};
 use crate::config::RuntimeConfig;
 use crate::evaluator::{EngineStats, StreamingEvaluator};
 use crate::ingest::{
-    key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, QueryMeta, QueueStats,
-    ShardMsg, ShardSnapshot, Subscription, SubscriptionFilter,
+    key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, InstallQuery,
+    QueryMeta, QueueStats, ShardMsg, ShardQueue, ShardState, Subscription, SubscriptionFilter,
 };
-use crate::metrics::PipelineEvent;
+use crate::metrics::{PipelineEvent, ShardStageMetrics};
 use crate::shared::PredicateCache;
 use crate::window::WindowPolicy;
 use cer_automata::pcea::Pcea;
@@ -196,6 +196,13 @@ pub enum RuntimeError {
         /// What failed the compatibility check.
         reason: &'static str,
     },
+    /// [`Runtime::rescale`] was asked for a shard count outside the
+    /// supported `1..=64` range (the same bound
+    /// [`RuntimeConfig`] clamps to at construction).
+    InvalidShardCount {
+        /// The rejected count.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -214,6 +221,9 @@ impl fmt::Display for RuntimeError {
                     f,
                     "query `{query}` cannot take over the old state: {reason}"
                 )
+            }
+            RuntimeError::InvalidShardCount { shards } => {
+                write!(f, "shard count {shards} out of range (1..=64)")
             }
         }
     }
@@ -249,6 +259,10 @@ pub struct RuntimeStats {
     /// were taken, at which position the last one cut, and how long
     /// each shard's copy-on-fence serialization stalled its worker.
     pub snapshots: SnapshotCounters,
+    /// Live-resharding counters ([`Runtime::rescale`]): how many
+    /// rescales ran, the fence-to-resume duration of the last one, and
+    /// each old shard's state-move stall.
+    pub rescales: RescaleCounters,
     /// Shared-evaluation effectiveness, summed across shards: predicate
     /// dedup (distinct vs referenced predicates, prefilter `matches()`
     /// calls performed vs avoided) and skeleton grouping (group count
@@ -295,6 +309,33 @@ pub struct SnapshotCounters {
     /// producers kept running.
     pub shard_serialize_nanos: Vec<u64>,
 }
+
+/// Live-resharding counters surfaced in [`RuntimeStats`], mirroring
+/// [`SnapshotCounters`]. [`Runtime::rescale`] moves state in memory
+/// without touching the wire layer, so these are deliberately separate
+/// from the snapshot counters: a rescale never records into
+/// `shard_serialize_nanos`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RescaleCounters {
+    /// Rescales completed over this runtime's lifetime.
+    pub rescales: u64,
+    /// Fence position of the most recent rescale (`None` before the
+    /// first): tuples stamped below it were evaluated by the old worker
+    /// set, everything at or above by the new one.
+    pub last_fence_pos: Option<u64>,
+    /// Fence-to-resume wall time of the most recent rescale, in
+    /// nanoseconds — from reserving the fence block to the new workers
+    /// acknowledging their installed state.
+    pub last_rescale_nanos: u64,
+    /// Per-old-shard state-capture (move) stall of the most recent
+    /// rescale, in nanoseconds — the in-memory analogue of
+    /// [`SnapshotCounters::shard_serialize_nanos`].
+    pub shard_move_nanos: Vec<u64>,
+}
+
+/// One live query's placement under a rescale's new layout: id,
+/// partition rule, listen set, and the homes chosen for it.
+type Placement = (QueryId, Partition, Option<Vec<RelationId>>, Vec<usize>);
 
 impl RuntimeStats {
     /// Out-of-order timestamps clamped by time-window clocks, summed
@@ -410,7 +451,25 @@ pub struct Runtime {
     workers: Vec<Option<JoinHandle<()>>>,
     queries: Vec<QueryInfo>,
     snap_counters: SnapshotCounters,
+    rescale_counters: RescaleCounters,
     config: RuntimeConfig,
+}
+
+/// Spawn one shard worker. The queue, stage metrics and shard geometry
+/// are per-epoch values passed at spawn time (not read from the shared
+/// state) so [`Runtime::rescale`] can run old and new worker sets
+/// against different queue sets during the hand-off.
+fn spawn_shard_worker(
+    shared: Arc<IngestShared>,
+    queue: Arc<ShardQueue>,
+    stage: Arc<ShardStageMetrics>,
+    shard_idx: usize,
+    n_shards: usize,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("cer-shard-{shard_idx}"))
+        .spawn(move || shard_loop(shared, queue, stage, shard_idx, n_shards))
+        .expect("spawn shard worker")
 }
 
 impl Runtime {
@@ -431,15 +490,25 @@ impl Runtime {
     fn build(config: RuntimeConfig) -> Self {
         let config = config.validated();
         let shared = Arc::new(IngestShared::new(&config));
-        let workers = (0..config.shards)
-            .map(|idx| {
-                let shared = shared.clone();
-                Some(
-                    std::thread::Builder::new()
-                        .name(format!("cer-shard-{idx}"))
-                        .spawn(move || shard_loop(shared, idx))
-                        .expect("spawn shard worker"),
-                )
+        let queues = shared.queues();
+        let stages: Vec<Arc<ShardStageMetrics>> = shared
+            .metrics
+            .shards
+            .lock()
+            .expect("metrics poisoned")
+            .clone();
+        let workers = queues
+            .iter()
+            .zip(stages)
+            .enumerate()
+            .map(|(idx, (queue, stage))| {
+                Some(spawn_shard_worker(
+                    shared.clone(),
+                    queue.clone(),
+                    stage,
+                    idx,
+                    queues.len(),
+                ))
             })
             .collect();
         Runtime {
@@ -447,18 +516,30 @@ impl Runtime {
             workers,
             queries: Vec::new(),
             snap_counters: SnapshotCounters::default(),
+            rescale_counters: RescaleCounters::default(),
             config,
         }
     }
 
     /// The (validated) configuration this runtime was built from.
+    /// [`RuntimeConfig::shards`] tracks [`Runtime::rescale`], so it
+    /// reflects the *current* worker count, not necessarily the
+    /// construction-time one.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
     }
 
-    /// Number of worker shards.
+    /// Number of worker shards (live: follows [`Runtime::rescale`]).
     pub fn num_shards(&self) -> usize {
-        self.shared.queues.len()
+        self.workers.len()
+    }
+
+    /// Cumulative [`RescaleCounters`]: how many times this runtime was
+    /// live-resharded, the last fence position and duration, and the
+    /// per-shard state-move times of the last rescale. Cheaper than
+    /// [`Runtime::stats`] — no worker round-trip.
+    pub fn rescale_counters(&self) -> &RescaleCounters {
+        &self.rescale_counters
     }
 
     /// Number of currently registered (not deregistered) queries.
@@ -489,10 +570,10 @@ impl Runtime {
     /// The shared registration path: `state` carries a restored
     /// evaluator (checkpoint restore) to seed the shard workers with
     /// instead of fresh state. Key-partitioned restored queries get a
-    /// clone of the merged state on *every* home shard — see
-    /// [`crate::checkpoint`] for why the stale-slice portion is inert —
-    /// with the merged counters on the first home only, so per-query
-    /// stats summed across shards stay exact.
+    /// clone of the merged state on *every* home shard, pruned to the
+    /// key slice that home owns — see [`crate::checkpoint`] for why
+    /// disjointness matters — with the merged counters on the first
+    /// home only, so per-query stats summed across shards stay exact.
     fn register_with_state(
         &mut self,
         spec: QuerySpec,
@@ -510,18 +591,28 @@ impl Runtime {
         let listens = spec.pcea.relations();
         let n_homes = match spec.partition {
             Partition::ByQuery => 1,
-            Partition::ByKey { .. } => self.shared.queues.len(),
+            Partition::ByKey { .. } => self.num_shards(),
         };
         // Replica clones are prepared before the sequencer lock: cloning
         // a large restored arena under the lock would stall producers.
+        // Under `ByKey`, each home's copy is pruned to the key slice it
+        // owns in the *new* layout — replicas must stay disjoint or the
+        // next merge (rescale, restore) would duplicate in-window runs.
         let mut states: Vec<Option<Box<StreamingEvaluator>>> = (0..n_homes).map(|_| None).collect();
         if let Some(eval) = state {
-            for slot in states.iter_mut().skip(1) {
+            for (k, slot) in states.iter_mut().enumerate().skip(1) {
                 let mut clone = eval.clone();
                 clone.clear_replica_stats();
+                if let Partition::ByKey { pos } = spec.partition {
+                    clone.retain_key_shard(pos, k, n_homes);
+                }
                 *slot = Some(Box::new(clone));
             }
-            states[0] = Some(Box::new(eval));
+            let mut first = eval;
+            if let Partition::ByKey { pos } = spec.partition {
+                first.retain_key_shard(pos, 0, n_homes);
+            }
+            states[0] = Some(Box::new(first));
         }
         let (block, position) = {
             // One sequencer lock acquisition swaps the router AND
@@ -531,13 +622,14 @@ impl Runtime {
             // released ahead of the Register message; blocks after see
             // the query and follow it.
             let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            let n_shards = seq.queues.len();
             let homes: Vec<usize> = match spec.partition {
                 Partition::ByQuery => {
-                    let counts = seq.router.pinned_per_shard(self.shared.queues.len());
+                    let counts = seq.router.pinned_per_shard(n_shards);
                     let least = (0..counts.len()).min_by_key(|&s| counts[s]).unwrap_or(0);
                     vec![least]
                 }
-                Partition::ByKey { .. } => (0..self.shared.queues.len()).collect(),
+                Partition::ByKey { .. } => (0..n_shards).collect(),
             };
             let router = Arc::make_mut(&mut seq.router);
             router.metas.push(QueryMeta {
@@ -549,7 +641,7 @@ impl Runtime {
             router.rebuild();
             let (block, position) = seq.reserve(0);
             for (k, &shard) in homes.iter().enumerate() {
-                self.shared.queues[shard]
+                seq.queues[shard]
                     .stage_control(
                         block,
                         ShardMsg::Register {
@@ -609,7 +701,7 @@ impl Runtime {
             router.rebuild();
             let (block, position) = seq.reserve(0);
             for &shard in &homes {
-                self.shared.queues[shard]
+                seq.queues[shard]
                     .stage_control(
                         block,
                         ShardMsg::Deregister {
@@ -662,38 +754,29 @@ impl Runtime {
             let mut probe = WireWriter::new();
             spec.encode(&mut probe)?;
         }
-        let (reply, replies) = channel();
-        let (block, position) = {
-            // The epoch block: reserved and staged to every shard under
-            // one sequencer lock acquisition, like register/deregister.
-            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
-            let (block, position) = seq.reserve(0);
-            for q in &self.shared.queues {
-                q.stage_control(
-                    block,
-                    ShardMsg::Snapshot {
-                        reply: reply.clone(),
-                    },
-                )
-                .map_err(|_| SnapshotError::ShardWorkerDied)?;
-            }
-            (block, position)
-        };
-        self.shared.finish_block(block);
-        drop(reply);
-        let n_shards = self.shared.queues.len();
+        // Extract: the epoch-fenced copy-on-fence capture, shared with
+        // `rescale`. Workers clone their hosted evaluators at the fence
+        // and keep serving.
+        let (fence_pos, states) = self
+            .extract_states()
+            .map_err(|_| SnapshotError::ShardWorkerDied)?;
+        let position = fence_pos;
+        let n_shards = states.len();
+        // Encode: the wire layer, snapshot-only. The workers resumed
+        // the moment their clone finished; serialization happens here
+        // on the control plane against the extracted copies. Per-shard
+        // `serialize_nanos` keeps its meaning — capture stall plus
+        // encode time.
         let mut per_shard_nanos = vec![0u64; n_shards];
         let mut blobs: FxHashMap<QueryId, Vec<(usize, Vec<u8>)>> = FxHashMap::default();
-        for _ in 0..n_shards {
-            let ShardSnapshot {
-                shard,
-                queries,
-                serialize_nanos,
-            } = replies.recv().map_err(|_| SnapshotError::ShardWorkerDied)?;
-            per_shard_nanos[shard] = serialize_nanos;
-            for (qid, blob) in queries? {
+        for state in states {
+            let encode_at = Instant::now();
+            let shard = state.shard;
+            for (qid, mut eval) in state.queries {
+                let blob = eval.snapshot_bytes()?;
                 blobs.entry(qid).or_default().push((shard, blob));
             }
+            per_shard_nanos[shard] = state.capture_nanos + encode_at.elapsed().as_nanos() as u64;
         }
         self.snap_counters.snapshots_taken += 1;
         self.snap_counters.last_snapshot_pos = Some(position);
@@ -725,6 +808,327 @@ impl Runtime {
             origin_shards: n_shards,
             queries,
         })
+    }
+
+    /// The extract half of the snapshot path: reserve one zero-width
+    /// epoch block through the striped sequencer and have every shard
+    /// worker capture (clone) its hosted evaluators at exactly that
+    /// point of the released position order, without stopping
+    /// producers. Returns the fence position and one [`ShardState`]
+    /// per shard, in shard order. No bytes are produced — encoding is
+    /// [`Runtime::snapshot`]'s half; [`Runtime::rescale`] consumes the
+    /// detaching variant of the same capture directly.
+    fn extract_states(&mut self) -> Result<(u64, Vec<ShardState>), ()> {
+        let (reply, replies) = channel();
+        let (block, position, n_shards) = {
+            // Reserved and staged to every shard under one sequencer
+            // lock acquisition, like register/deregister.
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            let (block, position) = seq.reserve(0);
+            for q in seq.queues.iter() {
+                q.stage_control(
+                    block,
+                    ShardMsg::Extract {
+                        detach: false,
+                        reply: reply.clone(),
+                    },
+                )
+                .map_err(|_| ())?;
+            }
+            (block, position, seq.queues.len())
+        };
+        self.shared.finish_block(block);
+        drop(reply);
+        let mut states = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            states.push(replies.recv().map_err(|_| ())?);
+        }
+        states.sort_by_key(|s| s.shard);
+        Ok((position, states))
+    }
+
+    /// Live, in-process resharding: tear the worker set down to
+    /// `shards` threads (or up), moving every query's accumulated
+    /// state across — no serialize round-trip, producers blocked no
+    /// longer than the fence. [`IngestHandle`]s, subscriptions and
+    /// [`QueryId`]s all survive; stamping resumes at the fence
+    /// position, so outputs are identical to never having rescaled.
+    ///
+    /// Mechanically this is a two-block fence through the striped
+    /// sequencer, installed under one lock acquisition:
+    ///
+    /// ```text
+    ///  old queues ── …tuples… ─ B:Extract(detach)        ×closed×
+    ///  new queues ──────────── B+1:Install ─ …tuples (held)…──►
+    /// ```
+    ///
+    /// * every query is re-homed for the new count and the router
+    ///   swapped, so blocks reserved *after* the fence route to the
+    ///   new queues;
+    /// * fence block `B` carries a detaching extract to the old
+    ///   workers: each drains its entire pre-fence backlog, hands its
+    ///   evaluators over, and exits;
+    /// * install block `B+1` is completed only once the merged state
+    ///   has been staged to the new queues, and the reorder stage
+    ///   releases blocks strictly in order — so the new workers adopt
+    ///   their state *before* the first post-fence tuple, which waited
+    ///   in the reorder buffer, not in a parked producer.
+    ///
+    /// The merge is restore's, minus the wire: arenas concatenate with
+    /// remapped ids, `H` tables union, window clocks interleave,
+    /// counters sum — all on in-memory values
+    /// (`StreamingEvaluator::absorb_replica`). The snapshot
+    /// serialization histogram is untouched by construction.
+    ///
+    /// Ordering vs the other control operations
+    /// (`register`/`deregister`/`replace`/`snapshot`): all of them,
+    /// and `rescale` itself, take `&mut self`, so they are serialized
+    /// by construction — a rescale can neither interleave with nor
+    /// deadlock against another structural change, and each one
+    /// fences FIFO with ingestion through its control block's position
+    /// in the reserve order. Concurrent producers ([`IngestHandle`])
+    /// and consumers ([`Subscription`]) keep running throughout.
+    pub fn rescale(&mut self, shards: usize) -> Result<(), RuntimeError> {
+        if shards == 0 || shards > 64 {
+            return Err(RuntimeError::InvalidShardCount { shards });
+        }
+        let old_n = self.num_shards();
+        // Everything construction-like happens before the fence.
+        let new_queues: Arc<[Arc<ShardQueue>]> = (0..shards)
+            .map(|_| Arc::new(ShardQueue::new(self.config.ingest.queue_capacity)))
+            .collect();
+        let new_stages: Vec<Arc<ShardStageMetrics>> = (0..shards)
+            .map(|_| Arc::new(ShardStageMetrics::default()))
+            .collect();
+        let (reply, replies) = channel();
+        let fence_at = Instant::now();
+        // Phase 1 — the fence. One sequencer lock acquisition re-homes
+        // every live query, swaps the router and the queue set, and
+        // reserves both control blocks, so the routing epoch agrees
+        // with block order exactly as in register/deregister.
+        let (fence_block, install_block, fence_pos, old_queues, placements) = {
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            let old_queues = Arc::clone(&seq.queues);
+            let router = Arc::make_mut(&mut seq.router);
+            // Deterministic re-placement: pinned queries go least-
+            // loaded in id order; keyed queries home on every shard.
+            let mut pinned = vec![0usize; shards];
+            let mut placements: Vec<Placement> = Vec::new();
+            for (i, meta) in router.metas.iter_mut().enumerate() {
+                if !meta.alive {
+                    continue;
+                }
+                meta.homes = match meta.partition {
+                    Partition::ByQuery => {
+                        let least = (0..shards).min_by_key(|&s| pinned[s]).unwrap_or(0);
+                        pinned[least] += 1;
+                        vec![least]
+                    }
+                    Partition::ByKey { .. } => (0..shards).collect(),
+                };
+                placements.push((
+                    QueryId(i as u32),
+                    meta.partition,
+                    meta.listens.clone(),
+                    meta.homes.clone(),
+                ));
+            }
+            router.rebuild();
+            let (fence_block, fence_pos) = seq.reserve(0);
+            let (install_block, _) = seq.reserve(0);
+            seq.queues = Arc::clone(&new_queues);
+            // Watermark broadcasts must keep reaching the retiring
+            // queues until their workers hand their state over.
+            seq.broadcast = old_queues
+                .iter()
+                .chain(new_queues.iter())
+                .cloned()
+                .collect();
+            for q in old_queues.iter() {
+                q.stage_control(
+                    fence_block,
+                    ShardMsg::Extract {
+                        detach: true,
+                        reply: reply.clone(),
+                    },
+                )
+                .expect("runtime not shut down");
+            }
+            (
+                fence_block,
+                install_block,
+                fence_pos,
+                old_queues,
+                placements,
+            )
+        };
+        self.shared.finish_block(fence_block);
+        drop(reply);
+        // Phase 2 — the new workers spawn immediately; their queues
+        // hold everything back until the install block releases.
+        let new_workers: Vec<Option<JoinHandle<()>>> = new_queues
+            .iter()
+            .zip(&new_stages)
+            .enumerate()
+            .map(|(idx, (queue, stage))| {
+                Some(spawn_shard_worker(
+                    self.shared.clone(),
+                    queue.clone(),
+                    stage.clone(),
+                    idx,
+                    shards,
+                ))
+            })
+            .collect();
+        // Phase 3 — collect the detached state. A reply proves that
+        // shard evaluated everything below the fence.
+        let mut states: Vec<ShardState> = Vec::with_capacity(old_n);
+        for _ in 0..old_n {
+            states.push(
+                replies
+                    .recv()
+                    .expect("a runtime shard worker died during rescale"),
+            );
+        }
+        states.sort_by_key(|s| s.shard);
+        let shard_move_nanos: Vec<u64> = states.iter().map(|s| s.capture_nanos).collect();
+        // Phase 4 — merge in memory: exactly restore's merge, no bytes.
+        let mut by_query: FxHashMap<QueryId, Vec<StreamingEvaluator>> = FxHashMap::default();
+        for state in states {
+            for (qid, eval) in state.queries {
+                by_query.entry(qid).or_default().push(*eval);
+            }
+        }
+        let mut installs: Vec<Vec<InstallQuery>> = (0..shards).map(|_| Vec::new()).collect();
+        for (id, partition, listens, homes) in placements {
+            let replicas = by_query.remove(&id).unwrap_or_default();
+            let mut merged =
+                merge_replicas(replicas).expect("live query hosted on at least one old shard");
+            merged.set_resume_position(fence_pos);
+            // Same replication rule as a restored registration: the
+            // merged counters live on the first home only, clones on
+            // the others report zero, so stats summed across shards
+            // stay exact — and each `ByKey` home keeps only the key
+            // slice it owns in the new layout, so the replicas handed
+            // out are disjoint and the *next* rescale's merge cannot
+            // duplicate runs.
+            for &shard in homes.iter().skip(1) {
+                let mut clone = merged.clone();
+                clone.clear_replica_stats();
+                if let Partition::ByKey { pos } = partition {
+                    clone.retain_key_shard(pos, shard, shards);
+                }
+                installs[shard].push(InstallQuery {
+                    id,
+                    partition,
+                    listens: listens.clone(),
+                    state: Box::new(clone),
+                });
+            }
+            if let Partition::ByKey { pos } = partition {
+                merged.retain_key_shard(pos, homes[0], shards);
+            }
+            installs[homes[0]].push(InstallQuery {
+                id,
+                partition,
+                listens,
+                state: Box::new(merged),
+            });
+        }
+        // Phase 5 — install under the second block. One batched message
+        // per new shard (the reorder buffer holds one entry per block
+        // id); empty shards still get one, so every queue passes the
+        // fence and every worker acknowledges.
+        let (ireply, installed) = channel();
+        for (shard, queries) in installs.into_iter().enumerate() {
+            new_queues[shard]
+                .stage_control(
+                    install_block,
+                    ShardMsg::Install {
+                        queries,
+                        reply: ireply.clone(),
+                    },
+                )
+                .expect("runtime not shut down");
+        }
+        self.shared.finish_block(install_block);
+        drop(ireply);
+        for _ in 0..shards {
+            installed
+                .recv()
+                .expect("a runtime shard worker died during rescale");
+        }
+        let nanos = fence_at.elapsed().as_nanos() as u64;
+        // Phase 6 — retire the old epoch: fold the retiring queues'
+        // drop totals into the monotone carry-over, shrink the
+        // broadcast set back to the live queues, and reap the old
+        // workers (they exited at the fence; close() is for any that
+        // died early).
+        let retired: u64 = old_queues.iter().map(|q| q.stats().dropped).sum();
+        self.shared
+            .retired_dropped
+            .fetch_add(retired, std::sync::atomic::Ordering::Relaxed);
+        {
+            let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
+            seq.broadcast = Arc::clone(&seq.queues);
+        }
+        for q in old_queues.iter() {
+            q.close();
+        }
+        let old_workers = std::mem::replace(&mut self.workers, new_workers);
+        for mut worker in old_workers {
+            if let Some(handle) = worker.take() {
+                let _ = handle.join();
+            }
+        }
+        *self.shared.metrics.shards.lock().expect("metrics poisoned") = new_stages;
+        self.config.shards = shards;
+        self.rescale_counters.rescales += 1;
+        self.rescale_counters.last_fence_pos = Some(fence_pos);
+        self.rescale_counters.last_rescale_nanos = nanos;
+        self.rescale_counters.shard_move_nanos = shard_move_nanos;
+        self.shared.metrics.rescale.record(nanos);
+        self.shared.metrics.journal.push(PipelineEvent::Rescale {
+            from: old_n,
+            to: shards,
+            fence_pos,
+            nanos,
+        });
+        Ok(())
+    }
+
+    /// One autoscaling tick: sample the load signals
+    /// ([`crate::autoscale::LoadSignals`]), feed them to the
+    /// controller, and when it decides to move, journal the decision
+    /// ([`PipelineEvent::AutoscaleDecision`]) and run the
+    /// [`rescale`](Self::rescale). Returns the `(from, to)` move when
+    /// one happened. Call on any cadence — the controller's hysteresis
+    /// is tick-based, not wall-clock-based.
+    pub fn autoscale_tick(
+        &mut self,
+        controller: &mut crate::autoscale::Controller,
+    ) -> Result<Option<(usize, usize)>, RuntimeError> {
+        use crate::autoscale::{LoadSignals, ScaleDecision};
+        let stats = self.stats();
+        let mut signals =
+            LoadSignals::from_stats(self.num_shards(), self.config.ingest.queue_capacity, &stats);
+        signals.parks_total = self.shared.metrics.parks.get();
+        match controller.observe(&signals) {
+            ScaleDecision::Hold => Ok(None),
+            ScaleDecision::Scale { to } => {
+                let from = self.num_shards();
+                self.shared
+                    .metrics
+                    .journal
+                    .push(PipelineEvent::AutoscaleDecision {
+                        from,
+                        to,
+                        position: self.next_position(),
+                    });
+                self.rescale(to)?;
+                Ok(Some((from, to)))
+            }
+        }
     }
 
     /// Rebuild a runtime from a [`Snapshot`] with `shards` worker
@@ -777,18 +1181,16 @@ impl Runtime {
                 rt.push_retired_placeholder(record.name.clone());
                 continue;
             };
-            // Merge the captured shard replicas into one evaluator;
-            // `register_with_state` re-replicates it across the new
-            // layout's home shards.
-            let mut merged: Option<StreamingEvaluator> = None;
-            for blob in &record.blobs {
-                let eval = StreamingEvaluator::from_snapshot_bytes(spec.pcea.clone(), blob)?;
-                match &mut merged {
-                    None => merged = Some(eval),
-                    Some(m) => m.absorb_replica(eval),
-                }
-            }
-            let mut eval = merged.unwrap_or_else(|| {
+            // Decode the captured shard replicas (the wire half), then
+            // merge them through the same in-memory path `rescale`
+            // uses; `register_with_state` re-replicates the result
+            // across the new layout's home shards.
+            let replicas = record
+                .blobs
+                .iter()
+                .map(|blob| StreamingEvaluator::from_snapshot_bytes(spec.pcea.clone(), blob))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut eval = merge_replicas(replicas).unwrap_or_else(|| {
                 let mut fresh =
                     StreamingEvaluator::with_window(spec.pcea.clone(), spec.window.clone());
                 fresh.set_gc_every(spec.gc_every);
@@ -814,7 +1216,7 @@ impl Runtime {
             .record_duration(restore_at.elapsed());
         rt.shared.metrics.journal.push(PipelineEvent::Restored {
             position: snapshot.position,
-            shards: rt.shared.queues.len(),
+            shards: rt.num_shards(),
         });
         Ok(rt)
     }
@@ -916,7 +1318,7 @@ impl Runtime {
             router.rebuild();
             let (block, position) = seq.reserve(0);
             for &shard in &homes {
-                self.shared.queues[shard]
+                seq.queues[shard]
                     .stage_control(
                         block,
                         ShardMsg::Replace {
@@ -1048,8 +1450,9 @@ impl Runtime {
     /// Aggregate counters: per-query engine stats summed across shards,
     /// plus per-shard ingest queue occupancy.
     pub fn stats(&self) -> RuntimeStats {
+        let queues = self.shared.queues();
         let (reply, results) = channel();
-        for q in &self.shared.queues {
+        for q in queues.iter() {
             q.push_control(ShardMsg::Stats {
                 reply: reply.clone(),
             })
@@ -1074,9 +1477,9 @@ impl Runtime {
             shared_total.group_sizes.extend(sh.group_sizes);
         }
         assert!(
-            received == self.shared.queues.len(),
+            received == queues.len(),
             "a runtime shard worker died before reporting stats ({received}/{} replies)",
-            self.shared.queues.len()
+            queues.len()
         );
         let mut per_query: Vec<(QueryId, EngineStats)> = agg.into_iter().collect();
         per_query.sort_by_key(|(id, _)| *id);
@@ -1089,8 +1492,9 @@ impl Runtime {
         RuntimeStats {
             per_query,
             per_query_shards,
-            shard_queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
+            shard_queues: queues.iter().map(|q| q.stats()).collect(),
             snapshots: self.snap_counters.clone(),
+            rescales: self.rescale_counters.clone(),
             shared: shared_total,
         }
     }
@@ -1170,10 +1574,18 @@ impl Runtime {
             &[],
             m.restore.snapshot(),
         );
+        out.push_histogram(
+            "cer_rescale_nanos",
+            "Fence-to-resume duration of live rescales",
+            &[],
+            m.rescale.snapshot(),
+        );
 
         // Per-shard stage histograms (same metric name, shard label —
         // grouped per name so the text exposition stays contiguous).
-        for (i, sm) in m.shards.iter().enumerate() {
+        let stages: Vec<Arc<ShardStageMetrics>> =
+            m.shards.lock().expect("metrics poisoned").clone();
+        for (i, sm) in stages.iter().enumerate() {
             out.push_histogram(
                 "cer_shard_eval_nanos",
                 "Whole drained-batch evaluation time per shard",
@@ -1181,7 +1593,7 @@ impl Runtime {
                 sm.eval.snapshot(),
             );
         }
-        for (i, sm) in m.shards.iter().enumerate() {
+        for (i, sm) in stages.iter().enumerate() {
             out.push_histogram(
                 "cer_shared_prefilter_nanos",
                 "Shared-prefilter phase of batch evaluation per shard",
@@ -1189,7 +1601,7 @@ impl Runtime {
                 sm.prefilter.snapshot(),
             );
         }
-        for (i, sm) in m.shards.iter().enumerate() {
+        for (i, sm) in stages.iter().enumerate() {
             out.push_histogram(
                 "cer_eval_tail_nanos",
                 "Fire/index/enumerate tail of batch evaluation per shard",
@@ -1197,7 +1609,8 @@ impl Runtime {
                 sm.eval_tail.snapshot(),
             );
         }
-        for (i, q) in self.shared.queues.iter().enumerate() {
+        let live_queues = self.shared.queues();
+        for (i, q) in live_queues.iter().enumerate() {
             out.push_histogram(
                 "cer_reorder_hold_nanos",
                 "Time staged blocks waited in the reorder buffer",
@@ -1205,7 +1618,7 @@ impl Runtime {
                 q.reorder_hold.snapshot(),
             );
         }
-        for (i, q) in self.shared.queues.iter().enumerate() {
+        for (i, q) in live_queues.iter().enumerate() {
             out.push_histogram(
                 "cer_queue_wait_nanos",
                 "Time released batches waited in the shard FIFO",
@@ -1244,6 +1657,12 @@ impl Runtime {
             "Snapshots successfully taken",
             &[],
             stats.snapshots.snapshots_taken,
+        );
+        out.push_counter(
+            "cer_rescales_total",
+            "Live rescales successfully completed",
+            &[],
+            stats.rescales.rescales,
         );
 
         // Per-shard queue gauges and counters (from QueueStats; the
@@ -1392,6 +1811,26 @@ impl Drop for Runtime {
     }
 }
 
+/// Merge one query's shard replicas, in ascending shard order, into a
+/// single evaluator: arenas concatenate with remapped node ids, the
+/// `H` join indexes union, window clocks interleave, counters sum
+/// ([`StreamingEvaluator::absorb_replica`]; [`crate::checkpoint`] for
+/// the soundness argument). The shared in-memory half of the merge —
+/// restore feeds it decoded blobs, rescale the moved evaluators
+/// directly. `None` when the query had no replica.
+fn merge_replicas(
+    replicas: impl IntoIterator<Item = StreamingEvaluator>,
+) -> Option<StreamingEvaluator> {
+    let mut merged: Option<StreamingEvaluator> = None;
+    for eval in replicas {
+        match &mut merged {
+            None => merged = Some(eval),
+            Some(m) => m.absorb_replica(eval),
+        }
+    }
+    merged
+}
+
 fn sum_stats(acc: &mut EngineStats, st: &EngineStats) {
     acc.positions += st.positions;
     acc.arena_nodes += st.arena_nodes;
@@ -1402,15 +1841,60 @@ fn sum_stats(acc: &mut EngineStats, st: &EngineStats) {
     acc.ts_regressions += st.ts_regressions;
 }
 
+/// Adopt an evaluator into a worker's hosting structures: intern its
+/// predicate slots, append it to `queries`, and place it in a skeleton
+/// group. The shared tail of the `Register` and `Install` (rescale
+/// hand-off) paths; the caller rebuilds the local routing tables after
+/// the last adoption.
+#[allow(clippy::too_many_arguments)]
+fn host_query(
+    queries: &mut Vec<LocalQuery>,
+    groups: &mut Vec<QueryGroup>,
+    cache: &mut PredicateCache,
+    id: QueryId,
+    eval: StreamingEvaluator,
+    partition: Partition,
+    listens: Option<Vec<RelationId>>,
+) {
+    let slots = eval
+        .pcea()
+        .transitions()
+        .iter()
+        .map(|tr| cache.intern(&tr.unary))
+        .collect();
+    let k = queries.len();
+    let last_regressions = eval.stats().ts_regressions;
+    queries.push(LocalQuery {
+        id,
+        eval,
+        partition,
+        listens,
+        slots,
+        group: 0,
+        last_regressions,
+    });
+    let gi = find_or_create_group(groups, queries, k);
+    queries[k].group = gi;
+    groups[gi].members.push(k);
+}
+
 /// One worker thread: hosts its queries' evaluators and a local routing
 /// table, drains its bounded ingest queue in FIFO order — coalescing
 /// consecutive tuple batches up to [`IngestConfig::max_batch`] per
 /// wakeup — evaluates each query's subsequence of the coalesced slice
 /// through the vectorized batch path, and publishes completed matches
 /// to the subscription registry.
-fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
-    let n_shards = shared.queues.len();
-    let queue = shared.queues[shard_idx].clone();
+///
+/// The queue, stage histograms and shard geometry are spawn-time
+/// parameters: they name the worker's *epoch*, and a rescale replaces
+/// the whole worker set rather than mutating a running worker.
+fn shard_loop(
+    shared: Arc<IngestShared>,
+    queue: Arc<ShardQueue>,
+    stage: Arc<ShardStageMetrics>,
+    shard_idx: usize,
+    n_shards: usize,
+) {
     let max_batch = shared.config.max_batch.max(1);
     let hasher = FxBuildHasher::default();
     let mut queries: Vec<LocalQuery> = Vec::new();
@@ -1449,7 +1933,6 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                 let ingest_at = batch.ingest_at;
                 let tuples = batch.tuples;
                 let eval_at = std::time::Instant::now();
-                let stage = &shared.metrics.shards[shard_idx];
                 // Enumerating outputs only pays off if someone is
                 // listening for the query's events; gate once per batch
                 // rather than per tuple (subscriber churn mid-batch is
@@ -1546,43 +2029,72 @@ fn shard_loop(shared: Arc<IngestShared>, shard_idx: usize) {
                         fresh
                     }
                 };
-                let slots = eval
-                    .pcea()
-                    .transitions()
-                    .iter()
-                    .map(|tr| cache.intern(&tr.unary))
-                    .collect();
-                let k = queries.len();
-                let last_regressions = eval.stats().ts_regressions;
-                queries.push(LocalQuery {
+                host_query(
+                    &mut queries,
+                    &mut groups,
+                    &mut cache,
                     id,
                     eval,
                     partition,
                     listens,
-                    slots,
-                    group: 0,
-                    last_regressions,
-                });
-                let gi = find_or_create_group(&mut groups, &queries, k);
-                queries[k].group = gi;
-                groups[gi].members.push(k);
+                );
                 rebuild_local(&groups, &mut routes, &mut wildcards);
             }
-            ShardMsg::Snapshot { reply } => {
-                // Copy-on-fence: serialize every hosted query at this
+            ShardMsg::Extract { detach, reply } => {
+                // Copy-on-fence: capture every hosted query at this
                 // exact point of the released position order. Shards
                 // hit their fences concurrently; producers keep staging
-                // later blocks meanwhile.
+                // later blocks meanwhile. No bytes here — a snapshot
+                // encodes the capture on the control plane, a rescale
+                // never encodes at all.
                 let started = std::time::Instant::now();
-                let blobs: Result<Vec<_>, _> = queries
-                    .iter_mut()
-                    .map(|q| q.eval.snapshot_bytes().map(|blob| (q.id, blob)))
+                if detach {
+                    // Rescale hand-off: move the evaluators out and
+                    // exit — this worker's queue is retired, and the
+                    // reply doubles as proof the entire pre-fence
+                    // backlog was evaluated.
+                    let extracted = queries
+                        .drain(..)
+                        .map(|q| (q.id, Box::new(q.eval)))
+                        .collect();
+                    let _ = reply.send(ShardState {
+                        shard: shard_idx,
+                        queries: extracted,
+                        capture_nanos: started.elapsed().as_nanos() as u64,
+                    });
+                    return;
+                }
+                let cloned = queries
+                    .iter()
+                    .map(|q| (q.id, Box::new(q.eval.clone())))
                     .collect();
-                let _ = reply.send(ShardSnapshot {
+                let _ = reply.send(ShardState {
                     shard: shard_idx,
-                    queries: blobs,
-                    serialize_nanos: started.elapsed().as_nanos() as u64,
+                    queries: cloned,
+                    capture_nanos: started.elapsed().as_nanos() as u64,
                 });
+            }
+            ShardMsg::Install {
+                queries: moved,
+                reply,
+            } => {
+                // Rescale hand-off, receiving side: adopt the merged
+                // evaluators before the first post-fence tuple (the
+                // reorder stage held every later block back until this
+                // message's block completed).
+                for iq in moved {
+                    host_query(
+                        &mut queries,
+                        &mut groups,
+                        &mut cache,
+                        iq.id,
+                        *iq.state,
+                        iq.partition,
+                        iq.listens,
+                    );
+                }
+                rebuild_local(&groups, &mut routes, &mut wildcards);
+                let _ = reply.send(());
             }
             ShardMsg::Replace {
                 id,

@@ -9,7 +9,14 @@
 //!
 //! ```text
 //! cer_loadgen [--addr HOST:PORT] [--connections N] [--events N] [--batch N]
+//!             [--rescale N@k]
 //! ```
+//!
+//! `--rescale N@k` makes connection 0 live-reshard the server every `k`
+//! batches, toggling between `N` shards and the server's starting count
+//! (so both grow and shrink moves are exercised). The exact-match
+//! assertion still holds: a rescale must not lose, duplicate or reorder
+//! matches.
 
 use cer_common::tuple::tup;
 use cer_core::window::WindowPolicy;
@@ -23,6 +30,9 @@ struct Args {
     connections: usize,
     events: u64,
     batch: usize,
+    /// `Some((shards, every))`: toggle the server between `shards`
+    /// workers and its starting count every `every` batches (conn 0).
+    rescale: Option<(usize, u64)>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         connections: 2,
         events: 20_000,
         batch: 256,
+        rescale: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +63,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--batch needs a number".to_string())?
             }
+            "--rescale" => {
+                let spec = take("--rescale")?;
+                let (shards, every) = spec
+                    .split_once('@')
+                    .ok_or("--rescale needs the form N@k".to_string())?;
+                let shards: usize = shards
+                    .parse()
+                    .map_err(|_| "--rescale target must be a number".to_string())?;
+                let every: u64 = every
+                    .parse()
+                    .map_err(|_| "--rescale cadence must be a number".to_string())?;
+                if shards == 0 || every == 0 {
+                    return Err("--rescale target and cadence must be positive".to_string());
+                }
+                out.rescale = Some((shards, every));
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -66,16 +93,19 @@ fn parse_args() -> Result<Args, String> {
 struct ConnReport {
     ingested: u64,
     matches: u64,
+    rescales: u64,
 }
 
 /// Drive one connection end to end. Every `--events` tuples form
 /// repeating T/S/R triples that each complete one match for the
 /// standing query, so the expected match count is `events / 3`.
+/// Connection 0 additionally fires `--rescale` moves mid-stream.
 fn run_connection(
     addr: &str,
     conn_id: usize,
     events: u64,
     batch: usize,
+    rescale: Option<(usize, u64)>,
 ) -> Result<ConnReport, Box<dyn std::error::Error + Send + Sync>> {
     let mut client = Client::connect(addr)?;
     // Per-connection relation names: all connections share one stream,
@@ -112,6 +142,12 @@ fn run_connection(
     // Give each connection its own key space so queries don't cross-match.
     let base = (conn_id as i64 + 1) * 1_000_000;
     let mut triple = 0i64;
+    // Mid-run resharding: toggle between the requested count and the
+    // server's starting count so both directions get exercised.
+    let home_shards = client.stats()?.shards as usize;
+    let mut batches = 0u64;
+    let mut rescales = 0u64;
+    let mut at_target = false;
     while ingested < events {
         pending.clear();
         while pending.len() < batch && ingested < events {
@@ -127,6 +163,15 @@ fn run_connection(
             ingested += 1;
         }
         client.ingest(pending.clone())?;
+        batches += 1;
+        if let Some((target, every)) = rescale {
+            if batches.is_multiple_of(every) {
+                let to = if at_target { home_shards } else { target };
+                client.rescale(to)?;
+                at_target = !at_target;
+                rescales += 1;
+            }
+        }
     }
     client.drain()?;
 
@@ -136,7 +181,11 @@ fn run_connection(
     }
     client.unsubscribe()?;
     client.deregister(query)?;
-    Ok(ConnReport { ingested, matches })
+    Ok(ConnReport {
+        ingested,
+        matches,
+        rescales,
+    })
 }
 
 fn main() -> ExitCode {
@@ -147,7 +196,7 @@ fn main() -> ExitCode {
                 eprintln!("cer_loadgen: {msg}");
             }
             eprintln!(
-                "usage: cer_loadgen [--addr HOST:PORT] [--connections N] [--events N] [--batch N]"
+                "usage: cer_loadgen [--addr HOST:PORT] [--connections N] [--events N] [--batch N] [--rescale N@k]"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -185,22 +234,27 @@ fn main() -> ExitCode {
         .map(|conn_id| {
             let addr = addr.clone();
             let (events, batch) = (args.events, args.batch);
-            std::thread::spawn(move || run_connection(&addr, conn_id, events, batch))
+            // Only one connection drives rescales; every connection
+            // must survive them.
+            let rescale = if conn_id == 0 { args.rescale } else { None };
+            std::thread::spawn(move || run_connection(&addr, conn_id, events, batch, rescale))
         })
         .collect();
 
     let mut total_ingested = 0u64;
     let mut total_matches = 0u64;
+    let mut total_rescales = 0u64;
     let mut failed = false;
     for (conn_id, h) in handles.into_iter().enumerate() {
         match h.join() {
             Ok(Ok(report)) => {
                 eprintln!(
-                    "  conn {conn_id}: ingested {} tuples, received {} matches",
-                    report.ingested, report.matches
+                    "  conn {conn_id}: ingested {} tuples, received {} matches, {} rescales",
+                    report.ingested, report.matches, report.rescales
                 );
                 total_ingested += report.ingested;
                 total_matches += report.matches;
+                total_rescales += report.rescales;
             }
             Ok(Err(e)) => {
                 eprintln!("  conn {conn_id}: FAILED: {e}");
@@ -220,10 +274,14 @@ fn main() -> ExitCode {
 
     let secs = elapsed.as_secs_f64().max(1e-9);
     eprintln!(
-        "cer_loadgen: {total_ingested} tuples, {total_matches} matches in {:.3}s ({:.0} tuples/s end-to-end)",
+        "cer_loadgen: {total_ingested} tuples, {total_matches} matches, {total_rescales} rescales in {:.3}s ({:.0} tuples/s end-to-end)",
         elapsed.as_secs_f64(),
         total_ingested as f64 / secs
     );
+    if args.rescale.is_some() && total_rescales == 0 {
+        eprintln!("cer_loadgen: --rescale requested but no rescale fired (raise --events or lower the cadence)");
+        failed = true;
+    }
     // Each T/S/R triple yields exactly one match per owning query.
     let expected = args.connections as u64 * (args.events / 3);
     if total_matches != expected {

@@ -11,8 +11,8 @@
 //! stays usable after it.
 
 use crate::protocol::{
-    decode_message, encode_message, read_frame, write_frame, Frontend, Request, Response,
-    StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    decode_message, encode_message, read_frame, write_frame, AutoscaleSummary, Frontend, Request,
+    Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cer_common::wire::WireError;
 use cer_common::{RelationId, Tuple};
@@ -249,6 +249,33 @@ impl Client {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Ping)? {
             Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Live-reshard the server's runtime to `shards` workers; returns
+    /// `(from, to, fence_to_resume_nanos)`. Ingest, queries and this
+    /// connection's subscription all survive the move.
+    pub fn rescale(&mut self, shards: usize) -> Result<(u64, u64, u64), ClientError> {
+        match self.call(&Request::Rescale { shards })? {
+            Response::Rescaled { from, to, nanos } => Ok((from, to, nanos)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Start or pause the server's autoscale control loop; returns the
+    /// status after the change.
+    pub fn set_autoscale(&mut self, enabled: bool) -> Result<AutoscaleSummary, ClientError> {
+        match self.call(&Request::SetAutoscale { enabled })? {
+            Response::AutoscaleStatus(s) => Ok(s),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// The autoscale controller's current status.
+    pub fn autoscale_status(&mut self) -> Result<AutoscaleSummary, ClientError> {
+        match self.call(&Request::AutoscaleStatus)? {
+            Response::AutoscaleStatus(s) => Ok(s),
             other => Err(ClientError::Unexpected(other)),
         }
     }

@@ -19,7 +19,10 @@
 //! language ([`Frontend::Hcq`] or [`Frontend::Pattern`]), ingest tuple
 //! batches, subscribe to pushed [`MatchEvent`](cer_core::runtime::MatchEvent)
 //! frames with a chosen backpressure policy, fetch stats / Prometheus
-//! metrics / snapshots, fence with drain, and shut the server down
+//! metrics / snapshots, fence with drain, live-reshard the worker set
+//! ([`protocol::Request::Rescale`]) or hand the shard count to the
+//! server's autoscale controller
+//! ([`protocol::Request::SetAutoscale`]), and shut the server down
 //! gracefully. Server-side failures travel as
 //! [`protocol::Response::Error`] carrying the stable
 //! [`cer_core::ErrorCode`] — malformed input never kills the server or
@@ -51,6 +54,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    Frontend, Request, Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    AutoscaleSummary, Frontend, Request, Response, StatsSummary, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server};

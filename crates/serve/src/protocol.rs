@@ -246,6 +246,27 @@ pub enum Request {
     /// Gracefully shut the whole server down (every connection, then
     /// the runtime).
     Shutdown,
+    /// Live-reshard the runtime to `shards` workers in place
+    /// ([`Runtime::rescale`](cer_core::runtime::Runtime::rescale)): an
+    /// epoch fence moves every query's state to a new worker set with
+    /// no serialize round-trip. Ingest and subscriptions stay live.
+    Rescale {
+        /// The target worker count (1..=64).
+        shards: usize,
+    },
+    /// Enable or disable the server's autoscale controller (a
+    /// background thread polling load signals through
+    /// [`Controller`](cer_core::Controller) hysteresis and rescaling
+    /// when a streak confirms). Replies with
+    /// [`Response::AutoscaleStatus`].
+    SetAutoscale {
+        /// `true` starts the control loop, `false` pauses it (the
+        /// controller's streaks reset on re-enable).
+        enabled: bool,
+    },
+    /// The controller's current status
+    /// ([`Response::AutoscaleStatus`]).
+    AutoscaleStatus,
 }
 
 /// A server→client message.
@@ -310,6 +331,37 @@ pub enum Response {
     },
     /// An unsolicited pushed match (after [`Request::Subscribe`]).
     Event(MatchEvent),
+    /// Reply to [`Request::Rescale`].
+    Rescaled {
+        /// Worker count before the move.
+        from: u64,
+        /// Worker count after the move.
+        to: u64,
+        /// Fence-to-resume wall time, in nanoseconds.
+        nanos: u64,
+    },
+    /// Reply to [`Request::SetAutoscale`] and
+    /// [`Request::AutoscaleStatus`].
+    AutoscaleStatus(AutoscaleSummary),
+}
+
+/// The compact numeric reply to [`Request::SetAutoscale`] and
+/// [`Request::AutoscaleStatus`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AutoscaleSummary {
+    /// Whether the control loop is running.
+    pub enabled: bool,
+    /// Current worker shard count.
+    pub shards: u64,
+    /// Rescales performed since the server started (controller-driven
+    /// and explicit [`Request::Rescale`] alike).
+    pub rescales: u64,
+    /// Consecutive hot observations (scale-up streak).
+    pub hot_streak: u64,
+    /// Consecutive cold observations (scale-down streak).
+    pub cold_streak: u64,
+    /// Ticks of post-rescale cooldown remaining.
+    pub cooldown: u64,
 }
 
 /// The compact numeric reply to [`Request::Stats`].
@@ -415,6 +467,15 @@ impl Wire for Request {
             Request::Drain => w.put_u8(10),
             Request::Ping => w.put_u8(11),
             Request::Shutdown => w.put_u8(12),
+            Request::Rescale { shards } => {
+                w.put_u8(13);
+                w.put_len(*shards);
+            }
+            Request::SetAutoscale { enabled } => {
+                w.put_u8(14);
+                w.put_u8(u8::from(*enabled));
+            }
+            Request::AutoscaleStatus => w.put_u8(15),
         }
         Ok(())
     }
@@ -454,6 +515,17 @@ impl Wire for Request {
             10 => Request::Drain,
             11 => Request::Ping,
             12 => Request::Shutdown,
+            13 => Request::Rescale {
+                shards: r.get_len()?,
+            },
+            14 => Request::SetAutoscale {
+                enabled: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Corrupt("autoscale flag out of range")),
+                },
+            },
+            15 => Request::AutoscaleStatus,
             _ => return Err(WireError::Corrupt("unknown request tag")),
         })
     }
@@ -533,6 +605,21 @@ impl Wire for Response {
                 w.put_u32(ev.query.0);
                 ev.valuation.encode(w)?;
             }
+            Response::Rescaled { from, to, nanos } => {
+                w.put_u8(15);
+                w.put_u64(*from);
+                w.put_u64(*to);
+                w.put_u64(*nanos);
+            }
+            Response::AutoscaleStatus(s) => {
+                w.put_u8(16);
+                w.put_u8(u8::from(s.enabled));
+                w.put_u64(s.shards);
+                w.put_u64(s.rescales);
+                w.put_u64(s.hot_streak);
+                w.put_u64(s.cold_streak);
+                w.put_u64(s.cooldown);
+            }
         }
         Ok(())
     }
@@ -577,6 +664,23 @@ impl Wire for Response {
                 position: r.get_u64()?,
                 query: QueryId(r.get_u32()?),
                 valuation: cer_automata::valuation::Valuation::decode(r)?,
+            }),
+            15 => Response::Rescaled {
+                from: r.get_u64()?,
+                to: r.get_u64()?,
+                nanos: r.get_u64()?,
+            },
+            16 => Response::AutoscaleStatus(AutoscaleSummary {
+                enabled: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Corrupt("autoscale flag out of range")),
+                },
+                shards: r.get_u64()?,
+                rescales: r.get_u64()?,
+                hot_streak: r.get_u64()?,
+                cold_streak: r.get_u64()?,
+                cooldown: r.get_u64()?,
             }),
             _ => return Err(WireError::Corrupt("unknown response tag")),
         })
@@ -662,6 +766,9 @@ mod tests {
             Request::Drain,
             Request::Ping,
             Request::Shutdown,
+            Request::Rescale { shards: 4 },
+            Request::SetAutoscale { enabled: true },
+            Request::AutoscaleStatus,
         ];
         for req in reqs {
             let bytes = encode_message(&req).unwrap();
@@ -710,6 +817,19 @@ mod tests {
                 position: 5,
                 query: QueryId(0),
                 valuation: Valuation::empty(2),
+            }),
+            Response::Rescaled {
+                from: 2,
+                to: 4,
+                nanos: 12_345,
+            },
+            Response::AutoscaleStatus(AutoscaleSummary {
+                enabled: true,
+                shards: 4,
+                rescales: 2,
+                hot_streak: 1,
+                cold_streak: 0,
+                cooldown: 3,
             }),
         ];
         for resp in resps {

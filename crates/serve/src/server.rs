@@ -30,13 +30,13 @@
 //! [`Response::Error`] carries; the connection survives all of them.
 
 use crate::protocol::{
-    decode_message, encode_message, read_frame, write_frame, Frontend, Request, Response,
-    StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    decode_message, encode_message, read_frame, write_frame, AutoscaleSummary, Frontend, Request,
+    Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cer_common::Schema;
 use cer_core::ingest::{IngestHandle, SubscriptionFilter};
 use cer_core::runtime::{QuerySpec, Runtime, RuntimeStats};
-use cer_core::{Error, RuntimeConfig};
+use cer_core::{AutoscalePolicy, Controller, Error, RuntimeConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +59,13 @@ pub struct ServeConfig {
     /// threads wake to observe the shutdown flag. Bounds shutdown
     /// latency, not request latency.
     pub poll_interval: Duration,
+    /// Hysteresis policy for the autoscale controller (the loop itself
+    /// starts paused; [`Request::SetAutoscale`] turns it on).
+    pub autoscale: AutoscalePolicy,
+    /// How often the (enabled) autoscale controller samples load
+    /// signals. Streak thresholds in [`ServeConfig::autoscale`] are
+    /// counted in these ticks.
+    pub autoscale_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +75,8 @@ impl Default for ServeConfig {
             max_frame: DEFAULT_MAX_FRAME,
             default_sub_capacity: 1 << 16,
             poll_interval: Duration::from_millis(50),
+            autoscale: AutoscalePolicy::default(),
+            autoscale_interval: Duration::from_millis(100),
         }
     }
 }
@@ -88,6 +97,14 @@ struct Shared {
     /// Cloned once at bind: ingest never touches the `runtime` mutex.
     ingest: IngestHandle,
     shutdown: AtomicBool,
+    /// Whether the autoscale control loop is running. The controller
+    /// thread exists for the server's whole life and idles while this
+    /// is false.
+    autoscale_on: AtomicBool,
+    /// The hysteresis controller's streak state, shared between the
+    /// control loop and status requests. Lock order: `controller`
+    /// before `runtime`, always.
+    controller: Mutex<Controller>,
     config: ServeConfig,
     addr: SocketAddr,
 }
@@ -98,6 +115,7 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    autoscaler: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -114,6 +132,8 @@ impl Server {
             schema: Mutex::new(Schema::new()),
             ingest,
             shutdown: AtomicBool::new(false),
+            autoscale_on: AtomicBool::new(false),
+            controller: Mutex::new(Controller::new(config.autoscale)),
             config,
             addr,
         });
@@ -121,9 +141,14 @@ impl Server {
         let accept = thread::Builder::new()
             .name("cer-serve-accept".into())
             .spawn(move || accept_loop(accept_shared, listener))?;
+        let scale_shared = shared.clone();
+        let autoscaler = thread::Builder::new()
+            .name("cer-serve-autoscale".into())
+            .spawn(move || autoscale_loop(scale_shared))?;
         Ok(Server {
             shared,
             accept: Some(accept),
+            autoscaler: Some(autoscaler),
         })
     }
 
@@ -168,6 +193,9 @@ impl Server {
     /// live connection handles.
     fn begin_stop(&mut self) -> Vec<JoinHandle<()>> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.autoscaler.take() {
+            let _ = h.join();
+        }
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.shared.addr);
         match self.accept.take() {
@@ -225,6 +253,54 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) -> Vec<JoinHandle<()>
         }
     }
     conns
+}
+
+/// The autoscale control loop: one tick per `autoscale_interval`,
+/// sleeping in `poll_interval` slices so shutdown never waits out a
+/// long interval. Each tick (while enabled) feeds current load signals
+/// through the shared [`Controller`] and rescales on a confirmed
+/// streak; a failed rescale leaves the flag up and retries next tick.
+fn autoscale_loop(shared: Arc<Shared>) {
+    let slice = shared
+        .config
+        .poll_interval
+        .min(shared.config.autoscale_interval);
+    let mut slept = Duration::ZERO;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(slice);
+        slept += slice;
+        if slept < shared.config.autoscale_interval {
+            continue;
+        }
+        slept = Duration::ZERO;
+        if !shared.autoscale_on.load(Ordering::SeqCst) {
+            continue;
+        }
+        let mut controller = shared.controller.lock().expect("controller mutex poisoned");
+        let mut guard = shared.runtime.lock().expect("runtime mutex poisoned");
+        if let Some(runtime) = guard.as_mut() {
+            let _ = runtime.autoscale_tick(&mut controller);
+        }
+    }
+}
+
+/// Build the [`Response::AutoscaleStatus`] reply under the shared lock
+/// order (controller, then runtime).
+fn autoscale_status(shared: &Shared) -> Result<Response, Error> {
+    let controller = shared.controller.lock().expect("controller mutex poisoned");
+    let guard = shared.runtime.lock().expect("runtime mutex poisoned");
+    let runtime = guard
+        .as_ref()
+        .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+    let (hot, cold, cooldown) = controller.streaks();
+    Ok(Response::AutoscaleStatus(AutoscaleSummary {
+        enabled: shared.autoscale_on.load(Ordering::SeqCst),
+        shards: runtime.num_shards() as u64,
+        rescales: runtime.rescale_counters().rescales,
+        hot_streak: u64::from(hot),
+        cold_streak: u64::from(cold),
+        cooldown: u64::from(cooldown),
+    }))
 }
 
 /// The per-connection subscription: a stop flag shared with the pusher
@@ -469,6 +545,32 @@ fn handle_request(
             let _ = TcpStream::connect(shared.addr);
             Ok(Response::ShuttingDown)
         }
+        Request::Rescale { shards } => {
+            let mut guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_mut()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            let from = runtime.num_shards() as u64;
+            runtime.rescale(shards).map_err(Error::Runtime)?;
+            Ok(Response::Rescaled {
+                from,
+                to: shards as u64,
+                nanos: runtime.rescale_counters().last_rescale_nanos,
+            })
+        }
+        Request::SetAutoscale { enabled } => {
+            // Re-enabling starts from a clean controller so stale
+            // streaks from a past epoch cannot trigger a move.
+            if enabled && !shared.autoscale_on.swap(true, Ordering::SeqCst) {
+                let mut controller = shared.controller.lock().expect("controller mutex poisoned");
+                *controller = Controller::new(shared.config.autoscale);
+            }
+            if !enabled {
+                shared.autoscale_on.store(false, Ordering::SeqCst);
+            }
+            autoscale_status(shared)
+        }
+        Request::AutoscaleStatus => autoscale_status(shared),
     }
 }
 

@@ -15,9 +15,10 @@
 //!   multi-query [`Runtime`](engine::Runtime) with an asynchronous
 //!   ingestion pipeline ([`IngestHandle`](engine::IngestHandle) producers,
 //!   backpressured shard queues, per-consumer
-//!   [`Subscription`](engine::Subscription) channels) and
+//!   [`Subscription`](engine::Subscription) channels),
 //!   epoch-consistent checkpoint/restore + query hot-swap
-//!   ([`engine::checkpoint`]);
+//!   ([`engine::checkpoint`]), and live elastic resharding with a
+//!   closed autoscaling loop ([`engine::autoscale`]);
 //! * [`serve`] — a std-only TCP serving layer: length-framed wire
 //!   protocol, thread-per-connection [`Server`](serve::Server), blocking
 //!   [`Client`](serve::Client) and a load-generator binary;
@@ -103,6 +104,7 @@ pub mod prelude {
     pub use cer_common::gen::{sigma0_prefix, ChainGen, SensorGen, Sigma0Gen, StarGen, StockGen};
     pub use cer_common::{Schema, SliceStream, Stream, StreamExt, Tuple, Value, VecStream};
     pub use cer_core::api::Evaluator;
+    pub use cer_core::autoscale::{AutoscalePolicy, Controller, LoadSignals, ScaleDecision};
     pub use cer_core::checkpoint::{Snapshot, SnapshotError};
     pub use cer_core::config::RuntimeConfig;
     pub use cer_core::error::{Error, ErrorCode};
@@ -113,8 +115,8 @@ pub mod prelude {
     };
     pub use cer_core::metrics::PipelineEvent;
     pub use cer_core::runtime::{
-        MatchEvent, Partition, QueryId, QuerySpec, Runtime, RuntimeError, RuntimeStats,
-        SharedEvalStats, SnapshotCounters,
+        MatchEvent, Partition, QueryId, QuerySpec, RescaleCounters, Runtime, RuntimeError,
+        RuntimeStats, SharedEvalStats, SnapshotCounters,
     };
     pub use cer_core::window::{WindowClock, WindowPolicy};
     pub use cer_core::{

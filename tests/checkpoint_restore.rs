@@ -111,6 +111,34 @@ fn interrupted(
     sorted(events)
 }
 
+/// Restore into a new shard count, snapshot again *immediately* — no
+/// traffic in between, so no run has expired — and restore once more,
+/// twice over. Each home's replica is pruned to the key slice it owns
+/// at restore time; without that pruning the second merge would see
+/// overlapping replicas and double-count every in-window run of the
+/// key-partitioned queries.
+#[test]
+fn chained_restores_without_traffic_stay_exact() {
+    let mut schema = Schema::new();
+    let specs = spec_set(&mut schema);
+    let stream = mixed_stream(&schema, 240);
+    let window = WindowPolicy::Count(1000); // nothing expires: worst case
+    let cut = 120;
+    let want = uninterrupted(&specs, &window, &stream, 2);
+    let mut rt = Runtime::new(2);
+    register_all(&mut rt, &specs, &window);
+    let mut events = rt.push_batch(&stream[..cut]);
+    // Bounce through three layouts back to back: 2 -> 4 -> 3 -> 2.
+    for shards in [4usize, 3, 2] {
+        let snap = rt.snapshot().expect("snapshot");
+        drop(rt);
+        rt = Runtime::restore(&snap, shards).expect("restore");
+        assert_eq!(rt.next_position(), cut as u64);
+    }
+    events.extend(rt.push_batch(&stream[cut..]));
+    assert_eq!(sorted(events), want);
+}
+
 #[test]
 fn restore_replay_matches_uninterrupted_count_windows() {
     let mut schema = Schema::new();

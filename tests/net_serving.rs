@@ -8,6 +8,9 @@
 //!   socket are exactly the matches an in-process run of the same
 //!   stamped stream produces — with two concurrent connections, one
 //!   query from each front-end.
+//! * Live resharding over the wire: a client moves the server through
+//!   several shard layouts mid-ingest without losing or duplicating a
+//!   match, and drives the autoscale controller on and off.
 //! * Every protocol error path maps to the right [`ErrorCode`] and
 //!   leaves the connection usable; framing violations close it.
 
@@ -232,6 +235,93 @@ fn socket_matches_equal_in_process_matches() {
     // One client asks for shutdown; the server's stop path joins every
     // connection and worker.
     conn_hcq.shutdown_server().unwrap();
+    server.run_until_shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Elastic resharding over the wire
+// ---------------------------------------------------------------------
+
+/// A client live-reshards the server through several layouts while
+/// ingesting a key-partitioned workload; every triple still produces
+/// exactly one match, and the autoscale controller can be handed the
+/// shard count and taken back off it on the same connection.
+#[test]
+fn rescale_and_autoscale_over_the_wire() {
+    use pcea::common::tuple::tup;
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::from(RuntimeConfig::new(2))).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let t = client.declare_relation("T", 1).unwrap();
+    let s = client.declare_relation("S", 2).unwrap();
+    let r = client.declare_relation("R", 2).unwrap();
+    // Key-partitioned: rescales must actually move per-key state.
+    let q = client
+        .submit_query(
+            "elastic",
+            Frontend::Hcq,
+            "Q(x, y) <- T(x), S(x, y), R(x, y)",
+            WindowPolicy::Count(1 << 16),
+            Some(Partition::ByKey { pos: 0 }),
+        )
+        .unwrap();
+    client
+        .subscribe(Some(q), 1 << 14, BackpressurePolicy::Block)
+        .unwrap();
+
+    // Four rounds of ingest, each followed by a move to a new layout
+    // (grow, shrink to one, grow again, settle). Triples are split so
+    // every round leaves open runs for the *next* layout to complete.
+    let mut expected = 0u64;
+    for (round, shards) in [(0i64, 4usize), (1, 1), (2, 3), (3, 2)] {
+        let batch: Vec<Tuple> = (0..120)
+            .map(|i| {
+                let x = round * 1_000 + i / 3;
+                match i % 3 {
+                    0 => tup(t, [x]),
+                    1 => tup(s, [x, x + 1]),
+                    _ => tup(r, [x, x + 1]),
+                }
+            })
+            .collect();
+        expected += 40;
+        client.ingest(batch).unwrap();
+        let (_, to, _) = client.rescale(shards).unwrap();
+        assert_eq!(to, shards as u64);
+        assert_eq!(client.stats().unwrap().shards, shards as u64);
+    }
+    client.drain().unwrap();
+    let got = drain_events(&mut client, Duration::from_millis(500));
+    assert!(got.iter().all(|e| e.query == q));
+    assert_eq!(got.len() as u64, expected, "no match lost or duplicated");
+    let unique: BTreeSet<_> = got.iter().map(event_key).collect();
+    assert_eq!(unique.len() as u64, expected);
+
+    // The moves are visible in the served metrics; the state moved in
+    // memory, so the snapshot serializer never ran.
+    let text = client.metrics_text().unwrap();
+    validate_prometheus_text(&text).expect("exposition parses");
+    assert!(text.contains("cer_rescales_total 4"), "{text}");
+
+    // Autoscale control round-trips on the same connection.
+    let st = client.autoscale_status().unwrap();
+    assert!(!st.enabled, "autoscale starts paused");
+    assert_eq!(st.shards, 2);
+    assert_eq!(st.rescales, 4);
+    let st = client.set_autoscale(true).unwrap();
+    assert!(st.enabled);
+    let st = client.set_autoscale(false).unwrap();
+    assert!(!st.enabled);
+
+    // An invalid shard count is an error, not a dead connection.
+    match client.rescale(0) {
+        Err(e) => assert_eq!(remote_code(e), Some(ErrorCode::InvalidShardCount)),
+        Ok(_) => panic!("rescale(0) must be rejected"),
+    }
+    client.ping().unwrap();
+
+    client.unsubscribe().unwrap();
+    client.shutdown_server().unwrap();
     server.run_until_shutdown();
 }
 
