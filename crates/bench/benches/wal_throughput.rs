@@ -1,0 +1,125 @@
+//! Durability cost on the ingest hot path, and recovery speed.
+//!
+//! `wal_ingest/policy/*` measures tuples/sec of the synchronous
+//! `push_batch` loop over one runtime per WAL fsync policy:
+//!
+//! * `0` — no WAL at all (the in-memory baseline everything is
+//!   ratioed against),
+//! * `1` — `FsyncPolicy::EveryN(256)` (the default group commit),
+//! * `2` — `FsyncPolicy::IntervalMs(5)`,
+//! * `3` — `FsyncPolicy::Always` (one fsync per appended record).
+//!
+//! The WAL writes one framed record per *batch*, so the tax is
+//! dominated by the serialized payload write plus the policy's fsync
+//! cadence. The committed baseline must keep `policy/1` within 0.75×
+//! of `policy/0` — the acceptance bar for group-committed durability.
+//!
+//! `wal_recover/suffix/*` measures tuples/sec of `Runtime::recover`
+//! over a data directory whose WAL holds that many tuples past the
+//! last checkpoint (none here: pure replay), i.e. crash-restart time
+//! as a function of the un-checkpointed suffix.
+//!
+//! Emits `BENCH_JSON` lines (see the criterion shim) with
+//! `elems_per_sec` as the tuples/sec figure, like `ingest_throughput`.
+
+use cer_bench::multi_query_workload;
+use cer_core::config::RuntimeConfig;
+use cer_core::durability::{DurabilityConfig, FsyncPolicy};
+use cer_core::runtime::{QuerySpec, Runtime};
+use cer_core::window::WindowPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::path::PathBuf;
+
+const QUERIES: usize = 4;
+const EVENTS: usize = 4_096;
+const WINDOW: u64 = 64;
+const SHARDS: usize = 4;
+const BATCH: usize = 128;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cer-wal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn register_queries(rt: &mut Runtime, wl: &cer_bench::MultiQueryWorkload) {
+    for (j, pcea) in wl.pceas.iter().enumerate() {
+        rt.register(QuerySpec::new(
+            format!("q{j}"),
+            pcea.clone(),
+            WindowPolicy::Count(WINDOW),
+        ))
+        .expect("register");
+    }
+}
+
+fn bench_wal_ingest(c: &mut Criterion) {
+    let wl = multi_query_workload(QUERIES, EVENTS, 4, 4, 42);
+    let mut group = c.benchmark_group("wal_ingest");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    let policies: [(usize, Option<FsyncPolicy>); 4] = [
+        (0, None),
+        (1, Some(FsyncPolicy::EveryN(256))),
+        (2, Some(FsyncPolicy::IntervalMs(5))),
+        (3, Some(FsyncPolicy::Always)),
+    ];
+    for (idx, fsync) in policies {
+        let dir = scratch(&format!("ingest-{idx}"));
+        let mut rt = match fsync {
+            None => Runtime::new(SHARDS),
+            Some(fsync) => Runtime::open_durable(
+                &dir,
+                RuntimeConfig::new(SHARDS).with_durability(DurabilityConfig {
+                    fsync,
+                    ..DurabilityConfig::default()
+                }),
+            )
+            .expect("open_durable"),
+        };
+        register_queries(&mut rt, &wl);
+        group.bench_with_input(BenchmarkId::new("policy", idx), &idx, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for batch in wl.stream.chunks(BATCH) {
+                    n += rt.push_batch(batch).len();
+                }
+                n
+            });
+        });
+        drop(rt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_wal_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recover");
+    for suffix in [2_000usize, 8_000, 32_000] {
+        let wl = multi_query_workload(QUERIES, suffix, 4, 4, 42);
+        let dir = scratch(&format!("recover-{suffix}"));
+        let config = RuntimeConfig::new(SHARDS).with_durability(DurabilityConfig {
+            fsync: FsyncPolicy::EveryN(256),
+            segment_bytes: 1 << 20,
+            ..DurabilityConfig::default()
+        });
+        let mut rt = Runtime::open_durable(&dir, config).expect("open_durable");
+        register_queries(&mut rt, &wl);
+        for batch in wl.stream.chunks(BATCH) {
+            rt.push_batch(batch);
+        }
+        drop(rt); // the crash; the whole suffix lives in the WAL
+        group.throughput(Throughput::Elements(suffix as u64));
+        group.bench_with_input(BenchmarkId::new("suffix", suffix), &suffix, |b, _| {
+            b.iter(|| {
+                let rt = Runtime::recover(&dir, config).expect("recover");
+                assert_eq!(rt.next_position(), suffix as u64);
+                rt
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_ingest, bench_wal_recover);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! CRC-32 (IEEE 802.3) — the frame checksum for on-disk formats.
+//!
+//! The durability layer frames every WAL record and checkpoint file
+//! with a CRC over its payload so a torn write or bit rot is detected
+//! as corruption rather than decoded as garbage. Table-driven,
+//! byte-at-a-time — fast enough that framing cost is dominated by the
+//! `write(2)` it protects.
+
+/// 256-entry lookup table for the reflected IEEE polynomial `0xEDB88320`.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 state. `Crc32::new().update(a).update(b).finish()`
+/// equals `crc32(a ++ b)` — the streaming checkpoint writer feeds it
+/// one blob at a time.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut s = self.state;
+        for &b in bytes {
+            s = TABLE[((s ^ b as u32) & 0xFF) as usize] ^ (s >> 8);
+        }
+        self.state = s;
+        self
+    }
+
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the ASCII digits.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"position-stamped write-ahead log";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]).update(&data[split..]);
+            assert_eq!(c.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"frame payload".to_vec();
+        let clean = crc32(&data);
+        data[4] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -26,6 +26,7 @@
 //! assert_ne!(r, t);
 //! ```
 
+pub mod crc;
 pub mod error;
 pub mod gen;
 pub mod hash;

@@ -196,6 +196,13 @@ pub struct Snapshot {
     /// Shard count of the captured runtime (informational; restore may
     /// pick any shard count).
     pub(crate) origin_shards: usize,
+    /// The WAL sequence high-water at the epoch cut: every logged
+    /// operation with `wal_seq` below it is reflected in this state,
+    /// everything at or above is not (see [`crate::durability`]).
+    /// Carried in memory for the durability layer's manifest; not part
+    /// of the V1 byte format, so [`from_bytes`](Self::from_bytes)
+    /// yields 0.
+    pub(crate) wal_seq: u64,
     /// Per-query records in id order, retired ids included.
     pub(crate) queries: Vec<QueryRecord>,
 }
@@ -291,6 +298,7 @@ impl Snapshot {
         Ok(Snapshot {
             position,
             origin_shards,
+            wal_seq: 0,
             queries,
         })
     }
@@ -364,6 +372,7 @@ mod tests {
         let snap = Snapshot {
             position: 42,
             origin_shards: 3,
+            wal_seq: 0,
             queries: vec![
                 QueryRecord {
                     id: 0,
@@ -425,6 +434,7 @@ mod tests {
         let snap = Snapshot {
             position: 0,
             origin_shards: 1,
+            wal_seq: 0,
             queries: vec![QueryRecord {
                 id: 0,
                 name: "custom".into(),

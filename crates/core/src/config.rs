@@ -14,6 +14,7 @@
 //! `Runtime::new(4)` keeps compiling: a bare shard count converts into
 //! a config via `From<usize>`, with every other field at its default.
 
+use crate::durability::DurabilityConfig;
 use crate::ingest::IngestConfig;
 use crate::metrics::EVENT_JOURNAL_CAPACITY;
 use crate::runtime::Partition;
@@ -53,6 +54,13 @@ pub struct RuntimeConfig {
     /// How many pipeline events the bounded journal retains before
     /// overwriting the oldest (clamped to ≥ 1; overwrites are counted).
     pub journal_capacity: usize,
+    /// Durability tuning (fsync policy, WAL segment size, checkpoint
+    /// chain length). Inert unless the runtime is opened with a data
+    /// directory ([`Runtime::open_durable`] /
+    /// [`Runtime::recover`](crate::runtime::Runtime::recover)).
+    ///
+    /// [`Runtime::open_durable`]: crate::runtime::Runtime::open_durable
+    pub durability: DurabilityConfig,
 }
 
 impl RuntimeConfig {
@@ -95,12 +103,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Override the durability tuning.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
     /// The config with out-of-range fields clamped into their valid
     /// ranges — what `Runtime` actually constructs from.
     pub(crate) fn validated(mut self) -> Self {
         self.shards = self.shards.clamp(1, 64);
         self.e2e_sample_every = self.e2e_sample_every.max(1);
         self.journal_capacity = self.journal_capacity.max(1);
+        self.durability = self.durability.validated();
         self
     }
 }
@@ -113,6 +128,7 @@ impl Default for RuntimeConfig {
             ingest: IngestConfig::default(),
             e2e_sample_every: 1,
             journal_capacity: EVENT_JOURNAL_CAPACITY,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -141,31 +157,24 @@ mod tests {
         assert_eq!(RuntimeConfig::from(3).ingest, IngestConfig::default());
     }
 
-    /// The pre-`RuntimeConfig` constructor names survive as thin shims
-    /// for one release: same behavior, deprecation warning only.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        use crate::runtime::Runtime;
-        let mut rt = Runtime::with_config(2, IngestConfig::default());
-        assert_eq!(rt.num_shards(), 2);
-        rt.set_e2e_sample_every(4);
-        let snap = rt.snapshot().unwrap();
-        let rt2 = Runtime::restore_with_config(&snap, 3, IngestConfig::default()).unwrap();
-        assert_eq!(rt2.num_shards(), 3);
-        rt2.shutdown();
-        rt.shutdown();
-    }
-
     #[test]
     fn validation_clamps_out_of_range_fields() {
+        use crate::durability::FsyncPolicy;
         let cfg = RuntimeConfig::new(0)
             .with_e2e_sample_every(0)
             .with_journal_capacity(0)
+            .with_durability(DurabilityConfig {
+                fsync: FsyncPolicy::EveryN(0),
+                segment_bytes: 0,
+                full_checkpoint_every: 0,
+            })
             .validated();
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.e2e_sample_every, 1);
         assert_eq!(cfg.journal_capacity, 1);
+        assert_eq!(cfg.durability.fsync, FsyncPolicy::EveryN(1));
+        assert_eq!(cfg.durability.segment_bytes, 4 << 10);
+        assert_eq!(cfg.durability.full_checkpoint_every, 1);
         assert_eq!(RuntimeConfig::new(1000).validated().shards, 64);
     }
 }

@@ -26,6 +26,7 @@
 //! every failure it meets through the same type.
 
 use crate::checkpoint::SnapshotError;
+use crate::durability::DurabilityError;
 use crate::ingest::IngestError;
 use crate::runtime::RuntimeError;
 use cer_common::wire::WireError;
@@ -75,6 +76,24 @@ pub enum ErrorCode {
     Compile = 51,
     /// A serving-layer request was malformed or violated the protocol.
     Protocol = 60,
+    /// [`DurabilityError::WalCorrupt`] — an on-disk durability
+    /// structure failed validation.
+    WalCorrupt = 70,
+    /// [`DurabilityError::WalIo`] — an I/O operation on a durability
+    /// file failed.
+    WalIo = 71,
+    /// [`DurabilityError::ManifestMissing`] — `recover()` found no
+    /// durable artifacts.
+    ManifestMissing = 72,
+    /// [`DurabilityError::RecoverMismatch`] — WAL replay diverged from
+    /// the log.
+    RecoverMismatch = 73,
+    /// [`DurabilityError::NotDurable`] — a durability operation on a
+    /// runtime without a data directory.
+    NotDurable = 74,
+    /// [`RuntimeError::UnserializableQuery`] — a durable runtime
+    /// rejected a query whose predicates cannot be logged.
+    UnserializableQuery = 75,
 }
 
 impl ErrorCode {
@@ -99,6 +118,12 @@ impl ErrorCode {
         ErrorCode::Parse,
         ErrorCode::Compile,
         ErrorCode::Protocol,
+        ErrorCode::WalCorrupt,
+        ErrorCode::WalIo,
+        ErrorCode::ManifestMissing,
+        ErrorCode::RecoverMismatch,
+        ErrorCode::NotDurable,
+        ErrorCode::UnserializableQuery,
     ];
 
     /// The wire value.
@@ -133,6 +158,12 @@ impl ErrorCode {
             ErrorCode::Parse => "parse",
             ErrorCode::Compile => "compile",
             ErrorCode::Protocol => "protocol",
+            ErrorCode::WalCorrupt => "wal_corrupt",
+            ErrorCode::WalIo => "wal_io",
+            ErrorCode::ManifestMissing => "manifest_missing",
+            ErrorCode::RecoverMismatch => "recover_mismatch",
+            ErrorCode::NotDurable => "not_durable",
+            ErrorCode::UnserializableQuery => "unserializable_query",
         }
     }
 }
@@ -159,6 +190,8 @@ pub enum Error {
     Ingest(IngestError),
     /// Checkpoint/restore layer.
     Snapshot(SnapshotError),
+    /// Durability layer (WAL, disk checkpoints, recovery).
+    Durability(DurabilityError),
     /// A front-end parser rejected query text (raised above this crate;
     /// carried as a message).
     Parse(String),
@@ -184,6 +217,7 @@ impl Error {
                 RuntimeError::UnknownQuery { .. } => ErrorCode::UnknownQuery,
                 RuntimeError::ReplaceIncompatible { .. } => ErrorCode::ReplaceIncompatible,
                 RuntimeError::InvalidShardCount { .. } => ErrorCode::InvalidShardCount,
+                RuntimeError::UnserializableQuery { .. } => ErrorCode::UnserializableQuery,
             },
             Error::Ingest(IngestError::RuntimeClosed) => ErrorCode::RuntimeClosed,
             Error::Snapshot(e) => match e {
@@ -194,6 +228,16 @@ impl Error {
                 SnapshotError::UnknownVersion(_) => ErrorCode::UnknownSnapshotVersion,
                 SnapshotError::ShardWorkerDied => ErrorCode::ShardWorkerDied,
                 SnapshotError::BadDefinition(_) => ErrorCode::BadDefinition,
+            },
+            Error::Durability(e) => match e {
+                DurabilityError::WalCorrupt(_) => ErrorCode::WalCorrupt,
+                DurabilityError::WalIo { .. } => ErrorCode::WalIo,
+                DurabilityError::ManifestMissing => ErrorCode::ManifestMissing,
+                DurabilityError::RecoverMismatch(_) => ErrorCode::RecoverMismatch,
+                DurabilityError::NotDurable => ErrorCode::NotDurable,
+                // Layered: a checkpoint failure inside the durability
+                // layer keeps the snapshot (or wire) code.
+                DurabilityError::Snapshot(s) => Error::Snapshot(s.clone()).code(),
             },
             Error::Parse(_) => ErrorCode::Parse,
             Error::Compile(_) => ErrorCode::Compile,
@@ -218,6 +262,7 @@ impl fmt::Display for Error {
             Error::Runtime(e) => write!(f, "runtime error: {e}"),
             Error::Ingest(e) => write!(f, "ingest error: {e}"),
             Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::Durability(e) => write!(f, "durability error: {e}"),
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::Compile(msg) => write!(f, "compile error: {msg}"),
             Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
@@ -255,6 +300,12 @@ impl From<SnapshotError> for Error {
     }
 }
 
+impl From<DurabilityError> for Error {
+    fn from(e: DurabilityError) -> Self {
+        Error::Durability(e)
+    }
+}
+
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -263,6 +314,7 @@ impl std::error::Error for Error {
             Error::Runtime(e) => Some(e),
             Error::Ingest(e) => Some(e),
             Error::Snapshot(e) => Some(e),
+            Error::Durability(e) => Some(e),
             Error::Parse(_) | Error::Compile(_) | Error::Protocol(_) => None,
         }
     }
@@ -316,6 +368,37 @@ mod tests {
             (Error::Parse("bad".into()), ErrorCode::Parse),
             (Error::Compile("bad".into()), ErrorCode::Compile),
             (Error::Protocol("bad".into()), ErrorCode::Protocol),
+            (
+                DurabilityError::WalCorrupt("bad magic").into(),
+                ErrorCode::WalCorrupt,
+            ),
+            (
+                DurabilityError::WalIo {
+                    op: "append",
+                    message: "disk full".into(),
+                }
+                .into(),
+                ErrorCode::WalIo,
+            ),
+            (
+                DurabilityError::ManifestMissing.into(),
+                ErrorCode::ManifestMissing,
+            ),
+            (
+                DurabilityError::RecoverMismatch("seq gap".into()).into(),
+                ErrorCode::RecoverMismatch,
+            ),
+            (DurabilityError::NotDurable.into(), ErrorCode::NotDurable),
+            (
+                // Layering: a snapshot error inside a durability error
+                // keeps the snapshot layer's code.
+                DurabilityError::Snapshot(SnapshotError::NotASnapshot).into(),
+                ErrorCode::NotASnapshot,
+            ),
+            (
+                RuntimeError::UnserializableQuery { query: "q".into() }.into(),
+                ErrorCode::UnserializableQuery,
+            ),
         ];
         for (err, code) in cases {
             assert_eq!(err.code(), code, "{err}");

@@ -368,6 +368,14 @@ impl Router {
 pub(crate) struct SeqCore {
     /// The next global position to stamp.
     pub next_pos: u64,
+    /// The next WAL sequence number. Every operation that needs replay
+    /// (nonempty batch, register, deregister, replace) takes exactly
+    /// one, inside the same lock acquisition that reserves its block —
+    /// so `wal_seq` order is block order, which positions alone cannot
+    /// express (zero-width control blocks share a position with the
+    /// batch reserved next). Advances whether or not a WAL is attached,
+    /// so recovery replay re-derives identical numbering.
+    pub next_wal_seq: u64,
     /// The next block id to assign (dense, reservation-ordered; block
     /// ids order the same way as position ranges).
     next_block: u64,
@@ -404,6 +412,17 @@ impl SeqCore {
         (id, start)
     }
 
+    /// Take the next WAL sequence number. Call only under the same lock
+    /// acquisition as the operation's [`reserve`](Self::reserve) — and
+    /// only on paths that then unconditionally log (or intentionally
+    /// skip logging with no WAL attached): a consumed number that never
+    /// reaches the log would wedge the group-commit drain.
+    pub fn take_wal_seq(&mut self) -> u64 {
+        let seq = self.next_wal_seq;
+        self.next_wal_seq += 1;
+        seq
+    }
+
     /// Mark `id` complete. Returns the new low watermark when it
     /// advanced (the caller must then broadcast it to the shard reorder
     /// buffers), `None` when an earlier block is still in flight.
@@ -435,6 +454,11 @@ pub(crate) struct IngestShared {
     /// producers, the control plane and the shard workers all record
     /// into the same instance.
     pub metrics: PipelineMetrics,
+    /// The write-ahead log, attached once by `Runtime::open_durable` /
+    /// `Runtime::recover` *after* any restore/replay traffic (so replay
+    /// does not re-log itself). `None` on non-durable runtimes: the hot
+    /// path pays one atomic load and skips everything else.
+    pub wal: std::sync::OnceLock<Arc<crate::durability::Wal>>,
 }
 
 impl IngestShared {
@@ -445,6 +469,7 @@ impl IngestShared {
         IngestShared {
             seq: Mutex::new(SeqCore {
                 next_pos: 0,
+                next_wal_seq: 0,
                 next_block: 0,
                 head_block: 0,
                 inflight: VecDeque::new(),
@@ -457,6 +482,42 @@ impl IngestShared {
             hasher: FxBuildHasher::default(),
             retired_dropped: std::sync::atomic::AtomicU64::new(0),
             metrics: PipelineMetrics::new(rc.shards, rc.journal_capacity, rc.e2e_sample_every),
+            wal: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Log a stamped operation to the attached WAL, if any, recording
+    /// append volume and fsync latency. On an append error the WAL has
+    /// already poisoned itself (logging stops, serving continues); this
+    /// journals the failure once. Never fails the operation: its block
+    /// is already stamped and in flight to the shards.
+    pub(crate) fn wal_append(
+        &self,
+        wal_seq: u64,
+        position: u64,
+        payload: Result<Vec<u8>, crate::durability::DurabilityError>,
+    ) {
+        let Some(wal) = self.wal.get() else { return };
+        let appended = match payload {
+            Ok(p) => wal.append(wal_seq, p),
+            Err(e) => {
+                wal.poison();
+                Err(e)
+            }
+        };
+        match appended {
+            Ok(receipt) => {
+                self.metrics.wal_bytes.add(receipt.bytes);
+                self.metrics.wal_records.add(receipt.records);
+                if let Some(nanos) = receipt.fsync_nanos {
+                    self.metrics.wal_fsync.record(nanos);
+                }
+            }
+            Err(_) => {
+                self.metrics
+                    .journal
+                    .push(PipelineEvent::WalFailed { position });
+            }
         }
     }
 
@@ -512,15 +573,29 @@ impl IngestShared {
         // reserved before a rescale fence stages into the retiring
         // queues (whose workers drain everything pre-fence before
         // detaching), a block reserved after stages into the new set.
-        let (id, start, router, queues) = {
+        let (id, start, wal_seq, router, queues) = {
             let mut seq = self.seq.lock().expect("sequencer poisoned");
             let (id, start) = seq.reserve(batch.len() as u64);
-            (id, start, Arc::clone(&seq.router), Arc::clone(&seq.queues))
+            let wal_seq = seq.take_wal_seq();
+            (
+                id,
+                start,
+                wal_seq,
+                Arc::clone(&seq.router),
+                Arc::clone(&seq.queues),
+            )
         };
         let n_shards = queues.len();
         self.metrics
             .seq_reserve
             .record_duration(ingest_at.elapsed());
+        // Log the stamped batch before staging: the WAL sees the full
+        // reserved block (under `DropNewest`, replay may keep tuples
+        // the original run shed — the differential tests use `Block`).
+        if self.wal.get().is_some() {
+            let payload = crate::durability::encode_batch(wal_seq, start, batch);
+            self.wal_append(wal_seq, start, payload);
+        }
         // Outside the lock: route, hash and clone on this producer's
         // thread, striping the per-tuple work across producers. The
         // outer staging vector is thread-local scratch (each staged
@@ -742,6 +817,7 @@ mod tests {
         let empty: Arc<[Arc<ShardQueue>]> = Arc::from([]);
         let mut seq = SeqCore {
             next_pos: 0,
+            next_wal_seq: 0,
             next_block: 0,
             head_block: 0,
             inflight: VecDeque::new(),

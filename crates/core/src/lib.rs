@@ -38,13 +38,18 @@
 //! * [`autoscale`] — live elasticity: in-process resharding
 //!   ([`Runtime::rescale`](runtime::Runtime::rescale), no serialize
 //!   round-trip) plus the hysteresis [`Controller`] closing the loop
-//!   from load signals to shard count.
+//!   from load signals to shard count;
+//! * [`durability`] — crash recovery: a position-stamped write-ahead
+//!   log, incremental disk checkpoints and
+//!   [`Runtime::recover`](runtime::Runtime::recover) /
+//!   [`Runtime::open_durable`](runtime::Runtime::open_durable).
 
 pub mod api;
 pub mod autoscale;
 pub mod checkpoint;
 pub mod config;
 pub mod ds;
+pub mod durability;
 pub mod enumerate;
 pub mod error;
 pub mod evaluator;
@@ -63,6 +68,9 @@ pub use cer_obs::{
 pub use checkpoint::{Snapshot, SnapshotError};
 pub use config::RuntimeConfig;
 pub use ds::{EnumStructure, NodeId, BOTTOM};
+pub use durability::{
+    CheckpointStats, DurabilityConfig, DurabilityError, DurabilityStatus, FsyncPolicy,
+};
 pub use error::{Error, ErrorCode};
 pub use evaluator::{run_to_end, EngineStats, StreamingEvaluator};
 pub use ingest::{

@@ -146,6 +146,47 @@ pub enum PipelineEvent {
         /// The last stamped position at shutdown.
         position: u64,
     },
+    /// WAL recovery truncated a torn tail (a record cut mid-write by
+    /// the crash) off a segment.
+    WalTornTail {
+        /// The recovered stream position (after replay).
+        position: u64,
+        /// Bytes dropped from the segment.
+        bytes_dropped: u64,
+    },
+    /// The active WAL segment was rolled at a checkpoint or rescale
+    /// fence.
+    WalRolled {
+        /// The fence's stream position.
+        position: u64,
+    },
+    /// A WAL append hit an I/O error: logging is disabled from here on
+    /// (fail-open), the runtime keeps serving from memory.
+    WalFailed {
+        /// Start of the position block whose append failed.
+        position: u64,
+    },
+    /// A checkpoint was written and committed to the manifest; WAL
+    /// segments it covers were truncated.
+    CheckpointWritten {
+        /// The checkpoint's epoch cut position.
+        position: u64,
+        /// The checkpoint's epoch number.
+        epoch: u64,
+        /// Bytes written to the checkpoint file.
+        bytes: u64,
+        /// Whether it was a full (chain-base) checkpoint.
+        full: bool,
+    },
+    /// The runtime was rebuilt from disk
+    /// ([`Runtime::recover`](crate::runtime::Runtime::recover)): latest
+    /// checkpoint restored, WAL suffix replayed.
+    Recovered {
+        /// The recovered stream position (stamping resumes here).
+        position: u64,
+        /// WAL records replayed on top of the checkpoint.
+        replayed: u64,
+    },
 }
 
 impl PipelineEvent {
@@ -161,7 +202,12 @@ impl PipelineEvent {
             | PipelineEvent::SnapshotTaken { position }
             | PipelineEvent::Restored { position, .. }
             | PipelineEvent::AutoscaleDecision { position, .. }
-            | PipelineEvent::Shutdown { position } => *position,
+            | PipelineEvent::Shutdown { position }
+            | PipelineEvent::WalTornTail { position, .. }
+            | PipelineEvent::WalRolled { position }
+            | PipelineEvent::WalFailed { position }
+            | PipelineEvent::CheckpointWritten { position, .. }
+            | PipelineEvent::Recovered { position, .. } => *position,
             PipelineEvent::Rescale { fence_pos, .. } => *fence_pos,
         }
     }
@@ -205,6 +251,16 @@ pub(crate) struct PipelineMetrics {
     pub restore: Histogram,
     /// Fence-to-resume duration of `Runtime::rescale` calls.
     pub rescale: Histogram,
+    /// WAL fsync latency (one sample per group-commit sync).
+    pub wal_fsync: Histogram,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: Counter,
+    /// Records appended to the WAL.
+    pub wal_records: Counter,
+    /// Size of the last checkpoint relative to the uncompressed state
+    /// it captured, in basis points (10_000 = no delta savings; 0 = no
+    /// checkpoint yet). A gauge, not a counter.
+    pub ckpt_delta_ratio_bp: AtomicU64,
     /// Per-shard evaluation-stage histograms. Behind a mutex (locked
     /// only at construction, rescale and metrics export — workers hold
     /// their own `Arc` and record lock-free) because a rescale swaps in
@@ -227,6 +283,10 @@ impl PipelineMetrics {
             snapshot_serialize: Histogram::new(),
             restore: Histogram::new(),
             rescale: Histogram::new(),
+            wal_fsync: Histogram::new(),
+            wal_bytes: Counter::new(),
+            wal_records: Counter::new(),
+            ckpt_delta_ratio_bp: AtomicU64::new(0),
             shards: std::sync::Mutex::new(
                 (0..n_shards)
                     .map(|_| std::sync::Arc::new(ShardStageMetrics::default()))
@@ -249,11 +309,6 @@ impl PipelineMetrics {
             .fetch_add(1, Ordering::Relaxed)
             .is_multiple_of(every)
     }
-
-    /// Set the e2e sampling period (clamped to ≥ 1).
-    pub fn set_e2e_sample_every(&self, every: u64) {
-        self.e2e_sample_every.store(every.max(1), Ordering::Relaxed);
-    }
 }
 
 #[cfg(test)]
@@ -262,12 +317,11 @@ mod tests {
 
     #[test]
     fn e2e_sampling_period_is_respected() {
-        let m = PipelineMetrics::new(1, EVENT_JOURNAL_CAPACITY, 1);
-        m.set_e2e_sample_every(4);
+        let m = PipelineMetrics::new(1, EVENT_JOURNAL_CAPACITY, 4);
         let sampled = (0..16).filter(|_| m.e2e_should_sample()).count();
         assert_eq!(sampled, 4);
         // 0 is clamped to 1: every match samples.
-        m.set_e2e_sample_every(0);
+        let m = PipelineMetrics::new(1, EVENT_JOURNAL_CAPACITY, 0);
         let sampled = (0..5).filter(|_| m.e2e_should_sample()).count();
         assert_eq!(sampled, 5);
     }

@@ -25,7 +25,7 @@
 //!   by a striped position-block sequencer ([`crate::ingest`]; producers
 //!   reserve position blocks and route/stage outside any global lock,
 //!   and a per-shard reorder stage restores position order), coalescing
-//!   queued tuples into slices of up to [`IngestConfig::max_batch`] per
+//!   queued tuples into slices of up to [`IngestConfig::max_batch`](crate::ingest::IngestConfig::max_batch) per
 //!   wakeup and evaluating each query's subsequence through the
 //!   vectorized batch path
 //!   ([`StreamingEvaluator::push_slice_for_each`] and the module docs
@@ -72,10 +72,14 @@
 
 use crate::checkpoint::{QueryRecord, Snapshot, SnapshotError};
 use crate::config::RuntimeConfig;
+use crate::durability::{
+    encode_deregister, encode_register, encode_replace, io_err, replay_dir, CheckpointStats,
+    CheckpointStore, DurabilityError, DurabilityHandle, DurabilityStatus, Wal, WalOp, WalRecord,
+};
 use crate::evaluator::{EngineStats, StreamingEvaluator};
 use crate::ingest::{
-    key_shard, BackpressurePolicy, IngestConfig, IngestHandle, IngestShared, InstallQuery,
-    QueryMeta, QueueStats, ShardMsg, ShardQueue, ShardState, Subscription, SubscriptionFilter,
+    key_shard, BackpressurePolicy, IngestHandle, IngestShared, InstallQuery, QueryMeta, QueueStats,
+    ShardMsg, ShardQueue, ShardState, Subscription, SubscriptionFilter,
 };
 use crate::metrics::{PipelineEvent, ShardStageMetrics};
 use crate::shared::PredicateCache;
@@ -86,6 +90,7 @@ use cer_common::hash::{FxBuildHasher, FxHashMap};
 use cer_common::{RelationId, Tuple};
 use cer_obs::{JournalEntry, MetricsSnapshot};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -203,6 +208,15 @@ pub enum RuntimeError {
         /// The rejected count.
         shards: usize,
     },
+    /// A durable runtime rejected a registration (or hot-swap) whose
+    /// definition cannot be serialized to the write-ahead log —
+    /// closure predicates have no wire form, so the query could never
+    /// be recovered. Rejected *before* anything is logged or routed;
+    /// the runtime is unchanged.
+    UnserializableQuery {
+        /// The rejected query's name.
+        query: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -224,6 +238,14 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidShardCount { shards } => {
                 write!(f, "shard count {shards} out of range (1..=64)")
+            }
+            RuntimeError::UnserializableQuery { query } => {
+                write!(
+                    f,
+                    "query `{query}` cannot be written to the WAL (closure \
+                     predicates have no wire form) — a durable runtime would \
+                     lose it on recovery"
+                )
             }
         }
     }
@@ -453,6 +475,12 @@ pub struct Runtime {
     snap_counters: SnapshotCounters,
     rescale_counters: RescaleCounters,
     config: RuntimeConfig,
+    /// `Some` when this runtime was opened on a data directory
+    /// ([`Runtime::open_durable`] / [`Runtime::recover`]): the attached
+    /// WAL plus the checkpoint store. In-memory runtimes carry `None`
+    /// and every durability entry point reports
+    /// [`DurabilityError::NotDurable`].
+    durability: Option<DurabilityHandle>,
 }
 
 /// Spawn one shard worker. The queue, stage metrics and shard geometry
@@ -478,13 +506,6 @@ impl Runtime {
     /// other knob at its default: `Runtime::new(4)`.
     pub fn new(config: impl Into<RuntimeConfig>) -> Self {
         Self::build(config.into())
-    }
-
-    /// A runtime with explicit ingestion knobs (queue capacity and
-    /// backpressure policy).
-    #[deprecated(note = "use Runtime::new(RuntimeConfig::new(shards).with_ingest(config))")]
-    pub fn with_config(shards: usize, config: IngestConfig) -> Self {
-        Self::build(RuntimeConfig::new(shards).with_ingest(config))
     }
 
     fn build(config: RuntimeConfig) -> Self {
@@ -518,6 +539,7 @@ impl Runtime {
             snap_counters: SnapshotCounters::default(),
             rescale_counters: RescaleCounters::default(),
             config,
+            durability: None,
         }
     }
 
@@ -587,6 +609,16 @@ impl Runtime {
                 });
             }
         }
+        // Durable runtimes must be able to log the definition: probe
+        // encodability *before* reserving anything, so a rejection
+        // consumes no `wal_seq` and leaves no gap in the log.
+        if self.shared.wal.get().is_some() {
+            use cer_common::wire::{Wire, WireWriter};
+            let mut probe = WireWriter::new();
+            if spec.encode(&mut probe).is_err() {
+                return Err(RuntimeError::UnserializableQuery { query: spec.name });
+            }
+        }
         let id = QueryId(self.queries.len() as u32);
         let listens = spec.pcea.relations();
         let n_homes = match spec.partition {
@@ -614,7 +646,7 @@ impl Runtime {
             }
             states[0] = Some(Box::new(first));
         }
-        let (block, position) = {
+        let (block, position, wal_seq) = {
             // One sequencer lock acquisition swaps the router AND
             // reserves the zero-width control block, so the routing
             // epoch agrees with block order: blocks reserved before this
@@ -640,6 +672,7 @@ impl Runtime {
             });
             router.rebuild();
             let (block, position) = seq.reserve(0);
+            let wal_seq = seq.take_wal_seq();
             for (k, &shard) in homes.iter().enumerate() {
                 seq.queues[shard]
                     .stage_control(
@@ -656,9 +689,13 @@ impl Runtime {
                     )
                     .expect("runtime not shut down");
             }
-            (block, position)
+            (block, position, wal_seq)
         };
         self.shared.finish_block(block);
+        if self.shared.wal.get().is_some() {
+            let payload = encode_register(wal_seq, position, id.0, &spec);
+            self.shared.wal_append(wal_seq, position, payload);
+        }
         self.shared
             .metrics
             .journal
@@ -688,7 +725,7 @@ impl Runtime {
         info.alive = false;
         info.spec = None;
         let (reply, replies) = channel();
-        let (block, position, homes) = {
+        let (block, position, homes, wal_seq) = {
             // Same epoch rule as `register`: the router swap and the
             // zero-width control block share one lock acquisition, so
             // tuples routed to the dying query (older blocks) are
@@ -700,6 +737,7 @@ impl Runtime {
             let homes = meta.homes.clone();
             router.rebuild();
             let (block, position) = seq.reserve(0);
+            let wal_seq = seq.take_wal_seq();
             for &shard in &homes {
                 seq.queues[shard]
                     .stage_control(
@@ -711,9 +749,13 @@ impl Runtime {
                     )
                     .expect("runtime not shut down");
             }
-            (block, position, homes)
+            (block, position, homes, wal_seq)
         };
         self.shared.finish_block(block);
+        if self.shared.wal.get().is_some() {
+            let payload = Ok(encode_deregister(wal_seq, position, id.0));
+            self.shared.wal_append(wal_seq, position, payload);
+        }
         self.shared
             .metrics
             .journal
@@ -757,7 +799,7 @@ impl Runtime {
         // Extract: the epoch-fenced copy-on-fence capture, shared with
         // `rescale`. Workers clone their hosted evaluators at the fence
         // and keep serving.
-        let (fence_pos, states) = self
+        let (fence_pos, wal_seq, states) = self
             .extract_states()
             .map_err(|_| SnapshotError::ShardWorkerDied)?;
         let position = fence_pos;
@@ -787,6 +829,17 @@ impl Runtime {
             .metrics
             .journal
             .push(PipelineEvent::SnapshotTaken { position });
+        // A durable runtime rolls the active WAL segment at the fence's
+        // `wal_seq`: records below it are exactly the state this
+        // snapshot captured, so a checkpoint built from it can truncate
+        // whole sealed segments.
+        if let Some(wal) = self.shared.wal.get() {
+            wal.roll_at(wal_seq);
+            self.shared
+                .metrics
+                .journal
+                .push(PipelineEvent::WalRolled { position });
+        }
         self.snap_counters.shard_serialize_nanos = per_shard_nanos;
         let queries = self
             .queries
@@ -807,6 +860,7 @@ impl Runtime {
             position,
             origin_shards: n_shards,
             queries,
+            wal_seq,
         })
     }
 
@@ -818,13 +872,20 @@ impl Runtime {
     /// per shard, in shard order. No bytes are produced — encoding is
     /// [`Runtime::snapshot`]'s half; [`Runtime::rescale`] consumes the
     /// detaching variant of the same capture directly.
-    fn extract_states(&mut self) -> Result<(u64, Vec<ShardState>), ()> {
+    ///
+    /// Also returns the `wal_seq` high-water read under the same lock
+    /// acquisition as the fence reservation: every replayable operation
+    /// whose `wal_seq` is below it was reserved before the fence and is
+    /// therefore covered by the captured state — the recovery replay
+    /// filter (`seq >= wal_seq`) is exact, not approximate.
+    fn extract_states(&mut self) -> Result<(u64, u64, Vec<ShardState>), ()> {
         let (reply, replies) = channel();
-        let (block, position, n_shards) = {
+        let (block, position, wal_seq, n_shards) = {
             // Reserved and staged to every shard under one sequencer
             // lock acquisition, like register/deregister.
             let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
             let (block, position) = seq.reserve(0);
+            let wal_seq = seq.next_wal_seq;
             for q in seq.queues.iter() {
                 q.stage_control(
                     block,
@@ -835,7 +896,7 @@ impl Runtime {
                 )
                 .map_err(|_| ())?;
             }
-            (block, position, seq.queues.len())
+            (block, position, wal_seq, seq.queues.len())
         };
         self.shared.finish_block(block);
         drop(reply);
@@ -844,7 +905,7 @@ impl Runtime {
             states.push(replies.recv().map_err(|_| ())?);
         }
         states.sort_by_key(|s| s.shard);
-        Ok((position, states))
+        Ok((position, wal_seq, states))
     }
 
     /// Live, in-process resharding: tear the worker set down to
@@ -906,7 +967,7 @@ impl Runtime {
         // every live query, swaps the router and the queue set, and
         // reserves both control blocks, so the routing epoch agrees
         // with block order exactly as in register/deregister.
-        let (fence_block, install_block, fence_pos, old_queues, placements) = {
+        let (fence_block, install_block, fence_pos, fence_wal_seq, old_queues, placements) = {
             let mut seq = self.shared.seq.lock().expect("sequencer poisoned");
             let old_queues = Arc::clone(&seq.queues);
             let router = Arc::make_mut(&mut seq.router);
@@ -936,6 +997,7 @@ impl Runtime {
             router.rebuild();
             let (fence_block, fence_pos) = seq.reserve(0);
             let (install_block, _) = seq.reserve(0);
+            let fence_wal_seq = seq.next_wal_seq;
             seq.queues = Arc::clone(&new_queues);
             // Watermark broadcasts must keep reaching the retiring
             // queues until their workers hand their state over.
@@ -958,11 +1020,22 @@ impl Runtime {
                 fence_block,
                 install_block,
                 fence_pos,
+                fence_wal_seq,
                 old_queues,
                 placements,
             )
         };
         self.shared.finish_block(fence_block);
+        // A durable runtime rolls the active segment at the fence, so a
+        // recovery replaying across this rescale re-derives the same
+        // fence point from segment boundaries alone (the log carries no
+        // explicit rescale records — shard layout is not durable state).
+        if let Some(wal) = self.shared.wal.get() {
+            wal.roll_at(fence_wal_seq);
+            self.shared.metrics.journal.push(PipelineEvent::WalRolled {
+                position: fence_pos,
+            });
+        }
         drop(reply);
         // Phase 2 — the new workers spawn immediately; their queues
         // hold everything back until the install block releases.
@@ -1142,18 +1215,6 @@ impl Runtime {
         Self::restore_with(snapshot, shards)
     }
 
-    /// [`restore`](Self::restore) with explicit ingestion knobs.
-    #[deprecated(
-        note = "use Runtime::restore_with(snapshot, RuntimeConfig::new(shards).with_ingest(config))"
-    )]
-    pub fn restore_with_config(
-        snapshot: &Snapshot,
-        shards: usize,
-        config: IngestConfig,
-    ) -> Result<Runtime, SnapshotError> {
-        Self::restore_with(snapshot, RuntimeConfig::new(shards).with_ingest(config))
-    }
-
     /// [`restore`](Self::restore) from a full [`RuntimeConfig`] (or a
     /// bare shard count): the restored runtime takes every
     /// construction-time knob — ingest queues, journal capacity, e2e
@@ -1240,6 +1301,241 @@ impl Runtime {
         });
     }
 
+    /// Open a *durable* runtime on `dir`: recover whatever state the
+    /// directory holds (latest checkpoint chain plus the WAL suffix —
+    /// exactly [`recover`](Self::recover)), or initialize a fresh
+    /// durable runtime when the directory is empty. Either way the
+    /// returned runtime logs every replayable operation to the WAL and
+    /// accepts [`checkpoint`](Self::checkpoint) calls.
+    ///
+    /// This is the serving-layer entry point: "point me at a data
+    /// directory" works on first boot and after a crash alike.
+    pub fn open_durable(
+        dir: impl Into<PathBuf>,
+        config: impl Into<RuntimeConfig>,
+    ) -> Result<Runtime, DurabilityError> {
+        Self::recover_inner(dir.into(), config.into(), true)
+    }
+
+    /// Strict crash recovery: rebuild the runtime `dir` was persisting
+    /// — restore the latest manifest checkpoint, replay the WAL suffix
+    /// (`wal_seq >=` the checkpoint's high-water) in stamp order, and
+    /// resume stamping and logging where the crashed process stopped.
+    /// A torn tail (a frame cut mid-write by the crash) is truncated
+    /// away and journaled ([`PipelineEvent::WalTornTail`]); everything
+    /// the crashed process *acknowledged as synced* is reproduced
+    /// exactly — see the [module docs](crate::durability) for the
+    /// replay-order soundness argument.
+    ///
+    /// Fails with [`DurabilityError::ManifestMissing`] when the
+    /// directory holds neither a checkpoint manifest nor any WAL
+    /// segment — recovering "nothing" is almost always an operator
+    /// error (wrong path), so it is not silently turned into a fresh
+    /// runtime; [`open_durable`](Self::open_durable) is the
+    /// recover-or-init entry point.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        config: impl Into<RuntimeConfig>,
+    ) -> Result<Runtime, DurabilityError> {
+        Self::recover_inner(dir.into(), config.into(), false)
+    }
+
+    fn recover_inner(
+        dir: PathBuf,
+        config: RuntimeConfig,
+        allow_fresh: bool,
+    ) -> Result<Runtime, DurabilityError> {
+        let config = config.validated();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create data dir", e))?;
+        let wal_dir = dir.join("wal");
+        std::fs::create_dir_all(&wal_dir).map_err(|e| io_err("create wal dir", e))?;
+        let dcfg = config.durability;
+        let (store, snapshot) = CheckpointStore::open(&dir, dcfg.full_checkpoint_every)?;
+        let wal_present = std::fs::read_dir(&wal_dir)
+            .map_err(|e| io_err("read wal dir", e))?
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            });
+        if !allow_fresh && snapshot.is_none() && !wal_present {
+            return Err(DurabilityError::ManifestMissing);
+        }
+        // Restore the checkpointed base state (or start empty), then
+        // rewind the wal_seq counter to the checkpoint's high-water so
+        // the replayed operations re-derive the crashed process's
+        // numbering — each replayable op consumes exactly one seq, so
+        // matching numbers mean matching order.
+        let from_seq = snapshot.as_ref().map(|s| s.wal_seq).unwrap_or(0);
+        let mut rt = match &snapshot {
+            Some(snap) => Runtime::restore_with(snap, config)?,
+            None => Runtime::build(config),
+        };
+        {
+            let mut seq = rt.shared.seq.lock().expect("sequencer poisoned");
+            seq.next_wal_seq = from_seq;
+        }
+        // Replay the suffix. The WAL is *not* attached yet, so replay
+        // feeds the normal ingest/register paths without re-logging
+        // anything. Every applied record is cross-checked against what
+        // the runtime actually did (stamped position, issued id): a
+        // divergence means the log and the checkpoint disagree, and
+        // continuing would silently fork history.
+        let replay = {
+            let mut expected = from_seq;
+            let mut apply = |rec: WalRecord| -> Result<(), DurabilityError> {
+                if rec.seq != expected {
+                    return Err(DurabilityError::RecoverMismatch(format!(
+                        "wal replay expected record {expected}, found {}",
+                        rec.seq
+                    )));
+                }
+                expected += 1;
+                match rec.op {
+                    WalOp::Batch { start, tuples } => {
+                        let receipt = rt
+                            .shared
+                            .ingest(&tuples, BackpressurePolicy::Block)
+                            .map_err(|_| {
+                                DurabilityError::RecoverMismatch(
+                                    "runtime closed while replaying a batch".into(),
+                                )
+                            })?;
+                        if receipt.positions.start != start {
+                            return Err(DurabilityError::RecoverMismatch(format!(
+                                "replayed batch stamped at {}, logged at {start}",
+                                receipt.positions.start
+                            )));
+                        }
+                    }
+                    WalOp::Register { position, id, spec } => {
+                        check_position("register", rt.next_position(), position)?;
+                        let got = rt.register(spec).map_err(|e| {
+                            DurabilityError::RecoverMismatch(format!(
+                                "replayed register failed: {e}"
+                            ))
+                        })?;
+                        if got.0 != id {
+                            return Err(DurabilityError::RecoverMismatch(format!(
+                                "replayed register yielded id {}, logged id {id}",
+                                got.0
+                            )));
+                        }
+                    }
+                    WalOp::Deregister { position, id } => {
+                        check_position("deregister", rt.next_position(), position)?;
+                        rt.deregister(QueryId(id)).map_err(|e| {
+                            DurabilityError::RecoverMismatch(format!(
+                                "replayed deregister failed: {e}"
+                            ))
+                        })?;
+                    }
+                    WalOp::Replace { position, id, spec } => {
+                        check_position("replace", rt.next_position(), position)?;
+                        rt.replace(QueryId(id), spec).map_err(|e| {
+                            DurabilityError::RecoverMismatch(format!(
+                                "replayed replace failed: {e}"
+                            ))
+                        })?;
+                    }
+                }
+                Ok(())
+            };
+            replay_dir(&wal_dir, from_seq, &mut apply)?
+        };
+        // Fence so replayed tuples are fully evaluated before the
+        // runtime is handed out, then assert the counter lines up with
+        // the log's end — one seq per record, no gaps on either side.
+        rt.drain();
+        {
+            let seq = rt.shared.seq.lock().expect("sequencer poisoned");
+            if seq.next_wal_seq != replay.next_seq {
+                return Err(DurabilityError::RecoverMismatch(format!(
+                    "replay consumed wal_seq up to {}, log ends at {}",
+                    seq.next_wal_seq, replay.next_seq
+                )));
+            }
+        }
+        for torn in &replay.torn {
+            rt.shared.metrics.journal.push(PipelineEvent::WalTornTail {
+                position: rt.next_position(),
+                bytes_dropped: torn.bytes_dropped,
+            });
+        }
+        rt.shared.metrics.journal.push(PipelineEvent::Recovered {
+            position: rt.next_position(),
+            replayed: replay.replayed,
+        });
+        // Only now attach the WAL: stamping continues at the recovered
+        // position, logging at the recovered seq, into a fresh active
+        // segment (`resume` truncate-creates it, so repeated recoveries
+        // reach a steady state instead of accreting stubs).
+        let wal = Arc::new(Wal::new(wal_dir, &dcfg));
+        wal.resume(replay.next_seq, replay.segments)?;
+        let _ = rt.shared.wal.set(Arc::clone(&wal));
+        rt.durability = Some(DurabilityHandle { dir, wal, store });
+        Ok(rt)
+    }
+
+    /// Cut an incremental checkpoint to the data directory: one
+    /// epoch-consistent [`snapshot`](Self::snapshot) (producers keep
+    /// flowing), streamed to disk as a delta against the previous
+    /// checkpoint's blobs, committed by the manifest rename — then WAL
+    /// segments entirely below the cut are deleted. On return, recovery
+    /// cost has been reset: a crash now replays only operations logged
+    /// after this call.
+    ///
+    /// Errors leave the *previous* checkpoint intact — the manifest is
+    /// replaced atomically, so a torn checkpoint write is swept as an
+    /// orphan on the next open, never half-restored.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, DurabilityError> {
+        if self.durability.is_none() {
+            return Err(DurabilityError::NotDurable);
+        }
+        let snap = self.snapshot()?;
+        let stats = {
+            let handle = self.durability.as_mut().expect("durable checked above");
+            let mut stats = handle.store.write(&snap)?;
+            stats.wal_segments_removed = handle.wal.truncate_below(snap.wal_seq);
+            stats
+        };
+        self.shared
+            .metrics
+            .ckpt_delta_ratio_bp
+            .store(stats.delta_ratio_bp, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .metrics
+            .journal
+            .push(PipelineEvent::CheckpointWritten {
+                position: stats.position,
+                epoch: stats.epoch,
+                bytes: stats.bytes,
+                full: stats.full,
+            });
+        Ok(stats)
+    }
+
+    /// A point-in-time [`DurabilityStatus`] — `None` for an in-memory
+    /// runtime. `healthy: false` means a WAL append failed and logging
+    /// stopped (the runtime keeps serving from memory — fail-open);
+    /// operators should alert on it, since a crash from that state
+    /// loses everything after the failure point.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        let h = self.durability.as_ref()?;
+        let last = h.store.last_entry();
+        Some(DurabilityStatus {
+            dir: h.dir.clone(),
+            healthy: h.wal.healthy(),
+            wal_segments: h.wal.segments(),
+            wal_bytes: h.wal.bytes_total(),
+            wal_records: h.wal.records_total(),
+            last_checkpoint_epoch: last.map(|e| e.epoch),
+            last_checkpoint_position: last.map(|e| e.position),
+            chain_len: h.store.chain_len(),
+        })
+    }
+
     /// Hot-swap: replace query `id`'s automaton with a recompiled one,
     /// handing over the accumulated window state atomically in the
     /// stream order — tuples stamped before the call complete against
@@ -1303,9 +1599,18 @@ impl Runtime {
                 reason: "window kind (or timestamp attribute) differs",
             });
         }
+        // Same durable pre-probe as `register`: reject before reserving
+        // so a refused swap consumes no `wal_seq`.
+        if self.shared.wal.get().is_some() {
+            use cer_common::wire::{Wire, WireWriter};
+            let mut probe = WireWriter::new();
+            if new.encode(&mut probe).is_err() {
+                return Err(RuntimeError::UnserializableQuery { query: new.name });
+            }
+        }
         let listens = new.pcea.relations();
         let (reply, replies) = channel();
-        let (block, position, homes) = {
+        let (block, position, homes, wal_seq) = {
             // Same epoch rule as register/deregister: the routing-table
             // swap and the zero-width Replace block share one lock
             // acquisition, so the routing epoch agrees with the swap
@@ -1317,6 +1622,7 @@ impl Runtime {
             let homes = meta.homes.clone();
             router.rebuild();
             let (block, position) = seq.reserve(0);
+            let wal_seq = seq.take_wal_seq();
             for &shard in &homes {
                 seq.queues[shard]
                     .stage_control(
@@ -1332,9 +1638,13 @@ impl Runtime {
                     )
                     .expect("runtime not shut down");
             }
-            (block, position, homes)
+            (block, position, homes, wal_seq)
         };
         self.shared.finish_block(block);
+        if self.shared.wal.get().is_some() {
+            let payload = encode_replace(wal_seq, position, id.0, &new);
+            self.shared.wal_append(wal_seq, position, payload);
+        }
         self.shared
             .metrics
             .journal
@@ -1516,16 +1826,6 @@ impl Runtime {
         self.shared.metrics.journal.overwritten()
     }
 
-    /// Sample the end-to-end ingest→delivery latency on every `every`-th
-    /// delivered match (clamped to ≥ 1; default 1 — every match). The
-    /// other histograms are unaffected: this is the only span whose
-    /// recording costs an extra `Instant::now()` on the delivery path,
-    /// so high-fan-out deployments can thin it.
-    #[deprecated(note = "set RuntimeConfig::e2e_sample_every at construction instead")]
-    pub fn set_e2e_sample_every(&self, every: u64) {
-        self.shared.metrics.set_e2e_sample_every(every);
-    }
-
     /// A point-in-time [`MetricsSnapshot`] of every pipeline metric:
     /// stage latency histograms, queue occupancy gauges, per-query
     /// engine counters and journal counters. The snapshot is plain data
@@ -1579,6 +1879,12 @@ impl Runtime {
             "Fence-to-resume duration of live rescales",
             &[],
             m.rescale.snapshot(),
+        );
+        out.push_histogram(
+            "cer_wal_fsync_nanos",
+            "WAL fsync latency per group-commit sync",
+            &[],
+            m.wal_fsync.snapshot(),
         );
 
         // Per-shard stage histograms (same metric name, shard label —
@@ -1663,6 +1969,25 @@ impl Runtime {
             "Live rescales successfully completed",
             &[],
             stats.rescales.rescales,
+        );
+        out.push_counter(
+            "cer_wal_bytes_total",
+            "Bytes appended to the write-ahead log",
+            &[],
+            m.wal_bytes.get(),
+        );
+        out.push_counter(
+            "cer_wal_records_total",
+            "Records appended to the write-ahead log",
+            &[],
+            m.wal_records.get(),
+        );
+        out.push_gauge(
+            "cer_checkpoint_delta_ratio_bp",
+            "Last checkpoint's bytes as basis points of its full-state size",
+            &[],
+            m.ckpt_delta_ratio_bp
+                .load(std::sync::atomic::Ordering::Relaxed),
         );
 
         // Per-shard queue gauges and counters (from QueueStats; the
@@ -1802,6 +2127,12 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Push whatever the fsync policy was still holding to disk —
+        // a clean shutdown loses nothing regardless of `EveryN` /
+        // `IntervalMs` batching. (Crashes are the WAL's job.)
+        if let Some(wal) = self.shared.wal.get() {
+            let _ = wal.flush_sync();
+        }
         self.shared.close();
         for worker in &mut self.workers {
             if let Some(handle) = worker.take() {
@@ -1829,6 +2160,18 @@ fn merge_replicas(
         }
     }
     merged
+}
+
+/// Replay cross-check: a logged control operation must re-apply at the
+/// stream position it was originally stamped at, or the log and the
+/// restored base state disagree.
+fn check_position(op: &str, at: u64, logged: u64) -> Result<(), DurabilityError> {
+    if at != logged {
+        return Err(DurabilityError::RecoverMismatch(format!(
+            "replayed {op} at position {at}, logged at {logged}"
+        )));
+    }
+    Ok(())
 }
 
 fn sum_stats(acc: &mut EngineStats, st: &EngineStats) {
@@ -1880,7 +2223,7 @@ fn host_query(
 
 /// One worker thread: hosts its queries' evaluators and a local routing
 /// table, drains its bounded ingest queue in FIFO order — coalescing
-/// consecutive tuple batches up to [`IngestConfig::max_batch`] per
+/// consecutive tuple batches up to [`IngestConfig::max_batch`](crate::ingest::IngestConfig::max_batch) per
 /// wakeup — evaluates each query's subsequence of the coalesced slice
 /// through the vectorized batch path, and publishes completed matches
 /// to the subscription registry.

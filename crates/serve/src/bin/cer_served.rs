@@ -2,8 +2,13 @@
 //! `Shutdown` (or the process is killed).
 //!
 //! ```text
-//! cer_served [--addr HOST:PORT] [--shards N]
+//! cer_served [--addr HOST:PORT] [--shards N] [--data-dir DIR]
 //! ```
+//!
+//! With `--data-dir` the daemon serves durably: on startup it recovers
+//! whatever `DIR` holds (checkpoints plus WAL replay), and afterwards
+//! every ingested batch and query change is written ahead to the log,
+//! so a `kill -9` loses nothing that was acknowledged.
 
 use cer_core::RuntimeConfig;
 use cer_serve::{ServeConfig, Server};
@@ -12,6 +17,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut shards = 4usize;
+    let mut data_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -24,27 +30,38 @@ fn main() -> ExitCode {
                 Some(n) => shards = n,
                 None => return usage("--shards needs a number"),
             },
+            "--data-dir" => match args.next() {
+                Some(d) => data_dir = Some(d),
+                None => return usage("--data-dir needs a path"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: cer_served [--addr HOST:PORT] [--shards N]");
+                eprintln!("usage: cer_served [--addr HOST:PORT] [--shards N] [--data-dir DIR]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other}")),
         }
     }
 
-    let config = ServeConfig::from(RuntimeConfig::new(shards));
+    let mut config = ServeConfig::from(RuntimeConfig::new(shards));
+    if let Some(dir) = &data_dir {
+        config = config.with_data_dir(dir);
+    }
     let server = match Server::bind(addr.as_str(), config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cer_served: cannot bind {addr}: {e}");
+            eprintln!("cer_served: cannot start on {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
     eprintln!(
-        "cer_served: listening on {} ({} shard{})",
+        "cer_served: listening on {} ({} shard{}{})",
         server.local_addr(),
         shards,
-        if shards == 1 { "" } else { "s" }
+        if shards == 1 { "" } else { "s" },
+        match &data_dir {
+            Some(d) => format!(", durable in {d}"),
+            None => String::new(),
+        }
     );
     let stats = server.run_until_shutdown();
     let positions: u64 = stats
@@ -68,6 +85,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cer_served: {msg}");
-    eprintln!("usage: cer_served [--addr HOST:PORT] [--shards N]");
+    eprintln!("usage: cer_served [--addr HOST:PORT] [--shards N] [--data-dir DIR]");
     ExitCode::FAILURE
 }

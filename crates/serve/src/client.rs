@@ -11,8 +11,8 @@
 //! stays usable after it.
 
 use crate::protocol::{
-    decode_message, encode_message, read_frame, write_frame, AutoscaleSummary, Frontend, Request,
-    Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    decode_message, encode_message, read_frame, write_frame, AutoscaleSummary, DurabilitySummary,
+    Frontend, Request, Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cer_common::wire::WireError;
 use cer_common::{RelationId, Tuple};
@@ -276,6 +276,31 @@ impl Client {
     pub fn autoscale_status(&mut self) -> Result<AutoscaleSummary, ClientError> {
         match self.call(&Request::AutoscaleStatus)? {
             Response::AutoscaleStatus(s) => Ok(s),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Ask a durable server to cut a checkpoint now; returns
+    /// `(position, epoch, bytes, full)` of the checkpoint written.
+    /// Fails with [`ErrorCode::NotDurable`] on an in-memory server.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64, u64, bool), ClientError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::CheckpointDone {
+                position,
+                epoch,
+                bytes,
+                full,
+            } => Ok((position, epoch, bytes, full)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Health and volume counters of a durable server's WAL and
+    /// checkpoint chain. Fails with [`ErrorCode::NotDurable`] on an
+    /// in-memory server.
+    pub fn durability_status(&mut self) -> Result<DurabilitySummary, ClientError> {
+        match self.call(&Request::DurabilityStatus)? {
+            Response::Durability(s) => Ok(s),
             other => Err(ClientError::Unexpected(other)),
         }
     }

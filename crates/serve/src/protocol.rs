@@ -267,6 +267,15 @@ pub enum Request {
     /// The controller's current status
     /// ([`Response::AutoscaleStatus`]).
     AutoscaleStatus,
+    /// Cut an incremental checkpoint to the server's data directory
+    /// ([`Runtime::checkpoint`](cer_core::runtime::Runtime::checkpoint));
+    /// WAL segments below the cut are truncated. Fails with
+    /// [`ErrorCode::NotDurable`](cer_core::ErrorCode) on a server
+    /// started without `--data-dir`.
+    Checkpoint,
+    /// The server's durability status ([`Response::Durability`]):
+    /// WAL health and size, last checkpoint, chain length.
+    DurabilityStatus,
 }
 
 /// A server→client message.
@@ -343,6 +352,40 @@ pub enum Response {
     /// Reply to [`Request::SetAutoscale`] and
     /// [`Request::AutoscaleStatus`].
     AutoscaleStatus(AutoscaleSummary),
+    /// Reply to [`Request::Checkpoint`].
+    CheckpointDone {
+        /// Epoch position the checkpoint cut at.
+        position: u64,
+        /// The checkpoint's epoch counter (dense, one per checkpoint).
+        epoch: u64,
+        /// Bytes written (before the manifest).
+        bytes: u64,
+        /// `true` for a full checkpoint, `false` for a delta.
+        full: bool,
+    },
+    /// Reply to [`Request::DurabilityStatus`].
+    Durability(DurabilitySummary),
+}
+
+/// The compact numeric reply to [`Request::DurabilityStatus`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilitySummary {
+    /// `false` when a WAL append failed and logging stopped (the server
+    /// keeps serving from memory — alert on this).
+    pub healthy: bool,
+    /// WAL segment files on disk (sealed + active).
+    pub wal_segments: u64,
+    /// Bytes appended to the WAL since this process attached it.
+    pub wal_bytes: u64,
+    /// Records appended to the WAL since this process attached it.
+    pub wal_records: u64,
+    /// Epoch of the latest committed checkpoint (`None` before the
+    /// first).
+    pub last_checkpoint_epoch: Option<u64>,
+    /// Stream position of the latest committed checkpoint.
+    pub last_checkpoint_position: Option<u64>,
+    /// Checkpoints a recovery would have to chain (1 after a full).
+    pub chain_len: u64,
 }
 
 /// The compact numeric reply to [`Request::SetAutoscale`] and
@@ -387,6 +430,14 @@ fn put_policy(w: &mut WireWriter, p: BackpressurePolicy) {
         BackpressurePolicy::Block => 0,
         BackpressurePolicy::DropNewest => 1,
     });
+}
+
+fn get_flag(r: &mut WireReader<'_>, ctx: &'static str) -> Result<bool, WireError> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Corrupt(ctx)),
+    }
 }
 
 fn get_policy(r: &mut WireReader<'_>) -> Result<BackpressurePolicy, WireError> {
@@ -476,6 +527,8 @@ impl Wire for Request {
                 w.put_u8(u8::from(*enabled));
             }
             Request::AutoscaleStatus => w.put_u8(15),
+            Request::Checkpoint => w.put_u8(16),
+            Request::DurabilityStatus => w.put_u8(17),
         }
         Ok(())
     }
@@ -526,6 +579,8 @@ impl Wire for Request {
                 },
             },
             15 => Request::AutoscaleStatus,
+            16 => Request::Checkpoint,
+            17 => Request::DurabilityStatus,
             _ => return Err(WireError::Corrupt("unknown request tag")),
         })
     }
@@ -620,6 +675,28 @@ impl Wire for Response {
                 w.put_u64(s.cold_streak);
                 w.put_u64(s.cooldown);
             }
+            Response::CheckpointDone {
+                position,
+                epoch,
+                bytes,
+                full,
+            } => {
+                w.put_u8(17);
+                w.put_u64(*position);
+                w.put_u64(*epoch);
+                w.put_u64(*bytes);
+                w.put_u8(u8::from(*full));
+            }
+            Response::Durability(s) => {
+                w.put_u8(18);
+                w.put_u8(u8::from(s.healthy));
+                w.put_u64(s.wal_segments);
+                w.put_u64(s.wal_bytes);
+                w.put_u64(s.wal_records);
+                s.last_checkpoint_epoch.encode(w)?;
+                s.last_checkpoint_position.encode(w)?;
+                w.put_u64(s.chain_len);
+            }
         }
         Ok(())
     }
@@ -681,6 +758,21 @@ impl Wire for Response {
                 hot_streak: r.get_u64()?,
                 cold_streak: r.get_u64()?,
                 cooldown: r.get_u64()?,
+            }),
+            17 => Response::CheckpointDone {
+                position: r.get_u64()?,
+                epoch: r.get_u64()?,
+                bytes: r.get_u64()?,
+                full: get_flag(r, "checkpoint full flag out of range")?,
+            },
+            18 => Response::Durability(DurabilitySummary {
+                healthy: get_flag(r, "durability health flag out of range")?,
+                wal_segments: r.get_u64()?,
+                wal_bytes: r.get_u64()?,
+                wal_records: r.get_u64()?,
+                last_checkpoint_epoch: Option::<u64>::decode(r)?,
+                last_checkpoint_position: Option::<u64>::decode(r)?,
+                chain_len: r.get_u64()?,
             }),
             _ => return Err(WireError::Corrupt("unknown response tag")),
         })
@@ -769,6 +861,8 @@ mod tests {
             Request::Rescale { shards: 4 },
             Request::SetAutoscale { enabled: true },
             Request::AutoscaleStatus,
+            Request::Checkpoint,
+            Request::DurabilityStatus,
         ];
         for req in reqs {
             let bytes = encode_message(&req).unwrap();
@@ -831,6 +925,22 @@ mod tests {
                 cold_streak: 0,
                 cooldown: 3,
             }),
+            Response::CheckpointDone {
+                position: 1_000,
+                epoch: 3,
+                bytes: 4_096,
+                full: false,
+            },
+            Response::Durability(DurabilitySummary {
+                healthy: true,
+                wal_segments: 2,
+                wal_bytes: 1 << 20,
+                wal_records: 512,
+                last_checkpoint_epoch: Some(3),
+                last_checkpoint_position: Some(1_000),
+                chain_len: 2,
+            }),
+            Response::Durability(DurabilitySummary::default()),
         ];
         for resp in resps {
             let bytes = encode_message(&resp).unwrap();

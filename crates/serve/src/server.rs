@@ -30,8 +30,8 @@
 //! [`Response::Error`] carries; the connection survives all of them.
 
 use crate::protocol::{
-    decode_message, encode_message, read_frame, write_frame, AutoscaleSummary, Frontend, Request,
-    Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    decode_message, encode_message, read_frame, write_frame, AutoscaleSummary, DurabilitySummary,
+    Frontend, Request, Response, StatsSummary, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use cer_common::Schema;
 use cer_core::ingest::{IngestHandle, SubscriptionFilter};
@@ -39,13 +39,14 @@ use cer_core::runtime::{QuerySpec, Runtime, RuntimeStats};
 use cer_core::{AutoscalePolicy, Controller, Error, RuntimeConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Construction-time knobs of a [`Server`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// The runtime underneath the listener — one config value carries
     /// the whole engine setup ([`RuntimeConfig`]).
@@ -66,6 +67,12 @@ pub struct ServeConfig {
     /// signals. Streak thresholds in [`ServeConfig::autoscale`] are
     /// counted in these ticks.
     pub autoscale_interval: Duration,
+    /// Data directory for durability. `Some(dir)` opens the runtime
+    /// with [`Runtime::open_durable`]: recover whatever `dir` holds
+    /// (checkpoints + WAL) or initialize it fresh, then log every
+    /// replayable operation and accept [`Request::Checkpoint`]. `None`
+    /// (the default) serves purely in memory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -77,7 +84,16 @@ impl Default for ServeConfig {
             poll_interval: Duration::from_millis(50),
             autoscale: AutoscalePolicy::default(),
             autoscale_interval: Duration::from_millis(100),
+            data_dir: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Serve durably out of `dir` (see [`ServeConfig::data_dir`]).
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
     }
 }
 
@@ -125,7 +141,11 @@ impl Server {
         let config = config.into();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let runtime = Runtime::new(config.runtime);
+        let runtime = match &config.data_dir {
+            Some(dir) => Runtime::open_durable(dir.clone(), config.runtime)
+                .map_err(|e| io::Error::other(e.to_string()))?,
+            None => Runtime::new(config.runtime),
+        };
         let ingest = runtime.ingest_handle();
         let shared = Arc::new(Shared {
             runtime: Mutex::new(Some(runtime)),
@@ -571,6 +591,37 @@ fn handle_request(
             autoscale_status(shared)
         }
         Request::AutoscaleStatus => autoscale_status(shared),
+        Request::Checkpoint => {
+            let mut guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_mut()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            let stats = runtime.checkpoint().map_err(Error::Durability)?;
+            Ok(Response::CheckpointDone {
+                position: stats.position,
+                epoch: stats.epoch,
+                bytes: stats.bytes,
+                full: stats.full,
+            })
+        }
+        Request::DurabilityStatus => {
+            let guard = shared.runtime.lock().expect("runtime mutex poisoned");
+            let runtime = guard
+                .as_ref()
+                .ok_or(Error::Ingest(cer_core::IngestError::RuntimeClosed))?;
+            let status = runtime
+                .durability_status()
+                .ok_or(Error::Durability(cer_core::DurabilityError::NotDurable))?;
+            Ok(Response::Durability(DurabilitySummary {
+                healthy: status.healthy,
+                wal_segments: status.wal_segments,
+                wal_bytes: status.wal_bytes,
+                wal_records: status.wal_records,
+                last_checkpoint_epoch: status.last_checkpoint_epoch,
+                last_checkpoint_position: status.last_checkpoint_position,
+                chain_len: status.chain_len,
+            }))
+        }
     }
 }
 

@@ -17,8 +17,10 @@
 //!   backpressured shard queues, per-consumer
 //!   [`Subscription`](engine::Subscription) channels),
 //!   epoch-consistent checkpoint/restore + query hot-swap
-//!   ([`engine::checkpoint`]), and live elastic resharding with a
-//!   closed autoscaling loop ([`engine::autoscale`]);
+//!   ([`engine::checkpoint`]), live elastic resharding with a
+//!   closed autoscaling loop ([`engine::autoscale`]), and a durability
+//!   subsystem — position-stamped WAL, incremental disk checkpoints,
+//!   crash recovery ([`engine::durability`]);
 //! * [`serve`] — a std-only TCP serving layer: length-framed wire
 //!   protocol, thread-per-connection [`Server`](serve::Server), blocking
 //!   [`Client`](serve::Client) and a load-generator binary;
@@ -107,6 +109,9 @@ pub mod prelude {
     pub use cer_core::autoscale::{AutoscalePolicy, Controller, LoadSignals, ScaleDecision};
     pub use cer_core::checkpoint::{Snapshot, SnapshotError};
     pub use cer_core::config::RuntimeConfig;
+    pub use cer_core::durability::{
+        CheckpointStats, DurabilityConfig, DurabilityError, DurabilityStatus, FsyncPolicy,
+    };
     pub use cer_core::error::{Error, ErrorCode};
     pub use cer_core::evaluator::{run_to_end, StreamingEvaluator};
     pub use cer_core::ingest::{
